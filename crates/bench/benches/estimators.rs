@@ -1,0 +1,248 @@
+//! Criterion benchmarks: one per table/figure family, plus ablations of
+//! the design choices called out in DESIGN.md.
+//!
+//! Each bench measures the *computation* behind a paper artifact (the
+//! `experiments` binary regenerates the artifact itself):
+//!
+//! * `generation/*` — Figs. 1–6 workload (dataset synthesis)
+//! * `gravity`, `kruithof` — Fig. 7 / §4.2.1
+//! * `wcb/*` — Figs. 8–9, including the warm-start ablation
+//! * `fanout/*` — Figs. 10–11 window scaling
+//! * `vardi` — Fig. 12 / Table 1
+//! * `regularized/*` — Figs. 13–15, including CD- vs dual-NNLS ablation
+//! * `measured` — Fig. 16 inner solve
+//! * `routing/*` — CSPF vs plain Dijkstra ablation
+//! * `collection` — §5.1.2 pipeline
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tm_bench::{europe, snapshot, window, SEED};
+use tm_collect::{run_collection, CollectionConfig};
+use tm_core::fanout::FanoutEstimator;
+use tm_core::prelude::*;
+use tm_core::vardi::VardiEstimator;
+use tm_core::wcb::worst_case_bounds;
+use tm_net::routing::{route_lsp_mesh, shortest_path, CspfConfig};
+use tm_opt::nnls;
+use tm_opt::simplex::{SimplexSolver, StandardLp};
+use tm_traffic::{DatasetSpec, EvalDataset};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    g.bench_function("europe_dataset", |b| {
+        b.iter(|| EvalDataset::generate(DatasetSpec::europe(), black_box(SEED)).expect("valid"))
+    });
+    g.bench_function("tiny_dataset", |b| {
+        b.iter(|| EvalDataset::generate(DatasetSpec::tiny(), black_box(SEED)).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_gravity_kruithof(c: &mut Criterion) {
+    let d = europe();
+    let p = snapshot(&d);
+    c.bench_function("gravity", |b| {
+        b.iter(|| GravityModel::simple().estimate(black_box(&p)).expect("ok"))
+    });
+    c.bench_function("kruithof_full", |b| {
+        b.iter(|| {
+            KruithofEstimator::full()
+                .estimate(black_box(&p))
+                .expect("ok")
+        })
+    });
+}
+
+fn bench_wcb(c: &mut Criterion) {
+    let d = europe();
+    let p = snapshot(&d);
+    let mut g = c.benchmark_group("wcb");
+    g.sample_size(10);
+    g.bench_function("warm_start_all_pairs", |b| {
+        b.iter(|| worst_case_bounds(black_box(&p)).expect("ok"))
+    });
+    // Ablation: cold phase-1 per objective (first 8 pairs only — the
+    // point is the per-LP cost ratio, not the full sweep).
+    g.bench_function("cold_start_8_pairs", |b| {
+        let a = p.measurement_matrix().to_dense();
+        let t = p.measurements();
+        b.iter(|| {
+            for pair in 0..8 {
+                let lp = StandardLp {
+                    a: a.clone(),
+                    b: t.clone(),
+                };
+                let mut solver = SimplexSolver::new(&lp).expect("feasible");
+                let mut cvec = vec![0.0; p.n_pairs()];
+                cvec[pair] = 1.0;
+                black_box(solver.maximize(&cvec).expect("bounded"));
+            }
+        })
+    });
+    g.bench_function("warm_start_8_pairs", |b| {
+        let a = p.measurement_matrix().to_dense();
+        let t = p.measurements();
+        b.iter_batched(
+            || {
+                SimplexSolver::new(&StandardLp {
+                    a: a.clone(),
+                    b: t.clone(),
+                })
+                .expect("feasible")
+            },
+            |mut solver| {
+                for pair in 0..8 {
+                    let mut cvec = vec![0.0; p.n_pairs()];
+                    cvec[pair] = 1.0;
+                    black_box(solver.maximize(&cvec).expect("bounded"));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let d = europe();
+    let mut g = c.benchmark_group("fanout");
+    g.sample_size(10);
+    for k in [3usize, 10, 40] {
+        let w = window(&d, k);
+        g.bench_function(format!("window_{k}"), |b| {
+            b.iter(|| FanoutEstimator::new().estimate(black_box(&w)).expect("ok"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vardi(c: &mut Criterion) {
+    let d = europe();
+    let w = window(&d, 50);
+    let mut g = c.benchmark_group("vardi");
+    g.sample_size(10);
+    g.bench_function("busy_window_50", |b| {
+        b.iter(|| VardiEstimator::new(0.01).estimate(black_box(&w)).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_regularized(c: &mut Criterion) {
+    let d = europe();
+    let p = snapshot(&d);
+    let mut g = c.benchmark_group("regularized");
+    g.bench_function("entropy_lambda_1e3", |b| {
+        b.iter(|| EntropyEstimator::new(1e3).estimate(black_box(&p)).expect("ok"))
+    });
+    g.bench_function("bayes_lambda_1e3", |b| {
+        b.iter(|| BayesianEstimator::new(1e3).estimate(black_box(&p)).expect("ok"))
+    });
+    // Ablation: dual-form ridge NNLS vs Gram coordinate descent on the
+    // same Bayesian program (moderate lambda where CD still converges).
+    let a = p.measurement_matrix();
+    let stot = p.total_traffic();
+    let t: Vec<f64> = p.measurements().iter().map(|v| v / stot).collect();
+    let prior: Vec<f64> = GravityModel::simple()
+        .estimate(&p)
+        .expect("ok")
+        .demands
+        .iter()
+        .map(|v| v / stot)
+        .collect();
+    g.bench_function("ablation_ridge_nnls", |b| {
+        b.iter(|| nnls::ridge_nnls(black_box(&a), &t, 0.1, &prior, 0).expect("ok"))
+    });
+    let a_dense = a.to_dense();
+    g.bench_function("ablation_cd_nnls", |b| {
+        b.iter(|| {
+            nnls::cd_nnls(black_box(&a_dense), &t, 0.1, Some(&prior), 20_000, 1e-10).expect("ok")
+        })
+    });
+    g.finish();
+}
+
+fn bench_measured(c: &mut Criterion) {
+    let d = europe();
+    let p = snapshot(&d);
+    let truth = p.true_demands().expect("truth").to_vec();
+    let measured: Vec<(usize, f64)> = (0..6).map(|i| (i, truth[i])).collect();
+    c.bench_function("measured_entropy_6_fixed", |b| {
+        b.iter(|| {
+            tm_core::measure::MeasuredEntropy::new(1e3)
+                .estimate_with_measured(black_box(&p), &measured)
+                .expect("ok")
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let d = europe();
+    let topo = &d.topology;
+    let demands = &d.structure.mean_demands;
+    let mut g = c.benchmark_group("routing");
+    g.bench_function("cspf_mesh", |b| {
+        b.iter(|| route_lsp_mesh(black_box(topo), demands, CspfConfig::default()).expect("ok"))
+    });
+    g.bench_function("dijkstra_all_pairs", |b| {
+        b.iter(|| {
+            for s in 0..topo.n_nodes() {
+                for t in 0..topo.n_nodes() {
+                    if s != t {
+                        black_box(
+                            shortest_path(
+                                topo,
+                                tm_net::NodeId(s),
+                                tm_net::NodeId(t),
+                                |_| true,
+                            )
+                            .expect("connected"),
+                        );
+                    }
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let d = europe();
+    let pairs = d.routing.pairs();
+    let host_of: Vec<usize> = (0..pairs.count()).map(|p| pairs.pair(p).0 .0).collect();
+    let r = d.busy_hour();
+    let windowed: Vec<Vec<f64>> = d.series.samples[r].to_vec();
+    let mut g = c.benchmark_group("collection");
+    g.sample_size(10);
+    g.bench_function("busy_window_pipeline", |b| {
+        b.iter(|| {
+            run_collection(
+                black_box(&windowed),
+                &host_of,
+                d.topology.n_nodes(),
+                &CollectionConfig {
+                    loss_probability: 0.02,
+                    ..Default::default()
+                },
+                SEED,
+            )
+            .expect("ok")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_gravity_kruithof,
+    bench_wcb,
+    bench_fanout,
+    bench_vardi,
+    bench_regularized,
+    bench_measured,
+    bench_routing,
+    bench_collection
+);
+criterion_main!(benches);

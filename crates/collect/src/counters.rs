@@ -1,0 +1,190 @@
+//! SNMP-style byte counters and rate reconstruction.
+//!
+//! Routers expose per-LSP byte counts as monotonically increasing
+//! counters that wrap at their word size. The collector reconstructs
+//! rates from consecutive readings, dividing by the *actual* measured
+//! interval (the paper, §5.1.2: "the corresponding utilization rate data
+//! is adjusted for the length of the real measurement interval").
+//!
+//! 32-bit counters wrap every `2³²` bytes — at 1200 Mbps that is every
+//! ~28 s, far less than a 5-minute poll interval, which makes single-wrap
+//! correction insufficient. That is precisely why high-speed deployments
+//! (and this simulation by default) use 64-bit counters (`ifHCInOctets`).
+//! Both modes are implemented; the 32-bit mode demonstrates the hazard.
+
+use serde::{Deserialize, Serialize};
+
+/// Counter word size exposed by the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CounterMode {
+    /// Classic 32-bit octet counters (wrap hazard at high rates).
+    Counter32,
+    /// 64-bit high-capacity counters.
+    Counter64,
+}
+
+/// A bank of true (unwrapped) byte counters, one per object.
+#[derive(Debug, Clone)]
+pub struct CounterBank {
+    bytes: Vec<u64>,
+    mode: CounterMode,
+}
+
+impl CounterBank {
+    /// Create `n` zeroed counters.
+    pub fn new(n: usize, mode: CounterMode) -> Self {
+        CounterBank {
+            bytes: vec![0; n],
+            mode,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the bank has no counters.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Advance object `i` by traffic at `rate_mbps` over `seconds`.
+    pub fn advance(&mut self, i: usize, rate_mbps: f64, seconds: f64) {
+        let bytes = (rate_mbps.max(0.0) * 1e6 / 8.0 * seconds).round() as u64;
+        self.bytes[i] = self.bytes[i].wrapping_add(bytes);
+    }
+
+    /// Read object `i` as the agent would report it (wrapped per mode).
+    pub fn read(&self, i: usize) -> u64 {
+        match self.mode {
+            CounterMode::Counter32 => self.bytes[i] & 0xFFFF_FFFF,
+            CounterMode::Counter64 => self.bytes[i],
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> CounterMode {
+        self.mode
+    }
+}
+
+/// Reconstruct a rate (Mbps) from two consecutive wrapped readings.
+///
+/// Applies single-wrap correction when `current < previous`. Multiple
+/// wraps within one interval are *undetectable* from two readings; with
+/// [`CounterMode::Counter32`] at backbone rates this silently
+/// underestimates — the classic operational pitfall this module's tests
+/// document.
+pub fn rate_from_readings(
+    previous: u64,
+    current: u64,
+    mode: CounterMode,
+    interval_s: f64,
+) -> f64 {
+    if interval_s <= 0.0 {
+        return 0.0;
+    }
+    let delta = if current >= previous {
+        current - previous
+    } else {
+        match mode {
+            CounterMode::Counter32 => current + (1u64 << 32) - previous,
+            // A 64-bit wrap takes centuries at terabit rates; treat a
+            // decrease as a counter reset (router reboot) and report 0.
+            CounterMode::Counter64 => 0,
+        }
+    };
+    delta as f64 * 8.0 / 1e6 / interval_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_read_64() {
+        let mut bank = CounterBank::new(2, CounterMode::Counter64);
+        bank.advance(0, 100.0, 300.0); // 100 Mbps for 5 min
+        let expect = (100.0 * 1e6 / 8.0 * 300.0) as u64;
+        assert_eq!(bank.read(0), expect);
+        assert_eq!(bank.read(1), 0);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.mode(), CounterMode::Counter64);
+    }
+
+    #[test]
+    fn rate_reconstruction_exact_without_wrap() {
+        let mut bank = CounterBank::new(1, CounterMode::Counter64);
+        let before = bank.read(0);
+        bank.advance(0, 750.0, 300.0);
+        let after = bank.read(0);
+        let rate = rate_from_readings(before, after, CounterMode::Counter64, 300.0);
+        assert!((rate - 750.0).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn jitter_adjusted_interval() {
+        // 303 s of traffic read over a 303 s actual interval: exact.
+        let mut bank = CounterBank::new(1, CounterMode::Counter64);
+        let before = bank.read(0);
+        bank.advance(0, 200.0, 303.0);
+        let after = bank.read(0);
+        let rate = rate_from_readings(before, after, CounterMode::Counter64, 303.0);
+        assert!((rate - 200.0).abs() < 1e-6);
+        // Dividing by the nominal 300 s instead would be biased.
+        let biased = rate_from_readings(before, after, CounterMode::Counter64, 300.0);
+        assert!(biased > 200.0);
+    }
+
+    #[test]
+    fn single_wrap_corrected_in_32bit_mode() {
+        // Low rate: a single wrap inside the interval.
+        let mut bank = CounterBank::new(1, CounterMode::Counter32);
+        // Pre-position the true counter near the 32-bit limit.
+        bank.bytes[0] = (1u64 << 32) - 1000;
+        let before = bank.read(0);
+        bank.advance(0, 1.0, 300.0); // 37.5 MB << 4 GiB: one wrap only
+        let after = bank.read(0);
+        assert!(after < before, "reading must have wrapped");
+        let rate = rate_from_readings(before, after, CounterMode::Counter32, 300.0);
+        assert!((rate - 1.0).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn multi_wrap_underestimates_in_32bit_mode() {
+        // 1200 Mbps over 300 s = 45 GB ≈ 10.5 wraps: unrecoverable.
+        let mut bank = CounterBank::new(1, CounterMode::Counter32);
+        let before = bank.read(0);
+        bank.advance(0, 1200.0, 300.0);
+        let after = bank.read(0);
+        let rate = rate_from_readings(before, after, CounterMode::Counter32, 300.0);
+        assert!(
+            rate < 1200.0 * 0.2,
+            "multi-wrap must grossly underestimate, got {rate}"
+        );
+        // The same traffic with 64-bit counters is exact.
+        let mut bank64 = CounterBank::new(1, CounterMode::Counter64);
+        let b = bank64.read(0);
+        bank64.advance(0, 1200.0, 300.0);
+        let a = bank64.read(0);
+        let r64 = rate_from_readings(b, a, CounterMode::Counter64, 300.0);
+        assert!((r64 - 1200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counter64_decrease_treated_as_reset() {
+        let rate = rate_from_readings(1_000_000, 10, CounterMode::Counter64, 300.0);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        assert_eq!(rate_from_readings(0, 100, CounterMode::Counter64, 0.0), 0.0);
+        assert_eq!(
+            rate_from_readings(0, 100, CounterMode::Counter64, -5.0),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for the collection pipeline.
+
+use std::fmt;
+
+/// Errors produced by the measurement pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectError {
+    /// Wire-format encode/decode failure.
+    Codec(String),
+    /// Invalid simulation configuration.
+    InvalidConfig(String),
+    /// A gap in the collected series could not be repaired.
+    Unrecoverable(String),
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::Codec(msg) => write!(f, "codec error: {msg}"),
+            CollectError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CollectError::Unrecoverable(msg) => write!(f, "unrecoverable data loss: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        assert!(CollectError::Codec("x".into()).to_string().contains('x'));
+        assert!(CollectError::InvalidConfig("y".into()).to_string().contains('y'));
+        assert!(CollectError::Unrecoverable("z".into()).to_string().contains('z'));
+    }
+}

@@ -1,0 +1,534 @@
+//! The distributed polling simulation.
+//!
+//! Mirrors the paper's collection infrastructure (§5.1.2): a
+//! geographically distributed set of pollers, each polling a dedicated
+//! subset of routers every 5 minutes over an unreliable (UDP-like)
+//! channel, with response-time jitter, rate adjustment by the actual
+//! interval length, failover to a backup poller, and reliable transfer
+//! into a central database.
+//!
+//! Pollers run on OS threads connected by crossbeam channels (blocking
+//! message-passing is exactly the shape the async guides recommend *not*
+//! putting on an async runtime). Determinism: every poller derives its
+//! RNG from the master seed and its own id, routers are partitioned
+//! statically, and the central database orders readings by
+//! `(interval, object)` — so results are bit-identical across runs and
+//! thread schedules.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use crate::counters::{rate_from_readings, CounterMode};
+use crate::error::CollectError;
+use crate::wire::{PollRequest, PollResponse};
+use crate::Result;
+
+/// Configuration of the measurement pipeline.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Nominal polling interval in seconds (300 = 5 minutes).
+    pub interval_s: f64,
+    /// Maximum response-time jitter in seconds (uniform in `[0, max]`).
+    pub jitter_max_s: f64,
+    /// Probability that a poll exchange is lost (UDP drop).
+    pub loss_probability: f64,
+    /// Number of poller processes (routers are partitioned round-robin).
+    pub pollers: usize,
+    /// Counter word size exposed by the agents.
+    pub counter_mode: CounterMode,
+    /// When a poll is lost, whether the neighbour poller retries it in
+    /// the same interval (the paper's backup-poller arrangement).
+    pub backup_poller: bool,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        CollectionConfig {
+            interval_s: 300.0,
+            jitter_max_s: 5.0,
+            loss_probability: 0.0,
+            pollers: 4,
+            counter_mode: CounterMode::Counter64,
+            backup_poller: true,
+        }
+    }
+}
+
+/// Result of running the pipeline over a demand series.
+#[derive(Debug, Clone)]
+pub struct CollectionResult {
+    /// Recovered per-LSP rate series (`K−1 × P`): rates need two
+    /// readings, so one fewer interval than counter snapshots.
+    pub rates: Vec<Vec<f64>>,
+    /// Number of (interval, router) polls lost after retries.
+    pub lost_polls: usize,
+    /// Number of rate cells filled by interpolation.
+    pub interpolated: usize,
+}
+
+/// "Router": one agent per node, owning the counters of the LSPs that
+/// originate there. Counters are modeled in *continuous time* — a poll
+/// at timestamp `t` sees exactly the bytes sent up to `t`, which is what
+/// makes the pipeline's jitter-adjusted rate division correct.
+struct RouterAgent {
+    router_id: u16,
+    /// Object ids (global LSP indices) hosted on this router.
+    objects: Vec<u32>,
+    /// Cumulative true bytes per local object at each interval boundary.
+    cumulative: Vec<Vec<f64>>,
+    /// Bytes/second per local object within each interval.
+    rate_bps: Vec<Vec<f64>>,
+    interval_s: f64,
+    mode: CounterMode,
+}
+
+impl RouterAgent {
+    /// True byte counter of local object `local` at time `t_s`.
+    fn bytes_at(&self, local: usize, t_s: f64) -> u64 {
+        let k_len = self.rate_bps.len();
+        let k = ((t_s / self.interval_s).floor() as usize).min(k_len.saturating_sub(1));
+        let boundary = k as f64 * self.interval_s;
+        // Past the series end, traffic continues at the last rate so the
+        // final interval's jittered reading stays unbiased.
+        let within = (t_s - boundary).max(0.0);
+        let raw = self.cumulative[k][local] + self.rate_bps[k][local] * within;
+        raw.round().max(0.0) as u64
+    }
+
+    fn respond(&self, req: &PollRequest, timestamp_ms: u64) -> PollResponse {
+        let t_s = timestamp_ms as f64 / 1000.0;
+        let readings = req
+            .objects
+            .iter()
+            .map(|&o| {
+                let local = self
+                    .objects
+                    .iter()
+                    .position(|&x| x == o)
+                    .expect("poller only asks for hosted objects");
+                let truth = self.bytes_at(local, t_s);
+                let wrapped = match self.mode {
+                    CounterMode::Counter32 => truth & 0xFFFF_FFFF,
+                    CounterMode::Counter64 => truth,
+                };
+                (o, wrapped)
+            })
+            .collect();
+        PollResponse {
+            router_id: self.router_id,
+            seq: req.seq,
+            timestamp_ms,
+            readings,
+        }
+    }
+}
+
+/// Run the pipeline: `demands[k][p]` is the true rate (Mbps) of LSP `p`
+/// during interval `k`; `host_of[p]` maps each LSP to its head-end
+/// router (usually the OD pair's source node).
+pub fn run_collection(
+    demands: &[Vec<f64>],
+    host_of: &[usize],
+    n_routers: usize,
+    config: &CollectionConfig,
+    seed: u64,
+) -> Result<CollectionResult> {
+    if demands.is_empty() {
+        return Err(CollectError::InvalidConfig("empty demand series".into()));
+    }
+    let p_count = demands[0].len();
+    if host_of.len() != p_count {
+        return Err(CollectError::InvalidConfig(format!(
+            "host_of has {} entries for {} LSPs",
+            host_of.len(),
+            p_count
+        )));
+    }
+    if host_of.iter().any(|&h| h >= n_routers) {
+        return Err(CollectError::InvalidConfig("host id out of range".into()));
+    }
+    if config.pollers == 0 || config.interval_s <= 0.0 || config.jitter_max_s < 0.0 {
+        return Err(CollectError::InvalidConfig(
+            "pollers >= 1, interval > 0, jitter >= 0 required".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&config.loss_probability) {
+        return Err(CollectError::InvalidConfig(
+            "loss probability must be in [0, 1)".into(),
+        ));
+    }
+
+    // Build router agents with their hosted objects.
+    let mut objects_of: Vec<Vec<u32>> = vec![Vec::new(); n_routers];
+    for (p, &h) in host_of.iter().enumerate() {
+        objects_of[h].push(p as u32);
+    }
+    let k_len = demands.len();
+    let agents: Vec<RouterAgent> = (0..n_routers)
+        .map(|r| {
+            let locals = &objects_of[r];
+            // Per-interval byte rates and cumulative boundary counters.
+            let mut rate_bps = Vec::with_capacity(k_len);
+            let mut cumulative = vec![vec![0.0; locals.len()]];
+            for dk in demands.iter() {
+                let rates: Vec<f64> = locals
+                    .iter()
+                    .map(|&o| dk[o as usize].max(0.0) * 1e6 / 8.0)
+                    .collect();
+                let prev = cumulative.last().expect("nonempty").clone();
+                let next: Vec<f64> = prev
+                    .iter()
+                    .zip(&rates)
+                    .map(|(c, r)| c + r * config.interval_s)
+                    .collect();
+                rate_bps.push(rates);
+                cumulative.push(next);
+            }
+            RouterAgent {
+                router_id: r as u16,
+                objects: locals.clone(),
+                cumulative,
+                rate_bps,
+                interval_s: config.interval_s,
+                mode: config.counter_mode,
+            }
+        })
+        .collect();
+    // Reading log: readings[k][p] = Some((timestamp_ms, counter)).
+    let readings: Arc<Mutex<Vec<Vec<Option<(u64, u64)>>>>> =
+        Arc::new(Mutex::new(vec![vec![None; p_count]; k_len + 1]));
+    let mut lost_polls = 0usize;
+
+    // Counter snapshot at t=0 (interval boundary 0) is polled before any
+    // traffic, then once after each interval. We simulate boundary by
+    // boundary; each boundary spawns the poller threads once. (Spawning
+    // per boundary keeps the thread logic simple; the message mechanics
+    // are identical.)
+    for boundary in 0..=k_len {
+        // Partition routers round-robin across pollers.
+        let (tx_done, rx_done) = channel::unbounded::<usize>();
+        crossbeam::scope(|scope| {
+            for poller in 0..config.pollers {
+                let agents = &agents;
+                let readings = Arc::clone(&readings);
+                let tx_done = tx_done.clone();
+                let cfg = config.clone();
+                scope.spawn(move |_| {
+                    let mut lost_here = 0usize;
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (boundary as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ (poller as u64),
+                    );
+                    for r in (poller..agents.len()).step_by(cfg.pollers) {
+                        let agent = &agents[r];
+                        if agent.objects.is_empty() {
+                            continue;
+                        }
+                        // Primary attempt, then optional backup retry.
+                        let attempts = if cfg.backup_poller { 2 } else { 1 };
+                        let mut delivered = false;
+                        for attempt in 0..attempts {
+                            if rng.random::<f64>() < cfg.loss_probability {
+                                continue; // datagram lost
+                            }
+                            let jitter = rng.random::<f64>() * cfg.jitter_max_s;
+                            let ts_ms = ((boundary as f64 * cfg.interval_s + jitter)
+                                * 1000.0) as u64;
+                            let req = PollRequest {
+                                poller_id: (poller + attempt * cfg.pollers) as u16,
+                                router_id: agent.router_id,
+                                seq: boundary as u32,
+                                objects: agent.objects.clone(),
+                            };
+                            // Encode/decode both directions: the wire
+                            // codec is exercised on every poll.
+                            let req = PollRequest::decode(req.encode())
+                                .expect("self-encoded request decodes");
+                            let resp = agent.respond(&req, ts_ms);
+                            let resp = PollResponse::decode(resp.encode())
+                                .expect("self-encoded response decodes");
+                            let mut log = readings.lock();
+                            for (o, v) in resp.readings {
+                                log[boundary][o as usize] = Some((resp.timestamp_ms, v));
+                            }
+                            delivered = true;
+                            break;
+                        }
+                        if !delivered {
+                            lost_here += 1;
+                        }
+                    }
+                    tx_done.send(lost_here).expect("collector alive");
+                });
+            }
+            drop(tx_done);
+        })
+        .expect("poller threads never panic");
+        lost_polls += rx_done.iter().sum::<usize>();
+    }
+
+    // Central database: reconstruct rates between consecutive *available*
+    // readings. A gap of g missed boundaries still yields the average
+    // rate over the covered span (counters are cumulative), spread across
+    // its intervals and counted as interpolated.
+    let log = readings.lock();
+    let mut rates = vec![vec![f64::NAN; p_count]; k_len];
+    let mut interpolated = 0usize;
+    for p in 0..p_count {
+        let avail: Vec<(usize, u64, u64)> = (0..=k_len)
+            .filter_map(|k| log[k][p].map(|(ts, c)| (k, ts, c)))
+            .collect();
+        if avail.len() < 2 {
+            return Err(CollectError::Unrecoverable(format!(
+                "LSP {p}: fewer than two polls delivered"
+            )));
+        }
+        for w in avail.windows(2) {
+            let (k0, ts0, c0) = w[0];
+            let (k1, ts1, c1) = w[1];
+            let actual_s = (ts1 as f64 - ts0 as f64) / 1000.0;
+            let dt = if actual_s > 0.0 {
+                actual_s
+            } else {
+                config.interval_s * (k1 - k0) as f64
+            };
+            let avg = rate_from_readings(c0, c1, config.counter_mode, dt);
+            for k in k0..k1 {
+                rates[k][p] = avg;
+            }
+            if k1 - k0 > 1 {
+                interpolated += k1 - k0;
+            }
+        }
+    }
+    drop(log);
+
+    // Leading/trailing spans with no bracketing readings: nearest value.
+    for p in 0..p_count {
+        let col: Vec<f64> = rates.iter().map(|row| row[p]).collect();
+        if col.iter().any(|v| v.is_nan()) {
+            let filled = interpolate_gaps(&col);
+            for k in 0..k_len {
+                if col[k].is_nan() {
+                    interpolated += 1;
+                }
+                rates[k][p] = filled[k];
+            }
+        }
+    }
+
+    Ok(CollectionResult {
+        rates,
+        lost_polls,
+        interpolated,
+    })
+}
+
+/// Fill NaN runs by linear interpolation (nearest value at the edges).
+fn interpolate_gaps(x: &[f64]) -> Vec<f64> {
+    let mut out = x.to_vec();
+    let n = x.len();
+    let mut k = 0;
+    while k < n {
+        if out[k].is_nan() {
+            let start = k;
+            let mut end = k;
+            while end < n && out[end].is_nan() {
+                end += 1;
+            }
+            let left = if start > 0 { Some(out[start - 1]) } else { None };
+            let right = if end < n { Some(out[end]) } else { None };
+            for (i, slot) in out.iter_mut().enumerate().take(end).skip(start) {
+                *slot = match (left, right) {
+                    (Some(l), Some(r)) => {
+                        let t = (i - start + 1) as f64 / (end - start + 1) as f64;
+                        l + (r - l) * t
+                    }
+                    (Some(l), None) => l,
+                    (None, Some(r)) => r,
+                    (None, None) => unreachable!("all-NaN handled by caller"),
+                };
+            }
+            k = end;
+        } else {
+            k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands() -> Vec<Vec<f64>> {
+        // 6 intervals, 4 LSPs with distinct stable patterns.
+        (0..6)
+            .map(|k| {
+                vec![
+                    100.0 + k as f64,
+                    50.0,
+                    900.0 - 10.0 * k as f64,
+                    0.5,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_jitterless_collection_is_exact() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            jitter_max_s: 0.0,
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        assert_eq!(res.lost_polls, 0);
+        assert_eq!(res.interpolated, 0);
+        assert_eq!(res.rates.len(), 6);
+        for k in 0..6 {
+            for p in 0..4 {
+                // Counter quantization (whole bytes) keeps this sub-ppm.
+                assert!(
+                    (res.rates[k][p] - d[k][p]).abs() < 1e-3,
+                    "k={k} p={p}: {} vs {}",
+                    res.rates[k][p],
+                    d[k][p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_causes_only_bounded_smearing() {
+        // With jittered polls a reading mixes a few seconds of the next
+        // interval's rate — bounded by jitter/interval × rate change.
+        let d = demands();
+        let cfg = CollectionConfig {
+            jitter_max_s: 5.0,
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        for k in 0..6 {
+            for p in 0..4 {
+                let tol = 0.02 * d[k][p].max(1.0) + 0.5;
+                assert!(
+                    (res.rates[k][p] - d[k][p]).abs() < tol,
+                    "k={k} p={p}: {} vs {}",
+                    res.rates[k][p],
+                    d[k][p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let d = demands();
+        let cfg1 = CollectionConfig {
+            loss_probability: 0.2,
+            ..Default::default()
+        };
+        let a = run_collection(&d, &[0, 0, 1, 2], 3, &cfg1, 11).unwrap();
+        let b = run_collection(&d, &[0, 0, 1, 2], 3, &cfg1, 11).unwrap();
+        assert_eq!(a.rates, b.rates);
+        assert_eq!(a.lost_polls, b.lost_polls);
+        // Different poller count changes partitioning but the lossless,
+        // jitter-free content of counters is identical.
+        let cfg2 = CollectionConfig {
+            pollers: 1,
+            jitter_max_s: 0.0,
+            ..Default::default()
+        };
+        let c = run_collection(&d, &[0, 0, 1, 2], 3, &cfg2, 11).unwrap();
+        for k in 0..6 {
+            for p in 0..4 {
+                assert!((c.rates[k][p] - d[k][p]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_with_backup_poller_recovers_most() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            loss_probability: 0.3,
+            backup_poller: true,
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 1, 2, 2], 3, &cfg, 5).unwrap();
+        // With a 30% drop and one retry, per-poll loss is ~9%; the
+        // interpolation must produce finite values everywhere.
+        assert!(res
+            .rates
+            .iter()
+            .all(|row| row.iter().all(|v| v.is_finite())));
+        // Large demands stay within a loose band even when interpolated.
+        for k in 0..6 {
+            assert!((res.rates[k][2] - d[k][2]).abs() < 0.15 * d[k][2]);
+        }
+    }
+
+    #[test]
+    fn heavy_loss_without_backup_counts_losses() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            loss_probability: 0.35,
+            backup_poller: false,
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 1, 2, 0], 3, &cfg, 3).unwrap();
+        assert!(res.lost_polls > 0);
+        assert!(res.interpolated > 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let d = demands();
+        let host = [0usize, 0, 1, 2];
+        assert!(run_collection(&[], &host, 3, &CollectionConfig::default(), 1).is_err());
+        assert!(run_collection(&d, &[0, 0], 3, &CollectionConfig::default(), 1).is_err());
+        assert!(run_collection(&d, &[0, 0, 1, 9], 3, &CollectionConfig::default(), 1).is_err());
+        let bad = CollectionConfig {
+            pollers: 0,
+            ..Default::default()
+        };
+        assert!(run_collection(&d, &host, 3, &bad, 1).is_err());
+        let bad = CollectionConfig {
+            loss_probability: 1.0,
+            ..Default::default()
+        };
+        assert!(run_collection(&d, &host, 3, &bad, 1).is_err());
+    }
+
+    #[test]
+    fn interpolation_edge_cases() {
+        let filled = interpolate_gaps(&[f64::NAN, 2.0, f64::NAN, f64::NAN, 8.0, f64::NAN]);
+        assert_eq!(filled[0], 2.0); // leading edge takes the right value
+        assert!((filled[2] - 4.0).abs() < 1e-12);
+        assert!((filled[3] - 6.0).abs() < 1e-12);
+        assert_eq!(filled[5], 8.0); // trailing edge takes the left value
+        let intact = interpolate_gaps(&[1.0, 2.0]);
+        assert_eq!(intact, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn counter32_mode_underestimates_hot_lsps() {
+        // End-to-end demonstration of the 32-bit wrap hazard.
+        let d = vec![vec![1200.0; 1]; 3];
+        let cfg32 = CollectionConfig {
+            counter_mode: CounterMode::Counter32,
+            jitter_max_s: 0.0,
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0], 1, &cfg32, 1).unwrap();
+        assert!(
+            res.rates[0][0] < 300.0,
+            "32-bit counters at 1200 Mbps must underestimate: {}",
+            res.rates[0][0]
+        );
+    }
+}

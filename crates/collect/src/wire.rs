@@ -1,0 +1,276 @@
+//! Binary wire codec for poller ↔ router-agent messages.
+//!
+//! A compact SNMP-GetBulk-flavoured encoding (not actual BER/SNMP — the
+//! simulation needs realistic message mechanics, not protocol
+//! compatibility): fixed header, varying object list, and a CRC-16/CCITT
+//! checksum so corrupted datagrams are detected and dropped like a real
+//! UDP pipeline would. (CRC-16 rather than Fletcher-16: Fletcher's
+//! mod-255 sums cannot distinguish 0x00 from 0xFF bytes, a blind spot a
+//! counter protocol full of 0xFF…FF values would hit constantly.)
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::CollectError;
+use crate::Result;
+
+/// Protocol magic (first two bytes of every message).
+const MAGIC: u16 = 0xA11D;
+
+/// A poll request: "send me these counter objects".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollRequest {
+    /// Identifier of the requesting poller.
+    pub poller_id: u16,
+    /// Target router.
+    pub router_id: u16,
+    /// Sequence number (matches responses to requests).
+    pub seq: u32,
+    /// Counter object ids (LSP indices).
+    pub objects: Vec<u32>,
+}
+
+/// A poll response carrying counter readings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollResponse {
+    /// Responding router.
+    pub router_id: u16,
+    /// Echoed sequence number.
+    pub seq: u32,
+    /// Router-local timestamp in milliseconds (reflects response jitter;
+    /// the pipeline divides byte deltas by *actual* interval length).
+    pub timestamp_ms: u64,
+    /// `(object id, counter value)` pairs.
+    pub readings: Vec<(u32, u64)>,
+}
+
+fn checksum(data: &[u8]) -> u16 {
+    // CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF.
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+impl PollRequest {
+    /// Encode to bytes (with trailing checksum).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + 4 * self.objects.len());
+        buf.put_u16(MAGIC);
+        buf.put_u8(0x01); // message type: request
+        buf.put_u16(self.poller_id);
+        buf.put_u16(self.router_id);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.objects.len() as u32);
+        for &o in &self.objects {
+            buf.put_u32(o);
+        }
+        let sum = checksum(&buf);
+        buf.put_u16(sum);
+        buf.freeze()
+    }
+
+    /// Decode from bytes, verifying magic, type and checksum.
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        if data.len() < 17 {
+            return Err(CollectError::Codec("request too short".into()));
+        }
+        let body = data.slice(..data.len() - 2);
+        let expect = checksum(&body);
+        let mut tail = data.slice(data.len() - 2..);
+        // Validate before consuming fields.
+        let got = tail.get_u16();
+        if got != expect {
+            return Err(CollectError::Codec(format!(
+                "request checksum mismatch: {got:#06x} vs {expect:#06x}"
+            )));
+        }
+        if data.get_u16() != MAGIC {
+            return Err(CollectError::Codec("bad magic".into()));
+        }
+        if data.get_u8() != 0x01 {
+            return Err(CollectError::Codec("not a request".into()));
+        }
+        let poller_id = data.get_u16();
+        let router_id = data.get_u16();
+        let seq = data.get_u32();
+        let count = data.get_u32() as usize;
+        if data.remaining() != 4 * count + 2 {
+            return Err(CollectError::Codec(format!(
+                "request object count {count} does not match length"
+            )));
+        }
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            objects.push(data.get_u32());
+        }
+        Ok(PollRequest {
+            poller_id,
+            router_id,
+            seq,
+            objects,
+        })
+    }
+}
+
+impl PollResponse {
+    /// Encode to bytes (with trailing checksum).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24 + 12 * self.readings.len());
+        buf.put_u16(MAGIC);
+        buf.put_u8(0x02); // message type: response
+        buf.put_u16(self.router_id);
+        buf.put_u32(self.seq);
+        buf.put_u64(self.timestamp_ms);
+        buf.put_u32(self.readings.len() as u32);
+        for &(o, v) in &self.readings {
+            buf.put_u32(o);
+            buf.put_u64(v);
+        }
+        let sum = checksum(&buf);
+        buf.put_u16(sum);
+        buf.freeze()
+    }
+
+    /// Decode from bytes, verifying magic, type and checksum.
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        if data.len() < 23 {
+            return Err(CollectError::Codec("response too short".into()));
+        }
+        let body = data.slice(..data.len() - 2);
+        let expect = checksum(&body);
+        let mut tail = data.slice(data.len() - 2..);
+        let got = tail.get_u16();
+        if got != expect {
+            return Err(CollectError::Codec(format!(
+                "response checksum mismatch: {got:#06x} vs {expect:#06x}"
+            )));
+        }
+        if data.get_u16() != MAGIC {
+            return Err(CollectError::Codec("bad magic".into()));
+        }
+        if data.get_u8() != 0x02 {
+            return Err(CollectError::Codec("not a response".into()));
+        }
+        let router_id = data.get_u16();
+        let seq = data.get_u32();
+        let timestamp_ms = data.get_u64();
+        let count = data.get_u32() as usize;
+        if data.remaining() != 12 * count + 2 {
+            return Err(CollectError::Codec(format!(
+                "response reading count {count} does not match length"
+            )));
+        }
+        let mut readings = Vec::with_capacity(count);
+        for _ in 0..count {
+            let o = data.get_u32();
+            let v = data.get_u64();
+            readings.push((o, v));
+        }
+        Ok(PollResponse {
+            router_id,
+            seq,
+            timestamp_ms,
+            readings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> PollRequest {
+        PollRequest {
+            poller_id: 3,
+            router_id: 17,
+            seq: 4242,
+            objects: vec![0, 1, 2, 99],
+        }
+    }
+
+    fn response() -> PollResponse {
+        PollResponse {
+            router_id: 17,
+            seq: 4242,
+            timestamp_ms: 1_098_300_003_210,
+            readings: vec![(0, u64::MAX), (1, 0), (99, 123_456_789_012)],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = request();
+        let decoded = PollRequest::decode(r.encode()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = response();
+        let decoded = PollResponse::decode(r.encode()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn empty_object_list_roundtrips() {
+        let r = PollRequest {
+            poller_id: 0,
+            router_id: 0,
+            seq: 0,
+            objects: vec![],
+        };
+        assert_eq!(PollRequest::decode(r.encode()).unwrap(), r);
+        let resp = PollResponse {
+            router_id: 0,
+            seq: 0,
+            timestamp_ms: 0,
+            readings: vec![],
+        };
+        assert_eq!(PollResponse::decode(resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let enc = request().encode();
+        for i in 0..enc.len() {
+            let mut bad = enc.to_vec();
+            bad[i] ^= 0x5A;
+            let res = PollRequest::decode(Bytes::from(bad));
+            assert!(res.is_err(), "flip at byte {i} must be detected");
+        }
+    }
+
+    #[test]
+    fn response_corruption_detected() {
+        let enc = response().encode();
+        let mut bad = enc.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(PollResponse::decode(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        assert!(PollRequest::decode(Bytes::from_static(b"ab")).is_err());
+        assert!(PollResponse::decode(Bytes::from_static(b"abcdef")).is_err());
+        let enc = request().encode();
+        let trunc = enc.slice(..enc.len() - 3);
+        assert!(PollRequest::decode(trunc).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let enc = response().encode();
+        assert!(PollRequest::decode(enc).is_err());
+        let enc = request().encode();
+        assert!(PollResponse::decode(enc).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The Bayesian / MAP estimator (paper Eq. 7).
+//!
+//! With a Gaussian prior `s ∼ N(s⁽ᵖ⁾, σ²I)` and unit-variance white
+//! measurement noise, the maximum a posteriori estimate solves
+//!
+//! ```text
+//! minimize  ‖A·s − t‖²  +  (1/λ)·‖s − s⁽ᵖ⁾‖²     over s ≥ 0
+//! ```
+//!
+//! (λ = σ² is the regularization parameter of Figs. 13 and 15). Solved
+//! *exactly* by the dual-form active-set Tikhonov NNLS, which stays
+//! stable for the large λ where the paper finds the best MREs.
+
+use tm_opt::nnls;
+
+use crate::gravity::GravityModel;
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::Result;
+
+/// Bayesian (regularized least squares) estimator.
+#[derive(Debug, Clone)]
+pub struct BayesianEstimator {
+    lambda: f64,
+    prior: Option<Vec<f64>>,
+}
+
+impl BayesianEstimator {
+    /// Create with regularization parameter λ = σ².
+    pub fn new(lambda: f64) -> Self {
+        BayesianEstimator {
+            lambda,
+            prior: None,
+        }
+    }
+
+    /// Supply an explicit prior (defaults to simple gravity).
+    pub fn with_prior(mut self, prior: impl Into<Vec<f64>>) -> Self {
+        self.prior = Some(prior.into());
+        self
+    }
+
+    /// The regularization parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Estimator for BayesianEstimator {
+    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        if !(self.lambda > 0.0) {
+            return Err(crate::error::EstimationError::InvalidProblem(
+                "bayes: lambda must be positive".into(),
+            ));
+        }
+        let prior_raw = match &self.prior {
+            Some(p) => {
+                if p.len() != problem.n_pairs() {
+                    return Err(crate::error::EstimationError::InvalidProblem(format!(
+                        "prior has {} entries for {} pairs",
+                        p.len(),
+                        problem.n_pairs()
+                    )));
+                }
+                p.clone()
+            }
+            None => GravityModel::simple().estimate(problem)?.demands,
+        };
+
+        let a = problem.measurement_matrix();
+        let t_raw = problem.measurements();
+        let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
+        let t: Vec<f64> = t_raw.iter().map(|v| v / stot).collect();
+        let prior: Vec<f64> = prior_raw.iter().map(|v| v / stot).collect();
+
+        let mu = 1.0 / self.lambda;
+        let sol = nnls::ridge_nnls(&a, &t, mu, &prior, 0)?;
+        let demands: Vec<f64> = sol.x.iter().map(|&v| v * stot).collect();
+        Ok(Estimate {
+            demands,
+            method: self.name(),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("bayes(lambda={:.0e})", self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_relative_error, CoverageThreshold};
+    use crate::problem::DatasetExt;
+    use tm_linalg::vector;
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    fn dataset() -> EvalDataset {
+        EvalDataset::generate(DatasetSpec::tiny(), 29).unwrap()
+    }
+
+    #[test]
+    fn small_lambda_returns_prior() {
+        let d = dataset();
+        let p = d.snapshot_problem(d.busy_start);
+        let prior = GravityModel::simple().estimate(&p).unwrap().demands;
+        let est = BayesianEstimator::new(1e-9).estimate(&p).unwrap();
+        for i in 0..prior.len() {
+            assert!(
+                (est.demands[i] - prior[i]).abs() < 1e-3 * (prior[i] + 1.0),
+                "pair {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_lambda_fits_measurements() {
+        let d = dataset();
+        let p = d.snapshot_problem(d.busy_start);
+        let est = BayesianEstimator::new(1e8).estimate(&p).unwrap();
+        let a = p.measurement_matrix();
+        let t = p.measurements();
+        let at = a.matvec(&est.demands);
+        let resid = vector::norm2(&vector::sub(&at, &t));
+        let scale = vector::norm2(&t);
+        assert!(resid < 1e-4 * scale, "relative residual {}", resid / scale);
+    }
+
+    #[test]
+    fn solution_solves_the_stated_program() {
+        // KKT check in normalized units against the tm-opt verifier.
+        let d = dataset();
+        let p = d.snapshot_problem(d.busy_start);
+        let lambda = 10.0;
+        let prior = GravityModel::simple().estimate(&p).unwrap().demands;
+        let est = BayesianEstimator::new(lambda).estimate(&p).unwrap();
+        let stot = p.total_traffic();
+        let a = p.measurement_matrix().to_dense();
+        let t: Vec<f64> = p.measurements().iter().map(|v| v / stot).collect();
+        let prior_n: Vec<f64> = prior.iter().map(|v| v / stot).collect();
+        let x: Vec<f64> = est.demands.iter().map(|v| v / stot).collect();
+        let viol = nnls::kkt_violation(&a, &t, 1.0 / lambda, Some(&prior_n), &x);
+        assert!(viol < 1e-6, "KKT violation {viol}");
+    }
+
+    #[test]
+    fn large_lambda_beats_prior_on_mre() {
+        let d = EvalDataset::generate(DatasetSpec::europe(), 42).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let truth = p.true_demands().unwrap().to_vec();
+        let prior = GravityModel::simple().estimate(&p).unwrap().demands;
+        let est = BayesianEstimator::new(1e3).estimate(&p).unwrap();
+        let mre_prior =
+            mean_relative_error(&truth, &prior, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_est =
+            mean_relative_error(&truth, &est.demands, CoverageThreshold::Share(0.9)).unwrap();
+        assert!(
+            mre_est < mre_prior,
+            "bayes {mre_est:.3} should beat gravity {mre_prior:.3}"
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let d = dataset();
+        let p = d.snapshot_problem(0);
+        assert!(BayesianEstimator::new(0.0).estimate(&p).is_err());
+        assert!(BayesianEstimator::new(1.0)
+            .with_prior(vec![1.0])
+            .estimate(&p)
+            .is_err());
+    }
+
+    #[test]
+    fn nonnegative_output_and_name() {
+        let d = dataset();
+        let p = d.snapshot_problem(0);
+        let est = BayesianEstimator::new(50.0).estimate(&p).unwrap();
+        assert!(est.demands.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(BayesianEstimator::new(50.0).name().contains("bayes"));
+        assert_eq!(BayesianEstimator::new(50.0).lambda(), 50.0);
+    }
+}

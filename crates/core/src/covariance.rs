@@ -1,0 +1,170 @@
+//! Link-load moment estimation for the second-moment methods.
+//!
+//! Vardi's method (§4.2.2) matches the sample mean and covariance of a
+//! link-load time series against their theoretical values under a
+//! Poissonian traffic model. This module computes those sample moments
+//! and builds the sparse "second-moment matrix" `M` with rows indexed by
+//! link pairs `(i ≤ j)` and entries `M[(i,j), p] = a_ip·a_jp`, so that
+//! `Cov{t}_ij = (M·λ)_(i,j)` for Poisson demands.
+
+use tm_linalg::{stats, Csr};
+
+use crate::error::EstimationError;
+use crate::Result;
+
+/// Sample moments of a measurement-vector time series.
+#[derive(Debug, Clone)]
+pub struct SampleMoments {
+    /// Sample mean (length `L`).
+    pub mean: Vec<f64>,
+    /// Half-vectorized sample covariance aligned with
+    /// [`SecondMomentSystem::rows`].
+    pub cov_vech: Vec<f64>,
+}
+
+/// The sparse second-moment system for a measurement matrix.
+#[derive(Debug, Clone)]
+pub struct SecondMomentSystem {
+    /// `(i, j)` link pairs, `i ≤ j`, one per row of [`Self::matrix`].
+    pub rows: Vec<(usize, usize)>,
+    /// Sparse matrix with `matrix[r][p] = a_{i_r p}·a_{j_r p}`.
+    pub matrix: Csr,
+}
+
+impl SecondMomentSystem {
+    /// Build from a measurement matrix. Only link pairs that share at
+    /// least one demand get a row (other pairs constrain nothing about
+    /// `λ`; their sample covariances are pure noise).
+    pub fn build(a: &Csr) -> Self {
+        let at = a.transpose(); // row p = measurement rows crossed by p
+        let mut index: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut rows: Vec<(usize, usize)> = Vec::new();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        for p in 0..at.rows() {
+            let (idx, val) = at.row(p);
+            for k1 in 0..idx.len() {
+                for k2 in k1..idx.len() {
+                    let (i, j) = (idx[k1], idx[k2]);
+                    let key = if i <= j { (i, j) } else { (j, i) };
+                    let r = *index.entry(key).or_insert_with(|| {
+                        rows.push(key);
+                        rows.len() - 1
+                    });
+                    triplets.push((r, p, val[k1] * val[k2]));
+                }
+            }
+        }
+        let matrix = Csr::from_triplets(rows.len(), a.cols(), triplets)
+            .expect("in-bounds by construction");
+        SecondMomentSystem { rows, matrix }
+    }
+
+    /// Extract the sample moments of `series` aligned with this system.
+    pub fn sample_moments(&self, series: &[Vec<f64>]) -> Result<SampleMoments> {
+        if series.len() < 2 {
+            return Err(EstimationError::InvalidProblem(
+                "need at least 2 intervals for a covariance".into(),
+            ));
+        }
+        let mean = stats::mean_vector(series).map_err(EstimationError::Linalg)?;
+        let cov = stats::covariance_matrix(series).map_err(EstimationError::Linalg)?;
+        let cov_vech = self
+            .rows
+            .iter()
+            .map(|&(i, j)| cov.get(i, j))
+            .collect();
+        Ok(SampleMoments { mean, cov_vech })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_matrix() -> Csr {
+        // 3 links, 3 demands: d0 on l0,l1; d1 on l1,l2; d2 on l2.
+        Csr::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn second_moment_rows_cover_shared_links() {
+        let a = chain_matrix();
+        let sys = SecondMomentSystem::build(&a);
+        // Shared pairs: (0,0) d0; (0,1) d0; (1,1) d0,d1; (1,2) d1; (2,2) d1,d2.
+        assert!(sys.rows.contains(&(0, 0)));
+        assert!(sys.rows.contains(&(0, 1)));
+        assert!(sys.rows.contains(&(1, 1)));
+        assert!(sys.rows.contains(&(1, 2)));
+        assert!(sys.rows.contains(&(2, 2)));
+        // (0,2): no demand crosses both -> no row.
+        assert!(!sys.rows.contains(&(0, 2)));
+        assert_eq!(sys.rows.len(), 5);
+    }
+
+    #[test]
+    fn poisson_theory_matches_matrix() {
+        // For Poisson λ, Cov t = A diag(λ) Aᵀ; check M·λ equals that.
+        let a = chain_matrix();
+        let sys = SecondMomentSystem::build(&a);
+        let lambda = vec![2.0, 3.0, 5.0];
+        let mlambda = sys.matrix.matvec(&lambda);
+        let ad = a.to_dense();
+        for (r, &(i, j)) in sys.rows.iter().enumerate() {
+            let mut expect = 0.0;
+            for p in 0..3 {
+                expect += ad.get(i, p) * ad.get(j, p) * lambda[p];
+            }
+            assert!((mlambda[r] - expect).abs() < 1e-12, "row {r} ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn sample_moments_on_synthetic_poisson() {
+        use tm_traffic::series::poisson_series;
+        let a = chain_matrix();
+        let sys = SecondMomentSystem::build(&a);
+        let lambda = vec![50.0, 80.0, 20.0];
+        let series = poisson_series(&lambda, 20_000, 3).unwrap();
+        let loads: Vec<Vec<f64>> = series.samples.iter().map(|s| a.matvec(s)).collect();
+        let m = sys.sample_moments(&loads).unwrap();
+        // Mean ≈ A λ.
+        let alam = a.matvec(&lambda);
+        for i in 0..3 {
+            assert!(
+                (m.mean[i] - alam[i]).abs() / alam[i] < 0.05,
+                "mean {i}: {} vs {}",
+                m.mean[i],
+                alam[i]
+            );
+        }
+        // Covariance ≈ M λ.
+        let mlam = sys.matrix.matvec(&lambda);
+        for (r, &v) in m.cov_vech.iter().enumerate() {
+            assert!(
+                (v - mlam[r]).abs() / mlam[r].max(1.0) < 0.2,
+                "cov row {r}: {} vs {}",
+                v,
+                mlam[r]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_short_series() {
+        let a = chain_matrix();
+        let sys = SecondMomentSystem::build(&a);
+        assert!(sys.sample_moments(&[vec![1.0, 2.0, 3.0]]).is_err());
+    }
+}

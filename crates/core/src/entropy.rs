@@ -1,0 +1,225 @@
+//! The entropy (KL-regularized) estimator of Zhang et al. (paper Eq. 6).
+//!
+//! ```text
+//! minimize  ‖A·s − t‖²  +  (1/λ)·D(s ‖ s⁽ᵖ⁾)     over s ≥ 0
+//! ```
+//!
+//! where `D` is the generalized Kullback–Leibler divergence and λ is the
+//! regularization parameter of Fig. 13 (large λ ⇒ trust the link
+//! measurements, small λ ⇒ stay near the prior). Solved by spectral
+//! projected gradient in traffic-normalized units; the log-gradient of
+//! the KL term keeps iterates strictly positive given a small floor.
+
+use tm_opt::spg::{self, SpgOptions};
+
+use crate::gravity::GravityModel;
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::Result;
+
+/// Relative floor (vs. total traffic) applied to iterates and prior
+/// entries so the KL term stays differentiable.
+const FLOOR: f64 = 1e-12;
+
+/// Entropy-regularized estimator.
+#[derive(Debug, Clone)]
+pub struct EntropyEstimator {
+    lambda: f64,
+    prior: Option<Vec<f64>>,
+    opts: SpgOptions,
+}
+
+impl EntropyEstimator {
+    /// Create with the given regularization parameter λ (the x-axis of
+    /// Fig. 13; values around 10³ work best on the evaluation networks).
+    pub fn new(lambda: f64) -> Self {
+        EntropyEstimator {
+            lambda,
+            prior: None,
+            opts: SpgOptions {
+                max_iter: 4000,
+                tol: 1e-9,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Supply an explicit prior (defaults to simple gravity).
+    pub fn with_prior(mut self, prior: impl Into<Vec<f64>>) -> Self {
+        self.prior = Some(prior.into());
+        self
+    }
+
+    /// Override solver options.
+    pub fn with_options(mut self, opts: SpgOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The regularization parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Estimator for EntropyEstimator {
+    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        if !(self.lambda > 0.0) {
+            return Err(crate::error::EstimationError::InvalidProblem(
+                "entropy: lambda must be positive".into(),
+            ));
+        }
+        let prior_raw = match &self.prior {
+            Some(p) => {
+                if p.len() != problem.n_pairs() {
+                    return Err(crate::error::EstimationError::InvalidProblem(format!(
+                        "prior has {} entries for {} pairs",
+                        p.len(),
+                        problem.n_pairs()
+                    )));
+                }
+                p.clone()
+            }
+            None => GravityModel::simple().estimate(problem)?.demands,
+        };
+
+        let a = problem.measurement_matrix();
+        let t_raw = problem.measurements();
+        let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
+
+        // Normalized units: everything O(1).
+        let t: Vec<f64> = t_raw.iter().map(|v| v / stot).collect();
+        let q: Vec<f64> = prior_raw
+            .iter()
+            .map(|v| (v / stot).max(FLOOR))
+            .collect();
+        let inv_lambda = 1.0 / self.lambda;
+
+        let mut buf_r = vec![0.0; a.rows()];
+        let mut buf_g = vec![0.0; a.cols()];
+        let result = spg::spg(
+            |s: &[f64], grad: &mut [f64]| {
+                // residual r = A s − t
+                a.matvec_into(s, &mut buf_r);
+                for (i, ri) in buf_r.iter_mut().enumerate() {
+                    *ri -= t[i];
+                }
+                a.tr_matvec_into(&buf_r, &mut buf_g);
+                let mut f = buf_r.iter().map(|r| r * r).sum::<f64>();
+                for j in 0..s.len() {
+                    let sj = s[j].max(FLOOR);
+                    let ratio = sj / q[j];
+                    f += inv_lambda * (sj * ratio.ln() - sj + q[j]);
+                    grad[j] = 2.0 * buf_g[j] + inv_lambda * ratio.ln();
+                }
+                f
+            },
+            spg::project_floor(FLOOR),
+            q.clone(),
+            self.opts,
+        )?;
+
+        let demands: Vec<f64> = result
+            .x
+            .iter()
+            .map(|&v| if v <= 2.0 * FLOOR { 0.0 } else { v * stot })
+            .collect();
+        Ok(Estimate {
+            demands,
+            method: self.name(),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("entropy(lambda={:.0e})", self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_relative_error, CoverageThreshold};
+    use crate::problem::DatasetExt;
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    fn dataset() -> EvalDataset {
+        EvalDataset::generate(DatasetSpec::tiny(), 23).unwrap()
+    }
+
+    #[test]
+    fn small_lambda_returns_prior() {
+        let d = dataset();
+        let p = d.snapshot_problem(d.busy_start);
+        let prior = GravityModel::simple().estimate(&p).unwrap().demands;
+        let est = EntropyEstimator::new(1e-9).estimate(&p).unwrap();
+        for i in 0..prior.len() {
+            assert!(
+                (est.demands[i] - prior[i]).abs() < 0.02 * (prior[i] + 1.0),
+                "pair {i}: {} vs prior {}",
+                est.demands[i],
+                prior[i]
+            );
+        }
+    }
+
+    #[test]
+    fn large_lambda_fits_measurements() {
+        let d = dataset();
+        let p = d.snapshot_problem(d.busy_start);
+        let est = EntropyEstimator::new(1e6).estimate(&p).unwrap();
+        let a = p.measurement_matrix();
+        let t = p.measurements();
+        let at = a.matvec(&est.demands);
+        let scale = t.iter().cloned().fold(0.0f64, f64::max);
+        for i in 0..t.len() {
+            assert!(
+                (at[i] - t[i]).abs() < 2e-3 * scale,
+                "row {i}: {} vs {}",
+                at[i],
+                t[i]
+            );
+        }
+    }
+
+    #[test]
+    fn large_lambda_beats_prior_on_mre() {
+        let d = EvalDataset::generate(DatasetSpec::europe(), 42).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let truth = p.true_demands().unwrap().to_vec();
+        let prior = GravityModel::simple().estimate(&p).unwrap().demands;
+        let est = EntropyEstimator::new(1e3).estimate(&p).unwrap();
+        let mre_prior =
+            mean_relative_error(&truth, &prior, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_est =
+            mean_relative_error(&truth, &est.demands, CoverageThreshold::Share(0.9)).unwrap();
+        assert!(
+            mre_est < mre_prior,
+            "entropy {mre_est:.3} should beat gravity {mre_prior:.3}"
+        );
+    }
+
+    #[test]
+    fn nonnegative_output() {
+        let d = dataset();
+        let p = d.snapshot_problem(0);
+        let est = EntropyEstimator::new(100.0).estimate(&p).unwrap();
+        assert!(est.demands.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let d = dataset();
+        let p = d.snapshot_problem(0);
+        assert!(EntropyEstimator::new(0.0).estimate(&p).is_err());
+        assert!(EntropyEstimator::new(-1.0).estimate(&p).is_err());
+        assert!(EntropyEstimator::new(1.0)
+            .with_prior(vec![1.0])
+            .estimate(&p)
+            .is_err());
+    }
+
+    #[test]
+    fn name_mentions_lambda() {
+        assert!(EntropyEstimator::new(1000.0).name().contains("1e3"));
+        assert_eq!(EntropyEstimator::new(1000.0).lambda(), 1000.0);
+    }
+}

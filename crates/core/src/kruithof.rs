@@ -1,0 +1,267 @@
+//! Kruithof's projection method (paper §4.2.1).
+//!
+//! Kruithof (1937) adjusts a prior matrix to measured row/column totals;
+//! Krupp (1979) showed the iteration minimizes the KL distance from the
+//! prior and generalized it to arbitrary linear constraints. Both forms
+//! are exposed:
+//!
+//! * [`KruithofEstimator::marginals`] — classic biproportional fit of the
+//!   prior to the ingress/egress totals (no interior information);
+//! * [`KruithofEstimator::full`] — generalized iterative scaling onto
+//!   the complete measurement system `A·s = t`, i.e. the exact-constraint
+//!   (`σ² → ∞`) limit of the entropy estimator of Eq. (6).
+
+use tm_linalg::Mat;
+use tm_opt::ipf::{self, IpfOptions};
+
+use crate::gravity::GravityModel;
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::Result;
+
+/// Which constraint set the projection enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Marginals,
+    Full,
+}
+
+/// Kruithof / iterative-scaling estimator.
+#[derive(Debug, Clone)]
+pub struct KruithofEstimator {
+    mode: Mode,
+    prior: Option<Vec<f64>>,
+    opts: IpfOptions,
+}
+
+impl KruithofEstimator {
+    /// Project the prior onto the ingress/egress marginal totals.
+    pub fn marginals() -> Self {
+        KruithofEstimator {
+            mode: Mode::Marginals,
+            prior: None,
+            opts: IpfOptions {
+                max_iter: 5_000,
+                tol: 1e-9,
+            },
+        }
+    }
+
+    /// Project the prior onto the full measurement system `A·s = t`.
+    pub fn full() -> Self {
+        KruithofEstimator {
+            mode: Mode::Full,
+            prior: None,
+            opts: IpfOptions {
+                max_iter: 50_000,
+                tol: 1e-7,
+            },
+        }
+    }
+
+    /// Use an explicit prior (defaults to the simple gravity estimate;
+    /// note that the gravity estimate already matches the marginals, so
+    /// pairing [`KruithofEstimator::marginals`] with the default prior is
+    /// a fixed point — supply a different prior to see adjustment).
+    pub fn with_prior(mut self, prior: impl Into<Vec<f64>>) -> Self {
+        self.prior = Some(prior.into());
+        self
+    }
+
+    /// Override iteration options.
+    pub fn with_options(mut self, opts: IpfOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    fn resolve_prior(&self, problem: &EstimationProblem) -> Result<Vec<f64>> {
+        match &self.prior {
+            Some(p) => {
+                if p.len() != problem.n_pairs() {
+                    return Err(crate::error::EstimationError::InvalidProblem(format!(
+                        "prior has {} entries for {} pairs",
+                        p.len(),
+                        problem.n_pairs()
+                    )));
+                }
+                Ok(p.clone())
+            }
+            None => Ok(GravityModel::simple().estimate(problem)?.demands),
+        }
+    }
+}
+
+impl Estimator for KruithofEstimator {
+    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        let prior = self.resolve_prior(problem)?;
+        let pairs = problem.pairs();
+        let n = problem.n_nodes();
+
+        let demands = match self.mode {
+            Mode::Marginals => {
+                // Arrange the prior as an N×N matrix with zero diagonal;
+                // RAS to ingress (row) and egress (column) totals.
+                let mut prior_mat = Mat::zeros(n, n);
+                for (p, src, dst) in pairs.iter() {
+                    prior_mat.set(src.0, dst.0, prior[p]);
+                }
+                let res = ipf::ras(
+                    &prior_mat,
+                    problem.ingress(),
+                    problem.egress(),
+                    self.opts,
+                )?;
+                let fitted = Mat::from_vec(n, n, res.values);
+                let mut demands = vec![0.0; pairs.count()];
+                for (p, src, dst) in pairs.iter() {
+                    demands[p] = fitted.get(src.0, dst.0);
+                }
+                demands
+            }
+            Mode::Full => {
+                let a = problem.measurement_matrix();
+                let t = problem.measurements();
+                let res = ipf::gis(&prior, &a, &t, self.opts)?;
+                res.values
+            }
+        };
+        Ok(Estimate {
+            demands,
+            method: self.name(),
+        })
+    }
+
+    fn name(&self) -> String {
+        match self.mode {
+            Mode::Marginals => "kruithof-marginals".into(),
+            Mode::Full => "kruithof-full".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DatasetExt;
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    fn problem() -> EstimationProblem {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 31).unwrap();
+        d.snapshot_problem(d.busy_start)
+    }
+
+    #[test]
+    fn marginals_fit_ingress_egress() {
+        let p = problem();
+        // Uniform prior: the fit must still hit the marginals.
+        let uniform = vec![1.0; p.n_pairs()];
+        let est = KruithofEstimator::marginals()
+            .with_prior(uniform)
+            .estimate(&p)
+            .unwrap();
+        let pairs = p.pairs();
+        let n = p.n_nodes();
+        for node in 0..n {
+            let row: f64 = pairs
+                .from_source(tm_net::NodeId(node))
+                .iter()
+                .map(|&q| est.demands[q])
+                .sum();
+            let col: f64 = pairs
+                .to_destination(tm_net::NodeId(node))
+                .iter()
+                .map(|&q| est.demands[q])
+                .sum();
+            assert!(
+                (row - p.ingress()[node]).abs() < 1e-6 * (1.0 + p.ingress()[node]),
+                "row {node}"
+            );
+            assert!(
+                (col - p.egress()[node]).abs() < 1e-6 * (1.0 + p.egress()[node]),
+                "col {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_projection_adjusts_gravity() {
+        // The gravity estimate is NOT marginal-consistent (the zero
+        // diagonal skews row/column sums — the paper notes "the model may
+        // not even produce consistent estimates of the total traffic
+        // exiting each node"). Kruithof's projection must repair that
+        // while staying close to the prior.
+        let p = problem();
+        let gravity = GravityModel::simple().estimate(&p).unwrap();
+        let est = KruithofEstimator::marginals().estimate(&p).unwrap();
+        let pairs = p.pairs();
+        // Adjusted estimate hits the marginals even though gravity does not.
+        for node in 0..p.n_nodes() {
+            let row: f64 = pairs
+                .from_source(tm_net::NodeId(node))
+                .iter()
+                .map(|&q| est.demands[q])
+                .sum();
+            assert!(
+                (row - p.ingress()[node]).abs() < 1e-6 * (1.0 + p.ingress()[node]),
+                "row {node}"
+            );
+        }
+        // Stays within a modest multiplicative band of the prior.
+        for i in 0..p.n_pairs() {
+            if gravity.demands[i] > 1.0 {
+                let ratio = est.demands[i] / gravity.demands[i];
+                assert!((0.2..5.0).contains(&ratio), "pair {i}: ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_projection_satisfies_link_loads() {
+        let p = problem();
+        let est = KruithofEstimator::full().estimate(&p).unwrap();
+        let a = p.measurement_matrix();
+        let t = p.measurements();
+        let at = a.matvec(&est.demands);
+        let scale = t.iter().cloned().fold(0.0f64, f64::max);
+        for i in 0..t.len() {
+            assert!(
+                (at[i] - t[i]).abs() < 1e-5 * scale,
+                "row {i}: {} vs {}",
+                at[i],
+                t[i]
+            );
+        }
+        assert!(est.demands.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn full_beats_gravity_on_mre() {
+        // Interior information must help relative to gravity alone.
+        use crate::metrics::{mean_relative_error, CoverageThreshold};
+        let d = EvalDataset::generate(DatasetSpec::europe(), 9).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let truth = p.true_demands().unwrap().to_vec();
+        let g = GravityModel::simple().estimate(&p).unwrap();
+        let k = KruithofEstimator::full().estimate(&p).unwrap();
+        let mre_g =
+            mean_relative_error(&truth, &g.demands, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_k =
+            mean_relative_error(&truth, &k.demands, CoverageThreshold::Share(0.9)).unwrap();
+        assert!(
+            mre_k < mre_g,
+            "kruithof-full {mre_k:.3} should beat gravity {mre_g:.3}"
+        );
+    }
+
+    #[test]
+    fn prior_length_validated() {
+        let p = problem();
+        let est = KruithofEstimator::full().with_prior(vec![1.0]).estimate(&p);
+        assert!(est.is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(KruithofEstimator::marginals().name(), "kruithof-marginals");
+        assert_eq!(KruithofEstimator::full().name(), "kruithof-full");
+    }
+}

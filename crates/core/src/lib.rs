@@ -1,0 +1,86 @@
+//! # tm-core
+//!
+//! Traffic-matrix estimation methods from *Gunnar, Johansson, Telkamp —
+//! Traffic Matrix Estimation on a Large IP Backbone: A Comparison on
+//! Real Data* (IMC 2004) — the paper's primary contribution, implemented
+//! as a clean library over the `tm-*` substrates.
+//!
+//! ## Methods
+//!
+//! | paper section | method | module |
+//! |---|---|---|
+//! | §4.1 | simple & generalized gravity | [`gravity`] |
+//! | §4.2.1 | Kruithof projection / iterative scaling | [`kruithof`] |
+//! | §4.2.1 | entropy-regularized (Zhang et al., Eq. 6) | [`entropy`] |
+//! | §4.2.2 | Vardi Poisson moment matching | [`vardi`] |
+//! | §4.2.2 | Cao et al. GLM pseudo-EM (paper future work) | [`cao`] |
+//! | §4.2.3 | Bayesian / MAP (Eq. 7) | [`bayes`] |
+//! | §4.2.4 | fanout estimation from a time series | [`fanout`] |
+//! | §4.3.1 | worst-case LP bounds + WCB prior | [`wcb`] |
+//! | §5.3.6 | tomography + direct measurements | [`measure`] |
+//! | §5.3.1 | MRE / rank metrics (Eq. 8) | [`metrics`] |
+//!
+//! Snapshot methods implement the [`Estimator`] trait over an
+//! [`EstimationProblem`]; time-series methods (fanout, Vardi, Cao) have
+//! inherent `estimate` methods that read the problem's measurement
+//! window. Problems are built from synthetic datasets via [`DatasetExt`].
+//!
+//! ## Example
+//!
+//! ```
+//! use tm_core::prelude::*;
+//! use tm_traffic::{DatasetSpec, EvalDataset};
+//!
+//! let dataset = EvalDataset::generate(DatasetSpec::tiny(), 7).unwrap();
+//! let problem = dataset.snapshot_problem(dataset.busy_hour().start);
+//! let estimate = BayesianEstimator::new(1e3).estimate(&problem).unwrap();
+//! let mre = mean_relative_error(
+//!     problem.true_demands().unwrap(),
+//!     &estimate.demands,
+//!     CoverageThreshold::Share(0.9),
+//! ).unwrap();
+//! assert!(mre.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod cao;
+pub mod covariance;
+pub mod entropy;
+pub mod error;
+pub mod fanout;
+pub mod gravity;
+pub mod kruithof;
+pub mod measure;
+pub mod metrics;
+pub mod problem;
+pub mod vardi;
+pub mod wcb;
+
+pub use error::EstimationError;
+pub use problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EstimationError>;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::bayes::BayesianEstimator;
+    pub use crate::cao::CaoEstimator;
+    pub use crate::entropy::EntropyEstimator;
+    pub use crate::fanout::FanoutEstimator;
+    pub use crate::gravity::GravityModel;
+    pub use crate::kruithof::KruithofEstimator;
+    pub use crate::measure::{greedy_selection, largest_first_selection, MeasuredEntropy};
+    pub use crate::metrics::{
+        included_count, mean_relative_error, rmse, spearman_rank_correlation,
+        CoverageThreshold,
+    };
+    pub use crate::problem::{
+        DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData,
+    };
+    pub use crate::vardi::VardiEstimator;
+    pub use crate::wcb::{worst_case_bounds, DemandBounds};
+}

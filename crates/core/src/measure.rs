@@ -1,0 +1,342 @@
+//! Combining tomography with direct measurements (paper §5.3.6).
+//!
+//! Measuring a demand directly (e.g. with a dedicated LSP counter) pins
+//! its value exactly; the remaining demands are re-estimated on the
+//! reduced system where the measured columns are removed and their
+//! contribution is subtracted from every load. The paper shows the MRE
+//! of the Entropy approach collapses after measuring only a handful of
+//! demands — 6 in Europe (11% → <1%), 17 in America (23% → <10%) — when
+//! the demands are chosen greedily by exhaustive search.
+
+use tm_linalg::Csr;
+use tm_opt::spg::{self, SpgOptions};
+
+use crate::error::EstimationError;
+use crate::gravity::GravityModel;
+use crate::metrics::{mean_relative_error, CoverageThreshold};
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::Result;
+
+/// Floor for the KL term (normalized units).
+const FLOOR: f64 = 1e-12;
+
+/// Entropy estimation with some demands measured exactly.
+#[derive(Debug, Clone)]
+pub struct MeasuredEntropy {
+    lambda: f64,
+    opts: SpgOptions,
+}
+
+impl MeasuredEntropy {
+    /// Create with entropy regularization parameter λ.
+    pub fn new(lambda: f64) -> Self {
+        MeasuredEntropy {
+            lambda,
+            opts: SpgOptions {
+                max_iter: 3000,
+                tol: 1e-9,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Estimate with the demands in `measured` fixed to their true
+    /// values (pairs must be distinct; values come from direct
+    /// measurement, i.e. ground truth in evaluation).
+    pub fn estimate_with_measured(
+        &self,
+        problem: &EstimationProblem,
+        measured: &[(usize, f64)],
+    ) -> Result<Estimate> {
+        if !(self.lambda > 0.0) {
+            return Err(EstimationError::InvalidProblem(
+                "measured-entropy: lambda must be positive".into(),
+            ));
+        }
+        let p_count = problem.n_pairs();
+        let mut fixed = vec![None; p_count];
+        for &(p, v) in measured {
+            if p >= p_count {
+                return Err(EstimationError::InvalidProblem(format!(
+                    "measured pair {p} out of range"
+                )));
+            }
+            if fixed[p].replace(v).is_some() {
+                return Err(EstimationError::InvalidProblem(format!(
+                    "pair {p} measured twice"
+                )));
+            }
+        }
+
+        let a = problem.measurement_matrix();
+        let mut t = problem.measurements();
+        // Subtract measured contributions: t -= A[:,p]·v.
+        let at = a.transpose();
+        for &(p, v) in measured {
+            let (idx, val) = at.row(p);
+            for (k, &row) in idx.iter().enumerate() {
+                t[row] -= val[k] * v;
+            }
+        }
+        for ti in &mut t {
+            if *ti < 0.0 && *ti > -1e-9 {
+                *ti = 0.0;
+            }
+        }
+
+        let kept: Vec<usize> = (0..p_count).filter(|&p| fixed[p].is_none()).collect();
+        if kept.is_empty() {
+            // Everything measured: nothing to estimate.
+            let demands = fixed.into_iter().map(|v| v.unwrap_or(0.0)).collect();
+            return Ok(Estimate {
+                demands,
+                method: self.name(),
+            });
+        }
+        let a_red: Csr = a.select_cols(&kept);
+
+        // Prior: gravity restricted to the kept pairs.
+        let prior_full = GravityModel::simple().estimate(problem)?.demands;
+        let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
+        let q: Vec<f64> = kept
+            .iter()
+            .map(|&p| (prior_full[p] / stot).max(FLOOR))
+            .collect();
+        let t_n: Vec<f64> = t.iter().map(|v| v / stot).collect();
+        let inv_lambda = 1.0 / self.lambda;
+
+        let mut buf_r = vec![0.0; a_red.rows()];
+        let mut buf_g = vec![0.0; a_red.cols()];
+        let result = spg::spg(
+            |s: &[f64], grad: &mut [f64]| {
+                a_red.matvec_into(s, &mut buf_r);
+                for (i, ri) in buf_r.iter_mut().enumerate() {
+                    *ri -= t_n[i];
+                }
+                a_red.tr_matvec_into(&buf_r, &mut buf_g);
+                let mut f = buf_r.iter().map(|r| r * r).sum::<f64>();
+                for j in 0..s.len() {
+                    let sj = s[j].max(FLOOR);
+                    let ratio = sj / q[j];
+                    f += inv_lambda * (sj * ratio.ln() - sj + q[j]);
+                    grad[j] = 2.0 * buf_g[j] + inv_lambda * ratio.ln();
+                }
+                f
+            },
+            spg::project_floor(FLOOR),
+            q.clone(),
+            self.opts,
+        )?;
+
+        let mut demands = vec![0.0; p_count];
+        for (j, &p) in kept.iter().enumerate() {
+            let v = result.x[j];
+            demands[p] = if v <= 2.0 * FLOOR { 0.0 } else { v * stot };
+        }
+        for (p, v) in fixed.iter().enumerate() {
+            if let Some(v) = v {
+                demands[p] = *v;
+            }
+        }
+        Ok(Estimate {
+            demands,
+            method: self.name(),
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("entropy+measured(lambda={:.0e})", self.lambda)
+    }
+}
+
+/// One step of a measurement-selection curve.
+#[derive(Debug, Clone)]
+pub struct SelectionStep {
+    /// Pair measured at this step.
+    pub pair: usize,
+    /// MRE after measuring all pairs up to and including this one.
+    pub mre: f64,
+}
+
+/// Greedy exhaustive selection (the paper's Fig. 16 procedure): at each
+/// step measure the demand whose measurement reduces the MRE most.
+/// Requires ground truth on the problem. `candidates_per_step` bounds
+/// the exhaustive search (use `usize::MAX` for the paper's full search;
+/// smaller values search only the largest remaining demands).
+pub fn greedy_selection(
+    problem: &EstimationProblem,
+    lambda: f64,
+    steps: usize,
+    threshold: CoverageThreshold,
+    candidates_per_step: usize,
+) -> Result<Vec<SelectionStep>> {
+    let truth = problem
+        .true_demands()
+        .ok_or(EstimationError::MissingTruth)?
+        .to_vec();
+    let estimator = MeasuredEntropy::new(lambda);
+    let mut measured: Vec<(usize, f64)> = Vec::new();
+    let mut curve = Vec::new();
+
+    for _ in 0..steps.min(problem.n_pairs()) {
+        // Candidate order: largest remaining true demands first (the
+        // exhaustive search is over all of them unless capped).
+        let mut remaining: Vec<usize> = (0..problem.n_pairs())
+            .filter(|p| !measured.iter().any(|&(q, _)| q == *p))
+            .collect();
+        remaining.sort_by(|&a, &b| truth[b].partial_cmp(&truth[a]).expect("finite"));
+        remaining.truncate(candidates_per_step.max(1));
+
+        let mut best: Option<(usize, f64)> = None;
+        for &cand in &remaining {
+            let mut trial = measured.clone();
+            trial.push((cand, truth[cand]));
+            let est = estimator.estimate_with_measured(problem, &trial)?;
+            let mre = mean_relative_error(&truth, &est.demands, threshold)?;
+            if best.map_or(true, |(_, b)| mre < b) {
+                best = Some((cand, mre));
+            }
+        }
+        let (pair, mre) = best.expect("at least one candidate");
+        measured.push((pair, truth[pair]));
+        curve.push(SelectionStep { pair, mre });
+    }
+    Ok(curve)
+}
+
+/// Largest-demand-first selection (the practical strategy the paper
+/// discusses: estimators rank demands well, so measure the biggest).
+pub fn largest_first_selection(
+    problem: &EstimationProblem,
+    lambda: f64,
+    steps: usize,
+    threshold: CoverageThreshold,
+) -> Result<Vec<SelectionStep>> {
+    let truth = problem
+        .true_demands()
+        .ok_or(EstimationError::MissingTruth)?
+        .to_vec();
+    let estimator = MeasuredEntropy::new(lambda);
+    let mut order: Vec<usize> = (0..problem.n_pairs()).collect();
+    order.sort_by(|&a, &b| truth[b].partial_cmp(&truth[a]).expect("finite"));
+
+    let mut measured: Vec<(usize, f64)> = Vec::new();
+    let mut curve = Vec::new();
+    for &pair in order.iter().take(steps) {
+        measured.push((pair, truth[pair]));
+        let est = estimator.estimate_with_measured(problem, &measured)?;
+        let mre = mean_relative_error(&truth, &est.demands, threshold)?;
+        curve.push(SelectionStep { pair, mre });
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::EntropyEstimator;
+    use crate::problem::DatasetExt;
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    fn problem() -> EstimationProblem {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 61).unwrap();
+        d.snapshot_problem(d.busy_start)
+    }
+
+    #[test]
+    fn no_measurements_matches_plain_entropy() {
+        let p = problem();
+        let plain = EntropyEstimator::new(100.0).estimate(&p).unwrap();
+        let with = MeasuredEntropy::new(100.0)
+            .estimate_with_measured(&p, &[])
+            .unwrap();
+        for i in 0..p.n_pairs() {
+            assert!(
+                (plain.demands[i] - with.demands[i]).abs()
+                    < 1e-6 * (1.0 + plain.demands[i]),
+                "pair {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_pairs_are_exact() {
+        let p = problem();
+        let truth = p.true_demands().unwrap().to_vec();
+        let measured = vec![(0, truth[0]), (5, truth[5])];
+        let est = MeasuredEntropy::new(100.0)
+            .estimate_with_measured(&p, &measured)
+            .unwrap();
+        assert_eq!(est.demands[0], truth[0]);
+        assert_eq!(est.demands[5], truth[5]);
+    }
+
+    #[test]
+    fn measuring_reduces_mre() {
+        let p = problem();
+        let truth = p.true_demands().unwrap().to_vec();
+        let thr = CoverageThreshold::Share(0.9);
+        let base = EntropyEstimator::new(1000.0).estimate(&p).unwrap();
+        let mre0 = mean_relative_error(&truth, &base.demands, thr).unwrap();
+        let curve = largest_first_selection(&p, 1000.0, 5, thr).unwrap();
+        assert_eq!(curve.len(), 5);
+        assert!(
+            curve.last().unwrap().mre <= mre0 + 1e-9,
+            "5 measurements should not hurt: {} vs {}",
+            curve.last().unwrap().mre,
+            mre0
+        );
+    }
+
+    #[test]
+    fn greedy_is_no_worse_than_largest_first() {
+        let p = problem();
+        let thr = CoverageThreshold::Share(0.9);
+        let greedy = greedy_selection(&p, 1000.0, 3, thr, usize::MAX).unwrap();
+        let largest = largest_first_selection(&p, 1000.0, 3, thr).unwrap();
+        assert!(
+            greedy.last().unwrap().mre <= largest.last().unwrap().mre + 1e-9,
+            "greedy {} vs largest-first {}",
+            greedy.last().unwrap().mre,
+            largest.last().unwrap().mre
+        );
+    }
+
+    #[test]
+    fn measuring_everything_gives_zero_error() {
+        let p = problem();
+        let truth = p.true_demands().unwrap().to_vec();
+        let all: Vec<(usize, f64)> = truth.iter().cloned().enumerate().collect();
+        let est = MeasuredEntropy::new(10.0)
+            .estimate_with_measured(&p, &all)
+            .unwrap();
+        assert_eq!(est.demands, truth);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let p = problem();
+        assert!(MeasuredEntropy::new(0.0)
+            .estimate_with_measured(&p, &[])
+            .is_err());
+        assert!(MeasuredEntropy::new(1.0)
+            .estimate_with_measured(&p, &[(99_999, 1.0)])
+            .is_err());
+        assert!(MeasuredEntropy::new(1.0)
+            .estimate_with_measured(&p, &[(0, 1.0), (0, 2.0)])
+            .is_err());
+        // Greedy needs truth.
+        let routing = p.routing().clone();
+        let no_truth = EstimationProblem::new(
+            routing,
+            p.link_loads().to_vec(),
+            p.ingress().to_vec(),
+            p.egress().to_vec(),
+        )
+        .unwrap();
+        assert!(matches!(
+            greedy_selection(&no_truth, 1.0, 1, CoverageThreshold::Share(0.9), 5),
+            Err(EstimationError::MissingTruth)
+        ));
+    }
+}

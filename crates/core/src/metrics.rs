@@ -1,0 +1,231 @@
+//! Evaluation metrics.
+//!
+//! The paper's headline metric is the mean relative error (MRE, Eq. 8)
+//! over the demands larger than a threshold chosen so the included
+//! demands carry ≈90% of the total traffic — small demands barely affect
+//! backbone link utilizations, so errors on them are irrelevant for
+//! traffic engineering. RMSE and a rank correlation (the paper remarks
+//! that "most estimation methods are very accurate in ranking the size
+//! of demands", §5.3.6) complete the toolbox.
+
+use tm_linalg::stats;
+
+use crate::error::EstimationError;
+use crate::Result;
+
+/// How to pick which demands enter the MRE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoverageThreshold {
+    /// Include the largest demands carrying at least this share of the
+    /// total traffic (the paper uses 0.9).
+    Share(f64),
+    /// Include demands strictly greater than an absolute value.
+    Absolute(f64),
+    /// Include the `k` largest demands.
+    Count(usize),
+}
+
+/// Mean relative error over the thresholded demand set (paper Eq. 8).
+pub fn mean_relative_error(
+    truth: &[f64],
+    estimate: &[f64],
+    threshold: CoverageThreshold,
+) -> Result<f64> {
+    if truth.len() != estimate.len() {
+        return Err(EstimationError::InvalidProblem(format!(
+            "truth {} vs estimate {}",
+            truth.len(),
+            estimate.len()
+        )));
+    }
+    let thr = resolve_threshold(truth, threshold)?;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..truth.len() {
+        if truth[i] > thr {
+            sum += ((estimate[i] - truth[i]) / truth[i]).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Err(EstimationError::InvalidProblem(
+            "threshold excludes every demand".into(),
+        ));
+    }
+    Ok(sum / count as f64)
+}
+
+/// The demands included by a threshold (for reporting the paper's "29
+/// largest in Europe / 155 in America" style counts).
+pub fn included_count(truth: &[f64], threshold: CoverageThreshold) -> Result<usize> {
+    let thr = resolve_threshold(truth, threshold)?;
+    Ok(truth.iter().filter(|&&v| v > thr).count())
+}
+
+fn resolve_threshold(truth: &[f64], threshold: CoverageThreshold) -> Result<f64> {
+    match threshold {
+        CoverageThreshold::Share(share) => {
+            if !(0.0..=1.0).contains(&share) {
+                return Err(EstimationError::InvalidProblem(format!(
+                    "share {share} outside [0,1]"
+                )));
+            }
+            Ok(stats::share_threshold(truth, share).0)
+        }
+        CoverageThreshold::Absolute(v) => Ok(v),
+        CoverageThreshold::Count(k) => {
+            if k == 0 || k > truth.len() {
+                return Err(EstimationError::InvalidProblem(format!(
+                    "count {k} outside [1, {}]",
+                    truth.len()
+                )));
+            }
+            let mut sorted = truth.to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            // Strictly-greater threshold just below the k-th value.
+            let kth = sorted[k - 1];
+            let below = sorted[k..].iter().copied().find(|&v| v < kth).unwrap_or(0.0);
+            Ok(0.5 * (kth + below))
+        }
+    }
+}
+
+/// Root-mean-square error over all demands.
+pub fn rmse(truth: &[f64], estimate: &[f64]) -> Result<f64> {
+    if truth.len() != estimate.len() {
+        return Err(EstimationError::InvalidProblem(format!(
+            "truth {} vs estimate {}",
+            truth.len(),
+            estimate.len()
+        )));
+    }
+    if truth.is_empty() {
+        return Err(EstimationError::InvalidProblem("empty vectors".into()));
+    }
+    let ss: f64 = truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t - e) * (t - e))
+        .sum();
+    Ok((ss / truth.len() as f64).sqrt())
+}
+
+/// Spearman rank correlation between truth and estimate.
+pub fn spearman_rank_correlation(truth: &[f64], estimate: &[f64]) -> Result<f64> {
+    if truth.len() != estimate.len() {
+        return Err(EstimationError::InvalidProblem(format!(
+            "truth {} vs estimate {}",
+            truth.len(),
+            estimate.len()
+        )));
+    }
+    if truth.len() < 2 {
+        return Err(EstimationError::InvalidProblem(
+            "need at least 2 points for a correlation".into(),
+        ));
+    }
+    let rt = ranks(truth);
+    let re = ranks(estimate);
+    let fit = stats::linear_fit(&rt, &re).map_err(EstimationError::Linalg)?;
+    // Pearson correlation of the ranks = sign(slope)·sqrt(R²).
+    Ok(fit.r_squared.sqrt().copysign(fit.slope))
+}
+
+/// Average ranks (ties share the mean rank).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("no NaN"));
+    let mut r = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mre_basic() {
+        let truth = [100.0, 10.0, 1.0];
+        let est = [110.0, 8.0, 5.0];
+        // All included with a tiny absolute threshold:
+        let m = mean_relative_error(&truth, &est, CoverageThreshold::Absolute(0.0)).unwrap();
+        let expect = (0.1 + 0.2 + 4.0) / 3.0;
+        assert!((m - expect).abs() < 1e-12);
+        // Count(1): only the largest.
+        let m1 = mean_relative_error(&truth, &est, CoverageThreshold::Count(1)).unwrap();
+        assert!((m1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_share_focuses_on_large_demands() {
+        let truth = [90.0, 9.0, 1.0];
+        let est = [90.0, 9.0, 100.0]; // wildly wrong on the tiny demand
+        let m = mean_relative_error(&truth, &est, CoverageThreshold::Share(0.9)).unwrap();
+        assert_eq!(m, 0.0, "tiny demand must be excluded at 90% coverage");
+    }
+
+    #[test]
+    fn mre_validation() {
+        assert!(mean_relative_error(&[1.0], &[1.0, 2.0], CoverageThreshold::Share(0.9)).is_err());
+        assert!(mean_relative_error(&[1.0], &[1.0], CoverageThreshold::Share(1.5)).is_err());
+        assert!(mean_relative_error(&[1.0], &[1.0], CoverageThreshold::Count(0)).is_err());
+        assert!(mean_relative_error(&[1.0], &[1.0], CoverageThreshold::Count(5)).is_err());
+        // Absolute threshold excluding everything.
+        assert!(mean_relative_error(&[1.0], &[1.0], CoverageThreshold::Absolute(10.0)).is_err());
+    }
+
+    #[test]
+    fn included_count_matches_paper_rule() {
+        // Five demands where the top 3 carry >= 90%.
+        let truth = [50.0, 30.0, 15.0, 4.0, 1.0];
+        assert_eq!(included_count(&truth, CoverageThreshold::Share(0.9)).unwrap(), 3);
+        assert_eq!(included_count(&truth, CoverageThreshold::Count(2)).unwrap(), 2);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        let r = rmse(&[1.0, 2.0], &[1.0, 4.0]).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!(rmse(&[], &[]).is_err());
+        assert!(rmse(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman_rank_correlation(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman_rank_correlation(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert!(spearman_rank_correlation(&x, &[1.0]).is_err());
+        assert!(spearman_rank_correlation(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear transformation: still 1.0.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman_rank_correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[5.0, 1.0, 5.0]);
+        assert_eq!(r[1], 0.0);
+        assert_eq!(r[0], 1.5);
+        assert_eq!(r[2], 1.5);
+    }
+}

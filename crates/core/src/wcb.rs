@@ -1,0 +1,180 @@
+//! Worst-case bounds on demands (paper §4.3.1) and the WCB prior.
+//!
+//! Without any statistical assumption, a snapshot `t` confines the true
+//! demand vector to the polytope `{s ≥ 0 : A·s = t}`. Per-demand upper
+//! and lower bounds come from `2·P` linear programs sharing that one
+//! feasible region — the solver performs phase 1 once and re-optimizes
+//! each objective from the previous basis (§ "computationally expensive"
+//! in the paper; warm starting is what makes the full sweep practical).
+//!
+//! The midpoint `(lower+upper)/2` turns out to be a strong prior for the
+//! regularized estimators (Fig. 9 / Fig. 15 / Table 2).
+
+use tm_opt::simplex::{SimplexSolver, StandardLp};
+
+use crate::problem::{Estimate, EstimationProblem};
+use crate::Result;
+
+/// Per-demand worst-case bounds.
+#[derive(Debug, Clone)]
+pub struct DemandBounds {
+    /// Lower bound per OD pair.
+    pub lower: Vec<f64>,
+    /// Upper bound per OD pair.
+    pub upper: Vec<f64>,
+    /// Total simplex pivots spent (diagnostics for the warm-start
+    /// ablation bench).
+    pub total_pivots: usize,
+}
+
+impl DemandBounds {
+    /// Midpoint prior (paper Fig. 9: "WCB prior").
+    pub fn midpoint(&self) -> Estimate {
+        let demands = self
+            .lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| 0.5 * (l + u))
+            .collect();
+        Estimate {
+            demands,
+            method: "wcb-midpoint".into(),
+        }
+    }
+
+    /// Width `upper − lower` per pair (tightness diagnostic, Fig. 8).
+    pub fn widths(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| u - l)
+            .collect()
+    }
+}
+
+/// Compute worst-case bounds for every demand.
+pub fn worst_case_bounds(problem: &EstimationProblem) -> Result<DemandBounds> {
+    let a = problem.measurement_matrix().to_dense();
+    let t = problem.measurements();
+    let p_count = problem.n_pairs();
+
+    let lp = StandardLp { a, b: t };
+    let mut solver = SimplexSolver::new(&lp)?;
+
+    let mut lower = vec![0.0; p_count];
+    let mut upper = vec![0.0; p_count];
+    let mut total_pivots = 0usize;
+    let mut c = vec![0.0; p_count];
+    for p in 0..p_count {
+        c[p] = 1.0;
+        let hi = solver.maximize(&c)?;
+        total_pivots += hi.pivots;
+        let lo = solver.minimize(&c)?;
+        total_pivots += lo.pivots;
+        c[p] = 0.0;
+        // Clamp tiny numerical negatives.
+        lower[p] = lo.objective.max(0.0);
+        upper[p] = hi.objective.max(lower[p]);
+    }
+    Ok(DemandBounds {
+        lower,
+        upper,
+        total_pivots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_relative_error, CoverageThreshold};
+    use crate::problem::DatasetExt;
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    #[test]
+    fn bounds_bracket_truth() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 53).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let truth = p.true_demands().unwrap();
+        let b = worst_case_bounds(&p).unwrap();
+        for i in 0..truth.len() {
+            assert!(
+                b.lower[i] <= truth[i] + 1e-6 * (1.0 + truth[i]),
+                "pair {i}: lower {} > truth {}",
+                b.lower[i],
+                truth[i]
+            );
+            assert!(
+                b.upper[i] >= truth[i] - 1e-6 * (1.0 + truth[i]),
+                "pair {i}: upper {} < truth {}",
+                b.upper[i],
+                truth[i]
+            );
+        }
+        assert!(b.total_pivots > 0);
+    }
+
+    #[test]
+    fn bounds_are_nontrivial() {
+        // Upper bounds must beat the trivial bound min link load on the
+        // path for at least a good share of pairs (edge rows see to it).
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 53).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let b = worst_case_bounds(&p).unwrap();
+        let total = p.total_traffic();
+        let nontrivial = b
+            .widths()
+            .iter()
+            .filter(|&&w| w < total * 0.5)
+            .count();
+        assert!(
+            nontrivial > p.n_pairs() / 2,
+            "most bounds should be informative: {nontrivial}/{}",
+            p.n_pairs()
+        );
+    }
+
+    #[test]
+    fn midpoint_prior_beats_gravity_sometimes() {
+        // Fig. 9 / Table 2: the WCB midpoint is a decent estimate by
+        // itself. We require it to be a valid estimate within bounds.
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 59).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let b = worst_case_bounds(&p).unwrap();
+        let mid = b.midpoint();
+        assert_eq!(mid.method, "wcb-midpoint");
+        let truth = p.true_demands().unwrap();
+        let mre =
+            mean_relative_error(truth, &mid.demands, CoverageThreshold::Share(0.9)).unwrap();
+        assert!(mre < 1.0, "WCB midpoint MRE should be sane: {mre}");
+        for i in 0..truth.len() {
+            assert!(mid.demands[i] >= b.lower[i] - 1e-9);
+            assert!(mid.demands[i] <= b.upper[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exactly_determined_pair_pins_bounds() {
+        // A 2-node network: one demand per direction, each fully observed
+        // on its own link; bounds must be tight.
+        use tm_net::{NodeRole, Topology};
+        use tm_net::routing::{route_lsp_mesh, CspfConfig};
+        let mut topo = Topology::new("two");
+        let a = topo.add_node("A", NodeRole::Access);
+        let b = topo.add_node("B", NodeRole::Access);
+        topo.add_duplex(a, b, 10_000.0, 1.0).unwrap();
+        let rm = route_lsp_mesh(&topo, &[100.0, 40.0], CspfConfig::default()).unwrap();
+        let s = vec![100.0, 40.0];
+        let problem = crate::problem::EstimationProblem::new(
+            rm.interior().clone(),
+            rm.interior_loads(&s).unwrap(),
+            rm.ingress_loads(&s).unwrap(),
+            rm.egress_loads(&s).unwrap(),
+        )
+        .unwrap();
+        let bounds = worst_case_bounds(&problem).unwrap();
+        assert!((bounds.lower[0] - 100.0).abs() < 1e-7);
+        assert!((bounds.upper[0] - 100.0).abs() < 1e-7);
+        assert!((bounds.lower[1] - 40.0).abs() < 1e-7);
+        assert!((bounds.upper[1] - 40.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+//!
+//! Used for the Gram systems arising in coordinate-descent NNLS and in
+//! the Bayesian (Tikhonov-regularized) estimator, where the regularizer
+//! guarantees positive definiteness.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive definite matrix. Only the lower
+    /// triangle of `a` is read.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("Cholesky of non-square {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let v = l.get(j, k);
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut v = a.get(i, j);
+                for k in 0..j {
+                    v -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, v / dj);
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solve `A·x = b` via the two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("Cholesky solve: rhs {} vs n {}", b.len(), n),
+            });
+        }
+        let mut y = b.to_vec();
+        // Forward: L·y = b
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.l.get(i, j) * y[j];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        // Backward: Lᵀ·x = y
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.l.get(j, i) * y[j];
+            }
+            y[i] = acc / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// `log det A = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Mat {
+        Mat::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd();
+        let xtrue = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&xtrue);
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - xtrue[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(Cholesky::factor(&Mat::zeros(2, 3)).is_err());
+        let ch = Cholesky::factor(&Mat::identity(2)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_identity_is_zero() {
+        let ch = Cholesky::factor(&Mat::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-14);
+        let a = Mat::from_diag(&[2.0, 8.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 16f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,10 @@
+//! Matrix factorizations: LU with partial pivoting, Cholesky, and
+//! Householder QR (with least-squares and minimum-norm solvers).
+
+pub mod cholesky;
+pub mod lu;
+pub mod qr;
+
+pub use cholesky::Cholesky;
+pub use lu::Lu;
+pub use qr::Qr;

@@ -1,0 +1,288 @@
+//! Householder QR factorization and least-squares solvers.
+//!
+//! The overdetermined systems in fanout estimation and the active-set
+//! steps of Lawson–Hanson NNLS are solved through this module. For
+//! underdetermined systems we provide the minimum-norm solution via the
+//! QR factorization of `Aᵀ`.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Householder QR of an `m × n` matrix with `m ≥ n`: `A = Q·R`.
+///
+/// The factor `Q` is stored implicitly as Householder reflectors in the
+/// strict lower triangle of `qr` plus the `beta` coefficients.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Mat,
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Factor `a` (`m ≥ n` required).
+    pub fn factor(a: &Mat) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("QR requires m >= n, got {m}x{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(qr.get(i, k));
+            }
+            if norm == 0.0 {
+                beta[k] = 0.0;
+                continue;
+            }
+            let akk = qr.get(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, stored in-place; v_k implicit after scaling
+            let v0 = akk - alpha;
+            qr.set(k, k, v0);
+            // beta = 2 / vᵀv
+            let mut vtv = 0.0;
+            for i in k..m {
+                let v = qr.get(i, k);
+                vtv += v * v;
+            }
+            if vtv == 0.0 {
+                beta[k] = 0.0;
+                qr.set(k, k, alpha);
+                continue;
+            }
+            beta[k] = 2.0 / vtv;
+            // Apply reflector to remaining columns.
+            for j in (k + 1)..n {
+                let mut dotv = 0.0;
+                for i in k..m {
+                    dotv += qr.get(i, k) * qr.get(i, j);
+                }
+                let s = beta[k] * dotv;
+                for i in k..m {
+                    let v = qr.get(i, j) - s * qr.get(i, k);
+                    qr.set(i, j, v);
+                }
+            }
+            // Store R's diagonal; reflector tail stays below the diagonal.
+            // We keep v below the diagonal and remember alpha separately by
+            // writing it on the diagonal after saving v0 in the subdiagonal
+            // pattern: stash v0 by scaling the tail.
+            // Normalize reflector so that v_k = 1, storing tail/v0.
+            if v0 != 0.0 {
+                for i in (k + 1)..m {
+                    let v = qr.get(i, k) / v0;
+                    qr.set(i, k, v);
+                }
+                beta[k] *= v0 * v0;
+            }
+            qr.set(k, k, alpha);
+        }
+        Ok(Qr { qr, beta })
+    }
+
+    /// Apply `Qᵀ` to a vector of length `m`.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            if self.beta[k] == 0.0 {
+                continue;
+            }
+            // v_k = 1 implicit, tail stored below diagonal
+            let mut dotv = b[k];
+            for i in (k + 1)..m {
+                dotv += self.qr.get(i, k) * b[i];
+            }
+            let s = self.beta[k] * dotv;
+            b[k] -= s;
+            for i in (k + 1)..m {
+                b[i] -= s * self.qr.get(i, k);
+            }
+        }
+    }
+
+    /// Least-squares solve `min ‖A·x − b‖₂` for the factored `A`.
+    ///
+    /// Fails with [`LinalgError::Singular`] when `R` has a (numerically)
+    /// zero diagonal entry, i.e. `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("QR lstsq: rhs {} vs m {}", b.len(), m),
+            });
+        }
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        let scale = self.qr.max_abs().max(1.0);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr.get(i, i);
+            if rii.abs() <= 1e-13 * scale {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut acc = qtb[i];
+            for j in (i + 1)..n {
+                acc -= self.qr.get(i, j) * x[j];
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Mat {
+        let n = self.qr.cols();
+        let mut r = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
+    }
+}
+
+/// Least squares `min ‖A·x − b‖₂` for `m ≥ n`; minimum-norm solution of
+/// `A·x = b` when `m < n` (via QR of `Aᵀ`).
+pub fn lstsq(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = a.shape();
+    if m >= n {
+        Qr::factor(a)?.solve_least_squares(b)
+    } else {
+        // minimum-norm: x = Aᵀ (A Aᵀ)⁻¹ b = Q (Rᵀ)⁻¹ b with Aᵀ = Q R
+        let at = a.transpose();
+        let qr = Qr::factor(&at)?;
+        // Solve Rᵀ y = b (forward substitution on R transposed).
+        let r = qr.r();
+        let scale = r.max_abs().max(1.0);
+        let mut y = b.to_vec();
+        for i in 0..m {
+            let rii = r.get(i, i);
+            if rii.abs() <= 1e-13 * scale {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= r.get(j, i) * y[j];
+            }
+            y[i] = acc / rii;
+        }
+        // x = Q·[y; 0]: apply reflectors in reverse to the padded vector.
+        let mut x = vec![0.0; n];
+        x[..m].copy_from_slice(&y);
+        for k in (0..m).rev() {
+            if qr.beta[k] == 0.0 {
+                continue;
+            }
+            let mut dotv = x[k];
+            for i in (k + 1)..n {
+                dotv += qr.qr.get(i, k) * x[i];
+            }
+            let s = qr.beta[k] * dotv;
+            x[k] -= s;
+            for i in (k + 1)..n {
+                x[i] -= s * qr.qr.get(i, k);
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{norm2, sub};
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = a.matvec(&[1.0, 2.0]);
+        let x = lstsq(&a, &b).unwrap();
+        assert!(norm2(&sub(&x, &[1.0, 2.0])) < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_least_squares() {
+        // Fit y = 2x + 1 through noisy-free points: exact recovery.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = Mat::from_fn(4, 2, |i, j| if j == 0 { xs[i] } else { 1.0 });
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+        ]);
+        let b = vec![1.0, 0.0, 2.0];
+        let x = lstsq(&a, &b).unwrap();
+        let r = sub(&a.matvec(&x), &b);
+        let g = a.tr_matvec(&r);
+        assert!(norm2(&g) < 1e-12, "normal equations violated: {g:?}");
+    }
+
+    #[test]
+    fn underdetermined_minimum_norm() {
+        // x + y = 2 has minimum-norm solution (1, 1).
+        let a = Mat::from_rows(&[vec![1.0, 1.0]]);
+        let x = lstsq(&a, &[2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_factor_reconstructs_gram() {
+        // AᵀA = RᵀR
+        let a = Mat::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let qr = Qr::factor(&a).unwrap();
+        let r = qr.r();
+        let rtr = r.transpose().matmul(&r).unwrap();
+        let g = a.gram();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rtr.get(i, j) - g.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wide_in_qr_but_lstsq_handles() {
+        assert!(Qr::factor(&Mat::zeros(2, 3)).is_err());
+        let a = Mat::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        let x = lstsq(&a, &[3.0, 4.0]).unwrap();
+        assert!(norm2(&sub(&x, &[3.0, 4.0, 0.0])) < 1e-12);
+    }
+
+    #[test]
+    fn zero_column_gives_zero_beta_path() {
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]]);
+        let qr = Qr::factor(&a).unwrap();
+        // Rank deficient: solving must error rather than return garbage.
+        assert!(qr.solve_least_squares(&[1.0, 1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the two shapes involved.
+        context: String,
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular {
+        /// Index of the pivot where breakdown occurred.
+        pivot: usize,
+    },
+    /// Cholesky factorization was requested for a matrix that is not
+    /// symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// An iterative method exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the final iterate.
+        residual: f64,
+    },
+    /// Invalid argument (e.g. empty input where data is required).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at index {index}")
+            }
+            LinalgError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch {
+            context: "3x4 * 5".into(),
+        };
+        assert!(e.to_string().contains("3x4 * 5"));
+        let e = LinalgError::Singular { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = LinalgError::NotPositiveDefinite { index: 2 };
+        assert!(e.to_string().contains('2'));
+        let e = LinalgError::DidNotConverge {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = LinalgError::InvalidArgument("empty".into());
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Iterative Krylov solvers over abstract linear operators.
+//!
+//! [`cg`] solves SPD systems; [`cgls`] solves least-squares problems on
+//! sparse operators without forming the Gram matrix — the right tool for
+//! routing matrices, which are far sparser than dense algebra assumes.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::sparse::Csr;
+use crate::vector::{axpy, dot, norm2};
+use crate::Result;
+
+/// A linear operator `A : ℝⁿ → ℝᵐ` with transpose application.
+pub trait LinearOperator {
+    /// Output dimension `m`.
+    fn nrows(&self) -> usize;
+    /// Input dimension `n`.
+    fn ncols(&self) -> usize;
+    /// `y = A·x` (overwrites `y`).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// `y = Aᵀ·x` (overwrites `y`).
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for Mat {
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.tr_matvec(x));
+    }
+}
+
+impl LinearOperator for Csr {
+    fn nrows(&self) -> usize {
+        self.rows()
+    }
+    fn ncols(&self) -> usize {
+        self.cols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        self.tr_matvec_into(x, y);
+    }
+}
+
+/// Options for the iterative solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct IterOpts {
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+}
+
+impl Default for IterOpts {
+    fn default() -> Self {
+        IterOpts {
+            max_iter: 1000,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Conjugate gradient for SPD `A·x = b`.
+///
+/// Returns the solution and the iteration count. Errors with
+/// [`LinalgError::DidNotConverge`] when the budget is exhausted.
+pub fn cg<A: LinearOperator>(a: &A, b: &[f64], opts: IterOpts) -> Result<(Vec<f64>, usize)> {
+    let n = a.ncols();
+    if a.nrows() != n || b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("cg: {}x{} with rhs {}", a.nrows(), n, b.len()),
+        });
+    }
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], 0));
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr = dot(&r, &r);
+    for it in 0..opts.max_iter {
+        if rr.sqrt() <= opts.tol * bnorm {
+            return Ok((x, it));
+        }
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { index: it });
+        }
+        let alpha = rr / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+    }
+    if rr.sqrt() <= opts.tol * bnorm {
+        Ok((x, opts.max_iter))
+    } else {
+        Err(LinalgError::DidNotConverge {
+            iterations: opts.max_iter,
+            residual: rr.sqrt(),
+        })
+    }
+}
+
+/// CGLS: least squares `min ‖A·x − b‖₂` via CG on the normal equations,
+/// in a numerically stable form that never forms `AᵀA`.
+///
+/// Converges to *a* least-squares solution (the minimum-norm one when
+/// started from zero). Returns `(x, iterations)`.
+pub fn cgls<A: LinearOperator>(a: &A, b: &[f64], opts: IterOpts) -> Result<(Vec<f64>, usize)> {
+    let (m, n) = (a.nrows(), a.ncols());
+    if b.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("cgls: {}x{} with rhs {}", m, n, b.len()),
+        });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A x
+    let mut s = vec![0.0; n];
+    a.apply_transpose(&r, &mut s); // s = Aᵀ r
+    let s0norm = norm2(&s);
+    if s0norm == 0.0 {
+        return Ok((x, 0));
+    }
+    let mut p = s.clone();
+    let mut q = vec![0.0; m];
+    let mut gamma = dot(&s, &s);
+    for it in 0..opts.max_iter {
+        if gamma.sqrt() <= opts.tol * s0norm {
+            return Ok((x, it));
+        }
+        a.apply(&p, &mut q);
+        let qq = dot(&q, &q);
+        if qq == 0.0 {
+            return Ok((x, it));
+        }
+        let alpha = gamma / qq;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &q, &mut r);
+        a.apply_transpose(&r, &mut s);
+        let gamma_new = dot(&s, &s);
+        let beta = gamma_new / gamma;
+        for i in 0..n {
+            p[i] = s[i] + beta * p[i];
+        }
+        gamma = gamma_new;
+    }
+    if gamma.sqrt() <= opts.tol * s0norm {
+        Ok((x, opts.max_iter))
+    } else {
+        Err(LinalgError::DidNotConverge {
+            iterations: opts.max_iter,
+            residual: gamma.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::sub;
+
+    #[test]
+    fn cg_solves_spd() {
+        let a = Mat::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let xtrue = vec![1.0, 2.0, 3.0];
+        let b = a.matvec(&xtrue);
+        let (x, iters) = cg(&a, &b, IterOpts::default()).unwrap();
+        assert!(iters <= 3 + 1, "CG should converge in <= n steps, took {iters}");
+        assert!(norm2(&sub(&x, &xtrue)) < 1e-8);
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = Mat::identity(3);
+        let (x, iters) = cg(&a, &[0.0; 3], IterOpts::default()).unwrap();
+        assert_eq!(x, vec![0.0; 3]);
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn cg_detects_indefinite() {
+        let a = Mat::from_diag(&[1.0, -1.0]);
+        assert!(matches!(
+            cg(&a, &[1.0, 1.0], IterOpts::default()),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cgls_matches_qr_least_squares() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ]);
+        let b = vec![1.0, 3.0, 4.0, 8.0];
+        let (x, _) = cgls(&a, &b, IterOpts::default()).unwrap();
+        let xqr = crate::decomp::qr::lstsq(&a, &b).unwrap();
+        assert!(norm2(&sub(&x, &xqr)) < 1e-8, "cgls {x:?} vs qr {xqr:?}");
+    }
+
+    #[test]
+    fn cgls_on_sparse_routing_like_matrix() {
+        // Path-style 0/1 matrix.
+        let r = Csr::from_triplets(
+            3,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 2, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let strue = vec![1.0, 2.0, 3.0, 4.0];
+        let t = r.matvec(&strue);
+        let (x, _) = cgls(&r, &t, IterOpts::default()).unwrap();
+        // Underdetermined: check the constraint is satisfied.
+        let res = sub(&r.matvec(&x), &t);
+        assert!(norm2(&res) < 1e-8);
+    }
+
+    #[test]
+    fn cg_reports_nonconvergence() {
+        let a = Mat::identity(4);
+        let res = cg(
+            &a,
+            &[1.0, 1.0, 1.0, 1.0],
+            IterOpts {
+                max_iter: 0,
+                tol: 1e-32,
+            },
+        );
+        assert!(matches!(res, Err(LinalgError::DidNotConverge { .. })));
+    }
+}

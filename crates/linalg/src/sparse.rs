@@ -1,0 +1,427 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Routing matrices are extremely sparse 0/1 matrices (a demand crosses a
+//! handful of links), and the Vardi second-moment system has `L(L+1)/2`
+//! rows of which most are empty. CSR keeps both matvec directions cheap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Compressed sparse row matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    indices: Vec<usize>,
+    /// Non-zero values aligned with `indices`.
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from COO triplets `(row, col, value)`. Duplicate entries are
+    /// summed; explicit zeros are dropped.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        let mut items: Vec<(usize, usize, f64)> = Vec::new();
+        for (r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "triplet ({r},{c}) out of bounds for {rows}x{cols}"
+                )));
+            }
+            items.push((r, c, v));
+        }
+        items.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut indices = Vec::with_capacity(items.len());
+        let mut data: Vec<f64> = Vec::with_capacity(items.len());
+        let mut row_of: Vec<usize> = Vec::with_capacity(items.len());
+
+        let mut prev: Option<(usize, usize)> = None;
+        for (r, c, v) in items {
+            if prev == Some((r, c)) {
+                *data.last_mut().expect("data nonempty when prev set") += v;
+            } else {
+                indices.push(c);
+                data.push(v);
+                row_of.push(r);
+                prev = Some((r, c));
+            }
+        }
+        // Drop stored zeros (explicit or produced by cancellation) and
+        // build the cumulative row pointer.
+        let mut ptr = vec![0usize; rows + 1];
+        let mut w = 0usize;
+        for i in 0..data.len() {
+            if data[i] != 0.0 {
+                indices[w] = indices[i];
+                data[w] = data[i];
+                ptr[row_of[i] + 1] += 1;
+                w += 1;
+            }
+        }
+        indices.truncate(w);
+        data.truncate(w);
+        for r in 0..rows {
+            ptr[r + 1] += ptr[r];
+        }
+
+        Ok(Csr {
+            rows,
+            cols,
+            indptr: ptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Empty `rows × cols` matrix (no stored entries).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Build from a dense matrix, dropping entries with `|v| <= tol`.
+    pub fn from_dense(m: &Mat, tol: f64) -> Self {
+        let mut trip = Vec::new();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let v = m.get(i, j);
+                if v.abs() > tol {
+                    trip.push((i, j, v));
+                }
+            }
+        }
+        Csr::from_triplets(m.rows(), m.cols(), trip).expect("in-bounds by construction")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Sparse row `i` as parallel slices `(column_indices, values)`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Entry `(i, j)` (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (idx, val) = self.row(i);
+        match idx.binary_search(&j) {
+            Ok(k) => val[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "csr matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A·x` into a preallocated buffer.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "csr matvec: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "csr matvec: output mismatch");
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            let mut acc = 0.0;
+            for (k, &j) in idx.iter().enumerate() {
+                acc += val[k] * x[j];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// `y = Aᵀ·x`.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "csr tr_matvec: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        self.tr_matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = Aᵀ·x` into a preallocated buffer (buffer is overwritten).
+    pub fn tr_matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "csr tr_matvec: dimension mismatch");
+        assert_eq!(y.len(), self.cols, "csr tr_matvec: output mismatch");
+        y.fill(0.0);
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let (idx, val) = self.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                y[j] += val[k] * xi;
+            }
+        }
+    }
+
+    /// Dense copy.
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                m.set(i, j, val[k]);
+            }
+        }
+        m
+    }
+
+    /// Transpose as a new CSR matrix.
+    pub fn transpose(&self) -> Csr {
+        let mut trip = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                trip.push((j, i, val[k]));
+            }
+        }
+        Csr::from_triplets(self.cols, self.rows, trip).expect("in-bounds by construction")
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vstack(&self, other: &Csr) -> Result<Csr> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("csr vstack cols {} vs {}", self.cols, other.cols),
+            });
+        }
+        let mut indptr = self.indptr.clone();
+        let base = *indptr.last().expect("indptr nonempty");
+        indptr.extend(other.indptr[1..].iter().map(|p| p + base));
+        let mut indices = self.indices.clone();
+        indices.extend_from_slice(&other.indices);
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Csr {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// New matrix with column `j` scaled by `d[j]` (i.e. `A·diag(d)`).
+    pub fn scale_cols(&self, d: &[f64]) -> Result<Csr> {
+        if d.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("scale_cols: {} vs {}", d.len(), self.cols),
+            });
+        }
+        let mut out = self.clone();
+        for (k, &j) in out.indices.iter().enumerate() {
+            out.data[k] *= d[j];
+        }
+        Ok(out)
+    }
+
+    /// New matrix containing only the given columns (renumbered in order).
+    pub fn select_cols(&self, cols: &[usize]) -> Csr {
+        let mut map = vec![usize::MAX; self.cols];
+        for (new, &old) in cols.iter().enumerate() {
+            map[old] = new;
+        }
+        let mut trip = Vec::new();
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                if map[j] != usize::MAX {
+                    trip.push((i, map[j], val[k]));
+                }
+            }
+        }
+        Csr::from_triplets(self.rows, cols.len(), trip).expect("in-bounds by construction")
+    }
+
+    /// Squared column norms `‖A·e_j‖²` for all `j`.
+    pub fn col_sq_norms(&self) -> Vec<f64> {
+        let mut n = vec![0.0; self.cols];
+        for (k, &j) in self.indices.iter().enumerate() {
+            n[j] += self.data[k] * self.data[k];
+        }
+        n
+    }
+
+    /// Largest singular value estimate via a few power iterations on
+    /// `AᵀA` (used to pick safe step sizes in projected gradient).
+    pub fn spectral_norm_est(&self, iters: usize) -> f64 {
+        if self.nnz() == 0 {
+            return 0.0;
+        }
+        let mut v = vec![1.0 / (self.cols as f64).sqrt(); self.cols];
+        let mut lam = 0.0;
+        for _ in 0..iters.max(1) {
+            let av = self.matvec(&v);
+            let atav = self.tr_matvec(&av);
+            lam = crate::vector::norm2(&atav);
+            if lam == 0.0 {
+                return 0.0;
+            }
+            v = atav;
+            let n = crate::vector::norm2(&v);
+            crate::vector::scale(1.0 / n, &mut v);
+        }
+        lam.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn triplet_construction_sorts_and_merges() {
+        let m = Csr::from_triplets(2, 2, vec![(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn triplets_drop_zeros_and_cancellations() {
+        let m =
+            Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 0.0)]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn triplet_bounds_checked() {
+        assert!(Csr::from_triplets(2, 2, vec![(2, 0, 1.0)]).is_err());
+        assert!(Csr::from_triplets(2, 2, vec![(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matvec_both_directions() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.tr_matvec(&[1.0, 1.0, 1.0]), vec![4.0, 4.0, 2.0]);
+        // consistency with dense
+        let d = m.to_dense();
+        assert_eq!(d.matvec(&[1.0, 2.0, 3.0]), m.matvec(&[1.0, 2.0, 3.0]));
+        assert_eq!(d.tr_matvec(&[1.0, 2.0, 3.0]), m.tr_matvec(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = Csr::from_dense(&d, 0.0);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let m = sample();
+        let v = m.vstack(&m).unwrap();
+        assert_eq!(v.rows(), 6);
+        assert_eq!(v.get(5, 1), 4.0);
+        assert_eq!(v.get(2, 1), 4.0);
+        let wrong = Csr::zeros(1, 2);
+        assert!(m.vstack(&wrong).is_err());
+    }
+
+    #[test]
+    fn scale_and_select_cols() {
+        let m = sample();
+        let s = m.scale_cols(&[2.0, 10.0, 1.0]).unwrap();
+        assert_eq!(s.get(2, 0), 6.0);
+        assert_eq!(s.get(2, 1), 40.0);
+        assert_eq!(s.get(0, 2), 2.0);
+        let sel = m.select_cols(&[2, 0]);
+        assert_eq!(sel.cols(), 2);
+        assert_eq!(sel.get(0, 0), 2.0); // old col 2
+        assert_eq!(sel.get(0, 1), 1.0); // old col 0
+        assert_eq!(sel.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn col_sq_norms_match_dense() {
+        let m = sample();
+        let n = m.col_sq_norms();
+        assert_eq!(n, vec![10.0, 16.0, 4.0]);
+    }
+
+    #[test]
+    fn spectral_norm_close_to_true() {
+        // For the diagonal matrix diag(3, 4), the spectral norm is 4.
+        let m = Csr::from_triplets(2, 2, vec![(0, 0, 3.0), (1, 1, 4.0)]).unwrap();
+        let est = m.spectral_norm_est(50);
+        assert!((est - 4.0).abs() < 1e-6, "estimate {est}");
+        assert_eq!(Csr::zeros(3, 3).spectral_norm_est(5), 0.0);
+    }
+
+    #[test]
+    fn matvec_into_buffers() {
+        let m = sample();
+        let mut y = vec![9.0; 3];
+        m.matvec_into(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+        let mut z = vec![9.0; 3];
+        m.tr_matvec_into(&[1.0, 0.0, 1.0], &mut z);
+        assert_eq!(z, vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Csr = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,349 @@
+//! Statistics over vector time series and regression helpers.
+//!
+//! Supports the paper's data analysis: sample mean/covariance of the
+//! link-load series (Section 4.2.2), the log–log power-law fit of the
+//! mean–variance relation `Var{s_p} = φ·λ_p^c` (Fig. 6), and cumulative
+//! traffic distributions (Fig. 2).
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Sample mean of a series of equal-length vectors.
+pub fn mean_vector(series: &[Vec<f64>]) -> Result<Vec<f64>> {
+    if series.is_empty() {
+        return Err(LinalgError::InvalidArgument("mean of empty series".into()));
+    }
+    let n = series[0].len();
+    let mut mean = vec![0.0; n];
+    for v in series {
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("series element {} vs {}", v.len(), n),
+            });
+        }
+        crate::vector::axpy(1.0, v, &mut mean);
+    }
+    crate::vector::scale(1.0 / series.len() as f64, &mut mean);
+    Ok(mean)
+}
+
+/// Sample covariance matrix `Σ̂ = (1/K) Σ (v−v̄)(v−v̄)ᵀ`.
+///
+/// The `1/K` normalization matches the paper's Section 4.2.2 definition
+/// (not the unbiased `1/(K−1)`).
+pub fn covariance_matrix(series: &[Vec<f64>]) -> Result<Mat> {
+    let mean = mean_vector(series)?;
+    let n = mean.len();
+    let mut cov = Mat::zeros(n, n);
+    for v in series {
+        let d = crate::vector::sub(v, &mean);
+        for i in 0..n {
+            if d[i] == 0.0 {
+                continue;
+            }
+            for j in i..n {
+                cov.add_to(i, j, d[i] * d[j]);
+            }
+        }
+    }
+    let k = series.len() as f64;
+    for i in 0..n {
+        for j in i..n {
+            let v = cov.get(i, j) / k;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    Ok(cov)
+}
+
+/// Per-component sample variance (the diagonal of [`covariance_matrix`],
+/// computed without forming the full matrix).
+pub fn variance_vector(series: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let mean = mean_vector(series)?;
+    let n = mean.len();
+    let mut var = vec![0.0; n];
+    for v in series {
+        for i in 0..n {
+            let d = v[i] - mean[i];
+            var[i] += d * d;
+        }
+    }
+    crate::vector::scale(1.0 / series.len() as f64, &mut var);
+    Ok(var)
+}
+
+/// Result of a simple linear regression `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope coefficient.
+    pub slope: f64,
+    /// Intercept coefficient.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares fit of `y` on `x`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit> {
+    if x.len() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("linear_fit: {} vs {}", x.len(), y.len()),
+        });
+    }
+    if x.len() < 2 {
+        return Err(LinalgError::InvalidArgument(
+            "linear_fit needs at least 2 points".into(),
+        ));
+    }
+    let mx = crate::vector::mean(x);
+    let my = crate::vector::mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(LinalgError::InvalidArgument(
+            "linear_fit: x is constant".into(),
+        ));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Power-law fit `y ≈ φ·xᶜ` via least squares in log–log space.
+///
+/// Pairs with non-positive `x` or `y` are skipped (they carry no
+/// information about a power law). This is exactly how the paper fits
+/// the mean–variance scaling law of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Multiplicative constant `φ`.
+    pub phi: f64,
+    /// Exponent `c`.
+    pub c: f64,
+    /// `R²` of the underlying log–log regression.
+    pub r_squared: f64,
+    /// Number of (positive) points used.
+    pub n_used: usize,
+}
+
+/// Fit `y ≈ φ·xᶜ` on the positive pairs of `(x, y)`.
+pub fn power_law_fit(x: &[f64], y: &[f64]) -> Result<PowerLawFit> {
+    if x.len() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            context: format!("power_law_fit: {} vs {}", x.len(), y.len()),
+        });
+    }
+    let mut lx = Vec::new();
+    let mut ly = Vec::new();
+    for i in 0..x.len() {
+        if x[i] > 0.0 && y[i] > 0.0 {
+            lx.push(x[i].ln());
+            ly.push(y[i].ln());
+        }
+    }
+    let fit = linear_fit(&lx, &ly)?;
+    Ok(PowerLawFit {
+        phi: fit.intercept.exp(),
+        c: fit.slope,
+        r_squared: fit.r_squared,
+        n_used: lx.len(),
+    })
+}
+
+/// Cumulative share of the total carried by the largest entries.
+///
+/// Returns, for each `k`, the fraction of `Σx` contributed by the `k+1`
+/// largest entries — the curve of the paper's Fig. 2.
+pub fn cumulative_share_by_rank(x: &[f64]) -> Vec<f64> {
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in traffic data"));
+    let total: f64 = sorted.iter().sum();
+    let mut acc = 0.0;
+    sorted
+        .iter()
+        .map(|v| {
+            acc += v;
+            if total > 0.0 {
+                acc / total
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Smallest threshold such that entries `> threshold` carry at least
+/// `share` (e.g. 0.9) of the total. Returns `(threshold, count_above)`.
+///
+/// This reproduces the paper's MRE threshold rule: "the demands under
+/// consideration carry approximately 90% of the total traffic".
+pub fn share_threshold(x: &[f64], share: f64) -> (f64, usize) {
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in traffic data"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 || sorted.is_empty() {
+        return (0.0, 0);
+    }
+    let mut acc = 0.0;
+    for (k, &v) in sorted.iter().enumerate() {
+        acc += v;
+        if acc >= share * total {
+            // Threshold strictly below v keeps v itself included. Ties at
+            // the boundary are all included (the threshold sits halfway
+            // between v and the next strictly smaller value), so the
+            // returned count is recomputed over the final set.
+            let below = sorted[k + 1..]
+                .iter()
+                .copied()
+                .find(|&u| u < v)
+                .unwrap_or(0.0);
+            let threshold = 0.5 * (v + below);
+            let count = sorted.iter().filter(|&&u| u > threshold).count();
+            return (threshold, count);
+        }
+    }
+    (0.0, sorted.len())
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on sorted data.
+pub fn quantile(x: &[f64], q: f64) -> Result<f64> {
+    if x.is_empty() {
+        return Err(LinalgError::InvalidArgument("quantile of empty".into()));
+    }
+    let mut s = x.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q.clamp(0.0, 1.0) * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(s[lo] * (1.0 - frac) + s[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_series() {
+        let series = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let m = mean_vector(&series).unwrap();
+        assert_eq!(m, vec![3.0, 10.0]);
+        let v = variance_vector(&series).unwrap();
+        assert!((v[0] - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(v[1], 0.0);
+        assert!(mean_vector(&[]).is_err());
+    }
+
+    #[test]
+    fn covariance_matches_manual() {
+        let series = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        let c = covariance_matrix(&series).unwrap();
+        // deviations: (-1, -2) and (1, 2); 1/K with K=2
+        assert!((c.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((c.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((c.get(1, 0) - 2.0).abs() < 1e-12);
+        assert!((c.get(1, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_diag_equals_variance_vector() {
+        let series = vec![
+            vec![1.0, 5.0, 2.0],
+            vec![2.0, 4.0, 2.0],
+            vec![4.0, 9.0, 2.0],
+        ];
+        let c = covariance_matrix(&series).unwrap();
+        let v = variance_vector(&series).unwrap();
+        for i in 0..3 {
+            assert!((c.get(i, i) - v[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_err());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn power_law_recovers_parameters() {
+        // y = 2.5 x^1.7
+        let x: Vec<f64> = (1..50).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.5 * v.powf(1.7)).collect();
+        let f = power_law_fit(&x, &y).unwrap();
+        assert!((f.phi - 2.5).abs() < 1e-9, "phi {}", f.phi);
+        assert!((f.c - 1.7).abs() < 1e-9, "c {}", f.c);
+        assert_eq!(f.n_used, 49);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive() {
+        let x = [0.0, -1.0, 1.0, 2.0, 4.0];
+        let y = [5.0, 5.0, 1.0, 2.0, 4.0]; // on positives: y = x
+        let f = power_law_fit(&x, &y).unwrap();
+        assert_eq!(f.n_used, 3);
+        assert!((f.c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_share_is_monotone_to_one() {
+        let x = [8.0, 1.0, 1.0];
+        let c = cumulative_share_by_rank(&x);
+        assert!((c[0] - 0.8).abs() < 1e-12);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+        assert!(c.windows(2).all(|w| w[0] <= w[1] + 1e-15));
+    }
+
+    #[test]
+    fn share_threshold_covers_requested_mass() {
+        let x = [50.0, 30.0, 15.0, 4.0, 1.0];
+        let (thr, count) = share_threshold(&x, 0.9);
+        // 50+30+15 = 95 >= 90 ⇒ three demands included
+        assert_eq!(count, 3);
+        let included: f64 = x.iter().filter(|&&v| v > thr).sum();
+        assert!(included / 100.0 >= 0.9);
+    }
+
+    #[test]
+    fn share_threshold_edge_cases() {
+        assert_eq!(share_threshold(&[], 0.9), (0.0, 0));
+        assert_eq!(share_threshold(&[0.0, 0.0], 0.9), (0.0, 0));
+        let (_, count) = share_threshold(&[5.0], 0.9);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn quantiles() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&x, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&x, 1.0).unwrap(), 4.0);
+        assert!((quantile(&x, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use tm_linalg::decomp::{lu, qr, Cholesky, Lu};
+use tm_linalg::iterative::{cgls, IterOpts};
+use tm_linalg::stats;
+use tm_linalg::vector;
+use tm_linalg::{Csr, Mat};
+
+/// Strategy: a small dense matrix with entries in [-10, 10].
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+/// Strategy: sparse triplets in a fixed shape.
+fn csr_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Csr> {
+    proptest::collection::vec((0..rows, 0..cols, -5.0f64..5.0), 0..40).prop_map(
+        move |trip| Csr::from_triplets(rows, cols, trip).expect("in-bounds by construction"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matvec_matches_dense(m in csr_strategy(6, 7), x in proptest::collection::vec(-3.0f64..3.0, 7)) {
+        let dense = m.to_dense();
+        let ys = m.matvec(&x);
+        let yd = dense.matvec(&x);
+        for i in 0..6 {
+            prop_assert!((ys[i] - yd[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_matvec_consistent(m in csr_strategy(5, 8), x in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let t = m.transpose();
+        let a = m.tr_matvec(&x);
+        let b = t.matvec(&x);
+        for j in 0..8 {
+            prop_assert!((a[j] - b[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_dense_roundtrip(m in csr_strategy(4, 5)) {
+        let back = Csr::from_dense(&m.to_dense(), 0.0);
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn lu_solves_diagonally_dominant(mut a in mat_strategy(6, 6), b in proptest::collection::vec(-5.0f64..5.0, 6)) {
+        // Make strictly diagonally dominant so factorization succeeds.
+        for i in 0..6 {
+            let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            let v = a.get(i, i);
+            a.set(i, i, v + rowsum + 1.0);
+        }
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = vector::sub(&a.matvec(&x), &b);
+        prop_assert!(vector::norm2(&r) < 1e-7, "residual {}", vector::norm2(&r));
+    }
+
+    #[test]
+    fn cholesky_of_gram_reconstructs(a in mat_strategy(7, 4)) {
+        // AᵀA + I is always SPD.
+        let mut g = a.gram();
+        for i in 0..4 {
+            let v = g.get(i, i);
+            g.set(i, i, v + 1.0);
+        }
+        let ch = Cholesky::factor(&g).unwrap();
+        let l = ch.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((rec.get(i, j) - g.get(i, j)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_least_squares_satisfies_normal_equations(a in mat_strategy(8, 3), b in proptest::collection::vec(-5.0f64..5.0, 8)) {
+        // Regularize columns to avoid rank deficiency.
+        let mut areg = a.clone();
+        for j in 0..3 {
+            let v = areg.get(j, j);
+            areg.set(j, j, v + 5.0);
+        }
+        if let Ok(x) = qr::lstsq(&areg, &b) {
+            let r = vector::sub(&areg.matvec(&x), &b);
+            let g = areg.tr_matvec(&r);
+            prop_assert!(vector::norm2(&g) < 1e-6, "gradient {}", vector::norm2(&g));
+        }
+    }
+
+    #[test]
+    fn lu_inverse_times_matrix_is_identity(mut a in mat_strategy(4, 4)) {
+        for i in 0..4 {
+            let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            let v = a.get(i, i);
+            a.set(i, i, v + rowsum + 1.0);
+        }
+        let lu = Lu::factor(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod.get(i, j) - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn cgls_reaches_least_squares_stationarity(m in csr_strategy(6, 4), b in proptest::collection::vec(-3.0f64..3.0, 6)) {
+        let (x, _) = cgls(&m, &b, IterOpts { max_iter: 500, tol: 1e-12 }).unwrap();
+        let r = vector::sub(&m.matvec(&x), &b);
+        let g = m.tr_matvec(&r);
+        prop_assert!(vector::norm2(&g) < 1e-6 * (1.0 + vector::norm2(&b)));
+    }
+
+    #[test]
+    fn solve_roundtrip_via_lu(mut a in mat_strategy(5, 5), xtrue in proptest::collection::vec(-4.0f64..4.0, 5)) {
+        for i in 0..5 {
+            let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            let v = a.get(i, i);
+            a.set(i, i, v + rowsum + 1.0);
+        }
+        let b = a.matvec(&xtrue);
+        let x = lu::solve(&a, &b).unwrap();
+        prop_assert!(vector::norm2(&vector::sub(&x, &xtrue)) < 1e-6);
+    }
+
+    #[test]
+    fn cumulative_share_monotone(x in proptest::collection::vec(0.0f64..100.0, 1..30)) {
+        let c = stats::cumulative_share_by_rank(&x);
+        prop_assert!(c.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        let total: f64 = x.iter().sum();
+        if total > 0.0 {
+            prop_assert!((c.last().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn share_threshold_invariant(x in proptest::collection::vec(0.01f64..100.0, 1..30), share in 0.1f64..0.99) {
+        let (thr, count) = stats::share_threshold(&x, share);
+        let total: f64 = x.iter().sum();
+        let included: f64 = x.iter().filter(|&&v| v > thr).sum();
+        let n_included = x.iter().filter(|&&v| v > thr).count();
+        prop_assert!(included >= share * total * (1.0 - 1e-9));
+        prop_assert_eq!(n_included, count);
+    }
+
+    #[test]
+    fn power_law_fit_recovers(phi in 0.1f64..5.0, c in 0.5f64..2.5) {
+        let x: Vec<f64> = (1..40).map(|i| i as f64 * 0.3).collect();
+        let y: Vec<f64> = x.iter().map(|&v| phi * v.powf(c)).collect();
+        let f = stats::power_law_fit(&x, &y).unwrap();
+        prop_assert!((f.phi - phi).abs() < 1e-6 * phi.max(1.0));
+        prop_assert!((f.c - c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vstack_preserves_rows(a in csr_strategy(3, 4), b in csr_strategy(5, 4), x in proptest::collection::vec(-2.0f64..2.0, 4)) {
+        let v = a.vstack(&b).unwrap();
+        let ya = a.matvec(&x);
+        let yb = b.matvec(&x);
+        let yv = v.matvec(&x);
+        for i in 0..3 {
+            prop_assert!((yv[i] - ya[i]).abs() < 1e-12);
+        }
+        for i in 0..5 {
+            prop_assert!((yv[3 + i] - yb[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_cols_matches_dense(a in csr_strategy(4, 3), d in proptest::collection::vec(-2.0f64..2.0, 3)) {
+        let s = a.scale_cols(&d).unwrap();
+        let dense = a.to_dense();
+        for i in 0..4 {
+            for j in 0..3 {
+                prop_assert!((s.get(i, j) - dense.get(i, j) * d[j]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for topology and routing operations.
+
+use std::fmt;
+
+/// Errors produced while building topologies or routing demands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(usize),
+    /// A link id referenced a link that does not exist.
+    UnknownLink(usize),
+    /// The topology failed validation.
+    InvalidTopology(String),
+    /// No path exists between the requested endpoints.
+    NoPath {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+    },
+    /// Parse failure in the text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Mismatched input sizes (demand vectors vs pair counts etc.).
+    Dimension(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            NetError::UnknownLink(id) => write!(f, "unknown link id {id}"),
+            NetError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            NetError::NoPath { src, dst } => {
+                write!(f, "no path from node {src} to node {dst}")
+            }
+            NetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetError::Dimension(msg) => write!(f, "dimension mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_operands() {
+        assert!(NetError::UnknownNode(4).to_string().contains('4'));
+        assert!(NetError::UnknownLink(7).to_string().contains('7'));
+        assert!(NetError::NoPath { src: 1, dst: 2 }.to_string().contains("1"));
+        assert!(NetError::Parse {
+            line: 12,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("12"));
+        assert!(NetError::InvalidTopology("dup".into()).to_string().contains("dup"));
+        assert!(NetError::Dimension("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,286 @@
+//! MATE-like plain-text interchange format for topologies and routes.
+//!
+//! The paper exports routing from Cariden MATE "in a text file" and
+//! converts it to a routing matrix. We define an equivalent minimal
+//! format so datasets can be inspected, diffed and re-imported:
+//!
+//! ```text
+//! # backbone-tm topology v1
+//! NODE <name> <access|peering|transit> <pop>
+//! LINK <src-index> <dst-index> <capacity-mbps> <metric>
+//! ROUTE <src-index> <dst-index> <link-id>[,<link-id>...]
+//! ```
+//!
+//! `NODE` lines must precede `LINK` lines; `ROUTE` lines are optional and
+//! must cover every ordered pair when present. Blank lines and `#`
+//! comments are ignored.
+
+use crate::error::NetError;
+use crate::matrix::{OdPairs, RoutingMatrix};
+use crate::routing::Path;
+use crate::topology::{LinkId, NodeId, NodeRole, Topology};
+use crate::Result;
+
+fn role_str(role: NodeRole) -> &'static str {
+    match role {
+        NodeRole::Access => "access",
+        NodeRole::Peering => "peering",
+        NodeRole::Transit => "transit",
+    }
+}
+
+fn parse_role(s: &str, line: usize) -> Result<NodeRole> {
+    match s {
+        "access" => Ok(NodeRole::Access),
+        "peering" => Ok(NodeRole::Peering),
+        "transit" => Ok(NodeRole::Transit),
+        other => Err(NetError::Parse {
+            line,
+            message: format!("unknown role '{other}'"),
+        }),
+    }
+}
+
+/// Serialize a topology (and optionally its routes) to the text format.
+pub fn export(topo: &Topology, routing: Option<&RoutingMatrix>) -> String {
+    let mut out = String::from("# backbone-tm topology v1\n");
+    out.push_str(&format!("# name: {}\n", topo.name()));
+    for node in topo.nodes() {
+        out.push_str(&format!(
+            "NODE {} {} {}\n",
+            node.name,
+            role_str(node.role),
+            node.pop
+        ));
+    }
+    for link in topo.links() {
+        out.push_str(&format!(
+            "LINK {} {} {} {}\n",
+            link.src.0, link.dst.0, link.capacity_mbps, link.metric
+        ));
+    }
+    if let Some(rm) = routing {
+        for (p, src, dst) in rm.pairs().iter() {
+            let path = rm.path(p).expect("pair in range");
+            let ids: Vec<String> = path.links.iter().map(|l| l.0.to_string()).collect();
+            out.push_str(&format!("ROUTE {} {} {}\n", src.0, dst.0, ids.join(",")));
+        }
+    }
+    out
+}
+
+/// Parse the text format back into a topology and optional routing.
+pub fn import(text: &str) -> Result<(Topology, Option<RoutingMatrix>)> {
+    let mut topo = Topology::new("imported");
+    let mut routes: Vec<(usize, usize, Vec<LinkId>)> = Vec::new();
+    let mut seen_link = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let kind = it.next().expect("nonempty line has a first token");
+        let rest: Vec<&str> = it.collect();
+        match kind {
+            "NODE" => {
+                if seen_link {
+                    return Err(NetError::Parse {
+                        line: lineno,
+                        message: "NODE after LINK".into(),
+                    });
+                }
+                if rest.len() != 3 {
+                    return Err(NetError::Parse {
+                        line: lineno,
+                        message: format!("NODE expects 3 fields, got {}", rest.len()),
+                    });
+                }
+                let role = parse_role(rest[1], lineno)?;
+                let pop: usize = rest[2].parse().map_err(|_| NetError::Parse {
+                    line: lineno,
+                    message: format!("bad pop '{}'", rest[2]),
+                })?;
+                topo.add_router(rest[0], role, pop);
+            }
+            "LINK" => {
+                seen_link = true;
+                if rest.len() != 4 {
+                    return Err(NetError::Parse {
+                        line: lineno,
+                        message: format!("LINK expects 4 fields, got {}", rest.len()),
+                    });
+                }
+                let nums: Vec<f64> = rest
+                    .iter()
+                    .map(|s| {
+                        s.parse::<f64>().map_err(|_| NetError::Parse {
+                            line: lineno,
+                            message: format!("bad number '{s}'"),
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                topo.add_link(
+                    NodeId(nums[0] as usize),
+                    NodeId(nums[1] as usize),
+                    nums[2],
+                    nums[3],
+                )
+                .map_err(|e| NetError::Parse {
+                    line: lineno,
+                    message: e.to_string(),
+                })?;
+            }
+            "ROUTE" => {
+                if rest.len() != 3 {
+                    return Err(NetError::Parse {
+                        line: lineno,
+                        message: format!("ROUTE expects 3 fields, got {}", rest.len()),
+                    });
+                }
+                let src: usize = rest[0].parse().map_err(|_| NetError::Parse {
+                    line: lineno,
+                    message: format!("bad src '{}'", rest[0]),
+                })?;
+                let dst: usize = rest[1].parse().map_err(|_| NetError::Parse {
+                    line: lineno,
+                    message: format!("bad dst '{}'", rest[1]),
+                })?;
+                let links = rest[2]
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<usize>().map(LinkId).map_err(|_| NetError::Parse {
+                            line: lineno,
+                            message: format!("bad link id '{s}'"),
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                routes.push((src, dst, links));
+            }
+            other => {
+                return Err(NetError::Parse {
+                    line: lineno,
+                    message: format!("unknown record '{other}'"),
+                })
+            }
+        }
+    }
+
+    let routing = if routes.is_empty() {
+        None
+    } else {
+        let pairs = OdPairs::new(topo.n_nodes());
+        if routes.len() != pairs.count() {
+            return Err(NetError::Parse {
+                line: 0,
+                message: format!(
+                    "ROUTE covers {} pairs, expected {}",
+                    routes.len(),
+                    pairs.count()
+                ),
+            });
+        }
+        let mut paths: Vec<Option<Path>> = vec![None; pairs.count()];
+        for (src, dst, links) in routes {
+            let p = pairs
+                .index(NodeId(src), NodeId(dst))
+                .ok_or(NetError::Parse {
+                    line: 0,
+                    message: format!("invalid route pair {src}->{dst}"),
+                })?;
+            paths[p] = Some(Path { links });
+        }
+        let paths: Vec<Path> = paths
+            .into_iter()
+            .enumerate()
+            .map(|(p, o)| {
+                o.ok_or(NetError::Parse {
+                    line: 0,
+                    message: format!("missing route for pair {p}"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        Some(RoutingMatrix::from_paths(&topo, paths)?)
+    };
+    Ok((topo, routing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate, BackboneSpec};
+    use crate::routing::{route_lsp_mesh, CspfConfig};
+
+    #[test]
+    fn topology_roundtrip() {
+        let t = generate(&BackboneSpec::tiny(5), 3).unwrap();
+        let text = export(&t, None);
+        let (back, routing) = import(&text).unwrap();
+        assert!(routing.is_none());
+        assert_eq!(back.n_nodes(), t.n_nodes());
+        assert_eq!(back.n_links(), t.n_links());
+        for (a, b) in t.links().iter().zip(back.links()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert!((a.capacity_mbps - b.capacity_mbps).abs() < 1e-9);
+            assert!((a.metric - b.metric).abs() < 1e-9);
+        }
+        for (a, b) in t.nodes().iter().zip(back.nodes()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.role, b.role);
+        }
+    }
+
+    #[test]
+    fn routing_roundtrip() {
+        let t = generate(&BackboneSpec::tiny(4), 3).unwrap();
+        let pairs = OdPairs::new(t.n_nodes());
+        let rm = route_lsp_mesh(&t, &vec![5.0; pairs.count()], CspfConfig::default()).unwrap();
+        let text = export(&t, Some(&rm));
+        let (_, routing) = import(&text).unwrap();
+        let back = routing.expect("routes present");
+        assert_eq!(back.interior(), rm.interior());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases = [
+            ("NOPE x", "unknown record"),
+            ("NODE a access", "3 fields"),
+            ("NODE a boss 0", "unknown role"),
+            ("NODE a access z", "bad pop"),
+            ("LINK 0 1 x 1", "bad number"),
+            ("LINK 0 1 10", "4 fields"),
+            ("ROUTE 0 1", "3 fields"),
+        ];
+        for (text, needle) in cases {
+            let full = format!("NODE a access 0\nNODE b access 1\n{text}\n");
+            let err = import(&full).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn node_after_link_rejected() {
+        let text = "NODE a access 0\nNODE b access 1\nLINK 0 1 10 1\nNODE c access 2\n";
+        assert!(import(text).is_err());
+    }
+
+    #[test]
+    fn incomplete_routes_rejected() {
+        let text = "NODE a access 0\nNODE b access 1\nLINK 0 1 10 1\nLINK 1 0 10 1\nROUTE 0 1 0\n";
+        let err = import(text).unwrap_err();
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\nNODE a access 0\nNODE b access 1\n# mid\nLINK 0 1 10 1\nLINK 1 0 10 1\n";
+        let (t, _) = import(text).unwrap();
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.n_links(), 2);
+    }
+}

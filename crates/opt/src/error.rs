@@ -1,0 +1,85 @@
+//! Error type for the optimization solvers.
+
+use std::fmt;
+
+use tm_linalg::LinalgError;
+
+/// Errors produced by the optimization routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The constraint system admits no feasible point.
+    Infeasible {
+        /// Residual infeasibility measure at detection.
+        residual: f64,
+    },
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// Iteration budget exhausted before reaching the requested tolerance.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Convergence measure at the final iterate.
+        measure: f64,
+    },
+    /// Invalid problem data.
+    Invalid(String),
+    /// An underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Infeasible { residual } => {
+                write!(f, "problem is infeasible (residual {residual:.3e})")
+            }
+            OptError::Unbounded => write!(f, "objective is unbounded"),
+            OptError::DidNotConverge {
+                iterations,
+                measure,
+            } => write!(
+                f,
+                "did not converge after {iterations} iterations (measure {measure:.3e})"
+            ),
+            OptError::Invalid(msg) => write!(f, "invalid problem: {msg}"),
+            OptError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for OptError {
+    fn from(e: LinalgError) -> Self {
+        OptError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: OptError = LinalgError::Singular { pivot: 3 }.into();
+        assert!(e.to_string().contains("pivot 3"));
+        assert!(OptError::Unbounded.to_string().contains("unbounded"));
+        assert!(OptError::Infeasible { residual: 0.5 }
+            .to_string()
+            .contains("infeasible"));
+        assert!(OptError::DidNotConverge {
+            iterations: 9,
+            measure: 1.0
+        }
+        .to_string()
+        .contains('9'));
+        assert!(OptError::Invalid("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,385 @@
+//! Iterative proportional fitting: Kruithof's projection method and its
+//! generalization to arbitrary nonnegative linear constraints.
+//!
+//! Kruithof (1937) adjusts a prior traffic matrix to measured row/column
+//! totals by alternating proportional scaling — the RAS algorithm. Krupp
+//! (1979) showed that it minimizes the Kullback–Leibler distance from the
+//! prior and extended it to general constraints `R·s = t`; the extension
+//! implemented here is generalized iterative scaling (GIS), which the
+//! paper uses as the exact-constraint limit of the entropy estimator.
+
+use tm_linalg::{vector, Csr, Mat};
+
+use crate::error::OptError;
+use crate::Result;
+
+/// Options shared by the IPF variants.
+#[derive(Debug, Clone, Copy)]
+pub struct IpfOptions {
+    /// Maximum sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the maximum relative marginal violation.
+    pub tol: f64,
+}
+
+impl Default for IpfOptions {
+    fn default() -> Self {
+        IpfOptions {
+            max_iter: 2000,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Outcome of an IPF run.
+#[derive(Debug, Clone)]
+pub struct IpfResult {
+    /// Fitted matrix (RAS) flattened row-major, or fitted vector (GIS).
+    pub values: Vec<f64>,
+    /// Sweeps used.
+    pub iterations: usize,
+    /// Final maximum relative constraint violation.
+    pub violation: f64,
+}
+
+/// Kruithof/RAS biproportional fitting: find `X` minimizing
+/// `D(X ‖ prior)` subject to given row and column sums.
+///
+/// Requirements: `prior ≥ 0`; a zero prior entry stays zero (KL support
+/// condition); `Σ row_sums` must equal `Σ col_sums` to relative 1e-6
+/// (traffic in equals traffic out).
+pub fn ras(prior: &Mat, row_sums: &[f64], col_sums: &[f64], opts: IpfOptions) -> Result<IpfResult> {
+    let (n, m) = prior.shape();
+    if row_sums.len() != n || col_sums.len() != m {
+        return Err(OptError::Invalid(format!(
+            "ras: prior {n}x{m} vs sums {}/{}",
+            row_sums.len(),
+            col_sums.len()
+        )));
+    }
+    if prior.data().iter().any(|&v| v < 0.0) {
+        return Err(OptError::Invalid("ras: negative prior entry".into()));
+    }
+    if row_sums.iter().chain(col_sums).any(|&v| v < 0.0) {
+        return Err(OptError::Invalid("ras: negative target sum".into()));
+    }
+    let rt: f64 = row_sums.iter().sum();
+    let ct: f64 = col_sums.iter().sum();
+    if (rt - ct).abs() > 1e-6 * rt.max(ct).max(1.0) {
+        return Err(OptError::Invalid(format!(
+            "ras: row total {rt} != column total {ct}"
+        )));
+    }
+
+    let mut x = prior.clone();
+    // Support check: a positive target with an all-zero prior row/column
+    // can never be met.
+    for i in 0..n {
+        if row_sums[i] > 0.0 && x.row(i).iter().all(|&v| v == 0.0) {
+            return Err(OptError::Infeasible { residual: row_sums[i] });
+        }
+    }
+    for j in 0..m {
+        if col_sums[j] > 0.0 && (0..n).all(|i| x.get(i, j) == 0.0) {
+            return Err(OptError::Infeasible { residual: col_sums[j] });
+        }
+    }
+
+    let scale = rt.max(1e-300);
+    let mut violation = f64::INFINITY;
+    for it in 0..opts.max_iter {
+        // Row scaling.
+        for i in 0..n {
+            let s: f64 = x.row(i).iter().sum();
+            if s > 0.0 {
+                let f = row_sums[i] / s;
+                for v in x.row_mut(i) {
+                    *v *= f;
+                }
+            }
+        }
+        // Column scaling.
+        for j in 0..m {
+            let s: f64 = (0..n).map(|i| x.get(i, j)).sum();
+            if s > 0.0 {
+                let f = col_sums[j] / s;
+                for i in 0..n {
+                    let v = x.get(i, j) * f;
+                    x.set(i, j, v);
+                }
+            }
+        }
+        // Violation: rows were disturbed by the column step.
+        violation = 0.0;
+        for i in 0..n {
+            let s: f64 = x.row(i).iter().sum();
+            violation = violation.max((s - row_sums[i]).abs());
+        }
+        violation /= scale;
+        if violation <= opts.tol {
+            return Ok(IpfResult {
+                values: x.data().to_vec(),
+                iterations: it + 1,
+                violation,
+            });
+        }
+    }
+    Err(OptError::DidNotConverge {
+        iterations: opts.max_iter,
+        measure: violation,
+    })
+}
+
+/// Generalized iterative scaling: minimize `D(s ‖ prior)` subject to
+/// `R·s = t`, `s ≥ 0`, for a nonnegative constraint matrix `R`.
+///
+/// Update rule: `s_p ← s_p · Π_l (t_l / (Rs)_l)^(r_lp / C)` with
+/// `C = max_p Σ_l r_lp`. Rows with `t_l = 0` force every demand crossing
+/// link `l` to zero and are eliminated up front. If the constraints are
+/// inconsistent the method cannot converge; the iteration cap then
+/// returns [`OptError::DidNotConverge`] carrying the best violation.
+pub fn gis(prior: &[f64], r: &Csr, t: &[f64], opts: IpfOptions) -> Result<IpfResult> {
+    let (l, p) = (r.rows(), r.cols());
+    if prior.len() != p || t.len() != l {
+        return Err(OptError::Invalid(format!(
+            "gis: R {l}x{p} vs prior {} and t {}",
+            prior.len(),
+            t.len()
+        )));
+    }
+    if prior.iter().any(|&v| v < 0.0) {
+        return Err(OptError::Invalid("gis: negative prior".into()));
+    }
+    if t.iter().any(|&v| v < 0.0) {
+        return Err(OptError::Invalid("gis: negative target".into()));
+    }
+
+    // Zero-load links kill their demands.
+    let mut s: Vec<f64> = prior.to_vec();
+    let mut active_rows: Vec<usize> = Vec::new();
+    for i in 0..l {
+        if t[i] == 0.0 {
+            let (idx, val) = r.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                if val[k] > 0.0 {
+                    s[j] = 0.0;
+                }
+            }
+        } else {
+            active_rows.push(i);
+        }
+    }
+
+    // C = max column sum of R over active rows.
+    let mut colsum = vec![0.0f64; p];
+    for &i in &active_rows {
+        let (idx, val) = r.row(i);
+        for (k, &j) in idx.iter().enumerate() {
+            colsum[j] += val[k];
+        }
+    }
+    let c = colsum.iter().cloned().fold(0.0f64, f64::max);
+    if c == 0.0 {
+        // No active constraints: the prior (with zeroed entries) is it.
+        return Ok(IpfResult {
+            values: s,
+            iterations: 0,
+            violation: 0.0,
+        });
+    }
+
+    let tscale = vector::norm_inf(t).max(1e-300);
+    let mut violation = f64::INFINITY;
+    let mut log_ratio = vec![0.0f64; l];
+    for it in 0..opts.max_iter {
+        let rs = r.matvec(&s);
+        violation = 0.0;
+        for &i in &active_rows {
+            violation = violation.max((rs[i] - t[i]).abs());
+        }
+        violation /= tscale;
+        if violation <= opts.tol {
+            return Ok(IpfResult {
+                values: s,
+                iterations: it,
+                violation,
+            });
+        }
+        for &i in &active_rows {
+            // Guard: a demand set can be entirely zero on an active link
+            // only if the constraints are inconsistent.
+            log_ratio[i] = if rs[i] > 0.0 {
+                (t[i] / rs[i]).ln()
+            } else {
+                return Err(OptError::Infeasible { residual: t[i] });
+            };
+        }
+        // s_p *= exp( Σ_l r_lp/C · log_ratio_l ) via transpose product.
+        let rt = r.tr_matvec(&{
+            let mut masked = vec![0.0; l];
+            for &i in &active_rows {
+                masked[i] = log_ratio[i];
+            }
+            masked
+        });
+        for j in 0..p {
+            if s[j] > 0.0 {
+                s[j] *= (rt[j] / c).exp();
+            }
+        }
+    }
+    Err(OptError::DidNotConverge {
+        iterations: opts.max_iter,
+        measure: violation,
+    })
+}
+
+/// Generalized Kullback–Leibler divergence `D(x ‖ q) = Σ x log(x/q) − x + q`
+/// with the conventions `0·log 0 = 0`; returns `+∞` if `x_i > 0` while
+/// `q_i = 0`.
+pub fn kl_divergence(x: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(x.len(), q.len(), "kl_divergence: length mismatch");
+    let mut d = 0.0;
+    for i in 0..x.len() {
+        if x[i] == 0.0 {
+            d += q[i];
+        } else if q[i] == 0.0 {
+            return f64::INFINITY;
+        } else {
+            d += x[i] * (x[i] / q[i]).ln() - x[i] + q[i];
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ras_fits_marginals() {
+        let prior = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let res = ras(&prior, &[3.0, 1.0], &[2.0, 2.0], IpfOptions::default()).unwrap();
+        let x = Mat::from_vec(2, 2, res.values);
+        for i in 0..2 {
+            let s: f64 = x.row(i).iter().sum();
+            assert!((s - [3.0, 1.0][i]).abs() < 1e-8);
+        }
+        for j in 0..2 {
+            let s: f64 = (0..2).map(|i| x.get(i, j)).sum();
+            assert!((s - 2.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ras_preserves_zero_pattern() {
+        let prior = Mat::from_rows(&[vec![0.0, 2.0], vec![3.0, 4.0]]);
+        let res = ras(&prior, &[1.0, 3.0], &[2.0, 2.0], IpfOptions::default()).unwrap();
+        let x = Mat::from_vec(2, 2, res.values);
+        assert_eq!(x.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ras_rejects_mismatched_totals_and_negatives() {
+        let prior = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(ras(&prior, &[3.0, 1.0], &[1.0, 1.0], IpfOptions::default()).is_err());
+        let neg = Mat::from_rows(&[vec![-1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(ras(&neg, &[1.0, 1.0], &[1.0, 1.0], IpfOptions::default()).is_err());
+        assert!(ras(&prior, &[-1.0, 3.0], &[1.0, 1.0], IpfOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ras_detects_unsupportable_marginal() {
+        let prior = Mat::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let res = ras(&prior, &[1.0, 1.0], &[1.0, 1.0], IpfOptions::default());
+        assert!(matches!(res, Err(OptError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn gis_solves_row_column_problem_like_ras() {
+        // Encode the same marginal problem as general constraints.
+        // Variables: x00 x01 x10 x11. Rows: row sums then col sums.
+        let r = Csr::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 0, 1.0),
+                (2, 2, 1.0),
+                (3, 1, 1.0),
+                (3, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let prior = vec![1.0, 1.0, 1.0, 1.0];
+        let t = vec![3.0, 1.0, 2.0, 2.0];
+        let res = gis(&prior, &r, &t, IpfOptions { max_iter: 20_000, tol: 1e-10 }).unwrap();
+        let rs = r.matvec(&res.values);
+        for i in 0..4 {
+            assert!((rs[i] - t[i]).abs() < 1e-7, "row {i}: {} vs {}", rs[i], t[i]);
+        }
+        // Compare against RAS on the matrix form.
+        let ras_res = ras(
+            &Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]),
+            &[3.0, 1.0],
+            &[2.0, 2.0],
+            IpfOptions::default(),
+        )
+        .unwrap();
+        for (a, b) in res.values.iter().zip(&ras_res.values) {
+            assert!((a - b).abs() < 1e-5, "gis {a} vs ras {b}");
+        }
+    }
+
+    #[test]
+    fn gis_zero_link_load_zeroes_demands() {
+        // One link carries demands 0 and 1; t = 0 forces both to zero.
+        let r = Csr::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let res = gis(&[1.0, 1.0, 1.0], &r, &[0.0, 5.0], IpfOptions::default()).unwrap();
+        assert_eq!(res.values[0], 0.0);
+        assert_eq!(res.values[1], 0.0);
+        assert!((res.values[2] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gis_minimizes_kl_against_alternatives() {
+        // Underdetermined: x0 + x1 = 4 with prior (3, 1): the KL projection
+        // is (3, 1) (prior already feasible).
+        let r = Csr::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let res = gis(&[3.0, 1.0], &r, &[4.0], IpfOptions::default()).unwrap();
+        assert!((res.values[0] - 3.0).abs() < 1e-9);
+        assert!((res.values[1] - 1.0).abs() < 1e-9);
+
+        // Prior (1,1) with sum 4 scales to (2,2).
+        let res2 = gis(&[1.0, 1.0], &r, &[4.0], IpfOptions::default()).unwrap();
+        assert!((res2.values[0] - 2.0).abs() < 1e-9);
+        assert!((res2.values[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gis_inconsistent_does_not_converge() {
+        // x0 = 1 and x0 = 2 simultaneously.
+        let r = Csr::from_triplets(2, 1, vec![(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        let res = gis(&[1.0], &r, &[1.0, 2.0], IpfOptions { max_iter: 200, tol: 1e-12 });
+        assert!(matches!(res, Err(OptError::DidNotConverge { .. })));
+    }
+
+    #[test]
+    fn gis_shape_validation() {
+        let r = Csr::from_triplets(1, 2, vec![(0, 0, 1.0)]).unwrap();
+        assert!(gis(&[1.0], &r, &[1.0], IpfOptions::default()).is_err());
+        assert!(gis(&[1.0, 1.0], &r, &[1.0, 2.0], IpfOptions::default()).is_err());
+        assert!(gis(&[-1.0, 1.0], &r, &[1.0], IpfOptions::default()).is_err());
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        assert_eq!(kl_divergence(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(kl_divergence(&[1.0], &[2.0]) > 0.0);
+        assert!(kl_divergence(&[1.0], &[0.0]).is_infinite());
+        assert_eq!(kl_divergence(&[0.0], &[3.0]), 3.0);
+    }
+}

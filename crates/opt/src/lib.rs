@@ -1,0 +1,43 @@
+//! # tm-opt
+//!
+//! Optimization substrate for the `backbone-tm` reproduction of
+//! *Gunnar, Johansson, Telkamp — Traffic Matrix Estimation on a Large IP
+//! Backbone (IMC 2004)*.
+//!
+//! Every estimation method in the paper is an instance of one of a few
+//! mathematical programs; this crate implements each solver from scratch
+//! (the repro assessment flags Rust optimization crates as immature):
+//!
+//! | paper method                | program                                | solver |
+//! |-----------------------------|----------------------------------------|--------|
+//! | worst-case bounds (§4.3.1)  | LP `max/min s_p  s.t. R s = t, s ≥ 0`   | [`simplex`] (warm-started multi-objective) |
+//! | Bayesian / MAP (§4.2.3)     | Tikhonov NNLS                          | [`nnls::cd_nnls`] |
+//! | entropy / Kruithof (§4.2.1) | KL-regularized least squares            | [`spg`], [`ipf`] |
+//! | Vardi moments (§4.2.2)      | stacked NNLS                           | [`spg`] / [`nnls`] |
+//! | fanout estimation (§4.2.4)  | equality-constrained QP                | [`qp`] |
+//!
+//! All solvers are deterministic, allocation-light, and come with
+//! optimality-condition checks in their tests (KKT residuals, comparison
+//! against brute-force vertex enumeration for LPs).
+//!
+//! ## Omissions
+//!
+//! No interior-point methods, no sparse simplex basis factorization
+//! (problems here have at most a few hundred rows), no integer
+//! programming, no automatic differentiation — objectives provide their
+//! own gradients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ipf;
+pub mod nnls;
+pub mod qp;
+pub mod simplex;
+pub mod spg;
+
+pub use error::OptError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OptError>;

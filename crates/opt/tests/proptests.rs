@@ -1,0 +1,216 @@
+//! Property-based tests for the optimization solvers: KKT conditions on
+//! random NNLS instances, simplex vs brute-force vertex enumeration,
+//! iterative scaling constraint satisfaction, QP stationarity.
+
+use proptest::prelude::*;
+use tm_linalg::{vector, Csr, Mat};
+use tm_opt::ipf::{gis, IpfOptions};
+use tm_opt::nnls::{cd_nnls, kkt_violation, lawson_hanson, ridge_nnls, NnlsOptions};
+use tm_opt::qp::solve_eq_qp;
+use tm_opt::simplex::{solve_lp, StandardLp};
+
+fn mat_strategy(rows: usize, cols: usize, lo: f64, hi: f64) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(lo..hi, rows * cols)
+        .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lawson_hanson_kkt_on_random_instances(
+        a in mat_strategy(6, 4, -3.0, 3.0),
+        b in proptest::collection::vec(-4.0f64..4.0, 6),
+    ) {
+        if let Ok(sol) = lawson_hanson(&a, &b, NnlsOptions::default()) {
+            prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+            prop_assert!(kkt_violation(&a, &b, 0.0, None, &sol.x) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cd_nnls_kkt_with_regularization(
+        a in mat_strategy(5, 4, -2.0, 2.0),
+        b in proptest::collection::vec(-3.0f64..3.0, 5),
+        mu in 0.1f64..5.0,
+    ) {
+        let sol = cd_nnls(&a, &b, mu, None, 100_000, 1e-13).unwrap();
+        prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+        prop_assert!(kkt_violation(&a, &b, mu, None, &sol.x) < 1e-6);
+    }
+
+    #[test]
+    fn ridge_nnls_kkt_and_agreement(
+        a in mat_strategy(4, 6, -2.0, 2.0),
+        b in proptest::collection::vec(-3.0f64..3.0, 4),
+        prior in proptest::collection::vec(0.0f64..2.0, 6),
+        mu in 0.05f64..2.0,
+    ) {
+        let csr = Csr::from_dense(&a, 0.0);
+        let sol = ridge_nnls(&csr, &b, mu, &prior, 0).unwrap();
+        prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+        prop_assert!(
+            kkt_violation(&a, &b, mu, Some(&prior), &sol.x) < 1e-6,
+            "kkt violation {}",
+            kkt_violation(&a, &b, mu, Some(&prior), &sol.x)
+        );
+    }
+
+    #[test]
+    fn simplex_matches_brute_force(
+        a in mat_strategy(2, 5, 0.1, 3.0),
+        strue in proptest::collection::vec(0.0f64..4.0, 5),
+        c in proptest::collection::vec(-2.0f64..2.0, 5),
+    ) {
+        // Feasible by construction: b = A·strue with strue >= 0.
+        let b = a.matvec(&strue);
+        let lp = StandardLp { a: a.clone(), b: b.clone() };
+
+        // Brute force: all 2-subsets of columns as candidate bases.
+        let mut best = f64::NEG_INFINITY;
+        for j1 in 0..5 {
+            for j2 in (j1 + 1)..5 {
+                let sub = a.select_cols(&[j1, j2]);
+                if let Ok(lu) = tm_linalg::decomp::Lu::factor(&sub) {
+                    if let Ok(xb) = lu.solve(&b) {
+                        if xb.iter().all(|&v| v >= -1e-9) {
+                            let obj = c[j1] * xb[0] + c[j2] * xb[1];
+                            best = best.max(obj);
+                        }
+                    }
+                }
+            }
+        }
+        // Degenerate case: brute force may find nothing if every basis is
+        // singular; simplex still must agree when brute force found one.
+        if best > f64::NEG_INFINITY {
+            match solve_lp(&lp, &c, true) {
+                Ok(sol) => {
+                    prop_assert!(
+                        sol.objective >= best - 1e-6,
+                        "simplex {} below brute force {}",
+                        sol.objective,
+                        best
+                    );
+                    // Feasibility of the simplex point.
+                    let ax = lp.a.matvec(&sol.x);
+                    for i in 0..2 {
+                        prop_assert!((ax[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()));
+                    }
+                    prop_assert!(sol.x.iter().all(|&v| v >= -1e-9));
+                }
+                Err(tm_opt::OptError::Unbounded) => {
+                    // Acceptable only if some column has all-positive cost
+                    // direction; with a in (0.1,3) all columns have positive
+                    // coefficients so the LP is always bounded.
+                    prop_assert!(false, "bounded LP reported unbounded");
+                }
+                Err(e) => prop_assert!(false, "solver error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_bounds_bracket_truth(
+        a in mat_strategy(3, 6, 0.0, 1.0),
+        strue in proptest::collection::vec(0.0f64..5.0, 6),
+    ) {
+        // The LP bounds of §4.3.1 must bracket the true demand.
+        let b = a.matvec(&strue);
+        let lp = StandardLp { a, b };
+        if let Ok(mut solver) = tm_opt::simplex::SimplexSolver::new(&lp) {
+            for p in 0..6 {
+                let mut c = vec![0.0; 6];
+                c[p] = 1.0;
+                let hi = solver.maximize(&c);
+                let lo = solver.minimize(&c);
+                if let (Ok(hi), Ok(lo)) = (hi, lo) {
+                    prop_assert!(
+                        hi.objective >= strue[p] - 1e-6,
+                        "upper bound {} below true {}",
+                        hi.objective,
+                        strue[p]
+                    );
+                    prop_assert!(
+                        lo.objective <= strue[p] + 1e-6,
+                        "lower bound {} above true {}",
+                        lo.objective,
+                        strue[p]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gis_satisfies_feasible_constraints(
+        strue in proptest::collection::vec(0.05f64..5.0, 6),
+        prior in proptest::collection::vec(0.05f64..5.0, 6),
+    ) {
+        // Chain-routing style 0/1 matrix: each row covers a window.
+        let mut trip = Vec::new();
+        for i in 0..4 {
+            for j in i..(i + 3).min(6) {
+                trip.push((i, j, 1.0));
+            }
+        }
+        let r = Csr::from_triplets(4, 6, trip).unwrap();
+        let t = r.matvec(&strue);
+        let res = gis(&prior, &r, &t, IpfOptions { max_iter: 50_000, tol: 1e-9 }).unwrap();
+        let rs = r.matvec(&res.values);
+        for i in 0..4 {
+            prop_assert!((rs[i] - t[i]).abs() < 1e-6 * (1.0 + t[i]), "row {i}");
+        }
+        prop_assert!(res.values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn eq_qp_stationarity_random(
+        base in mat_strategy(4, 3, -2.0, 2.0),
+        g in proptest::collection::vec(-3.0f64..3.0, 3),
+        d in -2.0f64..2.0,
+    ) {
+        // H = baseᵀbase + I is SPD.
+        let mut h = base.gram();
+        for i in 0..3 {
+            h.add_to(i, i, 1.0);
+        }
+        let c = Mat::from_rows(&[vec![1.0, 1.0, 1.0]]);
+        let sol = solve_eq_qp(&h, &g, &c, &[d], 0.0).unwrap();
+        // Constraint.
+        let sum: f64 = sol.x.iter().sum();
+        prop_assert!((sum - d).abs() < 1e-8);
+        // Stationarity: Hx − g + Cᵀν = 0.
+        let hx = h.matvec(&sol.x);
+        let ctv = c.tr_matvec(&sol.multipliers);
+        for i in 0..3 {
+            prop_assert!((hx[i] - g[i] + ctv[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn spg_nonneg_ls_matches_lawson_hanson(
+        a in mat_strategy(5, 3, -2.0, 2.0),
+        b in proptest::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        let lh = lawson_hanson(&a, &b, NnlsOptions::default());
+        let res = tm_opt::spg::spg(
+            |x, grad| {
+                let r = vector::sub(&a.matvec(x), &b);
+                let g = a.tr_matvec(&r);
+                grad.copy_from_slice(&g);
+                0.5 * vector::dot(&r, &r)
+            },
+            tm_opt::spg::project_nonneg,
+            vec![0.1; 3],
+            tm_opt::spg::SpgOptions { max_iter: 5000, tol: 1e-10, ..Default::default() },
+        ).unwrap();
+        if let Ok(lh) = lh {
+            let f_lh = {
+                let r = vector::sub(&a.matvec(&lh.x), &b);
+                0.5 * vector::dot(&r, &r)
+            };
+            prop_assert!(res.objective <= f_lh + 1e-5, "spg {} vs lh {}", res.objective, f_lh);
+        }
+    }
+}

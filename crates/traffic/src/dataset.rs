@@ -1,0 +1,234 @@
+//! Evaluation dataset assembly: topology + routing + demand series +
+//! consistent link loads.
+//!
+//! The paper constructs its evaluation data set (§5.1.4) by measuring
+//! the true traffic matrix, simulating the routing, and *computing* the
+//! link loads as `t = R·s` so that routing, demands and loads are exactly
+//! consistent — estimation error is then attributable to the methods
+//! alone, not to measurement noise. [`EvalDataset::generate`] reproduces
+//! that construction end to end.
+
+use serde::{Deserialize, Serialize};
+use tm_net::generators::{self, BackboneSpec};
+use tm_net::routing::{route_lsp_mesh, CspfConfig};
+use tm_net::{RoutingMatrix, Topology};
+
+use crate::diurnal::busiest_window;
+use crate::error::TrafficError;
+use crate::series::{generate_series, DemandSeries};
+use crate::structure::{DemandStructure, TrafficSpec};
+use crate::Result;
+
+/// Number of 5-minute samples in the paper's busy period (250 minutes).
+pub const BUSY_PERIOD_SAMPLES: usize = 50;
+
+/// Specification of a full evaluation dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Backbone topology parameters.
+    pub backbone: BackboneSpec,
+    /// Traffic structure/dynamics parameters.
+    pub traffic: TrafficSpec,
+    /// Number of samples (288 = 24 h of 5-minute intervals).
+    pub n_samples: usize,
+    /// CSPF configuration for LSP-mesh routing.
+    pub cspf: CspfConfig,
+}
+
+impl DatasetSpec {
+    /// The European evaluation network (12 PoPs, 72 links, 132 pairs).
+    pub fn europe() -> Self {
+        DatasetSpec {
+            backbone: BackboneSpec::europe(),
+            traffic: TrafficSpec::europe(),
+            n_samples: 288,
+            cspf: CspfConfig::default(),
+        }
+    }
+
+    /// The American evaluation network (25 PoPs, 284 links, 600 pairs).
+    pub fn america() -> Self {
+        DatasetSpec {
+            backbone: BackboneSpec::america(),
+            traffic: TrafficSpec::america(),
+            n_samples: 288,
+            cspf: CspfConfig::default(),
+        }
+    }
+
+    /// A miniature dataset for fast tests and doc examples.
+    pub fn tiny() -> Self {
+        DatasetSpec {
+            backbone: BackboneSpec::tiny(5),
+            traffic: TrafficSpec::europe(),
+            n_samples: 48,
+            cspf: CspfConfig::default(),
+        }
+    }
+}
+
+/// A complete, self-consistent evaluation dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalDataset {
+    /// PoP-level topology.
+    pub topology: Topology,
+    /// CSPF routing of the full LSP mesh (interior links).
+    pub routing: RoutingMatrix,
+    /// Ground-truth demand series (Mbps).
+    pub series: DemandSeries,
+    /// The static structure the series was generated from.
+    pub structure: DemandStructure,
+    /// Start sample of the busy period (window of
+    /// [`BUSY_PERIOD_SAMPLES`] samples with the largest total traffic).
+    pub busy_start: usize,
+}
+
+impl EvalDataset {
+    /// Generate a dataset deterministically from a spec and seed.
+    ///
+    /// Steps: build the backbone, generate the peak traffic structure,
+    /// route the LSP mesh with CSPF using the mean demands as LSP
+    /// bandwidths (as the operator's head-ends would), then generate the
+    /// 24-hour series.
+    pub fn generate(spec: DatasetSpec, seed: u64) -> Result<Self> {
+        let topology = generators::generate(&spec.backbone, seed)?;
+        let structure =
+            DemandStructure::generate(topology.n_nodes(), &spec.traffic, seed.wrapping_add(1))?;
+        let routing = route_lsp_mesh(&topology, &structure.mean_demands, spec.cspf)?;
+        let series = generate_series(
+            &structure,
+            &spec.traffic,
+            spec.n_samples,
+            seed.wrapping_add(2),
+        )?;
+        let busy_start = busiest_window(
+            &series.totals(),
+            BUSY_PERIOD_SAMPLES.min(spec.n_samples),
+        );
+        Ok(EvalDataset {
+            topology,
+            routing,
+            series,
+            structure,
+            busy_start,
+        })
+    }
+
+    /// The busy period as a sample range.
+    pub fn busy_hour(&self) -> std::ops::Range<usize> {
+        let len = BUSY_PERIOD_SAMPLES.min(self.series.len());
+        self.busy_start..self.busy_start + len
+    }
+
+    /// True demands at sample `k`.
+    pub fn demands_at(&self, k: usize) -> Result<&[f64]> {
+        self.series
+            .samples
+            .get(k)
+            .map(Vec::as_slice)
+            .ok_or_else(|| TrafficError::Dimension(format!("sample {k} out of range")))
+    }
+
+    /// Mean true demands over the busy period (the reference value for
+    /// time-series methods, §5.3.4).
+    pub fn busy_mean_demands(&self) -> Vec<f64> {
+        let r = self.busy_hour();
+        self.series
+            .window_mean(r.start, r.len())
+            .expect("busy window within series")
+    }
+
+    /// Interior link loads at sample `k` (`t[k] = R·s[k]`, exactly
+    /// consistent by construction).
+    pub fn link_loads_at(&self, k: usize) -> Result<Vec<f64>> {
+        let s = self.demands_at(k)?;
+        Ok(self.routing.interior_loads(s)?)
+    }
+
+    /// Link-load time series over a sample range, including edge links
+    /// when `include_edge` (rows ordered `[interior; ingress; egress]`).
+    pub fn link_load_series(
+        &self,
+        range: std::ops::Range<usize>,
+        include_edge: bool,
+    ) -> Result<Vec<Vec<f64>>> {
+        let mut out = Vec::with_capacity(range.len());
+        for k in range {
+            let s = self.demands_at(k)?;
+            out.push(self.routing.full_loads(s, include_edge)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of OD pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.routing.pairs().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn europe_dataset_matches_paper_dimensions() {
+        let d = EvalDataset::generate(DatasetSpec::europe(), 42).unwrap();
+        assert_eq!(d.topology.n_nodes(), 12);
+        assert_eq!(d.topology.n_links(), 72);
+        assert_eq!(d.n_pairs(), 132);
+        assert_eq!(d.series.len(), 288);
+        assert_eq!(d.busy_hour().len(), 50);
+    }
+
+    #[test]
+    fn link_loads_consistent_with_routing() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 7).unwrap();
+        let k = d.busy_start;
+        let s = d.demands_at(k).unwrap();
+        let t = d.link_loads_at(k).unwrap();
+        let expect = d.routing.interior().matvec(s);
+        assert_eq!(t, expect);
+        // Full loads include edges.
+        let series = d.link_load_series(k..k + 3, true).unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(
+            series[0].len(),
+            d.topology.n_links() + 2 * d.topology.n_nodes()
+        );
+    }
+
+    #[test]
+    fn busy_mean_matches_window() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 9).unwrap();
+        let mean = d.busy_mean_demands();
+        let r = d.busy_hour();
+        let manual = d.series.window_mean(r.start, r.len()).unwrap();
+        assert_eq!(mean, manual);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = EvalDataset::generate(DatasetSpec::tiny(), 5).unwrap();
+        let b = EvalDataset::generate(DatasetSpec::tiny(), 5).unwrap();
+        assert_eq!(a.series.samples, b.series.samples);
+        assert_eq!(a.busy_start, b.busy_start);
+        let c = EvalDataset::generate(DatasetSpec::tiny(), 6).unwrap();
+        assert_ne!(a.series.samples, c.series.samples);
+    }
+
+    #[test]
+    fn out_of_range_sample_rejected() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 3).unwrap();
+        assert!(d.demands_at(10_000).is_err());
+        assert!(d.link_loads_at(10_000).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 4).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: EvalDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series.samples, d.series.samples);
+        assert_eq!(back.topology.n_nodes(), d.topology.n_nodes());
+    }
+}

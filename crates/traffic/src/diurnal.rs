@@ -1,0 +1,153 @@
+//! Diurnal activity profiles.
+//!
+//! Fig. 1 of the paper shows the normalized total traffic of both
+//! subnetworks over 24 hours: clear diurnal cycles with pronounced busy
+//! periods that partially overlap around 18:00 GMT. We model per-network
+//! activity as a raised-cosine bump over a night floor, with small
+//! per-node phase offsets (cities in different time zones inside one
+//! region).
+
+use serde::{Deserialize, Serialize};
+
+/// A diurnal activity profile: multiplicative factor in `[floor, 1]` as
+/// a function of GMT time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// GMT hour of peak activity.
+    pub peak_gmt_hour: f64,
+    /// Bump width in hours (full width at the floor).
+    pub width_hours: f64,
+    /// Night floor in `(0, 1)`.
+    pub floor: f64,
+}
+
+impl DiurnalProfile {
+    /// Activity factor at `hour` (GMT, may exceed 24 — wrapped).
+    ///
+    /// A raised cosine centered on the peak: smooth, periodic, maximum 1
+    /// at the peak, `floor` outside the bump.
+    pub fn activity(&self, hour: f64) -> f64 {
+        // Circular distance to the peak in hours, in [-12, 12].
+        let mut d = (hour - self.peak_gmt_hour) % 24.0;
+        if d > 12.0 {
+            d -= 24.0;
+        }
+        if d < -12.0 {
+            d += 24.0;
+        }
+        let half = self.width_hours;
+        if d.abs() >= half {
+            return self.floor;
+        }
+        let bump = 0.5 * (1.0 + (std::f64::consts::PI * d / half).cos());
+        self.floor + (1.0 - self.floor) * bump
+    }
+
+    /// Activity at sample `k` of `n_per_day` uniformly spaced samples
+    /// (e.g. 288 five-minute samples).
+    pub fn activity_at_sample(&self, k: usize, n_per_day: usize) -> f64 {
+        let hour = 24.0 * (k % n_per_day) as f64 / n_per_day as f64;
+        self.activity(hour)
+    }
+
+    /// Copy with the peak shifted by `hours` (per-node time-zone offset).
+    pub fn shifted(&self, hours: f64) -> DiurnalProfile {
+        DiurnalProfile {
+            peak_gmt_hour: (self.peak_gmt_hour + hours).rem_euclid(24.0),
+            ..*self
+        }
+    }
+}
+
+/// Find the contiguous window of `window` samples with the largest total
+/// activity — the paper's "busy period" (250 minutes = 50 samples of 5
+/// minutes). Returns the starting sample index.
+pub fn busiest_window(series: &[f64], window: usize) -> usize {
+    assert!(window >= 1 && window <= series.len(), "bad window");
+    let mut sum: f64 = series[..window].iter().sum();
+    let mut best_sum = sum;
+    let mut best_start = 0;
+    for start in 1..=(series.len() - window) {
+        sum += series[start + window - 1] - series[start - 1];
+        if sum > best_sum {
+            best_sum = sum;
+            best_start = start;
+        }
+    }
+    best_start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> DiurnalProfile {
+        DiurnalProfile {
+            peak_gmt_hour: 18.0,
+            width_hours: 7.0,
+            floor: 0.35,
+        }
+    }
+
+    #[test]
+    fn peak_is_one_floor_at_night() {
+        let p = profile();
+        assert!((p.activity(18.0) - 1.0).abs() < 1e-12);
+        assert!((p.activity(5.0) - 0.35).abs() < 1e-12);
+        assert!((p.activity(29.0) - p.activity(5.0)).abs() < 1e-12, "wraps at 24h");
+    }
+
+    #[test]
+    fn profile_is_smooth_and_bounded() {
+        let p = profile();
+        for k in 0..288 {
+            let a = p.activity_at_sample(k, 288);
+            assert!((0.35..=1.0).contains(&a), "sample {k}: {a}");
+        }
+        // Monotone rising toward the peak on the approach side.
+        assert!(p.activity(15.0) < p.activity(16.0));
+        assert!(p.activity(16.0) < p.activity(17.0));
+        assert!(p.activity(19.0) > p.activity(20.0));
+    }
+
+    #[test]
+    fn circular_distance_is_symmetric() {
+        let p = profile();
+        assert!((p.activity(16.0) - p.activity(20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_moves_peak() {
+        let p = profile().shifted(-3.0);
+        assert!((p.activity(15.0) - 1.0).abs() < 1e-12);
+        let q = profile().shifted(10.0); // 28 -> 4
+        assert!((q.peak_gmt_hour - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busiest_window_finds_peak_region() {
+        let p = profile();
+        let series: Vec<f64> = (0..288).map(|k| p.activity_at_sample(k, 288)).collect();
+        let start = busiest_window(&series, 50);
+        // 50 samples = 250 minutes; the window should be centered near the
+        // 18:00 peak (sample 216).
+        let center = start + 25;
+        assert!(
+            (176..=256).contains(&center),
+            "busy window center {center} should straddle the peak"
+        );
+    }
+
+    #[test]
+    fn busiest_window_edge_cases() {
+        assert_eq!(busiest_window(&[1.0, 2.0, 3.0], 1), 2);
+        assert_eq!(busiest_window(&[1.0, 2.0, 3.0], 3), 0);
+        assert_eq!(busiest_window(&[5.0, 1.0, 1.0, 5.0, 5.0], 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad window")]
+    fn busiest_window_rejects_oversize() {
+        busiest_window(&[1.0], 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for traffic generation.
+
+use std::fmt;
+
+/// Errors produced by the traffic generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// A generation spec failed validation.
+    InvalidSpec(String),
+    /// Mismatched dimensions between components.
+    Dimension(String),
+    /// Underlying network error.
+    Net(tm_net::NetError),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidSpec(msg) => write!(f, "invalid traffic spec: {msg}"),
+            TrafficError::Dimension(msg) => write!(f, "dimension mismatch: {msg}"),
+            TrafficError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrafficError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tm_net::NetError> for TrafficError {
+    fn from(e: tm_net::NetError) -> Self {
+        TrafficError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(TrafficError::InvalidSpec("x".into()).to_string().contains('x'));
+        assert!(TrafficError::Dimension("y".into()).to_string().contains('y'));
+        let e: TrafficError = tm_net::NetError::UnknownNode(3).into();
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,51 @@
+//! # tm-traffic
+//!
+//! Synthetic traffic generation for the `backbone-tm` reproduction of
+//! *Gunnar, Johansson, Telkamp — Traffic Matrix Estimation on a Large IP
+//! Backbone (IMC 2004)*.
+//!
+//! The paper's data set — complete 5-minute traffic matrices from Global
+//! Crossing's backbone — is proprietary. This crate generates synthetic
+//! series reproducing every statistical property the paper's analysis
+//! (§5.2) reports, so the estimator comparison runs on data with the
+//! same character:
+//!
+//! | paper observation | module |
+//! |---|---|
+//! | diurnal cycles, busy periods overlapping ~18:00 GMT (Fig. 1) | [`diurnal`] |
+//! | top 20% of demands ≈ 80% of traffic (Figs. 2–3) | [`structure`] (lognormal masses) |
+//! | per-PoP dominating destinations breaking gravity (Fig. 7) | [`structure`] (hotspots) |
+//! | fanouts more stable than demands for large sources (Figs. 4–5) | [`series`] (volume-scaled AR(1) jitter) |
+//! | mean–variance scaling law `Var = φ·λᶜ` (Fig. 6) | [`series`] (calibrated measurement noise) |
+//! | exact-Poisson demands for the covariance study (Fig. 12) | [`series::poisson_series`] |
+//! | consistent `t = R·s` evaluation data (§5.1.4) | [`dataset`] |
+//!
+//! Distribution sampling is self-contained in [`sampler`] (the allowed
+//! dependency set has no `rand_distr`).
+//!
+//! All generation is deterministic under a caller-provided seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod diurnal;
+pub mod error;
+pub mod sampler;
+pub mod series;
+pub mod structure;
+
+pub use dataset::{DatasetSpec, EvalDataset};
+pub use error::TrafficError;
+pub use series::DemandSeries;
+pub use structure::{DemandStructure, TrafficSpec};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TrafficError>;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::dataset::{DatasetSpec, EvalDataset, BUSY_PERIOD_SAMPLES};
+    pub use crate::series::{generate_series, poisson_series, DemandSeries};
+    pub use crate::structure::{DemandStructure, TrafficSpec};
+}

@@ -1,0 +1,220 @@
+//! Distribution samplers over any [`rand::Rng`].
+//!
+//! The allowed dependency set does not include `rand_distr`, so the
+//! handful of distributions the traffic generator needs are implemented
+//! here: standard normal (Box–Muller), lognormal, Poisson (Knuth
+//! inversion for small rates, normal approximation above), gamma
+//! (Marsaglia–Tsang) and Pareto. All are exact enough for synthetic
+//! traffic; the Poisson approximation threshold is documented because
+//! Fig. 12's synthetic study draws Poisson demands with large rates.
+
+use rand::Rng;
+
+/// Draw a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (log of zero).
+    let mut u1: f64 = rng.random();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Lognormal: `exp(N(mu, sigma))` (`mu`, `sigma` on the log scale).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Threshold above which [`poisson`] switches from exact Knuth inversion
+/// to the rounded-normal approximation `max(0, round(N(λ, √λ)))`. The
+/// approximation's relative moment error is below 1% there.
+pub const POISSON_NORMAL_THRESHOLD: f64 = 30.0;
+
+/// Poisson draw with rate `lambda ≥ 0`.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "poisson: bad lambda");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < POISSON_NORMAL_THRESHOLD {
+        // Knuth: multiply uniforms until falling below e^{-λ}.
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut product: f64 = rng.random();
+        while product > limit {
+            k += 1;
+            product *= rng.random::<f64>();
+        }
+        k
+    } else {
+        let draw = normal(rng, lambda, lambda.sqrt()).round();
+        if draw < 0.0 {
+            0
+        } else {
+            draw as u64
+        }
+    }
+}
+
+/// Gamma draw with shape `k > 0` and scale `theta > 0`
+/// (Marsaglia–Tsang squeeze for `k ≥ 1`, boost for `k < 1`).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, theta: f64) -> f64 {
+    assert!(shape > 0.0 && theta > 0.0, "gamma: bad parameters");
+    if shape < 1.0 {
+        // Boosting: Gamma(k) = Gamma(k+1) · U^{1/k}.
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0, theta) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v * theta;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * theta;
+        }
+    }
+}
+
+/// Pareto draw with scale `xm > 0` and tail index `alpha > 0`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0 && alpha > 0.0, "pareto: bad parameters");
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    xm / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(20040617)
+    }
+
+    fn moments(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let (m, v) = moments(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn normal_shift_scale() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 5.0).abs() < 0.05);
+        assert!((v - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        // E = exp(mu + sigma²/2)
+        let mut r = rng();
+        let xs: Vec<f64> = (0..200_000).map(|_| lognormal(&mut r, 0.0, 0.5)).collect();
+        let (m, _) = moments(&xs);
+        let expect = (0.125f64).exp();
+        assert!((m - expect).abs() / expect < 0.02, "mean {m} vs {expect}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda_exact_regime() {
+        let mut r = rng();
+        let lam = 4.2;
+        let xs: Vec<f64> = (0..200_000).map(|_| poisson(&mut r, lam) as f64).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - lam).abs() < 0.05, "mean {m}");
+        assert!((v - lam).abs() < 0.12, "var {v}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_approximation() {
+        let mut r = rng();
+        let lam = 900.0;
+        let xs: Vec<f64> = (0..100_000).map(|_| poisson(&mut r, lam) as f64).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - lam).abs() / lam < 0.005, "mean {m}");
+        assert!((v - lam).abs() / lam < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn poisson_edge_cases() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        // Tiny lambda: overwhelmingly zero.
+        let zeros = (0..10_000)
+            .filter(|_| poisson(&mut r, 1e-4) == 0)
+            .count();
+        assert!(zeros > 9_980);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson: bad lambda")]
+    fn poisson_rejects_negative() {
+        poisson(&mut rng(), -1.0);
+    }
+
+    #[test]
+    fn gamma_moments() {
+        // mean kθ, var kθ²
+        let mut r = rng();
+        for &(k, th) in &[(0.5, 2.0), (1.0, 1.0), (4.0, 0.5)] {
+            let xs: Vec<f64> = (0..150_000).map(|_| gamma(&mut r, k, th)).collect();
+            let (m, v) = moments(&xs);
+            assert!((m - k * th).abs() / (k * th) < 0.03, "k={k} mean {m}");
+            assert!(
+                (v - k * th * th).abs() / (k * th * th) < 0.08,
+                "k={k} var {v}"
+            );
+            assert!(xs.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn pareto_tail_and_support() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..100_000).map(|_| pareto(&mut r, 2.0, 3.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // mean = α·xm/(α−1) = 3 for xm=2, α=3.
+        let (m, _) = moments(&xs);
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| poisson(&mut r, 12.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| poisson(&mut r, 12.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,376 @@
+//! Ground-truth traffic matrix structure: gravity base with per-source
+//! hotspot destinations.
+//!
+//! Section 5.2.4 of the paper observes that the simple gravity model is
+//! "reasonably accurate for the European network [but] significantly
+//! underestimates the large demands in the American network", because
+//! "PoPs tend to have a few dominating destinations that differ from PoP
+//! to PoP" — violating the gravity assumption that every source splits
+//! its traffic identically. We reproduce exactly that mechanism:
+//!
+//! `s_nm ∝ g_n · h_m · B_nm`
+//!
+//! where `g`/`h` are heavy-tailed (lognormal) node masses and `B` boosts
+//! a few destinations per source. [`TrafficSpec::europe`] uses mild
+//! boosts; [`TrafficSpec::america`] uses strong ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tm_net::{OdPairs, NodeId};
+
+use crate::error::TrafficError;
+use crate::sampler;
+use crate::Result;
+
+/// Parameters of the synthetic demand structure and dynamics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Lognormal σ of node masses (spatial concentration; drives the
+    /// "top 20% of demands carry 80% of traffic" shape of Fig. 2).
+    pub mass_sigma: f64,
+    /// Number of hotspot destinations per source node.
+    pub hotspots_per_source: usize,
+    /// Hotspot boost factor range `[lo, hi]` (multiplies the gravity
+    /// base). `1.0..=1.0` degenerates to a pure gravity matrix.
+    pub hotspot_boost: (f64, f64),
+    /// Mean–variance scaling-law constant φ in `Var{s̃} = φ·λ̃^c` over
+    /// demands normalized by the maximum total traffic.
+    ///
+    /// The paper fits φ = 0.82 (Europe) and φ = 2.44 (America), but φ is
+    /// tied to their (proprietary) normalization constant; applied to our
+    /// synthetic totals those values would give coefficients of variation
+    /// above 1 for the *largest* demands, which contradicts the smooth
+    /// large-demand trajectories of Fig. 4. The presets therefore keep the
+    /// paper's exponents `c` — the scale-invariant quantity — and choose φ
+    /// so the largest demand fluctuates ~10–15% per 5-minute sample,
+    /// preserving the America/Europe noisiness ordering (2.44 > 0.82).
+    pub phi: f64,
+    /// Mean–variance scaling-law exponent `c` (paper: Europe 1.6,
+    /// America 1.5).
+    pub c: f64,
+    /// GMT hour of the diurnal peak (Europe ≈ 17.5, America ≈ 20.5 so
+    /// the busy periods overlap around 18:00 GMT as in Fig. 1).
+    pub peak_gmt_hour: f64,
+    /// Width (hours) of the diurnal bump.
+    pub diurnal_width_hours: f64,
+    /// Night-to-peak traffic ratio (Fig. 1 shows roughly 0.3–0.5).
+    pub night_floor: f64,
+    /// Largest single OD demand in Mbps ("the largest traffic demands
+    /// are on the order of 1200 Mbps").
+    pub max_demand_mbps: f64,
+    /// Relative fanout jitter for the *largest* source (small: fanouts
+    /// of big PoPs are stable, §5.2.2).
+    pub fanout_jitter_large: f64,
+    /// Relative fanout jitter for the *smallest* source (larger: small
+    /// PoPs have noisier fanouts).
+    pub fanout_jitter_small: f64,
+}
+
+impl TrafficSpec {
+    /// European-network preset.
+    pub fn europe() -> Self {
+        TrafficSpec {
+            mass_sigma: 1.3,
+            hotspots_per_source: 2,
+            hotspot_boost: (1.5, 3.0),
+            phi: 0.006,
+            c: 1.6,
+            peak_gmt_hour: 17.5,
+            diurnal_width_hours: 7.0,
+            night_floor: 0.35,
+            max_demand_mbps: 1200.0,
+            fanout_jitter_large: 0.02,
+            fanout_jitter_small: 0.25,
+        }
+    }
+
+    /// American-network preset (strong hotspots: gravity must fail).
+    pub fn america() -> Self {
+        TrafficSpec {
+            mass_sigma: 1.3,
+            hotspots_per_source: 2,
+            hotspot_boost: (8.0, 20.0),
+            phi: 0.015,
+            c: 1.5,
+            peak_gmt_hour: 20.5,
+            diurnal_width_hours: 7.5,
+            night_floor: 0.3,
+            max_demand_mbps: 1200.0,
+            fanout_jitter_large: 0.02,
+            fanout_jitter_small: 0.3,
+        }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.mass_sigma > 0.0) {
+            return Err(TrafficError::InvalidSpec("mass_sigma must be > 0".into()));
+        }
+        if self.hotspot_boost.0 < 1.0 || self.hotspot_boost.1 < self.hotspot_boost.0 {
+            return Err(TrafficError::InvalidSpec(
+                "hotspot_boost must satisfy 1 <= lo <= hi".into(),
+            ));
+        }
+        if !(self.phi > 0.0) || !(self.c > 0.0) {
+            return Err(TrafficError::InvalidSpec("phi and c must be > 0".into()));
+        }
+        if !(0.0..24.0).contains(&self.peak_gmt_hour) {
+            return Err(TrafficError::InvalidSpec("peak hour outside [0,24)".into()));
+        }
+        if !(self.diurnal_width_hours > 0.0) {
+            return Err(TrafficError::InvalidSpec("diurnal width must be > 0".into()));
+        }
+        if !(0.0..1.0).contains(&self.night_floor) {
+            return Err(TrafficError::InvalidSpec("night_floor outside [0,1)".into()));
+        }
+        if !(self.max_demand_mbps > 0.0) {
+            return Err(TrafficError::InvalidSpec("max demand must be > 0".into()));
+        }
+        if self.fanout_jitter_large < 0.0 || self.fanout_jitter_small < self.fanout_jitter_large
+        {
+            return Err(TrafficError::InvalidSpec(
+                "fanout jitter must satisfy 0 <= large <= small".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The static (busy-hour mean) demand structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandStructure {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Mean demand per OD pair (Mbps), [`OdPairs`] order.
+    pub mean_demands: Vec<f64>,
+    /// Node masses (source attraction), normalized to sum 1.
+    pub masses: Vec<f64>,
+    /// Hotspot destinations per source (for inspection and tests).
+    pub hotspots: Vec<Vec<usize>>,
+}
+
+impl DemandStructure {
+    /// Generate the mean traffic matrix for `n_nodes` PoPs.
+    pub fn generate(n_nodes: usize, spec: &TrafficSpec, seed: u64) -> Result<Self> {
+        spec.validate()?;
+        if n_nodes < 2 {
+            return Err(TrafficError::InvalidSpec(
+                "need at least 2 nodes for demands".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7472_6166_6669_6321);
+        let pairs = OdPairs::new(n_nodes);
+
+        // Heavy-tailed node masses (shared by source and destination
+        // attraction, as user populations drive both directions).
+        let mut masses: Vec<f64> =
+            (0..n_nodes).map(|_| sampler::lognormal(&mut rng, 0.0, spec.mass_sigma)).collect();
+        let msum: f64 = masses.iter().sum();
+        for m in &mut masses {
+            *m /= msum;
+        }
+
+        // Hotspot destinations per source: weighted draw without
+        // replacement, favouring big destinations but distinct per PoP.
+        let mut hotspots: Vec<Vec<usize>> = Vec::with_capacity(n_nodes);
+        for n in 0..n_nodes {
+            let mut chosen: Vec<usize> = Vec::new();
+            let mut guard = 0;
+            while chosen.len() < spec.hotspots_per_source.min(n_nodes - 1) {
+                let cand = rng.random_range(0..n_nodes);
+                if cand != n && !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+                guard += 1;
+                if guard > 10_000 {
+                    break;
+                }
+            }
+            hotspots.push(chosen);
+        }
+
+        // Gravity base with hotspot boosts.
+        let mut demands = vec![0.0; pairs.count()];
+        for (p, src, dst) in pairs.iter() {
+            let mut v = masses[src.0] * masses[dst.0];
+            if hotspots[src.0].contains(&dst.0) {
+                let (lo, hi) = spec.hotspot_boost;
+                v *= lo + (hi - lo) * rng.random::<f64>();
+            }
+            demands[p] = v;
+        }
+
+        // Scale so the largest demand hits the target Mbps.
+        let dmax = demands.iter().cloned().fold(0.0f64, f64::max);
+        if dmax <= 0.0 {
+            return Err(TrafficError::InvalidSpec(
+                "degenerate demand structure (all zero)".into(),
+            ));
+        }
+        let scale = spec.max_demand_mbps / dmax;
+        for d in &mut demands {
+            *d *= scale;
+        }
+
+        Ok(DemandStructure {
+            n_nodes,
+            mean_demands: demands,
+            masses,
+            hotspots,
+        })
+    }
+
+    /// OD pair enumeration for this structure.
+    pub fn pairs(&self) -> OdPairs {
+        OdPairs::new(self.n_nodes)
+    }
+
+    /// Total mean traffic (sum of all demands).
+    pub fn total(&self) -> f64 {
+        self.mean_demands.iter().sum()
+    }
+
+    /// Ground-truth fanout factors `α_nm = s_nm / Σ_m s_nm`.
+    pub fn fanouts(&self) -> Vec<f64> {
+        let pairs = self.pairs();
+        let mut out_tot = vec![0.0; self.n_nodes];
+        for (p, src, _) in pairs.iter() {
+            out_tot[src.0] += self.mean_demands[p];
+        }
+        let mut alpha = vec![0.0; pairs.count()];
+        for (p, src, _) in pairs.iter() {
+            if out_tot[src.0] > 0.0 {
+                alpha[p] = self.mean_demands[p] / out_tot[src.0];
+            }
+        }
+        alpha
+    }
+
+    /// Source ids sorted by originated traffic, descending (the paper's
+    /// "largest PoPs" of Figs. 4–5).
+    pub fn sources_by_volume(&self) -> Vec<NodeId> {
+        let pairs = self.pairs();
+        let mut out_tot = vec![0.0; self.n_nodes];
+        for (p, src, _) in pairs.iter() {
+            out_tot[src.0] += self.mean_demands[p];
+        }
+        let mut ids: Vec<usize> = (0..self.n_nodes).collect();
+        ids.sort_by(|&a, &b| out_tot[b].partial_cmp(&out_tot[a]).expect("finite"));
+        ids.into_iter().map(NodeId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_linalg::stats;
+
+    #[test]
+    fn europe_structure_is_sane() {
+        let s = DemandStructure::generate(12, &TrafficSpec::europe(), 42).unwrap();
+        assert_eq!(s.mean_demands.len(), 132);
+        assert!(s.mean_demands.iter().all(|&d| d >= 0.0));
+        let dmax = s.mean_demands.iter().cloned().fold(0.0f64, f64::max);
+        assert!((dmax - 1200.0).abs() < 1e-9, "max demand scaled to target");
+        assert!((s.masses.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_concentration_matches_paper_shape() {
+        // Fig. 2: top 20% of demands carry ~80% of traffic. Tolerate a band.
+        for seed in [1, 7, 42] {
+            let s = DemandStructure::generate(25, &TrafficSpec::america(), seed).unwrap();
+            let shares = stats::cumulative_share_by_rank(&s.mean_demands);
+            let top20 = shares[(shares.len() as f64 * 0.2) as usize];
+            assert!(
+                (0.6..0.97).contains(&top20),
+                "seed {seed}: top-20% share {top20}"
+            );
+        }
+    }
+
+    #[test]
+    fn america_has_stronger_hotspots_than_europe() {
+        // Ratio of the largest fanout per source to the gravity fanout:
+        // larger for the American preset.
+        let eu = DemandStructure::generate(20, &TrafficSpec::europe(), 3).unwrap();
+        let us = DemandStructure::generate(20, &TrafficSpec::america(), 3).unwrap();
+        let spread = |s: &DemandStructure| {
+            let alpha = s.fanouts();
+            let pairs = s.pairs();
+            let mut worst: f64 = 0.0;
+            for n in 0..s.n_nodes {
+                let from = pairs.from_source(NodeId(n));
+                let mx = from.iter().map(|&p| alpha[p]).fold(0.0f64, f64::max);
+                let mean = from.iter().map(|&p| alpha[p]).sum::<f64>() / from.len() as f64;
+                if mean > 0.0 {
+                    worst = worst.max(mx / mean);
+                }
+            }
+            worst
+        };
+        assert!(
+            spread(&us) > spread(&eu),
+            "america {} vs europe {}",
+            spread(&us),
+            spread(&eu)
+        );
+    }
+
+    #[test]
+    fn fanouts_sum_to_one_per_source() {
+        let s = DemandStructure::generate(10, &TrafficSpec::europe(), 5).unwrap();
+        let alpha = s.fanouts();
+        let pairs = s.pairs();
+        for n in 0..10 {
+            let sum: f64 = pairs.from_source(NodeId(n)).iter().map(|&p| alpha[p]).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "source {n} fanout sum {sum}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = DemandStructure::generate(8, &TrafficSpec::europe(), 9).unwrap();
+        let b = DemandStructure::generate(8, &TrafficSpec::europe(), 9).unwrap();
+        assert_eq!(a.mean_demands, b.mean_demands);
+        let c = DemandStructure::generate(8, &TrafficSpec::europe(), 10).unwrap();
+        assert_ne!(a.mean_demands, c.mean_demands);
+    }
+
+    #[test]
+    fn sources_sorted_by_volume() {
+        let s = DemandStructure::generate(9, &TrafficSpec::america(), 2).unwrap();
+        let order = s.sources_by_volume();
+        let pairs = s.pairs();
+        let vol = |n: NodeId| -> f64 {
+            pairs.from_source(n).iter().map(|&p| s.mean_demands[p]).sum()
+        };
+        for w in order.windows(2) {
+            assert!(vol(w[0]) >= vol(w[1]));
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let mut s = TrafficSpec::europe();
+        s.mass_sigma = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = TrafficSpec::europe();
+        s.hotspot_boost = (0.5, 2.0);
+        assert!(s.validate().is_err());
+        let mut s = TrafficSpec::europe();
+        s.hotspot_boost = (3.0, 2.0);
+        assert!(s.validate().is_err());
+        let mut s = TrafficSpec::europe();
+        s.night_floor = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = TrafficSpec::europe();
+        s.peak_gmt_hour = 25.0;
+        assert!(s.validate().is_err());
+        let mut s = TrafficSpec::europe();
+        s.fanout_jitter_small = 0.001;
+        assert!(s.validate().is_err());
+        assert!(DemandStructure::generate(1, &TrafficSpec::europe(), 1).is_err());
+    }
+}

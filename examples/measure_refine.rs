@@ -1,0 +1,47 @@
+//! Combining tomography with direct measurements (paper §5.3.6):
+//! how fast does the entropy estimator's MRE collapse as we measure a
+//! few demands exactly — greedily chosen vs largest-first?
+//!
+//! ```sh
+//! cargo run --release --example measure_refine
+//! ```
+
+use backbone_tm::core::measure::{greedy_selection, largest_first_selection};
+use backbone_tm::prelude::*;
+
+fn main() {
+    let dataset = EvalDataset::generate(DatasetSpec::europe(), 42).expect("valid spec");
+    let problem = dataset.snapshot_problem(dataset.busy_hour().start);
+    let thr = CoverageThreshold::Share(0.9);
+    let lambda = 1e3;
+
+    let base = EntropyEstimator::new(lambda).estimate(&problem).expect("entropy");
+    let mre0 = mean_relative_error(
+        problem.true_demands().expect("truth"),
+        &base.demands,
+        thr,
+    )
+    .expect("aligned");
+    println!("entropy MRE with no direct measurements: {mre0:.4}");
+
+    let steps = 12;
+    // Greedy exhaustive search over the 40 largest remaining demands per
+    // step (the paper's full exhaustive search, capped for speed).
+    let greedy = greedy_selection(&problem, lambda, steps, thr, 40).expect("greedy");
+    let largest = largest_first_selection(&problem, lambda, steps, thr).expect("largest");
+
+    println!("{:>5} {:>16} {:>16}", "#meas", "greedy MRE", "largest-first MRE");
+    for i in 0..steps {
+        println!(
+            "{:>5} {:>16.4} {:>16.4}",
+            i + 1,
+            greedy[i].mre,
+            largest[i].mre
+        );
+    }
+    println!(
+        "greedy reaches MRE {:.4} after {} measurements (paper: Europe 11% -> <1% with 6)",
+        greedy.last().expect("nonempty").mre,
+        steps
+    );
+}

@@ -1,0 +1,54 @@
+//! # backbone-tm
+//!
+//! Facade crate for the Rust reproduction of *Gunnar, Johansson, Telkamp —
+//! Traffic Matrix Estimation on a Large IP Backbone: A Comparison on Real
+//! Data* (IMC 2004).
+//!
+//! This crate re-exports the whole workspace so downstream users can add a
+//! single dependency and reach every layer:
+//!
+//! * [`linalg`] — dense/sparse linear algebra and time-series statistics,
+//! * [`opt`] — LP / QP / NNLS / projected gradient / iterative scaling,
+//! * [`net`] — backbone topologies, CSPF routing, routing matrices,
+//! * [`traffic`] — synthetic demand and time-series generation,
+//! * [`collect`] — the SNMP poller measurement-pipeline simulation,
+//! * [`core`] — the traffic-matrix estimators and evaluation metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use backbone_tm::prelude::*;
+//!
+//! // A small deterministic evaluation scenario: European-style backbone,
+//! // one busy-hour snapshot, gravity prior, entropy estimator.
+//! let dataset = EvalDataset::generate(DatasetSpec::europe(), 42).unwrap();
+//! let problem = dataset.snapshot_problem(dataset.busy_hour().start);
+//! let prior = GravityModel::simple().estimate(&problem).unwrap();
+//! let estimate = EntropyEstimator::new(1e3)
+//!     .with_prior(prior.clone())
+//!     .estimate(&problem)
+//!     .unwrap();
+//! let mre = mean_relative_error(
+//!     problem.true_demands().unwrap(),
+//!     &estimate.demands,
+//!     CoverageThreshold::Share(0.9),
+//! ).unwrap();
+//! assert!(mre < 0.5, "entropy estimate should beat 50% MRE, got {mre}");
+//! ```
+//!
+//! See `examples/` for larger end-to-end scenarios and `crates/bench` for
+//! the harness regenerating every figure and table of the paper.
+
+pub use tm_collect as collect;
+pub use tm_core as core;
+pub use tm_linalg as linalg;
+pub use tm_net as net;
+pub use tm_opt as opt;
+pub use tm_traffic as traffic;
+
+/// Common imports for working with the full pipeline.
+pub mod prelude {
+    pub use tm_core::prelude::*;
+    pub use tm_net::prelude::*;
+    pub use tm_traffic::prelude::*;
+}

@@ -1,0 +1,187 @@
+//! End-to-end integration tests across the whole workspace:
+//! topology → traffic → routing → (collection) → estimation → metrics.
+
+use backbone_tm::collect::{run_collection, CollectionConfig};
+use backbone_tm::core::fanout::FanoutEstimator;
+use backbone_tm::core::kruithof::KruithofEstimator;
+use backbone_tm::core::vardi::VardiEstimator;
+use backbone_tm::core::wcb::worst_case_bounds;
+use backbone_tm::net::fmt as netfmt;
+use backbone_tm::prelude::*;
+
+fn europe() -> EvalDataset {
+    EvalDataset::generate(DatasetSpec::europe(), 42).expect("valid spec")
+}
+
+#[test]
+fn dataset_dimensions_match_paper() {
+    let eu = europe();
+    assert_eq!(eu.topology.n_nodes(), 12);
+    assert_eq!(eu.topology.n_links(), 72);
+    assert_eq!(eu.n_pairs(), 132);
+    let us = EvalDataset::generate(DatasetSpec::america(), 42).expect("valid spec");
+    assert_eq!(us.topology.n_nodes(), 25);
+    assert_eq!(us.topology.n_links(), 284);
+    assert_eq!(us.n_pairs(), 600);
+}
+
+#[test]
+fn estimator_ranking_matches_table2_shape() {
+    // The qualitative claims of Table 2 on the European network:
+    // regularized methods beat the gravity prior; WCB prior beats
+    // gravity; everything beats Vardi at sigma^-2 = 1.
+    let d = europe();
+    let p = d.snapshot_problem(d.busy_hour().start);
+    let truth = p.true_demands().expect("truth").to_vec();
+    let thr = CoverageThreshold::Share(0.9);
+    let mre = |e: &[f64]| mean_relative_error(&truth, e, thr).expect("aligned");
+
+    let gravity = mre(&GravityModel::simple().estimate(&p).expect("ok").demands);
+    let entropy = mre(&EntropyEstimator::new(1e3).estimate(&p).expect("ok").demands);
+    let bayes = mre(&BayesianEstimator::new(1e3).estimate(&p).expect("ok").demands);
+    let wcb = worst_case_bounds(&p).expect("ok");
+    let wcb_mre = mre(&wcb.midpoint().demands);
+
+    assert!(entropy < gravity, "entropy {entropy} vs gravity {gravity}");
+    assert!(bayes < gravity, "bayes {bayes} vs gravity {gravity}");
+    assert!(wcb_mre < gravity, "wcb {wcb_mre} vs gravity {gravity}");
+
+    // Time-series methods on the busy window.
+    let w = d.window_problem(d.busy_hour());
+    let truth_mean = w.true_demands().expect("truth").to_vec();
+    let mre_w = |e: &[f64]| mean_relative_error(&truth_mean, e, thr).expect("aligned");
+    let fanout = mre_w(
+        &FanoutEstimator::new()
+            .estimate(&w)
+            .expect("ok")
+            .estimate
+            .demands,
+    );
+    let vardi_bad = mre_w(&VardiEstimator::new(1.0).estimate(&w).expect("ok").demands);
+    assert!(
+        fanout < vardi_bad,
+        "fanout {fanout} should beat vardi(1.0) {vardi_bad}"
+    );
+    assert!(
+        vardi_bad > 1.0,
+        "vardi at full moment weight must fail on non-Poisson data: {vardi_bad}"
+    );
+}
+
+#[test]
+fn wcb_bounds_contain_all_estimates_of_feasible_methods() {
+    // Estimates satisfying R s = t must lie within the worst-case bounds.
+    let d = europe();
+    let p = d.snapshot_problem(d.busy_hour().start);
+    let bounds = worst_case_bounds(&p).expect("ok");
+    let k = KruithofEstimator::full().estimate(&p).expect("ok");
+    for i in 0..p.n_pairs() {
+        let tol = 1e-3 * (1.0 + bounds.upper[i]);
+        assert!(
+            k.demands[i] >= bounds.lower[i] - tol,
+            "pair {i}: {} below lower bound {}",
+            k.demands[i],
+            bounds.lower[i]
+        );
+        assert!(
+            k.demands[i] <= bounds.upper[i] + tol,
+            "pair {i}: {} above upper bound {}",
+            k.demands[i],
+            bounds.upper[i]
+        );
+    }
+}
+
+#[test]
+fn collected_measurements_support_estimation() {
+    // Full pipeline: run the SNMP simulation over the busy hour with
+    // loss, rebuild the TM series, estimate from the collected loads and
+    // verify quality survives.
+    let d = europe();
+    let pairs = d.routing.pairs();
+    let host_of: Vec<usize> = (0..pairs.count()).map(|p| pairs.pair(p).0 .0).collect();
+    let busy = d.busy_hour();
+    let window: Vec<Vec<f64>> = busy.clone().map(|k| d.series.samples[k].clone()).collect();
+    let collected = run_collection(
+        &window,
+        &host_of,
+        d.topology.n_nodes(),
+        &CollectionConfig {
+            loss_probability: 0.05,
+            ..Default::default()
+        },
+        7,
+    )
+    .expect("pipeline survives 5% loss");
+
+    let measured = &collected.rates[0];
+    let truth = &d.series.samples[busy.start];
+    // Collection itself is accurate on the big demands.
+    let col_mre =
+        mean_relative_error(truth, measured, CoverageThreshold::Share(0.9)).expect("aligned");
+    assert!(col_mre < 0.05, "collection error {col_mre}");
+
+    // Estimation from the collected loads.
+    let problem = backbone_tm::core::EstimationProblem::new(
+        d.routing.interior().clone(),
+        d.routing.interior_loads(measured).expect("dims"),
+        d.routing.ingress_loads(measured).expect("dims"),
+        d.routing.egress_loads(measured).expect("dims"),
+    )
+    .expect("valid")
+    .with_truth(truth.clone())
+    .expect("dims");
+    let est = EntropyEstimator::new(1e3).estimate(&problem).expect("ok");
+    let mre = mean_relative_error(
+        truth,
+        &est.demands,
+        CoverageThreshold::Share(0.9),
+    )
+    .expect("aligned");
+    assert!(mre < 0.5, "estimation from collected data MRE {mre}");
+}
+
+#[test]
+fn topology_text_format_roundtrips_through_estimation() {
+    // Export the routed topology, re-import it, and verify the routing
+    // matrix produces identical link loads.
+    let d = europe();
+    let text = netfmt::export(&d.topology, Some(&d.routing));
+    let (topo2, routing2) = netfmt::import(&text).expect("own export parses");
+    let routing2 = routing2.expect("routes present");
+    assert_eq!(topo2.n_nodes(), d.topology.n_nodes());
+    let s = d.demands_at(d.busy_start).expect("in range");
+    let t1 = d.routing.interior_loads(s).expect("dims");
+    let t2 = routing2.interior_loads(s).expect("dims");
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn measurement_selection_curves_are_monotone_enough() {
+    let d = EvalDataset::generate(DatasetSpec::tiny(), 3).expect("valid spec");
+    let p = d.snapshot_problem(d.busy_hour().start);
+    let thr = CoverageThreshold::Share(0.9);
+    let curve = backbone_tm::core::measure::greedy_selection(&p, 1e3, 6, thr, usize::MAX)
+        .expect("truth attached");
+    // Greedy never increases the MRE.
+    for w in curve.windows(2) {
+        assert!(
+            w[1].mre <= w[0].mre + 1e-9,
+            "greedy must be monotone: {} then {}",
+            w[0].mre,
+            w[1].mre
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = europe();
+    let b = europe();
+    assert_eq!(a.series.samples, b.series.samples);
+    let pa = a.snapshot_problem(a.busy_hour().start);
+    let pb = b.snapshot_problem(b.busy_hour().start);
+    let ea = EntropyEstimator::new(1e3).estimate(&pa).expect("ok");
+    let eb = EntropyEstimator::new(1e3).estimate(&pb).expect("ok");
+    assert_eq!(ea.demands, eb.demands);
+}

@@ -1,0 +1,86 @@
+//! Cross-crate property tests: invariants that must hold for any seed
+//! and any small network shape.
+
+use proptest::prelude::*;
+
+use backbone_tm::core::wcb::worst_case_bounds;
+use backbone_tm::net::generators::BackboneSpec;
+use backbone_tm::prelude::*;
+use backbone_tm::traffic::DatasetSpec;
+
+fn tiny_spec(n: usize) -> DatasetSpec {
+    DatasetSpec {
+        backbone: BackboneSpec::tiny(n),
+        n_samples: 24,
+        ..DatasetSpec::tiny()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dataset_always_consistent(seed in 0u64..1000, n in 4usize..8) {
+        let d = EvalDataset::generate(tiny_spec(n), seed).expect("valid spec");
+        // Every sample satisfies t = R s exactly.
+        for k in [0usize, d.busy_hour().start, d.series.len() - 1] {
+            let s = d.demands_at(k).expect("in range");
+            let t = d.link_loads_at(k).expect("in range");
+            let rs = d.routing.interior().matvec(s);
+            for i in 0..t.len() {
+                prop_assert!((t[i] - rs[i]).abs() < 1e-9 * (1.0 + rs[i].abs()));
+            }
+            prop_assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn gravity_estimate_preserves_total(seed in 0u64..1000, n in 4usize..8) {
+        let d = EvalDataset::generate(tiny_spec(n), seed).expect("valid spec");
+        let p = d.snapshot_problem(d.busy_hour().start);
+        let g = GravityModel::simple().estimate(&p).expect("ok");
+        let total: f64 = g.demands.iter().sum();
+        prop_assert!((total - p.total_traffic()).abs() < 1e-6 * p.total_traffic().max(1.0));
+        prop_assert!(g.demands.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn wcb_always_brackets_truth(seed in 0u64..300, n in 4usize..7) {
+        let d = EvalDataset::generate(tiny_spec(n), seed).expect("valid spec");
+        let p = d.snapshot_problem(d.busy_hour().start);
+        let truth = p.true_demands().expect("truth");
+        let b = worst_case_bounds(&p).expect("LPs solvable");
+        for i in 0..truth.len() {
+            let tol = 1e-6 * (1.0 + truth[i]);
+            prop_assert!(b.lower[i] <= truth[i] + tol, "pair {i}");
+            prop_assert!(b.upper[i] >= truth[i] - tol, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn regularized_estimators_respect_measurements_at_large_lambda(
+        seed in 0u64..1000,
+        n in 4usize..7,
+    ) {
+        let d = EvalDataset::generate(tiny_spec(n), seed).expect("valid spec");
+        let p = d.snapshot_problem(d.busy_hour().start);
+        let est = BayesianEstimator::new(1e7).estimate(&p).expect("ok");
+        let a = p.measurement_matrix();
+        let t = p.measurements();
+        let at = a.matvec(&est.demands);
+        let scale = t.iter().cloned().fold(1.0f64, f64::max);
+        for i in 0..t.len() {
+            prop_assert!((at[i] - t[i]).abs() < 1e-3 * scale, "row {i}");
+        }
+    }
+
+    #[test]
+    fn mre_of_truth_is_zero(seed in 0u64..1000, n in 4usize..8) {
+        let d = EvalDataset::generate(tiny_spec(n), seed).expect("valid spec");
+        let p = d.snapshot_problem(0);
+        let truth = p.true_demands().expect("truth");
+        let mre = mean_relative_error(truth, truth, CoverageThreshold::Share(0.9))
+            .expect("aligned");
+        prop_assert_eq!(mre, 0.0);
+    }
+}
