@@ -124,7 +124,11 @@ fn bench_vardi(c: &mut Criterion) {
     let mut g = c.benchmark_group("vardi");
     g.sample_size(10);
     g.bench_function("busy_window_50", |b| {
-        b.iter(|| VardiEstimator::new(0.01).estimate(black_box(&w)).expect("ok"))
+        b.iter(|| {
+            VardiEstimator::new(0.01)
+                .estimate(black_box(&w))
+                .expect("ok")
+        })
     });
     g.finish();
 }
@@ -134,10 +138,18 @@ fn bench_regularized(c: &mut Criterion) {
     let p = snapshot(&d);
     let mut g = c.benchmark_group("regularized");
     g.bench_function("entropy_lambda_1e3", |b| {
-        b.iter(|| EntropyEstimator::new(1e3).estimate(black_box(&p)).expect("ok"))
+        b.iter(|| {
+            EntropyEstimator::new(1e3)
+                .estimate(black_box(&p))
+                .expect("ok")
+        })
     });
     g.bench_function("bayes_lambda_1e3", |b| {
-        b.iter(|| BayesianEstimator::new(1e3).estimate(black_box(&p)).expect("ok"))
+        b.iter(|| {
+            BayesianEstimator::new(1e3)
+                .estimate(black_box(&p))
+                .expect("ok")
+        })
     });
     // Ablation: dual-form ridge NNLS vs Gram coordinate descent on the
     // same Bayesian program (moderate lambda where CD still converges).
@@ -191,13 +203,8 @@ fn bench_routing(c: &mut Criterion) {
                 for t in 0..topo.n_nodes() {
                     if s != t {
                         black_box(
-                            shortest_path(
-                                topo,
-                                tm_net::NodeId(s),
-                                tm_net::NodeId(t),
-                                |_| true,
-                            )
-                            .expect("connected"),
+                            shortest_path(topo, tm_net::NodeId(s), tm_net::NodeId(t), |_| true)
+                                .expect("connected"),
                         );
                     }
                 }

@@ -1,0 +1,103 @@
+//! Per-estimator criterion benches at three topology scales
+//! (tiny / europe / america), plus the sparse-vs-dense ablations of the
+//! entropy-SPG and Gram-CD-NNLS hot paths that the sparse-first engine
+//! targets. The `experiments -- bench` binary writes the same
+//! measurements to `BENCH_PR1.json`; this bench exists for quick
+//! `cargo bench -p tm_bench --bench scaling [filter]` iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tm_bench::{perf, scales, snapshot, window};
+use tm_core::fanout::FanoutEstimator;
+use tm_core::prelude::*;
+use tm_core::wcb::worst_case_bounds;
+use tm_linalg::LinOp;
+use tm_opt::nnls;
+
+fn bench_estimators_by_scale(c: &mut Criterion) {
+    for (name, d) in scales() {
+        let p = snapshot(&d);
+        let w = window(&d, 10);
+        let mut g = c.benchmark_group(format!("scale/{name}"));
+        g.sample_size(10);
+        g.bench_function("gravity", |b| {
+            b.iter(|| GravityModel::simple().estimate(black_box(&p)).expect("ok"))
+        });
+        g.bench_function("entropy_1e3", |b| {
+            b.iter(|| {
+                EntropyEstimator::new(1e3)
+                    .estimate(black_box(&p))
+                    .expect("ok")
+            })
+        });
+        g.bench_function("bayes_1e3", |b| {
+            b.iter(|| {
+                BayesianEstimator::new(1e3)
+                    .estimate(black_box(&p))
+                    .expect("ok")
+            })
+        });
+        g.bench_function("kruithof_full", |b| {
+            b.iter(|| {
+                KruithofEstimator::full()
+                    .estimate(black_box(&p))
+                    .expect("ok")
+            })
+        });
+        g.bench_function("fanout_k10", |b| {
+            b.iter(|| FanoutEstimator::new().estimate(black_box(&w)).expect("ok"))
+        });
+        g.bench_function("wcb_parallel", |b| {
+            b.iter(|| worst_case_bounds(black_box(&p)).expect("ok"))
+        });
+        g.finish();
+    }
+}
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    for (name, d) in scales() {
+        let p = snapshot(&d);
+        let a = p.measurement_matrix();
+        let a_dense = a.to_dense();
+        let stot = p.total_traffic().max(f64::MIN_POSITIVE);
+        let t: Vec<f64> = p.measurements().iter().map(|v| v / stot).collect();
+        let prior: Vec<f64> = GravityModel::simple()
+            .estimate(&p)
+            .expect("ok")
+            .demands
+            .iter()
+            .map(|v| v / stot)
+            .collect();
+        let mut g = c.benchmark_group(format!("sparse_vs_dense/{name}"));
+        g.sample_size(10);
+        g.bench_function("entropy_sparse", |b| {
+            b.iter(|| perf::entropy_solve(black_box(&a), &t, &prior, 1e3))
+        });
+        g.bench_function("entropy_dense", |b| {
+            b.iter(|| perf::entropy_solve(black_box(&a_dense), &t, &prior, 1e3))
+        });
+        g.bench_function("cd_nnls_sparse", |b| {
+            b.iter(|| {
+                nnls::cd_nnls_sparse(black_box(&a), &t, 0.1, Some(&prior), 20_000, 1e-10)
+                    .expect("ok")
+            })
+        });
+        g.bench_function("cd_nnls_dense", |b| {
+            b.iter(|| {
+                nnls::cd_nnls(black_box(&a_dense), &t, 0.1, Some(&prior), 20_000, 1e-10)
+                    .expect("ok")
+            })
+        });
+        g.finish();
+        println!(
+            "  ({name}: measurement nnz {} of {} cells, density {:.4})",
+            LinOp::nnz(&a),
+            a.rows() * a.cols(),
+            LinOp::density(&a)
+        );
+    }
+}
+
+criterion_group!(benches, bench_estimators_by_scale, bench_sparse_vs_dense);
+criterion_main!(benches);

@@ -1,27 +1,38 @@
-//! Regenerate every figure and table of the paper's evaluation section.
+//! Regenerate every figure and table of the paper's evaluation section,
+//! plus the perf-trajectory bench mode.
 //!
 //! ```sh
-//! cargo run --release -p tm-bench --bin experiments -- all
-//! cargo run --release -p tm-bench --bin experiments -- fig13 table2
+//! cargo run --release -p tm_bench --bin experiments -- all
+//! cargo run --release -p tm_bench --bin experiments -- fig13 table2
+//! cargo run --release -p tm_bench --bin experiments -- bench
 //! ```
 //!
 //! Output: aligned text on stdout (the *shape* to compare against the
 //! paper) plus CSV files under `results/`. Absolute numbers differ from
 //! the paper — the substrate is synthetic — but the qualitative claims
 //! (who wins, where methods fail, where curves flatten) are reproduced.
+//!
+//! `bench` times every estimator at three topology scales and writes
+//! `BENCH_PR1.json` (schema documented in `docs/PERF.md`) so later PRs
+//! have a baseline to beat. It is NOT part of `all`.
 
-use tm_bench::{networks, paper_mre, snapshot, window, CsvOut, SEED};
+use tm_bench::{networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
 use tm_core::cao::CaoEstimator;
 use tm_core::fanout::FanoutEstimator;
 use tm_core::measure::{greedy_selection, largest_first_selection};
 use tm_core::prelude::*;
 use tm_core::vardi::VardiEstimator;
 use tm_core::wcb::worst_case_bounds;
-use tm_linalg::{stats, vector};
+use tm_linalg::{stats, vector, LinOp};
+use tm_opt::nnls;
 use tm_traffic::series::poisson_series;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "bench") {
+        bench_mode();
+        return;
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -93,7 +104,11 @@ fn fig1() {
         .collect();
     for k in 0..totals[0].len() {
         let hour = 24.0 * k as f64 / totals[0].len() as f64;
-        csv.row(&[format!("{hour:.3}"), format!("{:.4}", totals[0][k]), format!("{:.4}", totals[1][k])]);
+        csv.row(&[
+            format!("{hour:.3}"),
+            format!("{:.4}", totals[0][k]),
+            format!("{:.4}", totals[1][k]),
+        ]);
     }
     // Text: busy windows.
     for (i, (name, d)) in nets.iter().enumerate() {
@@ -123,16 +138,26 @@ fn fig2() {
         "Figure 2: cumulative demand distribution",
         "top 20% of demands carry ~80% of the traffic in both networks",
     );
-    let mut csv = CsvOut::new("fig2_cumulative_demands", "network,rank_fraction,traffic_share");
+    let mut csv = CsvOut::new(
+        "fig2_cumulative_demands",
+        "network,rank_fraction,traffic_share",
+    );
     for (name, d) in networks() {
         let mean = d.busy_mean_demands();
         let shares = stats::cumulative_share_by_rank(&mean);
         let n = shares.len();
         for (i, &s) in shares.iter().enumerate() {
-            csv.row(&[name.into(), format!("{:.4}", (i + 1) as f64 / n as f64), format!("{s:.4}")]);
+            csv.row(&[
+                name.into(),
+                format!("{:.4}", (i + 1) as f64 / n as f64),
+                format!("{s:.4}"),
+            ]);
         }
         let top20 = shares[(n as f64 * 0.2) as usize - 1];
-        println!("  {name:<8} top 20% of demands carry {:.1}% of traffic", top20 * 100.0);
+        println!(
+            "  {name:<8} top 20% of demands carry {:.1}% of traffic",
+            top20 * 100.0
+        );
     }
     let path = csv.finish().expect("writable results dir");
     println!("  -> {}", path.display());
@@ -150,7 +175,12 @@ fn fig3() {
         let pairs = d.routing.pairs();
         let dmax = mean.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
         for (p, s, t) in pairs.iter() {
-            csv.row(&[name.into(), s.0.to_string(), t.0.to_string(), format!("{:.5}", mean[p] / dmax)]);
+            csv.row(&[
+                name.into(),
+                s.0.to_string(),
+                t.0.to_string(),
+                format!("{:.5}", mean[p] / dmax),
+            ]);
         }
         // Tiny ASCII heat map for the first 12 nodes.
         let n = d.topology.n_nodes().min(12);
@@ -162,7 +192,9 @@ fn fig3() {
                     line.push(' ');
                     continue;
                 }
-                let p = pairs.index(tm_net::NodeId(s), tm_net::NodeId(t)).expect("distinct");
+                let p = pairs
+                    .index(tm_net::NodeId(s), tm_net::NodeId(t))
+                    .expect("distinct");
                 let v = mean[p] / dmax;
                 let c = match v {
                     v if v > 0.5 => '@',
@@ -192,7 +224,10 @@ fn fig4_fig5() {
     let n = d.topology.n_nodes();
     let pairs = d.routing.pairs();
     let top = d.structure.sources_by_volume();
-    let mut csv = CsvOut::new("fig4_5_demand_fanout_series", "sample,source_rank,pair,demand_mbps,fanout");
+    let mut csv = CsvOut::new(
+        "fig4_5_demand_fanout_series",
+        "sample,source_rank,pair,demand_mbps,fanout",
+    );
     let cv = |xs: &[f64]| {
         let m = vector::mean(xs);
         if m == 0.0 {
@@ -255,7 +290,11 @@ fn fig6() {
         let mean_n: Vec<f64> = mean.iter().map(|v| v / s0).collect();
         let var_n: Vec<f64> = var.iter().map(|v| v / (s0 * s0)).collect();
         for i in 0..mean_n.len() {
-            csv.row(&[name.into(), format!("{:.3e}", mean_n[i]), format!("{:.3e}", var_n[i])]);
+            csv.row(&[
+                name.into(),
+                format!("{:.3e}", mean_n[i]),
+                format!("{:.3e}", var_n[i]),
+            ]);
         }
         let fit = stats::power_law_fit(&mean_n, &var_n).expect("positive data");
         println!(
@@ -282,7 +321,11 @@ fn fig7() {
         let est = GravityModel::simple().estimate(&p).expect("gravity");
         let truth = p.true_demands().expect("truth");
         for i in 0..truth.len() {
-            csv.row(&[name.into(), format!("{:.2}", truth[i]), format!("{:.2}", est.demands[i])]);
+            csv.row(&[
+                name.into(),
+                format!("{:.2}", truth[i]),
+                format!("{:.2}", est.demands[i]),
+            ]);
         }
         // Bias on the 10 largest demands.
         let mut idx: Vec<usize> = (0..truth.len()).collect();
@@ -325,11 +368,7 @@ fn fig8_fig9() {
         }
         let total = p.total_traffic();
         let tight = b.widths().iter().filter(|&&w| w < 0.1 * total).count();
-        let exact = b
-            .widths()
-            .iter()
-            .filter(|&&w| w < 1e-6 * total)
-            .count();
+        let exact = b.widths().iter().filter(|&&w| w < 1e-6 * total).count();
         let mid = b.midpoint();
         println!(
             "  {name:<8} {} pairs: {} bounds tighter than 10% of total, {} exact; midpoint MRE {:.3} ({} pivots)",
@@ -352,12 +391,17 @@ fn fig10_fig11() {
     );
     let mut csv = CsvOut::new("fig10_11_fanout_window", "network,window,mre");
     for (name, d) in networks() {
-        let mut line = format!("  {name:<8}");
-        for &k in &[1usize, 2, 3, 5, 10, 20, 30, 40] {
+        // Window lengths are independent problems: sweep in parallel,
+        // print in order.
+        let ks = [1usize, 2, 3, 5, 10, 20, 30, 40];
+        let mres = tm_par::par_map(&ks, |&k| {
             let w = window(&d, k.max(2)); // need >= 2 samples for a window
             let truth = w.true_demands().expect("truth").to_vec();
             let res = FanoutEstimator::new().estimate(&w).expect("QP solvable");
-            let mre = paper_mre(&truth, &res.estimate.demands);
+            paper_mre(&truth, &res.estimate.demands)
+        });
+        let mut line = format!("  {name:<8}");
+        for (&k, &mre) in ks.iter().zip(&mres) {
             csv.row(&[name.into(), k.to_string(), format!("{mre:.4}")]);
             line.push_str(&format!(" K={k}:{mre:.3}"));
         }
@@ -385,8 +429,9 @@ fn fig12() {
         let routing = d.routing.interior().clone();
         let pairs = d.routing.pairs();
         let n = d.topology.n_nodes();
-        let mut line = format!("  {name:<8}");
-        for &k in &[10usize, 25, 50, 100, 200, 400] {
+        // Each window size is an independent Vardi run — parallel sweep.
+        let ks = [10usize, 25, 50, 100, 200, 400];
+        let mres = tm_par::par_map(&ks, |&k| {
             let series = poisson_series(&lambda, k, SEED).expect("valid rates");
             let mut link_loads = Vec::new();
             let mut ingress = Vec::new();
@@ -415,8 +460,13 @@ fn fig12() {
                 egress,
             })
             .expect("valid dims");
-            let est = VardiEstimator::new(1.0).estimate(&problem).expect("solvable");
-            let mre = paper_mre(&lambda, &est.demands);
+            let est = VardiEstimator::new(1.0)
+                .estimate(&problem)
+                .expect("solvable");
+            paper_mre(&lambda, &est.demands)
+        });
+        let mut line = format!("  {name:<8}");
+        for (&k, &mre) in ks.iter().zip(&mres) {
             csv.row(&[name.into(), k.to_string(), format!("{mre:.4}")]);
             line.push_str(&format!(" K={k}:{mre:.3}"));
         }
@@ -442,21 +492,31 @@ fn fig13_14_15() {
         let p = snapshot(&d);
         let truth = p.true_demands().expect("truth").to_vec();
         let wcb = worst_case_bounds(&p).expect("LPs solvable").midpoint();
-        println!("  {name} (gravity prior MRE {:.3}, WCB prior MRE {:.3}):", {
-            let g = GravityModel::simple().estimate(&p).expect("gravity");
-            paper_mre(&truth, &g.demands)
-        }, paper_mre(&truth, &wcb.demands));
+        println!(
+            "  {name} (gravity prior MRE {:.3}, WCB prior MRE {:.3}):",
+            {
+                let g = GravityModel::simple().estimate(&p).expect("gravity");
+                paper_mre(&truth, &g.demands)
+            },
+            paper_mre(&truth, &wcb.demands)
+        );
         println!(
             "    {:>10} {:>14} {:>16} {:>12}",
             "lambda", "bayes+gravity", "entropy+gravity", "bayes+WCB"
         );
-        for &lam in &lambdas {
+        // The λ grid is the expensive inner loop of Figs. 13–15: each λ
+        // is three independent solves, so sweep the grid in parallel and
+        // print/write rows in order afterwards.
+        let sweep = tm_par::par_map(&lambdas, |&lam| {
             let b = BayesianEstimator::new(lam).estimate(&p).expect("solvable");
             let e = EntropyEstimator::new(lam).estimate(&p).expect("solvable");
             let bw = BayesianEstimator::new(lam)
                 .with_prior(wcb.demands.clone())
                 .estimate(&p)
                 .expect("solvable");
+            (b, e, bw)
+        });
+        for (&lam, (b, e, bw)) in lambdas.iter().zip(&sweep) {
             let (mb, me, mbw) = (
                 paper_mre(&truth, &b.demands),
                 paper_mre(&truth, &e.demands),
@@ -495,7 +555,10 @@ fn fig16() {
         "Figure 16: MRE vs number of directly measured demands (entropy)",
         "a handful of well-chosen measurements collapses the error; largest-first needs more",
     );
-    let mut csv = CsvOut::new("fig16_direct_measurement", "network,step,greedy_mre,largest_first_mre");
+    let mut csv = CsvOut::new(
+        "fig16_direct_measurement",
+        "network,step,greedy_mre,largest_first_mre",
+    );
     for (name, d) in networks() {
         let p = snapshot(&d);
         let thr = CoverageThreshold::Share(0.9);
@@ -516,7 +579,10 @@ fn fig16() {
                 format!("{:.4}", largest[i].mre),
             ]);
         }
-        let half = greedy.iter().position(|s| s.mre < base / 2.0).map(|i| i + 1);
+        let half = greedy
+            .iter()
+            .position(|s| s.mre < base / 2.0)
+            .map(|i| i + 1);
         println!(
             "    greedy reaches half the initial MRE after {:?} measurements; after {} measured: greedy {:.4}, largest-first {:.4}",
             half,
@@ -577,34 +643,41 @@ fn table2() {
                 .fold(f64::INFINITY, f64::min)
         };
         let entries: Vec<(String, f64)> = vec![
-            ("Worst-case bound prior".into(), paper_mre(&truth, &wcb.demands)),
-            ("Simple gravity prior".into(), paper_mre(&truth, &gravity.demands)),
+            (
+                "Worst-case bound prior".into(),
+                paper_mre(&truth, &wcb.demands),
+            ),
+            (
+                "Simple gravity prior".into(),
+                paper_mre(&truth, &gravity.demands),
+            ),
             (
                 "Entropy w. gravity prior".into(),
-                best(lambdas
-                    .iter()
-                    .map(|&l| EntropyEstimator::new(l).estimate(&p).expect("solvable").demands)
-                    .collect()),
+                best(tm_par::par_map(&lambdas, |&l| {
+                    EntropyEstimator::new(l)
+                        .estimate(&p)
+                        .expect("solvable")
+                        .demands
+                })),
             ),
             (
                 "Bayes w. gravity prior".into(),
-                best(lambdas
-                    .iter()
-                    .map(|&l| BayesianEstimator::new(l).estimate(&p).expect("solvable").demands)
-                    .collect()),
+                best(tm_par::par_map(&lambdas, |&l| {
+                    BayesianEstimator::new(l)
+                        .estimate(&p)
+                        .expect("solvable")
+                        .demands
+                })),
             ),
             (
                 "Bayes w. WCB prior".into(),
-                best(lambdas
-                    .iter()
-                    .map(|&l| {
-                        BayesianEstimator::new(l)
-                            .with_prior(wcb.demands.clone())
-                            .estimate(&p)
-                            .expect("solvable")
-                            .demands
-                    })
-                    .collect()),
+                best(tm_par::par_map(&lambdas, |&l| {
+                    BayesianEstimator::new(l)
+                        .with_prior(wcb.demands.clone())
+                        .estimate(&p)
+                        .expect("solvable")
+                        .demands
+                })),
             ),
             ("Fanout".into(), {
                 let est = FanoutEstimator::new().estimate(&wp).expect("solvable");
@@ -622,7 +695,10 @@ fn table2() {
             rows[i].1.push(v);
         }
     }
-    println!("    {:<26} {:>8} {:>8}   (paper: eu / us)", "method", "europe", "america");
+    println!(
+        "    {:<26} {:>8} {:>8}   (paper: eu / us)",
+        "method", "europe", "america"
+    );
     let paper = [
         ("0.10", "0.39"),
         ("0.26", "0.78"),
@@ -637,10 +713,201 @@ fn table2() {
             "    {:<26} {:>8.3} {:>8.3}   ({} / {})",
             name, vals[0], vals[1], paper[i].0, paper[i].1
         );
-        csv.row(&[name.clone(), format!("{:.4}", vals[0]), format!("{:.4}", vals[1])]);
+        csv.row(&[
+            name.clone(),
+            format!("{:.4}", vals[0]),
+            format!("{:.4}", vals[1]),
+        ]);
     }
     let path = csv.finish().expect("writable results dir");
     println!("  -> {}", path.display());
+}
+
+/// `bench` mode: the perf-trajectory harness.
+///
+/// Times every estimator at three topology scales, measures the sparse
+/// engine against its densified baseline on the entropy-SPG and
+/// Gram-CD-NNLS hot paths, and writes `BENCH_PR1.json` in the working
+/// directory. Schema: `docs/PERF.md`.
+fn bench_mode() {
+    use serde::Value;
+
+    banner(
+        "bench: perf-trajectory harness",
+        "writes BENCH_PR1.json — every later PR benchmarks against this file",
+    );
+    let runs = 5usize;
+    let mut nets_json: Vec<Value> = Vec::new();
+
+    for (name, d) in scales() {
+        let p = snapshot(&d);
+        let a = p.measurement_matrix();
+        let nnz = a.nnz();
+        let density = LinOp::density(&a);
+        println!(
+            "  {name}: {} nodes, {} links, {} pairs, measurement nnz {nnz} (density {density:.4})",
+            d.topology.n_nodes(),
+            d.topology.n_links(),
+            p.n_pairs(),
+        );
+
+        // Per-estimator wall times (median of `runs`).
+        let mut estimators: Vec<Value> = Vec::new();
+        let truth = p.true_demands().expect("truth").to_vec();
+        let mut push = |label: &str, ms: f64, mre: Option<f64>| {
+            println!(
+                "    {label:<22} {ms:>9.3} ms{}",
+                match mre {
+                    Some(m) => format!("   mre {m:.3}"),
+                    None => String::new(),
+                }
+            );
+            let mut entry = vec![
+                ("name".to_string(), Value::Str(label.to_string())),
+                ("wall_ms".to_string(), Value::F64(ms)),
+            ];
+            if let Some(m) = mre {
+                entry.push(("mre".to_string(), Value::F64(m)));
+            }
+            estimators.push(Value::Map(entry));
+        };
+
+        let gravity = GravityModel::simple();
+        push(
+            "gravity",
+            perf::time_ms(runs, || gravity.estimate(&p).expect("ok")),
+            Some(paper_mre(
+                &truth,
+                &gravity.estimate(&p).expect("ok").demands,
+            )),
+        );
+        let kruithof = KruithofEstimator::full();
+        push(
+            "kruithof-full",
+            perf::time_ms(runs, || kruithof.estimate(&p).expect("ok")),
+            Some(paper_mre(
+                &truth,
+                &kruithof.estimate(&p).expect("ok").demands,
+            )),
+        );
+        let entropy = EntropyEstimator::new(1e3);
+        push(
+            "entropy(1e3)",
+            perf::time_ms(runs, || entropy.estimate(&p).expect("ok")),
+            Some(paper_mre(
+                &truth,
+                &entropy.estimate(&p).expect("ok").demands,
+            )),
+        );
+        let bayes = BayesianEstimator::new(1e3);
+        push(
+            "bayes(1e3)",
+            perf::time_ms(runs, || bayes.estimate(&p).expect("ok")),
+            Some(paper_mre(&truth, &bayes.estimate(&p).expect("ok").demands)),
+        );
+        push(
+            "wcb",
+            perf::time_ms(runs.min(3), || worst_case_bounds(&p).expect("ok")),
+            Some(paper_mre(
+                &truth,
+                &worst_case_bounds(&p).expect("ok").midpoint().demands,
+            )),
+        );
+        let w = window(&d, 10);
+        let truth_w = w.true_demands().expect("truth").to_vec();
+        let fanout = FanoutEstimator::new();
+        push(
+            "fanout(K=10)",
+            perf::time_ms(runs, || fanout.estimate(&w).expect("ok")),
+            Some(paper_mre(
+                &truth_w,
+                &fanout.estimate(&w).expect("ok").estimate.demands,
+            )),
+        );
+        let w50 = window(&d, 50);
+        let truth_w50 = w50.true_demands().expect("truth").to_vec();
+        let vardi = VardiEstimator::new(0.01);
+        push(
+            "vardi(0.01,K=50)",
+            perf::time_ms(runs.min(3), || vardi.estimate(&w50).expect("ok")),
+            Some(paper_mre(
+                &truth_w50,
+                &vardi.estimate(&w50).expect("ok").demands,
+            )),
+        );
+
+        // Sparse-vs-dense ablations on the two hot paths the sparse-first
+        // engine targets: the entropy SPG loop and the Gram-CD NNLS.
+        let stot = p.total_traffic().max(f64::MIN_POSITIVE);
+        let t_norm: Vec<f64> = p.measurements().iter().map(|v| v / stot).collect();
+        let prior_norm: Vec<f64> = gravity
+            .estimate(&p)
+            .expect("ok")
+            .demands
+            .iter()
+            .map(|v| v / stot)
+            .collect();
+        let a_dense = a.to_dense();
+        let entropy_sparse_ms =
+            perf::time_ms(runs, || perf::entropy_solve(&a, &t_norm, &prior_norm, 1e3));
+        let entropy_dense_ms = perf::time_ms(runs, || {
+            perf::entropy_solve(&a_dense, &t_norm, &prior_norm, 1e3)
+        });
+        let nnls_sparse_ms = perf::time_ms(runs, || {
+            nnls::cd_nnls_sparse(&a, &t_norm, 0.1, Some(&prior_norm), 20_000, 1e-10).expect("ok")
+        });
+        let nnls_dense_ms = perf::time_ms(runs, || {
+            nnls::cd_nnls(&a_dense, &t_norm, 0.1, Some(&prior_norm), 20_000, 1e-10).expect("ok")
+        });
+        let mut ablations: Vec<Value> = Vec::new();
+        for (label, sparse_ms, dense_ms) in [
+            ("entropy_spg", entropy_sparse_ms, entropy_dense_ms),
+            ("cd_nnls_gram", nnls_sparse_ms, nnls_dense_ms),
+        ] {
+            let speedup = dense_ms / sparse_ms.max(1e-9);
+            println!(
+                "    {label:<22} sparse {sparse_ms:>8.3} ms  dense {dense_ms:>8.3} ms  speedup {speedup:>5.1}x"
+            );
+            ablations.push(Value::Map(vec![
+                ("name".to_string(), Value::Str(label.to_string())),
+                ("sparse_ms".to_string(), Value::F64(sparse_ms)),
+                ("dense_ms".to_string(), Value::F64(dense_ms)),
+                ("speedup_vs_dense".to_string(), Value::F64(speedup)),
+            ]));
+        }
+
+        nets_json.push(Value::Map(vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("nodes".to_string(), Value::I64(d.topology.n_nodes() as i64)),
+            ("links".to_string(), Value::I64(d.topology.n_links() as i64)),
+            ("pairs".to_string(), Value::I64(p.n_pairs() as i64)),
+            ("measurement_nnz".to_string(), Value::I64(nnz as i64)),
+            ("measurement_density".to_string(), Value::F64(density)),
+            ("estimators".to_string(), Value::Seq(estimators)),
+            ("ablations".to_string(), Value::Seq(ablations)),
+        ]));
+    }
+
+    let doc = Value::Map(vec![
+        (
+            "schema".to_string(),
+            Value::Str("backbone-tm-bench-v1".to_string()),
+        ),
+        ("pr".to_string(), Value::I64(1)),
+        ("seed".to_string(), Value::I64(SEED as i64)),
+        ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
+        (
+            "peak_rss_kb".to_string(),
+            match perf::peak_rss_kb() {
+                Some(kb) => Value::U64(kb),
+                None => Value::Null,
+            },
+        ),
+        ("networks".to_string(), Value::Seq(nets_json)),
+    ]);
+    let json = serde_json::to_string(&doc).expect("serializable");
+    std::fs::write("BENCH_PR1.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR1.json ({} bytes)", json.len());
 }
 
 /// Extension: the Cao et al. method the paper left as future work.
@@ -652,7 +919,9 @@ fn cao_extension() {
     for (name, d) in networks() {
         let wp = window(&d, 50);
         let truth = wp.true_demands().expect("truth").to_vec();
-        let est = CaoEstimator::new(1.5, 0.01).estimate(&wp).expect("solvable");
+        let est = CaoEstimator::new(1.5, 0.01)
+            .estimate(&wp)
+            .expect("solvable");
         println!(
             "  {name:<8} MRE {:.3} (fitted phi {:.2e})",
             paper_mre(&truth, &est.estimate.demands),

@@ -1,0 +1,77 @@
+//! CI smoke check: validate that a BENCH_PR*.json file parses and
+//! carries the fields of the `backbone-tm-bench-v1` schema
+//! (`docs/PERF.md`). Exits nonzero with a message on any violation.
+
+use serde::Value;
+
+fn field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    v.field(name)
+        .unwrap_or_else(|e| die(&format!("{e} in {v:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("BENCH json invalid: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parse error: {e}")));
+
+    match field(&doc, "schema") {
+        Value::Str(s) if s == "backbone-tm-bench-v1" => {}
+        other => die(&format!("unexpected schema {other:?}")),
+    }
+    for key in ["pr", "seed", "threads"] {
+        if !matches!(field(&doc, key), Value::I64(_) | Value::U64(_)) {
+            die(&format!("`{key}` must be an integer"));
+        }
+    }
+    let networks = field(&doc, "networks")
+        .as_seq()
+        .unwrap_or_else(|| die("`networks` must be an array"));
+    if networks.is_empty() {
+        die("`networks` is empty");
+    }
+    for net in networks {
+        let name = match field(net, "name") {
+            Value::Str(s) => s.clone(),
+            other => die(&format!("network name {other:?}")),
+        };
+        for key in ["nodes", "links", "pairs", "measurement_nnz"] {
+            if !matches!(field(net, key), Value::I64(_) | Value::U64(_)) {
+                die(&format!("{name}: `{key}` must be an integer"));
+            }
+        }
+        let estimators = field(net, "estimators")
+            .as_seq()
+            .unwrap_or_else(|| die("`estimators` must be an array"));
+        if estimators.is_empty() {
+            die(&format!("{name}: no estimator timings"));
+        }
+        for e in estimators {
+            match field(e, "wall_ms") {
+                Value::F64(ms) if ms.is_finite() && *ms >= 0.0 => {}
+                other => die(&format!("{name}: wall_ms {other:?}")),
+            }
+        }
+        for ab in field(net, "ablations")
+            .as_seq()
+            .unwrap_or_else(|| die("`ablations` must be an array"))
+        {
+            match field(ab, "speedup_vs_dense") {
+                Value::F64(s) if s.is_finite() && *s > 0.0 => {}
+                other => die(&format!("{name}: speedup {other:?}")),
+            }
+        }
+    }
+    println!(
+        "{path}: valid backbone-tm-bench-v1 document with {} network(s)",
+        networks.len()
+    );
+}

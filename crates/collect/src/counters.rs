@@ -76,12 +76,7 @@ impl CounterBank {
 /// [`CounterMode::Counter32`] at backbone rates this silently
 /// underestimates — the classic operational pitfall this module's tests
 /// document.
-pub fn rate_from_readings(
-    previous: u64,
-    current: u64,
-    mode: CounterMode,
-    interval_s: f64,
-) -> f64 {
+pub fn rate_from_readings(previous: u64, current: u64, mode: CounterMode, interval_s: f64) -> f64 {
     if interval_s <= 0.0 {
         return 0.0;
     }

@@ -32,7 +32,11 @@ mod tests {
     #[test]
     fn display_mentions_detail() {
         assert!(CollectError::Codec("x".into()).to_string().contains('x'));
-        assert!(CollectError::InvalidConfig("y".into()).to_string().contains('y'));
-        assert!(CollectError::Unrecoverable("z".into()).to_string().contains('z'));
+        assert!(CollectError::InvalidConfig("y".into())
+            .to_string()
+            .contains('y'));
+        assert!(CollectError::Unrecoverable("z".into())
+            .to_string()
+            .contains('z'));
     }
 }

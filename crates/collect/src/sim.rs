@@ -198,7 +198,8 @@ pub fn run_collection(
         })
         .collect();
     // Reading log: readings[k][p] = Some((timestamp_ms, counter)).
-    let readings: Arc<Mutex<Vec<Vec<Option<(u64, u64)>>>>> =
+    type ReadingLog = Vec<Vec<Option<(u64, u64)>>>;
+    let readings: Arc<Mutex<ReadingLog>> =
         Arc::new(Mutex::new(vec![vec![None; p_count]; k_len + 1]));
     let mut lost_polls = 0usize;
 
@@ -235,8 +236,8 @@ pub fn run_collection(
                                 continue; // datagram lost
                             }
                             let jitter = rng.random::<f64>() * cfg.jitter_max_s;
-                            let ts_ms = ((boundary as f64 * cfg.interval_s + jitter)
-                                * 1000.0) as u64;
+                            let ts_ms =
+                                ((boundary as f64 * cfg.interval_s + jitter) * 1000.0) as u64;
                             let req = PollRequest {
                                 poller_id: (poller + attempt * cfg.pollers) as u16,
                                 router_id: agent.router_id,
@@ -339,7 +340,11 @@ fn interpolate_gaps(x: &[f64]) -> Vec<f64> {
             while end < n && out[end].is_nan() {
                 end += 1;
             }
-            let left = if start > 0 { Some(out[start - 1]) } else { None };
+            let left = if start > 0 {
+                Some(out[start - 1])
+            } else {
+                None
+            };
             let right = if end < n { Some(out[end]) } else { None };
             for (i, slot) in out.iter_mut().enumerate().take(end).skip(start) {
                 *slot = match (left, right) {
@@ -367,14 +372,7 @@ mod tests {
     fn demands() -> Vec<Vec<f64>> {
         // 6 intervals, 4 LSPs with distinct stable patterns.
         (0..6)
-            .map(|k| {
-                vec![
-                    100.0 + k as f64,
-                    50.0,
-                    900.0 - 10.0 * k as f64,
-                    0.5,
-                ]
-            })
+            .map(|k| vec![100.0 + k as f64, 50.0, 900.0 - 10.0 * k as f64, 0.5])
             .collect()
     }
 

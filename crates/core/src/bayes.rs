@@ -149,8 +149,7 @@ mod tests {
         let truth = p.true_demands().unwrap().to_vec();
         let prior = GravityModel::simple().estimate(&p).unwrap().demands;
         let est = BayesianEstimator::new(1e3).estimate(&p).unwrap();
-        let mre_prior =
-            mean_relative_error(&truth, &prior, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_prior = mean_relative_error(&truth, &prior, CoverageThreshold::Share(0.9)).unwrap();
         let mre_est =
             mean_relative_error(&truth, &est.demands, CoverageThreshold::Share(0.9)).unwrap();
         assert!(

@@ -77,11 +77,7 @@ impl CaoEstimator {
             / ts.len() as f64;
         let stot = stot.max(f64::MIN_POSITIVE);
         let t_hat: Vec<f64> = moments.mean.iter().map(|v| v / stot).collect();
-        let cov_hat: Vec<f64> = moments
-            .cov_vech
-            .iter()
-            .map(|v| v / (stot * stot))
-            .collect();
+        let cov_hat: Vec<f64> = moments.cov_vech.iter().map(|v| v / (stot * stot)).collect();
 
         // Initialize from first moments only.
         let mut lambda = {
@@ -116,13 +112,7 @@ impl CaoEstimator {
             let mlc = sys.matrix.matvec(&lam_c);
             let denom: f64 = mlc.iter().map(|v| v * v).sum();
             if denom > 0.0 {
-                phi = (mlc
-                    .iter()
-                    .zip(&cov_hat)
-                    .map(|(m, c)| m * c)
-                    .sum::<f64>()
-                    / denom)
-                    .max(0.0);
+                phi = (mlc.iter().zip(&cov_hat).map(|(m, c)| m * c).sum::<f64>() / denom).max(0.0);
             }
             // Stage 2: SPG pass on the joint objective with fixed φ.
             let c_exp = self.c;
@@ -287,17 +277,18 @@ mod tests {
             .estimate(&problem)
             .unwrap();
         // Correlated estimates (not identical: different solvers/weights).
-        let corr = crate::metrics::spearman_rank_correlation(
-            &cao.estimate.demands,
-            &vardi.demands,
-        )
-        .unwrap();
+        let corr = crate::metrics::spearman_rank_correlation(&cao.estimate.demands, &vardi.demands)
+            .unwrap();
         assert!(corr > 0.8, "cao/vardi correlation {corr}");
         // φ is fitted in normalized units, where Poisson traffic has
         // Var{s̃} = λ̃/stot, i.e. φ_normalized = 1/stot with c = 1.
         let stot: f64 = lambda.iter().sum();
         let ratio = cao.phi * stot;
-        assert!((0.3..3.0).contains(&ratio), "phi·stot {ratio} (phi {})", cao.phi);
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "phi·stot {ratio} (phi {})",
+            cao.phi
+        );
     }
 
     #[test]

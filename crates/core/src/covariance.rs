@@ -55,8 +55,8 @@ impl SecondMomentSystem {
                 }
             }
         }
-        let matrix = Csr::from_triplets(rows.len(), a.cols(), triplets)
-            .expect("in-bounds by construction");
+        let matrix =
+            Csr::from_triplets(rows.len(), a.cols(), triplets).expect("in-bounds by construction");
         SecondMomentSystem { rows, matrix }
     }
 
@@ -69,11 +69,7 @@ impl SecondMomentSystem {
         }
         let mean = stats::mean_vector(series).map_err(EstimationError::Linalg)?;
         let cov = stats::covariance_matrix(series).map_err(EstimationError::Linalg)?;
-        let cov_vech = self
-            .rows
-            .iter()
-            .map(|&(i, j)| cov.get(i, j))
-            .collect();
+        let cov_vech = self.rows.iter().map(|&(i, j)| cov.get(i, j)).collect();
         Ok(SampleMoments { mean, cov_vech })
     }
 }

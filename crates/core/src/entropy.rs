@@ -88,10 +88,7 @@ impl Estimator for EntropyEstimator {
 
         // Normalized units: everything O(1).
         let t: Vec<f64> = t_raw.iter().map(|v| v / stot).collect();
-        let q: Vec<f64> = prior_raw
-            .iter()
-            .map(|v| (v / stot).max(FLOOR))
-            .collect();
+        let q: Vec<f64> = prior_raw.iter().map(|v| (v / stot).max(FLOOR)).collect();
         let inv_lambda = 1.0 / self.lambda;
 
         let mut buf_r = vec![0.0; a.rows()];
@@ -187,8 +184,7 @@ mod tests {
         let truth = p.true_demands().unwrap().to_vec();
         let prior = GravityModel::simple().estimate(&p).unwrap().demands;
         let est = EntropyEstimator::new(1e3).estimate(&p).unwrap();
-        let mre_prior =
-            mean_relative_error(&truth, &prior, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_prior = mean_relative_error(&truth, &prior, CoverageThreshold::Share(0.9)).unwrap();
         let mre_est =
             mean_relative_error(&truth, &est.demands, CoverageThreshold::Share(0.9)).unwrap();
         assert!(

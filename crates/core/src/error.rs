@@ -78,8 +78,12 @@ mod tests {
         assert!(e.to_string().contains("singular"));
         let e: EstimationError = tm_net::NetError::UnknownNode(2).into();
         assert!(e.to_string().contains('2'));
-        assert!(EstimationError::MissingTimeSeries.to_string().contains("series"));
+        assert!(EstimationError::MissingTimeSeries
+            .to_string()
+            .contains("series"));
         assert!(EstimationError::MissingTruth.to_string().contains("truth"));
-        assert!(EstimationError::InvalidProblem("p".into()).to_string().contains('p'));
+        assert!(EstimationError::InvalidProblem("p".into())
+            .to_string()
+            .contains('p'));
     }
 }

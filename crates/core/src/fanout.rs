@@ -23,7 +23,6 @@
 //! unidentified directions default to gravity instead of noise. Set
 //! `prior_weight` to ~0 to recover the paper's exact formulation.
 
-use tm_linalg::Mat;
 use tm_opt::qp::{self, SumConstraints};
 
 use crate::error::EstimationError;
@@ -39,9 +38,7 @@ pub struct FanoutEstimator {
 
 impl Default for FanoutEstimator {
     fn default() -> Self {
-        FanoutEstimator {
-            prior_weight: 1e-3,
-        }
+        FanoutEstimator { prior_weight: 1e-3 }
     }
 }
 
@@ -72,10 +69,6 @@ impl FanoutEstimator {
         // Precompute src index per pair.
         let src_of: Vec<usize> = (0..p_count).map(|p| pairs.pair(p).0 .0).collect();
 
-        // Accumulate H = Σ B_kᵀB_k and g = Σ B_kᵀ t[k] with
-        // B_k = A·S[k] (column p scaled by t_e(src(p))[k]).
-        let mut h = Mat::zeros(p_count, p_count);
-        let mut g = vec![0.0; p_count];
         // Normalize measurements to O(1).
         let stot: f64 = ts
             .ingress
@@ -85,30 +78,47 @@ impl FanoutEstimator {
             / k_len as f64;
         let stot = stot.max(f64::MIN_POSITIVE);
 
-        for k in 0..k_len {
-            let te = &ts.ingress[k];
-            let t = problem.measurements_at(k)?;
-            for row in 0..a.rows() {
-                let (idx, val) = a.row(row);
-                if idx.is_empty() {
+        // The stacked normal equations factor algebraically: with
+        // B_k = A·S[k] and S[k] = diag(s^k), s^k_p = t_e(src(p))[k]/stot,
+        //
+        //   H = Σ_k B_kᵀB_k = Σ_k S[k]·(AᵀA)·S[k]
+        //     ⇒ H_{pq} = G_{pq} · T[src(p)][src(q)],
+        //
+        // where G = AᵀA (sparse, pattern = pairs sharing a measurement
+        // row, computed ONCE) and T[a][b] = Σ_k s̃_a^k·s̃_b^k is an
+        // N×N source cross-moment table. This replaces the per-interval
+        // dense accumulation with O(nnz(G) + K·N²) work and keeps H
+        // sparse for the projected-CG solve below.
+        let g_mat = a.gram();
+        let mut cross = vec![vec![0.0; n]; n];
+        for te in &ts.ingress {
+            for src_a in 0..n {
+                let sa = te[src_a] / stot;
+                if sa == 0.0 {
                     continue;
                 }
-                let trow = t[row] / stot;
-                // Row of B_k restricted to nonzeros.
-                let scaled: Vec<(usize, f64)> = idx
-                    .iter()
-                    .zip(val)
-                    .map(|(&p, &v)| (p, v * te[src_of[p]] / stot))
-                    .collect();
-                for (ii, &(p1, v1)) in scaled.iter().enumerate() {
-                    g[p1] += v1 * trow;
-                    for &(p2, v2) in &scaled[ii..] {
-                        h.add_to(p1, p2, v1 * v2);
-                        if p1 != p2 {
-                            h.add_to(p2, p1, v1 * v2);
-                        }
-                    }
+                for src_b in 0..n {
+                    cross[src_a][src_b] += sa * te[src_b] / stot;
                 }
+            }
+        }
+        let h = g_mat.mapped_values(|p, q, v| v * cross[src_of[p]][src_of[q]]);
+
+        // g = Σ_k S[k]·Aᵀ·t̃[k]: the K transposed products are
+        // independent — compute them in parallel, then fold in interval
+        // order so the sum is bit-identical to the serial loop.
+        let intervals: Vec<usize> = (0..k_len).collect();
+        let tr_products = tm_par::par_map(&intervals, |&k| -> Result<Vec<f64>> {
+            let t = problem.measurements_at(k)?;
+            let scaled: Vec<f64> = t.iter().map(|v| v / stot).collect();
+            Ok(a.tr_matvec(&scaled))
+        });
+        let mut g = vec![0.0; p_count];
+        for (k, product) in tr_products.into_iter().enumerate() {
+            let u = product?;
+            let te = &ts.ingress[k];
+            for p in 0..p_count {
+                g[p] += te[src_of[p]] / stot * u[p];
             }
         }
 
@@ -131,14 +141,18 @@ impl FanoutEstimator {
         }
 
         // Tikhonov pull toward the prior, scaled to the Hessian size.
+        // The ridge itself rides on the QP solver's `ridge` parameter
+        // (applied as H + ρI inside the matvec) so the sparse pattern of
+        // H never needs explicit diagonal fill-in.
         let diag_mean = (0..p_count).map(|j| h.get(j, j)).sum::<f64>() / p_count as f64;
         let rho = (self.prior_weight * diag_mean).max(1e-12);
         for j in 0..p_count {
-            h.add_to(j, j, rho);
             g[j] += rho * alpha_prior[j];
         }
 
-        // Constraints: fanouts of each source sum to one.
+        // Constraints: fanouts of each source sum to one. Solved by
+        // projected CG directly on the sparse Hessian — no dense
+        // (P + N)² KKT system.
         let groups: Vec<Vec<usize>> = (0..n)
             .map(|node| pairs.from_source(tm_net::NodeId(node)))
             .collect();
@@ -146,9 +160,7 @@ impl FanoutEstimator {
             groups,
             sums: vec![1.0; n],
         };
-        let (c, d) = constraints.to_matrix(p_count)?;
-        let sol = qp::solve_eq_qp(&h, &g, &c, &d, 0.0)?;
-        let mut alpha = sol.x;
+        let mut alpha = qp::solve_group_sum_qp_sparse(&h, &g, &constraints, rho, 1e-12, 0)?;
         qp::clip_and_renormalize(&mut alpha, &constraints);
 
         // Implied mean demands over the window: α_p · mean_k t_e(src(p)).
@@ -215,12 +227,8 @@ mod tests {
             let p = d.window_problem(start..start + k);
             let truth = p.true_demands().unwrap().to_vec();
             let res = FanoutEstimator::new().estimate(&p).unwrap();
-            mean_relative_error(
-                &truth,
-                &res.estimate.demands,
-                CoverageThreshold::Share(0.9),
-            )
-            .unwrap()
+            mean_relative_error(&truth, &res.estimate.demands, CoverageThreshold::Share(0.9))
+                .unwrap()
         };
         let m1 = mre_at(2);
         let m10 = mre_at(10);
@@ -228,7 +236,10 @@ mod tests {
             m10 < m1 * 1.5 + 0.05,
             "longer window should not blow up: K=2 {m1:.3} vs K=10 {m10:.3}"
         );
-        assert!(m10 < 0.6, "fanout estimation should be reasonable: {m10:.3}");
+        assert!(
+            m10 < 0.6,
+            "fanout estimation should be reasonable: {m10:.3}"
+        );
     }
 
     #[test]

@@ -57,9 +57,8 @@ impl Estimator for GravityModel {
         let mut demands = vec![0.0; pairs.count()];
         if total > 0.0 {
             for (p, src, dst) in pairs.iter() {
-                let zero = self.variant == GravityVariant::Generalized
-                    && peering[src.0]
-                    && peering[dst.0];
+                let zero =
+                    self.variant == GravityVariant::Generalized && peering[src.0] && peering[dst.0];
                 if !zero {
                     demands[p] = te[src.0] * tx[dst.0];
                 }
@@ -175,7 +174,10 @@ mod tests {
             m_eu < m_us,
             "gravity MRE: europe {m_eu:.3} should beat america {m_us:.3}"
         );
-        assert!(m_us > 0.4, "strong hotspots should break gravity: {m_us:.3}");
+        assert!(
+            m_us > 0.4,
+            "strong hotspots should break gravity: {m_us:.3}"
+        );
     }
 
     #[test]

@@ -104,12 +104,7 @@ impl Estimator for KruithofEstimator {
                 for (p, src, dst) in pairs.iter() {
                     prior_mat.set(src.0, dst.0, prior[p]);
                 }
-                let res = ipf::ras(
-                    &prior_mat,
-                    problem.ingress(),
-                    problem.egress(),
-                    self.opts,
-                )?;
+                let res = ipf::ras(&prior_mat, problem.ingress(), problem.egress(), self.opts)?;
                 let fitted = Mat::from_vec(n, n, res.values);
                 let mut demands = vec![0.0; pairs.count()];
                 for (p, src, dst) in pairs.iter() {
@@ -242,10 +237,8 @@ mod tests {
         let truth = p.true_demands().unwrap().to_vec();
         let g = GravityModel::simple().estimate(&p).unwrap();
         let k = KruithofEstimator::full().estimate(&p).unwrap();
-        let mre_g =
-            mean_relative_error(&truth, &g.demands, CoverageThreshold::Share(0.9)).unwrap();
-        let mre_k =
-            mean_relative_error(&truth, &k.demands, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_g = mean_relative_error(&truth, &g.demands, CoverageThreshold::Share(0.9)).unwrap();
+        let mre_k = mean_relative_error(&truth, &k.demands, CoverageThreshold::Share(0.9)).unwrap();
         assert!(
             mre_k < mre_g,
             "kruithof-full {mre_k:.3} should beat gravity {mre_g:.3}"

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bayes;
 pub mod cao;
 pub mod covariance;
@@ -67,6 +68,7 @@ pub type Result<T> = std::result::Result<T, EstimationError>;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::batch::{estimate_batch, estimate_snapshots};
     pub use crate::bayes::BayesianEstimator;
     pub use crate::cao::CaoEstimator;
     pub use crate::entropy::EntropyEstimator;
@@ -75,12 +77,9 @@ pub mod prelude {
     pub use crate::kruithof::KruithofEstimator;
     pub use crate::measure::{greedy_selection, largest_first_selection, MeasuredEntropy};
     pub use crate::metrics::{
-        included_count, mean_relative_error, rmse, spearman_rank_correlation,
-        CoverageThreshold,
+        included_count, mean_relative_error, rmse, spearman_rank_correlation, CoverageThreshold,
     };
-    pub use crate::problem::{
-        DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData,
-    };
+    pub use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
     pub use crate::vardi::VardiEstimator;
     pub use crate::wcb::{worst_case_bounds, DemandBounds};
 }

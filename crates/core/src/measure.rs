@@ -193,7 +193,7 @@ pub fn greedy_selection(
             trial.push((cand, truth[cand]));
             let est = estimator.estimate_with_measured(problem, &trial)?;
             let mre = mean_relative_error(&truth, &est.demands, threshold)?;
-            if best.map_or(true, |(_, b)| mre < b) {
+            if best.is_none_or(|(_, b)| mre < b) {
                 best = Some((cand, mre));
             }
         }
@@ -252,8 +252,7 @@ mod tests {
             .unwrap();
         for i in 0..p.n_pairs() {
             assert!(
-                (plain.demands[i] - with.demands[i]).abs()
-                    < 1e-6 * (1.0 + plain.demands[i]),
+                (plain.demands[i] - with.demands[i]).abs() < 1e-6 * (1.0 + plain.demands[i]),
                 "pair {i}"
             );
         }

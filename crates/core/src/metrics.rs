@@ -84,7 +84,11 @@ fn resolve_threshold(truth: &[f64], threshold: CoverageThreshold) -> Result<f64>
             sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
             // Strictly-greater threshold just below the k-th value.
             let kth = sorted[k - 1];
-            let below = sorted[k..].iter().copied().find(|&v| v < kth).unwrap_or(0.0);
+            let below = sorted[k..]
+                .iter()
+                .copied()
+                .find(|&v| v < kth)
+                .unwrap_or(0.0);
             Ok(0.5 * (kth + below))
         }
     }
@@ -190,8 +194,14 @@ mod tests {
     fn included_count_matches_paper_rule() {
         // Five demands where the top 3 carry >= 90%.
         let truth = [50.0, 30.0, 15.0, 4.0, 1.0];
-        assert_eq!(included_count(&truth, CoverageThreshold::Share(0.9)).unwrap(), 3);
-        assert_eq!(included_count(&truth, CoverageThreshold::Count(2)).unwrap(), 2);
+        assert_eq!(
+            included_count(&truth, CoverageThreshold::Share(0.9)).unwrap(),
+            3
+        );
+        assert_eq!(
+            included_count(&truth, CoverageThreshold::Count(2)).unwrap(),
+            2
+        );
     }
 
     #[test]

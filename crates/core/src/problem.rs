@@ -143,8 +143,7 @@ impl EstimationProblem {
             ));
         }
         for k in 0..ts.len() {
-            if ts.link_loads[k].len() != l || ts.ingress[k].len() != n || ts.egress[k].len() != n
-            {
+            if ts.link_loads[k].len() != l || ts.ingress[k].len() != n || ts.egress[k].len() != n {
                 return Err(EstimationError::InvalidProblem(format!(
                     "time series interval {k} has wrong dimensions"
                 )));
@@ -239,8 +238,8 @@ impl EstimationProblem {
             trip.push((src.0, p, 1.0));
             trip.push((n + dst.0, p, 1.0));
         }
-        let edge = Csr::from_triplets(2 * n, pairs.count(), trip)
-            .expect("in-bounds by construction");
+        let edge =
+            Csr::from_triplets(2 * n, pairs.count(), trip).expect("in-bounds by construction");
         self.routing
             .vstack(&edge)
             .expect("column counts agree by construction")
@@ -325,9 +324,7 @@ impl DatasetExt for EvalDataset {
             .series
             .window_mean(range.start, range.len())
             .expect("window within series");
-        problem = problem
-            .with_truth(mean)
-            .expect("dimensions consistent");
+        problem = problem.with_truth(mean).expect("dimensions consistent");
         problem
             .with_time_series(TimeSeriesData {
                 link_loads,

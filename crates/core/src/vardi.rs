@@ -89,7 +89,12 @@ impl VardiEstimator {
                 .sum::<f64>()
                 .max(1.0);
             // Prefer the ingress totals when present (exact total traffic).
-            let ing: f64 = ts.ingress.iter().map(|v| v.iter().sum::<f64>()).sum::<f64>() / k as f64;
+            let ing: f64 = ts
+                .ingress
+                .iter()
+                .map(|v| v.iter().sum::<f64>())
+                .sum::<f64>()
+                / k as f64;
             if ing > 0.0 {
                 ing
             } else {

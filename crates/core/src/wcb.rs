@@ -10,7 +10,7 @@
 //! The midpoint `(lower+upper)/2` turns out to be a strong prior for the
 //! regularized estimators (Fig. 9 / Fig. 15 / Table 2).
 
-use tm_opt::simplex::{SimplexSolver, StandardLp};
+use tm_opt::simplex::SimplexSolver;
 
 use crate::problem::{Estimate, EstimationProblem};
 use crate::Result;
@@ -52,35 +52,75 @@ impl DemandBounds {
     }
 }
 
+/// Pairs per parallel work item. Fixed (rather than derived from the
+/// thread count) so every chunk replays the same warm-start pivot
+/// history regardless of how many workers run — results are
+/// bit-identical from 1 thread to N.
+const PAIRS_PER_CHUNK: usize = 16;
+
 /// Compute worst-case bounds for every demand.
+///
+/// Sparse-first and parallel: phase 1 runs **once** on the sparse
+/// measurement system (no densified copy of `A`), then the `2·P`
+/// objectives are swept in fixed-size chunks across worker threads,
+/// each warm-starting from a clone of the phase-1 basis.
 pub fn worst_case_bounds(problem: &EstimationProblem) -> Result<DemandBounds> {
-    let a = problem.measurement_matrix().to_dense();
+    let a = problem.measurement_matrix();
     let t = problem.measurements();
     let p_count = problem.n_pairs();
 
-    let lp = StandardLp { a, b: t };
-    let mut solver = SimplexSolver::new(&lp)?;
+    let base = SimplexSolver::new_sparse(&a, &t)?;
 
-    let mut lower = vec![0.0; p_count];
-    let mut upper = vec![0.0; p_count];
+    let chunks: Vec<(usize, usize)> = (0..p_count)
+        .step_by(PAIRS_PER_CHUNK)
+        .map(|lo| (lo, (lo + PAIRS_PER_CHUNK).min(p_count)))
+        .collect();
+    let partials = tm_par::par_map(&chunks, |&(lo, hi)| -> Result<ChunkBounds> {
+        let mut solver = base.clone();
+        let mut lower = Vec::with_capacity(hi - lo);
+        let mut upper = Vec::with_capacity(hi - lo);
+        let mut pivots = 0usize;
+        let mut c = vec![0.0; p_count];
+        for p in lo..hi {
+            c[p] = 1.0;
+            let hi_sol = solver.maximize(&c)?;
+            pivots += hi_sol.pivots;
+            let lo_sol = solver.minimize(&c)?;
+            pivots += lo_sol.pivots;
+            c[p] = 0.0;
+            // Clamp tiny numerical negatives.
+            let l = lo_sol.objective.max(0.0);
+            lower.push(l);
+            upper.push(hi_sol.objective.max(l));
+        }
+        Ok(ChunkBounds {
+            lower,
+            upper,
+            pivots,
+        })
+    });
+
+    let mut lower = Vec::with_capacity(p_count);
+    let mut upper = Vec::with_capacity(p_count);
     let mut total_pivots = 0usize;
-    let mut c = vec![0.0; p_count];
-    for p in 0..p_count {
-        c[p] = 1.0;
-        let hi = solver.maximize(&c)?;
-        total_pivots += hi.pivots;
-        let lo = solver.minimize(&c)?;
-        total_pivots += lo.pivots;
-        c[p] = 0.0;
-        // Clamp tiny numerical negatives.
-        lower[p] = lo.objective.max(0.0);
-        upper[p] = hi.objective.max(lower[p]);
+    for partial in partials {
+        let chunk = partial?;
+        lower.extend_from_slice(&chunk.lower);
+        upper.extend_from_slice(&chunk.upper);
+        total_pivots += chunk.pivots;
     }
     Ok(DemandBounds {
         lower,
         upper,
         total_pivots,
     })
+}
+
+/// Bounds of one contiguous pair chunk.
+struct ChunkBounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    pivots: usize,
 }
 
 #[cfg(test)]
@@ -121,11 +161,7 @@ mod tests {
         let p = d.snapshot_problem(d.busy_start);
         let b = worst_case_bounds(&p).unwrap();
         let total = p.total_traffic();
-        let nontrivial = b
-            .widths()
-            .iter()
-            .filter(|&&w| w < total * 0.5)
-            .count();
+        let nontrivial = b.widths().iter().filter(|&&w| w < total * 0.5).count();
         assert!(
             nontrivial > p.n_pairs() / 2,
             "most bounds should be informative: {nontrivial}/{}",
@@ -143,8 +179,7 @@ mod tests {
         let mid = b.midpoint();
         assert_eq!(mid.method, "wcb-midpoint");
         let truth = p.true_demands().unwrap();
-        let mre =
-            mean_relative_error(truth, &mid.demands, CoverageThreshold::Share(0.9)).unwrap();
+        let mre = mean_relative_error(truth, &mid.demands, CoverageThreshold::Share(0.9)).unwrap();
         assert!(mre < 1.0, "WCB midpoint MRE should be sane: {mre}");
         for i in 0..truth.len() {
             assert!(mid.demands[i] >= b.lower[i] - 1e-9);
@@ -156,8 +191,8 @@ mod tests {
     fn exactly_determined_pair_pins_bounds() {
         // A 2-node network: one demand per direction, each fully observed
         // on its own link; bounds must be tight.
-        use tm_net::{NodeRole, Topology};
         use tm_net::routing::{route_lsp_mesh, CspfConfig};
+        use tm_net::{NodeRole, Topology};
         let mut topo = Topology::new("two");
         let a = topo.add_node("A", NodeRole::Access);
         let b = topo.add_node("B", NodeRole::Access);

@@ -82,7 +82,10 @@ impl Cholesky {
 
     /// `log det A = 2 Σ log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 

@@ -164,10 +164,7 @@ mod tests {
     #[test]
     fn detects_singularity() {
         let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(
-            Lu::factor(&a),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
     }
 
     #[test]
@@ -200,7 +197,9 @@ mod tests {
         let n = 30;
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let a = Mat::from_fn(n, n, |i, j| next() + if i == j { 2.0 } else { 0.0 });

@@ -220,11 +220,7 @@ mod tests {
 
     #[test]
     fn least_squares_residual_is_orthogonal() {
-        let a = Mat::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
         let b = vec![1.0, 0.0, 2.0];
         let x = lstsq(&a, &b).unwrap();
         let r = sub(&a.matvec(&x), &b);
@@ -244,11 +240,7 @@ mod tests {
     #[test]
     fn r_factor_reconstructs_gram() {
         // AᵀA = RᵀR
-        let a = Mat::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let qr = Qr::factor(&a).unwrap();
         let r = qr.r();
         let rtr = r.transpose().matmul(&r).unwrap();

@@ -186,10 +186,7 @@ impl Mat {
     pub fn matmul(&self, b: &Mat) -> Result<Mat> {
         if self.cols != b.rows {
             return Err(LinalgError::ShapeMismatch {
-                context: format!(
-                    "matmul {}x{} * {}x{}",
-                    self.rows, self.cols, b.rows, b.cols
-                ),
+                context: format!("matmul {}x{} * {}x{}", self.rows, self.cols, b.rows, b.cols),
             });
         }
         let mut c = Mat::zeros(self.rows, b.cols);

@@ -4,9 +4,7 @@
 //! sparse operators without forming the Gram matrix — the right tool for
 //! routing matrices, which are far sparser than dense algebra assumes.
 
-use crate::dense::Mat;
 use crate::error::LinalgError;
-use crate::sparse::Csr;
 use crate::vector::{axpy, dot, norm2};
 use crate::Result;
 
@@ -22,33 +20,20 @@ pub trait LinearOperator {
     fn apply_transpose(&self, x: &[f64], y: &mut [f64]);
 }
 
-impl LinearOperator for Mat {
+/// Every [`crate::LinOp`] (dense [`Mat`], sparse [`Csr`], or a runtime
+/// [`crate::DynLinOp`]) is a [`LinearOperator`] for the Krylov solvers.
+impl<T: crate::linop::LinOp> LinearOperator for T {
     fn nrows(&self) -> usize {
-        self.rows()
+        crate::linop::LinOp::rows(self)
     }
     fn ncols(&self) -> usize {
-        self.cols()
+        crate::linop::LinOp::cols(self)
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        y.copy_from_slice(&self.matvec(x));
+        crate::linop::LinOp::matvec_into(self, x, y);
     }
     fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
-        y.copy_from_slice(&self.tr_matvec(x));
-    }
-}
-
-impl LinearOperator for Csr {
-    fn nrows(&self) -> usize {
-        self.rows()
-    }
-    fn ncols(&self) -> usize {
-        self.cols()
-    }
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec_into(x, y);
-    }
-    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
-        self.tr_matvec_into(x, y);
+        crate::linop::LinOp::tr_matvec_into(self, x, y);
     }
 }
 
@@ -176,6 +161,7 @@ pub fn cgls<A: LinearOperator>(a: &A, b: &[f64], opts: IterOpts) -> Result<(Vec<
 mod tests {
     use super::*;
     use crate::vector::sub;
+    use crate::{Csr, Mat};
 
     #[test]
     fn cg_solves_spd() {
@@ -187,7 +173,10 @@ mod tests {
         let xtrue = vec![1.0, 2.0, 3.0];
         let b = a.matvec(&xtrue);
         let (x, iters) = cg(&a, &b, IterOpts::default()).unwrap();
-        assert!(iters <= 3 + 1, "CG should converge in <= n steps, took {iters}");
+        assert!(
+            iters <= 3 + 1,
+            "CG should converge in <= n steps, took {iters}"
+        );
         assert!(norm2(&sub(&x, &xtrue)) < 1e-8);
     }
 

@@ -12,9 +12,16 @@
 //! * [`Mat`] — a dense row-major `f64` matrix with factorizations
 //!   ([`decomp::lu`], [`decomp::cholesky`], [`decomp::qr`]),
 //! * [`Csr`] — a compressed-sparse-row matrix used for routing matrices
-//!   (0/1, very sparse) and Vardi second-moment systems,
+//!   (0/1, very sparse) and Vardi second-moment systems, with the
+//!   sparse-first kernels ([`Csr::gram`], counting-sort construction,
+//!   O(nnz) transpose, fused weighted products, row/col scaling),
+//! * [`LinOp`] — the dense-or-sparse operator abstraction every solver
+//!   in `tm-opt` is written against (see `docs/PERF.md`),
 //! * [`iterative`] — conjugate-gradient solvers over abstract
-//!   [`LinearOperator`]s,
+//!   [`LinearOperator`]s (blanket-implemented for every [`LinOp`]),
+//! * [`workspace`] — scratch-buffer pooling for solver loops that
+//!   would otherwise reallocate per iteration (used by the dual NNLS
+//!   outer loop; the SPG inner loop hoists its own fixed buffers),
 //! * [`stats`] — sample moments of link-load time series and the log–log
 //!   power-law fit used for the paper's mean–variance analysis (Fig. 6),
 //! * [`vector`] — BLAS-1 style helpers on plain `&[f64]` slices.
@@ -40,14 +47,18 @@ pub mod decomp;
 pub mod dense;
 pub mod error;
 pub mod iterative;
+pub mod linop;
 pub mod sparse;
 pub mod stats;
 pub mod vector;
+pub mod workspace;
 
 pub use dense::Mat;
 pub use error::LinalgError;
 pub use iterative::LinearOperator;
+pub use linop::{DynLinOp, LinOp};
 pub use sparse::Csr;
+pub use workspace::Workspace;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -26,54 +26,87 @@ pub struct Csr {
 impl Csr {
     /// Build from COO triplets `(row, col, value)`. Duplicate entries are
     /// summed; explicit zeros are dropped.
+    ///
+    /// Uses a counting-sort bucket pass by row — O(nnz + rows) instead of
+    /// a global O(nnz log nnz) comparison sort. Routing matrices are
+    /// assembled row-major already, so the within-row column sort is a
+    /// near-no-op on the hot construction paths.
     pub fn from_triplets(
         rows: usize,
         cols: usize,
         triplets: impl IntoIterator<Item = (usize, usize, f64)>,
     ) -> Result<Self> {
-        let mut items: Vec<(usize, usize, f64)> = Vec::new();
-        for (r, c, v) in triplets {
+        let iter = triplets.into_iter();
+        let mut items: Vec<(usize, usize, f64)> = Vec::with_capacity(iter.size_hint().0);
+        let mut counts = vec![0usize; rows + 1];
+        for (r, c, v) in iter {
             if r >= rows || c >= cols {
                 return Err(LinalgError::InvalidArgument(format!(
                     "triplet ({r},{c}) out of bounds for {rows}x{cols}"
                 )));
             }
+            counts[r + 1] += 1;
             items.push((r, c, v));
         }
-        items.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-
-        let mut indices = Vec::with_capacity(items.len());
-        let mut data: Vec<f64> = Vec::with_capacity(items.len());
-        let mut row_of: Vec<usize> = Vec::with_capacity(items.len());
-
-        let mut prev: Option<(usize, usize)> = None;
-        for (r, c, v) in items {
-            if prev == Some((r, c)) {
-                *data.last_mut().expect("data nonempty when prev set") += v;
-            } else {
-                indices.push(c);
-                data.push(v);
-                row_of.push(r);
-                prev = Some((r, c));
+        // Bucket offsets per row (prefix sums of the counts).
+        for r in 0..rows {
+            counts[r + 1] += counts[r];
+        }
+        let mut next = counts.clone();
+        let nnz_in = items.len();
+        let mut indices = vec![0usize; nnz_in];
+        let mut data = vec![0.0f64; nnz_in];
+        for &(r, c, v) in &items {
+            let slot = next[r];
+            indices[slot] = c;
+            data[slot] = v;
+            next[r] += 1;
+        }
+        // Sort each row's short slice by column; adjacent-sorted input
+        // (the common case) makes this linear. The scratch pair buffer
+        // is hoisted so the loop performs no per-row allocation.
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..rows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            if hi - lo > 1 && !indices[lo..hi].is_sorted() {
+                scratch.clear();
+                scratch.extend(
+                    indices[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(data[lo..hi].iter().copied()),
+                );
+                scratch.sort_unstable_by_key(|&(c, _)| c);
+                for (k, &(c, v)) in scratch.iter().enumerate() {
+                    indices[lo + k] = c;
+                    data[lo + k] = v;
+                }
             }
         }
-        // Drop stored zeros (explicit or produced by cancellation) and
-        // build the cumulative row pointer.
+        // Merge duplicates, drop zeros, and build the row pointer.
         let mut ptr = vec![0usize; rows + 1];
         let mut w = 0usize;
-        for i in 0..data.len() {
-            if data[i] != 0.0 {
-                indices[w] = indices[i];
-                data[w] = data[i];
-                ptr[row_of[i] + 1] += 1;
-                w += 1;
+        for r in 0..rows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            let mut k = lo;
+            while k < hi {
+                let col = indices[k];
+                let mut acc = data[k];
+                k += 1;
+                while k < hi && indices[k] == col {
+                    acc += data[k];
+                    k += 1;
+                }
+                if acc != 0.0 {
+                    indices[w] = col;
+                    data[w] = acc;
+                    w += 1;
+                }
             }
+            ptr[r + 1] = w;
         }
         indices.truncate(w);
         data.truncate(w);
-        for r in 0..rows {
-            ptr[r + 1] += ptr[r];
-        }
 
         Ok(Csr {
             rows,
@@ -96,17 +129,39 @@ impl Csr {
     }
 
     /// Build from a dense matrix, dropping entries with `|v| <= tol`.
+    ///
+    /// Assembles the CSR arrays directly (one counting pass, one fill
+    /// pass) — no intermediate triplet buffer, no sort.
     pub fn from_dense(m: &Mat, tol: f64) -> Self {
-        let mut trip = Vec::new();
-        for i in 0..m.rows() {
-            for j in 0..m.cols() {
-                let v = m.get(i, j);
+        let (rows, cols) = m.shape();
+        let mut nnz = 0usize;
+        for i in 0..rows {
+            for &v in m.row(i) {
                 if v.abs() > tol {
-                    trip.push((i, j, v));
+                    nnz += 1;
                 }
             }
         }
-        Csr::from_triplets(m.rows(), m.cols(), trip).expect("in-bounds by construction")
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut data = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v.abs() > tol {
+                    indices.push(j);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -125,6 +180,13 @@ impl Csr {
     #[inline]
     pub fn nnz(&self) -> usize {
         self.data.len()
+    }
+
+    /// All stored values (CSR order). Useful for norms and scans that
+    /// do not need positions.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
     }
 
     /// Sparse row `i` as parallel slices `(column_indices, values)`.
@@ -159,8 +221,8 @@ impl Csr {
         for i in 0..self.rows {
             let (idx, val) = self.row(i);
             let mut acc = 0.0;
-            for (k, &j) in idx.iter().enumerate() {
-                acc += val[k] * x[j];
+            for (&j, &v) in idx.iter().zip(val) {
+                acc += v * x[j];
             }
             y[i] = acc;
         }
@@ -185,8 +247,8 @@ impl Csr {
                 continue;
             }
             let (idx, val) = self.row(i);
-            for (k, &j) in idx.iter().enumerate() {
-                y[j] += val[k] * xi;
+            for (&j, &v) in idx.iter().zip(val) {
+                y[j] += v * xi;
             }
         }
     }
@@ -203,16 +265,39 @@ impl Csr {
         m
     }
 
-    /// Transpose as a new CSR matrix.
+    /// Transpose as a new CSR matrix — this is also the CSC view of
+    /// `self` (row `j` of the transpose lists column `j` of `self`).
+    ///
+    /// O(nnz + cols) counting transpose; rows of the output are sorted
+    /// by construction because CSR rows are scanned in order.
     pub fn transpose(&self) -> Csr {
-        let mut trip = Vec::with_capacity(self.nnz());
+        let nnz = self.nnz();
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            indptr[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut next = indptr.clone();
+        let mut indices = vec![0usize; nnz];
+        let mut data = vec![0.0f64; nnz];
         for i in 0..self.rows {
             let (idx, val) = self.row(i);
             for (k, &j) in idx.iter().enumerate() {
-                trip.push((j, i, val[k]));
+                let slot = next[j];
+                indices[slot] = i;
+                data[slot] = val[k];
+                next[j] += 1;
             }
         }
-        Csr::from_triplets(self.cols, self.rows, trip).expect("in-bounds by construction")
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Vertical concatenation `[self; other]`.
@@ -270,6 +355,119 @@ impl Csr {
         Csr::from_triplets(self.rows, cols.len(), trip).expect("in-bounds by construction")
     }
 
+    /// New matrix with row `i` scaled by `d[i]` (i.e. `diag(d)·A`).
+    pub fn scale_rows(&self, d: &[f64]) -> Result<Csr> {
+        if d.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("scale_rows: {} vs {}", d.len(), self.rows),
+            });
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let (lo, hi) = (out.indptr[i], out.indptr[i + 1]);
+            for v in &mut out.data[lo..hi] {
+                *v *= d[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Uniform scale `factor·A`.
+    pub fn scale(&self, factor: f64) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v *= factor;
+        }
+        out
+    }
+
+    /// Sparse Gram product `G = AᵀA`, computed sparse-to-sparse.
+    ///
+    /// Row `j` of `G` merges the rows of `A` that touch column `j`
+    /// through a dense accumulator with a touched-column list, so the
+    /// cost is O(flops) = `Σ_j Σ_{r ∈ col j} nnz(row r)` — proportional
+    /// to the true multiply work, never to `n²`. The output keeps only
+    /// structurally present entries (symmetric pattern).
+    pub fn gram(&self) -> Csr {
+        let n = self.cols;
+        let at = self.transpose();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut data: Vec<f64> = Vec::new();
+        indptr.push(0);
+        // Dense accumulator workspace, reset via the touched list only;
+        // `mark` is a generation counter so membership tests are O(1).
+        let mut acc = vec![0.0f64; n];
+        let mut mark = vec![usize::MAX; n];
+        let mut touched: Vec<usize> = Vec::new();
+        for j in 0..n {
+            let (rows_j, vals_j) = at.row(j);
+            for (k, &r) in rows_j.iter().enumerate() {
+                let arj = vals_j[k];
+                let (cols_r, vals_r) = self.row(r);
+                for (m, &c) in cols_r.iter().enumerate() {
+                    if mark[c] != j {
+                        mark[c] = j;
+                        acc[c] = 0.0;
+                        touched.push(c);
+                    }
+                    acc[c] += arj * vals_r[m];
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = acc[c];
+                if v != 0.0 {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            touched.clear();
+            indptr.push(indices.len());
+        }
+        Csr {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Fused `y = Aᵀ·(w ⊙ x)` — the weighted normal-equation right-hand
+    /// side `AᵀWx` for diagonal `W = diag(w)`, in one pass over the
+    /// nonzeros with no intermediate vector.
+    pub fn tr_matvec_weighted_into(&self, w: &[f64], x: &[f64], y: &mut [f64]) {
+        assert_eq!(w.len(), self.rows, "tr_matvec_weighted: weight mismatch");
+        assert_eq!(x.len(), self.rows, "tr_matvec_weighted: input mismatch");
+        assert_eq!(y.len(), self.cols, "tr_matvec_weighted: output mismatch");
+        y.fill(0.0);
+        for i in 0..self.rows {
+            let wx = w[i] * x[i];
+            if wx == 0.0 {
+                continue;
+            }
+            let (idx, val) = self.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                y[j] += val[k] * wx;
+            }
+        }
+    }
+
+    /// New matrix with the same sparsity pattern and values
+    /// `f(i, j, v)` — O(nnz), no re-sorting (used to build matrices
+    /// that share a precomputed pattern, e.g. `S·G·S` scalings).
+    pub fn mapped_values(&self, mut f: impl FnMut(usize, usize, f64) -> f64) -> Csr {
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let (lo, hi) = (out.indptr[i], out.indptr[i + 1]);
+            for k in lo..hi {
+                out.data[k] = f(i, out.indices[k], out.data[k]);
+            }
+        }
+        out
+    }
+
     /// Squared column norms `‖A·e_j‖²` for all `j`.
     pub fn col_sq_norms(&self) -> Vec<f64> {
         let mut n = vec![0.0; self.cols];
@@ -310,8 +508,12 @@ mod tests {
         // [1 0 2]
         // [0 0 0]
         // [3 4 0]
-        Csr::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
-            .unwrap()
+        Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -325,8 +527,7 @@ mod tests {
 
     #[test]
     fn triplets_drop_zeros_and_cancellations() {
-        let m =
-            Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 0.0)]).unwrap();
+        let m = Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, -1.0), (1, 0, 0.0)]).unwrap();
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.get(0, 0), 0.0);
     }
@@ -415,6 +616,82 @@ mod tests {
         let mut z = vec![9.0; 3];
         m.tr_matvec_into(&[1.0, 0.0, 1.0], &mut z);
         assert_eq!(z, vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn gram_matches_dense_gram() {
+        let m = sample();
+        let g = m.gram();
+        let gd = m.to_dense().gram();
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (g.get(i, j) - gd.get(i, j)).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    g.get(i, j),
+                    gd.get(i, j)
+                );
+            }
+        }
+        // Column 1 shares no row with column 2 -> structural zero.
+        assert_eq!(g.get(1, 2), 0.0);
+        assert!(g.nnz() < 9, "gram output must stay sparse: {}", g.nnz());
+    }
+
+    #[test]
+    fn scale_rows_matches_dense() {
+        let m = sample();
+        let d = [2.0, 10.0, -1.0];
+        let s = m.scale_rows(&d).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(s.get(i, j), m.get(i, j) * d[i]);
+            }
+        }
+        assert!(m.scale_rows(&[1.0]).is_err());
+        let u = m.scale(0.5);
+        assert_eq!(u.get(2, 1), 2.0);
+    }
+
+    #[test]
+    fn weighted_tr_matvec_fuses_diagonal() {
+        let m = sample();
+        let w = [2.0, 5.0, 0.5];
+        let x = [1.0, 3.0, -2.0];
+        let mut y = vec![9.0; 3];
+        m.tr_matvec_weighted_into(&w, &x, &mut y);
+        let wx: Vec<f64> = w.iter().zip(&x).map(|(a, b)| a * b).collect();
+        assert_eq!(y, m.tr_matvec(&wx));
+    }
+
+    #[test]
+    fn counting_sort_handles_unsorted_duplicated_input() {
+        // Reverse-ordered triplets with duplicates and cancellations.
+        let m = Csr::from_triplets(
+            3,
+            4,
+            vec![
+                (2, 3, 1.0),
+                (0, 2, 4.0),
+                (2, 0, 2.0),
+                (0, 2, -4.0),
+                (1, 1, 7.0),
+                (2, 3, 2.0),
+                (0, 0, 5.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(1, 1), 7.0);
+        assert_eq!(m.get(2, 3), 3.0);
+        assert_eq!(m.get(2, 0), 2.0);
+        // Row slices must be column-sorted for binary-search `get`.
+        let (idx, _) = m.row(2);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -116,7 +116,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok(LinearFit {
         slope,
         intercept,

@@ -122,7 +122,10 @@ pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
 
 /// `n` points spaced uniformly in log₁₀ between `10^a` and `10^b` inclusive.
 pub fn logspace(a: f64, b: f64, n: usize) -> Vec<f64> {
-    linspace(a, b, n).into_iter().map(|e| 10f64.powf(e)).collect()
+    linspace(a, b, n)
+        .into_iter()
+        .map(|e| 10f64.powf(e))
+        .collect()
 }
 
 /// Clamp every entry into `[lo, hi]` in place.

@@ -1,0 +1,65 @@
+//! Reusable scratch-buffer pool for iterative solvers.
+//!
+//! Solver loops need vector-sized temporaries per iteration; allocating
+//! them fresh every round puts the allocator on the hot path. A
+//! [`Workspace`] lets a solver take zeroed buffers at iteration start
+//! and give them back at the end, so steady-state iterations perform
+//! zero heap allocations. The dual-form NNLS outer loop
+//! (`tm_opt::nnls::ridge_nnls`) pools its per-iteration vectors here;
+//! tight fixed-shape loops (the SPG line search) instead hoist their
+//! buffers once, which needs no pool.
+
+/// A pool of reusable `Vec<f64>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Take a zeroed buffer of length `len` (reusing pooled capacity
+    /// when available).
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Number of pooled buffers (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_and_reused() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(4);
+        a[0] = 7.0;
+        let cap = a.capacity();
+        ws.give(a);
+        assert_eq!(ws.pooled(), 1);
+        let b = ws.take(3);
+        assert_eq!(b, vec![0.0; 3]);
+        assert!(b.capacity() >= 3.min(cap));
+        assert_eq!(ws.pooled(), 0);
+    }
+}

@@ -15,9 +15,9 @@ fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
 
 /// Strategy: sparse triplets in a fixed shape.
 fn csr_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Csr> {
-    proptest::collection::vec((0..rows, 0..cols, -5.0f64..5.0), 0..40).prop_map(
-        move |trip| Csr::from_triplets(rows, cols, trip).expect("in-bounds by construction"),
-    )
+    proptest::collection::vec((0..rows, 0..cols, -5.0f64..5.0), 0..40).prop_map(move |trip| {
+        Csr::from_triplets(rows, cols, trip).expect("in-bounds by construction")
+    })
 }
 
 proptest! {
@@ -184,6 +184,82 @@ proptest! {
         for i in 0..4 {
             for j in 0..3 {
                 prop_assert!((s.get(i, j) - dense.get(i, j) * d[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_rows_matches_dense(a in csr_strategy(5, 4), d in proptest::collection::vec(-2.0f64..2.0, 5)) {
+        let s = a.scale_rows(&d).unwrap();
+        let dense = a.to_dense();
+        for i in 0..5 {
+            for j in 0..4 {
+                prop_assert!((s.get(i, j) - dense.get(i, j) * d[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_gram_matches_dense_gram(a in csr_strategy(6, 5)) {
+        // AᵀA computed sparse-to-sparse must agree with the dense Gram
+        // to 1e-10 (the sparse-first engine's correctness contract).
+        let g = a.gram();
+        let gd = a.to_dense().gram();
+        prop_assert_eq!(g.rows(), 5);
+        prop_assert_eq!(g.cols(), 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!(
+                    (g.get(i, j) - gd.get(i, j)).abs() < 1e-10,
+                    "({}, {}): sparse {} vs dense {}", i, j, g.get(i, j), gd.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tr_matvec_matches_two_step(
+        a in csr_strategy(6, 4),
+        w in proptest::collection::vec(-2.0f64..2.0, 6),
+        x in proptest::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let mut fused = vec![0.0; 4];
+        a.tr_matvec_weighted_into(&w, &x, &mut fused);
+        let wx: Vec<f64> = w.iter().zip(&x).map(|(a, b)| a * b).collect();
+        let two_step = a.tr_matvec(&wx);
+        for j in 0..4 {
+            prop_assert!((fused[j] - two_step[j]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn linop_dense_and_sparse_paths_agree(
+        a in csr_strategy(6, 5),
+        x in proptest::collection::vec(-3.0f64..3.0, 5),
+        t in proptest::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        // The LinOp abstraction must make Mat and Csr interchangeable.
+        use tm_linalg::{DynLinOp, LinOp};
+        let ops: Vec<DynLinOp> = vec![a.clone().into(), a.to_dense().into()];
+        let y0 = ops[0].matvec(&x);
+        let y1 = ops[1].matvec(&x);
+        let z0 = ops[0].tr_matvec(&t);
+        let z1 = ops[1].tr_matvec(&t);
+        for i in 0..6 {
+            prop_assert!((y0[i] - y1[i]).abs() < 1e-10);
+        }
+        for j in 0..5 {
+            prop_assert!((z0[j] - z1[j]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mapped_values_preserves_pattern(a in csr_strategy(4, 4)) {
+        let doubled = a.mapped_values(|_, _, v| 2.0 * v);
+        prop_assert_eq!(doubled.nnz(), a.nnz());
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((doubled.get(i, j) - 2.0 * a.get(i, j)).abs() < 1e-12);
             }
         }
     }

@@ -59,7 +59,11 @@ pub fn expand_to_routers(
     for pop in 0..n_pops {
         let pop_node = pop_topo.node(NodeId(pop))?;
         for k in 0..routers_per_pop {
-            let role = if k == 0 { pop_node.role } else { NodeRole::Transit };
+            let role = if k == 0 {
+                pop_node.role
+            } else {
+                NodeRole::Transit
+            };
             topo.add_router(format!("{}-r{k}", pop_node.name), role, pop);
         }
     }
@@ -280,7 +284,10 @@ mod tests {
         let agg = aggregate_to_pops(&routers, &routing, &demands).unwrap();
         let total_pop: f64 = agg.demands.iter().sum();
         // The 42 intra-pop units disappear; only the 0.001s remain.
-        assert!(total_pop < 1.0, "intra-pop demand must not survive: {total_pop}");
+        assert!(
+            total_pop < 1.0,
+            "intra-pop demand must not survive: {total_pop}"
+        );
     }
 
     #[test]

@@ -56,14 +56,18 @@ mod tests {
     fn messages_mention_operands() {
         assert!(NetError::UnknownNode(4).to_string().contains('4'));
         assert!(NetError::UnknownLink(7).to_string().contains('7'));
-        assert!(NetError::NoPath { src: 1, dst: 2 }.to_string().contains("1"));
+        assert!(NetError::NoPath { src: 1, dst: 2 }
+            .to_string()
+            .contains("1"));
         assert!(NetError::Parse {
             line: 12,
             message: "bad".into()
         }
         .to_string()
         .contains("12"));
-        assert!(NetError::InvalidTopology("dup".into()).to_string().contains("dup"));
+        assert!(NetError::InvalidTopology("dup".into())
+            .to_string()
+            .contains("dup"));
         assert!(NetError::Dimension("x".into()).to_string().contains('x'));
     }
 }

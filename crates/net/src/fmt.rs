@@ -278,7 +278,8 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let text = "# hello\n\nNODE a access 0\nNODE b access 1\n# mid\nLINK 0 1 10 1\nLINK 1 0 10 1\n";
+        let text =
+            "# hello\n\nNODE a access 0\nNODE b access 1\n# mid\nLINK 0 1 10 1\nLINK 1 0 10 1\n";
         let (t, _) = import(text).unwrap();
         assert_eq!(t.n_nodes(), 2);
         assert_eq!(t.n_links(), 2);

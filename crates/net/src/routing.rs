@@ -121,7 +121,12 @@ pub fn shortest_path(
         node: src.0,
     });
 
-    while let Some(HeapItem { cost, hops: h, node }) = heap.pop() {
+    while let Some(HeapItem {
+        cost,
+        hops: h,
+        node,
+    }) = heap.pop()
+    {
         if done[node] {
             continue;
         }
@@ -143,8 +148,7 @@ pub fn shortest_path(
             let better = ncost < dist[v] - 1e-12
                 || ((ncost - dist[v]).abs() <= 1e-12
                     && (nhops < hops[v]
-                        || (nhops == hops[v]
-                            && prev[v].is_some_and(|p| lid.0 < p.0))));
+                        || (nhops == hops[v] && prev[v].is_some_and(|p| lid.0 < p.0))));
             if better {
                 dist[v] = ncost;
                 hops[v] = nhops;
@@ -397,7 +401,7 @@ mod tests {
         let pairs = OdPairs::new(2);
         let mut bw = vec![0.0; pairs.count()];
         bw[pairs.index(a, b).unwrap()] = 100.0; // over capacity
-        // With fallback: routes anyway.
+                                                // With fallback: routes anyway.
         let rm = route_lsp_mesh(&t, &bw, CspfConfig::default()).unwrap();
         assert_eq!(rm.path(pairs.index(a, b).unwrap()).unwrap().len(), 1);
         // Without fallback: error.
@@ -418,7 +422,7 @@ mod tests {
         assert!(route_lsp_mesh(&t, &[1.0; 3], CspfConfig::default()).is_err());
         assert!(route_lsp_mesh(
             &t,
-            &vec![1.0; 12],
+            &[1.0; 12],
             CspfConfig {
                 subscription: 0.0,
                 ..Default::default()

@@ -95,12 +95,7 @@ impl Topology {
     }
 
     /// Add a node assigned to an explicit PoP (router granularity).
-    pub fn add_router(
-        &mut self,
-        name: impl Into<String>,
-        role: NodeRole,
-        pop: usize,
-    ) -> NodeId {
+    pub fn add_router(&mut self, name: impl Into<String>, role: NodeRole, pop: usize) -> NodeId {
         let id = self.add_node(name, role);
         self.nodes[id.0].pop = pop;
         id
@@ -249,7 +244,12 @@ impl Topology {
             if l.dst.0 >= self.nodes.len() {
                 return Err(NetError::UnknownNode(l.dst.0));
             }
-            let key = (l.src.0, l.dst.0, l.metric.to_bits(), l.capacity_mbps.to_bits());
+            let key = (
+                l.src.0,
+                l.dst.0,
+                l.metric.to_bits(),
+                l.capacity_mbps.to_bits(),
+            );
             if !seen.insert(key) {
                 return Err(NetError::InvalidTopology(format!(
                     "duplicate link {i}: {} -> {}",

@@ -76,12 +76,16 @@ pub fn ras(prior: &Mat, row_sums: &[f64], col_sums: &[f64], opts: IpfOptions) ->
     // can never be met.
     for i in 0..n {
         if row_sums[i] > 0.0 && x.row(i).iter().all(|&v| v == 0.0) {
-            return Err(OptError::Infeasible { residual: row_sums[i] });
+            return Err(OptError::Infeasible {
+                residual: row_sums[i],
+            });
         }
     }
     for j in 0..m {
         if col_sums[j] > 0.0 && (0..n).all(|i| x.get(i, j) == 0.0) {
-            return Err(OptError::Infeasible { residual: col_sums[j] });
+            return Err(OptError::Infeasible {
+                residual: col_sums[j],
+            });
         }
     }
 
@@ -316,10 +320,24 @@ mod tests {
         .unwrap();
         let prior = vec![1.0, 1.0, 1.0, 1.0];
         let t = vec![3.0, 1.0, 2.0, 2.0];
-        let res = gis(&prior, &r, &t, IpfOptions { max_iter: 20_000, tol: 1e-10 }).unwrap();
+        let res = gis(
+            &prior,
+            &r,
+            &t,
+            IpfOptions {
+                max_iter: 20_000,
+                tol: 1e-10,
+            },
+        )
+        .unwrap();
         let rs = r.matvec(&res.values);
         for i in 0..4 {
-            assert!((rs[i] - t[i]).abs() < 1e-7, "row {i}: {} vs {}", rs[i], t[i]);
+            assert!(
+                (rs[i] - t[i]).abs() < 1e-7,
+                "row {i}: {} vs {}",
+                rs[i],
+                t[i]
+            );
         }
         // Compare against RAS on the matrix form.
         let ras_res = ras(
@@ -363,7 +381,15 @@ mod tests {
     fn gis_inconsistent_does_not_converge() {
         // x0 = 1 and x0 = 2 simultaneously.
         let r = Csr::from_triplets(2, 1, vec![(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
-        let res = gis(&[1.0], &r, &[1.0, 2.0], IpfOptions { max_iter: 200, tol: 1e-12 });
+        let res = gis(
+            &[1.0],
+            &r,
+            &[1.0, 2.0],
+            IpfOptions {
+                max_iter: 200,
+                tol: 1e-12,
+            },
+        );
         assert!(matches!(res, Err(OptError::DidNotConverge { .. })));
     }
 

@@ -15,7 +15,7 @@
 //! * redundant constraint rows are detected in phase 1 and removed,
 //! * tolerances scale with the problem data.
 
-use tm_linalg::{vector, Mat};
+use tm_linalg::{vector, Csr, Mat};
 
 use crate::error::OptError;
 use crate::Result;
@@ -43,6 +43,10 @@ pub struct LpSolution {
 
 /// Re-usable simplex solver holding a feasible basis for one constraint
 /// system `A·x = b, x ≥ 0`.
+///
+/// `Clone` is cheap relative to phase 1: parallel bound sweeps clone a
+/// phase-1-complete solver per worker chunk and warm-start from it.
+#[derive(Debug, Clone)]
 pub struct SimplexSolver {
     /// Current tableau `B⁻¹·A` (`m_eff × n`).
     t: Mat,
@@ -77,7 +81,6 @@ impl SimplexSolver {
             return Err(OptError::Invalid("simplex: empty problem".into()));
         }
         let scale = lp.a.max_abs().max(vector::norm_inf(&lp.b)).max(1.0);
-        let tol = 1e-9 * scale;
 
         // Extended tableau [A | I] with artificial columns; flip rows so
         // that b >= 0.
@@ -91,9 +94,54 @@ impl SimplexSolver {
             t.set(i, n + i, 1.0);
             rhs[i] = flip * lp.b[i];
         }
-        let basis: Vec<usize> = (n..n + m).collect();
+        Self::phase1(t, rhs, n, m, scale)
+    }
 
-        let mut solver = SimplexSolver { t, rhs, basis, n, tol };
+    /// Phase 1 directly from a **sparse** constraint matrix: the
+    /// extended tableau is filled from CSR rows (O(nnz) writes on top of
+    /// the zero tableau), so the constraint system is never densified
+    /// outside the tableau the simplex method itself requires.
+    pub fn new_sparse(a: &Csr, b: &[f64]) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if b.len() != m {
+            return Err(OptError::Invalid(format!(
+                "simplex: b has {} entries for {} rows",
+                b.len(),
+                m
+            )));
+        }
+        if m == 0 || n == 0 {
+            return Err(OptError::Invalid("simplex: empty problem".into()));
+        }
+        let a_max = a.data().iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        let scale = a_max.max(vector::norm_inf(b)).max(1.0);
+
+        let mut t = Mat::zeros(m, n + m);
+        let mut rhs = vec![0.0; m];
+        for i in 0..m {
+            let flip = if b[i] < 0.0 { -1.0 } else { 1.0 };
+            let (idx, val) = a.row(i);
+            let trow = t.row_mut(i);
+            for (k, &j) in idx.iter().enumerate() {
+                trow[j] = flip * val[k];
+            }
+            trow[n + i] = 1.0;
+            rhs[i] = flip * b[i];
+        }
+        Self::phase1(t, rhs, n, m, scale)
+    }
+
+    /// Shared phase-1 driver over a freshly built `[A | I]` tableau.
+    fn phase1(t: Mat, rhs: Vec<f64>, n: usize, m: usize, scale: f64) -> Result<Self> {
+        let tol = 1e-9 * scale;
+        let basis: Vec<usize> = (n..n + m).collect();
+        let mut solver = SimplexSolver {
+            t,
+            rhs,
+            basis,
+            n,
+            tol,
+        };
 
         // Phase 1 objective: minimize the sum of artificials.
         let mut c1 = vec![0.0; n + m];
@@ -461,13 +509,13 @@ mod tests {
     #[test]
     fn matches_brute_force_vertex_enumeration() {
         // Small random-ish LP: enumerate all basic feasible solutions.
-        let a = Mat::from_rows(&[
-            vec![2.0, 1.0, 1.0, 0.0, 3.0],
-            vec![1.0, 3.0, 0.0, 1.0, 1.0],
-        ]);
+        let a = Mat::from_rows(&[vec![2.0, 1.0, 1.0, 0.0, 3.0], vec![1.0, 3.0, 0.0, 1.0, 1.0]]);
         let b = vec![8.0, 9.0];
         let c = vec![1.0, 2.0, -1.0, 0.5, 1.5];
-        let lp = StandardLp { a: a.clone(), b: b.clone() };
+        let lp = StandardLp {
+            a: a.clone(),
+            b: b.clone(),
+        };
 
         // Brute force over all column pairs.
         let n = 5;
@@ -511,6 +559,40 @@ mod tests {
         let sol = solve_lp(&lp, &[1.0, 0.0, 0.0, 0.0], true).unwrap();
         assert!(sol.objective <= 1.0 + 1e-8);
         assert!(feasible(&lp, &sol.x, 1e-8));
+    }
+
+    #[test]
+    fn sparse_constructor_matches_dense() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0, 0.0],
+        ]);
+        let b = vec![5.0, 7.0, 6.0];
+        let lp = StandardLp {
+            a: a.clone(),
+            b: b.clone(),
+        };
+        let csr = Csr::from_dense(&a, 0.0);
+        let mut dense = SimplexSolver::new(&lp).unwrap();
+        let mut sparse = SimplexSolver::new_sparse(&csr, &b).unwrap();
+        assert_eq!(dense.active_rows(), sparse.active_rows());
+        for p in 0..4 {
+            let mut c = vec![0.0; 4];
+            c[p] = 1.0;
+            let hi_d = dense.maximize(&c).unwrap();
+            let hi_s = sparse.maximize(&c).unwrap();
+            assert!(
+                (hi_d.objective - hi_s.objective).abs() < 1e-9,
+                "p={p}: dense {} vs sparse {}",
+                hi_d.objective,
+                hi_s.objective
+            );
+        }
+        // Clone keeps an independent warm-started basis.
+        let mut fork = sparse.clone();
+        let sol = fork.maximize(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(sol.objective.is_finite());
     }
 
     #[test]

@@ -72,12 +72,7 @@ pub struct SpgResult {
 /// the iteration budget is exhausted (`converged = false`), because the
 /// regularized estimators remain useful at loose tolerances. Errors are
 /// reserved for non-finite objectives (diverging problem data).
-pub fn spg<F, P>(
-    mut value_grad: F,
-    project: P,
-    x0: Vec<f64>,
-    opts: SpgOptions,
-) -> Result<SpgResult>
+pub fn spg<F, P>(mut value_grad: F, project: P, x0: Vec<f64>, opts: SpgOptions) -> Result<SpgResult>
 where
     F: FnMut(&[f64], &mut [f64]) -> f64,
     P: Fn(&mut [f64]),
@@ -116,16 +111,23 @@ where
     let scale = 1.0 + vector::norm_inf(&x);
     let mut pg_norm = f64::INFINITY;
 
+    // All per-iteration scratch is hoisted: the loop below performs no
+    // heap allocation, so iteration cost is pure arithmetic + the
+    // caller's `value_grad`.
+    let mut trial = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    let mut xnew = vec![0.0; n];
+    let mut gnew = vec![0.0; n];
+
     for it in 0..opts.max_iter {
         // Projected gradient (step 1) for the stopping test.
-        let mut xg = x.clone();
-        vector::axpy(-1.0, &grad, &mut xg);
-        project(&mut xg);
-        let mut pgvec = xg;
+        trial.copy_from_slice(&x);
+        vector::axpy(-1.0, &grad, &mut trial);
+        project(&mut trial);
+        pg_norm = 0.0f64;
         for i in 0..n {
-            pgvec[i] -= x[i];
+            pg_norm = pg_norm.max((trial[i] - x[i]).abs());
         }
-        pg_norm = vector::norm_inf(&pgvec);
         if pg_norm <= opts.tol * scale {
             return Ok(SpgResult {
                 x,
@@ -137,20 +139,17 @@ where
         }
 
         // Trial direction with the spectral step.
-        let mut xt = x.clone();
-        vector::axpy(-step, &grad, &mut xt);
-        project(&mut xt);
-        let mut d = xt;
+        trial.copy_from_slice(&x);
+        vector::axpy(-step, &grad, &mut trial);
+        project(&mut trial);
         for i in 0..n {
-            d[i] -= x[i];
+            d[i] = trial[i] - x[i];
         }
         let gtd = vector::dot(&grad, &d);
         let fmax = history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
 
         // Nonmonotone Armijo backtracking along d.
         let mut lambda = 1.0;
-        let mut xnew = vec![0.0; n];
-        let mut gnew = vec![0.0; n];
         let mut fnew;
         let mut ls_ok = false;
         for _ in 0..60 {
@@ -159,15 +158,15 @@ where
             }
             fnew = value_grad(&xnew, &mut gnew);
             if fnew.is_finite() && fnew <= fmax + opts.gamma * lambda * gtd {
-                // Accept.
-                let mut s = vec![0.0; n];
-                let mut y = vec![0.0; n];
+                // Accept; Barzilai–Borwein step from s = Δx, y = Δgrad
+                // without materializing either vector.
+                let mut sts = 0.0;
+                let mut sty = 0.0;
                 for i in 0..n {
-                    s[i] = xnew[i] - x[i];
-                    y[i] = gnew[i] - grad[i];
+                    let si = xnew[i] - x[i];
+                    sts += si * si;
+                    sty += si * (gnew[i] - grad[i]);
                 }
-                let sts = vector::dot(&s, &s);
-                let sty = vector::dot(&s, &y);
                 step = if sty > 0.0 {
                     (sts / sty).clamp(opts.step_min, opts.step_max)
                 } else {
@@ -280,11 +279,7 @@ mod tests {
 
     #[test]
     fn least_squares_matches_normal_equations() {
-        let a = Mat::from_rows(&[
-            vec![1.0, 0.5],
-            vec![0.5, 2.0],
-            vec![1.0, 1.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 0.5], vec![0.5, 2.0], vec![1.0, 1.0]]);
         let b = [1.0, 2.0, 1.5];
         let res = spg(
             |x, g| {
@@ -305,7 +300,11 @@ mod tests {
         // Interior solution: must match the unconstrained optimum.
         assert!(exact.iter().all(|&v| v > 0.0));
         for i in 0..2 {
-            assert!((res.x[i] - exact[i]).abs() < 1e-6, "{:?} vs {exact:?}", res.x);
+            assert!(
+                (res.x[i] - exact[i]).abs() < 1e-6,
+                "{:?} vs {exact:?}",
+                res.x
+            );
         }
     }
 

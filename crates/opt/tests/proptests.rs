@@ -14,6 +14,13 @@ fn mat_strategy(rows: usize, cols: usize, lo: f64, hi: f64) -> impl Strategy<Val
         .prop_map(move |data| Mat::from_vec(rows, cols, data))
 }
 
+/// Sparse CD solve with generous budget (helper for equivalence tests).
+fn nnls_sparse_solve(a: &Csr, b: &[f64], mu: f64, prior: &[f64]) -> Vec<f64> {
+    tm_opt::nnls::cd_nnls_sparse(a, b, mu, Some(prior), 200_000, 1e-13)
+        .unwrap()
+        .x
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -185,6 +192,79 @@ proptest! {
         let ctv = c.tr_matvec(&sol.multipliers);
         for i in 0..3 {
             prop_assert!((hx[i] - g[i] + ctv[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cd_nnls_sparse_matches_dense_cd(
+        a in mat_strategy(6, 5, -2.0, 2.0),
+        b in proptest::collection::vec(-3.0f64..3.0, 6),
+        prior in proptest::collection::vec(0.0f64..2.0, 5),
+        mu in 0.1f64..3.0,
+    ) {
+        // Sparse-Gram CD and dense-Gram CD solve the same strictly
+        // convex program: minimizers must agree to 1e-10.
+        let csr = Csr::from_dense(&a, 0.0);
+        let dense = cd_nnls(&a, &b, mu, Some(&prior), 200_000, 1e-13).unwrap();
+        let sparse = nnls_sparse_solve(&csr, &b, mu, &prior);
+        for j in 0..5 {
+            prop_assert!(
+                (dense.x[j] - sparse[j]).abs() < 1e-10,
+                "j={}: dense {} vs sparse {}", j, dense.x[j], sparse[j]
+            );
+        }
+        prop_assert!(kkt_violation(&csr, &b, mu, Some(&prior), &sparse) < 1e-8);
+    }
+
+    #[test]
+    fn sparse_group_qp_matches_dense_kkt_solver(
+        base in mat_strategy(5, 6, -2.0, 2.0),
+        g in proptest::collection::vec(-3.0f64..3.0, 6),
+        d1 in 0.5f64..2.0,
+        d2 in 0.5f64..2.0,
+    ) {
+        // H = baseᵀbase + I is SPD; two disjoint groups of three.
+        let mut h = base.gram();
+        for i in 0..6 {
+            h.add_to(i, i, 1.0);
+        }
+        let sc = tm_opt::qp::SumConstraints {
+            groups: vec![vec![0, 1, 2], vec![3, 4, 5]],
+            sums: vec![d1, d2],
+        };
+        let (c, d) = sc.to_matrix(6).unwrap();
+        let dense = solve_eq_qp(&h, &g, &c, &d, 0.0).unwrap();
+        let h_sparse = Csr::from_dense(&h, 0.0);
+        let sparse =
+            tm_opt::qp::solve_group_sum_qp_sparse(&h_sparse, &g, &sc, 0.0, 1e-14, 0).unwrap();
+        for j in 0..6 {
+            prop_assert!(
+                (dense.x[j] - sparse[j]).abs() < 1e-8,
+                "j={}: dense {} vs sparse {}", j, dense.x[j], sparse[j]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_simplex_agrees_with_dense_on_random_feasible_lps(
+        a in mat_strategy(3, 6, 0.1, 3.0),
+        strue in proptest::collection::vec(0.0f64..4.0, 6),
+        c in proptest::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let b = a.matvec(&strue);
+        let lp = StandardLp { a: a.clone(), b: b.clone() };
+        let csr = Csr::from_dense(&a, 0.0);
+        let dense = solve_lp(&lp, &c, true);
+        let sparse = tm_opt::simplex::SimplexSolver::new_sparse(&csr, &b)
+            .and_then(|mut s| s.maximize(&c));
+        match (dense, sparse) {
+            (Ok(ds), Ok(ss)) => prop_assert!(
+                (ds.objective - ss.objective).abs() < 1e-7 * (1.0 + ds.objective.abs()),
+                "dense {} vs sparse {}", ds.objective, ss.objective
+            ),
+            (Err(_), Err(_)) => {}
+            (d, s) => prop_assert!(false, "solvers disagree: dense {:?} sparse {:?}",
+                d.map(|v| v.objective), s.map(|v| v.objective)),
         }
     }
 

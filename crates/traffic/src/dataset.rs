@@ -101,10 +101,7 @@ impl EvalDataset {
             spec.n_samples,
             seed.wrapping_add(2),
         )?;
-        let busy_start = busiest_window(
-            &series.totals(),
-            BUSY_PERIOD_SAMPLES.min(spec.n_samples),
-        );
+        let busy_start = busiest_window(&series.totals(), BUSY_PERIOD_SAMPLES.min(spec.n_samples));
         Ok(EvalDataset {
             topology,
             routing,

@@ -94,7 +94,10 @@ mod tests {
         let p = profile();
         assert!((p.activity(18.0) - 1.0).abs() < 1e-12);
         assert!((p.activity(5.0) - 0.35).abs() < 1e-12);
-        assert!((p.activity(29.0) - p.activity(5.0)).abs() < 1e-12, "wraps at 24h");
+        assert!(
+            (p.activity(29.0) - p.activity(5.0)).abs() < 1e-12,
+            "wraps at 24h"
+        );
     }
 
     #[test]

@@ -44,8 +44,12 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        assert!(TrafficError::InvalidSpec("x".into()).to_string().contains('x'));
-        assert!(TrafficError::Dimension("y".into()).to_string().contains('y'));
+        assert!(TrafficError::InvalidSpec("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(TrafficError::Dimension("y".into())
+            .to_string()
+            .contains('y'));
         let e: TrafficError = tm_net::NetError::UnknownNode(3).into();
         assert!(e.to_string().contains('3'));
     }

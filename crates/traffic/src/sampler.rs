@@ -167,9 +167,7 @@ mod tests {
         let mut r = rng();
         assert_eq!(poisson(&mut r, 0.0), 0);
         // Tiny lambda: overwhelmingly zero.
-        let zeros = (0..10_000)
-            .filter(|_| poisson(&mut r, 1e-4) == 0)
-            .count();
+        let zeros = (0..10_000).filter(|_| poisson(&mut r, 1e-4) == 0).count();
         assert!(zeros > 9_980);
     }
 

@@ -53,10 +53,7 @@ impl DemandSeries {
 
     /// Total network traffic per sample.
     pub fn totals(&self) -> Vec<f64> {
-        self.samples
-            .iter()
-            .map(|s| s.iter().sum::<f64>())
-            .collect()
+        self.samples.iter().map(|s| s.iter().sum::<f64>()).collect()
     }
 
     /// Mean demand vector over a window of samples.
@@ -150,7 +147,11 @@ pub fn generate_series(
     let order = structure.sources_by_volume();
     let mut sigma_f = vec![0.0; n];
     for (rank, node) in order.iter().enumerate() {
-        let t = if n > 1 { rank as f64 / (n - 1) as f64 } else { 0.0 };
+        let t = if n > 1 {
+            rank as f64 / (n - 1) as f64
+        } else {
+            0.0
+        };
         sigma_f[node.0] =
             spec.fanout_jitter_large + t * (spec.fanout_jitter_small - spec.fanout_jitter_large);
     }
@@ -279,7 +280,11 @@ mod tests {
         let totals = series.totals();
         let max = totals.iter().cloned().fold(0.0f64, f64::max);
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(min / max < 0.7, "night should be well below peak: {}", min / max);
+        assert!(
+            min / max < 0.7,
+            "night should be well below peak: {}",
+            min / max
+        );
         // Busy window lands near the configured 17.5h peak.
         let start = busiest_window(&totals, 50);
         let center_hour = 24.0 * (start as f64 + 25.0) / 288.0;
@@ -396,8 +401,16 @@ mod tests {
         let mean = stats::mean_vector(&series.samples).unwrap();
         let var = stats::variance_vector(&series.samples).unwrap();
         for j in 0..3 {
-            assert!((mean[j] - lambda[j]).abs() < 0.12 * lambda[j].max(1.0), "mean {}", mean[j]);
-            assert!((var[j] - lambda[j]).abs() < 0.12 * lambda[j].max(1.0), "var {}", var[j]);
+            assert!(
+                (mean[j] - lambda[j]).abs() < 0.12 * lambda[j].max(1.0),
+                "mean {}",
+                mean[j]
+            );
+            assert!(
+                (var[j] - lambda[j]).abs() < 0.12 * lambda[j].max(1.0),
+                "var {}",
+                var[j]
+            );
         }
         assert!(poisson_series(&[-1.0], 10, 1).is_err());
         assert!(poisson_series(&[1.0], 0, 1).is_err());

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tm_net::{OdPairs, NodeId};
+use tm_net::{NodeId, OdPairs};
 
 use crate::error::TrafficError;
 use crate::sampler;
@@ -119,16 +119,19 @@ impl TrafficSpec {
             return Err(TrafficError::InvalidSpec("peak hour outside [0,24)".into()));
         }
         if !(self.diurnal_width_hours > 0.0) {
-            return Err(TrafficError::InvalidSpec("diurnal width must be > 0".into()));
+            return Err(TrafficError::InvalidSpec(
+                "diurnal width must be > 0".into(),
+            ));
         }
         if !(0.0..1.0).contains(&self.night_floor) {
-            return Err(TrafficError::InvalidSpec("night_floor outside [0,1)".into()));
+            return Err(TrafficError::InvalidSpec(
+                "night_floor outside [0,1)".into(),
+            ));
         }
         if !(self.max_demand_mbps > 0.0) {
             return Err(TrafficError::InvalidSpec("max demand must be > 0".into()));
         }
-        if self.fanout_jitter_large < 0.0 || self.fanout_jitter_small < self.fanout_jitter_large
-        {
+        if self.fanout_jitter_large < 0.0 || self.fanout_jitter_small < self.fanout_jitter_large {
             return Err(TrafficError::InvalidSpec(
                 "fanout jitter must satisfy 0 <= large <= small".into(),
             ));
@@ -164,8 +167,9 @@ impl DemandStructure {
 
         // Heavy-tailed node masses (shared by source and destination
         // attraction, as user populations drive both directions).
-        let mut masses: Vec<f64> =
-            (0..n_nodes).map(|_| sampler::lognormal(&mut rng, 0.0, spec.mass_sigma)).collect();
+        let mut masses: Vec<f64> = (0..n_nodes)
+            .map(|_| sampler::lognormal(&mut rng, 0.0, spec.mass_sigma))
+            .collect();
         let msum: f64 = masses.iter().sum();
         for m in &mut masses {
             *m /= msum;
@@ -344,7 +348,11 @@ mod tests {
         let order = s.sources_by_volume();
         let pairs = s.pairs();
         let vol = |n: NodeId| -> f64 {
-            pairs.from_source(n).iter().map(|&p| s.mean_demands[p]).sum()
+            pairs
+                .from_source(n)
+                .iter()
+                .map(|&p| s.mean_demands[p])
+                .sum()
         };
         for w in order.windows(2) {
             assert!(vol(w[0]) >= vol(w[1]));

@@ -23,31 +23,63 @@ fn main() {
         let thr = CoverageThreshold::Share(0.9);
         let mre = |t: &[f64], e: &[f64]| mean_relative_error(t, e, thr).expect("aligned");
 
-        println!("== {name}: {} PoPs, {} links ==", dataset.topology.n_nodes(), dataset.topology.n_links());
+        println!(
+            "== {name}: {} PoPs, {} links ==",
+            dataset.topology.n_nodes(),
+            dataset.topology.n_links()
+        );
 
         let bounds = worst_case_bounds(&snap).expect("LPs solvable");
         let wcb_prior = bounds.midpoint();
-        println!("  {:<28} {:.3}", "worst-case-bound prior", mre(&truth_snap, &wcb_prior.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "worst-case-bound prior",
+            mre(&truth_snap, &wcb_prior.demands)
+        );
 
         let gravity = GravityModel::simple().estimate(&snap).expect("gravity");
-        println!("  {:<28} {:.3}", "simple gravity prior", mre(&truth_snap, &gravity.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "simple gravity prior",
+            mre(&truth_snap, &gravity.demands)
+        );
 
         let entropy = EntropyEstimator::new(1e3).estimate(&snap).expect("entropy");
-        println!("  {:<28} {:.3}", "entropy w. gravity prior", mre(&truth_snap, &entropy.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "entropy w. gravity prior",
+            mre(&truth_snap, &entropy.demands)
+        );
 
         let bayes = BayesianEstimator::new(1e3).estimate(&snap).expect("bayes");
-        println!("  {:<28} {:.3}", "bayes w. gravity prior", mre(&truth_snap, &bayes.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "bayes w. gravity prior",
+            mre(&truth_snap, &bayes.demands)
+        );
 
         let bayes_wcb = BayesianEstimator::new(1e3)
             .with_prior(wcb_prior.demands.clone())
             .estimate(&snap)
             .expect("bayes+wcb");
-        println!("  {:<28} {:.3}", "bayes w. WCB prior", mre(&truth_snap, &bayes_wcb.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "bayes w. WCB prior",
+            mre(&truth_snap, &bayes_wcb.demands)
+        );
 
         let fanout = FanoutEstimator::new().estimate(&window).expect("fanout");
-        println!("  {:<28} {:.3}", "fanout (busy window)", mre(&truth_mean, &fanout.estimate.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "fanout (busy window)",
+            mre(&truth_mean, &fanout.estimate.demands)
+        );
 
         let vardi = VardiEstimator::new(0.01).estimate(&window).expect("vardi");
-        println!("  {:<28} {:.3}", "vardi (sigma^-2 = 0.01)", mre(&truth_mean, &vardi.demands));
+        println!(
+            "  {:<28} {:.3}",
+            "vardi (sigma^-2 = 0.01)",
+            mre(&truth_mean, &vardi.demands)
+        );
     }
 }

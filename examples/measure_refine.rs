@@ -15,13 +15,11 @@ fn main() {
     let thr = CoverageThreshold::Share(0.9);
     let lambda = 1e3;
 
-    let base = EntropyEstimator::new(lambda).estimate(&problem).expect("entropy");
-    let mre0 = mean_relative_error(
-        problem.true_demands().expect("truth"),
-        &base.demands,
-        thr,
-    )
-    .expect("aligned");
+    let base = EntropyEstimator::new(lambda)
+        .estimate(&problem)
+        .expect("entropy");
+    let mre0 = mean_relative_error(problem.true_demands().expect("truth"), &base.demands, thr)
+        .expect("aligned");
     println!("entropy MRE with no direct measurements: {mre0:.4}");
 
     let steps = 12;
@@ -30,7 +28,10 @@ fn main() {
     let greedy = greedy_selection(&problem, lambda, steps, thr, 40).expect("greedy");
     let largest = largest_first_selection(&problem, lambda, steps, thr).expect("largest");
 
-    println!("{:>5} {:>16} {:>16}", "#meas", "greedy MRE", "largest-first MRE");
+    println!(
+        "{:>5} {:>16} {:>16}",
+        "#meas", "greedy MRE", "largest-first MRE"
+    );
     for i in 0..steps {
         println!(
             "{:>5} {:>16.4} {:>16.4}",

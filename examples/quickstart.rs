@@ -25,8 +25,12 @@ fn main() {
 
     // 3. Three estimators of increasing sophistication.
     let gravity = GravityModel::simple().estimate(&problem).expect("gravity");
-    let entropy = EntropyEstimator::new(1e3).estimate(&problem).expect("entropy");
-    let bayes = BayesianEstimator::new(1e3).estimate(&problem).expect("bayes");
+    let entropy = EntropyEstimator::new(1e3)
+        .estimate(&problem)
+        .expect("entropy");
+    let bayes = BayesianEstimator::new(1e3)
+        .estimate(&problem)
+        .expect("bayes");
 
     // 4. Score with the paper's metric: mean relative error over the
     //    demands carrying 90% of traffic (Eq. 8).
@@ -39,6 +43,9 @@ fn main() {
     for est in [&gravity, &entropy, &bayes] {
         let mre = mean_relative_error(truth, &est.demands, threshold).expect("aligned");
         let rank = spearman_rank_correlation(truth, &est.demands).expect("aligned");
-        println!("{:<24} MRE {:>6.3}   rank-corr {:>6.3}", est.method, mre, rank);
+        println!(
+            "{:<24} MRE {:>6.3}   rank-corr {:>6.3}",
+            est.method, mre, rank
+        );
     }
 }

@@ -18,20 +18,17 @@ fn main() {
 
     // Poll the busy period with 2% datagram loss and backup pollers.
     let busy = dataset.busy_hour();
-    let window: Vec<Vec<f64>> = busy.clone().map(|k| dataset.series.samples[k].clone()).collect();
+    let window: Vec<Vec<f64>> = busy
+        .clone()
+        .map(|k| dataset.series.samples[k].clone())
+        .collect();
     let config = CollectionConfig {
         loss_probability: 0.02,
         pollers: 3,
         ..Default::default()
     };
-    let collected = run_collection(
-        &window,
-        &host_of,
-        dataset.topology.n_nodes(),
-        &config,
-        99,
-    )
-    .expect("collection succeeds");
+    let collected = run_collection(&window, &host_of, dataset.topology.n_nodes(), &config, 99)
+        .expect("collection succeeds");
     println!(
         "polled {} intervals x {} LSPs: {} polls lost, {} cells interpolated",
         collected.rates.len(),
@@ -54,7 +51,9 @@ fn main() {
     .with_truth(dataset.series.samples[busy.start].clone())
     .expect("dims");
 
-    let est = EntropyEstimator::new(1e3).estimate(&problem).expect("entropy");
+    let est = EntropyEstimator::new(1e3)
+        .estimate(&problem)
+        .expect("entropy");
     let mre = mean_relative_error(
         problem.true_demands().expect("truth"),
         &est.demands,
@@ -65,7 +64,7 @@ fn main() {
 
     // Direct measurement quality: collected vs true rates.
     let truth = &dataset.series.samples[busy.start];
-    let col_mre = mean_relative_error(truth, measured, CoverageThreshold::Share(0.9))
-        .expect("aligned");
+    let col_mre =
+        mean_relative_error(truth, measured, CoverageThreshold::Share(0.9)).expect("aligned");
     println!("collection error itself (collected vs true rates): MRE {col_mre:.4}");
 }

@@ -65,9 +65,7 @@ fn main() {
     }
     println!("failures analysed: {checked}");
     println!("worst |predicted - true| peak utilization gap: {worst_gap:.3}");
-    println!(
-        "failures where the >80% congestion verdict agrees: {failures_ranked_same}/{checked}"
-    );
+    println!("failures where the >80% congestion verdict agrees: {failures_ranked_same}/{checked}");
 }
 
 fn route_lsp_mesh_with_failure(

@@ -1,0 +1,233 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! Provides [`Criterion`], benchmark groups, `bench_function`,
+//! `iter`/`iter_batched` and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a pragmatic median-of-samples wall-clock
+//! timer printed to stdout — no statistics engine, no HTML reports.
+//! A CLI substring filter (the first non-flag argument) selects
+//! benchmarks, matching `cargo bench -- <filter>` usage.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_bench(&name, self.filter.as_deref(), self.sample_size, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.into(),
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_bench(&full, self.parent.filter.as_deref(), samples, f);
+        self
+    }
+
+    /// Finish the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored by the timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup re-run per iteration.
+    PerIteration,
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run, if any.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, one sample per call, auto-calibrated iteration counts.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: run until ~5ms or 1 iteration minimum.
+        let mut iters = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        let budget = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() / iters as f64);
+            if budget.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.result_ns = Some(times[times.len() / 2] * 1e9);
+    }
+
+    /// Time `routine` on fresh outputs of `setup` (setup untimed).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        let budget = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(start.elapsed().as_secs_f64());
+            if budget.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.result_ns = Some(times[times.len() / 2] * 1e9);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, filter: Option<&str>, samples: usize, mut f: F) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples,
+        result_ns: None,
+    };
+    f(&mut b);
+    match b.result_ns {
+        Some(ns) => println!("{name:<44} time: {}", format_ns(ns)),
+        None => println!("{name:<44} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(10.0).contains("ns"));
+        assert!(format_ns(1e4).contains("µs"));
+        assert!(format_ns(1e7).contains("ms"));
+        assert!(format_ns(2e9).contains("s"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline API-compatible subset of `crossbeam`: `channel::unbounded`
+//! over `std::sync::mpsc` and `scope`/`spawn` over `std::thread::scope`.
+
+/// Multi-producer channels (std mpsc re-exported under crossbeam names).
+pub mod channel {
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// A scope handle for spawning threads that may borrow from the caller.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a unit placeholder
+    /// where crossbeam passes a nested scope (unused by this workspace).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Run `f` with a scope; all spawned threads are joined before this
+/// returns. Always returns `Ok` — a panicking child propagates the
+/// panic on join exactly like `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_and_channels_cooperate() {
+        let data = [1usize, 2, 3, 4];
+        let (tx, rx) = channel::unbounded::<usize>();
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    tx.send(chunk.iter().sum()).expect("receiver alive");
+                });
+            }
+            drop(tx);
+        })
+        .expect("no panics");
+        let total: usize = rx.iter().sum();
+        assert_eq!(total, 10);
+    }
+}

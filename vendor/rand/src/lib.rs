@@ -1,0 +1,238 @@
+//! Offline API-compatible subset of `rand` 0.9.
+//!
+//! Implements the surface the workspace uses: [`Rng::random`],
+//! [`Rng::random_range`], [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`]. The generator is xoshiro256++ seeded via SplitMix64
+//! — deterministic and high quality, but the streams differ from
+//! upstream `rand`'s ChaCha12-based `StdRng` (the workspace only relies
+//! on determinism and statistical quality, never on exact streams).
+
+/// Core random number generation: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling conveniences on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the full
+    /// range, `bool` fair).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Sample a bool that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Standard-distribution sampling for a concrete type.
+pub trait Standard {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased multiply-shift (Lemire); span == 0 means the
+                // full 2^64 span, which these call sites never use.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start.wrapping_add((m >> 64) as u64 as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "random_range: empty range");
+                if start == end {
+                    return start;
+                }
+                (start..end.wrapping_add(1)).sample(rng)
+            }
+        }
+    )*};
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "random_range: empty range");
+        start + (end - start) * f64::sample(rng)
+    }
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is invalid for xoshiro; splitmix of any seed
+            // never yields four zeros, but keep the guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.random_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.random_range(3usize..=3);
+            assert_eq!(v, 3);
+            let f = rng.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+}

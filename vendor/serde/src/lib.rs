@@ -1,0 +1,280 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! Provides [`Serialize`] / [`Deserialize`] traits over a JSON-like
+//! [`Value`] tree plus derive macros for named-field structs, tuple
+//! structs and unit-variant enums. `serde_json` (also vendored)
+//! serializes the tree to JSON text and back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree — the data model of this serde subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit in `i64`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a Value, DeError> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+            .ok_or_else(|| DeError(format!("missing field `{name}`")))
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::I64(i),
+                    Err(_) => Value::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::U64(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::F64(f) if f.fract() == 0.0 && f.is_finite() => {
+                        Ok(*f as $t)
+                    }
+                    other => Err(DeError(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::I64(i) => Ok(*i as f64),
+            Value::U64(u) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError("expected tuple array".into()))?;
+                const LEN: usize = 0 $(+ { let _ = $i; 1 })+;
+                if s.len() != LEN {
+                    return Err(DeError(format!("tuple length {} != {LEN}", s.len())));
+                }
+                Ok(($($t::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&5u32.to_value()).unwrap(), 5);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(String::from_value(&Value::Bool(false)).is_err());
+        assert!(Value::Null.field("x").is_err());
+    }
+}
