@@ -1,9 +1,10 @@
 //! Per-estimator criterion benches at three topology scales
 //! (tiny / europe / america), plus the sparse-vs-dense ablations of the
-//! entropy-SPG and Gram-CD-NNLS hot paths that the sparse-first engine
-//! targets. The `experiments -- bench` binary writes the same
-//! measurements to `BENCH_PR1.json`; this bench exists for quick
-//! `cargo bench -p tm_bench --bench scaling [filter]` iteration.
+//! entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths that the
+//! sparse-first engine targets. The `experiments -- bench` binary
+//! writes the same measurements to `BENCH_PR2.json`; this bench exists
+//! for quick `cargo bench -p tm_bench --bench scaling [filter]`
+//! iteration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -11,7 +12,7 @@ use std::hint::black_box;
 use tm_bench::{perf, scales, snapshot, window};
 use tm_core::fanout::FanoutEstimator;
 use tm_core::prelude::*;
-use tm_core::wcb::worst_case_bounds;
+use tm_core::wcb::{worst_case_bounds, worst_case_bounds_with_engine, LpEngine};
 use tm_linalg::LinOp;
 use tm_opt::nnls;
 
@@ -87,6 +88,18 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
             b.iter(|| {
                 nnls::cd_nnls(black_box(&a_dense), &t, 0.1, Some(&prior), 20_000, 1e-10)
                     .expect("ok")
+            })
+        });
+        // WCB's 2·P warm-started LP sweep: revised sparse-LU engine vs
+        // the dense full-tableau baseline (the PR 2 tentpole ablation).
+        g.bench_function("wcb_revised_sparse", |b| {
+            b.iter(|| {
+                worst_case_bounds_with_engine(black_box(&p), LpEngine::RevisedSparse).expect("ok")
+            })
+        });
+        g.bench_function("wcb_dense_tableau", |b| {
+            b.iter(|| {
+                worst_case_bounds_with_engine(black_box(&p), LpEngine::DenseTableau).expect("ok")
             })
         });
         g.finish();

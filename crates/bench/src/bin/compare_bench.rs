@@ -1,0 +1,160 @@
+//! CI perf-trajectory gate: diff a fresh `BENCH_PR<n>.json` against the
+//! committed previous-PR baseline and fail on regressions.
+//!
+//! ```sh
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR2.json BENCH_PR1.json
+//! ```
+//!
+//! Rules (per network, matched by estimator/ablation name; entries that
+//! exist only on one side are reported but never fail the gate):
+//!
+//! * **wall time** — fail when
+//!   `new > (1 + WALL_TOLERANCE) · old + WALL_SLACK_MS` for any
+//!   estimator whose baseline wall time is at least [`WALL_FLOOR_MS`].
+//!   The relative term is the 10% regression budget; the small absolute
+//!   slack absorbs scheduler jitter on low-millisecond entries, which
+//!   would otherwise dominate the relative test. Sub-millisecond
+//!   timings are pure noise on a CI runner and are reported without
+//!   gating.
+//! * **MRE** — fail when an estimator's MRE moves by more than
+//!   [`MRE_TOLERANCE`] in either direction: a perf PR must not change
+//!   *what* is computed. The tolerance absorbs solver-tolerance-level
+//!   reorderings (e.g. a different LP pivot order reaching the same
+//!   optimum), nothing more.
+
+use serde::Value;
+
+/// Allowed relative wall-time regression before the gate fails.
+const WALL_TOLERANCE: f64 = 0.10;
+
+/// Baseline wall time below which timings are too noisy to gate on.
+const WALL_FLOOR_MS: f64 = 1.0;
+
+/// Absolute wall-time slack added on top of the relative budget.
+/// Sized from observed same-machine run-to-run jitter: entries around
+/// 15 ms wobble ±13% with the bench's median-of-5 protocol, and the
+/// baseline may come from different hardware than the runner. For the
+/// big lines the gate exists to protect (50–300 ms) this adds only
+/// 1–4% on top of the 10% budget.
+const WALL_SLACK_MS: f64 = 2.0;
+
+/// Allowed absolute MRE movement (solver-tolerance headroom only).
+const MRE_TOLERANCE: f64 = 1e-4;
+
+fn die(msg: &str) -> ! {
+    eprintln!("compare_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("{path}: parse error: {e}")))
+}
+
+fn str_field(v: &Value, name: &str) -> String {
+    match v.field(name) {
+        Ok(Value::Str(s)) => s.clone(),
+        other => die(&format!("`{name}` must be a string, got {other:?}")),
+    }
+}
+
+fn f64_field(v: &Value, name: &str) -> Option<f64> {
+    match v.field(name) {
+        Ok(Value::F64(x)) => Some(*x),
+        Ok(Value::I64(x)) => Some(*x as f64),
+        Ok(Value::U64(x)) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+/// `(name, wall_ms, mre)` triples of one network's estimator list.
+fn estimator_rows(net: &Value) -> Vec<(String, f64, Option<f64>)> {
+    net.field("estimators")
+        .ok()
+        .and_then(Value::as_seq)
+        .unwrap_or_else(|| die("`estimators` must be an array"))
+        .iter()
+        .map(|e| {
+            let name = str_field(e, "name");
+            let wall =
+                f64_field(e, "wall_ms").unwrap_or_else(|| die(&format!("{name}: missing wall_ms")));
+            (name, wall, f64_field(e, "mre"))
+        })
+        .collect()
+}
+
+fn networks(doc: &Value) -> Vec<(String, &Value)> {
+    doc.field("networks")
+        .ok()
+        .and_then(Value::as_seq)
+        .unwrap_or_else(|| die("`networks` must be an array"))
+        .iter()
+        .map(|n| (str_field(n, "name"), n))
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let new_path = args.next().unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let base_path = args.next().unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let new_doc = load(&new_path);
+    let base_doc = load(&base_path);
+
+    let base_nets = networks(&base_doc);
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+
+    for (net_name, new_net) in networks(&new_doc) {
+        let Some((_, base_net)) = base_nets.iter().find(|(n, _)| *n == net_name) else {
+            println!("  {net_name}: new network, no baseline — skipped");
+            continue;
+        };
+        let base_rows = estimator_rows(base_net);
+        for (est, new_wall, new_mre) in estimator_rows(new_net) {
+            let Some((_, base_wall, base_mre)) = base_rows.iter().find(|(n, _, _)| *n == est)
+            else {
+                println!("  {net_name}/{est}: new estimator, no baseline — skipped");
+                continue;
+            };
+            compared += 1;
+            let ratio = new_wall / base_wall.max(1e-12);
+            let gated = *base_wall >= WALL_FLOOR_MS;
+            let limit = (1.0 + WALL_TOLERANCE) * base_wall + WALL_SLACK_MS;
+            let verdict = if gated && new_wall > limit {
+                failures.push(format!(
+                    "{net_name}/{est}: wall {base_wall:.3} -> {new_wall:.3} ms ({ratio:.2}x)"
+                ));
+                "WALL REGRESSION"
+            } else if ratio <= 1.0 {
+                "ok"
+            } else if gated {
+                "ok (within tolerance)"
+            } else {
+                "ok (below gating floor)"
+            };
+            println!(
+                "  {net_name:<8} {est:<22} {base_wall:>9.3} -> {new_wall:>9.3} ms ({ratio:>5.2}x)  {verdict}"
+            );
+            if let (Some(old), Some(new)) = (base_mre, new_mre) {
+                if (new - old).abs() > MRE_TOLERANCE {
+                    failures.push(format!("{net_name}/{est}: MRE moved {old:.6} -> {new:.6}"));
+                    println!("  {net_name:<8} {est:<22} MRE {old:.6} -> {new:.6}  MRE MOVEMENT");
+                }
+            }
+        }
+    }
+
+    if compared == 0 {
+        die("no comparable estimator entries between the two files");
+    }
+    if failures.is_empty() {
+        println!("compare_bench: {new_path} vs {base_path}: {compared} entries, no regressions");
+    } else {
+        eprintln!("compare_bench: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -13,8 +13,10 @@
 //! (who wins, where methods fail, where curves flatten) are reproduced.
 //!
 //! `bench` times every estimator at three topology scales and writes
-//! `BENCH_PR1.json` (schema documented in `docs/PERF.md`) so later PRs
-//! have a baseline to beat. It is NOT part of `all`.
+//! `BENCH_PR2.json` (schema documented in `docs/PERF.md`). The
+//! `compare_bench` bin diffs it against the committed `BENCH_PR1.json`
+//! baseline and fails CI on wall-time or MRE regressions. It is NOT
+//! part of `all`.
 
 use tm_bench::{networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
 use tm_core::cao::CaoEstimator;
@@ -22,7 +24,7 @@ use tm_core::fanout::FanoutEstimator;
 use tm_core::measure::{greedy_selection, largest_first_selection};
 use tm_core::prelude::*;
 use tm_core::vardi::VardiEstimator;
-use tm_core::wcb::worst_case_bounds;
+use tm_core::wcb::{worst_case_bounds, worst_case_bounds_with_engine, LpEngine};
 use tm_linalg::{stats, vector, LinOp};
 use tm_opt::nnls;
 use tm_traffic::series::poisson_series;
@@ -726,15 +728,15 @@ fn table2() {
 /// `bench` mode: the perf-trajectory harness.
 ///
 /// Times every estimator at three topology scales, measures the sparse
-/// engine against its densified baseline on the entropy-SPG and
-/// Gram-CD-NNLS hot paths, and writes `BENCH_PR1.json` in the working
-/// directory. Schema: `docs/PERF.md`.
+/// engine against its densified baseline on the entropy-SPG,
+/// Gram-CD-NNLS and WCB-simplex hot paths, and writes `BENCH_PR2.json`
+/// in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR1.json — every later PR benchmarks against this file",
+        "writes BENCH_PR2.json — compare_bench diffs it against BENCH_PR1.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -859,10 +861,19 @@ fn bench_mode() {
         let nnls_dense_ms = perf::time_ms(runs, || {
             nnls::cd_nnls(&a_dense, &t_norm, 0.1, Some(&prior_norm), 20_000, 1e-10).expect("ok")
         });
+        // The PR 2 tentpole ablation: the same 2·P warm-started bound
+        // LPs on the revised sparse-LU engine vs the dense full tableau.
+        let wcb_sparse_ms = perf::time_ms(runs.min(3), || {
+            worst_case_bounds_with_engine(&p, LpEngine::RevisedSparse).expect("ok")
+        });
+        let wcb_dense_ms = perf::time_ms(runs.min(3), || {
+            worst_case_bounds_with_engine(&p, LpEngine::DenseTableau).expect("ok")
+        });
         let mut ablations: Vec<Value> = Vec::new();
         for (label, sparse_ms, dense_ms) in [
             ("entropy_spg", entropy_sparse_ms, entropy_dense_ms),
             ("cd_nnls_gram", nnls_sparse_ms, nnls_dense_ms),
+            ("wcb_simplex", wcb_sparse_ms, wcb_dense_ms),
         ] {
             let speedup = dense_ms / sparse_ms.max(1e-9);
             println!(
@@ -893,7 +904,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(1)),
+        ("pr".to_string(), Value::I64(2)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -906,8 +917,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR1.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR1.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR2.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR2.json ({} bytes)", json.len());
 }
 
 /// Extension: the Cao et al. method the paper left as future work.

@@ -7,11 +7,41 @@
 //! result vector is **bit-identical** to the serial loop (each problem
 //! is estimated independently and results are reassembled in input
 //! order — no cross-snapshot reduction exists to reorder).
+//!
+//! Two layers of sharing keep the marginal cost per interval close to
+//! one solve:
+//!
+//! * **Per-chunk workspaces** — samples are processed in fixed-size
+//!   chunks, each chunk holding one [`Workspace`] pool that every
+//!   estimate draws its scratch/result vectors from
+//!   ([`Estimator::estimate_with`]); at steady state a chunk allocates
+//!   nothing per snapshot.
+//! * **[`SnapshotShard`]** — all snapshots of a dataset share one
+//!   routing pattern, so the measurement matrix, its Gram `AᵀA`
+//!   (fanout's big precomputation) and WCB's phase-1 simplex basis are
+//!   derived **once** per shard instead of once per problem.
+//!   [`SnapshotShard::wcb_bounds`] re-anchors the shared basis on each
+//!   interval's measurement vector ([`WcbSolver::rebase`]) and only
+//!   falls back to a fresh (sparse, cheap) phase 1 when the basis is
+//!   infeasible for that interval.
 
+use std::ops::Range;
+use std::sync::OnceLock;
+
+use tm_linalg::{Csr, Workspace};
 use tm_traffic::EvalDataset;
 
+use crate::fanout::{FanoutEstimate, FanoutEstimator};
 use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator};
+use crate::wcb::{DemandBounds, LpEngine, WcbSolver};
 use crate::Result;
+
+/// Upper bound on snapshots per work chunk. The actual chunk size
+/// shrinks so every worker thread gets work even for small batches;
+/// chunking never affects values (each snapshot is estimated
+/// independently, and [`Workspace`] buffers are zeroed on `take`), so
+/// results stay bit-identical for any thread count either way.
+const SNAPSHOTS_PER_CHUNK: usize = 8;
 
 /// Estimate every problem in the batch in parallel.
 ///
@@ -21,7 +51,15 @@ pub fn estimate_batch<E>(estimator: &E, problems: &[EstimationProblem]) -> Vec<R
 where
     E: Estimator + Sync,
 {
-    tm_par::par_map(problems, |p| estimator.estimate(p))
+    let chunks = chunk_ranges(problems.len());
+    let nested = tm_par::par_map(&chunks, |range| {
+        let mut ws = Workspace::new();
+        problems[range.clone()]
+            .iter()
+            .map(|p| estimator.estimate_with(p, &mut ws))
+            .collect::<Vec<_>>()
+    });
+    nested.into_iter().flatten().collect()
 }
 
 /// Build the snapshot problems for `samples` and estimate them all in
@@ -34,9 +72,15 @@ pub fn estimate_snapshots<E>(
 where
     E: Estimator + Sync,
 {
-    tm_par::par_map(samples, |&k| {
-        estimator.estimate(&dataset.snapshot_problem(k))
-    })
+    let chunks = chunk_ranges(samples.len());
+    let nested = tm_par::par_map(&chunks, |range| {
+        let mut ws = Workspace::new();
+        samples[range.clone()]
+            .iter()
+            .map(|&k| estimator.estimate_with(&dataset.snapshot_problem(k), &mut ws))
+            .collect::<Vec<_>>()
+    });
+    nested.into_iter().flatten().collect()
 }
 
 /// Sweep one estimator-per-parameter over a single problem in parallel
@@ -49,10 +93,137 @@ where
     tm_par::par_map(params, |&p| make(p).estimate(problem))
 }
 
+/// Chunk ranges covering `0..len`: as large as possible for workspace
+/// reuse (up to [`SNAPSHOTS_PER_CHUNK`]) without starving worker
+/// threads on small batches.
+fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
+    let workers = tm_par::threads().max(1);
+    let chunk = len.div_ceil(workers).clamp(1, SNAPSHOTS_PER_CHUNK);
+    (0..len)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(len))
+        .collect()
+}
+
+/// Shared per-shard state for estimating many snapshots of one dataset:
+/// the measurement system (routing pattern + edge rows), its Gram, and
+/// WCB's phase-1 basis are derived once and reused by every interval.
+pub struct SnapshotShard<'d> {
+    dataset: &'d EvalDataset,
+    /// The measurement matrix shared by every snapshot of the dataset.
+    a: Csr,
+    /// Lazily computed shared Gram `AᵀA` (fanout's precomputation).
+    gram: OnceLock<Csr>,
+}
+
+impl<'d> SnapshotShard<'d> {
+    /// Derive the shared measurement system for `dataset` (done once;
+    /// every snapshot of a dataset shares the routing pattern).
+    pub fn new(dataset: &'d EvalDataset) -> Self {
+        let a = dataset.snapshot_problem(0).measurement_matrix();
+        SnapshotShard {
+            dataset,
+            a,
+            gram: OnceLock::new(),
+        }
+    }
+
+    /// The shared measurement matrix.
+    pub fn measurement_matrix(&self) -> &Csr {
+        &self.a
+    }
+
+    /// The shared sparse Gram `AᵀA`, computed on first use.
+    pub fn gram(&self) -> &Csr {
+        self.gram.get_or_init(|| self.a.gram())
+    }
+
+    /// Measurement vector of sample `k` — the only per-interval data:
+    /// no routing clone, no problem construction.
+    pub fn measurements_at(&self, k: usize) -> Vec<f64> {
+        let s = self
+            .dataset
+            .demands_at(k)
+            .expect("sample index within series");
+        let mut t = self
+            .dataset
+            .routing
+            .interior_loads(s)
+            .expect("consistent demands");
+        t.extend(
+            self.dataset
+                .routing
+                .ingress_loads(s)
+                .expect("consistent demands"),
+        );
+        t.extend(
+            self.dataset
+                .routing
+                .egress_loads(s)
+                .expect("consistent demands"),
+        );
+        t
+    }
+
+    /// Worst-case bounds for every sample, sharing one phase-1 basis:
+    /// the basis is re-anchored per interval ([`WcbSolver::rebase`]);
+    /// when an interval's loads make it infeasible, a fresh phase 1
+    /// runs on the already-assembled shared system.
+    pub fn wcb_bounds(&self, samples: &[usize]) -> Vec<Result<DemandBounds>> {
+        let Some(&first) = samples.first() else {
+            return Vec::new();
+        };
+        let base = WcbSolver::from_parts(&self.a, self.measurements_at(first), LpEngine::Auto);
+        let base = match base {
+            Ok(b) => b,
+            Err(e) => return samples.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let chunks = chunk_ranges(samples.len());
+        let nested = tm_par::par_map(&chunks, |range| {
+            let mut ws = Workspace::new();
+            samples[range.clone()]
+                .iter()
+                .map(|&k| -> Result<DemandBounds> {
+                    let t = self.measurements_at(k);
+                    let mut solver = base.clone();
+                    if !solver.rebase(&t)? {
+                        solver = WcbSolver::from_parts(&self.a, t, LpEngine::Auto)?;
+                    }
+                    solver.bounds_ws(&mut ws)
+                })
+                .collect::<Vec<_>>()
+        });
+        nested.into_iter().flatten().collect()
+    }
+
+    /// Fanout estimates over many windows, sharing the Gram matrix and
+    /// a per-chunk workspace.
+    pub fn fanout_windows(
+        &self,
+        estimator: &FanoutEstimator,
+        windows: &[Range<usize>],
+    ) -> Vec<Result<FanoutEstimate>> {
+        let gram = self.gram();
+        let chunks = chunk_ranges(windows.len());
+        let nested = tm_par::par_map(&chunks, |range| {
+            let mut ws = Workspace::new();
+            windows[range.clone()]
+                .iter()
+                .map(|w| {
+                    let problem = self.dataset.window_problem(w.clone());
+                    estimator.estimate_shared(&problem, gram, &mut ws)
+                })
+                .collect::<Vec<_>>()
+        });
+        nested.into_iter().flatten().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::prelude::*;
+    use crate::wcb::worst_case_bounds;
     use tm_traffic::{DatasetSpec, EvalDataset};
 
     #[test]
@@ -89,6 +260,94 @@ mod tests {
         for (i, r) in out.iter().enumerate() {
             let serial = est.estimate(&problems[i]).unwrap();
             assert_eq!(serial.demands, r.as_ref().unwrap().demands);
+        }
+    }
+
+    #[test]
+    fn workspace_path_matches_fresh_estimates() {
+        // Pooled buffers must not change any value: run a chunk-sized
+        // batch (shared workspace) and compare against per-call runs.
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 19).unwrap();
+        let samples: Vec<usize> = (0..2 * SNAPSHOTS_PER_CHUNK).collect();
+        for est in [EntropyEstimator::new(1e3)] {
+            let batched = estimate_snapshots(&est, &d, &samples);
+            for (i, &k) in samples.iter().enumerate() {
+                let fresh = est.estimate(&d.snapshot_problem(k)).unwrap();
+                assert_eq!(
+                    fresh.demands,
+                    batched[i].as_ref().unwrap().demands,
+                    "snapshot {k}"
+                );
+            }
+        }
+        let est = BayesianEstimator::new(1e2);
+        let batched = estimate_snapshots(&est, &d, &samples);
+        for (i, &k) in samples.iter().enumerate() {
+            let fresh = est.estimate(&d.snapshot_problem(k)).unwrap();
+            assert_eq!(fresh.demands, batched[i].as_ref().unwrap().demands);
+        }
+    }
+
+    #[test]
+    fn shard_shares_measurement_system() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 23).unwrap();
+        let shard = SnapshotShard::new(&d);
+        let p = d.snapshot_problem(3);
+        // Shared matrix and per-interval vectors match the per-problem
+        // derivation exactly.
+        assert_eq!(shard.measurement_matrix(), &p.measurement_matrix());
+        assert_eq!(shard.measurements_at(3), p.measurements());
+        // Gram is the real Gram.
+        let g = shard.gram();
+        assert_eq!(g.rows(), p.n_pairs());
+        assert_eq!(g, &p.measurement_matrix().gram());
+    }
+
+    #[test]
+    fn shard_wcb_matches_per_problem_bounds() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 29).unwrap();
+        let samples: Vec<usize> = (0..6).collect();
+        let shard = SnapshotShard::new(&d);
+        let shared = shard.wcb_bounds(&samples);
+        let total = d.snapshot_problem(0).total_traffic();
+        for (i, &k) in samples.iter().enumerate() {
+            let fresh = worst_case_bounds(&d.snapshot_problem(k)).unwrap();
+            let s = shared[i].as_ref().unwrap();
+            for p in 0..fresh.lower.len() {
+                assert!(
+                    (fresh.lower[p] - s.lower[p]).abs() <= 1e-7 * total,
+                    "snapshot {k} pair {p} lower: {} vs {}",
+                    fresh.lower[p],
+                    s.lower[p]
+                );
+                assert!(
+                    (fresh.upper[p] - s.upper[p]).abs() <= 1e-7 * total,
+                    "snapshot {k} pair {p} upper: {} vs {}",
+                    fresh.upper[p],
+                    s.upper[p]
+                );
+            }
+        }
+        assert!(shard.wcb_bounds(&[]).is_empty());
+    }
+
+    #[test]
+    fn shard_fanout_matches_per_problem_estimates() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 31).unwrap();
+        let start = d.busy_start;
+        let windows: Vec<std::ops::Range<usize>> =
+            (0..3).map(|i| start + i..start + i + 6).collect();
+        let est = FanoutEstimator::new();
+        let shard = SnapshotShard::new(&d);
+        let shared = shard.fanout_windows(&est, &windows);
+        for (i, w) in windows.iter().enumerate() {
+            let fresh = est.estimate(&d.window_problem(w.clone())).unwrap();
+            let s = shared[i].as_ref().unwrap();
+            assert_eq!(fresh.fanouts, s.fanouts, "window {i} fanouts");
+            assert_eq!(
+                fresh.estimate.demands, s.estimate.demands,
+                "window {i} demands"
+            );
         }
     }
 }

@@ -11,6 +11,7 @@
 //! *exactly* by the dual-form active-set Tikhonov NNLS, which stays
 //! stable for the large λ where the paper finds the best MREs.
 
+use tm_linalg::Workspace;
 use tm_opt::nnls;
 
 use crate::gravity::GravityModel;
@@ -43,10 +44,10 @@ impl BayesianEstimator {
     pub fn lambda(&self) -> f64 {
         self.lambda
     }
-}
 
-impl Estimator for BayesianEstimator {
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+    /// The solve, with normalization temporaries drawn from (and
+    /// returned to) the workspace pool.
+    fn solve(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
         if !(self.lambda > 0.0) {
             return Err(crate::error::EstimationError::InvalidProblem(
                 "bayes: lambda must be positive".into(),
@@ -69,16 +70,38 @@ impl Estimator for BayesianEstimator {
         let a = problem.measurement_matrix();
         let t_raw = problem.measurements();
         let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
-        let t: Vec<f64> = t_raw.iter().map(|v| v / stot).collect();
-        let prior: Vec<f64> = prior_raw.iter().map(|v| v / stot).collect();
+        let mut t = ws.take(t_raw.len());
+        for (d, &v) in t.iter_mut().zip(&t_raw) {
+            *d = v / stot;
+        }
+        let mut prior = ws.take(prior_raw.len());
+        for (d, &v) in prior.iter_mut().zip(&prior_raw) {
+            *d = v / stot;
+        }
 
         let mu = 1.0 / self.lambda;
         let sol = nnls::ridge_nnls(&a, &t, mu, &prior, 0)?;
-        let demands: Vec<f64> = sol.x.iter().map(|&v| v * stot).collect();
+        let mut demands = ws.take(sol.x.len());
+        for (d, &v) in demands.iter_mut().zip(&sol.x) {
+            *d = v * stot;
+        }
+        ws.give(t);
+        ws.give(prior);
+        ws.give(sol.x);
         Ok(Estimate {
             demands,
             method: self.name(),
         })
+    }
+}
+
+impl Estimator for BayesianEstimator {
+    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        self.solve(problem, &mut Workspace::new())
+    }
+
+    fn estimate_with(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
+        self.solve(problem, ws)
     }
 
     fn name(&self) -> String {

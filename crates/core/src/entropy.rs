@@ -10,6 +10,7 @@
 //! projected gradient in traffic-normalized units; the log-gradient of
 //! the KL term keeps iterates strictly positive given a small floor.
 
+use tm_linalg::Workspace;
 use tm_opt::spg::{self, SpgOptions};
 
 use crate::gravity::GravityModel;
@@ -59,10 +60,11 @@ impl EntropyEstimator {
     pub fn lambda(&self) -> f64 {
         self.lambda
     }
-}
 
-impl Estimator for EntropyEstimator {
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+    /// The solve, with every vector-sized temporary drawn from (and
+    /// returned to) the workspace pool — zero steady-state allocations
+    /// besides the SPG iterates themselves.
+    fn solve(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
         if !(self.lambda > 0.0) {
             return Err(crate::error::EstimationError::InvalidProblem(
                 "entropy: lambda must be positive".into(),
@@ -87,12 +89,18 @@ impl Estimator for EntropyEstimator {
         let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
 
         // Normalized units: everything O(1).
-        let t: Vec<f64> = t_raw.iter().map(|v| v / stot).collect();
-        let q: Vec<f64> = prior_raw.iter().map(|v| (v / stot).max(FLOOR)).collect();
+        let mut t = ws.take(t_raw.len());
+        for (d, &v) in t.iter_mut().zip(&t_raw) {
+            *d = v / stot;
+        }
+        let mut q = ws.take(prior_raw.len());
+        for (d, &v) in q.iter_mut().zip(&prior_raw) {
+            *d = (v / stot).max(FLOOR);
+        }
         let inv_lambda = 1.0 / self.lambda;
 
-        let mut buf_r = vec![0.0; a.rows()];
-        let mut buf_g = vec![0.0; a.cols()];
+        let mut buf_r = ws.take(a.rows());
+        let mut buf_g = ws.take(a.cols());
         let result = spg::spg(
             |s: &[f64], grad: &mut [f64]| {
                 // residual r = A s − t
@@ -115,15 +123,29 @@ impl Estimator for EntropyEstimator {
             self.opts,
         )?;
 
-        let demands: Vec<f64> = result
-            .x
-            .iter()
-            .map(|&v| if v <= 2.0 * FLOOR { 0.0 } else { v * stot })
-            .collect();
+        let mut demands = ws.take(result.x.len());
+        for (d, &v) in demands.iter_mut().zip(&result.x) {
+            *d = if v <= 2.0 * FLOOR { 0.0 } else { v * stot };
+        }
+        ws.give(t);
+        ws.give(q);
+        ws.give(buf_r);
+        ws.give(buf_g);
+        ws.give(result.x);
         Ok(Estimate {
             demands,
             method: self.name(),
         })
+    }
+}
+
+impl Estimator for EntropyEstimator {
+    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        self.solve(problem, &mut Workspace::new())
+    }
+
+    fn estimate_with(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
+        self.solve(problem, ws)
     }
 
     fn name(&self) -> String {

@@ -23,6 +23,7 @@
 //! unidentified directions default to gravity instead of noise. Set
 //! `prior_weight` to ~0 to recover the paper's exact formulation.
 
+use tm_linalg::{Csr, Workspace};
 use tm_opt::qp::{self, SumConstraints};
 
 use crate::error::EstimationError;
@@ -57,6 +58,39 @@ impl FanoutEstimator {
 
     /// Estimated fanouts and the implied mean demands over the window.
     pub fn estimate(&self, problem: &EstimationProblem) -> Result<FanoutEstimate> {
+        self.estimate_with(problem, &mut Workspace::new())
+    }
+
+    /// [`FanoutEstimator::estimate`] drawing scratch vectors from a
+    /// [`Workspace`] pool (allocation-free steady state in batch loops).
+    pub fn estimate_with(
+        &self,
+        problem: &EstimationProblem,
+        ws: &mut Workspace,
+    ) -> Result<FanoutEstimate> {
+        self.estimate_impl(problem, None, ws)
+    }
+
+    /// [`FanoutEstimator::estimate`] with a **shared** precomputed Gram
+    /// matrix `G = AᵀA` of the problem's measurement system — the
+    /// by-far largest per-problem precomputation, identical for every
+    /// problem of a snapshot shard (`crate::batch::SnapshotShard`
+    /// computes it once).
+    pub fn estimate_shared(
+        &self,
+        problem: &EstimationProblem,
+        gram: &Csr,
+        ws: &mut Workspace,
+    ) -> Result<FanoutEstimate> {
+        self.estimate_impl(problem, Some(gram), ws)
+    }
+
+    fn estimate_impl(
+        &self,
+        problem: &EstimationProblem,
+        shared_gram: Option<&Csr>,
+        ws: &mut Workspace,
+    ) -> Result<FanoutEstimate> {
         let ts = problem
             .time_series()
             .ok_or(EstimationError::MissingTimeSeries)?;
@@ -85,12 +119,31 @@ impl FanoutEstimator {
         //     ⇒ H_{pq} = G_{pq} · T[src(p)][src(q)],
         //
         // where G = AᵀA (sparse, pattern = pairs sharing a measurement
-        // row, computed ONCE) and T[a][b] = Σ_k s̃_a^k·s̃_b^k is an
-        // N×N source cross-moment table. This replaces the per-interval
-        // dense accumulation with O(nnz(G) + K·N²) work and keeps H
-        // sparse for the projected-CG solve below.
-        let g_mat = a.gram();
-        let mut cross = vec![vec![0.0; n]; n];
+        // row, computed ONCE — or shared across a whole snapshot shard)
+        // and T[a][b] = Σ_k s̃_a^k·s̃_b^k is an N×N source cross-moment
+        // table. This replaces the per-interval dense accumulation with
+        // O(nnz(G) + K·N²) work and keeps H sparse for the projected-CG
+        // solve below.
+        let g_owned;
+        let g_mat = match shared_gram {
+            Some(g) => {
+                if g.rows() != p_count || g.cols() != p_count {
+                    return Err(EstimationError::InvalidProblem(format!(
+                        "shared gram is {}x{} for {} pairs",
+                        g.rows(),
+                        g.cols(),
+                        p_count
+                    )));
+                }
+                g
+            }
+            None => {
+                g_owned = a.gram();
+                &g_owned
+            }
+        };
+        // Flattened N×N cross-moment table from the workspace pool.
+        let mut cross = ws.take(n * n);
         for te in &ts.ingress {
             for src_a in 0..n {
                 let sa = te[src_a] / stot;
@@ -98,11 +151,11 @@ impl FanoutEstimator {
                     continue;
                 }
                 for src_b in 0..n {
-                    cross[src_a][src_b] += sa * te[src_b] / stot;
+                    cross[src_a * n + src_b] += sa * te[src_b] / stot;
                 }
             }
         }
-        let h = g_mat.mapped_values(|p, q, v| v * cross[src_of[p]][src_of[q]]);
+        let h = g_mat.mapped_values(|p, q, v| v * cross[src_of[p] * n + src_of[q]]);
 
         // g = Σ_k S[k]·Aᵀ·t̃[k]: the K transposed products are
         // independent — compute them in parallel, then fold in interval
@@ -113,7 +166,7 @@ impl FanoutEstimator {
             let scaled: Vec<f64> = t.iter().map(|v| v / stot).collect();
             Ok(a.tr_matvec(&scaled))
         });
-        let mut g = vec![0.0; p_count];
+        let mut g = ws.take(p_count);
         for (k, product) in tr_products.into_iter().enumerate() {
             let u = product?;
             let te = &ts.ingress[k];
@@ -125,14 +178,14 @@ impl FanoutEstimator {
         // Gravity-fanout prior: α_nm ∝ mean egress share of m (excluding
         // the source itself), the same assumption as the simple gravity
         // model expressed in fanout space.
-        let mut tx_mean = vec![0.0; n];
+        let mut tx_mean = ws.take(n);
         for tx in &ts.egress {
             for (i, &v) in tx.iter().enumerate() {
                 tx_mean[i] += v / k_len as f64;
             }
         }
         let tx_total: f64 = tx_mean.iter().sum();
-        let mut alpha_prior = vec![0.0; p_count];
+        let mut alpha_prior = ws.take(p_count);
         for (p, src, dst) in pairs.iter() {
             let denom = tx_total - tx_mean[src.0];
             if denom > 0.0 {
@@ -164,15 +217,21 @@ impl FanoutEstimator {
         qp::clip_and_renormalize(&mut alpha, &constraints);
 
         // Implied mean demands over the window: α_p · mean_k t_e(src(p)).
-        let mut te_mean = vec![0.0; n];
+        let mut te_mean = ws.take(n);
         for te in &ts.ingress {
             for (i, &v) in te.iter().enumerate() {
                 te_mean[i] += v / k_len as f64;
             }
         }
-        let demands: Vec<f64> = (0..p_count)
-            .map(|p| alpha[p] * te_mean[src_of[p]])
-            .collect();
+        let mut demands = ws.take(p_count);
+        for (p, d) in demands.iter_mut().enumerate() {
+            *d = alpha[p] * te_mean[src_of[p]];
+        }
+        ws.give(cross);
+        ws.give(g);
+        ws.give(tx_mean);
+        ws.give(alpha_prior);
+        ws.give(te_mean);
 
         Ok(FanoutEstimate {
             fanouts: alpha,

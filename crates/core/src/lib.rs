@@ -68,7 +68,7 @@ pub type Result<T> = std::result::Result<T, EstimationError>;
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::batch::{estimate_batch, estimate_snapshots};
+    pub use crate::batch::{estimate_batch, estimate_snapshots, SnapshotShard};
     pub use crate::bayes::BayesianEstimator;
     pub use crate::cao::CaoEstimator;
     pub use crate::entropy::EntropyEstimator;
@@ -81,5 +81,7 @@ pub mod prelude {
     };
     pub use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
     pub use crate::vardi::VardiEstimator;
-    pub use crate::wcb::{worst_case_bounds, DemandBounds};
+    pub use crate::wcb::{
+        worst_case_bounds, worst_case_bounds_with_engine, DemandBounds, LpEngine, WcbSolver,
+    };
 }

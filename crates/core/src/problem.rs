@@ -354,6 +354,21 @@ impl From<Estimate> for Vec<f64> {
 pub trait Estimator {
     /// Estimate the traffic matrix from the problem's snapshot data.
     fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate>;
+
+    /// Estimate drawing scratch and result vectors from a
+    /// [`Workspace`](tm_linalg::Workspace) pool. Long-running collection
+    /// pipelines (`crate::batch`) hold one pool per worker and call this
+    /// per snapshot, so estimators that override it allocate nothing at
+    /// steady state. The default ignores the pool.
+    fn estimate_with(
+        &self,
+        problem: &EstimationProblem,
+        ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate> {
+        let _ = ws;
+        self.estimate(problem)
+    }
+
     /// Method name (for tables and figures).
     fn name(&self) -> String;
 }

@@ -7,13 +7,49 @@
 //! each objective from the previous basis (§ "computationally expensive"
 //! in the paper; warm starting is what makes the full sweep practical).
 //!
+//! The LP backend is the **revised simplex with a sparse LU basis**
+//! ([`tm_opt::revised`]): pricing walks CSR columns and each pivot costs
+//! `O(nnz)` instead of the dense tableau's `O(m·n)`. Below
+//! [`DENSE_FALLBACK_PAIRS`] unknowns the old full-tableau solver is used
+//! instead (cache-friendly at that size, and it remains the measured
+//! baseline for the `wcb_simplex` ablation in `tm_bench`).
+//!
+//! A [`WcbSolver`] owns the phase-1-complete basis. Within one snapshot
+//! the `2·P` objectives warm-start from it; across snapshots of a shard
+//! (same routing pattern, different measurement vectors)
+//! [`WcbSolver::rebase`] re-anchors the *same* basis on a new `t`, so
+//! the phase-1 work is shared by the whole shard (`tm_core::batch`).
+//!
 //! The midpoint `(lower+upper)/2` turns out to be a strong prior for the
 //! regularized estimators (Fig. 9 / Fig. 15 / Table 2).
 
-use tm_opt::simplex::SimplexSolver;
+use tm_linalg::{Csr, Workspace};
+use tm_opt::revised::RevisedSimplex;
+use tm_opt::simplex::{LpSolution, SimplexSolver};
 
 use crate::problem::{Estimate, EstimationProblem};
 use crate::Result;
+
+/// Below this many unknowns the dense full-tableau solver is used: the
+/// whole tableau then fits in cache and a factorization-based iteration
+/// has no room to win (measured crossover on the bench scales: the
+/// revised engine loses ~2.7x at 132 unknowns and wins ~4x at 600; see
+/// the `wcb_simplex` ablation in `BENCH_PR2.json`).
+pub const DENSE_FALLBACK_PAIRS: usize = 256;
+
+/// Which LP backend a [`WcbSolver`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Revised sparse solver, falling back to the dense tableau below
+    /// [`DENSE_FALLBACK_PAIRS`] unknowns.
+    #[default]
+    Auto,
+    /// Force the dense full-tableau solver (the measured baseline of
+    /// the `wcb_simplex` ablation).
+    DenseTableau,
+    /// Force the revised sparse solver.
+    RevisedSparse,
+}
 
 /// Per-demand worst-case bounds.
 #[derive(Debug, Clone)]
@@ -58,62 +94,179 @@ impl DemandBounds {
 /// bit-identical from 1 thread to N.
 const PAIRS_PER_CHUNK: usize = 16;
 
+/// The phase-1-complete LP state backing a bound sweep: either solver
+/// holds a feasible basis for `{s ≥ 0 : A·s = t}` that the per-pair
+/// objectives (and, for the revised engine, later snapshots of a shard)
+/// warm-start from.
+#[derive(Debug, Clone)]
+enum LpBase {
+    Dense(Box<SimplexSolver>),
+    Revised(Box<RevisedSimplex>),
+}
+
+impl LpBase {
+    fn maximize(&mut self, c: &[f64]) -> tm_opt::Result<LpSolution> {
+        match self {
+            LpBase::Dense(s) => s.maximize(c),
+            LpBase::Revised(s) => s.maximize(c),
+        }
+    }
+
+    fn minimize(&mut self, c: &[f64]) -> tm_opt::Result<LpSolution> {
+        match self {
+            LpBase::Dense(s) => s.minimize(c),
+            LpBase::Revised(s) => s.minimize(c),
+        }
+    }
+}
+
+/// Reusable worst-case-bound solver: one phase 1, many objectives, and
+/// (on the revised engine) many snapshots.
+#[derive(Debug, Clone)]
+pub struct WcbSolver {
+    base: LpBase,
+    /// Measurement vector the base is currently anchored on.
+    b: Vec<f64>,
+    p_count: usize,
+}
+
+impl WcbSolver {
+    /// Build the solver for one snapshot problem (engine chosen by
+    /// problem size).
+    pub fn for_problem(problem: &EstimationProblem) -> Result<Self> {
+        Self::with_engine(problem, LpEngine::Auto)
+    }
+
+    /// Build with an explicit engine choice (the ablation hook).
+    pub fn with_engine(problem: &EstimationProblem, engine: LpEngine) -> Result<Self> {
+        let a = problem.measurement_matrix();
+        let t = problem.measurements();
+        Self::from_parts(&a, t, engine)
+    }
+
+    /// Build from a prepared measurement system — the entry point used
+    /// by [`crate::batch::SnapshotShard`], which owns the shared matrix.
+    pub fn from_parts(a: &Csr, b: Vec<f64>, engine: LpEngine) -> Result<Self> {
+        let p_count = a.cols();
+        let use_dense = match engine {
+            LpEngine::Auto => p_count < DENSE_FALLBACK_PAIRS,
+            LpEngine::DenseTableau => true,
+            LpEngine::RevisedSparse => false,
+        };
+        let base = if use_dense {
+            LpBase::Dense(Box::new(SimplexSolver::new_sparse(a, &b)?))
+        } else {
+            LpBase::Revised(Box::new(RevisedSimplex::new_sparse(a, &b)?))
+        };
+        Ok(WcbSolver { base, b, p_count })
+    }
+
+    /// Re-anchor the phase-1 basis on a new measurement vector of the
+    /// same routing pattern. Returns `false` when the basis cannot be
+    /// reused (dense engine, sign change, or basis infeasible for the
+    /// new vector) — the caller then rebuilds with a fresh phase 1.
+    pub fn rebase(&mut self, b_new: &[f64]) -> Result<bool> {
+        match &mut self.base {
+            LpBase::Revised(s) => {
+                if s.rebase(b_new)? {
+                    self.b.clear();
+                    self.b.extend_from_slice(b_new);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            // The tableau solver carries B⁻¹·A but not B⁻¹: it cannot
+            // re-anchor. Same vector ⇒ nothing to do.
+            LpBase::Dense(_) => Ok(self.b == b_new),
+        }
+    }
+
+    /// Sweep the `2·P` bound LPs from the held basis (parallel in
+    /// fixed-size chunks, each warm-starting a clone of the basis).
+    pub fn bounds(&self) -> Result<DemandBounds> {
+        self.bounds_ws(&mut Workspace::new())
+    }
+
+    /// [`WcbSolver::bounds`] drawing the result vectors from a
+    /// [`Workspace`] pool, for allocation-free steady state in batch
+    /// loops (give the vectors back to the pool after use).
+    pub fn bounds_ws(&self, ws: &mut Workspace) -> Result<DemandBounds> {
+        let p_count = self.p_count;
+        let chunks: Vec<(usize, usize)> = (0..p_count)
+            .step_by(PAIRS_PER_CHUNK)
+            .map(|lo| (lo, (lo + PAIRS_PER_CHUNK).min(p_count)))
+            .collect();
+        let partials = tm_par::par_map(&chunks, |&(lo, hi)| -> Result<ChunkBounds> {
+            let mut solver = self.base.clone();
+            let mut lower = Vec::with_capacity(hi - lo);
+            let mut upper = Vec::with_capacity(hi - lo);
+            let mut pivots = 0usize;
+            let mut c = vec![0.0; p_count];
+            for p in lo..hi {
+                c[p] = 1.0;
+                let hi_sol = solver.maximize(&c)?;
+                pivots += hi_sol.pivots;
+                let lo_sol = solver.minimize(&c)?;
+                pivots += lo_sol.pivots;
+                c[p] = 0.0;
+                // Clamp tiny numerical negatives.
+                let l = lo_sol.objective.max(0.0);
+                lower.push(l);
+                upper.push(hi_sol.objective.max(l));
+            }
+            Ok(ChunkBounds {
+                lower,
+                upper,
+                pivots,
+            })
+        });
+
+        let mut lower = ws.take(0);
+        let mut upper = ws.take(0);
+        lower.reserve(p_count);
+        upper.reserve(p_count);
+        let mut total_pivots = 0usize;
+        for partial in partials {
+            let chunk = partial?;
+            lower.extend_from_slice(&chunk.lower);
+            upper.extend_from_slice(&chunk.upper);
+            total_pivots += chunk.pivots;
+        }
+        Ok(DemandBounds {
+            lower,
+            upper,
+            total_pivots,
+        })
+    }
+}
+
 /// Compute worst-case bounds for every demand.
 ///
 /// Sparse-first and parallel: phase 1 runs **once** on the sparse
-/// measurement system (no densified copy of `A`), then the `2·P`
-/// objectives are swept in fixed-size chunks across worker threads,
-/// each warm-starting from a clone of the phase-1 basis.
+/// measurement system, then the `2·P` objectives are swept in fixed-size
+/// chunks across worker threads, each warm-starting from a clone of the
+/// phase-1 basis.
 pub fn worst_case_bounds(problem: &EstimationProblem) -> Result<DemandBounds> {
-    let a = problem.measurement_matrix();
-    let t = problem.measurements();
-    let p_count = problem.n_pairs();
+    WcbSolver::for_problem(problem)?.bounds()
+}
 
-    let base = SimplexSolver::new_sparse(&a, &t)?;
+/// [`worst_case_bounds`] with scratch/result vectors drawn from a
+/// [`Workspace`] pool (the batch steady-state path).
+pub fn worst_case_bounds_ws(
+    problem: &EstimationProblem,
+    ws: &mut Workspace,
+) -> Result<DemandBounds> {
+    WcbSolver::for_problem(problem)?.bounds_ws(ws)
+}
 
-    let chunks: Vec<(usize, usize)> = (0..p_count)
-        .step_by(PAIRS_PER_CHUNK)
-        .map(|lo| (lo, (lo + PAIRS_PER_CHUNK).min(p_count)))
-        .collect();
-    let partials = tm_par::par_map(&chunks, |&(lo, hi)| -> Result<ChunkBounds> {
-        let mut solver = base.clone();
-        let mut lower = Vec::with_capacity(hi - lo);
-        let mut upper = Vec::with_capacity(hi - lo);
-        let mut pivots = 0usize;
-        let mut c = vec![0.0; p_count];
-        for p in lo..hi {
-            c[p] = 1.0;
-            let hi_sol = solver.maximize(&c)?;
-            pivots += hi_sol.pivots;
-            let lo_sol = solver.minimize(&c)?;
-            pivots += lo_sol.pivots;
-            c[p] = 0.0;
-            // Clamp tiny numerical negatives.
-            let l = lo_sol.objective.max(0.0);
-            lower.push(l);
-            upper.push(hi_sol.objective.max(l));
-        }
-        Ok(ChunkBounds {
-            lower,
-            upper,
-            pivots,
-        })
-    });
-
-    let mut lower = Vec::with_capacity(p_count);
-    let mut upper = Vec::with_capacity(p_count);
-    let mut total_pivots = 0usize;
-    for partial in partials {
-        let chunk = partial?;
-        lower.extend_from_slice(&chunk.lower);
-        upper.extend_from_slice(&chunk.upper);
-        total_pivots += chunk.pivots;
-    }
-    Ok(DemandBounds {
-        lower,
-        upper,
-        total_pivots,
-    })
+/// [`worst_case_bounds`] with an explicit LP engine (the `wcb_simplex`
+/// sparse-vs-dense ablation hook).
+pub fn worst_case_bounds_with_engine(
+    problem: &EstimationProblem,
+    engine: LpEngine,
+) -> Result<DemandBounds> {
+    WcbSolver::with_engine(problem, engine)?.bounds()
 }
 
 /// Bounds of one contiguous pair chunk.
@@ -151,6 +304,104 @@ mod tests {
             );
         }
         assert!(b.total_pivots > 0);
+    }
+
+    #[test]
+    fn revised_engine_brackets_truth_at_scale() {
+        // Force the revised sparse path end to end against ground truth
+        // on a real measurement system (Europe sits below the auto
+        // fallback threshold, so request the engine explicitly).
+        let d = EvalDataset::generate(DatasetSpec::europe(), 13).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let truth = p.true_demands().unwrap();
+        let b = worst_case_bounds_with_engine(&p, LpEngine::RevisedSparse).unwrap();
+        for i in 0..truth.len() {
+            assert!(
+                b.lower[i] <= truth[i] + 1e-6 * (1.0 + truth[i]),
+                "pair {i}: lower {} > truth {}",
+                b.lower[i],
+                truth[i]
+            );
+            assert!(
+                b.upper[i] >= truth[i] - 1e-6 * (1.0 + truth[i]),
+                "pair {i}: upper {} < truth {}",
+                b.upper[i],
+                truth[i]
+            );
+        }
+    }
+
+    #[test]
+    fn revised_and_dense_engines_agree() {
+        // The bounds are optimal LP values: both engines must find the
+        // same numbers up to solver tolerance.
+        let d = EvalDataset::generate(DatasetSpec::europe(), 42).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let dense = worst_case_bounds_with_engine(&p, LpEngine::DenseTableau).unwrap();
+        let revised = worst_case_bounds_with_engine(&p, LpEngine::RevisedSparse).unwrap();
+        let scale = p.total_traffic();
+        for i in 0..p.n_pairs() {
+            assert!(
+                (dense.lower[i] - revised.lower[i]).abs() < 1e-7 * scale,
+                "pair {i} lower: dense {} vs revised {}",
+                dense.lower[i],
+                revised.lower[i]
+            );
+            assert!(
+                (dense.upper[i] - revised.upper[i]).abs() < 1e-7 * scale,
+                "pair {i} upper: dense {} vs revised {}",
+                dense.upper[i],
+                revised.upper[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rebase_shares_phase1_across_snapshots() {
+        let d = EvalDataset::generate(DatasetSpec::europe(), 7).unwrap();
+        let p0 = d.snapshot_problem(d.busy_start);
+        let mut solver = WcbSolver::with_engine(&p0, LpEngine::RevisedSparse).unwrap();
+        // A uniformly scaled load vector keeps the same vertex basis
+        // feasible (x_B scales with it), so the rebase must succeed and
+        // the rebased bounds must match a cold start on the scaled data.
+        let t2: Vec<f64> = p0.measurements().iter().map(|v| v * 1.25).collect();
+        assert!(
+            solver.rebase(&t2).unwrap(),
+            "scaled loads share the feasible basis"
+        );
+        let rebased = solver.bounds().unwrap();
+        let a = p0.measurement_matrix();
+        let fresh = WcbSolver::from_parts(&a, t2, LpEngine::RevisedSparse)
+            .unwrap()
+            .bounds()
+            .unwrap();
+        let scale = p0.total_traffic() * 1.25;
+        for i in 0..p0.n_pairs() {
+            assert!(
+                (fresh.lower[i] - rebased.lower[i]).abs() < 1e-7 * scale,
+                "pair {i} lower: fresh {} vs rebased {}",
+                fresh.lower[i],
+                rebased.lower[i]
+            );
+            assert!(
+                (fresh.upper[i] - rebased.upper[i]).abs() < 1e-7 * scale,
+                "pair {i} upper: fresh {} vs rebased {}",
+                fresh.upper[i],
+                rebased.upper[i]
+            );
+        }
+        // A genuinely different snapshot may or may not keep the basis
+        // feasible; a clean `false` tells the shard to run a fresh
+        // phase 1 on the shared measurement system.
+        let p1 = d.snapshot_problem(d.busy_start + 1);
+        let reusable = solver.rebase(&p1.measurements()).unwrap();
+        if reusable {
+            let b1 = solver.bounds().unwrap();
+            let f1 = worst_case_bounds_with_engine(&p1, LpEngine::RevisedSparse).unwrap();
+            for i in 0..p1.n_pairs() {
+                assert!((f1.upper[i] - b1.upper[i]).abs() < 1e-7 * scale, "pair {i}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! the serial and parallel phases must not interleave with other tests
 //! in this binary.
 
-use tm_core::batch::estimate_snapshots;
+use tm_core::batch::{estimate_snapshots, SnapshotShard};
 use tm_core::fanout::FanoutEstimator;
 use tm_core::prelude::*;
 use tm_core::wcb::worst_case_bounds;
@@ -36,11 +36,24 @@ fn parallel_results_are_bit_identical_to_serial() {
             .into_iter()
             .map(|r| bits(&r.expect("ok").demands))
             .collect();
+        // Shard path: shared basis + rebase must be equally deterministic.
+        let shard = SnapshotShard::new(&d);
+        let shard_wcb: Vec<Vec<u64>> = shard
+            .wcb_bounds(&samples)
+            .into_iter()
+            .map(|r| {
+                let b = r.expect("ok");
+                let mut both = bits(&b.lower);
+                both.extend(bits(&b.upper));
+                both
+            })
+            .collect();
         (
             bits(&wcb.lower),
             bits(&wcb.upper),
             bits(&fanout.estimate.demands),
             snaps,
+            shard_wcb,
         )
     };
 
@@ -56,4 +69,5 @@ fn parallel_results_are_bit_identical_to_serial() {
     assert_eq!(serial.1, parallel.1, "wcb upper bounds diverged");
     assert_eq!(serial.2, parallel.2, "fanout demands diverged");
     assert_eq!(serial.3, parallel.3, "snapshot sweep diverged");
+    assert_eq!(serial.4, parallel.4, "shard wcb sweep diverged");
 }

@@ -17,6 +17,9 @@
 //!   O(nnz) transpose, fused weighted products, row/col scaling),
 //! * [`LinOp`] — the dense-or-sparse operator abstraction every solver
 //!   in `tm-opt` is written against (see `docs/PERF.md`),
+//! * [`sparse_lu`] — sparse LU factorization of simplex bases with
+//!   FTRAN/BTRAN triangular solves and product-form eta updates (the
+//!   engine room of `tm_opt::revised`),
 //! * [`iterative`] — conjugate-gradient solvers over abstract
 //!   [`LinearOperator`]s (blanket-implemented for every [`LinOp`]),
 //! * [`workspace`] — scratch-buffer pooling for solver loops that
@@ -49,6 +52,7 @@ pub mod error;
 pub mod iterative;
 pub mod linop;
 pub mod sparse;
+pub mod sparse_lu;
 pub mod stats;
 pub mod vector;
 pub mod workspace;
@@ -58,6 +62,7 @@ pub use error::LinalgError;
 pub use iterative::LinearOperator;
 pub use linop::{DynLinOp, LinOp};
 pub use sparse::Csr;
+pub use sparse_lu::{BasisLu, SparseLu};
 pub use workspace::Workspace;
 
 /// Crate-wide result alias.

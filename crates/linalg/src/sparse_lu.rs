@@ -1,0 +1,548 @@
+//! Sparse LU factorization of simplex bases, with eta-file updates.
+//!
+//! The revised simplex method (`tm_opt::revised`) never forms `B⁻¹` or a
+//! dense tableau: every iteration needs just two triangular solves with
+//! the `m × m` basis matrix `B` —
+//!
+//! * **FTRAN**: `B·x = a_q` (the entering column in basis coordinates,
+//!   used by the ratio test), and
+//! * **BTRAN**: `Bᵀ·y = c_B` (the dual prices, used to compute reduced
+//!   costs against the CSR constraint columns).
+//!
+//! [`SparseLu`] factors `B` from its sparse columns by left-looking
+//! column elimination with partial (row) pivoting. Columns are eliminated
+//! in a Markowitz-style fill-reducing order: ascending nonzero count,
+//! ties by position — the cheap static approximation of Markowitz's
+//! dynamic minimum-degree rule, which is effective on routing bases
+//! because their columns are short 0/1 paths.
+//!
+//! [`BasisLu`] wraps the factorization with a **product-form eta file**:
+//! replacing the basic column at position `r` by a column whose FTRAN
+//! image is `w` multiplies `B` by an elementary matrix `E` (identity
+//! except column `r = w`), so `B⁻¹` gains one `E⁻¹` factor instead of
+//! being refactored. FTRAN applies the etas oldest→newest after the LU
+//! solve; BTRAN applies them newest→oldest (transposed) before it. The
+//! caller refactors when the chain grows past a threshold or an eta
+//! pivot looks unstable — see [`BasisLu::should_refactor`].
+//!
+//! Storage is column-major and index-based throughout; solves walk only
+//! stored nonzeros plus an `O(m)` dense load/store, so a solve costs
+//! `O(nnz(L) + nnz(U) + nnz(etas) + m)`.
+
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Sparse LU factors of an `m × m` basis matrix `B`, `B = L·U` up to the
+/// row/column permutations recorded in `pivot_row` / `col_pos`.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    m: usize,
+    /// Per elimination step `k`: the sub-diagonal multipliers of `L`,
+    /// keyed by **original row** (unit diagonal implicit).
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Per elimination step `k`: the super-diagonal entries of `U`,
+    /// keyed by **earlier step** `s < k` (value `u_{s,k}`).
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` per step.
+    u_diag: Vec<f64>,
+    /// `pivot_row[k]` = original row chosen as pivot at step `k`.
+    pivot_row: Vec<usize>,
+    /// `col_pos[k]` = basis position (column of `B`) eliminated at `k`.
+    col_pos: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factor the basis whose column at position `i` is the sparse
+    /// vector `cols[i]` (pairs `(row, value)`, rows in `0..m`).
+    ///
+    /// Fails with [`LinalgError::Singular`] when no pivot above
+    /// `tol · max|B|` exists at some step.
+    pub fn factor(m: usize, cols: &[Vec<(usize, f64)>], tol: f64) -> Result<Self> {
+        if cols.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("sparse LU: {} columns for dimension {m}", cols.len()),
+            });
+        }
+        let mut scale = 0.0f64;
+        for col in cols {
+            for &(_, v) in col {
+                scale = scale.max(v.abs());
+            }
+        }
+        let threshold = tol * scale.max(1.0);
+
+        // Markowitz-style static fill-reducing order: shortest columns
+        // first, ties by position (deterministic).
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&i| (cols[i].len(), i));
+
+        let mut lu = SparseLu {
+            m,
+            l_cols: Vec::with_capacity(m),
+            u_cols: Vec::with_capacity(m),
+            u_diag: Vec::with_capacity(m),
+            pivot_row: Vec::with_capacity(m),
+            col_pos: Vec::with_capacity(m),
+        };
+        // row_step[r] = elimination step at which row r became pivotal.
+        let mut row_step = vec![usize::MAX; m];
+        // Dense accumulator with generation marks (reset via touched list).
+        let mut acc = vec![0.0f64; m];
+        let mut mark = vec![usize::MAX; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(16);
+
+        for (k, &pos) in order.iter().enumerate() {
+            // Scatter column `pos` of B.
+            touched.clear();
+            for &(r, v) in &cols[pos] {
+                if r >= m {
+                    return Err(LinalgError::ShapeMismatch {
+                        context: format!("sparse LU: row {r} out of bounds for dimension {m}"),
+                    });
+                }
+                if mark[r] != k {
+                    mark[r] = k;
+                    acc[r] = 0.0;
+                    touched.push(r);
+                }
+                acc[r] += v;
+            }
+            // Left-looking elimination: apply every earlier column in
+            // step order.
+            for t in 0..k {
+                let p = lu.pivot_row[t];
+                if mark[p] != k {
+                    continue;
+                }
+                let xp = acc[p];
+                if xp == 0.0 {
+                    continue;
+                }
+                for &(r, lv) in &lu.l_cols[t] {
+                    if mark[r] != k {
+                        mark[r] = k;
+                        acc[r] = 0.0;
+                        touched.push(r);
+                    }
+                    acc[r] -= lv * xp;
+                }
+            }
+            // Split into U entries (rows already pivotal) and pivot
+            // candidates (rows not yet pivotal).
+            let mut u_col: Vec<(usize, f64)> = Vec::new();
+            let mut best: Option<(usize, f64)> = None;
+            for &r in &touched {
+                let v = acc[r];
+                if row_step[r] != usize::MAX {
+                    if v != 0.0 {
+                        u_col.push((row_step[r], v));
+                    }
+                } else {
+                    let mag = v.abs();
+                    let better = match best {
+                        Some((br, bm)) => mag > bm || (mag == bm && r < br),
+                        None => true,
+                    };
+                    if better && mag > threshold {
+                        best = Some((r, mag));
+                    }
+                }
+            }
+            let Some((prow, _)) = best else {
+                return Err(LinalgError::Singular { pivot: k });
+            };
+            let diag = acc[prow];
+            let mut l_col: Vec<(usize, f64)> = Vec::new();
+            for &r in &touched {
+                if r != prow && row_step[r] == usize::MAX && acc[r] != 0.0 {
+                    l_col.push((r, acc[r] / diag));
+                }
+            }
+            row_step[prow] = k;
+            lu.pivot_row.push(prow);
+            lu.col_pos.push(pos);
+            lu.u_diag.push(diag);
+            lu.u_cols.push(u_col);
+            lu.l_cols.push(l_col);
+        }
+        Ok(lu)
+    }
+
+    /// Basis dimension `m`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Stored nonzeros in `L` and `U` (fill diagnostic).
+    pub fn nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.m
+    }
+
+    /// FTRAN without etas: solve `B·x = b`. `b` is indexed by original
+    /// row, `x` by basis position. `row_scratch` and `step_scratch` must
+    /// have length `m`.
+    fn solve_into(
+        &self,
+        rhs_by_row: &[f64],
+        x_by_pos: &mut [f64],
+        row_scratch: &mut [f64],
+        step_scratch: &mut [f64],
+    ) {
+        let m = self.m;
+        row_scratch[..m].copy_from_slice(rhs_by_row);
+        // L̃·z = b, forward in elimination order.
+        for k in 0..m {
+            let z = row_scratch[self.pivot_row[k]];
+            step_scratch[k] = z;
+            if z != 0.0 {
+                for &(r, lv) in &self.l_cols[k] {
+                    row_scratch[r] -= lv * z;
+                }
+            }
+        }
+        // Ũ·x = z, backward.
+        for k in (0..m).rev() {
+            let xk = step_scratch[k] / self.u_diag[k];
+            x_by_pos[self.col_pos[k]] = xk;
+            if xk != 0.0 {
+                for &(s, uv) in &self.u_cols[k] {
+                    step_scratch[s] -= uv * xk;
+                }
+            }
+        }
+    }
+
+    /// BTRAN without etas: solve `Bᵀ·y = c`. `c` is indexed by basis
+    /// position, `y` by original row. `step_scratch` must have length `m`.
+    fn solve_transposed_into(
+        &self,
+        c_by_pos: &[f64],
+        y_by_row: &mut [f64],
+        step_scratch: &mut [f64],
+    ) {
+        let m = self.m;
+        // Ũᵀ·g = c, forward in elimination order.
+        for k in 0..m {
+            let mut g = c_by_pos[self.col_pos[k]];
+            for &(s, uv) in &self.u_cols[k] {
+                g -= uv * step_scratch[s];
+            }
+            step_scratch[k] = g / self.u_diag[k];
+        }
+        // L̃ᵀ·y = g, backward (rows in `l_cols[k]` become pivotal at
+        // steps > k, so their `y` entries are already final).
+        for k in (0..m).rev() {
+            let mut acc = step_scratch[k];
+            for &(r, lv) in &self.l_cols[k] {
+                acc -= lv * y_by_row[r];
+            }
+            y_by_row[self.pivot_row[k]] = acc;
+        }
+    }
+}
+
+/// One product-form update: `B_new = B_old·E` with `E = I` except
+/// column `pos`, which is `w = B_old⁻¹·a_entering`.
+#[derive(Debug, Clone)]
+struct Eta {
+    pos: usize,
+    /// `w[pos]` — the eta pivot.
+    diag: f64,
+    /// Off-pivot entries of `w` (basis-position indexed).
+    col: Vec<(usize, f64)>,
+}
+
+/// A factored simplex basis: [`SparseLu`] plus the eta file accumulated
+/// since the last refactorization, with owned solve scratch so steady
+/// state FTRAN/BTRAN allocate nothing.
+#[derive(Debug, Clone)]
+pub struct BasisLu {
+    lu: SparseLu,
+    etas: Vec<Eta>,
+    /// Eta-chain length that triggers refactorization.
+    max_etas: usize,
+    row_scratch: Vec<f64>,
+    step_scratch: Vec<f64>,
+    pos_scratch: Vec<f64>,
+}
+
+/// Relative eta-pivot magnitude below which the update is considered
+/// unstable and a refactorization is requested instead.
+const ETA_STABILITY: f64 = 1e-8;
+
+impl BasisLu {
+    /// Factor a basis from its sparse columns (see [`SparseLu::factor`]).
+    /// The eta chain starts empty; it refactors after `max(16, m/4)`
+    /// updates by default.
+    pub fn factor(m: usize, cols: &[Vec<(usize, f64)>], tol: f64) -> Result<Self> {
+        let lu = SparseLu::factor(m, cols, tol)?;
+        Ok(BasisLu {
+            lu,
+            etas: Vec::new(),
+            max_etas: (m / 4).max(16),
+            row_scratch: vec![0.0; m],
+            step_scratch: vec![0.0; m],
+            pos_scratch: vec![0.0; m],
+        })
+    }
+
+    /// Basis dimension `m`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.dim()
+    }
+
+    /// Updates applied since the last refactorization.
+    #[inline]
+    pub fn eta_len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Stored nonzeros across `L`, `U` and the eta file.
+    pub fn nnz(&self) -> usize {
+        self.lu.nnz() + self.etas.iter().map(|e| e.col.len() + 1).sum::<usize>()
+    }
+
+    /// FTRAN: solve `B·x = b` through the LU factors and the eta file.
+    /// `b` is indexed by original row, `x` by basis position.
+    pub fn ftran_into(&mut self, rhs_by_row: &[f64], x_by_pos: &mut [f64]) {
+        self.lu.solve_into(
+            rhs_by_row,
+            x_by_pos,
+            &mut self.row_scratch,
+            &mut self.step_scratch,
+        );
+        // Oldest → newest: B_k⁻¹ = E_k⁻¹·…·E_1⁻¹·B_0⁻¹.
+        for eta in &self.etas {
+            let xr = x_by_pos[eta.pos] / eta.diag;
+            if xr != 0.0 {
+                for &(i, v) in &eta.col {
+                    x_by_pos[i] -= v * xr;
+                }
+            }
+            x_by_pos[eta.pos] = xr;
+        }
+    }
+
+    /// BTRAN: solve `Bᵀ·y = c` through the eta file and the LU factors.
+    /// `c` is indexed by basis position, `y` by original row.
+    pub fn btran_into(&mut self, c_by_pos: &[f64], y_by_row: &mut [f64]) {
+        self.pos_scratch.copy_from_slice(c_by_pos);
+        // Newest → oldest, transposed: B_kᵀ⁻¹ = B_0ᵀ⁻¹·E_1ᵀ⁻¹·…·E_kᵀ⁻¹.
+        for eta in self.etas.iter().rev() {
+            let mut s = self.pos_scratch[eta.pos];
+            for &(i, v) in &eta.col {
+                s -= v * self.pos_scratch[i];
+            }
+            self.pos_scratch[eta.pos] = s / eta.diag;
+        }
+        self.lu
+            .solve_transposed_into(&self.pos_scratch, y_by_row, &mut self.step_scratch);
+    }
+
+    /// Record the basis change "position `pos` now holds the column whose
+    /// FTRAN image is `w`" as an eta factor. Fails when the eta pivot
+    /// `w[pos]` is (numerically) zero — the caller should refactor.
+    pub fn push_eta(&mut self, pos: usize, w_by_pos: &[f64]) -> Result<()> {
+        let diag = w_by_pos[pos];
+        if diag == 0.0 {
+            return Err(LinalgError::Singular { pivot: pos });
+        }
+        let col: Vec<(usize, f64)> = w_by_pos
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != pos && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { pos, diag, col });
+        Ok(())
+    }
+
+    /// True when the caller should refactor instead of (or after)
+    /// pushing another eta: the chain is long, or the prospective eta
+    /// pivot `w[pos]` is small relative to the largest entry of `w`
+    /// (numerical-drift guard).
+    pub fn should_refactor(&self, pos: usize, w_by_pos: &[f64]) -> bool {
+        if self.etas.len() >= self.max_etas {
+            return true;
+        }
+        let wmax = w_by_pos.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        w_by_pos[pos].abs() < ETA_STABILITY * wmax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Lu;
+    use crate::dense::Mat;
+
+    /// Deterministic pseudo-random sparse columns of a nonsingular
+    /// matrix: a permuted diagonal plus a few off-diagonal entries.
+    fn random_basis(m: usize, seed: u64) -> Vec<Vec<(usize, f64)>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (u32::MAX as f64)
+        };
+        let mut cols = Vec::with_capacity(m);
+        for j in 0..m {
+            let mut col = vec![((j * 7 + 3) % m, 1.0 + next())];
+            let extras = (next() * 3.0) as usize;
+            for _ in 0..extras {
+                let r = (next() * m as f64) as usize % m;
+                col.push((r, next() - 0.5));
+            }
+            cols.push(col);
+        }
+        cols
+    }
+
+    fn to_dense(m: usize, cols: &[Vec<(usize, f64)>]) -> Mat {
+        let mut b = Mat::zeros(m, m);
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                b.set(r, j, b.get(r, j) + v);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn ftran_btran_match_dense_lu() {
+        for seed in [3u64, 17, 99] {
+            let m = 23;
+            let cols = random_basis(m, seed);
+            let bd = to_dense(m, &cols);
+            let dense = Lu::factor(&bd).unwrap();
+            let mut basis = BasisLu::factor(m, &cols, 1e-12).unwrap();
+
+            let rhs: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut x = vec![0.0; m];
+            basis.ftran_into(&rhs, &mut x);
+            let xd = dense.solve(&rhs).unwrap();
+            for i in 0..m {
+                assert!((x[i] - xd[i]).abs() < 1e-9, "seed {seed} ftran[{i}]");
+            }
+
+            let mut y = vec![0.0; m];
+            basis.btran_into(&rhs, &mut y);
+            // Bᵀ y = c  ⇔  y solves the transposed dense system.
+            let bt = bd.transpose();
+            let yd = Lu::factor(&bt).unwrap().solve(&rhs).unwrap();
+            for i in 0..m {
+                assert!((y[i] - yd[i]).abs() < 1e-9, "seed {seed} btran[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        let m = 17;
+        let mut cols = random_basis(m, 41);
+        let mut basis = BasisLu::factor(m, &cols, 1e-12).unwrap();
+
+        // Replace three columns through the eta file.
+        for (step, &pos) in [2usize, 9, 13].iter().enumerate() {
+            // Scaled old column plus a perturbation: its FTRAN image is
+            // `scale·e_pos + 0.3·B⁻¹e_r`, so the eta pivot stays far
+            // from zero and the update is well defined.
+            let mut newcol = cols[pos].clone();
+            for e in &mut newcol {
+                e.1 *= 2.0 + step as f64;
+            }
+            newcol.push(((pos + 5) % m, 0.3));
+            // FTRAN image of the entering column.
+            let mut rhs = vec![0.0; m];
+            for &(r, v) in &newcol {
+                rhs[r] += v;
+            }
+            let mut w = vec![0.0; m];
+            basis.ftran_into(&rhs, &mut w);
+            basis.push_eta(pos, &w).unwrap();
+            cols[pos] = newcol;
+        }
+        assert_eq!(basis.eta_len(), 3);
+
+        let mut fresh = BasisLu::factor(m, &cols, 1e-12).unwrap();
+        let rhs: Vec<f64> = (0..m).map(|i| 1.0 + (i % 5) as f64).collect();
+        let (mut x1, mut x2) = (vec![0.0; m], vec![0.0; m]);
+        basis.ftran_into(&rhs, &mut x1);
+        fresh.ftran_into(&rhs, &mut x2);
+        for i in 0..m {
+            assert!(
+                (x1[i] - x2[i]).abs() < 1e-9,
+                "ftran[{i}] {} vs {}",
+                x1[i],
+                x2[i]
+            );
+        }
+        let (mut y1, mut y2) = (vec![0.0; m], vec![0.0; m]);
+        basis.btran_into(&rhs, &mut y1);
+        fresh.btran_into(&rhs, &mut y2);
+        for i in 0..m {
+            assert!(
+                (y1[i] - y2[i]).abs() < 1e-9,
+                "btran[{i}] {} vs {}",
+                y1[i],
+                y2[i]
+            );
+        }
+    }
+
+    #[test]
+    fn identity_basis_is_trivial() {
+        let m = 6;
+        let cols: Vec<Vec<(usize, f64)>> = (0..m).map(|i| vec![(i, 1.0)]).collect();
+        let mut basis = BasisLu::factor(m, &cols, 1e-12).unwrap();
+        let rhs = vec![3.0, -1.0, 0.0, 2.0, 5.0, -4.0];
+        let mut x = vec![0.0; m];
+        basis.ftran_into(&rhs, &mut x);
+        assert_eq!(x, rhs);
+        let mut y = vec![0.0; m];
+        basis.btran_into(&rhs, &mut y);
+        assert_eq!(y, rhs);
+        assert_eq!(basis.nnz(), m);
+    }
+
+    #[test]
+    fn detects_singular_basis() {
+        // Two identical columns.
+        let cols = vec![vec![(0, 1.0), (1, 2.0)], vec![(0, 1.0), (1, 2.0)]];
+        assert!(matches!(
+            SparseLu::factor(2, &cols, 1e-12),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(SparseLu::factor(3, &[vec![(0, 1.0)]], 1e-12).is_err());
+        let cols = vec![vec![(5, 1.0)], vec![(1, 1.0)]];
+        assert!(SparseLu::factor(2, &cols, 1e-12).is_err());
+    }
+
+    #[test]
+    fn long_eta_chain_requests_refactor() {
+        let m = 8;
+        let cols: Vec<Vec<(usize, f64)>> = (0..m).map(|i| vec![(i, 1.0)]).collect();
+        let mut basis = BasisLu::factor(m, &cols, 1e-12).unwrap();
+        let w: Vec<f64> = (0..m).map(|i| 1.0 + i as f64 * 0.1).collect();
+        for _ in 0..16 {
+            basis.push_eta(0, &w).unwrap();
+        }
+        assert!(basis.should_refactor(0, &w));
+        // Tiny pivot relative to the column also requests a refactor.
+        let mut fresh = BasisLu::factor(m, &cols, 1e-12).unwrap();
+        let mut bad = vec![1.0; m];
+        bad[3] = 1e-12;
+        assert!(fresh.should_refactor(3, &bad));
+        bad[3] = 0.0;
+        assert!(fresh.push_eta(3, &bad).is_err());
+    }
+}

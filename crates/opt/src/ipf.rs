@@ -194,12 +194,24 @@ pub fn gis(prior: &[f64], r: &Csr, t: &[f64], opts: IpfOptions) -> Result<IpfRes
 
     let tscale = vector::norm_inf(t).max(1e-300);
     let mut violation = f64::INFINITY;
-    let mut log_ratio = vec![0.0f64; l];
+    // Hot loop: the active-row index list is precomputed above and every
+    // buffer is hoisted, so one sweep is two passes over the active rows
+    // (marginals + violation, then the log-ratio transpose product) with
+    // zero per-iteration allocation and no scan of inactive rows. The
+    // accumulation order matches the former matvec/tr_matvec formulation
+    // exactly — results are bit-identical.
+    let mut rs = vec![0.0f64; active_rows.len()];
+    let mut rt = vec![0.0f64; p];
     for it in 0..opts.max_iter {
-        let rs = r.matvec(&s);
         violation = 0.0;
-        for &i in &active_rows {
-            violation = violation.max((rs[i] - t[i]).abs());
+        for (k, &i) in active_rows.iter().enumerate() {
+            let (idx, val) = r.row(i);
+            let mut acc = 0.0;
+            for (&j, &v) in idx.iter().zip(val) {
+                acc += v * s[j];
+            }
+            rs[k] = acc;
+            violation = violation.max((acc - t[i]).abs());
         }
         violation /= tscale;
         if violation <= opts.tol {
@@ -209,23 +221,23 @@ pub fn gis(prior: &[f64], r: &Csr, t: &[f64], opts: IpfOptions) -> Result<IpfRes
                 violation,
             });
         }
-        for &i in &active_rows {
+        // s_p *= exp( Σ_l r_lp/C · log_ratio_l ) via transpose product.
+        rt.fill(0.0);
+        for (k, &i) in active_rows.iter().enumerate() {
             // Guard: a demand set can be entirely zero on an active link
             // only if the constraints are inconsistent.
-            log_ratio[i] = if rs[i] > 0.0 {
-                (t[i] / rs[i]).ln()
-            } else {
+            if !(rs[k] > 0.0) {
                 return Err(OptError::Infeasible { residual: t[i] });
-            };
-        }
-        // s_p *= exp( Σ_l r_lp/C · log_ratio_l ) via transpose product.
-        let rt = r.tr_matvec(&{
-            let mut masked = vec![0.0; l];
-            for &i in &active_rows {
-                masked[i] = log_ratio[i];
             }
-            masked
-        });
+            let log_ratio = (t[i] / rs[k]).ln();
+            if log_ratio == 0.0 {
+                continue;
+            }
+            let (idx, val) = r.row(i);
+            for (&j, &v) in idx.iter().zip(val) {
+                rt[j] += v * log_ratio;
+            }
+        }
         for j in 0..p {
             if s[j] > 0.0 {
                 s[j] *= (rt[j] / c).exp();

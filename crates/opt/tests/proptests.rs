@@ -269,6 +269,112 @@ proptest! {
     }
 
     #[test]
+    fn revised_simplex_matches_tableau_on_random_feasible_lps(
+        a in mat_strategy(4, 8, 0.0, 2.0),
+        strue in proptest::collection::vec(0.0f64..4.0, 8),
+        mask_bits in 0u64..256,
+        c in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        // Feasible by construction; masking entries of the feasible
+        // point to zero produces degenerate vertices, so this also
+        // exercises the anti-cycling (Bland) fallback paths.
+        let s0: Vec<f64> = strue
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if mask_bits & (1 << i) != 0 { v } else { 0.0 })
+            .collect();
+        let b = a.matvec(&s0);
+        let csr = Csr::from_dense(&a, 0.0);
+        let scale = b.iter().fold(1.0f64, |acc, &v| acc.max(v.abs()));
+        let dense = tm_opt::simplex::SimplexSolver::new_sparse(&csr, &b);
+        let revised = tm_opt::revised::RevisedSimplex::new_sparse(&csr, &b);
+        match (dense, revised) {
+            (Ok(mut ds), Ok(mut rs)) => {
+                for maximize in [false, true] {
+                    let d = if maximize { ds.maximize(&c) } else { ds.minimize(&c) };
+                    let r = if maximize { rs.maximize(&c) } else { rs.minimize(&c) };
+                    match (d, r) {
+                        (Ok(d), Ok(r)) => prop_assert!(
+                            (d.objective - r.objective).abs() <= 1e-9 * scale,
+                            "max={maximize}: tableau {} vs revised {}",
+                            d.objective,
+                            r.objective
+                        ),
+                        (Err(tm_opt::OptError::Unbounded), Err(tm_opt::OptError::Unbounded)) => {}
+                        (d, r) => prop_assert!(
+                            false,
+                            "solvers disagree (max={maximize}): tableau {:?} revised {:?}",
+                            d.map(|v| v.objective),
+                            r.map(|v| v.objective)
+                        ),
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (d, r) => prop_assert!(false, "phase 1 disagrees: {:?} vs {:?}", d.is_ok(), r.is_ok()),
+        }
+    }
+
+    #[test]
+    fn revised_simplex_matches_tableau_at_europe_scale(
+        pattern_seed in 0u64..u64::MAX,
+        strue in proptest::collection::vec(0.0f64..400.0, 132),
+        objective_pair in 0usize..132,
+    ) {
+        // Europe-sized routing-like system: 132 unknowns, 0/1 interior
+        // rows of 1–3 hops plus per-node ingress/egress edge rows — the
+        // shape WCB feeds both engines in production.
+        let n_nodes = 12usize;
+        let n = 132usize;
+        let links = 40usize;
+        let mut state = pattern_seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (u32::MAX as f64)
+        };
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        for p in 0..n {
+            let hops = 1 + (next() * 3.0) as usize;
+            for _ in 0..hops {
+                trips.push(((next() * links as f64) as usize % links, p, 1.0));
+            }
+            let src = p / (n_nodes - 1);
+            let mut dst = p % (n_nodes - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            trips.push((links + src, p, 1.0));
+            trips.push((links + n_nodes + dst, p, 1.0));
+        }
+        let a = Csr::from_triplets(links + 2 * n_nodes, n, trips).unwrap();
+        let b = a.matvec(&strue);
+        let scale = b.iter().fold(1.0f64, |acc, &v| acc.max(v.abs()));
+
+        let mut dense = tm_opt::simplex::SimplexSolver::new_sparse(&a, &b).unwrap();
+        let mut revised = tm_opt::revised::RevisedSimplex::new_sparse(&a, &b).unwrap();
+        let mut c = vec![0.0; n];
+        c[objective_pair] = 1.0;
+        let hi_d = dense.maximize(&c).unwrap();
+        let hi_r = revised.maximize(&c).unwrap();
+        prop_assert!(
+            (hi_d.objective - hi_r.objective).abs() <= 1e-9 * scale,
+            "max: tableau {} vs revised {}",
+            hi_d.objective,
+            hi_r.objective
+        );
+        let lo_d = dense.minimize(&c).unwrap();
+        let lo_r = revised.minimize(&c).unwrap();
+        prop_assert!(
+            (lo_d.objective - lo_r.objective).abs() <= 1e-9 * scale,
+            "min: tableau {} vs revised {}",
+            lo_d.objective,
+            lo_r.objective
+        );
+    }
+
+    #[test]
     fn spg_nonneg_ls_matches_lawson_hanson(
         a in mat_strategy(5, 3, -2.0, 2.0),
         b in proptest::collection::vec(-3.0f64..3.0, 5),
