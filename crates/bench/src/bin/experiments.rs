@@ -12,9 +12,10 @@
 //! the paper — the substrate is synthetic — but the qualitative claims
 //! (who wins, where methods fail, where curves flatten) are reproduced.
 //!
-//! `bench` times every estimator at three topology scales and writes
-//! `BENCH_PR2.json` (schema documented in `docs/PERF.md`). The
-//! `compare_bench` bin diffs it against the committed `BENCH_PR1.json`
+//! `bench` times every registry method (`Method::all_defaults()`) at
+//! three topology scales plus the prepared-system batch path, and
+//! writes `BENCH_PR3.json` (schema documented in `docs/PERF.md`). The
+//! `compare_bench` bin diffs it against the committed `BENCH_PR2.json`
 //! baseline and fails CI on wall-time or MRE regressions. It is NOT
 //! part of `all`.
 
@@ -727,16 +728,17 @@ fn table2() {
 
 /// `bench` mode: the perf-trajectory harness.
 ///
-/// Times every estimator at three topology scales, measures the sparse
-/// engine against its densified baseline on the entropy-SPG,
-/// Gram-CD-NNLS and WCB-simplex hot paths, and writes `BENCH_PR2.json`
-/// in the working directory. Schema: `docs/PERF.md`.
+/// Times every registry method ([`Method::all_defaults`]) at three
+/// topology scales, the prepared-system batch path over 8-snapshot
+/// sweeps, and the sparse engine against its densified baseline on the
+/// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
+/// `BENCH_PR3.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR2.json — compare_bench diffs it against BENCH_PR1.json",
+        "writes BENCH_PR3.json — compare_bench diffs it against BENCH_PR2.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -774,75 +776,70 @@ fn bench_mode() {
             estimators.push(Value::Map(entry));
         };
 
-        let gravity = GravityModel::simple();
-        push(
-            "gravity",
-            perf::time_ms(runs, || gravity.estimate(&p).expect("ok")),
-            Some(paper_mre(
-                &truth,
-                &gravity.estimate(&p).expect("ok").demands,
-            )),
-        );
-        let kruithof = KruithofEstimator::full();
-        push(
-            "kruithof-full",
-            perf::time_ms(runs, || kruithof.estimate(&p).expect("ok")),
-            Some(paper_mre(
-                &truth,
-                &kruithof.estimate(&p).expect("ok").demands,
-            )),
-        );
-        let entropy = EntropyEstimator::new(1e3);
-        push(
-            "entropy(1e3)",
-            perf::time_ms(runs, || entropy.estimate(&p).expect("ok")),
-            Some(paper_mre(
-                &truth,
-                &entropy.estimate(&p).expect("ok").demands,
-            )),
-        );
-        let bayes = BayesianEstimator::new(1e3);
-        push(
-            "bayes(1e3)",
-            perf::time_ms(runs, || bayes.estimate(&p).expect("ok")),
-            Some(paper_mre(&truth, &bayes.estimate(&p).expect("ok").demands)),
-        );
-        push(
-            "wcb",
-            perf::time_ms(runs.min(3), || worst_case_bounds(&p).expect("ok")),
-            Some(paper_mre(
-                &truth,
-                &worst_case_bounds(&p).expect("ok").midpoint().demands,
-            )),
-        );
-        let w = window(&d, 10);
-        let truth_w = w.true_demands().expect("truth").to_vec();
-        let fanout = FanoutEstimator::new();
-        push(
-            "fanout(K=10)",
-            perf::time_ms(runs, || fanout.estimate(&w).expect("ok")),
-            Some(paper_mre(
-                &truth_w,
-                &fanout.estimate(&w).expect("ok").estimate.demands,
-            )),
-        );
-        let w50 = window(&d, 50);
-        let truth_w50 = w50.true_demands().expect("truth").to_vec();
-        let vardi = VardiEstimator::new(0.01);
-        push(
-            "vardi(0.01,K=50)",
-            perf::time_ms(runs.min(3), || vardi.estimate(&w50).expect("ok")),
-            Some(paper_mre(
-                &truth_w50,
-                &vardi.estimate(&w50).expect("ok").demands,
-            )),
-        );
+        // Every paper method, selected through the registry instead of
+        // a hand-written match. Labels are stable across PRs — the perf
+        // gate diffs entries by name.
+        for method in Method::all_defaults() {
+            let est = method.build();
+            let (problem, truth_ref): (&EstimationProblem, &[f64]);
+            let window_problem;
+            let window_truth;
+            match method.window() {
+                None => {
+                    problem = &p;
+                    truth_ref = &truth;
+                }
+                Some(k) => {
+                    window_problem = window(&d, k);
+                    window_truth = window_problem.true_demands().expect("truth").to_vec();
+                    problem = &window_problem;
+                    truth_ref = &window_truth;
+                }
+            }
+            // The LP sweep and the second-moment methods are the slow
+            // lines; time fewer repetitions there (as in PR 1/2).
+            let reps = match method.config() {
+                MethodConfig::Wcb { .. }
+                | MethodConfig::Vardi { .. }
+                | MethodConfig::Cao { .. } => runs.min(3),
+                _ => runs,
+            };
+            push(
+                &method.label(),
+                perf::time_ms(reps, || est.estimate(problem).expect("ok")),
+                Some(paper_mre(
+                    truth_ref,
+                    &est.estimate(problem).expect("ok").demands,
+                )),
+            );
+        }
+
+        // Prepared-system batch path: 8 busy-hour snapshots through one
+        // SnapshotShard (matrix/Gram/transpose derived once per sweep).
+        // New in PR 3 — these rows become the baseline the next PR's
+        // gate compares against.
+        let b0 = d.busy_hour().start;
+        let batch_samples: Vec<usize> = (b0..(b0 + 8).min(d.series.len())).collect();
+        for spec in ["entropy:lambda=1e3", "bayes:prior=1e3"] {
+            let method: Method = spec.parse().expect("valid spec");
+            let label = format!("batch{}-{}", batch_samples.len(), method.label());
+            push(
+                &label,
+                perf::time_ms(runs.min(3), || {
+                    estimate_snapshots_method(&method, &d, &batch_samples)
+                        .into_iter()
+                        .map(|r| r.expect("ok"))
+                        .collect::<Vec<_>>()
+                }),
+                None,
+            );
+        }
 
         // Sparse-vs-dense ablations on the two hot paths the sparse-first
         // engine targets: the entropy SPG loop and the Gram-CD NNLS.
         let stot = p.total_traffic().max(f64::MIN_POSITIVE);
         let t_norm: Vec<f64> = p.measurements().iter().map(|v| v / stot).collect();
-        let prior_norm: Vec<f64> = gravity
+        let prior_norm: Vec<f64> = GravityModel::simple()
             .estimate(&p)
             .expect("ok")
             .demands
@@ -904,7 +901,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(2)),
+        ("pr".to_string(), Value::I64(3)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -917,8 +914,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR2.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR2.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR3.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR3.json ({} bytes)", json.len());
 }
 
 /// Extension: the Cao et al. method the paper left as future work.

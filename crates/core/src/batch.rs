@@ -26,13 +26,14 @@
 //!   infeasible for that interval.
 
 use std::ops::Range;
-use std::sync::OnceLock;
 
 use tm_linalg::{Csr, Workspace};
 use tm_traffic::EvalDataset;
 
 use crate::fanout::{FanoutEstimate, FanoutEstimator};
+use crate::method::Method;
 use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator};
+use crate::system::MeasurementSystem;
 use crate::wcb::{DemandBounds, LpEngine, WcbSolver};
 use crate::Result;
 
@@ -49,7 +50,7 @@ const SNAPSHOTS_PER_CHUNK: usize = 8;
 /// `estimator.estimate(&problems[i])` returns when run serially.
 pub fn estimate_batch<E>(estimator: &E, problems: &[EstimationProblem]) -> Vec<Result<Estimate>>
 where
-    E: Estimator + Sync,
+    E: Estimator + Sync + ?Sized,
 {
     let chunks = chunk_ranges(problems.len());
     let nested = tm_par::par_map(&chunks, |range| {
@@ -62,25 +63,37 @@ where
     nested.into_iter().flatten().collect()
 }
 
+/// [`estimate_batch`] with the estimator selected from the method
+/// registry (one build, shared across all workers).
+pub fn estimate_batch_method(
+    method: &Method,
+    problems: &[EstimationProblem],
+) -> Vec<Result<Estimate>> {
+    estimate_batch(&*method.build(), problems)
+}
+
 /// Build the snapshot problems for `samples` and estimate them all in
-/// parallel. `samples` are indices into the dataset's series.
+/// parallel through one [`SnapshotShard`] (shared measurement system).
+/// `samples` are indices into the dataset's series.
 pub fn estimate_snapshots<E>(
     estimator: &E,
     dataset: &EvalDataset,
     samples: &[usize],
 ) -> Vec<Result<Estimate>>
 where
-    E: Estimator + Sync,
+    E: Estimator + Sync + ?Sized,
 {
-    let chunks = chunk_ranges(samples.len());
-    let nested = tm_par::par_map(&chunks, |range| {
-        let mut ws = Workspace::new();
-        samples[range.clone()]
-            .iter()
-            .map(|&k| estimator.estimate_with(&dataset.snapshot_problem(k), &mut ws))
-            .collect::<Vec<_>>()
-    });
-    nested.into_iter().flatten().collect()
+    SnapshotShard::new(dataset).estimate_snapshots(estimator, samples)
+}
+
+/// [`estimate_snapshots`] with the estimator selected from the method
+/// registry.
+pub fn estimate_snapshots_method(
+    method: &Method,
+    dataset: &EvalDataset,
+    samples: &[usize],
+) -> Vec<Result<Estimate>> {
+    estimate_snapshots(&*method.build(), dataset, samples)
 }
 
 /// Sweep one estimator-per-parameter over a single problem in parallel
@@ -106,36 +119,57 @@ fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
 }
 
 /// Shared per-shard state for estimating many snapshots of one dataset:
-/// the measurement system (routing pattern + edge rows), its Gram, and
-/// WCB's phase-1 basis are derived once and reused by every interval.
+/// a thin wrapper over one shared [`MeasurementSystem`]. The stacked
+/// matrix, its Gram/transpose, the second-moment system and WCB's
+/// phase-1 basis are derived **once** (lazily, on the system) and every
+/// interval's estimate reads them through a re-anchored view.
 pub struct SnapshotShard<'d> {
     dataset: &'d EvalDataset,
-    /// The measurement matrix shared by every snapshot of the dataset.
-    a: Csr,
-    /// Lazily computed shared Gram `AᵀA` (fanout's precomputation).
-    gram: OnceLock<Csr>,
+    /// The shared prepared system, anchored on snapshot 0. Per-interval
+    /// views from [`SnapshotShard::system_at`] share its matrix-derived
+    /// caches.
+    system: MeasurementSystem<'static>,
 }
 
 impl<'d> SnapshotShard<'d> {
-    /// Derive the shared measurement system for `dataset` (done once;
+    /// Prepare the shared measurement system for `dataset` (done once;
     /// every snapshot of a dataset shares the routing pattern).
     pub fn new(dataset: &'d EvalDataset) -> Self {
-        let a = dataset.snapshot_problem(0).measurement_matrix();
         SnapshotShard {
             dataset,
-            a,
-            gram: OnceLock::new(),
+            system: MeasurementSystem::new(dataset.snapshot_problem(0)),
         }
+    }
+
+    /// The shared prepared system (anchored on snapshot 0).
+    pub fn system(&self) -> &MeasurementSystem<'static> {
+        &self.system
+    }
+
+    /// A prepared system for sample `k`, sharing every matrix-derived
+    /// cache with the shard.
+    pub fn system_at(&self, k: usize) -> MeasurementSystem<'static> {
+        self.system
+            .reanchor(self.dataset.snapshot_problem(k))
+            .expect("snapshots of one dataset share the routing pattern")
+    }
+
+    /// A prepared system for the window `range`, sharing every
+    /// matrix-derived cache with the shard (time-series methods).
+    pub fn window_system(&self, range: Range<usize>) -> MeasurementSystem<'static> {
+        self.system
+            .reanchor(self.dataset.window_problem(range))
+            .expect("windows of one dataset share the routing pattern")
     }
 
     /// The shared measurement matrix.
     pub fn measurement_matrix(&self) -> &Csr {
-        &self.a
+        self.system.matrix()
     }
 
     /// The shared sparse Gram `AᵀA`, computed on first use.
     pub fn gram(&self) -> &Csr {
-        self.gram.get_or_init(|| self.a.gram())
+        self.system.gram()
     }
 
     /// Measurement vector of sample `k` — the only per-interval data:
@@ -165,18 +199,54 @@ impl<'d> SnapshotShard<'d> {
         t
     }
 
+    /// Estimate the given samples in parallel through the shared
+    /// system. Entry `i` is bit-identical to
+    /// `estimator.estimate(&dataset.snapshot_problem(samples[i]))`.
+    pub fn estimate_snapshots<E>(&self, estimator: &E, samples: &[usize]) -> Vec<Result<Estimate>>
+    where
+        E: Estimator + Sync + ?Sized,
+    {
+        let chunks = chunk_ranges(samples.len());
+        let nested = tm_par::par_map(&chunks, |range| {
+            let mut ws = Workspace::new();
+            samples[range.clone()]
+                .iter()
+                .map(|&k| estimator.estimate_system(&self.system_at(k), &mut ws))
+                .collect::<Vec<_>>()
+        });
+        nested.into_iter().flatten().collect()
+    }
+
     /// Worst-case bounds for every sample, sharing one phase-1 basis:
-    /// the basis is re-anchored per interval ([`WcbSolver::rebase`]);
-    /// when an interval's loads make it infeasible, a fresh phase 1
-    /// runs on the already-assembled shared system.
+    /// the shard system's cached basis is re-anchored per interval
+    /// ([`WcbSolver::rebase`]); when an interval's loads make it
+    /// infeasible, a fresh phase 1 runs on the already-assembled shared
+    /// system.
     pub fn wcb_bounds(&self, samples: &[usize]) -> Vec<Result<DemandBounds>> {
         let Some(&first) = samples.first() else {
             return Vec::new();
         };
-        let base = WcbSolver::from_parts(&self.a, self.measurements_at(first), LpEngine::Auto);
-        let base = match base {
+        // Prefer the shard system's cached phase-1 basis; if snapshot 0
+        // happens to be degenerate/infeasible (the cache anchors there),
+        // fall back to a basis anchored on the first *requested* sample
+        // rather than failing the whole sweep.
+        let fallback_base;
+        let base = match self.system.wcb_solver() {
             Ok(b) => b,
-            Err(e) => return samples.iter().map(|_| Err(e.clone())).collect(),
+            Err(_) => {
+                let built = WcbSolver::from_parts(
+                    self.system.matrix(),
+                    self.measurements_at(first),
+                    LpEngine::Auto,
+                );
+                match built {
+                    Ok(b) => {
+                        fallback_base = b;
+                        &fallback_base
+                    }
+                    Err(e) => return samples.iter().map(|_| Err(e.clone())).collect(),
+                }
+            }
         };
         let chunks = chunk_ranges(samples.len());
         let nested = tm_par::par_map(&chunks, |range| {
@@ -187,7 +257,7 @@ impl<'d> SnapshotShard<'d> {
                     let t = self.measurements_at(k);
                     let mut solver = base.clone();
                     if !solver.rebase(&t)? {
-                        solver = WcbSolver::from_parts(&self.a, t, LpEngine::Auto)?;
+                        solver = WcbSolver::from_parts(self.system.matrix(), t, LpEngine::Auto)?;
                     }
                     solver.bounds_ws(&mut ws)
                 })
@@ -203,16 +273,12 @@ impl<'d> SnapshotShard<'d> {
         estimator: &FanoutEstimator,
         windows: &[Range<usize>],
     ) -> Vec<Result<FanoutEstimate>> {
-        let gram = self.gram();
         let chunks = chunk_ranges(windows.len());
         let nested = tm_par::par_map(&chunks, |range| {
             let mut ws = Workspace::new();
             windows[range.clone()]
                 .iter()
-                .map(|w| {
-                    let problem = self.dataset.window_problem(w.clone());
-                    estimator.estimate_shared(&problem, gram, &mut ws)
-                })
+                .map(|w| estimator.estimate_prepared(&self.window_system(w.clone()), &mut ws))
                 .collect::<Vec<_>>()
         });
         nested.into_iter().flatten().collect()

@@ -15,7 +15,8 @@ use tm_linalg::Workspace;
 use tm_opt::nnls;
 
 use crate::gravity::GravityModel;
-use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::problem::{Estimate, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Bayesian (regularized least squares) estimator.
@@ -46,8 +47,9 @@ impl BayesianEstimator {
     }
 
     /// The solve, with normalization temporaries drawn from (and
-    /// returned to) the workspace pool.
-    fn solve(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
+    /// returned to) the workspace pool. The measurement matrix and its
+    /// transpose (the NNLS column view) come from the prepared system.
+    fn solve(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
         if !(self.lambda > 0.0) {
             return Err(crate::error::EstimationError::InvalidProblem(
                 "bayes: lambda must be positive".into(),
@@ -55,23 +57,23 @@ impl BayesianEstimator {
         }
         let prior_raw = match &self.prior {
             Some(p) => {
-                if p.len() != problem.n_pairs() {
+                if p.len() != sys.n_pairs() {
                     return Err(crate::error::EstimationError::InvalidProblem(format!(
                         "prior has {} entries for {} pairs",
                         p.len(),
-                        problem.n_pairs()
+                        sys.n_pairs()
                     )));
                 }
                 p.clone()
             }
-            None => GravityModel::simple().estimate(problem)?.demands,
+            None => GravityModel::simple().estimate_system(sys, ws)?.demands,
         };
 
-        let a = problem.measurement_matrix();
-        let t_raw = problem.measurements();
-        let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
+        let a = sys.matrix();
+        let t_raw = sys.measurements();
+        let stot = sys.problem().total_traffic().max(f64::MIN_POSITIVE);
         let mut t = ws.take(t_raw.len());
-        for (d, &v) in t.iter_mut().zip(&t_raw) {
+        for (d, &v) in t.iter_mut().zip(t_raw) {
             *d = v / stot;
         }
         let mut prior = ws.take(prior_raw.len());
@@ -80,7 +82,7 @@ impl BayesianEstimator {
         }
 
         let mu = 1.0 / self.lambda;
-        let sol = nnls::ridge_nnls(&a, &t, mu, &prior, 0)?;
+        let sol = nnls::ridge_nnls_with(a, sys.transpose(), &t, mu, &prior, 0)?;
         let mut demands = ws.take(sol.x.len());
         for (d, &v) in demands.iter_mut().zip(&sol.x) {
             *d = v * stot;
@@ -96,12 +98,8 @@ impl BayesianEstimator {
 }
 
 impl Estimator for BayesianEstimator {
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
-        self.solve(problem, &mut Workspace::new())
-    }
-
-    fn estimate_with(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
-        self.solve(problem, ws)
+    fn estimate_system(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
+        self.solve(sys, ws)
     }
 
     fn name(&self) -> String {

@@ -19,9 +19,9 @@
 
 use tm_opt::spg::{self, SpgOptions};
 
-use crate::covariance::SecondMomentSystem;
 use crate::error::EstimationError;
-use crate::problem::{Estimate, EstimationProblem};
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Cao et al. GLM moment-matching estimator (time-series method).
@@ -46,13 +46,22 @@ impl CaoEstimator {
         }
     }
 
-    /// Estimate mean rates and the fitted φ.
+    /// Estimate mean rates and the fitted φ (compatibility wrapper over
+    /// [`CaoEstimator::estimate_prepared`]).
     pub fn estimate(&self, problem: &EstimationProblem) -> Result<CaoEstimate> {
+        self.estimate_prepared(&MeasurementSystem::prepare(problem))
+    }
+
+    /// Estimate mean rates and the fitted φ from a prepared system's
+    /// time-series window, reusing its cached measurement matrix and
+    /// second-moment system.
+    pub fn estimate_prepared(&self, msys: &MeasurementSystem<'_>) -> Result<CaoEstimate> {
         if !(self.c > 0.0) || self.moment_weight < 0.0 {
             return Err(EstimationError::InvalidProblem(
                 "cao: need c > 0 and moment_weight >= 0".into(),
             ));
         }
+        let problem = msys.problem();
         let ts = problem
             .time_series()
             .ok_or(EstimationError::MissingTimeSeries)?;
@@ -61,12 +70,12 @@ impl CaoEstimator {
                 "cao: need at least 2 intervals".into(),
             ));
         }
-        let a = problem.measurement_matrix();
+        let a = msys.matrix();
         let mut series = Vec::with_capacity(ts.len());
         for i in 0..ts.len() {
-            series.push(problem.measurements_at(i)?);
+            series.push(msys.measurements_at(i)?);
         }
-        let sys = SecondMomentSystem::build(&a);
+        let sys = msys.second_moments();
         let moments = sys.sample_moments(&series)?;
 
         let stot: f64 = ts
@@ -170,6 +179,20 @@ impl CaoEstimator {
             },
             phi,
         })
+    }
+}
+
+impl Estimator for CaoEstimator {
+    fn estimate_system(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        _ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate> {
+        Ok(self.estimate_prepared(sys)?.estimate)
+    }
+
+    fn name(&self) -> String {
+        format!("cao(c={},w={:.0e})", self.c, self.moment_weight)
     }
 }
 

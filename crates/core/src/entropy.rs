@@ -14,7 +14,8 @@ use tm_linalg::Workspace;
 use tm_opt::spg::{self, SpgOptions};
 
 use crate::gravity::GravityModel;
-use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::problem::{Estimate, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Relative floor (vs. total traffic) applied to iterates and prior
@@ -64,7 +65,7 @@ impl EntropyEstimator {
     /// The solve, with every vector-sized temporary drawn from (and
     /// returned to) the workspace pool — zero steady-state allocations
     /// besides the SPG iterates themselves.
-    fn solve(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
+    fn solve(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
         if !(self.lambda > 0.0) {
             return Err(crate::error::EstimationError::InvalidProblem(
                 "entropy: lambda must be positive".into(),
@@ -72,25 +73,25 @@ impl EntropyEstimator {
         }
         let prior_raw = match &self.prior {
             Some(p) => {
-                if p.len() != problem.n_pairs() {
+                if p.len() != sys.n_pairs() {
                     return Err(crate::error::EstimationError::InvalidProblem(format!(
                         "prior has {} entries for {} pairs",
                         p.len(),
-                        problem.n_pairs()
+                        sys.n_pairs()
                     )));
                 }
                 p.clone()
             }
-            None => GravityModel::simple().estimate(problem)?.demands,
+            None => GravityModel::simple().estimate_system(sys, ws)?.demands,
         };
 
-        let a = problem.measurement_matrix();
-        let t_raw = problem.measurements();
-        let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
+        let a = sys.matrix();
+        let t_raw = sys.measurements();
+        let stot = sys.problem().total_traffic().max(f64::MIN_POSITIVE);
 
         // Normalized units: everything O(1).
         let mut t = ws.take(t_raw.len());
-        for (d, &v) in t.iter_mut().zip(&t_raw) {
+        for (d, &v) in t.iter_mut().zip(t_raw) {
             *d = v / stot;
         }
         let mut q = ws.take(prior_raw.len());
@@ -140,12 +141,8 @@ impl EntropyEstimator {
 }
 
 impl Estimator for EntropyEstimator {
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
-        self.solve(problem, &mut Workspace::new())
-    }
-
-    fn estimate_with(&self, problem: &EstimationProblem, ws: &mut Workspace) -> Result<Estimate> {
-        self.solve(problem, ws)
+    fn estimate_system(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
+        self.solve(sys, ws)
     }
 
     fn name(&self) -> String {

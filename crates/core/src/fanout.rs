@@ -27,7 +27,8 @@ use tm_linalg::{Csr, Workspace};
 use tm_opt::qp::{self, SumConstraints};
 
 use crate::error::EstimationError;
-use crate::problem::{Estimate, EstimationProblem};
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Constant-fanout time-series estimator.
@@ -56,7 +57,8 @@ impl FanoutEstimator {
         self
     }
 
-    /// Estimated fanouts and the implied mean demands over the window.
+    /// Estimated fanouts and the implied mean demands over the window
+    /// (compatibility wrapper that prepares a throwaway system).
     pub fn estimate(&self, problem: &EstimationProblem) -> Result<FanoutEstimate> {
         self.estimate_with(problem, &mut Workspace::new())
     }
@@ -68,34 +70,47 @@ impl FanoutEstimator {
         problem: &EstimationProblem,
         ws: &mut Workspace,
     ) -> Result<FanoutEstimate> {
-        self.estimate_impl(problem, None, ws)
+        self.estimate_impl(&MeasurementSystem::prepare(problem), None, ws)
     }
 
-    /// [`FanoutEstimator::estimate`] with a **shared** precomputed Gram
-    /// matrix `G = AᵀA` of the problem's measurement system — the
-    /// by-far largest per-problem precomputation, identical for every
-    /// problem of a snapshot shard (`crate::batch::SnapshotShard`
-    /// computes it once).
+    /// [`FanoutEstimator::estimate`] from a prepared system, reusing
+    /// its cached measurement matrix and Gram `AᵀA` — the by-far
+    /// largest per-problem precomputation, identical for every interval
+    /// of a snapshot shard (`crate::batch::SnapshotShard` holds one
+    /// shared system).
+    pub fn estimate_prepared(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        ws: &mut Workspace,
+    ) -> Result<FanoutEstimate> {
+        self.estimate_impl(sys, None, ws)
+    }
+
+    /// [`FanoutEstimator::estimate`] with an explicitly supplied Gram
+    /// matrix `G = AᵀA` (compatibility entry point; prefer
+    /// [`FanoutEstimator::estimate_prepared`], which caches the Gram on
+    /// the system itself).
     pub fn estimate_shared(
         &self,
         problem: &EstimationProblem,
         gram: &Csr,
         ws: &mut Workspace,
     ) -> Result<FanoutEstimate> {
-        self.estimate_impl(problem, Some(gram), ws)
+        self.estimate_impl(&MeasurementSystem::prepare(problem), Some(gram), ws)
     }
 
     fn estimate_impl(
         &self,
-        problem: &EstimationProblem,
-        shared_gram: Option<&Csr>,
+        sys: &MeasurementSystem<'_>,
+        gram_override: Option<&Csr>,
         ws: &mut Workspace,
     ) -> Result<FanoutEstimate> {
+        let problem = sys.problem();
         let ts = problem
             .time_series()
             .ok_or(EstimationError::MissingTimeSeries)?;
         let k_len = ts.len();
-        let a = problem.measurement_matrix();
+        let a = sys.matrix();
         let pairs = problem.pairs();
         let n = problem.n_nodes();
         let p_count = pairs.count();
@@ -124,8 +139,7 @@ impl FanoutEstimator {
         // table. This replaces the per-interval dense accumulation with
         // O(nnz(G) + K·N²) work and keeps H sparse for the projected-CG
         // solve below.
-        let g_owned;
-        let g_mat = match shared_gram {
+        let g_mat = match gram_override {
             Some(g) => {
                 if g.rows() != p_count || g.cols() != p_count {
                     return Err(EstimationError::InvalidProblem(format!(
@@ -137,10 +151,7 @@ impl FanoutEstimator {
                 }
                 g
             }
-            None => {
-                g_owned = a.gram();
-                &g_owned
-            }
+            None => sys.gram(),
         };
         // Flattened N×N cross-moment table from the workspace pool.
         let mut cross = ws.take(n * n);
@@ -240,6 +251,16 @@ impl FanoutEstimator {
                 method: format!("fanout(K={k_len})"),
             },
         })
+    }
+}
+
+impl Estimator for FanoutEstimator {
+    fn estimate_system(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
+        Ok(self.estimate_prepared(sys, ws)?.estimate)
+    }
+
+    fn name(&self) -> String {
+        "fanout".into()
     }
 }
 

@@ -7,7 +7,8 @@
 //! renormalizes. Gravity estimates ignore interior link loads entirely;
 //! they are the canonical *prior* for the regularized methods.
 
-use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::problem::{Estimate, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Which gravity variant to compute.
@@ -47,7 +48,14 @@ impl GravityModel {
 }
 
 impl Estimator for GravityModel {
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+    fn estimate_system(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        _ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate> {
+        // Gravity never touches the measurement matrix: it reads only
+        // the edge totals, so nothing of the prepared state is derived.
+        let problem = sys.problem();
         let pairs = problem.pairs();
         let te = problem.ingress();
         let tx = problem.egress();

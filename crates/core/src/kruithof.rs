@@ -15,7 +15,8 @@ use tm_linalg::Mat;
 use tm_opt::ipf::{self, IpfOptions};
 
 use crate::gravity::GravityModel;
-use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::problem::{Estimate, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Which constraint set the projection enforces.
@@ -73,33 +74,46 @@ impl KruithofEstimator {
         self
     }
 
-    fn resolve_prior(&self, problem: &EstimationProblem) -> Result<Vec<f64>> {
+    /// The configured options.
+    pub fn options(&self) -> IpfOptions {
+        self.opts
+    }
+
+    fn resolve_prior(&self, sys: &MeasurementSystem<'_>) -> Result<Vec<f64>> {
         match &self.prior {
             Some(p) => {
-                if p.len() != problem.n_pairs() {
+                if p.len() != sys.n_pairs() {
                     return Err(crate::error::EstimationError::InvalidProblem(format!(
                         "prior has {} entries for {} pairs",
                         p.len(),
-                        problem.n_pairs()
+                        sys.n_pairs()
                     )));
                 }
                 Ok(p.clone())
             }
-            None => Ok(GravityModel::simple().estimate(problem)?.demands),
+            None => Ok(GravityModel::simple()
+                .estimate_system(sys, &mut tm_linalg::Workspace::new())?
+                .demands),
         }
     }
 }
 
 impl Estimator for KruithofEstimator {
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
-        let prior = self.resolve_prior(problem)?;
+    fn estimate_system(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        _ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate> {
+        let problem = sys.problem();
+        let prior = self.resolve_prior(sys)?;
         let pairs = problem.pairs();
         let n = problem.n_nodes();
 
         let demands = match self.mode {
             Mode::Marginals => {
                 // Arrange the prior as an N×N matrix with zero diagonal;
-                // RAS to ingress (row) and egress (column) totals.
+                // RAS to ingress (row) and egress (column) totals. The
+                // measurement matrix is never touched.
                 let mut prior_mat = Mat::zeros(n, n);
                 for (p, src, dst) in pairs.iter() {
                     prior_mat.set(src.0, dst.0, prior[p]);
@@ -113,9 +127,9 @@ impl Estimator for KruithofEstimator {
                 demands
             }
             Mode::Full => {
-                let a = problem.measurement_matrix();
-                let t = problem.measurements();
-                let res = ipf::gis(&prior, &a, &t, self.opts)?;
+                let a = sys.matrix();
+                let t = sys.measurements();
+                let res = ipf::gis_planned(&prior, a, t, sys.gis_plan()?, self.opts)?;
                 res.values
             }
         };
@@ -136,7 +150,7 @@ impl Estimator for KruithofEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::DatasetExt;
+    use crate::problem::{DatasetExt, EstimationProblem};
     use tm_traffic::{DatasetSpec, EvalDataset};
 
     fn problem() -> EstimationProblem {

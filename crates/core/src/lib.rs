@@ -20,26 +20,39 @@
 //! | §5.3.6 | tomography + direct measurements | [`measure`] |
 //! | §5.3.1 | MRE / rank metrics (Eq. 8) | [`metrics`] |
 //!
-//! Snapshot methods implement the [`Estimator`] trait over an
-//! [`EstimationProblem`]; time-series methods (fanout, Vardi, Cao) have
-//! inherent `estimate` methods that read the problem's measurement
-//! window. Problems are built from synthetic datasets via [`DatasetExt`].
+//! Every method implements the [`Estimator`] trait; its primary entry
+//! point, [`Estimator::estimate_system`], reads a prepared
+//! [`MeasurementSystem`] — built **once**
+//! from an [`EstimationProblem`], caching the stacked matrix and every
+//! derived quantity (Gram, transpose, GIS plan, WCB phase-1 basis) the
+//! methods share. Methods are selected by name through the
+//! [`method`] registry (`"bayes:prior=1e3"`-style specs). Problems are
+//! built from synthetic datasets via [`DatasetExt`].
 //!
-//! ## Example
+//! ## Example: prepare once, estimate many
 //!
 //! ```
 //! use tm_core::prelude::*;
+//! use tm_linalg::Workspace;
 //! use tm_traffic::{DatasetSpec, EvalDataset};
 //!
 //! let dataset = EvalDataset::generate(DatasetSpec::tiny(), 7).unwrap();
 //! let problem = dataset.snapshot_problem(dataset.busy_hour().start);
-//! let estimate = BayesianEstimator::new(1e3).estimate(&problem).unwrap();
-//! let mre = mean_relative_error(
-//!     problem.true_demands().unwrap(),
-//!     &estimate.demands,
-//!     CoverageThreshold::Share(0.9),
-//! ).unwrap();
-//! assert!(mre.is_finite());
+//!
+//! // One prepared system serves every method: the measurement matrix,
+//! // Gram, transpose and WCB basis are derived at most once.
+//! let sys = MeasurementSystem::prepare(&problem);
+//! let mut ws = Workspace::new();
+//! for spec in ["gravity", "entropy:lambda=1e3", "bayes:prior=1e3", "wcb"] {
+//!     let method: Method = spec.parse().unwrap();
+//!     let estimate = method.build().estimate_system(&sys, &mut ws).unwrap();
+//!     let mre = mean_relative_error(
+//!         problem.true_demands().unwrap(),
+//!         &estimate.demands,
+//!         CoverageThreshold::Share(0.9),
+//!     ).unwrap();
+//!     assert!(mre.is_finite());
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,20 +68,27 @@ pub mod fanout;
 pub mod gravity;
 pub mod kruithof;
 pub mod measure;
+pub mod method;
 pub mod metrics;
 pub mod problem;
+pub mod system;
 pub mod vardi;
 pub mod wcb;
 
 pub use error::EstimationError;
+pub use method::{Method, MethodConfig};
 pub use problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
+pub use system::MeasurementSystem;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EstimationError>;
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::batch::{estimate_batch, estimate_snapshots, SnapshotShard};
+    pub use crate::batch::{
+        estimate_batch, estimate_batch_method, estimate_snapshots, estimate_snapshots_method,
+        SnapshotShard,
+    };
     pub use crate::bayes::BayesianEstimator;
     pub use crate::cao::CaoEstimator;
     pub use crate::entropy::EntropyEstimator;
@@ -76,12 +96,15 @@ pub mod prelude {
     pub use crate::gravity::GravityModel;
     pub use crate::kruithof::KruithofEstimator;
     pub use crate::measure::{greedy_selection, largest_first_selection, MeasuredEntropy};
+    pub use crate::method::{Method, MethodConfig};
     pub use crate::metrics::{
         included_count, mean_relative_error, rmse, spearman_rank_correlation, CoverageThreshold,
     };
     pub use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
+    pub use crate::system::MeasurementSystem;
     pub use crate::vardi::VardiEstimator;
     pub use crate::wcb::{
-        worst_case_bounds, worst_case_bounds_with_engine, DemandBounds, LpEngine, WcbSolver,
+        worst_case_bounds, worst_case_bounds_prepared, worst_case_bounds_with_engine, DemandBounds,
+        LpEngine, WcbEstimator, WcbSolver,
     };
 }

@@ -15,6 +15,7 @@ use crate::error::EstimationError;
 use crate::gravity::GravityModel;
 use crate::metrics::{mean_relative_error, CoverageThreshold};
 use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Floor for the KL term (normalized units).
@@ -42,12 +43,25 @@ impl MeasuredEntropy {
 
     /// Estimate with the demands in `measured` fixed to their true
     /// values (pairs must be distinct; values come from direct
-    /// measurement, i.e. ground truth in evaluation).
+    /// measurement, i.e. ground truth in evaluation). Compatibility
+    /// wrapper over [`MeasuredEntropy::estimate_measured_prepared`].
     pub fn estimate_with_measured(
         &self,
         problem: &EstimationProblem,
         measured: &[(usize, f64)],
     ) -> Result<Estimate> {
+        self.estimate_measured_prepared(&MeasurementSystem::prepare(problem), measured)
+    }
+
+    /// [`MeasuredEntropy::estimate_with_measured`] on a prepared
+    /// system, reusing its cached stacked matrix and transpose (the
+    /// column view the measured-demand subtraction walks).
+    pub fn estimate_measured_prepared(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        measured: &[(usize, f64)],
+    ) -> Result<Estimate> {
+        let problem = sys.problem();
         if !(self.lambda > 0.0) {
             return Err(EstimationError::InvalidProblem(
                 "measured-entropy: lambda must be positive".into(),
@@ -68,10 +82,10 @@ impl MeasuredEntropy {
             }
         }
 
-        let a = problem.measurement_matrix();
-        let mut t = problem.measurements();
+        let a = sys.matrix();
+        let mut t = sys.measurements().to_vec();
         // Subtract measured contributions: t -= A[:,p]·v.
-        let at = a.transpose();
+        let at = sys.transpose();
         for &(p, v) in measured {
             let (idx, val) = at.row(p);
             for (k, &row) in idx.iter().enumerate() {
@@ -96,7 +110,9 @@ impl MeasuredEntropy {
         let a_red: Csr = a.select_cols(&kept);
 
         // Prior: gravity restricted to the kept pairs.
-        let prior_full = GravityModel::simple().estimate(problem)?.demands;
+        let prior_full = GravityModel::simple()
+            .estimate_system(sys, &mut tm_linalg::Workspace::new())?
+            .demands;
         let stot = problem.total_traffic().max(f64::MIN_POSITIVE);
         let q: Vec<f64> = kept
             .iter()
@@ -146,6 +162,23 @@ impl MeasuredEntropy {
 
     fn name(&self) -> String {
         format!("entropy+measured(lambda={:.0e})", self.lambda)
+    }
+}
+
+impl Estimator for MeasuredEntropy {
+    /// With no direct measurements attached, the reduced system is the
+    /// full system: this is entropy estimation through the
+    /// measured-demand code path.
+    fn estimate_system(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        _ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate> {
+        self.estimate_measured_prepared(sys, &[])
+    }
+
+    fn name(&self) -> String {
+        MeasuredEntropy::name(self)
     }
 }
 

@@ -227,6 +227,12 @@ impl EstimationProblem {
 
     /// Measurement matrix for the configured mode: interior rows, plus
     /// ingress/egress rows when edge measurements are enabled.
+    ///
+    /// **Compatibility shim.** This allocates a fresh matrix on every
+    /// call (even with edge measurements off, where it is a plain clone
+    /// of the routing matrix). Estimators no longer call it on their
+    /// hot paths — they read the once-built, cached copy held by a
+    /// [`MeasurementSystem`](crate::system::MeasurementSystem).
     pub fn measurement_matrix(&self) -> Csr {
         if !self.use_edge_measurements {
             return self.routing.clone();
@@ -350,23 +356,44 @@ impl From<Estimate> for Vec<f64> {
     }
 }
 
-/// Common interface of snapshot estimators.
+/// Common interface of the estimation methods.
+///
+/// The **primary** entry point is [`Estimator::estimate_system`]: it
+/// reads a prepared [`MeasurementSystem`](crate::system::MeasurementSystem)
+/// whose derived state (stacked matrix, Gram, transpose, GIS plan,
+/// WCB basis) is computed once and shared by every method and every
+/// interval. [`Estimator::estimate`] and [`Estimator::estimate_with`]
+/// are compatibility wrappers that prepare a throwaway system from the
+/// bare problem; they produce bit-identical results.
 pub trait Estimator {
-    /// Estimate the traffic matrix from the problem's snapshot data.
-    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate>;
+    /// Estimate the traffic matrix from a prepared measurement system,
+    /// drawing scratch and result vectors from a
+    /// [`Workspace`](tm_linalg::Workspace) pool. Long-running pipelines
+    /// (`crate::batch`) hold one shared system and one pool per worker,
+    /// so at steady state an estimate costs only its own solve.
+    fn estimate_system(
+        &self,
+        sys: &crate::system::MeasurementSystem<'_>,
+        ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate>;
 
-    /// Estimate drawing scratch and result vectors from a
-    /// [`Workspace`](tm_linalg::Workspace) pool. Long-running collection
-    /// pipelines (`crate::batch`) hold one pool per worker and call this
-    /// per snapshot, so estimators that override it allocate nothing at
-    /// steady state. The default ignores the pool.
+    /// Estimate from a bare problem (compatibility wrapper: prepares a
+    /// throwaway system).
+    fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        self.estimate_system(
+            &crate::system::MeasurementSystem::prepare(problem),
+            &mut tm_linalg::Workspace::new(),
+        )
+    }
+
+    /// Estimate from a bare problem with a caller-held workspace pool
+    /// (compatibility wrapper: prepares a throwaway system).
     fn estimate_with(
         &self,
         problem: &EstimationProblem,
         ws: &mut tm_linalg::Workspace,
     ) -> Result<Estimate> {
-        let _ = ws;
-        self.estimate(problem)
+        self.estimate_system(&crate::system::MeasurementSystem::prepare(problem), ws)
     }
 
     /// Method name (for tables and figures).

@@ -1,0 +1,394 @@
+//! The prepared measurement system: build once, estimate many.
+//!
+//! The paper's workload is a *comparison*: many methods, one measurement
+//! system, around the clock (§4–§5). Before this module every
+//! [`Estimator::estimate`](crate::problem::Estimator::estimate) call
+//! re-stacked the measurement matrix and re-derived whatever state its
+//! solver needed — the Gram `AᵀA`, the transpose column view, GIS
+//! row-activity lists, WCB's phase-1 simplex basis. A
+//! [`MeasurementSystem`] is built **once** from an
+//! [`EstimationProblem`] (or directly from routing + loads) and caches
+//! all of that lazily behind [`OnceLock`], so the second method — or the
+//! second interval — pays only for its own solve.
+//!
+//! Two sharing axes:
+//!
+//! * **Across methods** —
+//!   [`Estimator::estimate_system`](crate::problem::Estimator::estimate_system)
+//!   is the primary estimation entry point; every estimator reads the
+//!   cached state instead of rebuilding it.
+//!   `estimate()`/`estimate_with()` are compatibility wrappers over a
+//!   throwaway borrowed system.
+//! * **Across intervals** — [`MeasurementSystem::reanchor`] produces a
+//!   system for a new snapshot of the *same routing pattern* that
+//!   shares the matrix-derived caches (matrix, transpose, Gram, column
+//!   norms, second-moment system) through an [`Arc`], so a batch sweep
+//!   derives them once per shard. The whole system is `Sync` and can be
+//!   shared by `Arc` across batch workers.
+
+use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
+
+use tm_linalg::Csr;
+use tm_opt::ipf::GisPlan;
+
+use crate::covariance::SecondMomentSystem;
+use crate::error::EstimationError;
+use crate::problem::EstimationProblem;
+use crate::wcb::{LpEngine, WcbSolver};
+use crate::Result;
+
+/// Matrix-derived caches, independent of the measurement *vector*:
+/// shared by every interval of a shard via `Arc`.
+#[derive(Debug, Default)]
+struct StackedCaches {
+    /// The stacked measurement matrix `A` (interior rows + edge rows).
+    matrix: OnceLock<Csr>,
+    /// `Aᵀ` — the column view walked by the dual active-set NNLS and
+    /// the direct-measurement column subtraction.
+    transpose: OnceLock<Csr>,
+    /// Sparse Gram `AᵀA` — fanout's big precomputation.
+    gram: OnceLock<Csr>,
+    /// Squared column norms of `A`.
+    col_sq_norms: OnceLock<Vec<f64>>,
+    /// The second-moment system `M` of Vardi/Cao.
+    second_moments: OnceLock<SecondMomentSystem>,
+}
+
+/// A prepared estimation target: one measurement system plus every
+/// derived quantity the estimators share, computed lazily and at most
+/// once. See the [module docs](self) for the lifecycle.
+#[derive(Debug)]
+pub struct MeasurementSystem<'p> {
+    problem: Cow<'p, EstimationProblem>,
+    caches: Arc<StackedCaches>,
+    /// Stacked measurement vector aligned with the matrix rows.
+    t: OnceLock<Vec<f64>>,
+    /// GIS row-activity plan for `(A, t)`.
+    gis: OnceLock<std::result::Result<GisPlan, EstimationError>>,
+    /// WCB's phase-1-complete LP basis for `{s ≥ 0 : A·s = t}`
+    /// (auto-selected engine).
+    wcb: OnceLock<std::result::Result<WcbSolver, EstimationError>>,
+}
+
+impl<'p> MeasurementSystem<'p> {
+    /// Prepare a borrowed system — the cheap path used by the
+    /// compatibility wrappers (`Estimator::estimate`): nothing is
+    /// copied or derived until an estimator asks for it.
+    pub fn prepare(problem: &'p EstimationProblem) -> MeasurementSystem<'p> {
+        MeasurementSystem {
+            problem: Cow::Borrowed(problem),
+            caches: Arc::new(StackedCaches::default()),
+            t: OnceLock::new(),
+            gis: OnceLock::new(),
+            wcb: OnceLock::new(),
+        }
+    }
+
+    /// Prepare an owned system (shareable via `Arc` across threads and
+    /// intervals; the long-lived form batch pipelines hold).
+    pub fn new(problem: EstimationProblem) -> MeasurementSystem<'static> {
+        MeasurementSystem {
+            problem: Cow::Owned(problem),
+            caches: Arc::new(StackedCaches::default()),
+            t: OnceLock::new(),
+            gis: OnceLock::new(),
+            wcb: OnceLock::new(),
+        }
+    }
+
+    /// Build directly from routing + loads (no dataset required): the
+    /// service-facing constructor.
+    pub fn from_parts(
+        routing: Csr,
+        link_loads: Vec<f64>,
+        ingress: Vec<f64>,
+        egress: Vec<f64>,
+    ) -> Result<MeasurementSystem<'static>> {
+        Ok(MeasurementSystem::new(EstimationProblem::new(
+            routing, link_loads, ingress, egress,
+        )?))
+    }
+
+    /// Re-anchor the prepared state on a new snapshot of the **same
+    /// routing pattern**: the returned system shares every
+    /// matrix-derived cache (matrix, transpose, Gram, column norms,
+    /// second moments) with `self` and derives only the per-interval
+    /// state (measurement vector, GIS plan, WCB basis) on demand.
+    pub fn reanchor(&self, problem: EstimationProblem) -> Result<MeasurementSystem<'static>> {
+        let old = self.problem.routing();
+        let new = problem.routing();
+        // Full pattern-and-value comparison (O(nnz) — trivial next to
+        // any solve): a different routing matrix with coincidentally
+        // equal shape must not be estimated against the stale caches.
+        if old != new || self.problem.uses_edge_measurements() != problem.uses_edge_measurements() {
+            return Err(EstimationError::InvalidProblem(format!(
+                "reanchor: routing {}x{} (edge {}) does not match the prepared \
+                 system's {}x{} (edge {}) — same shard requires the same routing",
+                new.rows(),
+                new.cols(),
+                problem.uses_edge_measurements(),
+                old.rows(),
+                old.cols(),
+                self.problem.uses_edge_measurements(),
+            )));
+        }
+        Ok(MeasurementSystem {
+            problem: Cow::Owned(problem),
+            caches: Arc::clone(&self.caches),
+            t: OnceLock::new(),
+            gis: OnceLock::new(),
+            wcb: OnceLock::new(),
+        })
+    }
+
+    /// The underlying problem (snapshot data, peering roles, optional
+    /// time series and ground truth).
+    pub fn problem(&self) -> &EstimationProblem {
+        &self.problem
+    }
+
+    /// The stacked measurement matrix, built on first use and cached.
+    pub fn matrix(&self) -> &Csr {
+        let m = self
+            .caches
+            .matrix
+            .get_or_init(|| self.problem.measurement_matrix());
+        debug_assert_eq!(
+            m.rows(),
+            self.n_rows(),
+            "n_rows() drifted from the measurement-matrix stacking rule"
+        );
+        m
+    }
+
+    /// The stacked measurement vector aligned with [`Self::matrix`].
+    pub fn measurements(&self) -> &[f64] {
+        self.t.get_or_init(|| self.problem.measurements())
+    }
+
+    /// Measurement vector of time-series interval `k` (same row layout
+    /// as [`Self::matrix`]).
+    pub fn measurements_at(&self, k: usize) -> Result<Vec<f64>> {
+        self.problem.measurements_at(k)
+    }
+
+    /// Cached transpose `Aᵀ` (column view of the measurement matrix).
+    pub fn transpose(&self) -> &Csr {
+        self.caches
+            .transpose
+            .get_or_init(|| self.matrix().transpose())
+    }
+
+    /// Cached sparse Gram `AᵀA`.
+    pub fn gram(&self) -> &Csr {
+        self.caches.gram.get_or_init(|| self.matrix().gram())
+    }
+
+    /// Cached squared column norms of the measurement matrix.
+    pub fn col_sq_norms(&self) -> &[f64] {
+        self.caches
+            .col_sq_norms
+            .get_or_init(|| self.matrix().col_sq_norms())
+    }
+
+    /// Cached second-moment system `M` (Vardi's and Cao's covariance
+    /// constraint rows).
+    pub fn second_moments(&self) -> &SecondMomentSystem {
+        self.caches
+            .second_moments
+            .get_or_init(|| SecondMomentSystem::build(self.matrix()))
+    }
+
+    /// Cached GIS row-activity plan for `(A, t)` (kruithof-full's
+    /// per-call precomputation). Fails — like `ipf::gis` itself — when
+    /// the measurement vector carries a negative entry (e.g. a garbled
+    /// counter); the error is cached and returned on every call.
+    pub fn gis_plan(&self) -> Result<&GisPlan> {
+        let cached = self.gis.get_or_init(|| {
+            GisPlan::build(self.matrix(), self.measurements()).map_err(EstimationError::from)
+        });
+        match cached {
+            Ok(p) => Ok(p),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Cached phase-1-complete WCB solver for `{s ≥ 0 : A·s = t}`
+    /// (auto-selected LP engine). The `2·P` bound objectives — and,
+    /// via [`WcbSolver::rebase`], later intervals of a shard — all
+    /// warm-start from this one basis.
+    pub fn wcb_solver(&self) -> Result<&WcbSolver> {
+        let cached = self.wcb.get_or_init(|| {
+            WcbSolver::from_parts(self.matrix(), self.measurements().to_vec(), LpEngine::Auto)
+        });
+        match cached {
+            Ok(s) => Ok(s),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Number of OD pairs (columns of the system).
+    pub fn n_pairs(&self) -> usize {
+        self.problem.n_pairs()
+    }
+
+    /// Number of measurement rows in the stacked system.
+    pub fn n_rows(&self) -> usize {
+        let l = self.problem.n_links();
+        if self.problem.uses_edge_measurements() {
+            l + 2 * self.problem.n_nodes()
+        } else {
+            l
+        }
+    }
+}
+
+impl Clone for MeasurementSystem<'_> {
+    /// Cloning shares the matrix-derived caches (cheap `Arc` bump) and
+    /// re-derives per-interval state lazily.
+    fn clone(&self) -> Self {
+        MeasurementSystem {
+            problem: self.problem.clone(),
+            caches: Arc::clone(&self.caches),
+            t: OnceLock::new(),
+            gis: OnceLock::new(),
+            wcb: OnceLock::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DatasetExt;
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    fn tiny() -> EvalDataset {
+        EvalDataset::generate(DatasetSpec::tiny(), 77).unwrap()
+    }
+
+    #[test]
+    fn cached_state_matches_per_call_derivation() {
+        let d = tiny();
+        let p = d.snapshot_problem(d.busy_start);
+        let sys = MeasurementSystem::prepare(&p);
+        assert_eq!(sys.matrix(), &p.measurement_matrix());
+        assert_eq!(sys.measurements(), p.measurements().as_slice());
+        assert_eq!(sys.gram(), &p.measurement_matrix().gram());
+        assert_eq!(sys.transpose(), &p.measurement_matrix().transpose());
+        assert_eq!(
+            sys.col_sq_norms(),
+            p.measurement_matrix().col_sq_norms().as_slice()
+        );
+        assert_eq!(sys.n_pairs(), p.n_pairs());
+        assert_eq!(sys.n_rows(), p.measurement_matrix().rows());
+        // Caches return the same instance (pointer-stable).
+        assert!(std::ptr::eq(sys.matrix(), sys.matrix()));
+        assert!(std::ptr::eq(sys.gram(), sys.gram()));
+        // GIS plan covers all rows (loads are positive at the busy hour).
+        assert_eq!(sys.gis_plan().unwrap().active_rows.len(), sys.n_rows());
+    }
+
+    #[test]
+    fn negative_loads_error_instead_of_panicking() {
+        // A garbled counter must surface as a per-problem Err (as the
+        // pre-redesign `ipf::gis` did), never a panic in a batch worker.
+        let d = tiny();
+        let p = d.snapshot_problem(0);
+        let mut loads = p.link_loads().to_vec();
+        loads[0] = -1.0;
+        let bad = crate::problem::EstimationProblem::new(
+            p.routing().clone(),
+            loads,
+            p.ingress().to_vec(),
+            p.egress().to_vec(),
+        )
+        .unwrap();
+        let sys = MeasurementSystem::prepare(&bad);
+        assert!(sys.gis_plan().is_err());
+        use crate::problem::Estimator;
+        assert!(crate::kruithof::KruithofEstimator::full()
+            .estimate(&bad)
+            .is_err());
+    }
+
+    #[test]
+    fn edge_off_system_has_interior_rows_only() {
+        let d = tiny();
+        let p = d.snapshot_problem(0).with_edge_measurements(false);
+        let sys = MeasurementSystem::prepare(&p);
+        assert_eq!(sys.matrix().rows(), p.n_links());
+        assert_eq!(sys.n_rows(), p.n_links());
+        assert_eq!(sys.measurements().len(), p.n_links());
+    }
+
+    #[test]
+    fn reanchor_shares_matrix_caches() {
+        let d = tiny();
+        let base = MeasurementSystem::new(d.snapshot_problem(0));
+        let gram0 = base.gram() as *const Csr;
+        let re = base.reanchor(d.snapshot_problem(3)).unwrap();
+        // Same cache objects, different measurement vector.
+        assert!(std::ptr::eq(gram0, re.gram()));
+        assert_eq!(re.measurements(), d.snapshot_problem(3).measurements());
+        assert_ne!(re.measurements(), base.measurements());
+        // A clone shares too.
+        let cl = base.clone();
+        assert!(std::ptr::eq(gram0, cl.gram()));
+    }
+
+    #[test]
+    fn reanchor_rejects_different_patterns() {
+        let d = tiny();
+        let base = MeasurementSystem::new(d.snapshot_problem(0));
+        let other = d.snapshot_problem(1).with_edge_measurements(false);
+        assert!(base.reanchor(other).is_err());
+        // Same shape, different routing values: must also be rejected —
+        // shape alone does not make two systems shard-compatible.
+        let p = d.snapshot_problem(1);
+        let scaled = crate::problem::EstimationProblem::new(
+            p.routing().scale(2.0),
+            p.link_loads().to_vec(),
+            p.ingress().to_vec(),
+            p.egress().to_vec(),
+        )
+        .unwrap();
+        assert!(base.reanchor(scaled).is_err());
+    }
+
+    #[test]
+    fn wcb_solver_is_cached_and_correct() {
+        let d = tiny();
+        let p = d.snapshot_problem(d.busy_start);
+        let sys = MeasurementSystem::prepare(&p);
+        let s1 = sys.wcb_solver().unwrap() as *const WcbSolver;
+        let s2 = sys.wcb_solver().unwrap() as *const WcbSolver;
+        assert!(std::ptr::eq(s1, s2));
+        let bounds = sys.wcb_solver().unwrap().bounds().unwrap();
+        let fresh = crate::wcb::worst_case_bounds(&p).unwrap();
+        assert_eq!(bounds.lower, fresh.lower);
+        assert_eq!(bounds.upper, fresh.upper);
+    }
+
+    #[test]
+    fn from_parts_builds_a_system() {
+        let d = tiny();
+        let p = d.snapshot_problem(0);
+        let sys = MeasurementSystem::from_parts(
+            p.routing().clone(),
+            p.link_loads().to_vec(),
+            p.ingress().to_vec(),
+            p.egress().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(sys.matrix(), &p.measurement_matrix());
+        assert!(MeasurementSystem::from_parts(
+            p.routing().clone(),
+            vec![1.0],
+            p.ingress().to_vec(),
+            p.egress().to_vec(),
+        )
+        .is_err());
+    }
+}

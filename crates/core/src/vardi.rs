@@ -17,13 +17,14 @@
 use tm_linalg::Csr;
 use tm_opt::spg::{self, SpgOptions};
 
-use crate::covariance::SecondMomentSystem;
 use crate::error::EstimationError;
-use crate::problem::{Estimate, EstimationProblem};
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
-/// Vardi's method. Not a snapshot [`crate::problem::Estimator`]: it
-/// consumes the problem's time-series window.
+/// Vardi's method — a time-series [`Estimator`]: it consumes the
+/// problem's measurement window and fails with
+/// [`EstimationError::MissingTimeSeries`] on bare snapshots.
 #[derive(Debug, Clone)]
 pub struct VardiEstimator {
     /// Weight σ⁻² on the second-moment equations.
@@ -55,13 +56,22 @@ impl VardiEstimator {
         self.moment_weight
     }
 
-    /// Estimate mean rates λ from the problem's time-series window.
+    /// Estimate mean rates λ from the problem's time-series window
+    /// (compatibility wrapper over [`VardiEstimator::estimate_prepared`]).
     pub fn estimate(&self, problem: &EstimationProblem) -> Result<Estimate> {
+        self.estimate_prepared(&MeasurementSystem::prepare(problem))
+    }
+
+    /// Estimate mean rates λ from a prepared system's time-series
+    /// window, reusing its cached measurement matrix and second-moment
+    /// system.
+    pub fn estimate_prepared(&self, msys: &MeasurementSystem<'_>) -> Result<Estimate> {
         if self.moment_weight < 0.0 {
             return Err(EstimationError::InvalidProblem(
                 "vardi: moment weight must be nonnegative".into(),
             ));
         }
+        let problem = msys.problem();
         let ts = problem
             .time_series()
             .ok_or(EstimationError::MissingTimeSeries)?;
@@ -71,14 +81,14 @@ impl VardiEstimator {
                 "vardi: need at least 2 intervals".into(),
             ));
         }
-        let a = problem.measurement_matrix();
+        let a = msys.matrix();
         // Assemble the per-interval measurement vectors.
         let mut series = Vec::with_capacity(k);
         for i in 0..k {
-            series.push(problem.measurements_at(i)?);
+            series.push(msys.measurements_at(i)?);
         }
 
-        let sys = SecondMomentSystem::build(&a);
+        let sys = msys.second_moments();
         let moments = sys.sample_moments(&series)?;
 
         // Normalize: mean loads by total traffic, covariances by its square.
@@ -143,6 +153,20 @@ impl VardiEstimator {
             demands,
             method: format!("vardi(w={:.0e})", self.moment_weight),
         })
+    }
+}
+
+impl Estimator for VardiEstimator {
+    fn estimate_system(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        _ws: &mut tm_linalg::Workspace,
+    ) -> Result<Estimate> {
+        self.estimate_prepared(sys)
+    }
+
+    fn name(&self) -> String {
+        format!("vardi(w={:.0e})", self.moment_weight)
     }
 }
 

@@ -27,7 +27,8 @@ use tm_linalg::{Csr, Workspace};
 use tm_opt::revised::RevisedSimplex;
 use tm_opt::simplex::{LpSolution, SimplexSolver};
 
-use crate::problem::{Estimate, EstimationProblem};
+use crate::problem::{Estimate, EstimationProblem, Estimator};
+use crate::system::MeasurementSystem;
 use crate::Result;
 
 /// Below this many unknowns the dense full-tableau solver is used: the
@@ -49,6 +50,28 @@ pub enum LpEngine {
     DenseTableau,
     /// Force the revised sparse solver.
     RevisedSparse,
+}
+
+impl LpEngine {
+    /// Canonical registry/CLI name — the single source of truth for
+    /// the `wcb:engine=…` grammar and its serialized form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LpEngine::Auto => "auto",
+            LpEngine::DenseTableau => "dense",
+            LpEngine::RevisedSparse => "revised",
+        }
+    }
+
+    /// Parse a canonical name (inverse of [`LpEngine::as_str`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "auto" => Some(LpEngine::Auto),
+            "dense" => Some(LpEngine::DenseTableau),
+            "revised" => Some(LpEngine::RevisedSparse),
+            _ => None,
+        }
+    }
 }
 
 /// Per-demand worst-case bounds.
@@ -139,9 +162,15 @@ impl WcbSolver {
 
     /// Build with an explicit engine choice (the ablation hook).
     pub fn with_engine(problem: &EstimationProblem, engine: LpEngine) -> Result<Self> {
-        let a = problem.measurement_matrix();
-        let t = problem.measurements();
-        Self::from_parts(&a, t, engine)
+        Self::for_system(&MeasurementSystem::prepare(problem), engine)
+    }
+
+    /// Build from a prepared measurement system, reading its cached
+    /// stacked matrix and measurement vector. For [`LpEngine::Auto`]
+    /// prefer [`MeasurementSystem::wcb_solver`], which additionally
+    /// caches the phase-1-complete solver itself.
+    pub fn for_system(sys: &MeasurementSystem<'_>, engine: LpEngine) -> Result<Self> {
+        Self::from_parts(sys.matrix(), sys.measurements().to_vec(), engine)
     }
 
     /// Build from a prepared measurement system — the entry point used
@@ -267,6 +296,62 @@ pub fn worst_case_bounds_with_engine(
     engine: LpEngine,
 ) -> Result<DemandBounds> {
     WcbSolver::with_engine(problem, engine)?.bounds()
+}
+
+/// [`worst_case_bounds`] from a prepared system: the phase-1-complete
+/// basis is taken from (or installed into) the system's cache, so
+/// repeated calls — and the other WCB consumers of the same system —
+/// pay for phase 1 exactly once.
+pub fn worst_case_bounds_prepared(
+    sys: &MeasurementSystem<'_>,
+    ws: &mut Workspace,
+) -> Result<DemandBounds> {
+    sys.wcb_solver()?.bounds_ws(ws)
+}
+
+/// The worst-case-bound **midpoint prior** as a first-class
+/// [`Estimator`] (paper Fig. 9 / Table 2: "WCB prior"): runs the `2·P`
+/// bound LPs and returns `(lower + upper)/2` per demand.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WcbEstimator {
+    engine: LpEngine,
+}
+
+impl WcbEstimator {
+    /// Midpoint estimator with the auto-selected LP engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Midpoint estimator with an explicit LP engine.
+    pub fn with_engine(engine: LpEngine) -> Self {
+        WcbEstimator { engine }
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> LpEngine {
+        self.engine
+    }
+}
+
+impl Estimator for WcbEstimator {
+    fn estimate_system(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
+        let bounds = match self.engine {
+            // Auto shares the system's cached phase-1 basis.
+            LpEngine::Auto => sys.wcb_solver()?.bounds_ws(ws)?,
+            engine => WcbSolver::for_system(sys, engine)?.bounds_ws(ws)?,
+        };
+        let mut estimate = bounds.midpoint();
+        estimate.method = self.name();
+        Ok(estimate)
+    }
+
+    fn name(&self) -> String {
+        match self.engine {
+            LpEngine::Auto => "wcb-midpoint".into(),
+            engine => format!("wcb-midpoint({})", engine.as_str()),
+        }
+    }
 }
 
 /// Bounds of one contiguous pair chunk.

@@ -20,8 +20,9 @@ pub trait LinearOperator {
     fn apply_transpose(&self, x: &[f64], y: &mut [f64]);
 }
 
-/// Every [`crate::LinOp`] (dense [`Mat`], sparse [`Csr`], or a runtime
-/// [`crate::DynLinOp`]) is a [`LinearOperator`] for the Krylov solvers.
+/// Every [`crate::LinOp`] (dense [`crate::Mat`], sparse [`crate::Csr`],
+/// or a runtime [`crate::DynLinOp`]) is a [`LinearOperator`] for the
+/// Krylov solvers.
 impl<T: crate::linop::LinOp> LinearOperator for T {
     fn nrows(&self) -> usize {
         crate::linop::LinOp::rows(self)

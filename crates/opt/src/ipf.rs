@@ -134,6 +134,71 @@ pub fn ras(prior: &Mat, row_sums: &[f64], col_sums: &[f64], opts: IpfOptions) ->
     })
 }
 
+/// Precomputed row-activity state of one GIS system `(R, t)`: the list
+/// of active constraint rows (`t_l > 0`), the demands forced to zero by
+/// zero-load rows, and the scaling constant `C = max_p Σ_l r_lp` over
+/// the active rows. Deriving it walks every row of `R`, so callers that
+/// project many priors onto the *same* measurement system (the
+/// prepare-once/estimate-many lifecycle of `tm_core`) build the plan
+/// once and pass it to [`gis_planned`].
+#[derive(Debug, Clone)]
+pub struct GisPlan {
+    /// Rows with `t_l > 0`, in row order.
+    pub active_rows: Vec<usize>,
+    /// Demand indices crossed (with positive coefficient) by a zero-load
+    /// row; GIS pins them to zero.
+    pub zeroed: Vec<usize>,
+    /// `C = max_p Σ_l r_lp` over the active rows.
+    pub scale_c: f64,
+}
+
+impl GisPlan {
+    /// Derive the plan for `R·s = t`. Validates dimensions and target
+    /// nonnegativity (the checks `gis` would otherwise perform).
+    pub fn build(r: &Csr, t: &[f64]) -> Result<Self> {
+        let (l, p) = (r.rows(), r.cols());
+        if t.len() != l {
+            return Err(OptError::Invalid(format!(
+                "gis: R {l}x{p} vs t {}",
+                t.len()
+            )));
+        }
+        if t.iter().any(|&v| v < 0.0) {
+            return Err(OptError::Invalid("gis: negative target".into()));
+        }
+        // Zero-load links kill their demands.
+        let mut zero_mask = vec![false; p];
+        let mut active_rows: Vec<usize> = Vec::new();
+        for i in 0..l {
+            if t[i] == 0.0 {
+                let (idx, val) = r.row(i);
+                for (k, &j) in idx.iter().enumerate() {
+                    if val[k] > 0.0 {
+                        zero_mask[j] = true;
+                    }
+                }
+            } else {
+                active_rows.push(i);
+            }
+        }
+        // C = max column sum of R over active rows.
+        let mut colsum = vec![0.0f64; p];
+        for &i in &active_rows {
+            let (idx, val) = r.row(i);
+            for (k, &j) in idx.iter().enumerate() {
+                colsum[j] += val[k];
+            }
+        }
+        let scale_c = colsum.iter().cloned().fold(0.0f64, f64::max);
+        let zeroed = (0..p).filter(|&j| zero_mask[j]).collect();
+        Ok(GisPlan {
+            active_rows,
+            zeroed,
+            scale_c,
+        })
+    }
+}
+
 /// Generalized iterative scaling: minimize `D(s ‖ prior)` subject to
 /// `R·s = t`, `s ≥ 0`, for a nonnegative constraint matrix `R`.
 ///
@@ -143,6 +208,20 @@ pub fn ras(prior: &Mat, row_sums: &[f64], col_sums: &[f64], opts: IpfOptions) ->
 /// inconsistent the method cannot converge; the iteration cap then
 /// returns [`OptError::DidNotConverge`] carrying the best violation.
 pub fn gis(prior: &[f64], r: &Csr, t: &[f64], opts: IpfOptions) -> Result<IpfResult> {
+    let plan = GisPlan::build(r, t)?;
+    gis_planned(prior, r, t, &plan, opts)
+}
+
+/// [`gis`] with a precomputed [`GisPlan`] for the system `(R, t)`. The
+/// plan must come from [`GisPlan::build`] on the same system; results
+/// are bit-identical to [`gis`].
+pub fn gis_planned(
+    prior: &[f64],
+    r: &Csr,
+    t: &[f64],
+    plan: &GisPlan,
+    opts: IpfOptions,
+) -> Result<IpfResult> {
     let (l, p) = (r.rows(), r.cols());
     if prior.len() != p || t.len() != l {
         return Err(OptError::Invalid(format!(
@@ -154,35 +233,13 @@ pub fn gis(prior: &[f64], r: &Csr, t: &[f64], opts: IpfOptions) -> Result<IpfRes
     if prior.iter().any(|&v| v < 0.0) {
         return Err(OptError::Invalid("gis: negative prior".into()));
     }
-    if t.iter().any(|&v| v < 0.0) {
-        return Err(OptError::Invalid("gis: negative target".into()));
-    }
 
-    // Zero-load links kill their demands.
     let mut s: Vec<f64> = prior.to_vec();
-    let mut active_rows: Vec<usize> = Vec::new();
-    for i in 0..l {
-        if t[i] == 0.0 {
-            let (idx, val) = r.row(i);
-            for (k, &j) in idx.iter().enumerate() {
-                if val[k] > 0.0 {
-                    s[j] = 0.0;
-                }
-            }
-        } else {
-            active_rows.push(i);
-        }
+    for &j in &plan.zeroed {
+        s[j] = 0.0;
     }
-
-    // C = max column sum of R over active rows.
-    let mut colsum = vec![0.0f64; p];
-    for &i in &active_rows {
-        let (idx, val) = r.row(i);
-        for (k, &j) in idx.iter().enumerate() {
-            colsum[j] += val[k];
-        }
-    }
-    let c = colsum.iter().cloned().fold(0.0f64, f64::max);
+    let active_rows = &plan.active_rows;
+    let c = plan.scale_c;
     if c == 0.0 {
         // No active constraints: the prior (with zeroed entries) is it.
         return Ok(IpfResult {
@@ -411,6 +468,41 @@ mod tests {
         assert!(gis(&[1.0], &r, &[1.0], IpfOptions::default()).is_err());
         assert!(gis(&[1.0, 1.0], &r, &[1.0, 2.0], IpfOptions::default()).is_err());
         assert!(gis(&[-1.0, 1.0], &r, &[1.0], IpfOptions::default()).is_err());
+    }
+
+    #[test]
+    fn gis_planned_matches_gis_bitwise() {
+        let r = Csr::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+            ],
+        )
+        .unwrap();
+        let prior = vec![2.0, 1.0, 3.0];
+        let t = vec![4.0, 3.0, 2.5];
+        let plan = GisPlan::build(&r, &t).unwrap();
+        assert_eq!(plan.active_rows, vec![0, 1, 2]);
+        assert!(plan.zeroed.is_empty());
+        let a = gis(&prior, &r, &t, IpfOptions::default()).unwrap();
+        let b = gis_planned(&prior, &r, &t, &plan, IpfOptions::default()).unwrap();
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.iterations, b.iterations);
+
+        // Zero-load rows land in the plan's zeroed list.
+        let t0 = vec![0.0, 3.0, 2.5];
+        let plan0 = GisPlan::build(&r, &t0).unwrap();
+        assert_eq!(plan0.active_rows, vec![1, 2]);
+        assert_eq!(plan0.zeroed, vec![0, 1]);
+
+        // Plan building validates like gis.
+        assert!(GisPlan::build(&r, &[1.0]).is_err());
+        assert!(GisPlan::build(&r, &[1.0, -1.0, 1.0]).is_err());
     }
 
     #[test]

@@ -365,6 +365,23 @@ pub fn ridge_nnls(
     x0: &[f64],
     max_outer: usize,
 ) -> Result<NnlsSolution> {
+    // Column access: row p of Aᵀ is column p of A.
+    let at = a.transpose();
+    ridge_nnls_with(a, &at, b, mu, x0, max_outer)
+}
+
+/// [`ridge_nnls`] with a precomputed transpose `Aᵀ` (the column view the
+/// active-set loop walks). Prepared measurement systems cache the
+/// transpose once and reuse it across intervals; results are
+/// bit-identical to [`ridge_nnls`].
+pub fn ridge_nnls_with(
+    a: &Csr,
+    at: &Csr,
+    b: &[f64],
+    mu: f64,
+    x0: &[f64],
+    max_outer: usize,
+) -> Result<NnlsSolution> {
     let (m, n) = (a.rows(), a.cols());
     if b.len() != m || x0.len() != n {
         return Err(OptError::Invalid(format!(
@@ -373,11 +390,16 @@ pub fn ridge_nnls(
             x0.len()
         )));
     }
+    if at.rows() != n || at.cols() != m {
+        return Err(OptError::Invalid(format!(
+            "ridge_nnls: transpose is {}x{} for A {m}x{n}",
+            at.rows(),
+            at.cols()
+        )));
+    }
     if mu <= 0.0 {
         return Err(OptError::Invalid("ridge_nnls: mu must be positive".into()));
     }
-    // Column access: row p of Aᵀ is column p of A.
-    let at = a.transpose();
     let scale = vector::norm_inf(b).max(vector::norm_inf(x0)).max(1.0);
     let tol = 1e-10 * scale;
 

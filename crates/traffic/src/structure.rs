@@ -2,7 +2,7 @@
 //! hotspot destinations.
 //!
 //! Section 5.2.4 of the paper observes that the simple gravity model is
-//! "reasonably accurate for the European network [but] significantly
+//! "reasonably accurate for the European network \[but\] significantly
 //! underestimates the large demands in the American network", because
 //! "PoPs tend to have a few dominating destinations that differ from PoP
 //! to PoP" — violating the gravity assumption that every source splits

@@ -1,13 +1,13 @@
 //! Full estimator comparison on both evaluation networks — a compact
-//! version of the paper's Table 2.
+//! version of the paper's Table 2, driven end to end by the method
+//! registry: one prepared [`MeasurementSystem`] per network serves
+//! every method of [`Method::all_defaults`].
 //!
 //! ```sh
 //! cargo run --release --example backbone_comparison
 //! ```
 
-use backbone_tm::core::fanout::FanoutEstimator;
-use backbone_tm::core::vardi::VardiEstimator;
-use backbone_tm::core::wcb::worst_case_bounds;
+use backbone_tm::linalg::Workspace;
 use backbone_tm::prelude::*;
 
 fn main() {
@@ -17,9 +17,7 @@ fn main() {
     ] {
         let dataset = EvalDataset::generate(spec, 42).expect("valid spec");
         let snap = dataset.snapshot_problem(dataset.busy_hour().start);
-        let window = dataset.window_problem(dataset.busy_hour());
         let truth_snap = snap.true_demands().expect("truth").to_vec();
-        let truth_mean = window.true_demands().expect("truth").to_vec();
         let thr = CoverageThreshold::Share(0.9);
         let mre = |t: &[f64], e: &[f64]| mean_relative_error(t, e, thr).expect("aligned");
 
@@ -29,57 +27,61 @@ fn main() {
             dataset.topology.n_links()
         );
 
-        let bounds = worst_case_bounds(&snap).expect("LPs solvable");
-        let wcb_prior = bounds.midpoint();
-        println!(
-            "  {:<28} {:.3}",
-            "worst-case-bound prior",
-            mre(&truth_snap, &wcb_prior.demands)
-        );
+        // Prepare once: the shard's shared system serves the snapshot
+        // methods directly and re-anchors onto the window problems of
+        // the time-series methods.
+        let shard = SnapshotShard::new(&dataset);
+        let snap_sys = shard.system_at(dataset.busy_hour().start);
+        let mut ws = Workspace::new();
 
-        let gravity = GravityModel::simple().estimate(&snap).expect("gravity");
-        println!(
-            "  {:<28} {:.3}",
-            "simple gravity prior",
-            mre(&truth_snap, &gravity.demands)
-        );
+        for method in Method::all_defaults() {
+            let (estimate, truth) = match method.window() {
+                None => {
+                    let e = method
+                        .build()
+                        .estimate_system(&snap_sys, &mut ws)
+                        .expect("snapshot method solvable");
+                    (e, truth_snap.clone())
+                }
+                Some(k) => {
+                    let start = dataset.busy_hour().start;
+                    let len = k.min(dataset.series.len().saturating_sub(start));
+                    if len < 2 {
+                        println!("  {:<28} skipped (series too short)", method.label());
+                        continue;
+                    }
+                    let wsys = shard.window_system(start..start + len);
+                    let truth_w = wsys.problem().true_demands().expect("truth").to_vec();
+                    let e = method
+                        .build()
+                        .estimate_system(&wsys, &mut ws)
+                        .expect("window method solvable");
+                    (e, truth_w)
+                }
+            };
+            println!(
+                "  {:<28} {:.3}",
+                method.label(),
+                mre(&truth, &estimate.demands)
+            );
+        }
 
-        let entropy = EntropyEstimator::new(1e3).estimate(&snap).expect("entropy");
-        println!(
-            "  {:<28} {:.3}",
-            "entropy w. gravity prior",
-            mre(&truth_snap, &entropy.demands)
-        );
-
-        let bayes = BayesianEstimator::new(1e3).estimate(&snap).expect("bayes");
-        println!(
-            "  {:<28} {:.3}",
-            "bayes w. gravity prior",
-            mre(&truth_snap, &bayes.demands)
-        );
-
+        // The paper's best combination — Bayes with the WCB midpoint
+        // prior — composes two registry methods by hand.
+        let wcb_prior = Method::new(MethodConfig::Wcb {
+            engine: LpEngine::Auto,
+        })
+        .build()
+        .estimate_system(&snap_sys, &mut ws)
+        .expect("LPs solvable");
         let bayes_wcb = BayesianEstimator::new(1e3)
-            .with_prior(wcb_prior.demands.clone())
-            .estimate(&snap)
+            .with_prior(wcb_prior.demands)
+            .estimate_system(&snap_sys, &mut ws)
             .expect("bayes+wcb");
         println!(
             "  {:<28} {:.3}",
-            "bayes w. WCB prior",
+            "bayes(1e3) w. WCB prior",
             mre(&truth_snap, &bayes_wcb.demands)
-        );
-
-        let fanout = FanoutEstimator::new().estimate(&window).expect("fanout");
-        println!(
-            "  {:<28} {:.3}",
-            "fanout (busy window)",
-            mre(&truth_mean, &fanout.estimate.demands)
-        );
-
-        let vardi = VardiEstimator::new(0.01).estimate(&window).expect("vardi");
-        println!(
-            "  {:<28} {:.3}",
-            "vardi (sigma^-2 = 0.01)",
-            mre(&truth_mean, &vardi.demands)
         );
     }
 }

@@ -1,10 +1,14 @@
-//! Quickstart: generate a small backbone, estimate its traffic matrix
-//! from link loads, and score the result.
+//! Quickstart: generate a small backbone, prepare its measurement
+//! system once, and run several registry-selected estimators over it.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [method ...]
 //! ```
+//!
+//! Methods use the registry grammar (`docs/API.md`), e.g.
+//! `entropy:lambda=1e4` or `bayes:prior=1e2`.
 
+use backbone_tm::linalg::Workspace;
 use backbone_tm::prelude::*;
 
 fn main() {
@@ -19,18 +23,24 @@ fn main() {
         dataset.n_pairs()
     );
 
-    // 2. A snapshot estimation problem at the start of the busy hour:
-    //    the estimator sees link loads and edge totals, not the truth.
+    // 2. A snapshot estimation problem at the start of the busy hour,
+    //    prepared ONCE: the stacked measurement matrix and the derived
+    //    state (Gram, transpose, WCB basis) are cached on the system
+    //    and shared by every method below.
     let problem = dataset.snapshot_problem(dataset.busy_hour().start);
+    let system = MeasurementSystem::prepare(&problem);
 
-    // 3. Three estimators of increasing sophistication.
-    let gravity = GravityModel::simple().estimate(&problem).expect("gravity");
-    let entropy = EntropyEstimator::new(1e3)
-        .estimate(&problem)
-        .expect("entropy");
-    let bayes = BayesianEstimator::new(1e3)
-        .estimate(&problem)
-        .expect("bayes");
+    // 3. Methods picked from the registry — CLI args override the
+    //    default lineup (e.g. `quickstart wcb entropy:lambda=1e4`).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let specs: Vec<String> = if args.is_empty() {
+        ["gravity", "entropy:lambda=1e3", "bayes:prior=1e3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
 
     // 4. Score with the paper's metric: mean relative error over the
     //    demands carrying 90% of traffic (Eq. 8).
@@ -40,7 +50,13 @@ fn main() {
         "demands in the MRE set: {}",
         included_count(truth, threshold).expect("valid threshold")
     );
-    for est in [&gravity, &entropy, &bayes] {
+    let mut ws = Workspace::new();
+    for spec in &specs {
+        let method: Method = spec.parse().unwrap_or_else(|e| panic!("{e}"));
+        let est = method
+            .build()
+            .estimate_system(&system, &mut ws)
+            .expect("estimation succeeds");
         let mre = mean_relative_error(truth, &est.demands, threshold).expect("aligned");
         let rank = spearman_rank_correlation(truth, &est.demands).expect("aligned");
         println!(

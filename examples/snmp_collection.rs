@@ -1,10 +1,12 @@
 //! End-to-end measurement pipeline: poll LSP counters through the
 //! distributed SNMP simulation (jitter, UDP loss, backup pollers),
 //! rebuild the traffic matrix series, and estimate from the *collected*
-//! data instead of the pristine series.
+//! data instead of the pristine series. The estimation method is picked
+//! from the registry via the first CLI argument.
 //!
 //! ```sh
-//! cargo run --release --example snmp_collection
+//! cargo run --release --example snmp_collection [method]
+//! cargo run --release --example snmp_collection -- bayes:prior=1e3
 //! ```
 
 use backbone_tm::collect::{run_collection, CollectionConfig};
@@ -51,16 +53,25 @@ fn main() {
     .with_truth(dataset.series.samples[busy.start].clone())
     .expect("dims");
 
-    let est = EntropyEstimator::new(1e3)
+    let method: Method = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "entropy:lambda=1e3".to_string())
+        .parse()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let est = method
+        .build()
         .estimate(&problem)
-        .expect("entropy");
+        .expect("estimation succeeds");
     let mre = mean_relative_error(
         problem.true_demands().expect("truth"),
         &est.demands,
         CoverageThreshold::Share(0.9),
     )
     .expect("aligned");
-    println!("entropy estimate from collected loads: MRE {mre:.3} vs true matrix");
+    println!(
+        "{} estimate from collected loads: MRE {mre:.3} vs true matrix",
+        method.label()
+    );
 
     // Direct measurement quality: collected vs true rates.
     let truth = &dataset.series.samples[busy.start];

@@ -16,10 +16,8 @@ fn main() {
     let dataset = EvalDataset::generate(DatasetSpec::europe(), 11).expect("valid spec");
     let problem = dataset.snapshot_problem(dataset.busy_hour().start);
     let truth = problem.true_demands().expect("truth").to_vec();
-    let estimate = BayesianEstimator::new(1e3)
-        .estimate(&problem)
-        .expect("bayes")
-        .demands;
+    let method: Method = "bayes:prior=1e3".parse().expect("valid spec");
+    let estimate = method.build().estimate(&problem).expect("bayes").demands;
 
     let topo = &dataset.topology;
     println!(

@@ -17,17 +17,18 @@
 //! ## Quickstart
 //!
 //! ```
+//! use backbone_tm::linalg::Workspace;
 //! use backbone_tm::prelude::*;
 //!
 //! // A small deterministic evaluation scenario: European-style backbone,
-//! // one busy-hour snapshot, gravity prior, entropy estimator.
+//! // one busy-hour snapshot. The measurement system is prepared ONCE
+//! // and shared by every method; methods come from the registry.
 //! let dataset = EvalDataset::generate(DatasetSpec::europe(), 42).unwrap();
 //! let problem = dataset.snapshot_problem(dataset.busy_hour().start);
-//! let prior = GravityModel::simple().estimate(&problem).unwrap();
-//! let estimate = EntropyEstimator::new(1e3)
-//!     .with_prior(prior.clone())
-//!     .estimate(&problem)
-//!     .unwrap();
+//! let system = MeasurementSystem::prepare(&problem);
+//! let mut ws = Workspace::new();
+//! let method: Method = "entropy:lambda=1e3".parse().unwrap();
+//! let estimate = method.build().estimate_system(&system, &mut ws).unwrap();
 //! let mre = mean_relative_error(
 //!     problem.true_demands().unwrap(),
 //!     &estimate.demands,
