@@ -2,7 +2,7 @@
 //! committed previous-PR baseline and fail on regressions.
 //!
 //! ```sh
-//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR3.json BENCH_PR2.json
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR4.json BENCH_PR3.json
 //! ```
 //!
 //! Rules (per network, matched by estimator/ablation name; entries that
@@ -96,8 +96,8 @@ fn networks(doc: &Value) -> Vec<(String, &Value)> {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let new_path = args.next().unwrap_or_else(|| "BENCH_PR3.json".to_string());
-    let base_path = args.next().unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let new_path = args.next().unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let base_path = args.next().unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let new_doc = load(&new_path);
     let base_doc = load(&base_path);
 

@@ -13,9 +13,11 @@
 //! (who wins, where methods fail, where curves flatten) are reproduced.
 //!
 //! `bench` times every registry method (`Method::all_defaults()`) at
-//! three topology scales plus the prepared-system batch path, and
-//! writes `BENCH_PR3.json` (schema documented in `docs/PERF.md`). The
-//! `compare_bench` bin diffs it against the committed `BENCH_PR2.json`
+//! three topology scales, the prepared-system batch path, and the
+//! full-day streaming sweeps (`day288-*`: warm-started StreamEngine vs
+//! the equivalent per-interval cold loop at Europe scale), and writes
+//! `BENCH_PR4.json` (schema documented in `docs/PERF.md`). The
+//! `compare_bench` bin diffs it against the committed `BENCH_PR3.json`
 //! baseline and fails CI on wall-time or MRE regressions. It is NOT
 //! part of `all`.
 
@@ -730,15 +732,16 @@ fn table2() {
 ///
 /// Times every registry method ([`Method::all_defaults`]) at three
 /// topology scales, the prepared-system batch path over 8-snapshot
-/// sweeps, and the sparse engine against its densified baseline on the
+/// sweeps, the full-day streaming sweeps (warm vs cold, Europe scale),
+/// and the sparse engine against its densified baseline on the
 /// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
-/// `BENCH_PR3.json` in the working directory. Schema: `docs/PERF.md`.
+/// `BENCH_PR4.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR3.json — compare_bench diffs it against BENCH_PR2.json",
+        "writes BENCH_PR4.json — compare_bench diffs it against BENCH_PR3.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -835,6 +838,76 @@ fn bench_mode() {
             );
         }
 
+        // Full-day streaming sweeps: every method over all 288 intervals
+        // through one StreamEngine. `day288-<label>` reports the
+        // warm-started engine (the PR 4 tentpole); `cold_ms` and
+        // `speedup_vs_cold` record the equivalent per-interval cold
+        // loop (bit-identical to the batch path) it replaces. Europe
+        // scale only — America's full day belongs in a soak run, not a
+        // CI bench.
+        if name == "europe" {
+            let day = d.series.len();
+            for spec in [
+                "entropy:lambda=1e3",
+                "bayes:prior=1e3",
+                "kruithof-full",
+                "fanout:window=10",
+                "vardi:w=0.01,window=50",
+                "wcb:engine=revised",
+            ] {
+                let method: Method = spec.parse().expect("valid spec");
+                let ms = vec![method.clone()];
+                let sweep = |mode: StreamMode| {
+                    let mut engine =
+                        StreamEngine::for_dataset(&d, &ms, mode).expect("engine builds");
+                    engine
+                        .run(dataset_stream(&d, 0..day).expect("range valid"))
+                        .expect("sweep runs")
+                };
+                // One warm-up sweep, then one timed sweep whose ticks
+                // also provide the MRE (no third run).
+                std::hint::black_box(sweep(StreamMode::Warm));
+                let start = std::time::Instant::now();
+                let ticks = sweep(StreamMode::Warm);
+                let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+                let cold_ms = perf::time_ms(1, || sweep(StreamMode::Cold));
+                // Day-mean MRE of the warm sweep (per-interval truth for
+                // snapshot methods, window-mean truth for windowed ones).
+                let window = method.window();
+                let mut mre_sum = 0.0;
+                let mut mre_n = 0usize;
+                for tick in &ticks {
+                    let Some(Ok(est)) = &tick.estimates[0] else {
+                        continue;
+                    };
+                    let truth = match window {
+                        None => d.demands_at(tick.interval).expect("in range").to_vec(),
+                        Some(w) => {
+                            let len = w.min(tick.interval + 1);
+                            d.series
+                                .window_mean(tick.interval + 1 - len, len)
+                                .expect("in range")
+                        }
+                    };
+                    mre_sum += paper_mre(&truth, &est.demands);
+                    mre_n += 1;
+                }
+                let day_mre = mre_sum / mre_n.max(1) as f64;
+                let speedup = cold_ms / warm_ms.max(1e-9);
+                let label = format!("day288-{}", method.label());
+                println!(
+                    "    {label:<28} warm {warm_ms:>9.1} ms  cold {cold_ms:>9.1} ms  speedup {speedup:>5.2}x  mre {day_mre:.3}"
+                );
+                estimators.push(Value::Map(vec![
+                    ("name".to_string(), Value::Str(label)),
+                    ("wall_ms".to_string(), Value::F64(warm_ms)),
+                    ("mre".to_string(), Value::F64(day_mre)),
+                    ("cold_ms".to_string(), Value::F64(cold_ms)),
+                    ("speedup_vs_cold".to_string(), Value::F64(speedup)),
+                ]));
+            }
+        }
+
         // Sparse-vs-dense ablations on the two hot paths the sparse-first
         // engine targets: the entropy SPG loop and the Gram-CD NNLS.
         let stot = p.total_traffic().max(f64::MIN_POSITIVE);
@@ -901,7 +974,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(3)),
+        ("pr".to_string(), Value::I64(4)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -914,8 +987,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR3.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR3.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR4.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR4.json ({} bytes)", json.len());
 }
 
 /// Extension: the Cao et al. method the paper left as future work.

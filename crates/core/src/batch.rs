@@ -33,6 +33,7 @@ use tm_traffic::EvalDataset;
 use crate::fanout::{FanoutEstimate, FanoutEstimator};
 use crate::method::Method;
 use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator};
+use crate::stream::{StreamEngine, StreamMode, StreamTick};
 use crate::system::MeasurementSystem;
 use crate::wcb::{DemandBounds, LpEngine, WcbSolver};
 use crate::Result;
@@ -175,28 +176,42 @@ impl<'d> SnapshotShard<'d> {
     /// Measurement vector of sample `k` — the only per-interval data:
     /// no routing clone, no problem construction.
     pub fn measurements_at(&self, k: usize) -> Vec<f64> {
-        let s = self
+        let loads = self
             .dataset
-            .demands_at(k)
+            .interval_loads(k)
             .expect("sample index within series");
-        let mut t = self
-            .dataset
-            .routing
-            .interior_loads(s)
-            .expect("consistent demands");
-        t.extend(
-            self.dataset
-                .routing
-                .ingress_loads(s)
-                .expect("consistent demands"),
-        );
-        t.extend(
-            self.dataset
-                .routing
-                .egress_loads(s)
-                .expect("consistent demands"),
-        );
+        let mut t = loads.link_loads;
+        t.extend(loads.ingress);
+        t.extend(loads.egress);
         t
+    }
+
+    /// A [`StreamEngine`] sharing this shard's prepared system: the
+    /// sequential, warm-started view of the same full-day workload the
+    /// parallel sweeps above cover. In [`StreamMode::Cold`] every tick
+    /// is bit-identical to the corresponding
+    /// [`SnapshotShard::estimate_snapshots`] entry; in
+    /// [`StreamMode::Warm`] per-method state carries across ticks (see
+    /// [`crate::stream`]).
+    pub fn stream_engine(&self, methods: &[Method], mode: StreamMode) -> Result<StreamEngine> {
+        StreamEngine::from_system(self.system.clone(), methods, mode)
+    }
+
+    /// Drive a [`StreamEngine`] over the dataset's samples in `range`,
+    /// one tick per 5-minute interval.
+    pub fn stream(
+        &self,
+        methods: &[Method],
+        mode: StreamMode,
+        range: Range<usize>,
+    ) -> Result<Vec<StreamTick>> {
+        let mut engine = self.stream_engine(methods, mode)?;
+        let intervals = self
+            .dataset
+            .intervals(range)
+            .map_err(|e| crate::EstimationError::InvalidProblem(e.to_string()))?
+            .map(|(_, loads)| loads);
+        engine.run(intervals)
     }
 
     /// Estimate the given samples in parallel through the shared
@@ -228,11 +243,14 @@ impl<'d> SnapshotShard<'d> {
         };
         // Prefer the shard system's cached phase-1 basis; if snapshot 0
         // happens to be degenerate/infeasible (the cache anchors there),
-        // fall back to a basis anchored on the first *requested* sample
-        // rather than failing the whole sweep.
+        // fall back to a basis anchored on the first *requested* sample.
+        // If even that is infeasible, run without a shared warm-start
+        // base entirely — every sample then performs its own phase 1
+        // and reports its own error, instead of one bad anchor failing
+        // the whole sweep.
         let fallback_base;
-        let base = match self.system.wcb_solver() {
-            Ok(b) => b,
+        let base: Option<&WcbSolver> = match self.system.wcb_solver() {
+            Ok(b) => Some(b),
             Err(_) => {
                 let built = WcbSolver::from_parts(
                     self.system.matrix(),
@@ -242,9 +260,9 @@ impl<'d> SnapshotShard<'d> {
                 match built {
                     Ok(b) => {
                         fallback_base = b;
-                        &fallback_base
+                        Some(&fallback_base)
                     }
-                    Err(e) => return samples.iter().map(|_| Err(e.clone())).collect(),
+                    Err(_) => None,
                 }
             }
         };
@@ -255,10 +273,17 @@ impl<'d> SnapshotShard<'d> {
                 .iter()
                 .map(|&k| -> Result<DemandBounds> {
                     let t = self.measurements_at(k);
-                    let mut solver = base.clone();
-                    if !solver.rebase(&t)? {
-                        solver = WcbSolver::from_parts(self.system.matrix(), t, LpEngine::Auto)?;
-                    }
+                    let solver = match base {
+                        Some(base) => {
+                            let mut solver = base.clone();
+                            if !solver.rebase(&t)? {
+                                solver =
+                                    WcbSolver::from_parts(self.system.matrix(), t, LpEngine::Auto)?;
+                            }
+                            solver
+                        }
+                        None => WcbSolver::from_parts(self.system.matrix(), t, LpEngine::Auto)?,
+                    };
                     solver.bounds_ws(&mut ws)
                 })
                 .collect::<Vec<_>>()
@@ -395,6 +420,64 @@ mod tests {
             }
         }
         assert!(shard.wcb_bounds(&[]).is_empty());
+    }
+
+    #[test]
+    fn shard_wcb_falls_back_when_snapshot_0_is_infeasible() {
+        // The shard system's phase-1 basis is cached on snapshot 0; a
+        // garbled snapshot 0 (here: a negative demand large enough to
+        // drive an edge total negative, which no s ≥ 0 can reproduce)
+        // must not fail the whole sweep — the fallback anchors a fresh
+        // basis on the first *requested* sample instead.
+        let mut d = EvalDataset::generate(DatasetSpec::tiny(), 29).unwrap();
+        let total: f64 = d.series.samples[0].iter().sum();
+        d.series.samples[0][0] = -2.0 * total;
+        let shard = SnapshotShard::new(&d);
+        // Snapshot 0's own system is genuinely infeasible.
+        assert!(shard.system().wcb_solver().is_err());
+        let samples: Vec<usize> = (1..5).collect();
+        let shared = shard.wcb_bounds(&samples);
+        let scale = d.snapshot_problem(1).total_traffic();
+        for (i, &k) in samples.iter().enumerate() {
+            let fresh = worst_case_bounds(&d.snapshot_problem(k)).unwrap();
+            let s = shared[i]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("snapshot {k} must fall back to a fresh basis: {e}"));
+            for p in 0..fresh.lower.len() {
+                assert!(
+                    (fresh.lower[p] - s.lower[p]).abs() <= 1e-7 * scale,
+                    "snapshot {k} pair {p} lower"
+                );
+                assert!(
+                    (fresh.upper[p] - s.upper[p]).abs() <= 1e-7 * scale,
+                    "snapshot {k} pair {p} upper"
+                );
+            }
+        }
+        // Asking for the garbled snapshot itself reports a per-sample
+        // error without disturbing the rest of the sweep.
+        let mixed = shard.wcb_bounds(&[0, 1]);
+        assert!(mixed[0].is_err());
+        assert!(mixed[1].is_ok());
+    }
+
+    #[test]
+    fn shard_stream_cold_matches_parallel_sweep() {
+        // The shard's stream-engine view: cold ticks are bit-identical
+        // to the parallel estimate_snapshots entries.
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 31).unwrap();
+        let shard = SnapshotShard::new(&d);
+        let method: Method = "bayes:prior=1e3".parse().unwrap();
+        let samples: Vec<usize> = (0..4).collect();
+        let parallel = shard.estimate_snapshots(&*method.build(), &samples);
+        let ticks = shard
+            .stream(std::slice::from_ref(&method), StreamMode::Cold, 0..4)
+            .unwrap();
+        for (i, tick) in ticks.iter().enumerate() {
+            let streamed = tick.estimates[0].as_ref().unwrap().as_ref().unwrap();
+            let batched = parallel[i].as_ref().unwrap();
+            assert_eq!(streamed.demands, batched.demands, "sample {i}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use tm_linalg::Workspace;
 use tm_opt::nnls;
+use tm_opt::nnls::RidgeKernel;
 
 use crate::gravity::GravityModel;
 use crate::problem::{Estimate, Estimator};
@@ -46,10 +47,33 @@ impl BayesianEstimator {
         self.lambda
     }
 
+    /// [`Estimator::estimate_system`] with a warm-start handle carried
+    /// across the intervals of a streaming sweep: the factorized
+    /// dual-form kernel `A_F·A_Fᵀ + μI` of the previous interval's
+    /// active set is cached ([`RidgeKernel`]); when the set has not
+    /// moved — the common case between consecutive intervals — one
+    /// cached-Cholesky solve plus a KKT check replaces the whole
+    /// active-set loop. The objective is strictly convex, so warm and
+    /// cold solutions agree up to solver tolerance. A default handle
+    /// starts exactly like the cold path (and installs the kernel).
+    pub fn estimate_system_warm(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        ws: &mut Workspace,
+        warm: &mut BayesWarmStart,
+    ) -> Result<Estimate> {
+        self.solve(sys, ws, Some(warm))
+    }
+
     /// The solve, with normalization temporaries drawn from (and
     /// returned to) the workspace pool. The measurement matrix and its
     /// transpose (the NNLS column view) come from the prepared system.
-    fn solve(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
+    fn solve(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        ws: &mut Workspace,
+        warm: Option<&mut BayesWarmStart>,
+    ) -> Result<Estimate> {
         if !(self.lambda > 0.0) {
             return Err(crate::error::EstimationError::InvalidProblem(
                 "bayes: lambda must be positive".into(),
@@ -82,7 +106,12 @@ impl BayesianEstimator {
         }
 
         let mu = 1.0 / self.lambda;
-        let sol = nnls::ridge_nnls_with(a, sys.transpose(), &t, mu, &prior, 0)?;
+        let sol = match warm {
+            Some(state) => {
+                nnls::ridge_nnls_kernel(a, sys.transpose(), &t, mu, &prior, 0, &mut state.kernel)?
+            }
+            None => nnls::ridge_nnls_with(a, sys.transpose(), &t, mu, &prior, 0)?,
+        };
         let mut demands = ws.take(sol.x.len());
         for (d, &v) in demands.iter_mut().zip(&sol.x) {
             *d = v * stot;
@@ -97,9 +126,17 @@ impl BayesianEstimator {
     }
 }
 
+/// Warm-start state carried across the intervals of a streaming sweep —
+/// see [`BayesianEstimator::estimate_system_warm`].
+#[derive(Debug, Clone, Default)]
+pub struct BayesWarmStart {
+    /// Cached factorized active-set kernel.
+    kernel: Option<RidgeKernel>,
+}
+
 impl Estimator for BayesianEstimator {
     fn estimate_system(&self, sys: &MeasurementSystem<'_>, ws: &mut Workspace) -> Result<Estimate> {
-        self.solve(sys, ws)
+        self.solve(sys, ws, None)
     }
 
     fn name(&self) -> String {

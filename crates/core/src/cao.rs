@@ -56,11 +56,6 @@ impl CaoEstimator {
     /// time-series window, reusing its cached measurement matrix and
     /// second-moment system.
     pub fn estimate_prepared(&self, msys: &MeasurementSystem<'_>) -> Result<CaoEstimate> {
-        if !(self.c > 0.0) || self.moment_weight < 0.0 {
-            return Err(EstimationError::InvalidProblem(
-                "cao: need c > 0 and moment_weight >= 0".into(),
-            ));
-        }
         let problem = msys.problem();
         let ts = problem
             .time_series()
@@ -70,47 +65,91 @@ impl CaoEstimator {
                 "cao: need at least 2 intervals".into(),
             ));
         }
-        let a = msys.matrix();
         let mut series = Vec::with_capacity(ts.len());
         for i in 0..ts.len() {
             series.push(msys.measurements_at(i)?);
         }
-        let sys = msys.second_moments();
-        let moments = sys.sample_moments(&series)?;
-
+        let moments = msys.second_moments().sample_moments(&series)?;
         let stot: f64 = ts
             .ingress
             .iter()
             .map(|v| v.iter().sum::<f64>())
             .sum::<f64>()
             / ts.len() as f64;
-        let stot = stot.max(f64::MIN_POSITIVE);
+        self.estimate_from_moments(msys, &moments, stot, None)
+    }
+
+    /// Estimate directly from precomputed window moments — the
+    /// incremental entry point a streaming engine feeds from its
+    /// rolling accumulators. `mean_ingress` is the mean per-interval
+    /// total ingress traffic over the window. `warm` (optional) carries
+    /// the previous interval's rates, skipping the expensive
+    /// first-moment initialization SPG. With `warm = None` this is
+    /// exactly the cold path of [`CaoEstimator::estimate_prepared`].
+    pub fn estimate_from_moments(
+        &self,
+        msys: &MeasurementSystem<'_>,
+        moments: &crate::covariance::SampleMoments,
+        mean_ingress: f64,
+        warm: Option<&mut CaoWarmStart>,
+    ) -> Result<CaoEstimate> {
+        if !(self.c > 0.0) || self.moment_weight < 0.0 {
+            return Err(EstimationError::InvalidProblem(
+                "cao: need c > 0 and moment_weight >= 0".into(),
+            ));
+        }
+        let a = msys.matrix();
+        if moments.mean.len() != a.rows() {
+            return Err(EstimationError::InvalidProblem(format!(
+                "cao: moments carry {} mean rows for {} measurement rows",
+                moments.mean.len(),
+                a.rows()
+            )));
+        }
+        let sys = msys.second_moments();
+        if moments.cov_vech.len() != sys.matrix.rows() {
+            return Err(EstimationError::InvalidProblem(format!(
+                "cao: moments carry {} covariance rows for {}",
+                moments.cov_vech.len(),
+                sys.matrix.rows()
+            )));
+        }
+
+        let stot = mean_ingress.max(f64::MIN_POSITIVE);
         let t_hat: Vec<f64> = moments.mean.iter().map(|v| v / stot).collect();
         let cov_hat: Vec<f64> = moments.cov_vech.iter().map(|v| v / (stot * stot)).collect();
 
-        // Initialize from first moments only.
-        let mut lambda = {
-            let mut buf_r = vec![0.0; a.rows()];
-            let mut buf_g = vec![0.0; a.cols()];
-            spg::spg(
-                |x: &[f64], grad: &mut [f64]| {
-                    a.matvec_into(x, &mut buf_r);
-                    for (i, ri) in buf_r.iter_mut().enumerate() {
-                        *ri -= t_hat[i];
-                    }
-                    a.tr_matvec_into(&buf_r, &mut buf_g);
-                    grad.copy_from_slice(&buf_g.iter().map(|g| 2.0 * g).collect::<Vec<_>>());
-                    buf_r.iter().map(|r| r * r).sum::<f64>()
-                },
-                spg::project_nonneg,
-                vec![1.0 / a.cols() as f64; a.cols()],
-                SpgOptions {
-                    max_iter: 1500,
-                    tol: 1e-8,
-                    ..Default::default()
-                },
-            )?
-            .x
+        // Initialize from first moments only — or, on the streaming
+        // path, from the previous interval's rates (the alternating
+        // loop below re-fits φ first, so the initialization SPG is the
+        // only work a warm start can skip entirely).
+        let mut lambda = match warm.as_deref() {
+            Some(state) if state.demands.len() == a.cols() => {
+                state.demands.iter().map(|&v| (v / stot).max(0.0)).collect()
+            }
+            _ => {
+                let mut buf_r = vec![0.0; a.rows()];
+                let mut buf_g = vec![0.0; a.cols()];
+                spg::spg(
+                    |x: &[f64], grad: &mut [f64]| {
+                        a.matvec_into(x, &mut buf_r);
+                        for (i, ri) in buf_r.iter_mut().enumerate() {
+                            *ri -= t_hat[i];
+                        }
+                        a.tr_matvec_into(&buf_r, &mut buf_g);
+                        grad.copy_from_slice(&buf_g.iter().map(|g| 2.0 * g).collect::<Vec<_>>());
+                        buf_r.iter().map(|r| r * r).sum::<f64>()
+                    },
+                    spg::project_nonneg,
+                    vec![1.0 / a.cols() as f64; a.cols()],
+                    SpgOptions {
+                        max_iter: 1500,
+                        tol: 1e-8,
+                        ..Default::default()
+                    },
+                )?
+                .x
+            }
         };
 
         let w = self.moment_weight;
@@ -172,6 +211,9 @@ impl CaoEstimator {
         }
 
         let demands: Vec<f64> = lambda.iter().map(|&v| v * stot).collect();
+        if let Some(state) = warm {
+            state.demands = demands.clone();
+        }
         Ok(CaoEstimate {
             estimate: Estimate {
                 demands,
@@ -180,6 +222,14 @@ impl CaoEstimator {
             phi,
         })
     }
+}
+
+/// Warm-start state carried across the intervals of a streaming sweep —
+/// see [`CaoEstimator::estimate_from_moments`].
+#[derive(Debug, Clone, Default)]
+pub struct CaoWarmStart {
+    /// Previous interval's demand estimate (raw Mbps units).
+    demands: Vec<f64>,
 }
 
 impl Estimator for CaoEstimator {

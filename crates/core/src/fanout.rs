@@ -31,6 +31,12 @@ use crate::problem::{Estimate, EstimationProblem, Estimator};
 use crate::system::MeasurementSystem;
 use crate::Result;
 
+/// Below this many OD pairs the streaming path solves the fanout QP by
+/// one direct dense KKT factorization (projected CG pays hundreds of
+/// sparse matvecs per tick for the same unique minimizer at that
+/// size); the cold/batch path always uses the sparse CG solver.
+pub const DENSE_KKT_PAIRS: usize = 256;
+
 /// Constant-fanout time-series estimator.
 #[derive(Debug, Clone)]
 pub struct FanoutEstimator {
@@ -99,33 +105,70 @@ impl FanoutEstimator {
         self.estimate_impl(&MeasurementSystem::prepare(problem), Some(gram), ws)
     }
 
+    /// Estimate directly from precomputed raw window aggregates — the
+    /// incremental entry point a streaming engine feeds from its
+    /// rolling sums, updated in `O(N² + nnz)` per tick instead of
+    /// recomputed per window. Aggregates built by
+    /// [`FanoutWindowStats::from_series`] describe the same normal
+    /// equations as the cold path of
+    /// [`FanoutEstimator::estimate_prepared`] (identical up to
+    /// floating-point rounding of the re-ordered sums); at moderate
+    /// scale
+    /// (≤ [`DENSE_KKT_PAIRS`] pairs) the equality-constrained QP is
+    /// solved by one direct dense KKT factorization instead of
+    /// projected CG — the same unique minimizer, at a fraction of the
+    /// per-tick cost.
+    pub fn estimate_from_stats(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        stats: &FanoutWindowStats,
+        ws: &mut Workspace,
+    ) -> Result<FanoutEstimate> {
+        let dense = sys.n_pairs() <= DENSE_KKT_PAIRS;
+        self.solve_from_stats(sys, None, stats, ws, dense)
+    }
+
     fn estimate_impl(
         &self,
         sys: &MeasurementSystem<'_>,
         gram_override: Option<&Csr>,
         ws: &mut Workspace,
     ) -> Result<FanoutEstimate> {
+        let stats = FanoutWindowStats::from_series(sys)?;
+        self.solve_from_stats(sys, gram_override, &stats, ws, false)
+    }
+
+    fn solve_from_stats(
+        &self,
+        sys: &MeasurementSystem<'_>,
+        gram_override: Option<&Csr>,
+        stats: &FanoutWindowStats,
+        ws: &mut Workspace,
+        dense_kkt: bool,
+    ) -> Result<FanoutEstimate> {
         let problem = sys.problem();
-        let ts = problem
-            .time_series()
-            .ok_or(EstimationError::MissingTimeSeries)?;
-        let k_len = ts.len();
-        let a = sys.matrix();
+        let k_len = stats.k_len;
         let pairs = problem.pairs();
         let n = problem.n_nodes();
         let p_count = pairs.count();
+        if stats.te_sum.len() != n || stats.g_terms.len() != p_count {
+            return Err(EstimationError::InvalidProblem(format!(
+                "fanout: window stats sized {}x{} for {n} nodes / {p_count} pairs",
+                stats.te_sum.len(),
+                stats.g_terms.len()
+            )));
+        }
+        if k_len == 0 {
+            return Err(EstimationError::InvalidProblem(
+                "fanout: empty window aggregates".into(),
+            ));
+        }
 
         // Precompute src index per pair.
         let src_of: Vec<usize> = (0..p_count).map(|p| pairs.pair(p).0 .0).collect();
 
         // Normalize measurements to O(1).
-        let stot: f64 = ts
-            .ingress
-            .iter()
-            .map(|v| v.iter().sum::<f64>())
-            .sum::<f64>()
-            / k_len as f64;
-        let stot = stot.max(f64::MIN_POSITIVE);
+        let stot = (stats.ingress_total() / k_len as f64).max(f64::MIN_POSITIVE);
 
         // The stacked normal equations factor algebraically: with
         // B_k = A·S[k] and S[k] = diag(s^k), s^k_p = t_e(src(p))[k]/stot,
@@ -136,9 +179,9 @@ impl FanoutEstimator {
         // where G = AᵀA (sparse, pattern = pairs sharing a measurement
         // row, computed ONCE — or shared across a whole snapshot shard)
         // and T[a][b] = Σ_k s̃_a^k·s̃_b^k is an N×N source cross-moment
-        // table. This replaces the per-interval dense accumulation with
-        // O(nnz(G) + K·N²) work and keeps H sparse for the projected-CG
-        // solve below.
+        // table, carried by the window aggregates. This replaces the
+        // per-interval dense accumulation with O(nnz(G) + N²) work and
+        // keeps H sparse for the projected-CG solve below.
         let g_mat = match gram_override {
             Some(g) => {
                 if g.rows() != p_count || g.cols() != p_count {
@@ -153,47 +196,26 @@ impl FanoutEstimator {
             }
             None => sys.gram(),
         };
-        // Flattened N×N cross-moment table from the workspace pool.
+        // Flattened N×N cross-moment table, normalized from the raw sums.
+        let inv2 = 1.0 / (stot * stot);
         let mut cross = ws.take(n * n);
-        for te in &ts.ingress {
-            for src_a in 0..n {
-                let sa = te[src_a] / stot;
-                if sa == 0.0 {
-                    continue;
-                }
-                for src_b in 0..n {
-                    cross[src_a * n + src_b] += sa * te[src_b] / stot;
-                }
-            }
+        for (d, &raw) in cross.iter_mut().zip(&stats.cross) {
+            *d = raw * inv2;
         }
         let h = g_mat.mapped_values(|p, q, v| v * cross[src_of[p] * n + src_of[q]]);
 
-        // g = Σ_k S[k]·Aᵀ·t̃[k]: the K transposed products are
-        // independent — compute them in parallel, then fold in interval
-        // order so the sum is bit-identical to the serial loop.
-        let intervals: Vec<usize> = (0..k_len).collect();
-        let tr_products = tm_par::par_map(&intervals, |&k| -> Result<Vec<f64>> {
-            let t = problem.measurements_at(k)?;
-            let scaled: Vec<f64> = t.iter().map(|v| v / stot).collect();
-            Ok(a.tr_matvec(&scaled))
-        });
+        // g = Σ_k S[k]·Aᵀ·t̃[k], normalized from the raw per-pair sums.
         let mut g = ws.take(p_count);
-        for (k, product) in tr_products.into_iter().enumerate() {
-            let u = product?;
-            let te = &ts.ingress[k];
-            for p in 0..p_count {
-                g[p] += te[src_of[p]] / stot * u[p];
-            }
+        for (d, &raw) in g.iter_mut().zip(&stats.g_terms) {
+            *d = raw * inv2;
         }
 
         // Gravity-fanout prior: α_nm ∝ mean egress share of m (excluding
         // the source itself), the same assumption as the simple gravity
         // model expressed in fanout space.
         let mut tx_mean = ws.take(n);
-        for tx in &ts.egress {
-            for (i, &v) in tx.iter().enumerate() {
-                tx_mean[i] += v / k_len as f64;
-            }
+        for (d, &raw) in tx_mean.iter_mut().zip(&stats.tx_sum) {
+            *d = raw / k_len as f64;
         }
         let tx_total: f64 = tx_mean.iter().sum();
         let mut alpha_prior = ws.take(p_count);
@@ -224,15 +246,18 @@ impl FanoutEstimator {
             groups,
             sums: vec![1.0; n],
         };
-        let mut alpha = qp::solve_group_sum_qp_sparse(&h, &g, &constraints, rho, 1e-12, 0)?;
+        let mut alpha = if dense_kkt {
+            let (cmat, dvec) = constraints.to_matrix(p_count)?;
+            qp::solve_eq_qp(&h.to_dense(), &g, &cmat, &dvec, rho)?.x
+        } else {
+            qp::solve_group_sum_qp_sparse(&h, &g, &constraints, rho, 1e-12, 0)?
+        };
         qp::clip_and_renormalize(&mut alpha, &constraints);
 
         // Implied mean demands over the window: α_p · mean_k t_e(src(p)).
         let mut te_mean = ws.take(n);
-        for te in &ts.ingress {
-            for (i, &v) in te.iter().enumerate() {
-                te_mean[i] += v / k_len as f64;
-            }
+        for (d, &raw) in te_mean.iter_mut().zip(&stats.te_sum) {
+            *d = raw / k_len as f64;
         }
         let mut demands = ws.take(p_count);
         for (p, d) in demands.iter_mut().enumerate() {
@@ -251,6 +276,105 @@ impl FanoutEstimator {
                 method: format!("fanout(K={k_len})"),
             },
         })
+    }
+}
+
+/// Raw (unnormalized) window aggregates of the fanout normal equations —
+/// everything [`FanoutEstimator::estimate_from_stats`] needs from a
+/// `K`-interval window. Each field is a plain sum over the window's
+/// intervals, so a streaming engine maintains them incrementally: add
+/// the entering interval's contribution, subtract the leaving one's.
+#[derive(Debug, Clone)]
+pub struct FanoutWindowStats {
+    /// Number of intervals aggregated.
+    pub k_len: usize,
+    /// Flattened `N×N` source cross-moment table `Σ_k t_e(a)·t_e(b)`.
+    pub cross: Vec<f64>,
+    /// Per-pair right-hand-side terms `Σ_k t_e(src(p))[k]·(Aᵀ·t[k])[p]`.
+    pub g_terms: Vec<f64>,
+    /// Per-node ingress sums `Σ_k t_e(n)[k]`.
+    pub te_sum: Vec<f64>,
+    /// Per-node egress sums `Σ_k t_x(n)[k]`.
+    pub tx_sum: Vec<f64>,
+}
+
+impl FanoutWindowStats {
+    /// Aggregate a prepared system's full time-series window (the cold
+    /// path). The `K` transposed products are independent — computed in
+    /// parallel, folded in interval order so the sums are deterministic.
+    pub fn from_series(sys: &MeasurementSystem<'_>) -> Result<Self> {
+        let problem = sys.problem();
+        let ts = problem
+            .time_series()
+            .ok_or(EstimationError::MissingTimeSeries)?;
+        let a = sys.matrix();
+        let n = problem.n_nodes();
+        let p_count = problem.n_pairs();
+        let pairs = problem.pairs();
+        let src_of: Vec<usize> = (0..p_count).map(|p| pairs.pair(p).0 .0).collect();
+
+        let k_len = ts.len();
+        let intervals: Vec<usize> = (0..k_len).collect();
+        let tr_products = tm_par::par_map(&intervals, |&k| -> Result<Vec<f64>> {
+            Ok(a.tr_matvec(&problem.measurements_at(k)?))
+        });
+        let mut stats = FanoutWindowStats::empty(n, p_count);
+        for (k, product) in tr_products.into_iter().enumerate() {
+            stats.add_interval(&ts.ingress[k], &ts.egress[k], &product?, &src_of);
+        }
+        Ok(stats)
+    }
+
+    /// Zeroed aggregates for `n` nodes and `p_count` pairs.
+    pub fn empty(n: usize, p_count: usize) -> Self {
+        FanoutWindowStats {
+            k_len: 0,
+            cross: vec![0.0; n * n],
+            g_terms: vec![0.0; p_count],
+            te_sum: vec![0.0; n],
+            tx_sum: vec![0.0; n],
+        }
+    }
+
+    /// Add one interval's contribution: ingress/egress totals plus the
+    /// transposed product `u = Aᵀ·t` of its stacked measurement vector.
+    pub fn add_interval(&mut self, te: &[f64], tx: &[f64], u: &[f64], src_of: &[usize]) {
+        self.accumulate(te, tx, u, src_of, 1.0);
+        self.k_len += 1;
+    }
+
+    /// Subtract one interval's contribution (the window's leaving edge).
+    pub fn remove_interval(&mut self, te: &[f64], tx: &[f64], u: &[f64], src_of: &[usize]) {
+        self.accumulate(te, tx, u, src_of, -1.0);
+        self.k_len -= 1;
+    }
+
+    fn accumulate(&mut self, te: &[f64], tx: &[f64], u: &[f64], src_of: &[usize], sign: f64) {
+        let n = self.te_sum.len();
+        for a in 0..n {
+            let sa = sign * te[a];
+            if sa == 0.0 {
+                continue;
+            }
+            let row = &mut self.cross[a * n..(a + 1) * n];
+            for (c, &tb) in row.iter_mut().zip(te) {
+                *c += sa * tb;
+            }
+        }
+        for (i, &v) in te.iter().enumerate() {
+            self.te_sum[i] += sign * v;
+        }
+        for (i, &v) in tx.iter().enumerate() {
+            self.tx_sum[i] += sign * v;
+        }
+        for (p, g) in self.g_terms.iter_mut().enumerate() {
+            *g += sign * te[src_of[p]] * u[p];
+        }
+    }
+
+    /// Total ingress traffic aggregated over the window.
+    pub fn ingress_total(&self) -> f64 {
+        self.te_sum.iter().sum()
     }
 }
 

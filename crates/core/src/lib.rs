@@ -71,6 +71,7 @@ pub mod measure;
 pub mod method;
 pub mod metrics;
 pub mod problem;
+pub mod stream;
 pub mod system;
 pub mod vardi;
 pub mod wcb;
@@ -78,6 +79,7 @@ pub mod wcb;
 pub use error::EstimationError;
 pub use method::{Method, MethodConfig};
 pub use problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
+pub use stream::{IntervalStream, StreamEngine, StreamMode, StreamTick};
 pub use system::MeasurementSystem;
 
 /// Crate-wide result alias.
@@ -101,6 +103,7 @@ pub mod prelude {
         included_count, mean_relative_error, rmse, spearman_rank_correlation, CoverageThreshold,
     };
     pub use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
+    pub use crate::stream::{dataset_stream, IntervalStream, StreamEngine, StreamMode, StreamTick};
     pub use crate::system::MeasurementSystem;
     pub use crate::vardi::VardiEstimator;
     pub use crate::wcb::{

@@ -152,21 +152,43 @@ impl<'a> Params<'a> {
         }
     }
 
+    /// A window length: like [`Params::usize`] but zero is rejected —
+    /// an empty measurement window is meaningless for every
+    /// time-series method and would otherwise surface as a panic deep
+    /// inside a sweep.
+    fn window(&mut self, keys: &[&str], default: usize) -> Result<usize, MethodParseError> {
+        let w = self.usize(keys, default)?;
+        if w == 0 {
+            return Err(MethodParseError(format!(
+                "`{}`: window must be at least 1",
+                self.spec
+            )));
+        }
+        Ok(w)
+    }
+
     fn raw(&mut self, keys: &[&str]) -> Result<Option<&'a str>, MethodParseError> {
-        let mut found = None;
+        let mut found: Option<(&str, &str)> = None;
         for (i, (k, v)) in self.pairs.iter().enumerate() {
             if keys.contains(k) {
-                if found.is_some() {
-                    return Err(MethodParseError(format!(
-                        "`{}`: duplicate key `{k}`",
-                        self.spec
-                    )));
+                if let Some((first_key, _)) = found {
+                    // Reject duplicates loudly instead of silently
+                    // letting the last occurrence win; name the alias
+                    // when the two spellings differ.
+                    return Err(MethodParseError(if first_key == *k {
+                        format!("`{}`: duplicate key `{k}`", self.spec)
+                    } else {
+                        format!(
+                            "`{}`: duplicate key `{k}` (alias of `{first_key}`)",
+                            self.spec
+                        )
+                    }));
                 }
                 self.used[i] = true;
-                found = Some(*v);
+                found = Some((k, v));
             }
         }
-        Ok(found)
+        Ok(found.map(|(_, v)| v))
     }
 
     fn finish(self) -> Result<(), MethodParseError> {
@@ -223,17 +245,17 @@ impl FromStr for MethodConfig {
             "vardi" => MethodConfig::Vardi {
                 moment_weight: p.f64(&["w"], 0.01)?,
                 max_iter: p.usize(&["iters"], 3_000)?,
-                window: p.usize(&["window"], 50)?,
+                window: p.window(&["window"], 50)?,
             },
             "cao" => MethodConfig::Cao {
                 c: p.f64(&["c"], 1.6)?,
                 moment_weight: p.f64(&["w"], 0.01)?,
                 outer_iters: p.usize(&["outer"], 8)?,
-                window: p.usize(&["window"], 50)?,
+                window: p.window(&["window"], 50)?,
             },
             "fanout" => MethodConfig::Fanout {
                 prior_weight: p.f64(&["prior"], 1e-3)?,
-                window: p.usize(&["window"], 10)?,
+                window: p.window(&["window"], 10)?,
             },
             "wcb" => MethodConfig::Wcb {
                 engine: match p.raw(&["engine"])? {
@@ -394,6 +416,28 @@ impl Deserialize for MethodConfig {
     }
 }
 
+/// Concretely typed estimator constructions (crate-internal): the
+/// streaming engine matches on these to hang per-method warm-start
+/// state off the concrete types.
+pub(crate) enum TypedEstimator {
+    /// Gravity model (simple or generalized).
+    Gravity(GravityModel),
+    /// Kruithof estimator (marginals or full mode).
+    Kruithof(KruithofEstimator),
+    /// Entropy estimator.
+    Entropy(EntropyEstimator),
+    /// Bayesian estimator.
+    Bayes(BayesianEstimator),
+    /// Vardi estimator.
+    Vardi(VardiEstimator),
+    /// Cao estimator.
+    Cao(CaoEstimator),
+    /// Fanout estimator.
+    Fanout(FanoutEstimator),
+    /// WCB midpoint estimator.
+    Wcb(WcbEstimator),
+}
+
 /// A named, buildable method selection: thin handle over a
 /// [`MethodConfig`] that knows how to construct the estimator, what
 /// window length (if any) the harness must supply, and the display
@@ -418,34 +462,62 @@ impl Method {
     /// `Send + Sync`, so one built method drives a parallel batch sweep
     /// directly.
     pub fn build(&self) -> Box<dyn Estimator + Send + Sync> {
+        match self.build_typed() {
+            TypedEstimator::Gravity(e) => Box::new(e),
+            TypedEstimator::Kruithof(e) => Box::new(e),
+            TypedEstimator::Entropy(e) => Box::new(e),
+            TypedEstimator::Bayes(e) => Box::new(e),
+            TypedEstimator::Vardi(e) => Box::new(e),
+            TypedEstimator::Cao(e) => Box::new(e),
+            TypedEstimator::Fanout(e) => Box::new(e),
+            TypedEstimator::Wcb(e) => Box::new(e),
+        }
+    }
+
+    /// Construct the *concretely typed* estimator this method
+    /// describes — the streaming engine needs the concrete types to
+    /// reach their warm-start/incremental entry points, which the boxed
+    /// [`Estimator`] object erases. [`Method::build`] delegates here,
+    /// so the two can never drift.
+    pub(crate) fn build_typed(&self) -> TypedEstimator {
         match &self.config {
-            MethodConfig::Gravity { generalized: false } => Box::new(GravityModel::simple()),
-            MethodConfig::Gravity { generalized: true } => Box::new(GravityModel::generalized()),
+            MethodConfig::Gravity { generalized: false } => {
+                TypedEstimator::Gravity(GravityModel::simple())
+            }
+            MethodConfig::Gravity { generalized: true } => {
+                TypedEstimator::Gravity(GravityModel::generalized())
+            }
             MethodConfig::KruithofMarginals { tol, max_iter } => {
-                Box::new(KruithofEstimator::marginals().with_options(IpfOptions {
+                TypedEstimator::Kruithof(KruithofEstimator::marginals().with_options(IpfOptions {
                     max_iter: *max_iter,
                     tol: *tol,
+                    ..Default::default()
                 }))
             }
             MethodConfig::KruithofFull { tol, max_iter } => {
-                Box::new(KruithofEstimator::full().with_options(IpfOptions {
+                TypedEstimator::Kruithof(KruithofEstimator::full().with_options(IpfOptions {
                     max_iter: *max_iter,
                     tol: *tol,
+                    ..Default::default()
                 }))
             }
-            MethodConfig::Entropy { lambda } => Box::new(EntropyEstimator::new(*lambda)),
-            MethodConfig::Bayes { lambda } => Box::new(BayesianEstimator::new(*lambda)),
+            MethodConfig::Entropy { lambda } => {
+                TypedEstimator::Entropy(EntropyEstimator::new(*lambda))
+            }
+            MethodConfig::Bayes { lambda } => {
+                TypedEstimator::Bayes(BayesianEstimator::new(*lambda))
+            }
             MethodConfig::Vardi {
                 moment_weight,
                 max_iter,
                 ..
-            } => Box::new(
-                VardiEstimator::new(*moment_weight).with_options(SpgOptions {
+            } => TypedEstimator::Vardi(VardiEstimator::new(*moment_weight).with_options(
+                SpgOptions {
                     max_iter: *max_iter,
                     tol: 1e-8,
                     ..Default::default()
-                }),
-            ),
+                },
+            )),
             MethodConfig::Cao {
                 c,
                 moment_weight,
@@ -454,12 +526,12 @@ impl Method {
             } => {
                 let mut est = CaoEstimator::new(*c, *moment_weight);
                 est.outer_iters = *outer_iters;
-                Box::new(est)
+                TypedEstimator::Cao(est)
             }
             MethodConfig::Fanout { prior_weight, .. } => {
-                Box::new(FanoutEstimator::new().with_prior_weight(*prior_weight))
+                TypedEstimator::Fanout(FanoutEstimator::new().with_prior_weight(*prior_weight))
             }
-            MethodConfig::Wcb { engine } => Box::new(WcbEstimator::with_engine(*engine)),
+            MethodConfig::Wcb { engine } => TypedEstimator::Wcb(WcbEstimator::with_engine(*engine)),
         }
     }
 
@@ -659,6 +731,59 @@ mod tests {
         assert!("vardi:iters=1.5".parse::<MethodConfig>().is_err());
         let e = "frobnicate".parse::<MethodConfig>().unwrap_err();
         assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_clear_errors() {
+        // Literal duplicates: never last-one-wins, always an error
+        // naming the offending key.
+        for (spec, key) in [
+            ("entropy:lambda=1,lambda=2", "lambda"),
+            ("vardi:w=1,w=1", "w"),
+            ("wcb:engine=dense,engine=dense", "engine"),
+            ("kruithof-full:tol=1e-7,tol=1e-8", "tol"),
+            ("cao:outer=4,outer=4", "outer"),
+            ("fanout:window=5,window=5", "window"),
+        ] {
+            let e = spec.parse::<MethodConfig>().unwrap_err();
+            assert!(
+                e.to_string().contains(&format!("duplicate key `{key}`")),
+                "{spec}: {e}"
+            );
+            // The Method entry point rejects identically.
+            assert!(spec.parse::<Method>().is_err(), "{spec}");
+        }
+        // Alias duplicates name both spellings.
+        let e = "bayes:prior=1,lambda=2"
+            .parse::<MethodConfig>()
+            .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("duplicate key `lambda` (alias of `prior`)"),
+            "{e}"
+        );
+        // The serde entry point re-parses through the same grammar, so
+        // a duplicated JSON key cannot silently win either.
+        let dup = Value::Map(vec![
+            ("method".to_string(), Value::Str("entropy".into())),
+            ("lambda".to_string(), Value::F64(1.0)),
+            ("lambda".to_string(), Value::F64(2.0)),
+        ]);
+        assert!(MethodConfig::from_value(&dup).is_err());
+    }
+
+    #[test]
+    fn canonical_forms_have_no_duplicates_and_round_trip() {
+        // Every canonical Display form must itself survive a re-parse
+        // (the duplicate-key rejection must never fire on our own
+        // output) and round-trip to the same config.
+        for config in every_variant() {
+            let spec = config.to_string();
+            let back: MethodConfig = spec.parse().expect(&spec);
+            assert_eq!(back, config, "spec `{spec}`");
+            let twice = back.to_string();
+            assert_eq!(twice, spec, "canonical form must be stable");
+        }
     }
 
     #[test]

@@ -1,0 +1,1045 @@
+//! The streaming interval engine: warm-started full-day estimation.
+//!
+//! The paper's headline experiment is temporal — every method runs over
+//! a full day of 5-minute intervals (288 ticks), and the data analysis
+//! (§5.2) shows why that workload is *not* 288 independent problems:
+//! fanouts and routing drift slowly, so consecutive intervals are
+//! nearly identical estimation problems. A [`StreamEngine`] consumes a
+//! load time series interval by interval ([`IntervalLoads`] per tick),
+//! re-anchors **one** shared [`MeasurementSystem`] per tick (all
+//! matrix-derived caches — stacked matrix, Gram, transpose, second
+//! moments — are derived once for the whole day), and, in
+//! [`StreamMode::Warm`], carries per-method incremental state across
+//! ticks:
+//!
+//! * **rolling fanout windows** — [`FanoutWindowStats`] updated in
+//!   `O(N² + nnz)` per tick (add the entering interval, subtract the
+//!   leaving one) instead of re-aggregated per window;
+//! * **running second-moment accumulators** — [`RollingMoments`] keeps
+//!   `Σt` and the `Σ tᵢtⱼ` products of the Vardi/Cao covariance rows,
+//!   so the sample moments of a `K`-interval window cost `O(rows)` per
+//!   tick instead of `O(K·rows)`;
+//! * **previous-interval warm starts** — entropy, Bayes and
+//!   Kruithof-full re-solve from the last interval's solution
+//!   (spectral step, active set and GIS multipliers respectively);
+//! * **the WCB basis carried forward** — one revised-simplex basis is
+//!   re-anchored per tick via [`WcbSolver::rebase`] (with its
+//!   dual-repair fallback) instead of a fresh phase 1 per interval.
+//!
+//! [`StreamMode::Cold`] runs every tick through the exact same code
+//! path as the batch layer ([`crate::batch`]) — per-interval results
+//! are **bit-identical** to `SnapshotShard` sweeps — and is the
+//! baseline the warm mode's speedups are measured against
+//! (`day288-*` entries in the perf harness). Warm-mode solutions agree
+//! with cold ones up to solver tolerance: every warm start either
+//! targets the same unique optimum (strictly convex objectives, LP
+//! optima, the GIS fixed point) or re-derives the same aggregates
+//! incrementally (fanout, moments).
+
+use std::collections::VecDeque;
+
+use tm_linalg::Workspace;
+use tm_traffic::{EvalDataset, IntervalLoads};
+
+use crate::bayes::{BayesWarmStart, BayesianEstimator};
+use crate::cao::{CaoEstimator, CaoWarmStart};
+use crate::covariance::{SampleMoments, SecondMomentSystem};
+use crate::entropy::{EntropyEstimator, EntropyWarmStart};
+use crate::error::EstimationError;
+use crate::fanout::{FanoutEstimator, FanoutWindowStats};
+use crate::kruithof::{KruithofEstimator, KruithofWarmStart};
+use crate::method::{Method, MethodConfig, TypedEstimator};
+use crate::problem::{Estimate, EstimationProblem, Estimator, TimeSeriesData};
+use crate::system::MeasurementSystem;
+use crate::vardi::{VardiEstimator, VardiWarmStart};
+use crate::wcb::{LpEngine, WcbEstimator, WcbSolver};
+use crate::Result;
+
+/// Ticks between exact recomputations of the rolling aggregates from
+/// their window buffer (bounds floating-point drift of the
+/// add/subtract updates; the refresh is `O(K·size)`, amortized to
+/// noise).
+const ROLLING_REFRESH_TICKS: usize = 128;
+
+/// Whether a [`StreamEngine`] carries per-method state across ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Every tick is estimated from scratch through the same code path
+    /// as the batch layer — bit-identical to a `SnapshotShard` sweep.
+    Cold,
+    /// Per-method incremental state (rolling windows, warm starts, the
+    /// carried WCB basis) persists across ticks; results agree with
+    /// cold ones up to solver tolerance and arrive much faster.
+    Warm,
+}
+
+/// One tick's output: per-method estimates aligned with
+/// [`StreamEngine::labels`]. `None` marks a time-series method whose
+/// window has not filled to its minimum length yet (Vardi/Cao need two
+/// intervals for a covariance).
+#[derive(Debug)]
+pub struct StreamTick {
+    /// 0-based tick index (the engine's own interval counter).
+    pub interval: usize,
+    /// Per-method outcome, in [`StreamEngine::labels`] order.
+    pub estimates: Vec<Option<Result<Estimate>>>,
+}
+
+/// A source of per-interval load observations: thin iterator glue
+/// between a load time series (a generated dataset, a collected SNMP
+/// series, a live feed) and [`StreamEngine::run`].
+#[derive(Debug, Clone)]
+pub struct IntervalStream<I> {
+    inner: I,
+}
+
+impl<I: Iterator<Item = IntervalLoads>> IntervalStream<I> {
+    /// Wrap any iterator of interval loads.
+    pub fn new(inner: I) -> Self {
+        IntervalStream { inner }
+    }
+}
+
+impl<I: Iterator<Item = IntervalLoads>> Iterator for IntervalStream<I> {
+    type Item = IntervalLoads;
+
+    fn next(&mut self) -> Option<IntervalLoads> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// [`IntervalStream`] over a dataset's sample range (the
+/// series → interval glue of `tm_traffic`).
+pub fn dataset_stream(
+    dataset: &EvalDataset,
+    range: std::ops::Range<usize>,
+) -> Result<IntervalStream<impl Iterator<Item = IntervalLoads> + '_>> {
+    let iter = dataset
+        .intervals(range)
+        .map_err(|e| EstimationError::InvalidProblem(e.to_string()))?
+        .map(|(_, loads)| loads);
+    Ok(IntervalStream::new(iter))
+}
+
+/// Per-method streaming state.
+enum MethodState {
+    /// Cold path (or a method with nothing to carry): a boxed registry
+    /// estimator run through `estimate_system` every tick.
+    Plain(Box<dyn Estimator + Send + Sync>),
+    /// Entropy with the previous solution + spectral step carried.
+    Entropy(EntropyEstimator, Option<EntropyWarmStart>),
+    /// Bayes with the previous interval's factorized active-set kernel
+    /// carried.
+    Bayes(BayesianEstimator, Box<BayesWarmStart>),
+    /// Kruithof-full with the previous GIS multipliers carried.
+    Kruithof(KruithofEstimator, Option<KruithofWarmStart>),
+    /// Vardi on rolling second moments + previous-solution warm start.
+    Vardi(VardiEstimator, Box<VardiWarmStart>, RollingMoments),
+    /// Cao on rolling second moments + previous-solution warm start.
+    Cao(CaoEstimator, CaoWarmStart, RollingMoments),
+    /// Fanout on rolling window aggregates.
+    Fanout(FanoutEstimator, FanoutRolling),
+    /// WCB midpoint with the revised-simplex basis carried forward.
+    Wcb {
+        name: String,
+        engine: LpEngine,
+        solver: Option<WcbSolver>,
+    },
+}
+
+/// One method registered with the engine.
+struct MethodSlot {
+    label: String,
+    window: Option<usize>,
+    /// Minimum history length before the method can produce output
+    /// (Vardi/Cao need two intervals for a covariance).
+    min_window: usize,
+    state: MethodState,
+}
+
+/// The streaming interval engine — see the [module docs](self).
+pub struct StreamEngine {
+    anchor: MeasurementSystem<'static>,
+    mode: StreamMode,
+    methods: Vec<MethodSlot>,
+    /// The most recent `max_window` intervals (newest at the back).
+    history: VecDeque<IntervalLoads>,
+    max_window: usize,
+    /// Source node per OD pair (fanout aggregation).
+    src_of: Vec<usize>,
+    ws: Workspace,
+    ticks: usize,
+}
+
+impl StreamEngine {
+    /// Build an engine anchored on `anchor` — the problem supplies the
+    /// routing pattern, peering roles and the edge-measurement flag;
+    /// its load values are never estimated. Matrix-derived caches fill
+    /// lazily on the shared system and serve every tick.
+    pub fn new(anchor: EstimationProblem, methods: &[Method], mode: StreamMode) -> Result<Self> {
+        Self::from_system(MeasurementSystem::new(anchor), methods, mode)
+    }
+
+    /// Build from an already prepared (possibly shared) measurement
+    /// system: a `SnapshotShard`'s engine view shares the shard's
+    /// caches this way.
+    pub fn from_system(
+        system: MeasurementSystem<'static>,
+        methods: &[Method],
+        mode: StreamMode,
+    ) -> Result<Self> {
+        if methods.is_empty() {
+            return Err(EstimationError::InvalidProblem(
+                "stream engine: no methods registered".into(),
+            ));
+        }
+        for m in methods {
+            let min = match m.config() {
+                MethodConfig::Vardi { .. } | MethodConfig::Cao { .. } => 2,
+                _ => 1,
+            };
+            if let Some(w) = m.window() {
+                if w < min {
+                    return Err(EstimationError::InvalidProblem(format!(
+                        "stream engine: `{}` needs a window of at least {min} intervals (got {w})",
+                        m.label()
+                    )));
+                }
+            }
+        }
+        let pairs = system.problem().pairs();
+        let src_of: Vec<usize> = (0..pairs.count()).map(|p| pairs.pair(p).0 .0).collect();
+        let slots: Vec<MethodSlot> = methods
+            .iter()
+            .map(|m| MethodSlot {
+                label: m.label(),
+                window: m.window(),
+                min_window: match m.config() {
+                    MethodConfig::Vardi { .. } | MethodConfig::Cao { .. } => 2,
+                    _ => 1,
+                },
+                state: build_state(&system, m, mode),
+            })
+            .collect();
+        let max_window = slots.iter().filter_map(|s| s.window).max().unwrap_or(1);
+        Ok(StreamEngine {
+            anchor: system,
+            mode,
+            methods: slots,
+            history: VecDeque::with_capacity(max_window),
+            max_window,
+            src_of,
+            ws: Workspace::new(),
+            ticks: 0,
+        })
+    }
+
+    /// Engine over a dataset's routing pattern (anchored on sample 0).
+    pub fn for_dataset(
+        dataset: &EvalDataset,
+        methods: &[Method],
+        mode: StreamMode,
+    ) -> Result<Self> {
+        use crate::problem::DatasetExt;
+        Self::new(dataset.snapshot_problem(0), methods, mode)
+    }
+
+    /// Method labels, aligned with [`StreamTick::estimates`].
+    pub fn labels(&self) -> Vec<String> {
+        self.methods.iter().map(|m| m.label.clone()).collect()
+    }
+
+    /// The engine's mode.
+    pub fn mode(&self) -> StreamMode {
+        self.mode
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// The shared prepared system every tick re-anchors.
+    pub fn system(&self) -> &MeasurementSystem<'static> {
+        &self.anchor
+    }
+
+    /// Consume one interval and estimate every registered method.
+    ///
+    /// Engine-level failures (dimension mismatches, a routing change)
+    /// fail the whole tick; per-method solver failures are recorded in
+    /// the tick's `estimates` and do not disturb the other methods.
+    pub fn push_interval(&mut self, loads: IntervalLoads) -> Result<StreamTick> {
+        let anchor_p = self.anchor.problem();
+        if loads.link_loads.len() != anchor_p.n_links()
+            || loads.ingress.len() != anchor_p.n_nodes()
+            || loads.egress.len() != anchor_p.n_nodes()
+        {
+            return Err(EstimationError::InvalidProblem(format!(
+                "stream tick: loads sized {}/{}/{} for {} links, {} nodes",
+                loads.link_loads.len(),
+                loads.ingress.len(),
+                loads.egress.len(),
+                anchor_p.n_links(),
+                anchor_p.n_nodes(),
+            )));
+        }
+        let use_edge = anchor_p.uses_edge_measurements();
+        let mut t_stacked = loads.link_loads.clone();
+        if use_edge {
+            t_stacked.extend_from_slice(&loads.ingress);
+            t_stacked.extend_from_slice(&loads.egress);
+        }
+
+        // The window includes the current interval.
+        self.history.push_back(loads);
+        if self.history.len() > self.max_window {
+            self.history.pop_front();
+        }
+
+        // The transposed product Aᵀ·t feeds the rolling fanout window;
+        // compute it once per tick, only when a fanout method streams.
+        let needs_u = self
+            .methods
+            .iter()
+            .any(|m| matches!(m.state, MethodState::Fanout(..)));
+        let u = if needs_u {
+            Some(self.anchor.matrix().tr_matvec(&t_stacked))
+        } else {
+            None
+        };
+
+        let interval = self.ticks;
+        self.ticks += 1;
+
+        // Lazily built per-tick systems, shared across methods: one
+        // snapshot system plus one window system per distinct length.
+        let StreamEngine {
+            anchor,
+            methods,
+            history,
+            src_of,
+            ws,
+            ..
+        } = self;
+        let current = history.back().expect("pushed above");
+        let mut snap_sys: Option<MeasurementSystem<'static>> = None;
+        let mut win_sys: Vec<(usize, MeasurementSystem<'static>)> = Vec::new();
+
+        let mut estimates = Vec::with_capacity(methods.len());
+        for slot in methods.iter_mut() {
+            let win_len = slot.window.map(|w| w.min(history.len()));
+            let out: Option<Result<Estimate>> = match &mut slot.state {
+                MethodState::Plain(est) => match win_len {
+                    None => Some(
+                        tick_snapshot_system(anchor, current, &mut snap_sys)
+                            .and_then(|sys| est.estimate_system(sys, ws)),
+                    ),
+                    Some(w) if history.len() < slot.min_window => {
+                        let _ = w;
+                        None
+                    }
+                    Some(w) => Some(
+                        tick_window_system(anchor, history, w, &mut win_sys)
+                            .and_then(|sys| est.estimate_system(sys, ws)),
+                    ),
+                },
+                MethodState::Entropy(est, warm) => Some(
+                    tick_snapshot_system(anchor, current, &mut snap_sys)
+                        .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
+                ),
+                MethodState::Bayes(est, warm) => Some(
+                    tick_snapshot_system(anchor, current, &mut snap_sys)
+                        .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
+                ),
+                MethodState::Kruithof(est, warm) => Some(
+                    tick_snapshot_system(anchor, current, &mut snap_sys)
+                        .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
+                ),
+                MethodState::Vardi(est, warm, rolling) => {
+                    rolling.push(t_stacked.clone(), current.ingress.iter().sum());
+                    if rolling.len() < 2 {
+                        None
+                    } else {
+                        Some(rolling.moments().and_then(|m| {
+                            est.estimate_from_moments(
+                                anchor,
+                                &m,
+                                rolling.mean_ingress(),
+                                Some(warm),
+                            )
+                        }))
+                    }
+                }
+                MethodState::Cao(est, warm, rolling) => {
+                    rolling.push(t_stacked.clone(), current.ingress.iter().sum());
+                    if rolling.len() < 2 {
+                        None
+                    } else {
+                        Some(rolling.moments().and_then(|m| {
+                            est.estimate_from_moments(
+                                anchor,
+                                &m,
+                                rolling.mean_ingress(),
+                                Some(warm),
+                            )
+                            .map(|e| e.estimate)
+                        }))
+                    }
+                }
+                MethodState::Fanout(est, rolling) => {
+                    let u = u.as_deref().expect("computed for fanout above");
+                    rolling.push(current, u, src_of);
+                    Some(
+                        est.estimate_from_stats(anchor, &rolling.stats, ws)
+                            .map(|r| r.estimate),
+                    )
+                }
+                MethodState::Wcb {
+                    name,
+                    engine,
+                    solver,
+                } => Some(tick_wcb(anchor, &t_stacked, name, *engine, solver, ws)),
+            };
+            estimates.push(out);
+        }
+
+        Ok(StreamTick {
+            interval,
+            estimates,
+        })
+    }
+
+    /// Drain an interval source, estimating every tick.
+    pub fn run<I>(&mut self, intervals: I) -> Result<Vec<StreamTick>>
+    where
+        I: IntoIterator<Item = IntervalLoads>,
+    {
+        let iter = intervals.into_iter();
+        let mut out = Vec::with_capacity(iter.size_hint().0);
+        for loads in iter {
+            out.push(self.push_interval(loads)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Build the streaming state for one method. Cold mode — and methods
+/// with nothing to carry — use the plain registry estimator.
+fn build_state(system: &MeasurementSystem<'_>, method: &Method, mode: StreamMode) -> MethodState {
+    if mode == StreamMode::Cold {
+        return MethodState::Plain(method.build());
+    }
+    let n_rows = system.n_rows();
+    match method.config() {
+        MethodConfig::Entropy { .. } => {
+            let est = match method.build_typed() {
+                TypedEstimator::Entropy(e) => e,
+                _ => unreachable!("entropy config builds an entropy estimator"),
+            };
+            MethodState::Entropy(est, None)
+        }
+        MethodConfig::Bayes { .. } => {
+            let est = match method.build_typed() {
+                TypedEstimator::Bayes(e) => e,
+                _ => unreachable!("bayes config builds a bayes estimator"),
+            };
+            MethodState::Bayes(est, Box::default())
+        }
+        MethodConfig::KruithofFull { .. } => {
+            let est = match method.build_typed() {
+                TypedEstimator::Kruithof(e) => e,
+                _ => unreachable!("kruithof-full config builds a kruithof estimator"),
+            };
+            MethodState::Kruithof(est, None)
+        }
+        MethodConfig::Vardi { window, .. } => {
+            let est = match method.build_typed() {
+                TypedEstimator::Vardi(e) => e,
+                _ => unreachable!("vardi config builds a vardi estimator"),
+            };
+            let rolling = RollingMoments::new(system.second_moments(), n_rows, *window);
+            MethodState::Vardi(est, Box::default(), rolling)
+        }
+        MethodConfig::Cao { window, .. } => {
+            let est = match method.build_typed() {
+                TypedEstimator::Cao(e) => e,
+                _ => unreachable!("cao config builds a cao estimator"),
+            };
+            let rolling = RollingMoments::new(system.second_moments(), n_rows, *window);
+            MethodState::Cao(est, CaoWarmStart::default(), rolling)
+        }
+        MethodConfig::Fanout { window, .. } => {
+            let est = match method.build_typed() {
+                TypedEstimator::Fanout(e) => e,
+                _ => unreachable!("fanout config builds a fanout estimator"),
+            };
+            let problem = system.problem();
+            let rolling =
+                FanoutRolling::new((*window).max(1), problem.n_nodes(), problem.n_pairs());
+            MethodState::Fanout(est, rolling)
+        }
+        MethodConfig::Wcb { engine } => {
+            // The dense tableau cannot re-anchor a basis; streaming
+            // always carries a revised-simplex basis unless the dense
+            // engine was explicitly requested (then every tick is a
+            // cold solve, matching the configured engine exactly).
+            let stream_engine = match engine {
+                LpEngine::DenseTableau => LpEngine::DenseTableau,
+                _ => LpEngine::RevisedSparse,
+            };
+            MethodState::Wcb {
+                name: WcbEstimator::with_engine(*engine).name(),
+                engine: stream_engine,
+                solver: None,
+            }
+        }
+        // Gravity and Kruithof-marginals are closed-form / microsecond
+        // solves with nothing to carry.
+        _ => MethodState::Plain(method.build()),
+    }
+}
+
+/// The per-tick snapshot problem: the anchor's routing pattern, peering
+/// roles and edge flag with the tick's load values — exactly what the
+/// batch layer's `snapshot_problem` builds (minus the ground truth no
+/// estimator reads).
+fn tick_problem(
+    anchor: &MeasurementSystem<'_>,
+    loads: &IntervalLoads,
+) -> Result<EstimationProblem> {
+    let p = anchor.problem();
+    Ok(EstimationProblem::new(
+        p.routing().clone(),
+        loads.link_loads.clone(),
+        loads.ingress.clone(),
+        loads.egress.clone(),
+    )?
+    .with_peering(p.peering().to_vec())?
+    .with_edge_measurements(p.uses_edge_measurements()))
+}
+
+/// Lazily build (once per tick) the re-anchored snapshot system.
+fn tick_snapshot_system<'c>(
+    anchor: &MeasurementSystem<'static>,
+    loads: &IntervalLoads,
+    cache: &'c mut Option<MeasurementSystem<'static>>,
+) -> Result<&'c MeasurementSystem<'static>> {
+    if cache.is_none() {
+        let sys = anchor.reanchor(tick_problem(anchor, loads)?)?;
+        *cache = Some(sys);
+    }
+    Ok(cache.as_ref().expect("installed above"))
+}
+
+/// Lazily build (once per tick and window length) the re-anchored
+/// window system over the trailing `len` intervals of the history.
+fn tick_window_system<'c>(
+    anchor: &MeasurementSystem<'static>,
+    history: &VecDeque<IntervalLoads>,
+    len: usize,
+    cache: &'c mut Vec<(usize, MeasurementSystem<'static>)>,
+) -> Result<&'c MeasurementSystem<'static>> {
+    if !cache.iter().any(|(l, _)| *l == len) {
+        let skip = history.len() - len;
+        let mut ts = TimeSeriesData {
+            link_loads: Vec::with_capacity(len),
+            ingress: Vec::with_capacity(len),
+            egress: Vec::with_capacity(len),
+        };
+        for loads in history.iter().skip(skip) {
+            ts.link_loads.push(loads.link_loads.clone());
+            ts.ingress.push(loads.ingress.clone());
+            ts.egress.push(loads.egress.clone());
+        }
+        let current = history.back().expect("nonempty history");
+        let problem = tick_problem(anchor, current)?.with_time_series(ts)?;
+        cache.push((len, anchor.reanchor(problem)?));
+    }
+    Ok(cache
+        .iter()
+        .find(|(l, _)| *l == len)
+        .map(|(_, sys)| sys)
+        .expect("installed above"))
+}
+
+/// One warm WCB tick: re-anchor the carried basis (plain rebase, then
+/// the dual-repair pass inside [`WcbSolver::rebase`]), falling back to
+/// a fresh phase 1 on the shared matrix only when repair fails, then
+/// sweep the bound LPs and return the midpoint prior.
+fn tick_wcb(
+    anchor: &MeasurementSystem<'static>,
+    t: &[f64],
+    name: &str,
+    engine: LpEngine,
+    solver: &mut Option<WcbSolver>,
+    ws: &mut Workspace,
+) -> Result<Estimate> {
+    // A failed (or erroring) rebase leaves the carried solver with a
+    // partially pivoted basis — it must never survive into the next
+    // tick, so take it out of the slot and only reinstall on success.
+    let reused = match solver.take() {
+        Some(mut s) => match s.rebase(t) {
+            Ok(true) => {
+                *solver = Some(s);
+                true
+            }
+            Ok(false) => false,
+            Err(e) => return Err(e),
+        },
+        None => false,
+    };
+    if !reused {
+        *solver = Some(WcbSolver::from_parts(anchor.matrix(), t.to_vec(), engine)?);
+    }
+    let bounds = solver.as_ref().expect("installed above").bounds_ws(ws)?;
+    let mut estimate = bounds.midpoint();
+    estimate.method = name.to_string();
+    Ok(estimate)
+}
+
+/// Rolling sample moments of the stacked measurement vectors over a
+/// `K`-interval window, restricted to the second-moment system's
+/// `(i ≤ j)` covariance rows. Maintains `Σ tᵢ` and `Σ tᵢ·tⱼ`
+/// incrementally (`O(rows)` per tick) and reproduces
+/// [`SecondMomentSystem::sample_moments`]'s `1/K` covariance
+/// convention; the buffers are re-aggregated exactly every
+/// 128 ticks (`ROLLING_REFRESH_TICKS`) to bound floating-point drift.
+pub struct RollingMoments {
+    window: usize,
+    rows: Vec<(usize, usize)>,
+    buf: VecDeque<Vec<f64>>,
+    sum: Vec<f64>,
+    prod: Vec<f64>,
+    /// Per-interval total ingress traffic, parallel to `buf` (feeds the
+    /// Vardi/Cao normalization constant).
+    ingress: VecDeque<f64>,
+    ingress_sum: f64,
+    pushes: usize,
+}
+
+impl RollingMoments {
+    /// Rolling moments aligned with `sys`'s covariance rows, over
+    /// measurement vectors of length `dim`, with window length
+    /// `window`.
+    pub fn new(sys: &SecondMomentSystem, dim: usize, window: usize) -> Self {
+        RollingMoments {
+            window: window.max(2),
+            rows: sys.rows.clone(),
+            buf: VecDeque::with_capacity(window),
+            sum: vec![0.0; dim],
+            prod: vec![0.0; sys.rows.len()],
+            ingress: VecDeque::with_capacity(window),
+            ingress_sum: 0.0,
+            pushes: 0,
+        }
+    }
+
+    /// Intervals currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no intervals have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Push the stacked measurement vector of a new interval (plus its
+    /// total ingress traffic), evicting the oldest interval once the
+    /// window is full.
+    pub fn push(&mut self, t: Vec<f64>, ingress_total: f64) {
+        assert_eq!(t.len(), self.sum.len(), "measurement vector length");
+        if self.buf.len() == self.window {
+            let old = self.buf.pop_front().expect("window full");
+            self.ingress_sum -= self.ingress.pop_front().expect("window full");
+            for (s, &v) in self.sum.iter_mut().zip(&old) {
+                *s -= v;
+            }
+            for (r, &(i, j)) in self.rows.iter().enumerate() {
+                self.prod[r] -= old[i] * old[j];
+            }
+        }
+        self.ingress.push_back(ingress_total);
+        self.ingress_sum += ingress_total;
+        for (s, &v) in self.sum.iter_mut().zip(&t) {
+            *s += v;
+        }
+        for (r, &(i, j)) in self.rows.iter().enumerate() {
+            self.prod[r] += t[i] * t[j];
+        }
+        self.buf.push_back(t);
+        self.pushes += 1;
+        if self.pushes.is_multiple_of(ROLLING_REFRESH_TICKS) {
+            self.refresh();
+        }
+    }
+
+    /// Exact re-aggregation from the buffered window (drift reset).
+    fn refresh(&mut self) {
+        self.sum.fill(0.0);
+        self.prod.fill(0.0);
+        for t in &self.buf {
+            for (s, &v) in self.sum.iter_mut().zip(t) {
+                *s += v;
+            }
+            for (r, &(i, j)) in self.rows.iter().enumerate() {
+                self.prod[r] += t[i] * t[j];
+            }
+        }
+        self.ingress_sum = self.ingress.iter().sum();
+    }
+
+    /// Sample moments of the current window (mean + vech covariance in
+    /// the `1/K` convention). Needs at least two intervals.
+    pub fn moments(&self) -> Result<SampleMoments> {
+        let k = self.buf.len();
+        if k < 2 {
+            return Err(EstimationError::InvalidProblem(
+                "need at least 2 intervals for a covariance".into(),
+            ));
+        }
+        let kf = k as f64;
+        let mean: Vec<f64> = self.sum.iter().map(|&v| v / kf).collect();
+        let cov_vech: Vec<f64> = self
+            .rows
+            .iter()
+            .zip(&self.prod)
+            .map(|(&(i, j), &p)| p / kf - mean[i] * mean[j])
+            .collect();
+        Ok(SampleMoments { mean, cov_vech })
+    }
+
+    /// Mean per-interval total ingress traffic over the window (the
+    /// normalization constant the Vardi/Cao solves expect); `0.0` when
+    /// the window is empty.
+    pub fn mean_ingress(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        self.ingress_sum / self.buf.len() as f64
+    }
+}
+
+/// Rolling fanout-window aggregates: a [`FanoutWindowStats`] maintained
+/// by add/subtract updates over a bounded window, with periodic exact
+/// re-aggregation.
+pub struct FanoutRolling {
+    window: usize,
+    /// Current aggregates (readable by
+    /// [`FanoutEstimator::estimate_from_stats`]).
+    pub stats: FanoutWindowStats,
+    /// Buffered per-interval contributions `(te, tx, u)`.
+    buf: VecDeque<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    pushes: usize,
+}
+
+impl FanoutRolling {
+    /// Empty rolling window of length `window` for `n` nodes /
+    /// `p_count` pairs.
+    pub fn new(window: usize, n: usize, p_count: usize) -> Self {
+        FanoutRolling {
+            window: window.max(1),
+            stats: FanoutWindowStats::empty(n, p_count),
+            buf: VecDeque::with_capacity(window),
+            pushes: 0,
+        }
+    }
+
+    /// Push one interval (its loads plus the transposed product
+    /// `u = Aᵀ·t` of its stacked measurement vector), evicting the
+    /// oldest interval once the window is full.
+    pub fn push(&mut self, loads: &IntervalLoads, u: &[f64], src_of: &[usize]) {
+        if self.buf.len() == self.window {
+            let (te, tx, old_u) = self.buf.pop_front().expect("window full");
+            self.stats.remove_interval(&te, &tx, &old_u, src_of);
+        }
+        self.stats
+            .add_interval(&loads.ingress, &loads.egress, u, src_of);
+        self.buf
+            .push_back((loads.ingress.clone(), loads.egress.clone(), u.to_vec()));
+        self.pushes += 1;
+        if self.pushes.is_multiple_of(ROLLING_REFRESH_TICKS) {
+            self.refresh(src_of);
+        }
+    }
+
+    /// Exact re-aggregation from the buffered window (drift reset).
+    fn refresh(&mut self, src_of: &[usize]) {
+        let n = self.stats.te_sum.len();
+        let p = self.stats.g_terms.len();
+        self.stats = FanoutWindowStats::empty(n, p);
+        for (te, tx, u) in &self.buf {
+            self.stats.add_interval(te, tx, u, src_of);
+        }
+    }
+
+    /// Intervals currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no intervals have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::SnapshotShard;
+    use crate::metrics::{mean_relative_error, CoverageThreshold};
+    use crate::problem::DatasetExt;
+    use tm_traffic::DatasetSpec;
+
+    fn tiny() -> EvalDataset {
+        EvalDataset::generate(DatasetSpec::tiny(), 101).unwrap()
+    }
+
+    fn methods(specs: &[&str]) -> Vec<Method> {
+        specs.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    fn mre(d: &EvalDataset, k: usize, est: &Estimate) -> f64 {
+        let truth = d.demands_at(k).unwrap();
+        mean_relative_error(truth, &est.demands, CoverageThreshold::Share(0.9)).unwrap()
+    }
+
+    #[test]
+    fn cold_snapshot_ticks_match_batch_bit_for_bit() {
+        let d = tiny();
+        let ms = methods(&[
+            "gravity",
+            "gravity-generalized",
+            "kruithof-marginals",
+            "kruithof-full",
+            "entropy:lambda=1e3",
+            "bayes:prior=1e3",
+            "wcb",
+        ]);
+        let shard = SnapshotShard::new(&d);
+        let ticks = shard.stream(&ms, StreamMode::Cold, 0..5).unwrap();
+        assert_eq!(ticks.len(), 5);
+        for (k, tick) in ticks.iter().enumerate() {
+            assert_eq!(tick.interval, k);
+            for (i, m) in ms.iter().enumerate() {
+                let got = tick.estimates[i]
+                    .as_ref()
+                    .expect("snapshot methods always ready")
+                    .as_ref()
+                    .expect("solvable");
+                let want = m.build().estimate(&d.snapshot_problem(k)).unwrap();
+                assert_eq!(got.demands, want.demands, "tick {k} method {}", m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn cold_windowed_ticks_match_window_problems() {
+        let d = tiny();
+        let ms = methods(&["fanout:window=4", "vardi:w=0.01,window=5,iters=500"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Cold).unwrap();
+        let ticks = engine.run(dataset_stream(&d, 0..7).unwrap()).unwrap();
+        for (k, tick) in ticks.iter().enumerate() {
+            // fanout: window = min(k+1, 4), ready from the first tick.
+            let w = (k + 1).min(4);
+            let got = tick.estimates[0].as_ref().unwrap().as_ref().unwrap();
+            let want = ms[0]
+                .build()
+                .estimate(&d.window_problem(k + 1 - w..k + 1))
+                .unwrap();
+            assert_eq!(got.demands, want.demands, "fanout tick {k}");
+            // vardi: needs two intervals, window = min(k+1, 5).
+            if k == 0 {
+                assert!(tick.estimates[1].is_none(), "vardi not ready at tick 0");
+            } else {
+                let w = (k + 1).min(5);
+                let got = tick.estimates[1].as_ref().unwrap().as_ref().unwrap();
+                let want = ms[1]
+                    .build()
+                    .estimate(&d.window_problem(k + 1 - w..k + 1))
+                    .unwrap();
+                assert_eq!(got.demands, want.demands, "vardi tick {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_agrees_with_cold_within_solver_tolerance() {
+        let d = tiny();
+        let ms = methods(&[
+            "entropy:lambda=1e3",
+            "bayes:prior=1e3",
+            "kruithof-full",
+            "wcb",
+            "fanout:window=4",
+            "vardi:w=0.01,window=5",
+            "cao:c=1.6,w=0.01,outer=4,window=5",
+        ]);
+        let mut cold = StreamEngine::for_dataset(&d, &ms, StreamMode::Cold).unwrap();
+        let mut warm = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        let cold_ticks = cold.run(dataset_stream(&d, 0..8).unwrap()).unwrap();
+        let warm_ticks = warm.run(dataset_stream(&d, 0..8).unwrap()).unwrap();
+        for (k, (ct, wt)) in cold_ticks.iter().zip(&warm_ticks).enumerate() {
+            for (i, m) in ms.iter().enumerate() {
+                let (Some(c), Some(w)) = (&ct.estimates[i], &wt.estimates[i]) else {
+                    assert_eq!(
+                        ct.estimates[i].is_none(),
+                        wt.estimates[i].is_none(),
+                        "readiness must agree: tick {k} {}",
+                        m.label()
+                    );
+                    continue;
+                };
+                let c = c.as_ref().unwrap();
+                let w = w.as_ref().unwrap();
+                let mre_c = mre(&d, k, c);
+                let mre_w = mre(&d, k, w);
+                // Strictly convex objectives, the GIS fixed point and
+                // the LP optima are unique: warm and cold agree to
+                // solver tolerance. Vardi/Cao minimize rank-deficient
+                // (resp. non-convex) moment objectives whose optimal
+                // face is not a single point — warm starts land on a
+                // different optimal point, bounding the divergence by
+                // the face diameter instead of the solver tolerance.
+                let tol = match m.config() {
+                    MethodConfig::Vardi { .. } => 2e-5,
+                    // Cao's pseudo-EM objective is non-convex: warm
+                    // starts may settle in a (often better) nearby
+                    // local optimum — only sanity is asserted.
+                    MethodConfig::Cao { .. } => 5e-2,
+                    _ => 1e-6,
+                };
+                assert!(
+                    (mre_c - mre_w).abs() <= tol,
+                    "tick {k} {}: cold MRE {mre_c} vs warm {mre_w}",
+                    m.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_moments_match_batch_sample_moments() {
+        let d = tiny();
+        let shard = SnapshotShard::new(&d);
+        let sms = shard.system().second_moments().clone();
+        let window = 6usize;
+        let mut rolling = RollingMoments::new(&sms, shard.system().n_rows(), window);
+        for k in 0..12 {
+            let t = shard.measurements_at(k);
+            let ing: f64 = d.interval_loads(k).unwrap().ingress.iter().sum();
+            rolling.push(t, ing);
+            if rolling.len() < 2 {
+                continue;
+            }
+            let lo = (k + 1).saturating_sub(window);
+            let series: Vec<Vec<f64>> = (lo..=k).map(|j| shard.measurements_at(j)).collect();
+            let want = sms.sample_moments(&series).unwrap();
+            let got = rolling.moments().unwrap();
+            for (a, b) in got.mean.iter().zip(&want.mean) {
+                assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "mean {a} vs {b}");
+            }
+            for (a, b) in got.cov_vech.iter().zip(&want.cov_vech) {
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "cov {a} vs {b} at k={k}"
+                );
+            }
+        }
+        assert!(rolling.mean_ingress() > 0.0);
+    }
+
+    #[test]
+    fn fanout_rolling_matches_cold_aggregation() {
+        let d = tiny();
+        let shard = SnapshotShard::new(&d);
+        let p_count = d.n_pairs();
+        let n = d.topology.n_nodes();
+        let pairs = d.routing.pairs();
+        let src_of: Vec<usize> = (0..p_count).map(|p| pairs.pair(p).0 .0).collect();
+        let window = 4usize;
+        let mut rolling = FanoutRolling::new(window, n, p_count);
+        for k in 0..10 {
+            let loads = d.interval_loads(k).unwrap();
+            let t = shard.measurements_at(k);
+            let u = shard.measurement_matrix().tr_matvec(&t);
+            rolling.push(&loads, &u, &src_of);
+            let lo = (k + 1).saturating_sub(window);
+            let wsys = shard.window_system(lo..k + 1);
+            let want = FanoutWindowStats::from_series(&wsys).unwrap();
+            assert_eq!(rolling.stats.k_len, want.k_len, "k_len at {k}");
+            for (a, b) in rolling.stats.cross.iter().zip(&want.cross) {
+                assert!((a - b).abs() <= 1e-7 * (1.0 + b.abs()), "cross {a} vs {b}");
+            }
+            for (a, b) in rolling.stats.g_terms.iter().zip(&want.g_terms) {
+                assert!((a - b).abs() <= 1e-7 * (1.0 + b.abs()), "g {a} vs {b}");
+            }
+        }
+        assert!(!rolling.is_empty());
+        assert_eq!(rolling.len(), window);
+    }
+
+    #[test]
+    fn engine_validates_inputs() {
+        let d = tiny();
+        assert!(StreamEngine::for_dataset(&d, &[], StreamMode::Cold).is_err());
+        // Meaningless windows are rejected at build time (window=0 is
+        // already unparseable; vardi/cao need two intervals), in both
+        // modes.
+        assert!("fanout:window=0".parse::<Method>().is_err());
+        let v1: Vec<Method> = vec!["vardi:w=0.01,window=1".parse().unwrap()];
+        assert!(StreamEngine::for_dataset(&d, &v1, StreamMode::Warm).is_err());
+        assert!(StreamEngine::for_dataset(&d, &v1, StreamMode::Cold).is_err());
+        let ms = methods(&["gravity"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        assert_eq!(engine.labels(), vec!["gravity".to_string()]);
+        assert_eq!(engine.mode(), StreamMode::Warm);
+        let bad = IntervalLoads {
+            link_loads: vec![1.0],
+            ingress: vec![1.0],
+            egress: vec![1.0],
+        };
+        assert!(engine.push_interval(bad).is_err());
+        assert_eq!(engine.ticks(), 0);
+        let good = d.interval_loads(0).unwrap();
+        let tick = engine.push_interval(good).unwrap();
+        assert_eq!(tick.interval, 0);
+        assert_eq!(engine.ticks(), 1);
+        // Out-of-range dataset stream is rejected.
+        assert!(dataset_stream(&d, 0..10_000).is_err());
+    }
+
+    #[test]
+    fn warm_wcb_carries_and_repairs_the_basis() {
+        // Force the revised engine (the carried-basis path) and check
+        // the streamed midpoints against per-problem cold bounds.
+        let d = tiny();
+        let ms = methods(&["wcb:engine=revised"]);
+        let mut warm = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        let ticks = warm.run(dataset_stream(&d, 0..6).unwrap()).unwrap();
+        for (k, tick) in ticks.iter().enumerate() {
+            let got = tick.estimates[0].as_ref().unwrap().as_ref().unwrap();
+            let cold = crate::wcb::worst_case_bounds_with_engine(
+                &d.snapshot_problem(k),
+                LpEngine::RevisedSparse,
+            )
+            .unwrap()
+            .midpoint();
+            let scale = d.snapshot_problem(k).total_traffic();
+            for p in 0..got.demands.len() {
+                assert!(
+                    (got.demands[p] - cold.demands[p]).abs() <= 1e-7 * scale,
+                    "tick {k} pair {p}: {} vs {}",
+                    got.demands[p],
+                    cold.demands[p]
+                );
+            }
+        }
+    }
+}

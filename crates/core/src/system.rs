@@ -358,6 +358,42 @@ mod tests {
     }
 
     #[test]
+    fn reanchor_with_changed_routing_never_shares_caches() {
+        // A *changed* routing CSR (same shape, different values) must be
+        // rejected even after the caches are hot — sharing a stale Gram
+        // or matrix across routing changes would silently corrupt every
+        // estimate downstream.
+        let d = tiny();
+        let base = MeasurementSystem::new(d.snapshot_problem(0));
+        // Populate the matrix-derived caches first.
+        let gram_ptr = base.gram() as *const Csr;
+        let matrix_ptr = base.matrix() as *const Csr;
+        let p = d.snapshot_problem(1);
+        let changed = crate::problem::EstimationProblem::new(
+            p.routing().scale(0.5),
+            p.link_loads().iter().map(|v| v * 0.5).collect(),
+            p.ingress().to_vec(),
+            p.egress().to_vec(),
+        )
+        .unwrap();
+        let err = base.reanchor(changed.clone()).unwrap_err();
+        assert!(
+            err.to_string().contains("does not match"),
+            "changed routing must be rejected: {err}"
+        );
+        // A fresh system over the changed routing derives its own
+        // caches — different objects with different contents.
+        let fresh = MeasurementSystem::new(changed);
+        assert!(!std::ptr::eq(gram_ptr, fresh.gram()));
+        assert!(!std::ptr::eq(matrix_ptr, fresh.matrix()));
+        assert_ne!(base.gram(), fresh.gram());
+        assert_ne!(base.matrix(), fresh.matrix());
+        // Same-routing reanchor still shares the hot caches.
+        let re = base.reanchor(d.snapshot_problem(2)).unwrap();
+        assert!(std::ptr::eq(gram_ptr, re.gram()));
+    }
+
+    #[test]
     fn wcb_solver_is_cached_and_correct() {
         let d = tiny();
         let p = d.snapshot_problem(d.busy_start);

@@ -66,11 +66,6 @@ impl VardiEstimator {
     /// window, reusing its cached measurement matrix and second-moment
     /// system.
     pub fn estimate_prepared(&self, msys: &MeasurementSystem<'_>) -> Result<Estimate> {
-        if self.moment_weight < 0.0 {
-            return Err(EstimationError::InvalidProblem(
-                "vardi: moment weight must be nonnegative".into(),
-            ));
-        }
         let problem = msys.problem();
         let ts = problem
             .time_series()
@@ -81,15 +76,59 @@ impl VardiEstimator {
                 "vardi: need at least 2 intervals".into(),
             ));
         }
-        let a = msys.matrix();
         // Assemble the per-interval measurement vectors.
         let mut series = Vec::with_capacity(k);
         for i in 0..k {
             series.push(msys.measurements_at(i)?);
         }
+        let moments = msys.second_moments().sample_moments(&series)?;
+        // Prefer the ingress totals when present (exact total traffic).
+        let mean_ingress: f64 = ts
+            .ingress
+            .iter()
+            .map(|v| v.iter().sum::<f64>())
+            .sum::<f64>()
+            / k as f64;
+        self.estimate_from_moments(msys, &moments, mean_ingress, None)
+    }
 
-        let sys = msys.second_moments();
-        let moments = sys.sample_moments(&series)?;
+    /// Estimate mean rates λ directly from precomputed window moments —
+    /// the incremental entry point a streaming engine feeds from its
+    /// rolling accumulators (no per-tick series assembly or
+    /// re-computation of the sample covariance).
+    ///
+    /// * `moments` must be aligned with the prepared system's
+    ///   [`SecondMomentSystem`](crate::covariance::SecondMomentSystem).
+    /// * `mean_ingress` is the mean per-interval total ingress traffic
+    ///   over the window (pass `0.0` to fall back to the mean link
+    ///   loads for normalization).
+    /// * `warm` (optional) carries the previous interval's solution and
+    ///   spectral step; the stacked `[A; √w·M]` system — constant
+    ///   across intervals — is cached inside it.
+    ///
+    /// With `warm = None` this is exactly the cold path of
+    /// [`VardiEstimator::estimate_prepared`].
+    pub fn estimate_from_moments(
+        &self,
+        msys: &MeasurementSystem<'_>,
+        moments: &crate::covariance::SampleMoments,
+        mean_ingress: f64,
+        warm: Option<&mut VardiWarmStart>,
+    ) -> Result<Estimate> {
+        if self.moment_weight < 0.0 {
+            return Err(EstimationError::InvalidProblem(
+                "vardi: moment weight must be nonnegative".into(),
+            ));
+        }
+        let problem = msys.problem();
+        let a = msys.matrix();
+        if moments.mean.len() != a.rows() {
+            return Err(EstimationError::InvalidProblem(format!(
+                "vardi: moments carry {} mean rows for {} measurement rows",
+                moments.mean.len(),
+                a.rows()
+            )));
+        }
 
         // Normalize: mean loads by total traffic, covariances by its square.
         let stot: f64 = {
@@ -98,15 +137,8 @@ impl VardiEstimator {
                 .take(problem.n_links())
                 .sum::<f64>()
                 .max(1.0);
-            // Prefer the ingress totals when present (exact total traffic).
-            let ing: f64 = ts
-                .ingress
-                .iter()
-                .map(|v| v.iter().sum::<f64>())
-                .sum::<f64>()
-                / k as f64;
-            if ing > 0.0 {
-                ing
+            if mean_ingress > 0.0 {
+                mean_ingress
             } else {
                 total
             }
@@ -122,12 +154,43 @@ impl VardiEstimator {
         // Table 1 reports at σ⁻² = 1.
         let cov_hat: Vec<f64> = moments.cov_vech.iter().map(|v| v / stot).collect();
 
-        // Stack [A; √w·M] and [t̂; √w·vech Σ̂].
+        // Stack [A; √w·M] and [t̂; √w·vech Σ̂]. The stacked matrix depends
+        // only on the routing pattern and σ⁻², so a streaming warm-start
+        // handle caches it across intervals.
         let w = self.moment_weight.sqrt();
-        let scaled_m = scale_csr(&sys.matrix, w);
-        let b = a.vstack(&scaled_m).map_err(EstimationError::Linalg)?;
+        let (warm, cached_stack) = match warm {
+            Some(state) => {
+                let stack = state.stacked.take();
+                (Some(state), stack)
+            }
+            None => (None, None),
+        };
+        let b = match cached_stack {
+            Some(b) => b,
+            None => {
+                let sys = msys.second_moments();
+                let scaled_m = scale_csr(&sys.matrix, w);
+                a.vstack(&scaled_m).map_err(EstimationError::Linalg)?
+            }
+        };
+        if b.rows() != a.rows() + cov_hat.len() {
+            return Err(EstimationError::InvalidProblem(format!(
+                "vardi: moments carry {} covariance rows for a {}-row stacked system",
+                cov_hat.len(),
+                b.rows()
+            )));
+        }
         let mut rhs = t_hat;
         rhs.extend(cov_hat.iter().map(|v| v * w));
+
+        let mut opts = self.opts;
+        let x0 = match warm.as_deref() {
+            Some(state) if state.demands.len() == a.cols() => {
+                opts.initial_step = state.step;
+                state.demands.iter().map(|&v| (v / stot).max(0.0)).collect()
+            }
+            _ => vec![1.0 / a.cols() as f64; a.cols()],
+        };
 
         let mut buf_r = vec![0.0; b.rows()];
         let mut buf_g = vec![0.0; b.cols()];
@@ -144,16 +207,33 @@ impl VardiEstimator {
                 buf_r.iter().map(|r| r * r).sum::<f64>()
             },
             spg::project_nonneg,
-            vec![1.0 / a.cols() as f64; a.cols()],
-            self.opts,
+            x0,
+            opts,
         )?;
 
         let demands: Vec<f64> = result.x.iter().map(|&v| v * stot).collect();
+        if let Some(state) = warm {
+            state.stacked = Some(b);
+            state.demands = demands.clone();
+            state.step = result.step;
+        }
         Ok(Estimate {
             demands,
             method: format!("vardi(w={:.0e})", self.moment_weight),
         })
     }
+}
+
+/// Warm-start state carried across the intervals of a streaming sweep —
+/// see [`VardiEstimator::estimate_from_moments`].
+#[derive(Debug, Clone, Default)]
+pub struct VardiWarmStart {
+    /// Cached stacked system `[A; √w·M]` (constant across intervals).
+    stacked: Option<Csr>,
+    /// Previous interval's demand estimate (raw Mbps units).
+    demands: Vec<f64>,
+    /// Final spectral step of the previous SPG run.
+    step: f64,
 }
 
 impl Estimator for VardiEstimator {

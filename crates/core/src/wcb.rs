@@ -191,13 +191,21 @@ impl WcbSolver {
     }
 
     /// Re-anchor the phase-1 basis on a new measurement vector of the
-    /// same routing pattern. Returns `false` when the basis cannot be
-    /// reused (dense engine, sign change, or basis infeasible for the
-    /// new vector) — the caller then rebuilds with a fresh phase 1.
+    /// same routing pattern. When the carried basis is primal
+    /// infeasible for the new vector, a **dual-repair pass**
+    /// ([`RevisedSimplex::rebase_repair`]) pivots it back to
+    /// feasibility before giving up — between consecutive intervals of
+    /// a slowly drifting load series that is a handful of pivots
+    /// instead of a fresh phase 1. Returns `false` when the basis
+    /// cannot be reused at all (dense engine, sign change, repair
+    /// exhausted); the caller must then rebuild with a fresh phase 1 —
+    /// after a `false` from the revised engine the solver may have
+    /// pivoted and **must be discarded**.
     pub fn rebase(&mut self, b_new: &[f64]) -> Result<bool> {
         match &mut self.base {
             LpBase::Revised(s) => {
-                if s.rebase(b_new)? {
+                let budget = s.active_rows().max(64);
+                if s.rebase_repair(b_new, budget)? {
                     self.b.clear();
                     self.b.extend_from_slice(b_new);
                     Ok(true)

@@ -24,27 +24,43 @@ impl Cholesky {
             });
         }
         let n = a.rows();
-        let mut l = Mat::zeros(n, n);
+        // Work on a flat buffer with contiguous row slices: the inner
+        // dot products then vectorize instead of paying a
+        // bounds-checked accessor per scalar (this factorization is the
+        // per-iteration cost of the dense Newton and active-set-kernel
+        // paths). The accumulation order matches the classic accessor
+        // loop exactly — results are bit-identical.
+        let mut ld = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                ld[i * n + j] = a.get(i, j);
+            }
+        }
         for j in 0..n {
-            let mut d = a.get(j, j);
+            let (above, below) = ld.split_at_mut((j + 1) * n);
+            let row_j = &mut above[j * n..j * n + j + 1];
+            let mut d = row_j[j];
             for k in 0..j {
-                let v = l.get(j, k);
-                d -= v * v;
+                d -= row_j[k] * row_j[k];
             }
             if d <= 0.0 || !d.is_finite() {
                 return Err(LinalgError::NotPositiveDefinite { index: j });
             }
             let dj = d.sqrt();
-            l.set(j, j, dj);
+            row_j[j] = dj;
+            let row_j = &above[j * n..j * n + j];
             for i in (j + 1)..n {
-                let mut v = a.get(i, j);
+                let row_i = &mut below[(i - j - 1) * n..(i - j - 1) * n + j + 1];
+                let mut v = row_i[j];
                 for k in 0..j {
-                    v -= l.get(i, k) * l.get(j, k);
+                    v -= row_i[k] * row_j[k];
                 }
-                l.set(i, j, v / dj);
+                row_i[j] = v / dj;
             }
         }
-        Ok(Cholesky { l })
+        Ok(Cholesky {
+            l: Mat::from_vec(n, n, ld),
+        })
     }
 
     /// Solve `A·x = b` via the two triangular solves.
@@ -73,6 +89,68 @@ impl Cholesky {
             y[i] = acc / self.l.get(i, i);
         }
         Ok(y)
+    }
+
+    /// Rank-one **update**: replace the factorization of `A` by that of
+    /// `A + v·vᵀ` in `O(n²)`, without touching `A` itself. The classic
+    /// Givens-based algorithm (Golub & Van Loan §12.5): always stable,
+    /// since an update keeps the matrix positive definite.
+    pub fn update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.l.rows();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("Cholesky update: v {} vs n {}", v.len(), n),
+            });
+        }
+        let mut w = v.to_vec();
+        for j in 0..n {
+            let ljj = self.l.get(j, j);
+            let r = (ljj * ljj + w[j] * w[j]).sqrt();
+            let c = r / ljj;
+            let s = w[j] / ljj;
+            self.l.set(j, j, r);
+            for i in (j + 1)..n {
+                let lij = (self.l.get(i, j) + s * w[i]) / c;
+                w[i] = c * w[i] - s * lij;
+                self.l.set(i, j, lij);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-one **downdate**: replace the factorization of `A` by that
+    /// of `A − v·vᵀ` in `O(n²)` (hyperbolic rotations). Fails with
+    /// [`LinalgError::NotPositiveDefinite`] when the result would not
+    /// be positive definite (including near-singular cases where the
+    /// downdate is numerically unsafe); the factor is then left in an
+    /// unspecified state and must be rebuilt.
+    pub fn downdate(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.l.rows();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("Cholesky downdate: v {} vs n {}", v.len(), n),
+            });
+        }
+        let mut w = v.to_vec();
+        for j in 0..n {
+            let ljj = self.l.get(j, j);
+            let d = ljj * ljj - w[j] * w[j];
+            // Refuse unsafe downdates: the hyperbolic rotation blows up
+            // as d → 0 even before definiteness is lost.
+            if d <= 1e-12 * ljj * ljj || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let r = d.sqrt();
+            let c = r / ljj;
+            let s = w[j] / ljj;
+            self.l.set(j, j, r);
+            for i in (j + 1)..n {
+                let lij = (self.l.get(i, j) - s * w[i]) / c;
+                w[i] = c * w[i] - s * lij;
+                self.l.set(i, j, lij);
+            }
+        }
+        Ok(())
     }
 
     /// The lower-triangular factor.
@@ -139,6 +217,80 @@ mod tests {
         assert!(Cholesky::factor(&Mat::zeros(2, 3)).is_err());
         let ch = Cholesky::factor(&Mat::identity(2)).unwrap();
         assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactorization() {
+        let a = spd();
+        let v = [0.7, -0.3, 1.1];
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.update(&v).unwrap();
+        let mut a2 = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                a2.add_to(i, j, v[i] * v[j]);
+            }
+        }
+        let fresh = Cholesky::factor(&a2).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert!(
+                    (ch.l().get(i, j) - fresh.l().get(i, j)).abs() < 1e-12,
+                    "L[{i}][{j}]"
+                );
+            }
+        }
+        assert!(ch.update(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_one_downdate_matches_refactorization() {
+        let a = spd();
+        let v = [0.4, 0.2, -0.5];
+        let mut a2 = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                a2.add_to(i, j, v[i] * v[j]);
+            }
+        }
+        // Factor A + vvᵀ, downdate v: must recover the factor of A.
+        let mut ch = Cholesky::factor(&a2).unwrap();
+        ch.downdate(&v).unwrap();
+        let fresh = Cholesky::factor(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..=i {
+                assert!(
+                    (ch.l().get(i, j) - fresh.l().get(i, j)).abs() < 1e-11,
+                    "L[{i}][{j}]: {} vs {}",
+                    ch.l().get(i, j),
+                    fresh.l().get(i, j)
+                );
+            }
+        }
+        // Solves agree after a chain of updates/downdates.
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.update(&[1.0, 0.0, 0.5]).unwrap();
+        ch.update(&v).unwrap();
+        ch.downdate(&[1.0, 0.0, 0.5]).unwrap();
+        let mut a3 = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                a3.add_to(i, j, v[i] * v[j]);
+            }
+        }
+        let x = ch.solve(&[1.0, 2.0, 3.0]).unwrap();
+        let want = Cholesky::factor(&a3)
+            .unwrap()
+            .solve(&[1.0, 2.0, 3.0])
+            .unwrap();
+        for i in 0..3 {
+            assert!((x[i] - want[i]).abs() < 1e-9, "{} vs {}", x[i], want[i]);
+        }
+        // Removing more than the matrix holds must fail cleanly.
+        let mut ch = Cholesky::factor(&Mat::identity(2)).unwrap();
+        assert!(ch.downdate(&[2.0, 0.0]).is_err());
+        let mut ch = Cholesky::factor(&Mat::identity(2)).unwrap();
+        assert!(ch.downdate(&[1.0]).is_err());
     }
 
     #[test]

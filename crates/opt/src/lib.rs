@@ -33,6 +33,7 @@
 
 pub mod error;
 pub mod ipf;
+pub mod newton;
 pub mod nnls;
 pub mod qp;
 pub mod revised;

@@ -382,6 +382,30 @@ pub fn ridge_nnls_with(
     x0: &[f64],
     max_outer: usize,
 ) -> Result<NnlsSolution> {
+    ridge_nnls_warm(a, at, b, mu, x0, max_outer, None)
+}
+
+/// [`ridge_nnls_with`] with an optional warm-start solution.
+///
+/// The active-set loop normally starts with *every* variable free and
+/// clamps its way down; `warm` seeds the free set from the support of a
+/// previous solution instead (`warm[p] > 0` ⇒ free). Between
+/// consecutive intervals of a slowly drifting load series the support
+/// rarely changes, so the loop typically terminates after one or two
+/// kernel solves instead of re-discovering the active set from scratch.
+/// The objective is strictly convex (`μ > 0`), so the minimizer — and
+/// therefore the returned solution, up to solver tolerance — does not
+/// depend on the starting set. `warm = None` is exactly
+/// [`ridge_nnls_with`].
+pub fn ridge_nnls_warm(
+    a: &Csr,
+    at: &Csr,
+    b: &[f64],
+    mu: f64,
+    x0: &[f64],
+    max_outer: usize,
+    warm: Option<&[f64]>,
+) -> Result<NnlsSolution> {
     let (m, n) = (a.rows(), a.cols());
     if b.len() != m || x0.len() != n {
         return Err(OptError::Invalid(format!(
@@ -403,7 +427,18 @@ pub fn ridge_nnls_with(
     let scale = vector::norm_inf(b).max(vector::norm_inf(x0)).max(1.0);
     let tol = 1e-10 * scale;
 
-    let mut free = vec![true; n];
+    let mut free = match warm {
+        None => vec![true; n],
+        Some(w) => {
+            if w.len() != n {
+                return Err(OptError::Invalid(format!(
+                    "ridge_nnls: warm start has {} entries for {n} columns",
+                    w.len()
+                )));
+            }
+            w.iter().map(|&v| v > 0.0).collect()
+        }
+    };
     let max_outer = if max_outer == 0 {
         3 * n + 20
     } else {
@@ -538,6 +573,204 @@ pub fn ridge_nnls_with(
         iterations: max_outer,
         measure: f64::NAN,
     })
+}
+
+/// Cached dual-form kernel of a ridge-NNLS active set: the free-set
+/// indicator and the Cholesky factor of `M = A_F·A_Fᵀ + μI`. `M`
+/// depends only on the matrix, μ and the free set — **not** on the
+/// right-hand side or the prior — so consecutive intervals of a
+/// slowly drifting load series, whose active sets rarely change, can
+/// skip the per-call assembly and factorization entirely.
+#[derive(Debug, Clone)]
+pub struct RidgeKernel {
+    free: Vec<bool>,
+    chol: Cholesky,
+}
+
+impl RidgeKernel {
+    /// The cached free-set indicator.
+    pub fn free(&self) -> &[bool] {
+        &self.free
+    }
+}
+
+/// [`ridge_nnls_warm`] with a cached factorized kernel carried across
+/// calls (the streaming fast path).
+///
+/// When `kernel` holds the factor of a previous call's final active
+/// set, one kernel solve + a KKT check answers the new right-hand side
+/// in `O(nnz + m²)` — no assembly, no factorization. Only when the
+/// check fails (the active set moved) does the full active-set loop
+/// run, after which the kernel is re-factored for the new set. The
+/// objective is strictly convex, so the solution is the unique
+/// minimizer regardless of which path produced it (up to the same
+/// solver tolerance as [`ridge_nnls`]).
+pub fn ridge_nnls_kernel(
+    a: &Csr,
+    at: &Csr,
+    b: &[f64],
+    mu: f64,
+    x0: &[f64],
+    max_outer: usize,
+    kernel: &mut Option<RidgeKernel>,
+) -> Result<NnlsSolution> {
+    let (m, n) = (a.rows(), a.cols());
+    // Remember the cached free set before the incremental attempt: a
+    // declined repair discards the kernel, but its (partially moved)
+    // set is still a far better slow-path seed than starting all-free.
+    let warm_seed: Option<Vec<f64>> = kernel
+        .as_ref()
+        .filter(|k| k.free.len() == n)
+        .map(|k| k.free.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect());
+    if let Some(k) = kernel.as_mut() {
+        if k.free.len() == n {
+            match ridge_kernel_incremental(a, at, b, mu, x0, k) {
+                Ok(Some(sol)) => return Ok(sol),
+                // The incremental path declined (too many active-set
+                // moves) or a downdate lost definiteness: discard the
+                // kernel and run the full loop below.
+                Ok(None) | Err(_) => *kernel = None,
+            }
+        }
+    }
+    // Slow path: run the active-set loop from the remembered seed.
+    let sol = ridge_nnls_warm(a, at, b, mu, x0, max_outer, warm_seed.as_deref())?;
+    // Re-factor the kernel for the new support.
+    let free: Vec<bool> = sol.x.iter().map(|&v| v > 0.0).collect();
+    let mut mmat = Mat::zeros(m, m);
+    for i in 0..m {
+        mmat.set(i, i, mu);
+    }
+    for (p, &is_free) in free.iter().enumerate() {
+        if !is_free {
+            continue;
+        }
+        let (idx, val) = at.row(p);
+        for (k1, &i) in idx.iter().enumerate() {
+            for (k2, &j) in idx.iter().enumerate() {
+                mmat.add_to(i, j, val[k1] * val[k2]);
+            }
+        }
+    }
+    *kernel = Cholesky::factor(&mmat)
+        .ok()
+        .map(|chol| RidgeKernel { free, chol });
+    Ok(sol)
+}
+
+/// Cap on incremental active-set moves per call before declaring the
+/// cached kernel stale and rebuilding from scratch (each move is an
+/// `O(m²)` rank-one up/downdate — a handful per interval is the
+/// expected regime, a flood means the set genuinely jumped).
+const KERNEL_MAX_MOVES: usize = 24;
+
+/// Solve against the cached kernel, repairing the active set by
+/// rank-one Cholesky up/downdates as it drifts: clamp the worst primal
+/// violator (downdate its column), release the worst dual violator
+/// (update its column), re-solve — each move `O(m²)` instead of a full
+/// `O(m³)` refactorization. Returns `Ok(None)` when the set moved more
+/// than [`KERNEL_MAX_MOVES`] times; errors (e.g. a downdate losing
+/// definiteness) leave the kernel unusable — the caller discards it.
+fn ridge_kernel_incremental(
+    a: &Csr,
+    at: &Csr,
+    b: &[f64],
+    mu: f64,
+    x0: &[f64],
+    kernel: &mut RidgeKernel,
+) -> Result<Option<NnlsSolution>> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m || x0.len() != n {
+        return Err(OptError::Invalid(format!(
+            "ridge_nnls: A {m}x{n} vs b {} and x0 {}",
+            b.len(),
+            x0.len()
+        )));
+    }
+    let scale = vector::norm_inf(b).max(vector::norm_inf(x0)).max(1.0);
+    let tol = 1e-10 * scale;
+    let dense_col = |p: usize| -> Vec<f64> {
+        let mut v = vec![0.0; m];
+        let (idx, val) = at.row(p);
+        for (k1, &i) in idx.iter().enumerate() {
+            v[i] = val[k1];
+        }
+        v
+    };
+
+    let mut moves = 0usize;
+    loop {
+        // rhs = b − A_F·x0_F.
+        let mut rhs = b.to_vec();
+        for (p, &is_free) in kernel.free.iter().enumerate() {
+            if !is_free || x0[p] == 0.0 {
+                continue;
+            }
+            let (idx, val) = at.row(p);
+            for (k1, &i) in idx.iter().enumerate() {
+                rhs[i] -= val[k1] * x0[p];
+            }
+        }
+        let y = kernel.chol.solve(&rhs).map_err(OptError::Linalg)?;
+        // x_F = x0_F + (Aᵀy)_F; x_Z = 0.
+        let aty = a.tr_matvec(&y);
+        let mut x = vec![0.0; n];
+        let mut worst_primal = -tol;
+        let mut clamp_p = usize::MAX;
+        for (p, &is_free) in kernel.free.iter().enumerate() {
+            if is_free {
+                let v = x0[p] + aty[p];
+                if v < worst_primal {
+                    worst_primal = v;
+                    clamp_p = p;
+                }
+                x[p] = v.max(0.0);
+            }
+        }
+        if clamp_p != usize::MAX {
+            moves += 1;
+            if moves > KERNEL_MAX_MOVES {
+                return Ok(None);
+            }
+            kernel.free[clamp_p] = false;
+            kernel
+                .chol
+                .downdate(&dense_col(clamp_p))
+                .map_err(OptError::Linalg)?;
+            continue;
+        }
+        // Dual feasibility of the clamped variables.
+        let resid = vector::sub(&a.matvec(&x), b);
+        let grad_ls = a.tr_matvec(&resid);
+        let mut worst_dual = -tol;
+        let mut release_p = usize::MAX;
+        for (p, &is_free) in kernel.free.iter().enumerate() {
+            if !is_free {
+                let g = grad_ls[p] + mu * (x[p] - x0[p]);
+                if g < worst_dual {
+                    worst_dual = g;
+                    release_p = p;
+                }
+            }
+        }
+        if release_p != usize::MAX {
+            moves += 1;
+            if moves > KERNEL_MAX_MOVES {
+                return Ok(None);
+            }
+            kernel.free[release_p] = true;
+            kernel
+                .chol
+                .update(&dense_col(release_p))
+                .map_err(OptError::Linalg)?;
+            continue;
+        }
+        return Ok(Some(NnlsSolution {
+            residual_norm: vector::norm2(&resid),
+            x,
+            iterations: moves,
+        }));
+    }
 }
 
 /// Verify the KKT conditions of an NNLS solution (for tests and debug
@@ -749,6 +982,96 @@ mod tests {
         assert!(ridge_nnls(&a, &[1.0], 1.0, &[0.0, 0.0], 0).is_err());
         assert!(ridge_nnls(&a, &[1.0, 1.0], 0.0, &[0.0, 0.0], 0).is_err());
         assert!(ridge_nnls(&a, &[1.0, 1.0], 1.0, &[0.0], 0).is_err());
+    }
+
+    #[test]
+    fn ridge_warm_start_matches_cold_and_saves_iterations() {
+        let a_dense = Mat::from_rows(&[
+            vec![1.0, 2.0, 0.5, 0.0],
+            vec![0.0, 1.0, 3.0, 1.0],
+            vec![2.0, 0.0, 1.0, 0.5],
+        ]);
+        let a = Csr::from_dense(&a_dense, 0.0);
+        let at = a.transpose();
+        let prior = [0.2, 0.1, 0.0, 0.3];
+        let b1 = [1.0, -4.0, 2.0];
+        let cold1 = ridge_nnls(&a, &b1, 0.05, &prior, 0).unwrap();
+        // A drifted RHS: warm-start the free set from the previous
+        // support; the strictly convex objective pins the answer.
+        let b2 = [1.1, -3.8, 2.1];
+        let cold2 = ridge_nnls(&a, &b2, 0.05, &prior, 0).unwrap();
+        let warm2 = ridge_nnls_warm(&a, &at, &b2, 0.05, &prior, 0, Some(&cold1.x)).unwrap();
+        for j in 0..4 {
+            assert!(
+                (warm2.x[j] - cold2.x[j]).abs() < 1e-8,
+                "j={j}: warm {} vs cold {}",
+                warm2.x[j],
+                cold2.x[j]
+            );
+        }
+        assert!(
+            warm2.iterations <= cold2.iterations,
+            "warm {} vs cold {}",
+            warm2.iterations,
+            cold2.iterations
+        );
+        assert!(kkt_violation(&a_dense, &b2, 0.05, Some(&prior), &warm2.x) < 1e-7);
+        // An all-zero warm support still reaches the optimum through
+        // the dual release loop.
+        let zero = [0.0; 4];
+        let released = ridge_nnls_warm(&a, &at, &b2, 0.05, &prior, 0, Some(&zero)).unwrap();
+        for j in 0..4 {
+            assert!((released.x[j] - cold2.x[j]).abs() < 1e-8, "j={j}");
+        }
+        // Validation: wrong warm length.
+        assert!(ridge_nnls_warm(&a, &at, &b2, 0.05, &prior, 0, Some(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn ridge_kernel_fast_path_matches_slow_path() {
+        let a_dense = Mat::from_rows(&[
+            vec![1.0, 2.0, 0.5, 0.0],
+            vec![0.0, 1.0, 3.0, 1.0],
+            vec![2.0, 0.0, 1.0, 0.5],
+        ]);
+        let a = Csr::from_dense(&a_dense, 0.0);
+        let at = a.transpose();
+        let prior = [0.2, 0.1, 0.0, 0.3];
+        let mut kernel = None;
+        // First call: slow path installs the kernel.
+        let b1 = [1.0, -4.0, 2.0];
+        let s1 = ridge_nnls_kernel(&a, &at, &b1, 0.05, &prior, 0, &mut kernel).unwrap();
+        assert!(kernel.is_some());
+        assert!(s1.iterations > 0, "first call runs the active-set loop");
+        // Drifted RHS with the same active set: fast path (0 outer
+        // iterations) must reproduce the from-scratch solution.
+        let b2 = [1.05, -3.9, 2.05];
+        let s2 = ridge_nnls_kernel(&a, &at, &b2, 0.05, &prior, 0, &mut kernel).unwrap();
+        let cold2 = ridge_nnls(&a, &b2, 0.05, &prior, 0).unwrap();
+        for j in 0..4 {
+            assert!(
+                (s2.x[j] - cold2.x[j]).abs() < 1e-8,
+                "j={j}: kernel {} vs cold {}",
+                s2.x[j],
+                cold2.x[j]
+            );
+        }
+        assert_eq!(s2.iterations, 0, "same active set takes the fast path");
+        assert!(kkt_violation(&a_dense, &b2, 0.05, Some(&prior), &s2.x) < 1e-7);
+        // A RHS that flips the active set: the fast path must refuse and
+        // the slow path must recover (and re-install the kernel).
+        let b3 = [1.0, 4.0, 2.0];
+        let s3 = ridge_nnls_kernel(&a, &at, &b3, 0.05, &prior, 0, &mut kernel).unwrap();
+        let cold3 = ridge_nnls(&a, &b3, 0.05, &prior, 0).unwrap();
+        for j in 0..4 {
+            assert!((s3.x[j] - cold3.x[j]).abs() < 1e-8, "j={j}");
+        }
+        let k = kernel.as_ref().unwrap();
+        assert_eq!(k.free().len(), 4);
+        // Kernel reflects the latest support.
+        for j in 0..4 {
+            assert_eq!(k.free()[j], s3.x[j] > 0.0, "j={j}");
+        }
     }
 
     #[test]

@@ -321,6 +321,143 @@ impl RevisedSimplex {
         Ok(true)
     }
 
+    /// [`RevisedSimplex::rebase`] with a **dual-style repair pass**: when
+    /// the carried basis is primal infeasible for `b_new`, run up to
+    /// `max_pivots` dual-simplex-style pivots (leaving row = worst
+    /// violation, entering column = the sign-compatible nonbasic column
+    /// with the largest pivot magnitude, deterministic tie-break by
+    /// index) to restore feasibility instead of immediately giving up.
+    /// Between consecutive intervals of a slowly drifting load series
+    /// the basis is usually a handful of pivots from feasibility, so
+    /// this replaces a full fresh phase 1 with `O(few)` pivots.
+    ///
+    /// Returns `Ok(true)` when the basis was re-anchored (plain or
+    /// repaired). Returns `Ok(false)` when the sign pattern differs or
+    /// the repair gave up — **the solver state is then stale and must be
+    /// discarded** (unlike [`RevisedSimplex::rebase`], a failed repair
+    /// has already moved the basis).
+    pub fn rebase_repair(&mut self, b_new: &[f64], max_pivots: usize) -> Result<bool> {
+        if self.rebase(b_new)? {
+            return Ok(true);
+        }
+        // Sign-pattern mismatch cannot be repaired: the stored columns
+        // are row-flipped for the original signs.
+        let mut bf = Vec::with_capacity(self.m);
+        for (i, &v) in b_new.iter().enumerate() {
+            let f = self.flip[i] * v;
+            if f < 0.0 {
+                return Ok(false);
+            }
+            bf.push(f);
+        }
+        // Adopt the new right-hand side and the (infeasible) basic
+        // solution it implies; the loop below repairs it in place.
+        self.factor.ftran_into(&bf, &mut self.w);
+        self.b = bf;
+        self.xb.copy_from_slice(&self.w);
+
+        let m = self.m;
+        let n = self.n;
+        for _ in 0..max_pivots {
+            // Leaving row: the worst violation. Structural basics must be
+            // ≥ 0; artificial basics must stay at (numerical) zero.
+            let mut rout = usize::MAX;
+            let mut worst = self.feas_tol;
+            for i in 0..m {
+                let v = self.xb[i];
+                let viol = if self.basis[i] >= n { v.abs() } else { -v };
+                if viol > worst {
+                    worst = viol;
+                    rout = i;
+                }
+            }
+            if rout == usize::MAX {
+                // Feasible: clamp residue exactly like a refactor would.
+                for i in 0..m {
+                    if self.basis[i] >= n || self.xb[i] < 0.0 {
+                        self.xb[i] = if self.basis[i] >= n {
+                            0.0
+                        } else {
+                            self.xb[i].max(0.0)
+                        };
+                    }
+                }
+                return Ok(true);
+            }
+            // Row rout of B⁻¹: ρ = Bᵀ⁻¹·e_r.
+            self.cb.fill(0.0);
+            self.cb[rout] = 1.0;
+            self.factor.btran_into(&self.cb, &mut self.y);
+            // Entering column: sign-compatible pivot α_rj = ρ·A_j with
+            // the largest magnitude (no objective is active here — any
+            // sign-correct pivot restores this row, so pick the most
+            // stable one; ties break toward the lowest index).
+            let need_positive = self.basis[rout] >= n && self.xb[rout] > 0.0;
+            let mut jin = usize::MAX;
+            let mut best_mag = self.tol;
+            for j in 0..n {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let (rows, vals) = self.at.row(j);
+                let mut alpha = 0.0;
+                for (k, &r) in rows.iter().enumerate() {
+                    alpha += self.y[r] * vals[k];
+                }
+                let ok = if need_positive {
+                    alpha > 0.0
+                } else {
+                    alpha < 0.0
+                };
+                if ok && alpha.abs() > best_mag {
+                    best_mag = alpha.abs();
+                    jin = j;
+                }
+            }
+            if jin == usize::MAX {
+                return Ok(false);
+            }
+            // FTRAN image of the entering column; use its row-r entry as
+            // the pivot (consistent with the factorization the eta
+            // update extends).
+            self.ftran_entering(jin);
+            let pivot = self.w[rout];
+            if pivot.abs() <= self.tol
+                || (need_positive && pivot < 0.0)
+                || (!need_positive && pivot > 0.0)
+            {
+                return Ok(false);
+            }
+            let theta = self.xb[rout] / pivot;
+            for i in 0..m {
+                if i != rout {
+                    let v = self.xb[i] - theta * self.w[i];
+                    self.xb[i] = if v < 0.0 && v > -self.tol { 0.0 } else { v };
+                }
+            }
+            self.xb[rout] = theta;
+            let jout = self.basis[rout];
+            if jout < n {
+                self.in_basis[jout] = false;
+            }
+            self.basis[rout] = jin;
+            self.in_basis[jin] = true;
+            let needs_refactor = self.factor.should_refactor(rout, &self.w)
+                || self.updates_since_refactor >= DRIFT_REFACTOR_PIVOTS;
+            if needs_refactor || self.factor.push_eta(rout, &self.w).is_err() {
+                // Do NOT pin artificials mid-repair: like phase 1, any
+                // artificial still basic here carries the genuine
+                // remaining infeasibility the loop is eliminating —
+                // pinning it would hide the violation and let the
+                // repair succeed on an infeasible basis.
+                self.refactor(false)?;
+            } else {
+                self.updates_since_refactor += 1;
+            }
+        }
+        Ok(false)
+    }
+
     /// Minimize `cᵀx` from the current feasible basis.
     pub fn minimize(&mut self, c: &[f64]) -> Result<LpSolution> {
         if c.len() != self.n {
@@ -820,6 +957,103 @@ mod tests {
         // Wrong length is an error; sign flip is a clean rejection.
         assert!(s.rebase(&[1.0]).is_err());
         assert!(!s.rebase(&[-1.0, 7.0, 6.0]).unwrap());
+    }
+
+    #[test]
+    fn rebase_repair_restores_feasibility_with_dual_pivots() {
+        // Transportation-style LP where shifting the RHS makes the
+        // optimal vertex of the old RHS infeasible: plain rebase must
+        // fail, the repair pass must recover, and the repaired bounds
+        // must equal a fresh cold start.
+        let a = csr(&[
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0, 0.0],
+        ]);
+        let b1 = vec![5.0, 7.0, 6.0];
+        let mut s = RevisedSimplex::new_sparse(&a, &b1).unwrap();
+        // Drive the basis to a vertex: maximize x0.
+        let _ = s.maximize(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        // A RHS the optimal vertex is infeasible for (x0 = 5 > b3').
+        let b2 = vec![5.0, 7.0, 3.0];
+        let mut plain = s.clone();
+        if !plain.rebase(&b2).unwrap() {
+            // The interesting path: repair must succeed where plain
+            // rebase failed.
+            assert!(s.rebase_repair(&b2, 64).unwrap(), "repair succeeds");
+        } else {
+            // Basis happened to survive; repair must agree.
+            assert!(s.rebase_repair(&b2, 64).unwrap());
+        }
+        for p in 0..4 {
+            let mut c = vec![0.0; 4];
+            c[p] = 1.0;
+            let warm_hi = s.maximize(&c).unwrap();
+            let mut fresh = RevisedSimplex::new_sparse(&a, &b2).unwrap();
+            let cold_hi = fresh.maximize(&c).unwrap();
+            assert!(
+                (warm_hi.objective - cold_hi.objective).abs() < 1e-9,
+                "p={p}: repaired {} vs fresh {}",
+                warm_hi.objective,
+                cold_hi.objective
+            );
+            assert!(feasible(&a, &b2, &warm_hi.x, 1e-8));
+        }
+    }
+
+    #[test]
+    fn rebase_repair_sweep_matches_cold_on_many_rhs() {
+        // A drifting RHS sequence: every step re-anchors the carried
+        // basis (repairing when needed) and must reproduce the cold
+        // objectives exactly.
+        let a = csr(&[
+            vec![1.0, 1.0, 0.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0],
+        ]);
+        let base_b = [6.0, 9.0, 5.0, 4.0];
+        let mut s = RevisedSimplex::new_sparse(&a, &base_b).unwrap();
+        let _ = s.maximize(&[1.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
+        for step in 1..12 {
+            let drift = |i: usize| 1.0 + 0.35 * (((step * 7 + i * 3) % 11) as f64 / 11.0 - 0.5);
+            let b: Vec<f64> = base_b
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * drift(i))
+                .collect();
+            let solver = if s.rebase_repair(&b, 128).unwrap() {
+                &mut s
+            } else {
+                s = RevisedSimplex::new_sparse(&a, &b).unwrap();
+                &mut s
+            };
+            for p in 0..5 {
+                let mut c = vec![0.0; 5];
+                c[p] = 1.0;
+                let warm = solver.maximize(&c).unwrap();
+                let mut fresh = RevisedSimplex::new_sparse(&a, &b).unwrap();
+                let cold = fresh.maximize(&c).unwrap();
+                assert!(
+                    (warm.objective - cold.objective).abs() < 1e-8,
+                    "step {step} p={p}: {} vs {}",
+                    warm.objective,
+                    cold.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_repair_rejects_sign_flips_and_bad_lengths() {
+        let a = csr(&[vec![1.0, 1.0]]);
+        let mut s = RevisedSimplex::new_sparse(&a, &[1.0]).unwrap();
+        assert!(s.rebase_repair(&[1.0, 2.0], 16).is_err());
+        assert!(!s.rebase_repair(&[-1.0], 16).unwrap());
+        // Same-sign rebase still works after the rejected attempts.
+        assert!(s.rebase_repair(&[2.0], 16).unwrap());
+        let sol = s.maximize(&[1.0, 0.0]).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
     }
 
     #[test]

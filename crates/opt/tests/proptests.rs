@@ -163,7 +163,7 @@ proptest! {
         }
         let r = Csr::from_triplets(4, 6, trip).unwrap();
         let t = r.matvec(&strue);
-        let res = gis(&prior, &r, &t, IpfOptions { max_iter: 50_000, tol: 1e-9 }).unwrap();
+        let res = gis(&prior, &r, &t, IpfOptions { max_iter: 50_000, tol: 1e-9, ..Default::default() }).unwrap();
         let rs = r.matvec(&res.values);
         for i in 0..4 {
             prop_assert!((rs[i] - t[i]).abs() < 1e-6 * (1.0 + t[i]), "row {i}");

@@ -161,7 +161,83 @@ impl EvalDataset {
     pub fn n_pairs(&self) -> usize {
         self.routing.pairs().count()
     }
+
+    /// Observable loads of sample `k` — the per-interval SNMP view
+    /// (interior link loads plus per-node ingress/egress edge totals)
+    /// that a streaming estimation engine consumes tick by tick.
+    pub fn interval_loads(&self, k: usize) -> Result<IntervalLoads> {
+        let s = self.demands_at(k)?;
+        self.loads_from_demands(s)
+    }
+
+    /// [`EvalDataset::interval_loads`] for an externally supplied demand
+    /// vector — the glue that turns a *collected* (measured) demand
+    /// series, e.g. from the SNMP polling simulation, into the loads a
+    /// streaming engine ingests.
+    pub fn loads_from_demands(&self, demands: &[f64]) -> Result<IntervalLoads> {
+        Ok(IntervalLoads {
+            link_loads: self.routing.interior_loads(demands)?,
+            ingress: self.routing.ingress_loads(demands)?,
+            egress: self.routing.egress_loads(demands)?,
+        })
+    }
+
+    /// Iterator over the observable loads of a sample range, in time
+    /// order — the series → interval glue driving
+    /// `tm_core::stream::StreamEngine`.
+    pub fn intervals(&self, range: std::ops::Range<usize>) -> Result<IntervalIter<'_>> {
+        if range.end > self.series.len() {
+            return Err(TrafficError::Dimension(format!(
+                "interval range {range:?} outside series of {}",
+                self.series.len()
+            )));
+        }
+        Ok(IntervalIter {
+            dataset: self,
+            range,
+        })
+    }
 }
+
+/// One interval's observable load snapshot: what the operator's
+/// collection infrastructure reports every 5 minutes, and what a
+/// streaming estimation engine consumes per tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalLoads {
+    /// Interior link loads (`L`).
+    pub link_loads: Vec<f64>,
+    /// Per-node ingress totals (`N`).
+    pub ingress: Vec<f64>,
+    /// Per-node egress totals (`N`).
+    pub egress: Vec<f64>,
+}
+
+/// Iterator over `(sample index, IntervalLoads)` of a dataset range —
+/// see [`EvalDataset::intervals`].
+#[derive(Debug, Clone)]
+pub struct IntervalIter<'d> {
+    dataset: &'d EvalDataset,
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for IntervalIter<'_> {
+    type Item = (usize, IntervalLoads);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let k = self.range.next()?;
+        let loads = self
+            .dataset
+            .interval_loads(k)
+            .expect("range validated at construction");
+        Some((k, loads))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for IntervalIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -218,6 +294,36 @@ mod tests {
         let d = EvalDataset::generate(DatasetSpec::tiny(), 3).unwrap();
         assert!(d.demands_at(10_000).is_err());
         assert!(d.link_loads_at(10_000).is_err());
+    }
+
+    #[test]
+    fn interval_loads_match_routing_loads() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 13).unwrap();
+        let k = d.busy_start;
+        let loads = d.interval_loads(k).unwrap();
+        let s = d.demands_at(k).unwrap();
+        assert_eq!(loads.link_loads, d.routing.interior_loads(s).unwrap());
+        assert_eq!(loads.ingress, d.routing.ingress_loads(s).unwrap());
+        assert_eq!(loads.egress, d.routing.egress_loads(s).unwrap());
+        assert!(d.interval_loads(10_000).is_err());
+        // External (collected) demand vectors go through the same glue.
+        let ext = d.loads_from_demands(s).unwrap();
+        assert_eq!(ext, loads);
+    }
+
+    #[test]
+    fn interval_iterator_covers_range_in_order() {
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 13).unwrap();
+        let iter = d.intervals(2..6).unwrap();
+        assert_eq!(iter.len(), 4);
+        let items: Vec<(usize, IntervalLoads)> = iter.collect();
+        assert_eq!(items.len(), 4);
+        for (i, (k, loads)) in items.iter().enumerate() {
+            assert_eq!(*k, 2 + i);
+            assert_eq!(loads, &d.interval_loads(*k).unwrap());
+        }
+        assert!(d.intervals(0..10_000).is_err());
+        assert_eq!(d.intervals(3..3).unwrap().count(), 0);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod sampler;
 pub mod series;
 pub mod structure;
 
-pub use dataset::{DatasetSpec, EvalDataset};
+pub use dataset::{DatasetSpec, EvalDataset, IntervalIter, IntervalLoads};
 pub use error::TrafficError;
 pub use series::DemandSeries;
 pub use structure::{DemandStructure, TrafficSpec};
@@ -45,7 +45,7 @@ pub type Result<T> = std::result::Result<T, TrafficError>;
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::dataset::{DatasetSpec, EvalDataset, BUSY_PERIOD_SAMPLES};
+    pub use crate::dataset::{DatasetSpec, EvalDataset, IntervalLoads, BUSY_PERIOD_SAMPLES};
     pub use crate::series::{generate_series, poisson_series, DemandSeries};
     pub use crate::structure::{DemandStructure, TrafficSpec};
 }
