@@ -2,7 +2,7 @@
 //! committed previous-PR baseline and fail on regressions.
 //!
 //! ```sh
-//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR4.json BENCH_PR3.json
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR5.json BENCH_PR4.json
 //! ```
 //!
 //! Rules (per network, matched by estimator/ablation name; entries that
@@ -40,6 +40,20 @@ const WALL_SLACK_MS: f64 = 2.0;
 
 /// Allowed absolute MRE movement (solver-tolerance headroom only).
 const MRE_TOLERANCE: f64 = 1e-4;
+
+/// Documented per-entry MRE exceptions: `(network, entry, allowed)`.
+///
+/// * `america/entropy(1e3)` — PR 5's second-order path actually
+///   *converges* the entropy objective at America scale; the PR ≤ 4
+///   SPG solver exhausted its 4000-iteration budget well short of the
+///   optimum there (its terminal rate is set by the Hessian
+///   conditioning), so the recorded baseline MRE is the fingerprint of
+///   an under-converged iterate, not of the estimator. The movement is
+///   toward both the true optimum (verified against a 40k-iteration
+///   SPG reference in `entropy::tests`) and the ground truth
+///   (0.424 → 0.409). The band below permits that one-time correction
+///   while still gating against genuine behavior changes.
+const MRE_EXCEPTIONS: &[(&str, &str, f64)] = &[("america", "entropy(1e3)", 2e-2)];
 
 fn die(msg: &str) -> ! {
     eprintln!("compare_bench: {msg}");
@@ -96,8 +110,8 @@ fn networks(doc: &Value) -> Vec<(String, &Value)> {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let new_path = args.next().unwrap_or_else(|| "BENCH_PR4.json".to_string());
-    let base_path = args.next().unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let new_path = args.next().unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let base_path = args.next().unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let new_doc = load(&new_path);
     let base_doc = load(&base_path);
 
@@ -137,9 +151,17 @@ fn main() {
                 "  {net_name:<8} {est:<22} {base_wall:>9.3} -> {new_wall:>9.3} ms ({ratio:>5.2}x)  {verdict}"
             );
             if let (Some(old), Some(new)) = (base_mre, new_mre) {
-                if (new - old).abs() > MRE_TOLERANCE {
+                let allowed = MRE_EXCEPTIONS
+                    .iter()
+                    .find(|(n, e, _)| *n == net_name && *e == est)
+                    .map_or(MRE_TOLERANCE, |&(_, _, band)| band);
+                if (new - old).abs() > allowed {
                     failures.push(format!("{net_name}/{est}: MRE moved {old:.6} -> {new:.6}"));
                     println!("  {net_name:<8} {est:<22} MRE {old:.6} -> {new:.6}  MRE MOVEMENT");
+                } else if (new - old).abs() > MRE_TOLERANCE {
+                    println!(
+                        "  {net_name:<8} {est:<22} MRE {old:.6} -> {new:.6}  ok (documented exception)"
+                    );
                 }
             }
         }

@@ -15,9 +15,10 @@
 //! `bench` times every registry method (`Method::all_defaults()`) at
 //! three topology scales, the prepared-system batch path, and the
 //! full-day streaming sweeps (`day288-*`: warm-started StreamEngine vs
-//! the equivalent per-interval cold loop at Europe scale), and writes
-//! `BENCH_PR4.json` (schema documented in `docs/PERF.md`). The
-//! `compare_bench` bin diffs it against the committed `BENCH_PR3.json`
+//! the equivalent per-interval cold loop — the full suite at Europe
+//! scale plus the second-order-solver rows at America scale), and
+//! writes `BENCH_PR5.json` (schema documented in `docs/PERF.md`). The
+//! `compare_bench` bin diffs it against the committed `BENCH_PR4.json`
 //! baseline and fails CI on wall-time or MRE regressions. It is NOT
 //! part of `all`.
 
@@ -732,16 +733,17 @@ fn table2() {
 ///
 /// Times every registry method ([`Method::all_defaults`]) at three
 /// topology scales, the prepared-system batch path over 8-snapshot
-/// sweeps, the full-day streaming sweeps (warm vs cold, Europe scale),
+/// sweeps, the full-day streaming sweeps (warm vs cold — the full
+/// suite at Europe scale, the second-order rows at America scale),
 /// and the sparse engine against its densified baseline on the
 /// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
-/// `BENCH_PR4.json` in the working directory. Schema: `docs/PERF.md`.
+/// `BENCH_PR5.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR4.json — compare_bench diffs it against BENCH_PR3.json",
+        "writes BENCH_PR5.json — compare_bench diffs it against BENCH_PR4.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -842,19 +844,27 @@ fn bench_mode() {
         // through one StreamEngine. `day288-<label>` reports the
         // warm-started engine (the PR 4 tentpole); `cold_ms` and
         // `speedup_vs_cold` record the equivalent per-interval cold
-        // loop (bit-identical to the batch path) it replaces. Europe
-        // scale only — America's full day belongs in a soak run, not a
-        // CI bench.
-        if name == "europe" {
-            let day = d.series.len();
-            for spec in [
+        // loop (bit-identical to the batch path) it replaces. The full
+        // suite runs at Europe scale; America runs the rows the PR 5
+        // second-order solvers target (entropy's sparse Newton, Vardi's
+        // semismooth Newton) — the remaining methods' full American day
+        // belongs in a soak run, not a CI bench.
+        let day288_specs: &[&str] = match name {
+            "europe" => &[
                 "entropy:lambda=1e3",
                 "bayes:prior=1e3",
                 "kruithof-full",
                 "fanout:window=10",
                 "vardi:w=0.01,window=50",
+                "cao:c=1.6,w=0.01,window=50",
                 "wcb:engine=revised",
-            ] {
+            ],
+            "america" => &["entropy:lambda=1e3", "vardi:w=0.01,window=50"],
+            _ => &[],
+        };
+        {
+            let day = d.series.len();
+            for spec in day288_specs {
                 let method: Method = spec.parse().expect("valid spec");
                 let ms = vec![method.clone()];
                 let sweep = |mode: StreamMode| {
@@ -974,7 +984,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(4)),
+        ("pr".to_string(), Value::I64(5)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -987,8 +997,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR4.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR4.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR5.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR5.json ({} bytes)", json.len());
 }
 
 /// Extension: the Cao et al. method the paper left as future work.

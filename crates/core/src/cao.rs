@@ -17,6 +17,7 @@
 //! Each stage decreases the objective; the iteration stops when the
 //! relative change stalls.
 
+use tm_opt::nnls::{self, SsnOptions, SsnState};
 use tm_opt::spg::{self, SpgOptions};
 
 use crate::error::EstimationError;
@@ -154,6 +155,42 @@ impl CaoEstimator {
 
         let w = self.moment_weight;
         let mut phi = 1.0;
+        let mut warm = warm;
+        // The Gauss–Newton tracker is only sound when the nonconvex
+        // landscape itself is drifting slowly — the steady state of a
+        // full, slowly moving window. While the window is still filling
+        // (or after a load jump) the sample covariance moves by O(1)
+        // between ticks, and GN would lock onto a different stationary
+        // point than the cold path's fresh initialization; those ticks
+        // keep the SPG stages (the PR 4 warm path). The gate compares
+        // the normalized covariance vector against the previous tick's.
+        let gn_enabled = match warm.as_deref_mut() {
+            Some(state) => {
+                let drift_ok = state.prev_cov.len() == cov_hat.len() && {
+                    let num: f64 = cov_hat
+                        .iter()
+                        .zip(&state.prev_cov)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    let den: f64 = state
+                        .prev_cov
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f64>()
+                        .sqrt()
+                        .max(1e-300);
+                    num / den <= CAO_GN_DRIFT
+                };
+                state.prev_cov = cov_hat.clone();
+                drift_ok
+            }
+            None => false,
+        };
+        // One SSN failure (cycling / degenerate subproblem) disables
+        // the tracker for the remaining outer iterations of this tick —
+        // the failure mode repeats, and each attempt costs a fallback.
+        let mut gn_ok = gn_enabled;
         for _ in 0..self.outer_iters {
             // Stage 1: φ by least squares: min_φ ‖φ·M·λᶜ − Σ̂‖².
             let lam_c: Vec<f64> = lambda.iter().map(|&v| v.powf(self.c)).collect();
@@ -162,7 +199,41 @@ impl CaoEstimator {
             if denom > 0.0 {
                 phi = (mlc.iter().zip(&cov_hat).map(|(m, c)| m * c).sum::<f64>() / denom).max(0.0);
             }
-            // Stage 2: SPG pass on the joint objective with fixed φ.
+            // Stage 2 (streaming): one Gauss–Newton step via the
+            // semismooth-Newton NNLS. The second-moment residual
+            // `φ·M·xᶜ − Σ̂` is linearized at λ (`d_j = φ·c·λ_j^{c−1}`),
+            // giving the stacked linear subproblem
+            // `min ‖Ax − t̂‖² + w‖M·diag(d)·x − b₂‖², x ≥ 0` whose Gram
+            // `AᵀA + w·diag(d)·MᵀM·diag(d)` reuses the measurement
+            // system's cached symbolic factorization (the pattern is
+            // scaling-independent). A step is accepted only when it
+            // decreases the *true* (nonconvex) objective; otherwise —
+            // and on the cold path — the SPG pass below runs unchanged.
+            let mut stage2_done = false;
+            if let Some(state) = warm.as_deref_mut() {
+                if gn_ok && w > 0.0 && phi > 0.0 {
+                    match self.gauss_newton_step(
+                        msys,
+                        state,
+                        &t_hat,
+                        &cov_hat,
+                        &mlc,
+                        &mut lambda,
+                        phi,
+                        w,
+                    )? {
+                        GnOutcome::Stalled => gn_ok = false,
+                        GnOutcome::Converged => break,
+                        GnOutcome::Stepped => stage2_done = true,
+                        GnOutcome::Rejected => {}
+                    }
+                }
+            }
+            if stage2_done {
+                continue;
+            }
+            // Stage 2 (cold / fallback): SPG pass on the joint
+            // objective with fixed φ.
             let c_exp = self.c;
             let mut buf_r1 = vec![0.0; a.rows()];
             let mut buf_r2 = vec![0.0; sys.matrix.rows()];
@@ -224,12 +295,150 @@ impl CaoEstimator {
     }
 }
 
+/// Outcome of one streaming Gauss–Newton stage.
+enum GnOutcome {
+    /// The SSN subproblem stalled — disable the tracker for this tick.
+    Stalled,
+    /// Step accepted and the iterate moved below the outer-loop
+    /// convergence threshold.
+    Converged,
+    /// Step accepted.
+    Stepped,
+    /// Step rejected by the objective-decrease safeguard.
+    Rejected,
+}
+
+impl CaoEstimator {
+    /// One streaming Gauss–Newton step (kept out of the main solve so
+    /// the cold path's hot loops stay compact): linearize the
+    /// second-moment residual `φ·M·xᶜ − Σ̂` at λ (`d_j = φ·c·λ_j^{c−1}`)
+    /// into the stacked subproblem
+    /// `min ‖Ax − t̂‖² + w‖M·diag(d)·x − b₂‖², x ≥ 0`, solve it by the
+    /// semismooth-Newton NNLS against the measurement system's cached
+    /// symbolic factorization (the Gram pattern is
+    /// scaling-independent), and accept the step only when it decreases
+    /// the *true* (nonconvex) objective.
+    #[allow(clippy::too_many_arguments)]
+    fn gauss_newton_step(
+        &self,
+        msys: &MeasurementSystem<'_>,
+        state: &mut CaoWarmStart,
+        t_hat: &[f64],
+        cov_hat: &[f64],
+        mlc: &[f64],
+        lambda: &mut Vec<f64>,
+        phi: f64,
+        w: f64,
+    ) -> Result<GnOutcome> {
+        let a = msys.matrix();
+        let sys = msys.second_moments();
+        let eval_obj = |x: &[f64]| -> f64 {
+            let r1 = a.matvec(x);
+            let xc: Vec<f64> = x.iter().map(|&v| v.max(0.0).powf(self.c)).collect();
+            let r2 = sys.matrix.matvec(&xc);
+            let mut f = 0.0;
+            for (ri, ti) in r1.iter().zip(t_hat) {
+                f += (ri - ti) * (ri - ti);
+            }
+            for (ri, ci) in r2.iter().zip(cov_hat) {
+                let d = phi * ri - ci;
+                f += w * d * d;
+            }
+            f
+        };
+        let d: Vec<f64> = lambda
+            .iter()
+            .map(|&v| phi * self.c * v.max(0.0).powf(self.c - 1.0))
+            .collect();
+        if !d.iter().all(|v| v.is_finite()) {
+            return Ok(GnOutcome::Rejected);
+        }
+        let kern = msys.moment_kernel();
+        let gw = kern.scaled_weighted_gram(w, &d);
+        let sw = w.sqrt();
+        let scaled_m = sys
+            .matrix
+            .scale_cols(&d)
+            .map_err(EstimationError::Linalg)?
+            .scale(sw);
+        let bmat = a.vstack(&scaled_m).map_err(EstimationError::Linalg)?;
+        // b₂ = Σ̂ − φ·M·λᶜ + M·(d∘λ).
+        let dl: Vec<f64> = d
+            .iter()
+            .zip(lambda.iter())
+            .map(|(dv, lv)| dv * lv)
+            .collect();
+        let mdl = sys.matrix.matvec(&dl);
+        let mut rhs_full = t_hat.to_vec();
+        rhs_full.extend(
+            cov_hat
+                .iter()
+                .zip(mlc)
+                .zip(&mdl)
+                .map(|((cv, m1), m2)| sw * (cv - phi * m1 + m2)),
+        );
+        match nnls::ssn_nnls(
+            &bmat,
+            &rhs_full,
+            GN_PROX_MU,
+            Some(lambda),
+            &gw,
+            &kern.sym,
+            &mut state.ssn,
+            false,
+            SsnOptions::default(),
+        ) {
+            Err(_) => Ok(GnOutcome::Stalled),
+            Ok(sol) => {
+                if eval_obj(&sol.x) <= eval_obj(lambda) {
+                    let change: f64 = sol
+                        .x
+                        .iter()
+                        .zip(lambda.iter())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    *lambda = sol.x;
+                    if change < 1e-10 {
+                        Ok(GnOutcome::Converged)
+                    } else {
+                        Ok(GnOutcome::Stepped)
+                    }
+                } else {
+                    Ok(GnOutcome::Rejected)
+                }
+            }
+        }
+    }
+}
+
+/// Relative per-tick covariance drift below which the streaming
+/// Gauss–Newton tracker engages (see the gate comment in
+/// [`CaoEstimator::estimate_from_moments`]). A `K`-interval window
+/// drifts by ~1/K per tick at steady state, so the paper's K = 50
+/// windows sit well under the gate while short filling windows stay on
+/// the SPG stages.
+const CAO_GN_DRIFT: f64 = 0.1;
+
+/// Proximal (Levenberg–Marquardt) weight of the Gauss–Newton
+/// subproblems (normalized units): damps the step toward the
+/// linearization point, which both keeps the rank-deficient reduced
+/// systems positive definite and stops the semismooth-Newton active
+/// set from cycling on the degenerate boundary. The outer loop's
+/// objective-decrease safeguard bounds any bias.
+const GN_PROX_MU: f64 = 1e-4;
+
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`CaoEstimator::estimate_from_moments`].
 #[derive(Debug, Clone, Default)]
 pub struct CaoWarmStart {
     /// Previous interval's demand estimate (raw Mbps units).
     demands: Vec<f64>,
+    /// Carried semismooth-Newton active set for the Gauss–Newton
+    /// subproblems.
+    ssn: SsnState,
+    /// Previous tick's normalized covariance vector (the GN drift
+    /// gate's reference).
+    prev_cov: Vec<f64>,
 }
 
 impl Estimator for CaoEstimator {
@@ -372,5 +581,78 @@ mod tests {
         let p = d.window_problem(d.busy_hour());
         assert!(CaoEstimator::new(0.0, 1.0).estimate(&p).is_err());
         assert!(CaoEstimator::new(1.0, -1.0).estimate(&p).is_err());
+    }
+
+    #[test]
+    fn gauss_newton_tracker_engages_at_steady_state() {
+        // Feed the same window moments twice through a warm handle: the
+        // second call sees zero covariance drift, so the GN/SSN stage
+        // engages. Its safeguard only accepts objective decreases, so
+        // the tracked solution must score at least as well (on the
+        // fixed-φ objective) as the cold solve it replaces — and stay
+        // finite/nonnegative.
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 67).unwrap();
+        let p = d.window_problem(d.busy_hour());
+        let msys = MeasurementSystem::prepare(&p);
+        let est = CaoEstimator::new(1.6, 0.01);
+        let cold = est.estimate_prepared(&msys).unwrap();
+
+        let ts = p.time_series().unwrap();
+        let mut series = Vec::with_capacity(ts.len());
+        for i in 0..ts.len() {
+            series.push(msys.measurements_at(i).unwrap());
+        }
+        let moments = msys.second_moments().sample_moments(&series).unwrap();
+        let stot: f64 = ts
+            .ingress
+            .iter()
+            .map(|v| v.iter().sum::<f64>())
+            .sum::<f64>()
+            / ts.len() as f64;
+
+        let mut warm = CaoWarmStart::default();
+        // First warm call: gate closed (no previous covariance), runs
+        // the SPG stages and installs the gate reference.
+        let first = est
+            .estimate_from_moments(&msys, &moments, stot, Some(&mut warm))
+            .unwrap();
+        // Second warm call: zero drift, GN engages from the carried
+        // point.
+        let tracked = est
+            .estimate_from_moments(&msys, &moments, stot, Some(&mut warm))
+            .unwrap();
+        assert!(tracked
+            .estimate
+            .demands
+            .iter()
+            .all(|&v| v >= 0.0 && v.is_finite()));
+        // Identical moments: the tracked solution must not drift away
+        // from the stationary point the warm path had already reached.
+        let scale = first
+            .estimate
+            .demands
+            .iter()
+            .cloned()
+            .fold(f64::MIN_POSITIVE, f64::max);
+        for (a, b) in tracked.estimate.demands.iter().zip(&first.estimate.demands) {
+            assert!((a - b).abs() <= 0.05 * scale, "tracked {a} vs settled {b}");
+        }
+        // And it remains comparable to the cold estimate (nonconvex
+        // objective: same quality class, not identity).
+        use crate::metrics::{mean_relative_error, CoverageThreshold};
+        let truth = p.true_demands().unwrap();
+        let mre_cold =
+            mean_relative_error(truth, &cold.estimate.demands, CoverageThreshold::Share(0.9))
+                .unwrap();
+        let mre_tracked = mean_relative_error(
+            truth,
+            &tracked.estimate.demands,
+            CoverageThreshold::Share(0.9),
+        )
+        .unwrap();
+        assert!(
+            mre_tracked <= mre_cold + 0.05,
+            "tracked MRE {mre_tracked} vs cold {mre_cold}"
+        );
     }
 }

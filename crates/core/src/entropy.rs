@@ -67,12 +67,13 @@ impl EntropyEstimator {
     /// across the intervals of a streaming sweep. At moderate scale
     /// the solve switches to a projected Newton on the dense Hessian
     /// (from the first call on — the handle's presence selects the
-    /// streaming path); above that, SPG restarts from the previous
-    /// interval's solution and spectral step. Because the objective is
+    /// streaming path); past the dense gate the at-scale second-order
+    /// engines (dual-kernel / sparse Newton) run on cold and warm
+    /// paths alike, with SPG as the fallback. Because the objective is
     /// strictly convex, the minimizer does not depend on the solver or
     /// starting point — warm results agree with the cold path up to
-    /// solver tolerance (the cold path itself, `estimate_system`,
-    /// always runs SPG and stays bit-identical to the batch layer).
+    /// solver tolerance (below the dense gate the cold path stays SPG,
+    /// bit-identical to the batch layer).
     pub fn estimate_system_warm(
         &self,
         sys: &MeasurementSystem<'_>,
@@ -160,13 +161,23 @@ impl EntropyEstimator {
             f
         };
 
-        // Streaming path: at moderate scale a projected Newton on the
-        // dense Hessian `2AᵀA + (1/λ)·diag(1/s)` reaches the same
-        // unique minimizer in a handful of Cholesky solves — first-order
-        // methods pay hundreds of iterations for this conditioning no
-        // matter how warm the start. The dense `2AᵀA` base is built once
-        // per stream (cached in the warm handle); the cold path below
-        // stays SPG, bit-identical to the batch layer.
+        // Second-order paths. At moderate scale a projected Newton on
+        // the dense Hessian `2AᵀA + (1/λ)·diag(1/s)` reaches the same
+        // unique minimizer in a handful of Cholesky solves —
+        // first-order methods pay hundreds of iterations for this
+        // conditioning no matter how warm the start. The dense engine
+        // is cubic in the pair count, so past `NEWTON_MAX_PAIRS` the
+        // solve switches to the **sparse** projected Newton instead: the
+        // Hessian splitting `2AᵀA + D` is factored by a sparse Cholesky
+        // against the system's cached symbolic analysis
+        // (`MeasurementSystem::newton_kernel`, matrix-derived and
+        // shared across a stream's reanchored views), with active
+        // variables handled by row pinning so the one symbolic serves
+        // every active set. The dense warm path stays as before (its
+        // `2AᵀA` base cached in the warm handle); the *small-system*
+        // cold path stays SPG, bit-identical to the batch layer; the
+        // large-system cold path (America scale) runs the sparse Newton
+        // with an SPG fallback on non-convergence.
         let mut x_solution: Option<Vec<f64>> = None;
         let mut final_step = 0.0;
         if let Some(state_slot) = warm.as_deref_mut() {
@@ -218,6 +229,67 @@ impl EntropyEstimator {
                 }
             }
         }
+        if x_solution.is_none() && q.len() > NEWTON_MAX_PAIRS && q.len() <= NEWTON_SPARSE_MAX_PAIRS
+        {
+            let lo = vec![FLOOR; q.len()];
+            // The KL diagonal drifts by orders of magnitude near the
+            // floor, so stale-metric steps converge only linearly at
+            // this scale — refresh the factorization every step; both
+            // at-scale engines make it cheap.
+            let at_scale_opts = NewtonOptions {
+                tol: opts.tol,
+                refresh_every: 1,
+                ..Default::default()
+            };
+            // Engine choice: every backbone measurement system is wide
+            // (rows m < pairs n), which makes the Gram rank-deficient
+            // and its Cholesky fill toward dense — the dual (Woodbury)
+            // kernel factors `m×m` instead. A hypothetical tall system
+            // (m ≥ n) keeps the sparse primal Cholesky with its cached
+            // symbolic analysis.
+            let newton = if a.rows() < q.len() {
+                newton::projected_newton_dual(
+                    &mut value_grad,
+                    |x: &[f64], d: &mut [f64]| {
+                        for (dj, &xj) in d.iter_mut().zip(x) {
+                            *dj = inv_lambda / xj.max(FLOOR);
+                        }
+                    },
+                    a,
+                    sys.transpose(),
+                    &lo,
+                    x0.clone(),
+                    at_scale_opts,
+                )?
+            } else {
+                let kern = sys.newton_kernel();
+                newton::projected_newton_sparse(
+                    &mut value_grad,
+                    |x: &[f64], free: &[bool]| {
+                        kern.h_base.mapped_values(|i, j, v| {
+                            if i == j {
+                                if free[i] {
+                                    v + inv_lambda / x[i].max(FLOOR)
+                                } else {
+                                    1.0
+                                }
+                            } else if free[i] && free[j] {
+                                v
+                            } else {
+                                0.0
+                            }
+                        })
+                    },
+                    &kern.sym,
+                    &lo,
+                    x0.clone(),
+                    at_scale_opts,
+                )?
+            };
+            if newton.converged {
+                x_solution = Some(newton.x);
+            }
+        }
         let result_x = match x_solution {
             Some(x) => x,
             None => {
@@ -251,10 +323,17 @@ impl EntropyEstimator {
     }
 }
 
-/// Above this many OD pairs the streaming warm path stays on SPG: the
-/// dense Newton factorization is cubic in the pair count and loses to
-/// the sparse first-order iteration at America scale (600 pairs).
+/// Above this many OD pairs the dense Newton engine hands over to the
+/// sparse one: the dense factorization is cubic in the pair count and
+/// loses to the sparse Cholesky at America scale (600 pairs).
 const NEWTON_MAX_PAIRS: usize = 256;
+
+/// Above this many OD pairs the solve stays on SPG: the Gram's fill
+/// eventually approaches dense and the sparse factorization loses its
+/// edge over the first-order iteration. The PR 5 gate lift — the dense
+/// engine stopped at 256 pairs, the sparse engine carries the Newton
+/// path through America scale (600) and well beyond.
+const NEWTON_SPARSE_MAX_PAIRS: usize = 2048;
 
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`EntropyEstimator::estimate_system_warm`].
@@ -339,6 +418,83 @@ mod tests {
             mre_est < mre_prior,
             "entropy {mre_est:.3} should beat gravity {mre_prior:.3}"
         );
+    }
+
+    #[test]
+    fn sparse_newton_path_matches_spg_at_america_scale() {
+        // 600 pairs is past the dense-Newton gate: the cold solve runs
+        // the sparse projected Newton. It targets the same unique
+        // minimizer as SPG; compare against a direct SPG solve of the
+        // identical normalized objective.
+        let d = EvalDataset::generate(DatasetSpec::america(), 42).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        assert!(p.n_pairs() > 256, "america must exceed the dense gate");
+        let est = EntropyEstimator::new(1e3).estimate(&p).unwrap();
+
+        let a = p.measurement_matrix();
+        let stot = p.total_traffic();
+        let t: Vec<f64> = p.measurements().iter().map(|v| v / stot).collect();
+        let q: Vec<f64> = GravityModel::simple()
+            .estimate(&p)
+            .unwrap()
+            .demands
+            .iter()
+            .map(|v| (v / stot).max(FLOOR))
+            .collect();
+        let inv_lambda = 1e-3;
+        let spg_res = tm_opt::spg::spg(
+            |s: &[f64], grad: &mut [f64]| {
+                let r = tm_linalg::vector::sub(&a.matvec(s), &t);
+                let g = a.tr_matvec(&r);
+                let mut f = r.iter().map(|v| v * v).sum::<f64>();
+                for j in 0..s.len() {
+                    let sj = s[j].max(FLOOR);
+                    let ratio = sj / q[j];
+                    f += inv_lambda * (sj * ratio.ln() - sj + q[j]);
+                    grad[j] = 2.0 * g[j] + inv_lambda * ratio.ln();
+                }
+                f
+            },
+            tm_opt::spg::project_floor(FLOOR),
+            q.clone(),
+            tm_opt::spg::SpgOptions {
+                max_iter: 40_000,
+                tol: 1e-9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The objective is strictly convex with a unique minimizer; the
+        // Newton solution must be at least as optimal as the (long)
+        // SPG reference run — SPG's linear terminal rate is exactly why
+        // the second-order path exists at this scale.
+        let objective = |x: &[f64]| {
+            let r = tm_linalg::vector::sub(&a.matvec(x), &t);
+            let mut f = r.iter().map(|v| v * v).sum::<f64>();
+            for j in 0..x.len() {
+                let xj = x[j].max(FLOOR);
+                f += inv_lambda * (xj * (xj / q[j]).ln() - xj + q[j]);
+            }
+            f
+        };
+        let newton_x: Vec<f64> = est.demands.iter().map(|v| (v / stot).max(FLOOR)).collect();
+        let f_newton = objective(&newton_x);
+        let f_spg = objective(&spg_res.x);
+        assert!(
+            f_newton <= f_spg + 1e-9 * f_spg.abs().max(1.0),
+            "newton objective {f_newton} vs spg {f_spg}"
+        );
+        // And the two agree on the traffic-weighted shape.
+        let scale = est.demands.iter().cloned().fold(0.0f64, f64::max);
+        for j in 0..est.demands.len() {
+            let want = spg_res.x[j] * stot;
+            assert!(
+                (est.demands[j] - want).abs() < 1e-3 * scale,
+                "pair {j}: newton {} vs spg {}",
+                est.demands[j],
+                want
+            );
+        }
     }
 
     #[test]

@@ -65,6 +65,13 @@ impl KruithofEstimator {
     }
 
     /// Project the prior onto the full measurement system `A·s = t`.
+    ///
+    /// The GIS fixed-point iteration runs Anderson-accelerated (depth
+    /// 3, safeguarded — see [`IpfOptions::anderson_depth`]): the fixed
+    /// point, the I-projection of the prior, is unchanged; only the
+    /// sweep count collapses. This applies to the cold path too — the
+    /// projection is solver-independent, so batch and streaming results
+    /// agree as before.
     pub fn full() -> Self {
         KruithofEstimator {
             mode: Mode::Full,
@@ -72,6 +79,7 @@ impl KruithofEstimator {
             opts: IpfOptions {
                 max_iter: 50_000,
                 tol: 1e-7,
+                anderson_depth: 3,
                 ..Default::default()
             },
         }

@@ -29,6 +29,7 @@
 use std::borrow::Cow;
 use std::sync::{Arc, OnceLock};
 
+use tm_linalg::decomp::SparseCholSymbolic;
 use tm_linalg::Csr;
 use tm_opt::ipf::GisPlan;
 
@@ -53,6 +54,77 @@ struct StackedCaches {
     col_sq_norms: OnceLock<Vec<f64>>,
     /// The second-moment system `M` of Vardi/Cao.
     second_moments: OnceLock<SecondMomentSystem>,
+    /// Sparse-Newton kernel: the padded `2AᵀA` Hessian base and its
+    /// symbolic factorization (the entropy second-order path).
+    newton_kernel: OnceLock<NewtonKernel>,
+    /// Stacked-Gram kernel of the second-moment system (the
+    /// semismooth-Newton path of Vardi/Cao).
+    moment_kernel: OnceLock<MomentKernel>,
+}
+
+/// The sparse second-order kernel of the snapshot objectives: the
+/// Hessian splitting `2AᵀA + D(x)` shares the Gram's sparsity pattern
+/// for every diagonal `D`, so **one** symbolic factorization — derived
+/// from the measurement matrix alone — serves every interval, iterate
+/// and active set (active variables are handled by row pinning, which
+/// never changes the pattern). Cached behind the system's matrix-derived
+/// `OnceLock`s and therefore shared across [`MeasurementSystem::reanchor`]
+/// views; see `docs/API.md` for the cache lifecycle.
+#[derive(Debug)]
+pub struct NewtonKernel {
+    /// `2AᵀA` with every diagonal entry structurally present (padded
+    /// entries carry value 0; solvers add their diagonal term on top).
+    pub h_base: Csr,
+    /// Symbolic factorization of `h_base`'s pattern.
+    pub sym: SparseCholSymbolic,
+}
+
+/// The sparse second-order kernel of the second-moment (Vardi/Cao)
+/// objectives. The stacked system `[A; √w·M·diag(d)]` has Gram
+/// `AᵀA + w·diag(d)·MᵀM·diag(d)` — its *pattern* is the weight- and
+/// scaling-independent union of the two component patterns, so the
+/// symbolic factorization is matrix-derived state; the two component
+/// value arrays are stored split so any `(w, d)` materializes in one
+/// O(nnz) pass.
+#[derive(Debug)]
+pub struct MomentKernel {
+    /// Union pattern of `AᵀA + MᵀM` with the diagonal padded (stored
+    /// values are unspecified — use the accessors below).
+    pub pattern: Csr,
+    /// `AᵀA` component values aligned with `pattern`'s storage order.
+    pub vals_a: Vec<f64>,
+    /// `MᵀM` component values aligned with `pattern`'s storage order.
+    pub vals_m: Vec<f64>,
+    /// Symbolic factorization of `pattern`.
+    pub sym: SparseCholSymbolic,
+}
+
+impl MomentKernel {
+    /// The weighted stacked Gram `AᵀA + w·MᵀM` (Vardi's constant-
+    /// per-stream system).
+    pub fn weighted_gram(&self, w: f64) -> Csr {
+        let data = self
+            .vals_a
+            .iter()
+            .zip(&self.vals_m)
+            .map(|(a, m)| a + w * m)
+            .collect();
+        self.pattern
+            .with_data(data)
+            .expect("aligned by construction")
+    }
+
+    /// The column-scaled weighted Gram `AᵀA + w·diag(d)·MᵀM·diag(d)`
+    /// (the Cao Gauss–Newton subproblem, `d` the per-variable
+    /// linearization scales).
+    pub fn scaled_weighted_gram(&self, w: f64, d: &[f64]) -> Csr {
+        let mut k = 0usize;
+        self.pattern.mapped_values(|i, j, _| {
+            let v = self.vals_a[k] + w * d[i] * d[j] * self.vals_m[k];
+            k += 1;
+            v
+        })
+    }
 }
 
 /// A prepared estimation target: one measurement system plus every
@@ -228,6 +300,58 @@ impl<'p> MeasurementSystem<'p> {
         }
     }
 
+    /// Cached sparse-Newton kernel (`2AᵀA` base + symbolic
+    /// factorization): the entropy estimator's second-order engine at
+    /// scales where the dense factorization is cubic-prohibitive.
+    /// Matrix-derived — shared across [`MeasurementSystem::reanchor`]
+    /// views, so a streaming day pays the analysis once.
+    pub fn newton_kernel(&self) -> &NewtonKernel {
+        self.caches.newton_kernel.get_or_init(|| {
+            let h_base = self
+                .gram()
+                .scale(2.0)
+                .plus_diag(0.0)
+                .expect("gram is square");
+            let sym = SparseCholSymbolic::analyze(&h_base).expect("pattern is square");
+            NewtonKernel { h_base, sym }
+        })
+    }
+
+    /// Cached second-moment stacked-Gram kernel (pattern, split value
+    /// components, symbolic factorization): the semismooth-Newton
+    /// engine of the Vardi/Cao streaming solves. Matrix-derived —
+    /// shared across [`MeasurementSystem::reanchor`] views.
+    pub fn moment_kernel(&self) -> &MomentKernel {
+        self.caches.moment_kernel.get_or_init(|| {
+            let ata = self.gram();
+            let mtm = self.second_moments().matrix.gram();
+            let pattern = ata
+                .add(&mtm)
+                .expect("same column space")
+                .plus_diag(0.0)
+                .expect("square");
+            // Split the union pattern back into its two aligned value
+            // arrays (absent entries are zeros).
+            let n = pattern.rows();
+            let mut vals_a = Vec::with_capacity(pattern.nnz());
+            let mut vals_m = Vec::with_capacity(pattern.nnz());
+            for i in 0..n {
+                let (idx, _) = pattern.row(i);
+                for &j in idx {
+                    vals_a.push(ata.get(i, j));
+                    vals_m.push(mtm.get(i, j));
+                }
+            }
+            let sym = SparseCholSymbolic::analyze(&pattern).expect("pattern is square");
+            MomentKernel {
+                pattern,
+                vals_a,
+                vals_m,
+                sym,
+            }
+        })
+    }
+
     /// Number of OD pairs (columns of the system).
     pub fn n_pairs(&self) -> usize {
         self.problem.n_pairs()
@@ -391,6 +515,54 @@ mod tests {
         // Same-routing reanchor still shares the hot caches.
         let re = base.reanchor(d.snapshot_problem(2)).unwrap();
         assert!(std::ptr::eq(gram_ptr, re.gram()));
+    }
+
+    #[test]
+    fn second_order_kernels_are_cached_and_shared_across_reanchor() {
+        let d = tiny();
+        let base = MeasurementSystem::new(d.snapshot_problem(0));
+        let nk = base.newton_kernel();
+        // The Hessian base is 2AᵀA with a structurally full diagonal.
+        let g = base.gram();
+        for j in 0..base.n_pairs() {
+            assert!(
+                (nk.h_base.get(j, j) - 2.0 * g.get(j, j)).abs() < 1e-15,
+                "diag {j}"
+            );
+            let (idx, _) = nk.h_base.row(j);
+            assert!(idx.contains(&j), "diagonal must be structurally present");
+        }
+        assert_eq!(nk.sym.n(), base.n_pairs());
+        // Moment kernel splits reproduce the weighted stacked Gram.
+        let mk = base.moment_kernel();
+        let w = 0.37;
+        let gw = mk.weighted_gram(w);
+        let mtm = base.second_moments().matrix.gram();
+        for i in 0..base.n_pairs() {
+            for j in 0..base.n_pairs() {
+                let want = g.get(i, j) + w * mtm.get(i, j);
+                assert!(
+                    (gw.get(i, j) - want).abs() < 1e-12 * (1.0 + want.abs()),
+                    "({i},{j}): {} vs {want}",
+                    gw.get(i, j)
+                );
+            }
+        }
+        // Scaled variant matches the explicitly scaled product.
+        let dscale: Vec<f64> = (0..base.n_pairs()).map(|p| 0.5 + 0.01 * p as f64).collect();
+        let gs = mk.scaled_weighted_gram(w, &dscale);
+        for i in 0..base.n_pairs() {
+            for j in 0..base.n_pairs() {
+                let want = g.get(i, j) + w * dscale[i] * dscale[j] * mtm.get(i, j);
+                assert!((gs.get(i, j) - want).abs() < 1e-12 * (1.0 + want.abs()));
+            }
+        }
+        // Kernels are matrix-derived: pointer-shared across reanchor.
+        let nk_ptr = nk as *const NewtonKernel;
+        let mk_ptr = mk as *const MomentKernel;
+        let re = base.reanchor(d.snapshot_problem(3)).unwrap();
+        assert!(std::ptr::eq(nk_ptr, re.newton_kernel()));
+        assert!(std::ptr::eq(mk_ptr, re.moment_kernel()));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! evaluates 0.01 and 1). The stacked system is sparse; SPG solves it.
 
 use tm_linalg::Csr;
+use tm_opt::nnls::{self, SsnOptions, SsnState};
 use tm_opt::spg::{self, SpgOptions};
 
 use crate::error::EstimationError;
@@ -158,7 +159,7 @@ impl VardiEstimator {
         // only on the routing pattern and σ⁻², so a streaming warm-start
         // handle caches it across intervals.
         let w = self.moment_weight.sqrt();
-        let (warm, cached_stack) = match warm {
+        let (mut warm, cached_stack) = match warm {
             Some(state) => {
                 let stack = state.stacked.take();
                 (Some(state), stack)
@@ -192,35 +193,150 @@ impl VardiEstimator {
             _ => vec![1.0 / a.cols() as f64; a.cols()],
         };
 
-        let mut buf_r = vec![0.0; b.rows()];
-        let mut buf_g = vec![0.0; b.cols()];
-        let result = spg::spg(
-            |x: &[f64], grad: &mut [f64]| {
-                b.matvec_into(x, &mut buf_r);
-                for (i, ri) in buf_r.iter_mut().enumerate() {
-                    *ri -= rhs[i];
-                }
-                b.tr_matvec_into(&buf_r, &mut buf_g);
-                for j in 0..x.len() {
-                    grad[j] = 2.0 * buf_g[j];
-                }
-                buf_r.iter().map(|r| r * r).sum::<f64>()
-            },
-            spg::project_nonneg,
-            x0,
-            opts,
-        )?;
+        // Streaming second-order path: the stacked NNLS is solved by a
+        // semismooth Newton on the (constant-per-stream) stacked Gram
+        // `AᵀA + w·MᵀM`, factored against the measurement system's
+        // cached symbolic analysis. The moment objective is a
+        // rank-deficient least-squares problem whose optimal face is
+        // not a single point, so a tiny proximal pull `μ‖x − x₀‖²`
+        // toward the previous interval's solution both keeps the
+        // reduced systems definite and selects the face point nearest
+        // the previous one — the same face-diameter divergence class as
+        // the SPG warm start it replaces (pinned at ≤ 2e-5 MRE in the
+        // stream tests). The cold path below stays SPG, bit-identical
+        // to the batch layer.
+        let mut x_solution: Option<Vec<f64>> = None;
+        let mut final_step = 0.0;
+        // The second-order tracker engages only once the window's
+        // sample covariance drifts slowly (steady state) — while the
+        // window fills, the rank-deficient objective's optimal face
+        // moves fast and the SSN face point would wander measurably
+        // away from the cold trajectory; those ticks keep the PR 4 SPG
+        // warm path, whose divergence bound is pinned by the stream
+        // tests. Same gate construction as the Cao tracker.
+        let drift_ok = match warm.as_deref_mut() {
+            Some(state) => {
+                let ok = state.prev_cov.len() == cov_hat.len() && {
+                    let num: f64 = cov_hat
+                        .iter()
+                        .zip(&state.prev_cov)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    let den: f64 = state
+                        .prev_cov
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f64>()
+                        .sqrt()
+                        .max(1e-300);
+                    num / den <= SSN_DRIFT_GATE
+                };
+                state.prev_cov = cov_hat.clone();
+                ok
+            }
+            None => false,
+        };
+        if let Some(state) = warm
+            .as_deref_mut()
+            .filter(|_| drift_ok && a.cols() <= SSN_MAX_PAIRS)
+        {
+            x_solution = self.ssn_step(msys, state, &b, &rhs, &x0);
+        }
+        let result_x = match x_solution {
+            Some(x) => x,
+            None => {
+                let mut buf_r = vec![0.0; b.rows()];
+                let mut buf_g = vec![0.0; b.cols()];
+                let result = spg::spg(
+                    |x: &[f64], grad: &mut [f64]| {
+                        b.matvec_into(x, &mut buf_r);
+                        for (i, ri) in buf_r.iter_mut().enumerate() {
+                            *ri -= rhs[i];
+                        }
+                        b.tr_matvec_into(&buf_r, &mut buf_g);
+                        for j in 0..x.len() {
+                            grad[j] = 2.0 * buf_g[j];
+                        }
+                        buf_r.iter().map(|r| r * r).sum::<f64>()
+                    },
+                    spg::project_nonneg,
+                    x0,
+                    opts,
+                )?;
+                final_step = result.step;
+                result.x
+            }
+        };
 
-        let demands: Vec<f64> = result.x.iter().map(|&v| v * stot).collect();
+        let demands: Vec<f64> = result_x.iter().map(|&v| v * stot).collect();
         if let Some(state) = warm {
             state.stacked = Some(b);
             state.demands = demands.clone();
-            state.step = result.step;
+            state.step = final_step;
         }
         Ok(Estimate {
             demands,
             method: format!("vardi(w={:.0e})", self.moment_weight),
         })
+    }
+}
+
+/// Proximal weight of the streaming semismooth-Newton solve (normalized
+/// units, where the stacked Gram's diagonal is O(1)): large enough to
+/// keep every reduced system positive definite on the rank-deficient
+/// optimal face, small enough that the face-point bias stays inside
+/// the pinned warm-vs-cold divergence budget on the short-window
+/// stream tests (a stronger anchor drags the warm trajectory's face
+/// point measurably away from the cold one as the window fills).
+const SSN_PROX_MU: f64 = 1e-8;
+
+/// Relative per-tick covariance drift below which the streaming
+/// semismooth-Newton tracker engages; a `K`-interval window drifts by
+/// ~1/K per tick at steady state, so the paper's K = 50 windows sit
+/// well under the gate while short filling windows stay on the SPG
+/// stages.
+const SSN_DRIFT_GATE: f64 = 0.1;
+
+/// Above this many OD pairs the streaming solve keeps the SPG warm
+/// path: the stacked-Gram kernel's factor fills toward dense at
+/// backbone scale, and the optimal face churns enough per tick that
+/// factor reuse rarely pays — the measured crossover on this substrate
+/// sits between Europe (132 pairs, ~8x from the carried factor) and
+/// America (600 pairs, parity at best). Same shape as the entropy
+/// dense-Newton gate.
+const SSN_MAX_PAIRS: usize = 256;
+
+impl VardiEstimator {
+    /// One streaming semismooth-Newton solve (kept out of the main
+    /// solve so the cold path's hot loops stay compact). Returns `None`
+    /// when the solver declines — the caller falls back to warm SPG.
+    fn ssn_step(
+        &self,
+        msys: &MeasurementSystem<'_>,
+        state: &mut VardiWarmStart,
+        b: &Csr,
+        rhs: &[f64],
+        x0: &[f64],
+    ) -> Option<Vec<f64>> {
+        if state.gram.is_none() {
+            state.gram = Some(msys.moment_kernel().weighted_gram(self.moment_weight));
+        }
+        let kern = msys.moment_kernel();
+        let gram = state.gram.as_ref().expect("installed above");
+        nnls::ssn_nnls(
+            b,
+            rhs,
+            SSN_PROX_MU,
+            Some(x0),
+            gram,
+            &kern.sym,
+            &mut state.ssn,
+            true,
+            SsnOptions::default(),
+        )
+        .ok()
+        .map(|sol| sol.x)
     }
 }
 
@@ -232,8 +348,17 @@ pub struct VardiWarmStart {
     stacked: Option<Csr>,
     /// Previous interval's demand estimate (raw Mbps units).
     demands: Vec<f64>,
-    /// Final spectral step of the previous SPG run.
+    /// Final spectral step of the previous SPG run (`0` after a
+    /// semismooth-Newton tick).
     step: f64,
+    /// Cached weighted stacked Gram `AᵀA + w·MᵀM` (constant across
+    /// intervals — its factor is reused whenever the active set holds).
+    gram: Option<Csr>,
+    /// Carried semismooth-Newton active set + factor.
+    ssn: SsnState,
+    /// Previous tick's normalized covariance vector (the drift gate's
+    /// reference).
+    prev_cov: Vec<f64>,
 }
 
 impl Estimator for VardiEstimator {

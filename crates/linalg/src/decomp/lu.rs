@@ -39,6 +39,14 @@ impl Lu {
         let mut sign = 1.0;
         let scale = a.max_abs().max(1.0);
 
+        // The elimination inner loop runs on contiguous row slices (the
+        // pivot row is staged into a scratch buffer once per step so the
+        // target row can be borrowed mutably) — the updates are
+        // elementwise `row_i[j] -= m · row_k[j]` in the same order as
+        // the classic accessor loop, so results are bit-identical, but
+        // the slice form drops the per-scalar bounds checks and
+        // vectorizes.
+        let mut pivot_row = vec![0.0f64; n];
         for k in 0..n {
             // Partial pivot: largest |entry| in column k at/below row k.
             let mut p = k;
@@ -60,13 +68,14 @@ impl Lu {
             piv.push(p);
 
             let pivot = lu.get(k, k);
+            pivot_row[k + 1..n].copy_from_slice(&lu.row(k)[k + 1..n]);
             for i in (k + 1)..n {
                 let m = lu.get(i, k) / pivot;
                 lu.set(i, k, m);
                 if m != 0.0 {
-                    for j in (k + 1)..n {
-                        let v = lu.get(i, j) - m * lu.get(k, j);
-                        lu.set(i, j, v);
+                    let row_i = &mut lu.row_mut(i)[k + 1..n];
+                    for (v, &pk) in row_i.iter_mut().zip(&pivot_row[k + 1..n]) {
+                        *v -= m * pk;
                     }
                 }
             }
@@ -89,21 +98,25 @@ impl Lu {
                 x.swap(k, p);
             }
         }
+        // Both substitutions walk contiguous row slices (same
+        // accumulation order as the accessor loops — bit-identical).
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu.get(i, j) * x[j];
+            let (head, tail) = x.split_at_mut(i);
+            let mut acc = tail[0];
+            for (&l, &xj) in self.lu.row(i)[..i].iter().zip(head.iter()) {
+                acc -= l * xj;
             }
-            x[i] = acc;
+            tail[0] = acc;
         }
         // Back substitution.
         for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu.get(i, j) * x[j];
+            let (head, tail) = x.split_at_mut(i + 1);
+            let mut acc = head[i];
+            for (&u, &xj) in self.lu.row(i)[i + 1..n].iter().zip(tail.iter()) {
+                acc -= u * xj;
             }
-            x[i] = acc / self.lu.get(i, i);
+            head[i] = acc / self.lu.get(i, i);
         }
         Ok(x)
     }

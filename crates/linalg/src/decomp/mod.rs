@@ -1,10 +1,13 @@
-//! Matrix factorizations: LU with partial pivoting, Cholesky, and
-//! Householder QR (with least-squares and minimum-norm solvers).
+//! Matrix factorizations: LU with partial pivoting, Cholesky (dense and
+//! sparse with a cached symbolic analysis), and Householder QR (with
+//! least-squares and minimum-norm solvers).
 
 pub mod cholesky;
 pub mod lu;
 pub mod qr;
+pub mod sparse_chol;
 
 pub use cholesky::Cholesky;
 pub use lu::Lu;
 pub use qr::Qr;
+pub use sparse_chol::{SparseCholFactor, SparseCholSymbolic};

@@ -57,16 +57,29 @@ impl Qr {
                 continue;
             }
             beta[k] = 2.0 / vtv;
-            // Apply reflector to remaining columns.
-            for j in (k + 1)..n {
-                let mut dotv = 0.0;
+            // Apply the reflector to the remaining columns in two
+            // row-major slice passes: first accumulate every column's
+            // `vᵀ·a_j` in one sweep over the rows, then update the rows
+            // elementwise. For each fixed column the accumulation order
+            // over rows — and the update expression — match the
+            // column-at-a-time accessor loops exactly, so results are
+            // bit-identical; the row-major form turns the strided
+            // column walks into contiguous slice arithmetic.
+            if k + 1 < n {
+                let mut dots = vec![0.0f64; n - k - 1];
                 for i in k..m {
-                    dotv += qr.get(i, k) * qr.get(i, j);
+                    let row = qr.row(i);
+                    let vi = row[k];
+                    for (d, &aij) in dots.iter_mut().zip(&row[k + 1..n]) {
+                        *d += vi * aij;
+                    }
                 }
-                let s = beta[k] * dotv;
                 for i in k..m {
-                    let v = qr.get(i, j) - s * qr.get(i, k);
-                    qr.set(i, j, v);
+                    let row = qr.row_mut(i);
+                    let vi = row[k];
+                    for (aij, &d) in row[k + 1..n].iter_mut().zip(&dots) {
+                        *aij -= beta[k] * d * vi;
+                    }
                 }
             }
             // Store R's diagonal; reflector tail stays below the diagonal.
@@ -120,6 +133,8 @@ impl Qr {
         let mut qtb = b.to_vec();
         self.apply_qt(&mut qtb);
         let scale = self.qr.max_abs().max(1.0);
+        // Back substitution on contiguous row slices (same accumulation
+        // order as the accessor loop — bit-identical).
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let rii = self.qr.get(i, i);
@@ -127,8 +142,8 @@ impl Qr {
                 return Err(LinalgError::Singular { pivot: i });
             }
             let mut acc = qtb[i];
-            for j in (i + 1)..n {
-                acc -= self.qr.get(i, j) * x[j];
+            for (&r, &xj) in self.qr.row(i)[i + 1..n].iter().zip(&x[i + 1..n]) {
+                acc -= r * xj;
             }
             x[i] = acc / rii;
         }

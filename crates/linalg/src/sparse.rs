@@ -468,6 +468,139 @@ impl Csr {
         out
     }
 
+    /// Entry-wise sum `self + other` (pattern union). Entries that
+    /// cancel to exactly zero are dropped, like [`Csr::from_triplets`].
+    pub fn add(&self, other: &Csr) -> Result<Csr> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!(
+                    "csr add: {}x{} vs {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut data = Vec::with_capacity(self.nnz() + other.nnz());
+        indptr.push(0);
+        for i in 0..self.rows {
+            // Merge the two sorted rows.
+            let (ia, va) = self.row(i);
+            let (ib, vb) = other.row(i);
+            let (mut ka, mut kb) = (0usize, 0usize);
+            while ka < ia.len() || kb < ib.len() {
+                let (col, v) = match (ia.get(ka), ib.get(kb)) {
+                    (Some(&ca), Some(&cb)) if ca == cb => {
+                        let v = va[ka] + vb[kb];
+                        ka += 1;
+                        kb += 1;
+                        (ca, v)
+                    }
+                    (Some(&ca), Some(&cb)) if ca < cb => {
+                        ka += 1;
+                        (ca, va[ka - 1])
+                    }
+                    (Some(_), Some(&cb)) => {
+                        kb += 1;
+                        (cb, vb[kb - 1])
+                    }
+                    (Some(&ca), None) => {
+                        ka += 1;
+                        (ca, va[ka - 1])
+                    }
+                    (None, Some(&cb)) => {
+                        kb += 1;
+                        (cb, vb[kb - 1])
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                };
+                if v != 0.0 {
+                    indices.push(col);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Square matrix with `d` added to every diagonal entry. Missing
+    /// diagonal entries are **inserted** even when `d == 0.0` — this is
+    /// the pattern-padding step for symbolic factorizations, which need
+    /// the diagonal structurally present.
+    pub fn plus_diag(&self, d: f64) -> Result<Csr> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("plus_diag on non-square {}x{}", self.rows, self.cols),
+            });
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.nnz() + self.rows);
+        let mut data = Vec::with_capacity(self.nnz() + self.rows);
+        indptr.push(0);
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            let mut placed = false;
+            for (k, &j) in idx.iter().enumerate() {
+                if !placed && j >= i {
+                    if j == i {
+                        indices.push(i);
+                        data.push(val[k] + d);
+                        placed = true;
+                        continue;
+                    }
+                    indices.push(i);
+                    data.push(d);
+                    placed = true;
+                }
+                indices.push(j);
+                data.push(val[k]);
+            }
+            if !placed {
+                indices.push(i);
+                data.push(d);
+            }
+            indptr.push(indices.len());
+        }
+        Ok(Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// New matrix sharing this pattern with replacement values aligned
+    /// to the stored (CSR) entry order — the zero-copy sibling of
+    /// [`Csr::mapped_values`] for callers that precompute per-entry
+    /// value arrays (e.g. the split `AᵀA` / `MᵀM` components of a
+    /// weighted stacked Gram).
+    pub fn with_data(&self, data: Vec<f64>) -> Result<Csr> {
+        if data.len() != self.nnz() {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!(
+                    "with_data: {} values for {} entries",
+                    data.len(),
+                    self.nnz()
+                ),
+            });
+        }
+        Ok(Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            data,
+        })
+    }
+
     /// Squared column norms `‖A·e_j‖²` for all `j`.
     pub fn col_sq_norms(&self) -> Vec<f64> {
         let mut n = vec![0.0; self.cols];
@@ -692,6 +825,69 @@ mod tests {
         // Row slices must be column-sorted for binary-search `get`.
         let (idx, _) = m.row(2);
         assert!(idx.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn add_merges_patterns_and_drops_cancellations() {
+        let m = sample();
+        let other = Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 0, -1.0), (0, 1, 5.0), (1, 2, 2.0), (2, 1, 1.0)],
+        )
+        .unwrap();
+        let s = m.add(&other).unwrap();
+        assert_eq!(s.get(0, 0), 0.0); // 1 + (-1) cancels
+        assert_eq!(s.get(0, 1), 5.0);
+        assert_eq!(s.get(0, 2), 2.0);
+        assert_eq!(s.get(1, 2), 2.0);
+        assert_eq!(s.get(2, 1), 5.0);
+        // Cancelled entry is structurally dropped.
+        let (idx, _) = s.row(0);
+        assert!(!idx.contains(&0));
+        assert!(m.add(&Csr::zeros(2, 3)).is_err());
+        // Matches the dense sum everywhere.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(s.get(i, j), m.get(i, j) + other.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn plus_diag_inserts_missing_diagonal() {
+        let m = sample(); // (1,1) and (2,2) are structurally absent
+        let p = m.plus_diag(0.0).unwrap();
+        // Values unchanged...
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(p.get(i, j), m.get(i, j));
+            }
+        }
+        // ...but every diagonal entry is now stored, rows still sorted.
+        for i in 0..3 {
+            let (idx, _) = p.row(i);
+            assert!(idx.contains(&i), "row {i} missing diagonal");
+            assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        }
+        let q = m.plus_diag(2.5).unwrap();
+        assert_eq!(q.get(0, 0), 3.5);
+        assert_eq!(q.get(1, 1), 2.5);
+        assert_eq!(q.get(2, 2), 2.5);
+        assert!(Csr::zeros(2, 3).plus_diag(1.0).is_err());
+    }
+
+    #[test]
+    fn with_data_replaces_values_in_storage_order() {
+        let m = sample();
+        let doubled: Vec<f64> = m.data().iter().map(|v| v * 2.0).collect();
+        let d = m.with_data(doubled).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d.get(i, j), 2.0 * m.get(i, j));
+            }
+        }
+        assert!(m.with_data(vec![1.0]).is_err());
     }
 
     #[test]

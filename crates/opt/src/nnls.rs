@@ -10,7 +10,7 @@
 //!   unknowns and the natural solver for the Bayesian estimator
 //!   `min ‖Rs−t‖² + μ‖s−s⁽ᵖ⁾‖², s ≥ 0` (paper Eq. 7).
 
-use tm_linalg::decomp::{qr, Cholesky};
+use tm_linalg::decomp::{qr, Cholesky, SparseCholFactor, SparseCholSymbolic};
 use tm_linalg::{vector, Csr, LinOp, Mat, Workspace};
 
 use crate::error::OptError;
@@ -773,6 +773,374 @@ fn ridge_kernel_incremental(
     }
 }
 
+/// Options for [`ssn_nnls`].
+#[derive(Debug, Clone, Copy)]
+pub struct SsnOptions {
+    /// Cap on semismooth-Newton iterations (`0` = auto, 40).
+    pub max_iter: usize,
+    /// Relative KKT tolerance (scaled by `‖Aᵀb + μx₀‖∞`).
+    pub tol: f64,
+}
+
+impl Default for SsnOptions {
+    fn default() -> Self {
+        SsnOptions {
+            max_iter: 0,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// Warm-start state of [`ssn_nnls`] carried across the intervals of a
+/// streaming sweep: the terminal active set, and the numeric sparse
+/// Cholesky factor of the pinned system built for that set. When the
+/// Gram matrix is constant across calls (the streaming second-moment
+/// solves — only the right-hand side drifts) and the active set has
+/// not moved, the next call skips the numeric refactorization entirely
+/// and pays one triangular solve.
+#[derive(Debug, Clone, Default)]
+pub struct SsnState {
+    free: Vec<bool>,
+    /// Factor tagged with the free set it was built for.
+    factor: Option<(Vec<bool>, SsnFactor)>,
+}
+
+/// The two factorization engines behind [`ssn_nnls`], chosen by the
+/// fill of the cached symbolic analysis:
+///
+/// * **Sparse** — numeric refactorization against the shared symbolic
+///   per active-set change; wins while `L` stays genuinely sparse.
+/// * **Dense** — a dense Cholesky of the pinned system maintained by
+///   **rank-one up/downdates per active-set move**: pinning/releasing
+///   variable `j` is the symmetric rank-two modification
+///   `∓(u·e_jᵀ + e_j·uᵀ)`, realized as one update plus one downdate of
+///   the factor in `O(n²)` — far below a refactorization once the
+///   factor's fill approaches dense (the backbone Gram kernels sit at
+///   ~70% fill, where "sparse" refactorization is a dense
+///   factorization in disguise).
+#[derive(Debug, Clone)]
+enum SsnFactor {
+    Sparse(SparseCholFactor),
+    Dense(Cholesky),
+}
+
+/// Fill share of the strictly-lower triangle above which [`ssn_nnls`]
+/// switches from sparse refactorization to the dense up/downdated
+/// factor.
+const SSN_DENSE_FILL_SHARE: f64 = 0.35;
+
+/// Cap on per-call active-set moves applied by up/downdates before a
+/// full (lane-parallel) refactorization is cheaper.
+const SSN_DENSE_MAX_MOVES: usize = 32;
+
+impl SsnState {
+    /// The carried free-set indicator (empty before the first solve).
+    pub fn free(&self) -> &[bool] {
+        &self.free
+    }
+}
+
+/// Semismooth-Newton NNLS on the Gram system:
+///
+/// `min ‖A·x − b‖² + μ‖x − x₀‖²  s.t.  x ≥ 0`
+///
+/// The Hintermüller–Ito–Kunisch primal active-set iteration: each step
+/// predicts the active set from `x − ∇f(x)`, pins those variables and
+/// solves the reduced normal equations `(G + μI)_FF · x_F = h_F` with a
+/// **sparse Cholesky against one cached symbolic analysis** — the
+/// reduced system is realized by *pinning rows* (active rows replaced
+/// by identity) so every active set shares the same elimination
+/// structure `sym`, analyzed once per measurement matrix. Converges
+/// superlinearly (typically finitely) where first-order methods pay for
+/// the Hessian conditioning at a linear rate; on stagnation (an
+/// active-set cycle, an indefinite reduced system from a rank-deficient
+/// `μ = 0` Gram) it falls back to [`cd_nnls_sparse`].
+///
+/// * `g` must be `AᵀA` (no `μ`), with every diagonal entry structurally
+///   present, and `sym` must come from `SparseCholSymbolic::analyze(g)`
+///   (same pattern).
+/// * `state` carries the active set — and, when `gram_reusable` is
+///   `true` (the caller guarantees `g`'s *values* are unchanged since
+///   the factor in `state` was built), the numeric factor — across
+///   calls.
+#[allow(clippy::too_many_arguments)]
+pub fn ssn_nnls(
+    a: &Csr,
+    b: &[f64],
+    mu: f64,
+    x0: Option<&[f64]>,
+    g: &Csr,
+    sym: &SparseCholSymbolic,
+    state: &mut SsnState,
+    gram_reusable: bool,
+    opts: SsnOptions,
+) -> Result<NnlsSolution> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m {
+        return Err(OptError::Invalid(format!(
+            "ssn_nnls: rhs {} vs rows {m}",
+            b.len()
+        )));
+    }
+    if let Some(x0) = x0 {
+        if x0.len() != n {
+            return Err(OptError::Invalid(format!(
+                "ssn_nnls: x0 {} vs cols {n}",
+                x0.len()
+            )));
+        }
+    }
+    if mu < 0.0 {
+        return Err(OptError::Invalid("ssn_nnls: negative mu".into()));
+    }
+    if g.rows() != n || g.cols() != n || sym.n() != n {
+        return Err(OptError::Invalid(format!(
+            "ssn_nnls: gram {}x{} / symbolic {} vs cols {n}",
+            g.rows(),
+            g.cols(),
+            sym.n()
+        )));
+    }
+    let max_iter = if opts.max_iter == 0 {
+        40
+    } else {
+        opts.max_iter
+    };
+
+    // h = Aᵀb + μx₀.
+    let mut h = a.tr_matvec(b);
+    if let Some(x0) = x0 {
+        if mu > 0.0 {
+            vector::axpy(mu, x0, &mut h);
+        }
+    }
+    let scale = vector::norm_inf(&h).max(1.0);
+    let tol = opts.tol * scale;
+
+    // Initial set: the carried one, else the seed's support, else all
+    // free.
+    let mut free: Vec<bool> = if state.free.len() == n {
+        state.free.clone()
+    } else {
+        match x0 {
+            Some(x0) if x0.iter().any(|&v| v > 0.0) => x0.iter().map(|&v| v > 0.0).collect(),
+            _ => vec![true; n],
+        }
+    };
+    if free.iter().all(|&f| !f) {
+        free = vec![true; n];
+    }
+
+    // The pinned numeric system for a free set: active rows/columns are
+    // replaced by identity rows so the factorization structure — the
+    // cached `sym` — never changes.
+    let pinned = |free: &[bool]| -> Csr {
+        g.mapped_values(|i, j, v| {
+            if i == j {
+                if free[i] {
+                    v + mu
+                } else {
+                    1.0
+                }
+            } else if free[i] && free[j] {
+                v
+            } else {
+                0.0
+            }
+        })
+    };
+    // Dense materialization of the same pinned system.
+    let pinned_dense = |free: &[bool]| -> Mat {
+        let mut mat = Mat::zeros(n, n);
+        for i in 0..n {
+            if free[i] {
+                let (idx, val) = g.row(i);
+                for (&c, &v) in idx.iter().zip(val) {
+                    if free[c] {
+                        mat.set(i, c, v);
+                    }
+                }
+                mat.add_to(i, i, mu);
+            } else {
+                mat.set(i, i, 1.0);
+            }
+        }
+        mat
+    };
+    // One active-set move on the dense factor: pin/release variable j
+    // by the symmetric rank-two modification `∓(u·e_jᵀ + e_j·uᵀ)`
+    // with `u_c = G_jc` over the currently free c and
+    // `u_j = (G_jj + μ − 1)/2`, split into one rank-one update and one
+    // rank-one downdate. O(n²) per move.
+    let apply_move = |chol: &mut Cholesky, tag: &mut [bool], j: usize, make_free: bool| {
+        let mut u = vec![0.0; n];
+        let mut gjj = 0.0;
+        let (idx, val) = g.row(j);
+        for (&c, &v) in idx.iter().zip(val) {
+            if c == j {
+                gjj = v;
+            } else if tag[c] {
+                u[c] = v;
+            }
+        }
+        u[j] = (gjj + mu - 1.0) / 2.0;
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let mut plus = u.clone();
+        plus[j] += 1.0;
+        for v in plus.iter_mut() {
+            *v *= s;
+        }
+        let mut minus = u;
+        minus[j] -= 1.0;
+        for v in minus.iter_mut() {
+            *v *= s;
+        }
+        let r = if make_free {
+            chol.update(&plus).and_then(|()| chol.downdate(&minus))
+        } else {
+            chol.update(&minus).and_then(|()| chol.downdate(&plus))
+        };
+        if r.is_ok() {
+            tag[j] = make_free;
+        }
+        r
+    };
+    // Engine choice: past ~35% fill a "sparse" refactorization is a
+    // dense factorization in disguise, while the dense factor pays
+    // only O(n²) rank-one up/downdates per active-set move.
+    let use_dense =
+        sym.nnz_l() as f64 > SSN_DENSE_FILL_SHARE * (n * n.saturating_sub(1)) as f64 / 2.0;
+
+    let mut seen: Vec<Vec<bool>> = Vec::new();
+    let mut x = vec![0.0; n];
+    let mut grad = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    // A dense factor carried from a previous call is only valid when
+    // the caller vouches for the Gram values; one built inside this
+    // call is valid for the rest of it regardless.
+    let mut factor_current = gram_reusable;
+    for _it in 0..max_iter {
+        // Factor for the current set: reuse the carried one when the
+        // set matches, repair the dense one by up/downdates when the
+        // set moved a little, rebuild otherwise.
+        let tag_matches = state.factor.as_ref().is_some_and(|(tag, _)| *tag == free);
+        if !(factor_current && tag_matches) {
+            let mut rebuilt = false;
+            if use_dense && factor_current {
+                if let Some((tag, SsnFactor::Dense(chol))) = state.factor.as_mut() {
+                    let moves: Vec<usize> = (0..n).filter(|&j| tag[j] != free[j]).collect();
+                    if moves.len() <= SSN_DENSE_MAX_MOVES {
+                        let mut ok = true;
+                        for &j in &moves {
+                            if apply_move(chol, tag, j, free[j]).is_err() {
+                                // Downdate lost definiteness: the
+                                // factor is unusable — rebuild below.
+                                ok = false;
+                                break;
+                            }
+                        }
+                        rebuilt = ok;
+                    }
+                }
+            }
+            if !rebuilt {
+                let built = if use_dense {
+                    Cholesky::factor_fast(&pinned_dense(&free)).map(SsnFactor::Dense)
+                } else {
+                    let mut factor = match state.factor.take() {
+                        Some((_, SsnFactor::Sparse(f))) => f,
+                        _ => SparseCholFactor::default(),
+                    };
+                    sym.refactor(&pinned(&free), &mut factor)
+                        .map(|()| SsnFactor::Sparse(factor))
+                };
+                match built {
+                    Ok(f) => {
+                        state.factor = Some((free.clone(), f));
+                        factor_current = true;
+                    }
+                    // Indefinite reduced system (rank-deficient μ = 0
+                    // Gram): hand over to coordinate descent.
+                    Err(_) => break,
+                }
+            }
+        }
+        let (_, factor) = state.factor.as_ref().expect("installed above");
+        for j in 0..n {
+            rhs[j] = if free[j] { h[j] } else { 0.0 };
+        }
+        match factor {
+            SsnFactor::Sparse(f) => sym.solve_into(f, &rhs, &mut x).map_err(OptError::Linalg)?,
+            SsnFactor::Dense(chol) => {
+                x = chol.solve(&rhs).map_err(OptError::Linalg)?;
+            }
+        }
+
+        // Gradient of the (unscaled) objective halves:
+        // ∇ = (G + μI)·x − h.
+        g.matvec_into(&x, &mut grad);
+        for j in 0..n {
+            grad[j] += mu * x[j] - h[j];
+        }
+
+        // KKT violation of the iterate. Entries within tolerance of
+        // the bound — including the ±1-ulp residue the up/downdated
+        // dense factor leaves on pinned variables — are judged *at*
+        // the bound: both their primal overshoot and their dual
+        // feasibility count (classifying a −1e-16 entry as "negative"
+        // only would mask a dual-infeasible pin).
+        let mut viol = 0.0f64;
+        for j in 0..n {
+            if x[j] > tol {
+                viol = viol.max(grad[j].abs());
+            } else {
+                viol = viol.max(-x[j]).max((-grad[j]).max(0.0));
+            }
+        }
+        if viol <= tol {
+            // Pinned entries are exactly zero by construction (clear
+            // the up/downdate path's rounding residue); free entries
+            // within tolerance of the bound were *judged* as bound by
+            // the KKT test above, so clamp them too — returning them
+            // as tiny positives would re-classify them as free under a
+            // stricter activity threshold.
+            for (v, &fr) in x.iter_mut().zip(&free) {
+                if !fr || *v <= tol {
+                    *v = 0.0;
+                }
+            }
+            state.free = free;
+            let resid = vector::sub(&a.matvec(&x), b);
+            return Ok(NnlsSolution {
+                residual_norm: vector::norm2(&resid),
+                x,
+                iterations: seen.len() + 1,
+            });
+        }
+
+        // HIK active-set prediction from the unclamped Newton iterate.
+        let next: Vec<bool> = (0..n).map(|j| x[j] - grad[j] > 0.0).collect();
+        if next == free || seen.contains(&next) {
+            // No progress or a cycle: stagnation.
+            break;
+        }
+        seen.push(std::mem::replace(&mut free, next));
+    }
+
+    // Safeguarded fallback: first-order coordinate descent on the
+    // sparse Gram reaches the same minimizer (strictly convex for
+    // μ > 0; for μ = 0 any KKT point of the convex problem). The
+    // budget is deliberately modest: SSN stagnation usually means the
+    // instance is degenerate enough that the caller's own first-order
+    // fallback (with its problem-specific scaling) is the better tool,
+    // so a hard instance should fail fast here rather than burn
+    // hundreds of sweeps.
+    state.factor = None;
+    let sol = cd_nnls_sparse(a, b, mu, x0, 5_000, opts.tol.max(1e-12))?;
+    state.free = sol.x.iter().map(|&v| v > 0.0).collect();
+    Ok(sol)
+}
+
 /// Verify the KKT conditions of an NNLS solution (for tests and debug
 /// assertions): `x ≥ 0`, and the gradient `g = Aᵀ(Ax−b) + μ(x−x₀)`
 /// satisfies `g_j ≥ −tol` with `g_j ≤ tol` wherever `x_j > act_tol`.
@@ -1072,6 +1440,257 @@ mod tests {
         for j in 0..4 {
             assert_eq!(k.free()[j], s3.x[j] > 0.0, "j={j}");
         }
+    }
+
+    fn ssn_setup(a_dense: &Mat) -> (Csr, Csr, SparseCholSymbolic) {
+        let a = Csr::from_dense(a_dense, 0.0);
+        let g = a.gram().plus_diag(0.0).unwrap();
+        let sym = SparseCholSymbolic::analyze(&g).unwrap();
+        (a, g, sym)
+    }
+
+    #[test]
+    fn ssn_matches_cd_and_ridge_on_regularized_problem() {
+        let a_dense = Mat::from_rows(&[
+            vec![1.0, 2.0, 0.5, 0.0],
+            vec![0.0, 1.0, 3.0, 1.0],
+            vec![2.0, 0.0, 1.0, 0.5],
+        ]);
+        let (a, g, sym) = ssn_setup(&a_dense);
+        let b = [1.0, -4.0, 2.0];
+        let prior = [0.2, 0.1, 0.0, 0.3];
+        let mut state = SsnState::default();
+        let ssn = ssn_nnls(
+            &a,
+            &b,
+            0.05,
+            Some(&prior),
+            &g,
+            &sym,
+            &mut state,
+            false,
+            SsnOptions::default(),
+        )
+        .unwrap();
+        let ridge = ridge_nnls(&a, &b, 0.05, &prior, 0).unwrap();
+        for j in 0..4 {
+            assert!(
+                (ssn.x[j] - ridge.x[j]).abs() < 1e-7,
+                "j={j}: ssn {} vs ridge {}",
+                ssn.x[j],
+                ridge.x[j]
+            );
+        }
+        assert!(kkt_violation(&a_dense, &b, 0.05, Some(&prior), &ssn.x) < 1e-7);
+        // Terminal active set is carried.
+        assert_eq!(state.free().len(), 4);
+        for j in 0..4 {
+            assert_eq!(state.free()[j], ssn.x[j] > 0.0, "j={j}");
+        }
+    }
+
+    #[test]
+    fn ssn_warm_set_and_factor_reuse_match_cold() {
+        let a_dense = Mat::from_rows(&[
+            vec![1.0, 2.0, 0.5, 0.0],
+            vec![0.0, 1.0, 3.0, 1.0],
+            vec![2.0, 0.0, 1.0, 0.5],
+        ]);
+        let (a, g, sym) = ssn_setup(&a_dense);
+        let prior = [0.2, 0.1, 0.0, 0.3];
+        let mut state = SsnState::default();
+        let b1 = [1.0, -4.0, 2.0];
+        let s1 = ssn_nnls(
+            &a,
+            &b1,
+            0.05,
+            Some(&prior),
+            &g,
+            &sym,
+            &mut state,
+            true,
+            SsnOptions::default(),
+        )
+        .unwrap();
+        assert!(kkt_violation(&a_dense, &b1, 0.05, Some(&prior), &s1.x) < 1e-7);
+        // A drifted RHS with the same Gram: the carried factor answers
+        // (gram_reusable = true) and the result matches a cold solve.
+        let b2 = [1.05, -3.9, 2.05];
+        let s2 = ssn_nnls(
+            &a,
+            &b2,
+            0.05,
+            Some(&prior),
+            &g,
+            &sym,
+            &mut state,
+            true,
+            SsnOptions::default(),
+        )
+        .unwrap();
+        let cold2 = ridge_nnls(&a, &b2, 0.05, &prior, 0).unwrap();
+        for j in 0..4 {
+            assert!(
+                (s2.x[j] - cold2.x[j]).abs() < 1e-7,
+                "j={j}: warm {} vs cold {}",
+                s2.x[j],
+                cold2.x[j]
+            );
+        }
+        assert_eq!(s2.iterations, 1, "unchanged set resolves in one step");
+        // A sign-flipping RHS moves the active set; still correct.
+        let b3 = [1.0, 4.0, 2.0];
+        let s3 = ssn_nnls(
+            &a,
+            &b3,
+            0.05,
+            Some(&prior),
+            &g,
+            &sym,
+            &mut state,
+            true,
+            SsnOptions::default(),
+        )
+        .unwrap();
+        let cold3 = ridge_nnls(&a, &b3, 0.05, &prior, 0).unwrap();
+        for j in 0..4 {
+            assert!((s3.x[j] - cold3.x[j]).abs() < 1e-7, "j={j}");
+        }
+    }
+
+    #[test]
+    fn ssn_mu_zero_rank_deficient_falls_back_to_cd() {
+        // Two identical columns: the free-set Gram is singular at μ = 0,
+        // so the pinned factorization fails and the CD fallback must
+        // deliver a KKT point.
+        let a_dense = Mat::from_rows(&[vec![1.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        let (a, g, sym) = ssn_setup(&a_dense);
+        let b = [2.0, 3.0];
+        let mut state = SsnState::default();
+        let s = ssn_nnls(
+            &a,
+            &b,
+            0.0,
+            None,
+            &g,
+            &sym,
+            &mut state,
+            false,
+            SsnOptions::default(),
+        )
+        .unwrap();
+        assert!(kkt_violation(&a_dense, &b, 0.0, None, &s.x) < 1e-7);
+        assert!((s.x[0] + s.x[1] - 2.0).abs() < 1e-7);
+        assert!((s.x[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssn_dual_infeasible_pin_is_released_despite_residue() {
+        // Regression: the dense up/downdated factor leaves ±1-ulp
+        // residue on pinned entries; an early KKT check classified a
+        // −1e-16 entry as "negative" only and skipped its dual test,
+        // accepting a solution with a dual-infeasible pin (gradient
+        // −0.31 at the bound on this instance).
+        let trips = vec![
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (0, 2, 1.0),
+            (0, 3, 1.0),
+            (1, 3, 1.0),
+            (2, 0, 1.0),
+            (2, 4, 1.0),
+            (4, 0, 3.0),
+            (4, 1, 1.0),
+            (4, 4, 1.0),
+            (5, 0, 1.0),
+            (5, 3, 1.0),
+            (6, 4, 2.0),
+        ];
+        let a = Csr::from_triplets(7, 5, trips).unwrap();
+        let b = [
+            1.0842429066334027,
+            0.5286309167537819,
+            -2.4229486395259685,
+            -1.117273068830002,
+            0.35615816624949037,
+            -2.4125095472356612,
+            -1.0125066496605073,
+        ];
+        let mu = 0.22295795823473882;
+        let prior = [
+            1.463199545294095,
+            1.2706998990537903,
+            0.004106086421262312,
+            1.2851862243307675,
+            1.7930154912760081,
+        ];
+        let g = a.gram().plus_diag(0.0).unwrap();
+        let sym = SparseCholSymbolic::analyze(&g).unwrap();
+        let mut state = SsnState::default();
+        let sol = ssn_nnls(
+            &a,
+            &b,
+            mu,
+            Some(&prior),
+            &g,
+            &sym,
+            &mut state,
+            false,
+            SsnOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            kkt_violation(&a, &b, mu, Some(&prior), &sol.x) < 1e-7,
+            "kkt {}",
+            kkt_violation(&a, &b, mu, Some(&prior), &sol.x)
+        );
+        assert!(sol.x[2] > 0.3, "variable 2 must be released: {:?}", sol.x);
+    }
+
+    #[test]
+    fn ssn_validates_inputs() {
+        let a_dense = Mat::identity(2);
+        let (a, g, sym) = ssn_setup(&a_dense);
+        let mut state = SsnState::default();
+        let opts = SsnOptions::default();
+        assert!(ssn_nnls(&a, &[1.0], 0.1, None, &g, &sym, &mut state, false, opts).is_err());
+        assert!(ssn_nnls(
+            &a,
+            &[1.0, 1.0],
+            -0.1,
+            None,
+            &g,
+            &sym,
+            &mut state,
+            false,
+            opts
+        )
+        .is_err());
+        assert!(ssn_nnls(
+            &a,
+            &[1.0, 1.0],
+            0.1,
+            Some(&[1.0]),
+            &g,
+            &sym,
+            &mut state,
+            false,
+            opts
+        )
+        .is_err());
+        let wrong_g = Csr::from_dense(&Mat::identity(3), 0.0);
+        assert!(ssn_nnls(
+            &a,
+            &[1.0, 1.0],
+            0.1,
+            None,
+            &wrong_g,
+            &sym,
+            &mut state,
+            false,
+            opts
+        )
+        .is_err());
     }
 
     #[test]

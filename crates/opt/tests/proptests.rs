@@ -399,4 +399,52 @@ proptest! {
             prop_assert!(res.objective <= f_lh + 1e-5, "spg {} vs lh {}", res.objective, f_lh);
         }
     }
+
+    #[test]
+    fn ssn_nnls_matches_cd_kkt_on_degenerate_active_sets(
+        // Routing-like 0/1 matrix (duplicate triplets collapse) —
+        // repeated columns and zero-gradient boundaries make the
+        // active set degenerate on purpose.
+        pattern in proptest::collection::vec((0..7usize, 0..5usize), 4..24),
+        b in proptest::collection::vec(-3.0f64..3.0, 7),
+        mu in 1e-4f64..0.5,
+        prior in proptest::collection::vec(0.0f64..2.0, 5),
+    ) {
+        use tm_linalg::decomp::SparseCholSymbolic;
+        use tm_opt::nnls::{ssn_nnls, SsnOptions, SsnState};
+        let trips: Vec<(usize, usize, f64)> =
+            pattern.into_iter().map(|(i, j)| (i, j, 1.0)).collect();
+        let a = Csr::from_triplets(7, 5, trips).unwrap();
+        let g = a.gram().plus_diag(0.0).unwrap();
+        let sym = SparseCholSymbolic::analyze(&g).unwrap();
+        let mut state = SsnState::default();
+        let ssn = ssn_nnls(
+            &a, &b, mu, Some(&prior), &g, &sym, &mut state, false,
+            SsnOptions::default(),
+        ).unwrap();
+        let cd = tm_opt::nnls::cd_nnls_sparse(&a, &b, mu, Some(&prior), 200_000, 1e-12)
+            .unwrap();
+        // Both must satisfy the same KKT system to solver tolerance...
+        let scale = vector::norm_inf(&b).max(1.0);
+        let v_ssn = kkt_violation(&a, &b, mu, Some(&prior), &ssn.x);
+        let v_cd = kkt_violation(&a, &b, mu, Some(&prior), &cd.x);
+        prop_assert!(v_ssn <= 1e-6 * scale, "ssn KKT violation {}", v_ssn);
+        prop_assert!(v_cd <= 1e-6 * scale, "cd KKT violation {}", v_cd);
+        // ...and μ > 0 makes the minimizer unique: the iterates agree.
+        for j in 0..5 {
+            prop_assert!(
+                (ssn.x[j] - cd.x[j]).abs() <= 1e-5 * (1.0 + cd.x[j].abs()),
+                "j={}: ssn {} vs cd {}", j, ssn.x[j], cd.x[j]
+            );
+        }
+        // A second call warm-started from the terminal set reproduces
+        // the same solution.
+        let again = ssn_nnls(
+            &a, &b, mu, Some(&prior), &g, &sym, &mut state, true,
+            SsnOptions::default(),
+        ).unwrap();
+        for j in 0..5 {
+            prop_assert!((again.x[j] - ssn.x[j]).abs() <= 1e-8 * (1.0 + ssn.x[j].abs()));
+        }
+    }
 }
