@@ -2,7 +2,7 @@
 //! committed previous-PR baseline and fail on regressions.
 //!
 //! ```sh
-//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR5.json BENCH_PR4.json
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR6.json BENCH_PR5.json
 //! ```
 //!
 //! Rules (per network, matched by estimator/ablation name; entries that
@@ -21,6 +21,15 @@
 //!   *what* is computed. The tolerance absorbs solver-tolerance-level
 //!   reorderings (e.g. a different LP pivot order reaching the same
 //!   optimum), nothing more.
+//!
+//! `--allow-drift <factor>` scales every wall limit by the factor — a
+//! *documented, one-time* allowance for a baseline recorded on
+//! different hardware than the comparison run (walls drift uniformly;
+//! MRE gating is unaffected). Evidence required: re-time the baseline
+//! PR's code on the current machine and show the same drift on
+//! untouched paths (see `docs/PERF.md`, "Machine drift"). Remove the
+//! flag as soon as the re-recorded baseline becomes the comparison
+//! base.
 
 use serde::Value;
 
@@ -43,17 +52,10 @@ const MRE_TOLERANCE: f64 = 1e-4;
 
 /// Documented per-entry MRE exceptions: `(network, entry, allowed)`.
 ///
-/// * `america/entropy(1e3)` — PR 5's second-order path actually
-///   *converges* the entropy objective at America scale; the PR ≤ 4
-///   SPG solver exhausted its 4000-iteration budget well short of the
-///   optimum there (its terminal rate is set by the Hessian
-///   conditioning), so the recorded baseline MRE is the fingerprint of
-///   an under-converged iterate, not of the estimator. The movement is
-///   toward both the true optimum (verified against a 40k-iteration
-///   SPG reference in `entropy::tests`) and the ground truth
-///   (0.424 → 0.409). The band below permits that one-time correction
-///   while still gating against genuine behavior changes.
-const MRE_EXCEPTIONS: &[(&str, &str, f64)] = &[("america", "entropy(1e3)", 2e-2)];
+/// Currently empty: the PR 5 `america/entropy(1e3)` convergence-fix
+/// band was one-time (the PR 5 baseline already records the converged
+/// iterate), so the full gate applies to every entry again.
+const MRE_EXCEPTIONS: &[(&str, &str, f64)] = &[];
 
 fn die(msg: &str) -> ! {
     eprintln!("compare_bench: {msg}");
@@ -109,11 +111,35 @@ fn networks(doc: &Value) -> Vec<(String, &Value)> {
 }
 
 fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut drift = 1.0f64;
     let mut args = std::env::args().skip(1);
-    let new_path = args.next().unwrap_or_else(|| "BENCH_PR5.json".to_string());
-    let base_path = args.next().unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    while let Some(a) = args.next() {
+        if a == "--allow-drift" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--allow-drift needs a factor"));
+            drift = v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad drift factor `{v}`")));
+            if !(1.0..=4.0).contains(&drift) {
+                die("drift factor must be in [1, 4]");
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let mut paths = paths.into_iter();
+    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let new_doc = load(&new_path);
     let base_doc = load(&base_path);
+    if drift > 1.0 {
+        println!(
+            "  NOTE: --allow-drift {drift}: wall limits scaled for a documented \
+             baseline-hardware change (MRE gating unaffected)"
+        );
+    }
 
     let base_nets = networks(&base_doc);
     let mut failures: Vec<String> = Vec::new();
@@ -134,7 +160,7 @@ fn main() {
             compared += 1;
             let ratio = new_wall / base_wall.max(1e-12);
             let gated = *base_wall >= WALL_FLOOR_MS;
-            let limit = (1.0 + WALL_TOLERANCE) * base_wall + WALL_SLACK_MS;
+            let limit = ((1.0 + WALL_TOLERANCE) * base_wall + WALL_SLACK_MS) * drift;
             let verdict = if gated && new_wall > limit {
                 failures.push(format!(
                     "{net_name}/{est}: wall {base_wall:.3} -> {new_wall:.3} ms ({ratio:.2}x)"

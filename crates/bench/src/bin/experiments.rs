@@ -5,6 +5,7 @@
 //! cargo run --release -p tm_bench --bin experiments -- all
 //! cargo run --release -p tm_bench --bin experiments -- fig13 table2
 //! cargo run --release -p tm_bench --bin experiments -- bench
+//! cargo run --release -p tm_bench --bin experiments -- fault-matrix
 //! ```
 //!
 //! Output: aligned text on stdout (the *shape* to compare against the
@@ -16,13 +17,16 @@
 //! three topology scales, the prepared-system batch path, and the
 //! full-day streaming sweeps (`day288-*`: warm-started StreamEngine vs
 //! the equivalent per-interval cold loop — the full suite at Europe
-//! scale plus the second-order-solver rows at America scale), and
-//! writes `BENCH_PR5.json` (schema documented in `docs/PERF.md`). The
-//! `compare_bench` bin diffs it against the committed `BENCH_PR4.json`
-//! baseline and fails CI on wall-time or MRE regressions. It is NOT
-//! part of `all`.
+//! scale plus the second-order-solver rows at America scale; the
+//! `day288f-*` rows repeat the Europe day under the canonical fault
+//! plan through the degradation ladder), and writes `BENCH_PR6.json`
+//! (schema documented in `docs/PERF.md`). The `compare_bench` bin
+//! diffs it against the committed `BENCH_PR5.json` baseline and fails
+//! CI on wall-time or MRE regressions. `fault-matrix` is the
+//! degraded-pipeline acceptance gate (zero `Err`s, degradation
+//! reports, bounded MRE inflation). Neither is part of `all`.
 
-use tm_bench::{networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
+use tm_bench::{europe, networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
 use tm_core::cao::CaoEstimator;
 use tm_core::fanout::FanoutEstimator;
 use tm_core::measure::{greedy_selection, largest_first_selection};
@@ -37,6 +41,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "bench") {
         bench_mode();
+        return;
+    }
+    if args.iter().any(|a| a == "fault-matrix") {
+        fault_matrix_mode();
         return;
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -737,13 +745,13 @@ fn table2() {
 /// suite at Europe scale, the second-order rows at America scale),
 /// and the sparse engine against its densified baseline on the
 /// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
-/// `BENCH_PR5.json` in the working directory. Schema: `docs/PERF.md`.
+/// `BENCH_PR6.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR5.json — compare_bench diffs it against BENCH_PR4.json",
+        "writes BENCH_PR6.json — compare_bench diffs it against BENCH_PR5.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -918,6 +926,83 @@ fn bench_mode() {
             }
         }
 
+        // Degraded-mode sweeps: the same full day through the default
+        // quality ladder under the canonical fault plan (5% of link
+        // loads missing per tick, one outage window, one corruption
+        // burst). `day288f-<label>` reports wall time, the day-mean MRE
+        // over fault-free ticks and the number of degraded ticks; the
+        // hard acceptance gate (zero `Err`s, reports on every affected
+        // tick, MRE within 2x of clean) runs in `fault-matrix` mode.
+        let day288f_specs: &[&str] = match name {
+            "europe" => &[
+                "entropy:lambda=1e3",
+                "vardi:w=0.01,window=50",
+                "wcb:engine=revised",
+            ],
+            _ => &[],
+        };
+        if !day288f_specs.is_empty() {
+            let day = d.series.len();
+            let n_links = d.topology.n_links();
+            let plan = LoadFaultPlan::canonical(n_links, SEED);
+            for spec in day288f_specs {
+                let method: Method = spec.parse().expect("valid spec");
+                let ms = vec![method.clone()];
+                let sweep = || {
+                    let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm)
+                        .expect("engine builds");
+                    let mut ticks = Vec::with_capacity(day);
+                    for k in 0..day {
+                        let mut loads = d.interval_loads(k).expect("in range");
+                        plan.apply(k, &mut loads.link_loads);
+                        ticks.push(engine.push_interval(loads).expect("degrades, never errors"));
+                    }
+                    ticks
+                };
+                std::hint::black_box(sweep());
+                let start = std::time::Instant::now();
+                let ticks = sweep();
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let window = method.window();
+                let mut degraded = 0usize;
+                let mut mre_sum = 0.0;
+                let mut mre_n = 0usize;
+                for tick in &ticks {
+                    if tick.degradation.is_some() {
+                        degraded += 1;
+                    }
+                    if plan.affects_tick(tick.interval, n_links) {
+                        continue;
+                    }
+                    let Some(Ok(est)) = &tick.estimates[0] else {
+                        continue;
+                    };
+                    let truth = match window {
+                        None => d.demands_at(tick.interval).expect("in range").to_vec(),
+                        Some(w) => {
+                            let len = w.min(tick.interval + 1);
+                            d.series
+                                .window_mean(tick.interval + 1 - len, len)
+                                .expect("in range")
+                        }
+                    };
+                    mre_sum += paper_mre(&truth, &est.demands);
+                    mre_n += 1;
+                }
+                let day_mre = mre_sum / mre_n.max(1) as f64;
+                let label = format!("day288f-{}", method.label());
+                println!(
+                    "    {label:<28} warm {wall_ms:>9.1} ms  degraded {degraded:>3}/{day} ticks  mre(clean ticks) {day_mre:.3}"
+                );
+                estimators.push(Value::Map(vec![
+                    ("name".to_string(), Value::Str(label)),
+                    ("wall_ms".to_string(), Value::F64(wall_ms)),
+                    ("mre".to_string(), Value::F64(day_mre)),
+                    ("degraded_ticks".to_string(), Value::I64(degraded as i64)),
+                ]));
+            }
+        }
+
         // Sparse-vs-dense ablations on the two hot paths the sparse-first
         // engine targets: the entropy SPG loop and the Gram-CD NNLS.
         let stot = p.total_traffic().max(f64::MIN_POSITIVE);
@@ -984,7 +1069,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(5)),
+        ("pr".to_string(), Value::I64(6)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -997,8 +1082,137 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR5.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR5.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR6.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR6.json ({} bytes)", json.len());
+}
+
+/// `fault-matrix` mode: the degraded-pipeline CI gate.
+///
+/// Streams the full European day through the default quality ladder
+/// under the canonical fault plan (5% of link loads missing per tick,
+/// one outage window, one corruption burst) for a matrix of methods,
+/// and fails the process unless:
+///
+/// * every tick returns `Ok` — faults must degrade, never error;
+/// * every fault-affected tick carries a `TickDegradation` report;
+/// * on fault-free ticks, each method's day-mean MRE stays within 2x
+///   of the same warm engine run on clean inputs.
+fn fault_matrix_mode() {
+    banner(
+        "fault-matrix: degraded-mode pipeline gate",
+        "full European day under the canonical fault plan; zero Errs allowed",
+    );
+    let d = europe();
+    let n_links = d.topology.n_links();
+    let day = d.series.len();
+    let plan = LoadFaultPlan::canonical(n_links, SEED);
+    let specs = [
+        "gravity",
+        "entropy:lambda=1e3",
+        "kruithof-full",
+        "vardi:w=0.01,window=50",
+        "wcb:engine=revised",
+    ];
+    let methods: Vec<Method> = specs
+        .iter()
+        .map(|s| s.parse().expect("valid spec"))
+        .collect();
+
+    let mut clean_engine =
+        StreamEngine::for_dataset(&d, &methods, StreamMode::Warm).expect("engine builds");
+    let mut faulty_engine =
+        StreamEngine::for_dataset(&d, &methods, StreamMode::Warm).expect("engine builds");
+    let mut failures: Vec<String> = Vec::new();
+    let mut mre_clean = vec![(0.0f64, 0usize); methods.len()];
+    let mut mre_faulty = vec![(0.0f64, 0usize); methods.len()];
+    let mut degraded_ticks = 0usize;
+    let mut imputed_rows = 0usize;
+    let mut masked_rows = 0usize;
+    for k in 0..day {
+        let clean_tick = clean_engine
+            .push_interval(d.interval_loads(k).expect("in range"))
+            .expect("clean tick");
+        let mut loads = d.interval_loads(k).expect("in range");
+        plan.apply(k, &mut loads.link_loads);
+        let tick = match faulty_engine.push_interval(loads) {
+            Ok(t) => t,
+            Err(e) => {
+                failures.push(format!("tick {k}: engine Err instead of degradation: {e}"));
+                continue;
+            }
+        };
+        let affected = plan.affects_tick(k, n_links);
+        if let Some(deg) = &tick.degradation {
+            degraded_ticks += 1;
+            imputed_rows += deg.imputed_rows.len();
+            masked_rows += deg.masked_rows.len();
+        } else if affected {
+            failures.push(format!(
+                "tick {k}: fault-affected but no degradation report"
+            ));
+        }
+        if affected {
+            // The MRE budget is judged on fault-free ticks only — an
+            // estimate over masked rows is allowed to be worse.
+            continue;
+        }
+        for (i, m) in methods.iter().enumerate() {
+            let truth = match m.window() {
+                None => d.demands_at(k).expect("in range").to_vec(),
+                Some(w) => {
+                    let len = w.min(k + 1);
+                    d.series.window_mean(k + 1 - len, len).expect("in range")
+                }
+            };
+            if let Some(Ok(est)) = &clean_tick.estimates[i] {
+                mre_clean[i].0 += paper_mre(&truth, &est.demands);
+                mre_clean[i].1 += 1;
+            }
+            match &tick.estimates[i] {
+                Some(Ok(est)) => {
+                    mre_faulty[i].0 += paper_mre(&truth, &est.demands);
+                    mre_faulty[i].1 += 1;
+                }
+                Some(Err(e)) => failures.push(format!(
+                    "tick {k} {}: Err on fault-free tick: {e}",
+                    m.label()
+                )),
+                None => {}
+            }
+        }
+    }
+    println!(
+        "  {day} ticks: {degraded_ticks} degraded ({imputed_rows} imputed rows, {masked_rows} masked rows)"
+    );
+    for (i, m) in methods.iter().enumerate() {
+        let c = mre_clean[i].0 / mre_clean[i].1.max(1) as f64;
+        let f = mre_faulty[i].0 / mre_faulty[i].1.max(1) as f64;
+        let ratio = f / c.max(1e-12);
+        let ok = f <= 2.0 * c + 1e-9;
+        println!(
+            "  {:<28} clean MRE {c:.3}  faulty MRE {f:.3}  ratio {ratio:.2}x  {}",
+            m.label(),
+            if ok { "ok" } else { "FAULT-MRE REGRESSION" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{}: fault-free-tick MRE {f:.4} exceeds 2x clean {c:.4}",
+                m.label()
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "fault-matrix: all {} methods within the degradation budget",
+            methods.len()
+        );
+    } else {
+        eprintln!("fault-matrix: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Extension: the Cao et al. method the paper left as future work.

@@ -15,7 +15,13 @@
 //!   32-bit multi-wrap hazard, demonstrated in tests;
 //! * [`sim`] — distributed pollers on OS threads (crossbeam channels),
 //!   deterministic response jitter, UDP-style loss with backup-poller
-//!   retry, central collection, and gap interpolation.
+//!   retry or exponential-backoff retry under per-link deadlines,
+//!   central collection, per-cell quality tagging, and gap
+//!   interpolation;
+//! * [`fault`] — seeded, config-driven fault injection (missing polls,
+//!   counter wraps/resets, stale readings, noise bursts, per-link
+//!   outages) applied to the raw reading log before rate
+//!   reconstruction.
 //!
 //! Everything is deterministic under a seed, independent of thread
 //! scheduling.
@@ -31,12 +37,14 @@
 
 pub mod counters;
 pub mod error;
+pub mod fault;
 pub mod sim;
 pub mod wire;
 
-pub use counters::CounterMode;
+pub use counters::{CounterMode, RateSample, SuspectReading};
 pub use error::CollectError;
-pub use sim::{run_collection, CollectionConfig, CollectionResult};
+pub use fault::{FaultPlan, FaultSpec};
+pub use sim::{run_collection, CellQuality, CollectionConfig, CollectionResult, RetryPolicy};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CollectError>;

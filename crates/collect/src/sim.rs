@@ -21,8 +21,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-use crate::counters::{rate_from_readings, CounterMode};
+use serde::{Deserialize, Serialize};
+
+use crate::counters::{recover_rate, CounterMode, RateSample, DEFAULT_MAX_RATE_MBPS};
 use crate::error::CollectError;
+use crate::fault::{apply_fault_plan, FaultPlan};
 use crate::wire::{PollRequest, PollResponse};
 use crate::Result;
 
@@ -41,7 +44,17 @@ pub struct CollectionConfig {
     pub counter_mode: CounterMode,
     /// When a poll is lost, whether the neighbour poller retries it in
     /// the same interval (the paper's backup-poller arrangement).
+    /// Ignored when `retry` is set.
     pub backup_poller: bool,
+    /// Exponential-backoff retry with a per-link deadline. `None`
+    /// keeps the legacy single-retry backup-poller model bit-identical.
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault schedule applied to the raw reading log
+    /// before rate reconstruction. `None` = clean collection.
+    pub fault_plan: Option<FaultPlan>,
+    /// Plausibility bound (Mbps) for wrap/reset disambiguation in rate
+    /// recovery; see [`crate::counters::recover_rate`].
+    pub max_rate_mbps: f64,
 }
 
 impl Default for CollectionConfig {
@@ -53,8 +66,53 @@ impl Default for CollectionConfig {
             pollers: 4,
             counter_mode: CounterMode::Counter64,
             backup_poller: true,
+            retry: None,
+            fault_plan: None,
+            max_rate_mbps: DEFAULT_MAX_RATE_MBPS,
         }
     }
+}
+
+/// Exponential-backoff polling retry with a per-link deadline.
+///
+/// Attempt `i` (0-based) is sent `base_backoff_s · (2^i − 1)` seconds
+/// after the boundary (plus jitter); attempts whose send time would
+/// exceed `deadline_s` are not made and the poll counts as lost. The
+/// backoff delay shifts the reading's timestamp, so recovered rates are
+/// adjusted for the *actual* measurement interval exactly like jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1).
+    pub max_attempts: usize,
+    /// Backoff unit in seconds (doubles per retry).
+    pub base_backoff_s: f64,
+    /// Give-up deadline in seconds after the interval boundary.
+    pub deadline_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_s: 2.0,
+            deadline_s: 30.0,
+        }
+    }
+}
+
+/// Provenance of one recovered rate cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellQuality {
+    /// Forward counter delta between two adjacent boundary readings.
+    Clean,
+    /// Recovered through single-wrap correction.
+    WrapCorrected,
+    /// No bracketing reading pair: filled by spreading a multi-interval
+    /// average or by interpolation.
+    Interpolated,
+    /// The bracketing reading pair was discarded (counter reset or
+    /// implausible rate); the value is interpolated and untrustworthy.
+    Suspect,
 }
 
 /// Result of running the pipeline over a demand series.
@@ -67,6 +125,12 @@ pub struct CollectionResult {
     pub lost_polls: usize,
     /// Number of rate cells filled by interpolation.
     pub interpolated: usize,
+    /// Number of reading pairs recovered through single-wrap correction.
+    pub wrap_corrected: usize,
+    /// Number of reading pairs discarded as suspect (reset/implausible).
+    pub suspect: usize,
+    /// Per-cell provenance, same shape as `rates`.
+    pub quality: Vec<Vec<CellQuality>>,
 }
 
 impl CollectionResult {
@@ -170,6 +234,21 @@ pub fn run_collection(
             "loss probability must be in [0, 1)".into(),
         ));
     }
+    if !config.max_rate_mbps.is_finite() || config.max_rate_mbps <= 0.0 {
+        return Err(CollectError::InvalidConfig(
+            "max_rate_mbps must be positive".into(),
+        ));
+    }
+    if let Some(rp) = &config.retry {
+        if rp.max_attempts == 0 || rp.base_backoff_s < 0.0 || rp.deadline_s <= 0.0 {
+            return Err(CollectError::InvalidConfig(
+                "retry: attempts >= 1, backoff >= 0, deadline > 0 required".into(),
+            ));
+        }
+    }
+    if let Some(plan) = &config.fault_plan {
+        plan.validate().map_err(CollectError::InvalidConfig)?;
+    }
 
     // Build router agents with their hosted objects.
     let mut objects_of: Vec<Vec<u32>> = vec![Vec::new(); n_routers];
@@ -238,16 +317,29 @@ pub fn run_collection(
                         if agent.objects.is_empty() {
                             continue;
                         }
-                        // Primary attempt, then optional backup retry.
-                        let attempts = if cfg.backup_poller { 2 } else { 1 };
+                        // Attempt schedule: either the legacy
+                        // primary-plus-backup-poller pair, or
+                        // exponential backoff under a per-link
+                        // deadline. Each entry is (attempt index,
+                        // delay after the boundary in seconds).
+                        let schedule: Vec<(usize, f64)> = match &cfg.retry {
+                            Some(rp) => (0..rp.max_attempts)
+                                .map(|i| (i, rp.base_backoff_s * ((1u64 << i) as f64 - 1.0)))
+                                .take_while(|&(_, delay)| delay <= rp.deadline_s)
+                                .collect(),
+                            None => {
+                                let attempts = if cfg.backup_poller { 2 } else { 1 };
+                                (0..attempts).map(|i| (i, 0.0)).collect()
+                            }
+                        };
                         let mut delivered = false;
-                        for attempt in 0..attempts {
+                        for (attempt, delay_s) in schedule {
                             if rng.random::<f64>() < cfg.loss_probability {
                                 continue; // datagram lost
                             }
                             let jitter = rng.random::<f64>() * cfg.jitter_max_s;
-                            let ts_ms =
-                                ((boundary as f64 * cfg.interval_s + jitter) * 1000.0) as u64;
+                            let ts_ms = ((boundary as f64 * cfg.interval_s + delay_s + jitter)
+                                * 1000.0) as u64;
                             let req = PollRequest {
                                 poller_id: (poller + attempt * cfg.pollers) as u16,
                                 router_id: agent.router_id,
@@ -281,13 +373,35 @@ pub fn run_collection(
         lost_polls += rx_done.iter().sum::<usize>();
     }
 
+    // Fault injection: corrupt/drop readings in the raw log exactly as
+    // a dirty network would, before the central database sees them.
+    if let Some(plan) = &config.fault_plan {
+        // Ground-truth unwrapped bytes at each boundary, reassembled
+        // from the per-router cumulative series.
+        let mut truth = vec![vec![0.0f64; p_count]; k_len + 1];
+        for agent in &agents {
+            for (local, &o) in agent.objects.iter().enumerate() {
+                for (boundary, row) in truth.iter_mut().enumerate() {
+                    row[o as usize] = agent.cumulative[boundary][local];
+                }
+            }
+        }
+        let mut log = readings.lock();
+        apply_fault_plan(plan, &mut log, &truth, config.counter_mode);
+    }
+
     // Central database: reconstruct rates between consecutive *available*
     // readings. A gap of g missed boundaries still yields the average
     // rate over the covered span (counters are cumulative), spread across
-    // its intervals and counted as interpolated.
+    // its intervals and counted as interpolated. Suspect pairs (reset,
+    // implausible rate) contribute no value: their span is left for
+    // interpolation and tagged so downstream estimators can mask it.
     let log = readings.lock();
     let mut rates = vec![vec![f64::NAN; p_count]; k_len];
+    let mut quality = vec![vec![CellQuality::Interpolated; p_count]; k_len];
     let mut interpolated = 0usize;
+    let mut wrap_corrected = 0usize;
+    let mut suspect = 0usize;
     for p in 0..p_count {
         let avail: Vec<(usize, u64, u64)> = (0..=k_len)
             .filter_map(|k| log[k][p].map(|(ts, c)| (k, ts, c)))
@@ -306,25 +420,54 @@ pub fn run_collection(
             } else {
                 config.interval_s * (k1 - k0) as f64
             };
-            let avg = rate_from_readings(c0, c1, config.counter_mode, dt);
+            let sample = recover_rate(c0, c1, config.counter_mode, dt, config.max_rate_mbps);
+            let pair_quality = match sample {
+                RateSample::Clean(_) if k1 - k0 == 1 => CellQuality::Clean,
+                RateSample::Clean(_) => CellQuality::Interpolated,
+                RateSample::WrapCorrected(_) => {
+                    wrap_corrected += 1;
+                    CellQuality::WrapCorrected
+                }
+                RateSample::Suspect(_) => {
+                    suspect += 1;
+                    CellQuality::Suspect
+                }
+            };
             for k in k0..k1 {
-                rates[k][p] = avg;
+                if let Some(avg) = sample.rate() {
+                    rates[k][p] = avg;
+                }
+                quality[k][p] = pair_quality;
             }
-            if k1 - k0 > 1 {
+            if k1 - k0 > 1 && sample.is_usable() {
                 interpolated += k1 - k0;
             }
         }
     }
     drop(log);
 
-    // Leading/trailing spans with no bracketing readings: nearest value.
+    // Leading/trailing spans with no bracketing readings, plus spans
+    // voided by suspect pairs: nearest value / linear interpolation.
     for p in 0..p_count {
         let col: Vec<f64> = rates.iter().map(|row| row[p]).collect();
         if col.iter().any(|v| v.is_nan()) {
+            if col.iter().all(|v| v.is_nan()) {
+                // Every reading pair was discarded as suspect: there is
+                // no anchor to interpolate from. Report zero, tagged.
+                for k in 0..k_len {
+                    rates[k][p] = 0.0;
+                    quality[k][p] = CellQuality::Suspect;
+                    interpolated += 1;
+                }
+                continue;
+            }
             let filled = interpolate_gaps(&col);
             for k in 0..k_len {
                 if col[k].is_nan() {
                     interpolated += 1;
+                    if quality[k][p] != CellQuality::Suspect {
+                        quality[k][p] = CellQuality::Interpolated;
+                    }
                 }
                 rates[k][p] = filled[k];
             }
@@ -335,6 +478,9 @@ pub fn run_collection(
         rates,
         lost_polls,
         interpolated,
+        wrap_corrected,
+        suspect,
+        quality,
     })
 }
 
@@ -536,6 +682,197 @@ mod tests {
         assert_eq!(filled[5], 8.0); // trailing edge takes the left value
         let intact = interpolate_gaps(&[1.0, 2.0]);
         assert_eq!(intact, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fault_free_plan_matches_clean_run() {
+        let d = demands();
+        let clean = run_collection(&d, &[0, 0, 1, 2], 3, &CollectionConfig::default(), 7).unwrap();
+        let cfg = CollectionConfig {
+            fault_plan: Some(crate::fault::FaultPlan::none()),
+            ..Default::default()
+        };
+        let faulty = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        assert_eq!(clean.rates, faulty.rates, "empty plan is the identity");
+        assert_eq!(faulty.suspect, 0);
+        assert_eq!(faulty.wrap_corrected, 0);
+        assert!(faulty
+            .quality
+            .iter()
+            .flatten()
+            .all(|&q| q == CellQuality::Clean));
+    }
+
+    #[test]
+    fn injected_wrap_is_corrected_and_tagged() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            jitter_max_s: 0.0,
+            fault_plan: Some(crate::fault::FaultPlan {
+                seed: 1,
+                faults: vec![crate::fault::FaultSpec::CounterWrap { lsp: 2, at: 3 }],
+            }),
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        assert_eq!(res.wrap_corrected, 1);
+        assert_eq!(res.suspect, 0);
+        assert_eq!(res.quality[2][2], CellQuality::WrapCorrected);
+        // The corrected rate is still exact.
+        for k in 0..6 {
+            assert!(
+                (res.rates[k][2] - d[k][2]).abs() < 1e-3,
+                "k={k}: {} vs {}",
+                res.rates[k][2],
+                d[k][2]
+            );
+        }
+    }
+
+    #[test]
+    fn injected_reset_is_suspect_and_interpolated() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            jitter_max_s: 0.0,
+            fault_plan: Some(crate::fault::FaultPlan {
+                seed: 1,
+                faults: vec![crate::fault::FaultSpec::CounterReset { lsp: 2, at: 3 }],
+            }),
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        assert_eq!(res.suspect, 1, "the reset interval is discarded");
+        assert_eq!(res.quality[2][2], CellQuality::Suspect);
+        // The value is interpolated from neighbours, hence finite.
+        assert!(res.rates[2][2].is_finite());
+        // Intervals fully after the reset recover exactly.
+        for k in 3..6 {
+            assert!(
+                (res.rates[k][2] - d[k][2]).abs() < 1e-3,
+                "k={k}: {} vs {}",
+                res.rates[k][2],
+                d[k][2]
+            );
+        }
+    }
+
+    #[test]
+    fn outage_and_missing_polls_interpolate() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            jitter_max_s: 0.0,
+            fault_plan: Some(crate::fault::FaultPlan {
+                seed: 9,
+                faults: vec![
+                    crate::fault::FaultSpec::Outage {
+                        lsp: 1,
+                        from: 2,
+                        ticks: 2,
+                    },
+                    crate::fault::FaultSpec::MissingPolls { probability: 0.1 },
+                ],
+            }),
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        assert!(res.interpolated > 0);
+        assert!(res
+            .rates
+            .iter()
+            .all(|row| row.iter().all(|v| v.is_finite())));
+        // The outage window spans boundaries 2..4: intervals 1..4 lose
+        // their bracketing pair and must be non-clean.
+        for k in 1..4 {
+            assert_ne!(res.quality[k][1], CellQuality::Clean, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stale_readings_zero_then_spike() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            jitter_max_s: 0.0,
+            fault_plan: Some(crate::fault::FaultPlan {
+                seed: 9,
+                faults: vec![crate::fault::FaultSpec::StaleReadings {
+                    lsp: 2,
+                    from: 1,
+                    ticks: 2,
+                }],
+            }),
+            ..Default::default()
+        };
+        let res = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 7).unwrap();
+        // Frozen counters inside the window: rates collapse to zero.
+        assert!(res.rates[1][2].abs() < 1e-9, "{}", res.rates[1][2]);
+        assert!(res.rates[2][2].abs() < 1e-9, "{}", res.rates[2][2]);
+        // Release interval reports the whole backlog in one interval.
+        assert!(res.rates[3][2] > d[3][2], "{}", res.rates[3][2]);
+    }
+
+    #[test]
+    fn retry_policy_beats_single_shot_under_heavy_loss() {
+        let d = demands();
+        let single = CollectionConfig {
+            loss_probability: 0.4,
+            backup_poller: false,
+            ..Default::default()
+        };
+        let with_retry = CollectionConfig {
+            loss_probability: 0.4,
+            backup_poller: false,
+            retry: Some(RetryPolicy {
+                max_attempts: 5,
+                base_backoff_s: 1.0,
+                deadline_s: 60.0,
+            }),
+            ..Default::default()
+        };
+        let a = run_collection(&d, &[0, 1, 2, 0], 3, &single, 3).unwrap();
+        let b = run_collection(&d, &[0, 1, 2, 0], 3, &with_retry, 3).unwrap();
+        assert!(
+            b.lost_polls < a.lost_polls,
+            "retry {} vs single {}",
+            b.lost_polls,
+            a.lost_polls
+        );
+        // Backoff delays shift timestamps; rate adjustment keeps values
+        // close to truth wherever both polls arrived.
+        for k in 0..6 {
+            for p in 0..4 {
+                if b.quality[k][p] == CellQuality::Clean {
+                    let tol = 0.05 * d[k][p].max(1.0) + 0.5;
+                    assert!((b.rates[k][p] - d[k][p]).abs() < tol, "k={k} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_deadline_caps_attempts() {
+        // deadline below the first backoff: only the primary attempt.
+        let d = demands();
+        let cfg = CollectionConfig {
+            loss_probability: 0.4,
+            backup_poller: true, // ignored when retry is set
+            retry: Some(RetryPolicy {
+                max_attempts: 5,
+                base_backoff_s: 10.0,
+                deadline_s: 5.0,
+            }),
+            ..Default::default()
+        };
+        let single = CollectionConfig {
+            loss_probability: 0.4,
+            backup_poller: false,
+            ..Default::default()
+        };
+        let a = run_collection(&d, &[0, 1, 2, 0], 3, &cfg, 3).unwrap();
+        let b = run_collection(&d, &[0, 1, 2, 0], 3, &single, 3).unwrap();
+        assert_eq!(
+            a.lost_polls, b.lost_polls,
+            "a 5 s deadline under a 10 s backoff means one attempt"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use tm_opt::nnls::{self, SsnOptions, SsnState};
 use tm_opt::spg::{self, SpgOptions};
+use tm_opt::Convergence;
 
 use crate::error::EstimationError;
 use crate::problem::{Estimate, EstimationProblem, Estimator};
@@ -191,6 +192,7 @@ impl CaoEstimator {
         // the tracker for the remaining outer iterations of this tick —
         // the failure mode repeats, and each attempt costs a fallback.
         let mut gn_ok = gn_enabled;
+        let mut spg_conv: Option<Convergence> = None;
         for _ in 0..self.outer_iters {
             // Stage 1: φ by least squares: min_φ ‖φ·M·λᶜ − Σ̂‖².
             let lam_c: Vec<f64> = lambda.iter().map(|&v| v.powf(self.c)).collect();
@@ -269,6 +271,7 @@ impl CaoEstimator {
                     ..Default::default()
                 },
             )?;
+            spg_conv = Some(res.convergence());
             let change: f64 = res
                 .x
                 .iter()
@@ -284,6 +287,12 @@ impl CaoEstimator {
         let demands: Vec<f64> = lambda.iter().map(|&v| v * stot).collect();
         if let Some(state) = warm {
             state.demands = demands.clone();
+            // The GN tracker records its own report inside
+            // `gauss_newton_step`; only overwrite it when an SPG stage
+            // actually ran this tick.
+            if let Some(c) = spg_conv {
+                state.last_convergence = Some(c);
+            }
         }
         Ok(CaoEstimate {
             estimate: Estimate {
@@ -390,6 +399,7 @@ impl CaoEstimator {
         ) {
             Err(_) => Ok(GnOutcome::Stalled),
             Ok(sol) => {
+                state.last_convergence = Some(sol.convergence());
                 if eval_obj(&sol.x) <= eval_obj(lambda) {
                     let change: f64 = sol
                         .x
@@ -439,6 +449,17 @@ pub struct CaoWarmStart {
     /// Previous tick's normalized covariance vector (the GN drift
     /// gate's reference).
     prev_cov: Vec<f64>,
+    /// Convergence report of the engine that produced the last solve.
+    last_convergence: Option<Convergence>,
+}
+
+impl CaoWarmStart {
+    /// Convergence status of the most recent warm solve (`None` before
+    /// the first solve, or while the Gauss–Newton tracker is gated and
+    /// the tick ran on the SPG stages).
+    pub fn last_convergence(&self) -> Option<Convergence> {
+        self.last_convergence
+    }
 }
 
 impl Estimator for CaoEstimator {

@@ -13,6 +13,7 @@
 use tm_linalg::Workspace;
 use tm_opt::newton::{self, NewtonOptions};
 use tm_opt::spg::{self, SpgOptions};
+use tm_opt::Convergence;
 
 use crate::gravity::GravityModel;
 use crate::problem::{Estimate, Estimator};
@@ -180,6 +181,7 @@ impl EntropyEstimator {
         // with an SPG fallback on non-convergence.
         let mut x_solution: Option<Vec<f64>> = None;
         let mut final_step = 0.0;
+        let mut conv: Option<Convergence> = None;
         if let Some(state_slot) = warm.as_deref_mut() {
             if q.len() <= NEWTON_MAX_PAIRS {
                 let h_base = match state_slot.as_mut().and_then(|s| s.h_base.take()) {
@@ -213,6 +215,7 @@ impl EntropyEstimator {
                         ..Default::default()
                     },
                 )?;
+                conv = Some(newton.convergence());
                 if newton.converged {
                     x_solution = Some(newton.x);
                 }
@@ -224,6 +227,7 @@ impl EntropyEstimator {
                             demands: Vec::new(),
                             step: 0.0,
                             h_base: Some(h_base),
+                            last_convergence: None,
                         })
                     }
                 }
@@ -286,6 +290,7 @@ impl EntropyEstimator {
                     at_scale_opts,
                 )?
             };
+            conv = Some(newton.convergence());
             if newton.converged {
                 x_solution = Some(newton.x);
             }
@@ -294,6 +299,7 @@ impl EntropyEstimator {
             Some(x) => x,
             None => {
                 let result = spg::spg(&mut value_grad, spg::project_floor(FLOOR), x0, opts)?;
+                conv = Some(result.convergence());
                 final_step = result.step;
                 result.x
             }
@@ -309,6 +315,7 @@ impl EntropyEstimator {
                 demands: demands.clone(),
                 step: final_step,
                 h_base,
+                last_convergence: conv,
             });
         }
         ws.give(t);
@@ -346,6 +353,18 @@ pub struct EntropyWarmStart {
     step: f64,
     /// Dense `2AᵀA` Hessian base (constant across intervals).
     h_base: Option<tm_linalg::Mat>,
+    /// Convergence report of the engine that produced the last solve.
+    last_convergence: Option<Convergence>,
+}
+
+impl EntropyWarmStart {
+    /// Convergence status of the most recent warm solve (`None` before
+    /// the first solve). A budget-capped report means the carried
+    /// solution is the solver's best iterate, not an optimum — the
+    /// streaming engine quarantines the handle on it.
+    pub fn last_convergence(&self) -> Option<Convergence> {
+        self.last_convergence
+    }
 }
 
 impl Estimator for EntropyEstimator {

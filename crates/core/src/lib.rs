@@ -77,9 +77,13 @@ pub mod vardi;
 pub mod wcb;
 
 pub use error::EstimationError;
+pub use measure::{LoadFaultPlan, LoadOutage, LoadQuality, QualityOptions, RowQuality};
 pub use method::{Method, MethodConfig};
 pub use problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
-pub use stream::{IntervalStream, StreamEngine, StreamMode, StreamTick};
+pub use stream::{
+    DegradationAction, IntervalStream, MethodDegradation, QuarantineReason, StreamEngine,
+    StreamMode, StreamTick, TickDegradation,
+};
 pub use system::MeasurementSystem;
 
 /// Crate-wide result alias.
@@ -97,13 +101,19 @@ pub mod prelude {
     pub use crate::fanout::FanoutEstimator;
     pub use crate::gravity::GravityModel;
     pub use crate::kruithof::KruithofEstimator;
-    pub use crate::measure::{greedy_selection, largest_first_selection, MeasuredEntropy};
+    pub use crate::measure::{
+        greedy_selection, largest_first_selection, LoadFaultPlan, LoadQuality, MeasuredEntropy,
+        QualityOptions, RowQuality,
+    };
     pub use crate::method::{Method, MethodConfig};
     pub use crate::metrics::{
         included_count, mean_relative_error, rmse, spearman_rank_correlation, CoverageThreshold,
     };
     pub use crate::problem::{DatasetExt, Estimate, EstimationProblem, Estimator, TimeSeriesData};
-    pub use crate::stream::{dataset_stream, IntervalStream, StreamEngine, StreamMode, StreamTick};
+    pub use crate::stream::{
+        dataset_stream, DegradationAction, IntervalStream, MethodDegradation, QuarantineReason,
+        StreamEngine, StreamMode, StreamTick, TickDegradation,
+    };
     pub use crate::system::MeasurementSystem;
     pub use crate::vardi::VardiEstimator;
     pub use crate::wcb::{

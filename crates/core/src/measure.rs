@@ -264,6 +264,272 @@ pub fn largest_first_selection(
     Ok(curve)
 }
 
+// ---------------------------------------------------------------------
+// Measurement quality: which rows of a tick's load vector are usable.
+// ---------------------------------------------------------------------
+
+/// Quality class of one measurement row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowQuality {
+    /// Finite, non-negative, plausible: usable as-is.
+    Clean,
+    /// Present but untrustworthy (negative, or beyond the plausibility
+    /// bound): must not constrain an estimate.
+    Suspect,
+    /// Not a number / infinite: the poll never arrived.
+    Missing,
+}
+
+impl RowQuality {
+    /// Usable rows constrain the masked system; suspect and missing
+    /// rows are dropped.
+    pub fn is_usable(self) -> bool {
+        self == RowQuality::Clean
+    }
+}
+
+/// Options for [`LoadQuality::assess`].
+#[derive(Debug, Clone, Copy)]
+pub struct QualityOptions {
+    /// Plausibility bound on any single measurement (Mbps). Matches the
+    /// collector's default wrap/reset bound (400 Gbps).
+    pub max_rate_mbps: f64,
+    /// Relative tolerance on the flow-conservation residual
+    /// `|Σ ingress − Σ egress| / max(Σ ingress, Σ egress)` over clean
+    /// rows. Jitter smearing keeps clean ticks well under 5%.
+    pub conservation_tol: f64,
+}
+
+impl Default for QualityOptions {
+    fn default() -> Self {
+        QualityOptions {
+            max_rate_mbps: 400_000.0,
+            conservation_tol: 0.05,
+        }
+    }
+}
+
+/// Per-tick measurement quality report: one [`RowQuality`] per load
+/// row plus the flow-conservation cross-check. This is the input
+/// classification step of the degradation ladder — see
+/// `docs/ROBUSTNESS.md`.
+#[derive(Debug, Clone)]
+pub struct LoadQuality {
+    /// Quality of each interior link load.
+    pub links: Vec<RowQuality>,
+    /// Quality of each node ingress total.
+    pub ingress: Vec<RowQuality>,
+    /// Quality of each node egress total.
+    pub egress: Vec<RowQuality>,
+    /// Relative conservation residual over clean rows.
+    pub conservation_residual: f64,
+    /// Whether the residual is within tolerance.
+    pub conservation_ok: bool,
+}
+
+impl LoadQuality {
+    /// Classify a tick's load vectors.
+    pub fn assess(
+        link_loads: &[f64],
+        ingress: &[f64],
+        egress: &[f64],
+        opts: &QualityOptions,
+    ) -> LoadQuality {
+        let classify = |v: f64| {
+            if !v.is_finite() {
+                RowQuality::Missing
+            } else if v < 0.0 || v > opts.max_rate_mbps {
+                RowQuality::Suspect
+            } else {
+                RowQuality::Clean
+            }
+        };
+        let links: Vec<RowQuality> = link_loads.iter().map(|&v| classify(v)).collect();
+        let ingress_q: Vec<RowQuality> = ingress.iter().map(|&v| classify(v)).collect();
+        let egress_q: Vec<RowQuality> = egress.iter().map(|&v| classify(v)).collect();
+        // Flow conservation: everything entering the network leaves it,
+        // so the clean ingress and egress totals must balance. Computed
+        // over clean rows only — a missing node total shouldn't fail
+        // the whole tick.
+        let sum_in: f64 = ingress
+            .iter()
+            .zip(&ingress_q)
+            .filter(|(_, q)| q.is_usable())
+            .map(|(v, _)| v)
+            .sum();
+        let sum_eg: f64 = egress
+            .iter()
+            .zip(&egress_q)
+            .filter(|(_, q)| q.is_usable())
+            .map(|(v, _)| v)
+            .sum();
+        let conservation_residual = (sum_in - sum_eg).abs() / sum_in.max(sum_eg).max(1.0);
+        let conservation_ok = conservation_residual <= opts.conservation_tol;
+        LoadQuality {
+            links,
+            ingress: ingress_q,
+            egress: egress_q,
+            conservation_residual,
+            conservation_ok,
+        }
+    }
+
+    /// True when every row is clean (the degradation-free fast path).
+    pub fn is_all_clean(&self) -> bool {
+        self.links.iter().all(|q| q.is_usable())
+            && self.ingress.iter().all(|q| q.is_usable())
+            && self.egress.iter().all(|q| q.is_usable())
+    }
+
+    /// Number of rows that cannot constrain an estimate.
+    pub fn n_unusable(&self) -> usize {
+        self.links
+            .iter()
+            .chain(&self.ingress)
+            .chain(&self.egress)
+            .filter(|q| !q.is_usable())
+            .count()
+    }
+
+    /// Stacked-row indices of the clean rows, in the measurement
+    /// matrix's row order (interior links, then — when edge
+    /// measurements are stacked — ingress and egress rows). This is
+    /// the mask fed to
+    /// [`MeasurementSystem::masked_view`](crate::system::MeasurementSystem::masked_view).
+    pub fn clean_stacked_rows(&self, use_edge: bool) -> Vec<usize> {
+        let mut rows = Vec::new();
+        let mut base = 0usize;
+        for (i, q) in self.links.iter().enumerate() {
+            if q.is_usable() {
+                rows.push(base + i);
+            }
+        }
+        base += self.links.len();
+        if use_edge {
+            for (i, q) in self.ingress.iter().enumerate() {
+                if q.is_usable() {
+                    rows.push(base + i);
+                }
+            }
+            base += self.ingress.len();
+            for (i, q) in self.egress.iter().enumerate() {
+                if q.is_usable() {
+                    rows.push(base + i);
+                }
+            }
+        }
+        rows
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load-level fault injection: the lightweight counterpart of
+// `tm_collect::FaultPlan` for driving streams straight from a dataset.
+// ---------------------------------------------------------------------
+
+/// One per-link outage window in a [`LoadFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOutage {
+    /// Affected interior link.
+    pub link: usize,
+    /// First affected tick.
+    pub from: usize,
+    /// Number of consecutive ticks affected.
+    pub ticks: usize,
+}
+
+/// A deterministic load-level fault schedule, applied to
+/// [`IntervalLoads`](tm_traffic::IntervalLoads)-shaped vectors before
+/// they reach a streaming engine. Missing values become `NaN`
+/// (classified [`RowQuality::Missing`]); corruption-burst values are
+/// negated (classified [`RowQuality::Suspect`] — the load-level
+/// stand-in for an unrecoverable counter reset/wrap).
+///
+/// Randomness is hash-derived from `(seed, tick, link)`, so plans are
+/// bit-identical across runs without any RNG state.
+#[derive(Debug, Clone, Default)]
+pub struct LoadFaultPlan {
+    /// Seed for the per-cell hash.
+    pub seed: u64,
+    /// Probability each (tick, link) load goes missing.
+    pub missing_probability: f64,
+    /// Per-link outage windows (loads forced missing).
+    pub outages: Vec<LoadOutage>,
+    /// A corruption burst: every link load in `[from, from+ticks)` on
+    /// the chosen link is replaced by an untrustworthy value.
+    pub corrupt: Vec<LoadOutage>,
+}
+
+impl LoadFaultPlan {
+    /// The canonical robustness scenario gated in CI: 5% of link loads
+    /// missing per tick, one three-tick outage and one three-tick
+    /// corruption burst (the "counter-wrap burst") on fixed links.
+    pub fn canonical(n_links: usize, seed: u64) -> LoadFaultPlan {
+        LoadFaultPlan {
+            seed,
+            missing_probability: 0.05,
+            outages: vec![LoadOutage {
+                link: 0,
+                from: 6,
+                ticks: 3,
+            }],
+            corrupt: vec![LoadOutage {
+                link: n_links.saturating_sub(1),
+                from: 12,
+                ticks: 3,
+            }],
+        }
+    }
+
+    /// Corrupt one tick's interior link loads in place.
+    pub fn apply(&self, tick: usize, link_loads: &mut [f64]) {
+        for o in &self.outages {
+            if o.link < link_loads.len() && (o.from..o.from + o.ticks).contains(&tick) {
+                link_loads[o.link] = f64::NAN;
+            }
+        }
+        for c in &self.corrupt {
+            if c.link < link_loads.len() && (c.from..c.from + c.ticks).contains(&tick) {
+                // A negative load: present but impossible, the signature
+                // of a reset/garbled counter surviving rate recovery.
+                link_loads[c.link] = -link_loads[c.link].abs().max(1.0);
+            }
+        }
+        if self.missing_probability > 0.0 {
+            for (l, v) in link_loads.iter_mut().enumerate() {
+                if load_fault_hash(self.seed, tick as u64, l as u64) < self.missing_probability {
+                    *v = f64::NAN;
+                }
+            }
+        }
+    }
+
+    /// Ticks touched by any fault, given a per-tick link count — used
+    /// by evaluations to split affected from unaffected ticks.
+    pub fn affects_tick(&self, tick: usize, n_links: usize) -> bool {
+        self.outages
+            .iter()
+            .chain(&self.corrupt)
+            .any(|o| o.link < n_links && (o.from..o.from + o.ticks).contains(&tick))
+            || (self.missing_probability > 0.0
+                && (0..n_links).any(|l| {
+                    load_fault_hash(self.seed, tick as u64, l as u64) < self.missing_probability
+                }))
+    }
+}
+
+/// splitmix64-style hash to a uniform in `[0, 1)` (the core crate has
+/// no RNG dependency; determinism matters more than statistical depth).
+fn load_fault_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let mut x =
+        seed ^ a.wrapping_mul(0x517C_C1B7_2722_0A95) ^ b.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +636,88 @@ mod tests {
             greedy_selection(&no_truth, 1.0, 1, CoverageThreshold::Share(0.9), 5),
             Err(EstimationError::MissingTruth)
         ));
+    }
+
+    #[test]
+    fn quality_classifies_rows() {
+        let opts = QualityOptions::default();
+        let q = LoadQuality::assess(
+            &[10.0, f64::NAN, -3.0, 1e9],
+            &[5.0, 5.0],
+            &[5.0, 5.0],
+            &opts,
+        );
+        assert_eq!(q.links[0], RowQuality::Clean);
+        assert_eq!(q.links[1], RowQuality::Missing);
+        assert_eq!(q.links[2], RowQuality::Suspect);
+        assert_eq!(q.links[3], RowQuality::Suspect, "beyond max_rate_mbps");
+        assert!(!q.is_all_clean());
+        assert_eq!(q.n_unusable(), 3);
+        assert!(q.conservation_ok);
+        assert!(q.conservation_residual < 1e-12);
+    }
+
+    #[test]
+    fn quality_all_clean_and_conservation_violation() {
+        let opts = QualityOptions::default();
+        let clean = LoadQuality::assess(&[1.0, 2.0], &[3.0], &[3.0], &opts);
+        assert!(clean.is_all_clean());
+        assert_eq!(clean.n_unusable(), 0);
+        // 50% imbalance between clean totals: flagged.
+        let bad = LoadQuality::assess(&[1.0], &[100.0], &[50.0], &opts);
+        assert!(!bad.conservation_ok);
+        assert!(bad.conservation_residual > 0.4);
+        // A missing ingress row is excluded from the balance, so a
+        // half-observed tick doesn't fail conservation spuriously.
+        let part = LoadQuality::assess(&[1.0], &[f64::NAN, 50.0], &[25.0, 25.0], &opts);
+        assert!(part.conservation_ok, "{}", part.conservation_residual);
+    }
+
+    #[test]
+    fn clean_stacked_rows_match_measurement_layout() {
+        let opts = QualityOptions::default();
+        let q = LoadQuality::assess(&[1.0, f64::NAN, 3.0], &[4.0, -1.0], &[6.0, 7.0], &opts);
+        // Interior-only mask skips link 1.
+        assert_eq!(q.clean_stacked_rows(false), vec![0, 2]);
+        // Edge-stacked mask: links 0,2; ingress row 0 (index 3);
+        // egress rows 0,1 (indices 5,6).
+        assert_eq!(q.clean_stacked_rows(true), vec![0, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn load_fault_plan_is_deterministic_and_windowed() {
+        let plan = LoadFaultPlan::canonical(8, 42);
+        let mut a = vec![100.0; 8];
+        let mut b = vec![100.0; 8];
+        plan.apply(6, &mut a);
+        plan.apply(6, &mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "hash-driven faults are deterministic"
+        );
+        assert!(a[0].is_nan(), "outage window covers tick 6");
+        let mut c = vec![100.0; 8];
+        plan.apply(12, &mut c);
+        assert!(c[7] < 0.0, "corruption burst negates the last link");
+        assert!(!c[0].is_nan(), "outage over by tick 12");
+        // Ticks inside fault windows are reported affected.
+        assert!(plan.affects_tick(6, 8));
+        assert!(plan.affects_tick(12, 8));
+        // Missing-poll hash: roughly 5% of cells over many ticks.
+        let mut missing = 0usize;
+        let trials = 2_000usize;
+        for t in 100..100 + trials {
+            let mut v = vec![1.0; 8];
+            LoadFaultPlan {
+                seed: 42,
+                missing_probability: 0.05,
+                ..Default::default()
+            }
+            .apply(t, &mut v);
+            missing += v.iter().filter(|x| x.is_nan()).count();
+        }
+        let share = missing as f64 / (trials * 8) as f64;
+        assert!((share - 0.05).abs() < 0.01, "missing share {share}");
     }
 }

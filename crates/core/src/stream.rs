@@ -37,8 +37,10 @@
 //! incrementally (fanout, moments).
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tm_linalg::Workspace;
+use tm_opt::Convergence;
 use tm_traffic::{EvalDataset, IntervalLoads};
 
 use crate::bayes::{BayesWarmStart, BayesianEstimator};
@@ -48,6 +50,7 @@ use crate::entropy::{EntropyEstimator, EntropyWarmStart};
 use crate::error::EstimationError;
 use crate::fanout::{FanoutEstimator, FanoutWindowStats};
 use crate::kruithof::{KruithofEstimator, KruithofWarmStart};
+use crate::measure::{LoadQuality, QualityOptions};
 use crate::method::{Method, MethodConfig, TypedEstimator};
 use crate::problem::{Estimate, EstimationProblem, Estimator, TimeSeriesData};
 use crate::system::MeasurementSystem;
@@ -60,6 +63,15 @@ use crate::Result;
 /// add/subtract updates; the refresh is `O(K·size)`, amortized to
 /// noise).
 const ROLLING_REFRESH_TICKS: usize = 128;
+
+/// Ticks a missing/suspect row may be bridged from its last clean value
+/// before it is masked out of the system instead.
+const DEFAULT_IMPUTE_HORIZON: usize = 3;
+
+/// A method whose demand total exceeds this multiple of the tick's
+/// total ingress traffic is treated as diverged: its carried state is
+/// quarantined and the estimate replaced by the last good one.
+const DIVERGENCE_FACTOR: f64 = 10.0;
 
 /// Whether a [`StreamEngine`] carries per-method state across ticks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,13 +88,106 @@ pub enum StreamMode {
 /// One tick's output: per-method estimates aligned with
 /// [`StreamEngine::labels`]. `None` marks a time-series method whose
 /// window has not filled to its minimum length yet (Vardi/Cao need two
-/// intervals for a covariance).
+/// intervals for a covariance), or one holding its state through a
+/// masked tick before any estimate exists to fall back on.
 #[derive(Debug)]
 pub struct StreamTick {
     /// 0-based tick index (the engine's own interval counter).
     pub interval: usize,
     /// Per-method outcome, in [`StreamEngine::labels`] order.
     pub estimates: Vec<Option<Result<Estimate>>>,
+    /// What the degradation ladder did this tick — `None` on a fully
+    /// clean tick (the overwhelmingly common case). See
+    /// `docs/ROBUSTNESS.md` for the ladder.
+    pub degradation: Option<TickDegradation>,
+}
+
+/// Typed per-tick degradation report: which input rows were repaired or
+/// dropped and what each method did about it. Faults surface *here*,
+/// not as `Err` — the stream keeps producing estimates.
+#[derive(Debug, Clone)]
+pub struct TickDegradation {
+    /// Tick index (mirrors [`StreamTick::interval`]).
+    pub interval: usize,
+    /// Stacked rows dropped from the measurement system this tick
+    /// (unusable beyond the imputation horizon).
+    pub masked_rows: Vec<usize>,
+    /// Stacked rows bridged from their last clean value.
+    pub imputed_rows: Vec<usize>,
+    /// Relative flow-conservation residual over the tick's clean rows.
+    pub conservation_residual: f64,
+    /// Whether the residual is within tolerance.
+    pub conservation_ok: bool,
+    /// Per-method reports, only for methods that deviated from a plain
+    /// clean solve (empty when the tick's inputs were repaired but
+    /// every method still solved normally on them).
+    pub methods: Vec<MethodDegradation>,
+}
+
+/// What one method did on a degraded tick.
+#[derive(Debug, Clone)]
+pub struct MethodDegradation {
+    /// Method label (matches [`StreamEngine::labels`]).
+    pub label: String,
+    /// How this method's estimate was produced.
+    pub action: DegradationAction,
+    /// Why the method's carried solver state was quarantined and
+    /// rebuilt, when it was.
+    pub quarantine: Option<QuarantineReason>,
+}
+
+/// How a method's estimate was produced on a degraded tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradationAction {
+    /// Solved on clean inputs (the report exists only because the
+    /// carried state was quarantined).
+    CleanSolve,
+    /// Solved on the full system with short gaps bridged from the last
+    /// clean values.
+    ImputedSolve,
+    /// Solved on the row-masked reduced system
+    /// ([`MeasurementSystem::masked_view`]).
+    MaskedSolve,
+    /// A time-series method held its carried state: the masked tick is
+    /// quarantined from its windows and the previous estimate stands.
+    WarmHeld,
+    /// The solve failed (or was quarantined); the last good estimate
+    /// was substituted.
+    FallbackLastGood,
+    /// The solver panicked; the panic was caught, the method state
+    /// rebuilt from cold, and the last good estimate substituted.
+    PanicCaught {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+/// Why a method's carried warm state was discarded and rebuilt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineReason {
+    /// The estimate carried NaN or infinite demands.
+    NonFinite,
+    /// The warm solver exhausted its iteration budget without reaching
+    /// tolerance (see [`Convergence`]); the estimate is kept — it is
+    /// the solver's best iterate — but the carried state is not
+    /// trusted for the next tick.
+    BudgetCapped {
+        /// Optimality measure at exit.
+        achieved_tol: f64,
+        /// Iterations consumed.
+        iters: usize,
+    },
+    /// The solver returned an error.
+    SolverError {
+        /// The error's display form.
+        message: String,
+    },
+    /// The demand total exceeded 10x (`DIVERGENCE_FACTOR`) the tick's
+    /// total traffic.
+    Diverged {
+        /// Ratio of the estimate's demand total to the tick's total.
+        factor: f64,
+    },
 }
 
 /// A source of per-interval load observations: thin iterator glue
@@ -158,6 +263,9 @@ struct MethodSlot {
     /// Minimum history length before the method can produce output
     /// (Vardi/Cao need two intervals for a covariance).
     min_window: usize,
+    /// The registry spec, kept so a quarantined (or panicked) state can
+    /// be rebuilt from cold.
+    method: Method,
     state: MethodState,
 }
 
@@ -173,6 +281,18 @@ pub struct StreamEngine {
     src_of: Vec<usize>,
     ws: Workspace,
     ticks: usize,
+    /// Input classification options; `None` disables the degradation
+    /// ladder entirely (the PR 5 fail-fast behavior).
+    quality: Option<QualityOptions>,
+    /// Max consecutive ticks a row may be bridged from its last clean
+    /// value before it is masked instead.
+    impute_horizon: usize,
+    /// Last clean value per extended row [links | ingress | egress].
+    last_clean: Vec<Option<f64>>,
+    /// Consecutive unusable ticks per extended row.
+    gap: Vec<usize>,
+    /// Most recent successful estimate per method (the fallback rung).
+    last_good: Vec<Option<Estimate>>,
 }
 
 impl StreamEngine {
@@ -222,10 +342,13 @@ impl StreamEngine {
                     MethodConfig::Vardi { .. } | MethodConfig::Cao { .. } => 2,
                     _ => 1,
                 },
+                method: m.clone(),
                 state: build_state(&system, m, mode),
             })
             .collect();
         let max_window = slots.iter().filter_map(|s| s.window).max().unwrap_or(1);
+        let n_methods = slots.len();
+        let ext_rows = system.problem().n_links() + 2 * system.problem().n_nodes();
         Ok(StreamEngine {
             anchor: system,
             mode,
@@ -235,6 +358,11 @@ impl StreamEngine {
             src_of,
             ws: Workspace::new(),
             ticks: 0,
+            quality: Some(QualityOptions::default()),
+            impute_horizon: DEFAULT_IMPUTE_HORIZON,
+            last_clean: vec![None; ext_rows],
+            gap: vec![0; ext_rows],
+            last_good: vec![None; n_methods],
         })
     }
 
@@ -268,11 +396,41 @@ impl StreamEngine {
         &self.anchor
     }
 
+    /// Set (or disable, with `None`) the input-quality classification
+    /// driving the degradation ladder. Enabled by default with
+    /// [`QualityOptions::default`]; clean inputs take a fast path whose
+    /// estimates are bit-identical to a disabled ladder.
+    pub fn with_quality(mut self, quality: Option<QualityOptions>) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Set how many consecutive ticks a missing/suspect row may be
+    /// bridged from its last clean value before it is masked out of the
+    /// system instead (default 3).
+    pub fn with_impute_horizon(mut self, ticks: usize) -> Self {
+        self.impute_horizon = ticks;
+        self
+    }
+
+    /// The active quality options (`None` when the degradation ladder
+    /// is disabled).
+    pub fn quality(&self) -> Option<&QualityOptions> {
+        self.quality.as_ref()
+    }
+
     /// Consume one interval and estimate every registered method.
     ///
     /// Engine-level failures (dimension mismatches, a routing change)
-    /// fail the whole tick; per-method solver failures are recorded in
-    /// the tick's `estimates` and do not disturb the other methods.
+    /// fail the whole tick. With the quality ladder enabled (the
+    /// default), dirty inputs and per-method solver failures degrade
+    /// instead of erroring: rows are imputed or masked, failing methods
+    /// fall back to their last good estimate, suspect carried state is
+    /// quarantined, and the whole story is reported in
+    /// [`StreamTick::degradation`]. With the ladder disabled
+    /// ([`Self::with_quality`]`(None)`), per-method solver failures are
+    /// recorded in the tick's `estimates` and do not disturb the other
+    /// methods — the PR 5 behavior, bit for bit.
     pub fn push_interval(&mut self, loads: IntervalLoads) -> Result<StreamTick> {
         let anchor_p = self.anchor.problem();
         if loads.link_loads.len() != anchor_p.n_links()
@@ -288,7 +446,16 @@ impl StreamEngine {
                 anchor_p.n_nodes(),
             )));
         }
-        let use_edge = anchor_p.uses_edge_measurements();
+        match self.quality {
+            None => self.push_interval_raw(loads),
+            Some(opts) => self.push_interval_checked(loads, opts),
+        }
+    }
+
+    /// The ladder-free tick: trust every row, fail fast. Exactly the
+    /// PR 5 solve sequence.
+    fn push_interval_raw(&mut self, loads: IntervalLoads) -> Result<StreamTick> {
+        let use_edge = self.anchor.problem().uses_edge_measurements();
         let mut t_stacked = loads.link_loads.clone();
         if use_edge {
             t_stacked.extend_from_slice(&loads.ingress);
@@ -332,85 +499,312 @@ impl StreamEngine {
 
         let mut estimates = Vec::with_capacity(methods.len());
         for slot in methods.iter_mut() {
-            let win_len = slot.window.map(|w| w.min(history.len()));
-            let out: Option<Result<Estimate>> = match &mut slot.state {
-                MethodState::Plain(est) => match win_len {
-                    None => Some(
-                        tick_snapshot_system(anchor, current, &mut snap_sys)
-                            .and_then(|sys| est.estimate_system(sys, ws)),
-                    ),
-                    Some(w) if history.len() < slot.min_window => {
-                        let _ = w;
-                        None
-                    }
-                    Some(w) => Some(
-                        tick_window_system(anchor, history, w, &mut win_sys)
-                            .and_then(|sys| est.estimate_system(sys, ws)),
-                    ),
-                },
-                MethodState::Entropy(est, warm) => Some(
-                    tick_snapshot_system(anchor, current, &mut snap_sys)
-                        .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
-                ),
-                MethodState::Bayes(est, warm) => Some(
-                    tick_snapshot_system(anchor, current, &mut snap_sys)
-                        .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
-                ),
-                MethodState::Kruithof(est, warm) => Some(
-                    tick_snapshot_system(anchor, current, &mut snap_sys)
-                        .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
-                ),
-                MethodState::Vardi(est, warm, rolling) => {
-                    rolling.push(t_stacked.clone(), current.ingress.iter().sum());
-                    if rolling.len() < 2 {
-                        None
-                    } else {
-                        Some(rolling.moments().and_then(|m| {
-                            est.estimate_from_moments(
-                                anchor,
-                                &m,
-                                rolling.mean_ingress(),
-                                Some(warm),
-                            )
-                        }))
-                    }
-                }
-                MethodState::Cao(est, warm, rolling) => {
-                    rolling.push(t_stacked.clone(), current.ingress.iter().sum());
-                    if rolling.len() < 2 {
-                        None
-                    } else {
-                        Some(rolling.moments().and_then(|m| {
-                            est.estimate_from_moments(
-                                anchor,
-                                &m,
-                                rolling.mean_ingress(),
-                                Some(warm),
-                            )
-                            .map(|e| e.estimate)
-                        }))
-                    }
-                }
-                MethodState::Fanout(est, rolling) => {
-                    let u = u.as_deref().expect("computed for fanout above");
-                    rolling.push(current, u, src_of);
-                    Some(
-                        est.estimate_from_stats(anchor, &rolling.stats, ws)
-                            .map(|r| r.estimate),
-                    )
-                }
-                MethodState::Wcb {
-                    name,
-                    engine,
-                    solver,
-                } => Some(tick_wcb(anchor, &t_stacked, name, *engine, solver, ws)),
-            };
+            let (out, _) = solve_slot(
+                slot,
+                anchor,
+                history,
+                current,
+                &t_stacked,
+                u.as_deref(),
+                src_of,
+                ws,
+                &mut snap_sys,
+                &mut win_sys,
+                &TickCtx::Clean,
+            );
             estimates.push(out);
         }
 
         Ok(StreamTick {
             interval,
             estimates,
+            degradation: None,
+        })
+    }
+
+    /// The degradation-ladder tick: classify → repair/mask → solve →
+    /// validate → quarantine/fall back. Clean inputs run the same solve
+    /// sequence as [`Self::push_interval_raw`] (bit-identical
+    /// estimates); the ladder engages only on dirty rows or suspect
+    /// solver outcomes.
+    fn push_interval_checked(
+        &mut self,
+        loads: IntervalLoads,
+        opts: QualityOptions,
+    ) -> Result<StreamTick> {
+        let anchor_p = self.anchor.problem();
+        let use_edge = anchor_p.uses_edge_measurements();
+        let n_links = anchor_p.n_links();
+        let n_nodes = anchor_p.n_nodes();
+        let q = LoadQuality::assess(&loads.link_loads, &loads.ingress, &loads.egress, &opts);
+
+        // Repair pass over the extended row space
+        // [links | ingress | egress] (kept even when edge rows are not
+        // stacked — marginal-based priors read the node totals too).
+        // Clean rows refresh the imputation source; unusable rows are
+        // bridged from it while the gap is short, masked past the
+        // horizon (with a best-effort fill so problem construction and
+        // marginal priors stay sane).
+        let mut repaired = loads;
+        let mut imputed_ext: Vec<usize> = Vec::new();
+        let mut masked_ext: Vec<usize> = Vec::new();
+        {
+            let horizon = self.impute_horizon;
+            let last_clean = &mut self.last_clean;
+            let gap = &mut self.gap;
+            let mut repair = |ext: usize, value: &mut f64, usable: bool| {
+                if usable {
+                    last_clean[ext] = Some(*value);
+                    gap[ext] = 0;
+                } else {
+                    gap[ext] += 1;
+                    match last_clean[ext] {
+                        Some(held) if gap[ext] <= horizon => {
+                            *value = held;
+                            imputed_ext.push(ext);
+                        }
+                        held => {
+                            *value = held.unwrap_or(0.0);
+                            masked_ext.push(ext);
+                        }
+                    }
+                }
+            };
+            for i in 0..n_links {
+                repair(i, &mut repaired.link_loads[i], q.links[i].is_usable());
+            }
+            for i in 0..n_nodes {
+                repair(
+                    n_links + i,
+                    &mut repaired.ingress[i],
+                    q.ingress[i].is_usable(),
+                );
+            }
+            for i in 0..n_nodes {
+                repair(
+                    n_links + n_nodes + i,
+                    &mut repaired.egress[i],
+                    q.egress[i].is_usable(),
+                );
+            }
+        }
+
+        // Extended index == stacked row index when edge rows are
+        // stacked; otherwise only link rows are in the system.
+        let to_stacked = |ext: usize| {
+            if ext < n_links || use_edge {
+                Some(ext)
+            } else {
+                None
+            }
+        };
+        let masked_rows: Vec<usize> = masked_ext.iter().copied().filter_map(to_stacked).collect();
+        let imputed_rows: Vec<usize> = imputed_ext.iter().copied().filter_map(to_stacked).collect();
+        let degraded_input = !(masked_ext.is_empty() && imputed_ext.is_empty());
+        let masked_tick = !masked_rows.is_empty();
+
+        let mut t_stacked = repaired.link_loads.clone();
+        if use_edge {
+            t_stacked.extend_from_slice(&repaired.ingress);
+            t_stacked.extend_from_slice(&repaired.egress);
+        }
+        let usable_rows: Vec<usize> = if masked_tick {
+            (0..t_stacked.len())
+                .filter(|r| masked_rows.binary_search(r).is_err())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Divergence reference: total repaired ingress (≈ total
+        // demand), falling back to the stacked total.
+        let total_ref = {
+            let ing: f64 = repaired.ingress.iter().sum();
+            if ing > 0.0 {
+                ing
+            } else {
+                t_stacked.iter().sum::<f64>()
+            }
+        };
+
+        // History and rolling windows ingest only clean or fully
+        // bridged ticks; a masked tick is quarantined from every
+        // window so stale zeros never contaminate the moments.
+        if !masked_tick {
+            self.history.push_back(repaired.clone());
+            if self.history.len() > self.max_window {
+                self.history.pop_front();
+            }
+        }
+        let needs_u = !masked_tick
+            && self
+                .methods
+                .iter()
+                .any(|m| matches!(m.state, MethodState::Fanout(..)));
+        let u = if needs_u {
+            Some(self.anchor.matrix().tr_matvec(&t_stacked))
+        } else {
+            None
+        };
+
+        let interval = self.ticks;
+        self.ticks += 1;
+        let mode = self.mode;
+
+        let StreamEngine {
+            anchor,
+            methods,
+            history,
+            src_of,
+            ws,
+            last_good,
+            ..
+        } = self;
+        let ctx = if masked_tick {
+            TickCtx::Masked {
+                usable: &usable_rows,
+            }
+        } else if degraded_input {
+            TickCtx::Imputed
+        } else {
+            TickCtx::Clean
+        };
+        let mut snap_sys: Option<MeasurementSystem<'static>> = None;
+        let mut win_sys: Vec<(usize, MeasurementSystem<'static>)> = Vec::new();
+
+        let mut estimates = Vec::with_capacity(methods.len());
+        let mut method_reports: Vec<MethodDegradation> = Vec::new();
+        for (i, slot) in methods.iter_mut().enumerate() {
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                solve_slot(
+                    slot,
+                    anchor,
+                    history,
+                    &repaired,
+                    &t_stacked,
+                    u.as_deref(),
+                    src_of,
+                    ws,
+                    &mut snap_sys,
+                    &mut win_sys,
+                    &ctx,
+                )
+            }));
+            let (mut out, mut action) = match solved {
+                Ok(v) => v,
+                Err(payload) => {
+                    // A panic may have torn the carried state mid-update:
+                    // rebuild the whole slot (windows included) from cold.
+                    slot.state = build_state(anchor, &slot.method, mode);
+                    (
+                        None,
+                        Some(DegradationAction::PanicCaught {
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    )
+                }
+            };
+
+            // Validate the outcome; read the warm solver's convergence
+            // report before any quarantine resets it. The ladder only
+            // engages on degraded ticks: a clean tick's output —
+            // including a hypothetical non-converged or diverged solve —
+            // must stay bit-identical to the fail-fast path, so suspect
+            // outcomes are only intercepted once the inputs themselves
+            // were suspect.
+            let conv = slot_convergence(&slot.state);
+            let panicked = matches!(action, Some(DegradationAction::PanicCaught { .. }));
+            let mut quarantine: Option<QuarantineReason> = None;
+            if !panicked && !matches!(ctx, TickCtx::Clean) {
+                match &out {
+                    Some(Err(e)) => {
+                        quarantine = Some(QuarantineReason::SolverError {
+                            message: e.to_string(),
+                        });
+                    }
+                    Some(Ok(est)) => {
+                        if !est.demands.iter().all(|v| v.is_finite()) {
+                            quarantine = Some(QuarantineReason::NonFinite);
+                        } else if total_ref > 0.0 {
+                            let factor = est.demands.iter().sum::<f64>() / total_ref.max(1.0);
+                            if factor > DIVERGENCE_FACTOR {
+                                quarantine = Some(QuarantineReason::Diverged { factor });
+                            }
+                        }
+                        if quarantine.is_none() {
+                            if let Some(c) = conv {
+                                if !c.converged {
+                                    quarantine = Some(QuarantineReason::BudgetCapped {
+                                        achieved_tol: c.achieved_tol,
+                                        iters: c.iters,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    None => {}
+                }
+            }
+            if let Some(reason) = &quarantine {
+                // Self-healing: drop the suspect carried solver state
+                // (rolling data windows are kept — they hold inputs,
+                // not iterates) so the next tick restarts from cold.
+                quarantine_state(&mut slot.state);
+                // A budget-capped solve still yields the best iterate
+                // found — keep it. The other reasons invalidate the
+                // estimate itself: substitute the last good one.
+                if !matches!(reason, QuarantineReason::BudgetCapped { .. }) {
+                    if let Some(g) = &last_good[i] {
+                        out = Some(Ok(g.clone()));
+                        action = Some(DegradationAction::FallbackLastGood);
+                    } else if matches!(out, Some(Ok(_))) {
+                        out = Some(Err(EstimationError::InvalidProblem(format!(
+                            "stream degraded: `{}` quarantined ({reason:?}) with no \
+                             prior estimate to fall back on",
+                            slot.label
+                        ))));
+                    }
+                }
+            }
+            // Held or panicked methods stand on their last good
+            // estimate when one exists.
+            if out.is_none()
+                && matches!(
+                    action,
+                    Some(DegradationAction::WarmHeld | DegradationAction::PanicCaught { .. })
+                )
+            {
+                out = last_good[i].clone().map(Ok);
+            }
+            if let Some(Ok(est)) = &out {
+                last_good[i] = Some(est.clone());
+            }
+            if action.is_some() || quarantine.is_some() {
+                method_reports.push(MethodDegradation {
+                    label: slot.label.clone(),
+                    action: action.unwrap_or(DegradationAction::CleanSolve),
+                    quarantine,
+                });
+            }
+            estimates.push(out);
+        }
+
+        let degradation = if degraded_input || !method_reports.is_empty() || !q.conservation_ok {
+            Some(TickDegradation {
+                interval,
+                masked_rows,
+                imputed_rows,
+                conservation_residual: q.conservation_residual,
+                conservation_ok: q.conservation_ok,
+                methods: method_reports,
+            })
+        } else {
+            None
+        };
+        Ok(StreamTick {
+            interval,
+            estimates,
+            degradation,
         })
     }
 
@@ -600,6 +994,223 @@ fn tick_wcb(
     let mut estimate = bounds.midpoint();
     estimate.method = name.to_string();
     Ok(estimate)
+}
+
+/// Input classification for one tick, steering the per-method solve.
+enum TickCtx<'a> {
+    /// All rows usable — the verbatim fail-fast solve sequence.
+    Clean,
+    /// Some rows bridged from their last clean value; the repaired
+    /// loads run through the same full-system solve as a clean tick.
+    Imputed,
+    /// Rows masked past the imputation horizon: snapshot methods solve
+    /// on the reduced view over `usable`, window methods hold.
+    Masked { usable: &'a [usize] },
+}
+
+/// Solve one method slot for the tick. Returns the method's output (as
+/// `push_interval` has always reported it) plus the degradation action
+/// taken, if any.
+#[allow(clippy::too_many_arguments)]
+fn solve_slot(
+    slot: &mut MethodSlot,
+    anchor: &MeasurementSystem<'static>,
+    history: &VecDeque<IntervalLoads>,
+    current: &IntervalLoads,
+    t_stacked: &[f64],
+    u: Option<&[f64]>,
+    src_of: &[usize],
+    ws: &mut Workspace,
+    snap_sys: &mut Option<MeasurementSystem<'static>>,
+    win_sys: &mut Vec<(usize, MeasurementSystem<'static>)>,
+    ctx: &TickCtx<'_>,
+) -> (Option<Result<Estimate>>, Option<DegradationAction>) {
+    if let TickCtx::Masked { usable } = ctx {
+        return solve_slot_masked(slot, anchor, current, usable, ws, snap_sys);
+    }
+    let win_len = slot.window.map(|w| w.min(history.len()));
+    let out: Option<Result<Estimate>> = match &mut slot.state {
+        MethodState::Plain(est) => match win_len {
+            None => Some(
+                tick_snapshot_system(anchor, current, snap_sys)
+                    .and_then(|sys| est.estimate_system(sys, ws)),
+            ),
+            Some(w) if history.len() < slot.min_window => {
+                let _ = w;
+                None
+            }
+            Some(w) => Some(
+                tick_window_system(anchor, history, w, win_sys)
+                    .and_then(|sys| est.estimate_system(sys, ws)),
+            ),
+        },
+        MethodState::Entropy(est, warm) => Some(
+            tick_snapshot_system(anchor, current, snap_sys)
+                .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
+        ),
+        MethodState::Bayes(est, warm) => Some(
+            tick_snapshot_system(anchor, current, snap_sys)
+                .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
+        ),
+        MethodState::Kruithof(est, warm) => Some(
+            tick_snapshot_system(anchor, current, snap_sys)
+                .and_then(|sys| est.estimate_system_warm(sys, ws, warm)),
+        ),
+        MethodState::Vardi(est, warm, rolling) => {
+            rolling.push(t_stacked.to_vec(), current.ingress.iter().sum());
+            if rolling.len() < 2 {
+                None
+            } else {
+                Some(rolling.moments().and_then(|m| {
+                    est.estimate_from_moments(anchor, &m, rolling.mean_ingress(), Some(warm))
+                }))
+            }
+        }
+        MethodState::Cao(est, warm, rolling) => {
+            rolling.push(t_stacked.to_vec(), current.ingress.iter().sum());
+            if rolling.len() < 2 {
+                None
+            } else {
+                Some(rolling.moments().and_then(|m| {
+                    est.estimate_from_moments(anchor, &m, rolling.mean_ingress(), Some(warm))
+                        .map(|e| e.estimate)
+                }))
+            }
+        }
+        MethodState::Fanout(est, rolling) => {
+            let u = u.expect("computed for fanout above");
+            rolling.push(current, u, src_of);
+            Some(
+                est.estimate_from_stats(anchor, &rolling.stats, ws)
+                    .map(|r| r.estimate),
+            )
+        }
+        MethodState::Wcb {
+            name,
+            engine,
+            solver,
+        } => Some(tick_wcb(anchor, t_stacked, name, *engine, solver, ws)),
+    };
+    let action = match ctx {
+        TickCtx::Imputed if out.is_some() => Some(DegradationAction::ImputedSolve),
+        _ => None,
+    };
+    (out, action)
+}
+
+/// Solve one method slot on a masked tick. Snapshot methods estimate on
+/// the reduced row view (cold — their warm state is sized for the full
+/// system and left untouched for the next clean tick); window methods
+/// hold their state since the tick never enters their windows.
+fn solve_slot_masked(
+    slot: &mut MethodSlot,
+    anchor: &MeasurementSystem<'static>,
+    current: &IntervalLoads,
+    usable: &[usize],
+    ws: &mut Workspace,
+    snap_sys: &mut Option<MeasurementSystem<'static>>,
+) -> (Option<Result<Estimate>>, Option<DegradationAction>) {
+    let held = (None, Some(DegradationAction::WarmHeld));
+    match &mut slot.state {
+        MethodState::Plain(est) => match slot.window {
+            None => (
+                Some(masked_solve(
+                    est.as_ref(),
+                    anchor,
+                    current,
+                    usable,
+                    ws,
+                    snap_sys,
+                )),
+                Some(DegradationAction::MaskedSolve),
+            ),
+            Some(_) => held,
+        },
+        MethodState::Entropy(est, _) => (
+            Some(masked_solve(est, anchor, current, usable, ws, snap_sys)),
+            Some(DegradationAction::MaskedSolve),
+        ),
+        MethodState::Bayes(est, _) => (
+            Some(masked_solve(est, anchor, current, usable, ws, snap_sys)),
+            Some(DegradationAction::MaskedSolve),
+        ),
+        MethodState::Kruithof(est, _) => (
+            Some(masked_solve(est, anchor, current, usable, ws, snap_sys)),
+            Some(DegradationAction::MaskedSolve),
+        ),
+        MethodState::Vardi(..) | MethodState::Cao(..) | MethodState::Fanout(..) => held,
+        MethodState::Wcb {
+            name,
+            engine,
+            solver: _,
+        } => {
+            // Cold bound sweep on the reduced system; the carried basis
+            // is sized for the full row set and stays untouched.
+            let res = (|| {
+                let sys = tick_snapshot_system(anchor, current, snap_sys)?;
+                let view = sys.masked_view(usable)?;
+                let solver =
+                    WcbSolver::from_parts(view.matrix(), view.measurements().to_vec(), *engine)?;
+                let bounds = solver.bounds_ws(ws)?;
+                let mut estimate = bounds.midpoint();
+                estimate.method = name.clone();
+                Ok(estimate)
+            })();
+            (Some(res), Some(DegradationAction::MaskedSolve))
+        }
+    }
+}
+
+/// One cold estimate on the masked row view of the tick's snapshot
+/// system.
+fn masked_solve(
+    est: &dyn Estimator,
+    anchor: &MeasurementSystem<'static>,
+    current: &IntervalLoads,
+    usable: &[usize],
+    ws: &mut Workspace,
+    snap_sys: &mut Option<MeasurementSystem<'static>>,
+) -> Result<Estimate> {
+    let sys = tick_snapshot_system(anchor, current, snap_sys)?;
+    let view = sys.masked_view(usable)?;
+    est.estimate_system(&view, ws)
+}
+
+/// The convergence report of the warm engine that produced the slot's
+/// last estimate, where one is tracked.
+fn slot_convergence(state: &MethodState) -> Option<Convergence> {
+    match state {
+        MethodState::Entropy(_, Some(w)) => w.last_convergence(),
+        MethodState::Vardi(_, w, _) => w.last_convergence(),
+        MethodState::Cao(_, w, _) => w.last_convergence(),
+        _ => None,
+    }
+}
+
+/// Drop a slot's carried solver state (warm starts, simplex basis) so
+/// the next tick restarts from cold. Rolling data windows are kept —
+/// they hold measured inputs, not solver iterates.
+fn quarantine_state(state: &mut MethodState) {
+    match state {
+        MethodState::Entropy(_, warm) => *warm = None,
+        MethodState::Bayes(_, warm) => **warm = BayesWarmStart::default(),
+        MethodState::Kruithof(_, warm) => *warm = None,
+        MethodState::Vardi(_, warm, _) => **warm = VardiWarmStart::default(),
+        MethodState::Cao(_, warm, _) => *warm = CaoWarmStart::default(),
+        MethodState::Wcb { solver, .. } => *solver = None,
+        MethodState::Plain(_) | MethodState::Fanout(..) => {}
+    }
+}
+
+/// Human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Rolling sample moments of the stacked measurement vectors over a
@@ -793,6 +1404,7 @@ impl FanoutRolling {
 mod tests {
     use super::*;
     use crate::batch::SnapshotShard;
+    use crate::measure::LoadFaultPlan;
     use crate::metrics::{mean_relative_error, CoverageThreshold};
     use crate::problem::DatasetExt;
     use tm_traffic::DatasetSpec;
@@ -1013,6 +1625,202 @@ mod tests {
         assert_eq!(engine.ticks(), 1);
         // Out-of-range dataset stream is rejected.
         assert!(dataset_stream(&d, 0..10_000).is_err());
+    }
+
+    #[test]
+    fn checked_clean_ticks_match_the_raw_path_bit_for_bit() {
+        // The quality ladder is on by default; on clean inputs it must
+        // be invisible — same estimates, bit for bit, no degradation.
+        let d = tiny();
+        let ms = methods(&[
+            "gravity",
+            "entropy:lambda=1e3",
+            "vardi:w=0.01,window=5",
+            "wcb",
+        ]);
+        let mut checked = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        let mut raw = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm)
+            .unwrap()
+            .with_quality(None);
+        assert!(checked.quality().is_some());
+        assert!(raw.quality().is_none());
+        let ct = checked.run(dataset_stream(&d, 0..6).unwrap()).unwrap();
+        let rt = raw.run(dataset_stream(&d, 0..6).unwrap()).unwrap();
+        for (k, (c, r)) in ct.iter().zip(&rt).enumerate() {
+            assert!(c.degradation.is_none(), "clean tick {k} degraded");
+            assert!(r.degradation.is_none());
+            for (i, (ce, re)) in c.estimates.iter().zip(&r.estimates).enumerate() {
+                match (ce, re) {
+                    (None, None) => {}
+                    (Some(Ok(a)), Some(Ok(b))) => {
+                        assert_eq!(a.demands, b.demands, "tick {k} method {i}")
+                    }
+                    other => panic!("tick {k} method {i}: outcomes diverge: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_gap_is_imputed_then_recovers() {
+        let d = tiny();
+        let ms = methods(&["gravity", "entropy:lambda=1e3"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        for k in 0..2 {
+            let tick = engine.push_interval(d.interval_loads(k).unwrap()).unwrap();
+            assert!(tick.degradation.is_none(), "clean tick {k}");
+        }
+        // One link poll lost for one tick: bridged from its last clean
+        // value, every method still solves on the full system.
+        let mut loads = d.interval_loads(2).unwrap();
+        loads.link_loads[3] = f64::NAN;
+        let tick = engine.push_interval(loads).unwrap();
+        let deg = tick.degradation.expect("imputed tick must report");
+        assert_eq!(deg.imputed_rows, vec![3]);
+        assert!(deg.masked_rows.is_empty());
+        assert!(deg.conservation_ok);
+        for (i, est) in tick.estimates.iter().enumerate() {
+            assert!(est.as_ref().unwrap().is_ok(), "method {i} on imputed tick");
+        }
+        assert!(deg
+            .methods
+            .iter()
+            .all(|m| m.action == DegradationAction::ImputedSolve && m.quarantine.is_none()));
+        // The next clean tick clears the gap: no degradation report.
+        let tick = engine.push_interval(d.interval_loads(3).unwrap()).unwrap();
+        assert!(tick.degradation.is_none());
+    }
+
+    #[test]
+    fn gap_past_the_horizon_masks_the_row() {
+        let d = tiny();
+        let ms = methods(&["gravity"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm)
+            .unwrap()
+            .with_impute_horizon(2);
+        engine.push_interval(d.interval_loads(0).unwrap()).unwrap();
+        for k in 1..=4 {
+            let mut loads = d.interval_loads(k).unwrap();
+            loads.link_loads[0] = f64::NAN;
+            let tick = engine.push_interval(loads).unwrap();
+            let deg = tick.degradation.expect("faulty tick must report");
+            if k <= 2 {
+                assert_eq!(deg.imputed_rows, vec![0], "tick {k} inside horizon");
+                assert!(deg.masked_rows.is_empty());
+            } else {
+                assert_eq!(deg.masked_rows, vec![0], "tick {k} past horizon");
+                assert!(deg.imputed_rows.is_empty());
+                // The snapshot method solves the reduced system.
+                assert!(tick.estimates[0].as_ref().unwrap().is_ok());
+                assert!(deg
+                    .methods
+                    .iter()
+                    .any(|m| m.action == DegradationAction::MaskedSolve));
+            }
+        }
+    }
+
+    #[test]
+    fn masked_ticks_hold_window_methods_on_their_last_good_estimate() {
+        let d = tiny();
+        let ms = methods(&["vardi:w=0.01,window=5", "entropy:lambda=1e3"]);
+        // Horizon 0: any unusable row masks its tick immediately, so
+        // window methods hold rather than solve on bridged values.
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm)
+            .unwrap()
+            .with_impute_horizon(0);
+        // A masked row from tick 0 (no clean history to bridge from):
+        // vardi's rolling window must not ingest the tick.
+        let mut loads = d.interval_loads(0).unwrap();
+        loads.link_loads[1] = f64::NAN;
+        let t0 = engine.push_interval(loads).unwrap();
+        let deg = t0.degradation.expect("masked tick must report");
+        assert_eq!(deg.masked_rows, vec![1]);
+        assert!(
+            t0.estimates[0].is_none(),
+            "vardi held with nothing to fall back on"
+        );
+        assert!(
+            t0.estimates[1].as_ref().unwrap().is_ok(),
+            "entropy masked-solves"
+        );
+        assert!(deg
+            .methods
+            .iter()
+            .any(|m| m.label.starts_with("vardi") && m.action == DegradationAction::WarmHeld));
+        // Two clean ticks make vardi ready (its window saw only them).
+        engine.push_interval(d.interval_loads(1).unwrap()).unwrap();
+        let t2 = engine.push_interval(d.interval_loads(2).unwrap()).unwrap();
+        let good = t2.estimates[0]
+            .as_ref()
+            .expect("two clean ticks in window")
+            .as_ref()
+            .unwrap()
+            .clone();
+        // A later masked tick: vardi holds, standing on the last good
+        // estimate instead of going silent.
+        let mut loads = d.interval_loads(3).unwrap();
+        loads.link_loads[1] = f64::NAN;
+        let tm = engine.push_interval(loads).unwrap();
+        let deg = tm.degradation.expect("masked tick must report");
+        assert_eq!(deg.masked_rows, vec![1]);
+        let held = tm.estimates[0].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(
+            held.demands, good.demands,
+            "held estimate is the last good one"
+        );
+    }
+
+    #[test]
+    fn conservation_violation_is_reported_but_does_not_mask() {
+        let d = tiny();
+        let ms = methods(&["gravity"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        let mut loads = d.interval_loads(0).unwrap();
+        // Inflate every ingress total 30% past its egress counterpart:
+        // rows stay individually plausible, the cross-check trips.
+        for v in loads.ingress.iter_mut() {
+            *v *= 1.3;
+        }
+        let tick = engine.push_interval(loads).unwrap();
+        let deg = tick.degradation.expect("violated tick must report");
+        assert!(!deg.conservation_ok);
+        assert!(deg.conservation_residual > 0.05);
+        assert!(deg.masked_rows.is_empty() && deg.imputed_rows.is_empty());
+        assert!(tick.estimates[0].as_ref().unwrap().is_ok());
+    }
+
+    #[test]
+    fn faulty_stream_never_errors_and_recovers_after_the_fault_window() {
+        // The canonical robustness scenario in miniature: random missing
+        // rows plus an outage and a corruption burst. Every tick must
+        // produce a report instead of an `Err`, and clean ticks after
+        // the last fault must look like clean ticks again.
+        let d = tiny();
+        let n_links = d.interval_loads(0).unwrap().link_loads.len();
+        let plan = LoadFaultPlan::canonical(n_links, 7);
+        let ms = methods(&["gravity", "entropy:lambda=1e3", "vardi:w=0.01,window=5"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        for k in 0..20 {
+            let mut loads = d.interval_loads(k).unwrap();
+            plan.apply(k, &mut loads.link_loads);
+            let tick = engine.push_interval(loads).unwrap();
+            if plan.affects_tick(k, n_links) {
+                assert!(tick.degradation.is_some(), "faulty tick {k} must report");
+            }
+        }
+        // Past every fault window and imputation horizon: clean again.
+        let mut clean_streak = 0;
+        for k in 20..26 {
+            let tick = engine.push_interval(d.interval_loads(k).unwrap()).unwrap();
+            if tick.degradation.is_none() {
+                clean_streak += 1;
+            }
+            for (i, est) in tick.estimates.iter().enumerate() {
+                assert!(est.as_ref().unwrap().is_ok(), "tick {k} method {i}");
+            }
+        }
+        assert!(clean_streak >= 4, "stream must self-heal after the faults");
     }
 
     #[test]

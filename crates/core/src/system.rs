@@ -60,7 +60,17 @@ struct StackedCaches {
     /// Stacked-Gram kernel of the second-moment system (the
     /// semismooth-Newton path of Vardi/Cao).
     moment_kernel: OnceLock<MomentKernel>,
+    /// Masked-view cache registry, keyed by the (sorted) retained-row
+    /// mask: each distinct mask gets its own `StackedCaches` whose
+    /// matrix-derived state is built from the row-selected matrix and
+    /// shared by every view with that mask — across ticks, because
+    /// [`MeasurementSystem::reanchor`] shares this struct.
+    masked: std::sync::Mutex<Vec<MaskedEntry>>,
 }
+
+/// One masked-view cache registry entry: the (sorted) retained-row
+/// mask and the reduced system's shared caches.
+type MaskedEntry = (Arc<Vec<usize>>, Arc<StackedCaches>);
 
 /// The sparse second-order kernel of the snapshot objectives: the
 /// Hessian splitting `2AᵀA + D(x)` shares the Gram's sparsity pattern
@@ -134,6 +144,9 @@ impl MomentKernel {
 pub struct MeasurementSystem<'p> {
     problem: Cow<'p, EstimationProblem>,
     caches: Arc<StackedCaches>,
+    /// Retained stacked-row indices of a masked view (`None` = every
+    /// row). Sorted, strictly increasing, validated at creation.
+    mask: Option<Arc<Vec<usize>>>,
     /// Stacked measurement vector aligned with the matrix rows.
     t: OnceLock<Vec<f64>>,
     /// GIS row-activity plan for `(A, t)`.
@@ -151,6 +164,7 @@ impl<'p> MeasurementSystem<'p> {
         MeasurementSystem {
             problem: Cow::Borrowed(problem),
             caches: Arc::new(StackedCaches::default()),
+            mask: None,
             t: OnceLock::new(),
             gis: OnceLock::new(),
             wcb: OnceLock::new(),
@@ -163,6 +177,7 @@ impl<'p> MeasurementSystem<'p> {
         MeasurementSystem {
             problem: Cow::Owned(problem),
             caches: Arc::new(StackedCaches::default()),
+            mask: None,
             t: OnceLock::new(),
             gis: OnceLock::new(),
             wcb: OnceLock::new(),
@@ -208,10 +223,87 @@ impl<'p> MeasurementSystem<'p> {
         Ok(MeasurementSystem {
             problem: Cow::Owned(problem),
             caches: Arc::clone(&self.caches),
+            mask: self.mask.clone(),
             t: OnceLock::new(),
             gis: OnceLock::new(),
             wcb: OnceLock::new(),
         })
+    }
+
+    /// A row-masked view of this system: the same problem restricted to
+    /// the stacked rows in `rows` (sorted, strictly increasing), the
+    /// degraded-mode path of the streaming engine. The reduced
+    /// measurement matrix and everything derived from it (transpose,
+    /// Gram, second moments, Newton kernels) are cached **per mask** in
+    /// the shared [`reanchor`](Self::reanchor) caches, so every interval
+    /// that drops the same rows — a link down for an hour — pays the
+    /// derivation once. The view borrows `self`'s problem; per-interval
+    /// state (measurement vector, GIS plan, WCB basis) is derived lazily
+    /// against the reduced rows.
+    ///
+    /// A full mask (`rows == 0..n_rows()`) returns an unmasked view
+    /// sharing all caches. Masking an already-masked view is an error —
+    /// compose masks at the caller instead.
+    pub fn masked_view(&self, rows: &[usize]) -> Result<MeasurementSystem<'_>> {
+        if self.mask.is_some() {
+            return Err(EstimationError::InvalidProblem(
+                "masked_view: cannot mask an already-masked view; \
+                 build the composed mask from the anchor system"
+                    .into(),
+            ));
+        }
+        let n = self.n_rows();
+        if rows.is_empty() {
+            return Err(EstimationError::InvalidProblem(
+                "masked_view: mask retains no rows".into(),
+            ));
+        }
+        if rows.windows(2).any(|w| w[0] >= w[1]) || rows[rows.len() - 1] >= n {
+            return Err(EstimationError::InvalidProblem(format!(
+                "masked_view: mask must be strictly increasing row indices below {n}"
+            )));
+        }
+        if rows.len() == n {
+            // Nothing dropped: a plain shared view, all caches hot.
+            return Ok(MeasurementSystem {
+                problem: Cow::Borrowed(self.problem()),
+                caches: Arc::clone(&self.caches),
+                mask: None,
+                t: OnceLock::new(),
+                gis: OnceLock::new(),
+                wcb: OnceLock::new(),
+            });
+        }
+        let (mask, caches) = {
+            let mut registry = self
+                .caches
+                .masked
+                .lock()
+                .expect("masked-view registry poisoned");
+            match registry.iter().find(|(m, _)| m.as_slice() == rows) {
+                Some((m, c)) => (Arc::clone(m), Arc::clone(c)),
+                None => {
+                    let m = Arc::new(rows.to_vec());
+                    let c = Arc::new(StackedCaches::default());
+                    registry.push((Arc::clone(&m), Arc::clone(&c)));
+                    (m, c)
+                }
+            }
+        };
+        Ok(MeasurementSystem {
+            problem: Cow::Borrowed(self.problem()),
+            caches,
+            mask: Some(mask),
+            t: OnceLock::new(),
+            gis: OnceLock::new(),
+            wcb: OnceLock::new(),
+        })
+    }
+
+    /// The retained stacked-row indices of a masked view (`None` when
+    /// this system sees every row).
+    pub fn mask(&self) -> Option<&[usize]> {
+        self.mask.as_ref().map(|m| m.as_slice())
     }
 
     /// The underlying problem (snapshot data, peering roles, optional
@@ -221,11 +313,17 @@ impl<'p> MeasurementSystem<'p> {
     }
 
     /// The stacked measurement matrix, built on first use and cached.
+    /// On a masked view this is the row-selected reduced matrix.
     pub fn matrix(&self) -> &Csr {
-        let m = self
-            .caches
-            .matrix
-            .get_or_init(|| self.problem.measurement_matrix());
+        let m = self.caches.matrix.get_or_init(|| {
+            let full = self.problem.measurement_matrix();
+            match &self.mask {
+                Some(rows) => full
+                    .select_rows(rows)
+                    .expect("mask validated by masked_view"),
+                None => full,
+            }
+        });
         debug_assert_eq!(
             m.rows(),
             self.n_rows(),
@@ -234,15 +332,26 @@ impl<'p> MeasurementSystem<'p> {
         m
     }
 
-    /// The stacked measurement vector aligned with [`Self::matrix`].
+    /// The stacked measurement vector aligned with [`Self::matrix`]
+    /// (masked views select the retained entries).
     pub fn measurements(&self) -> &[f64] {
-        self.t.get_or_init(|| self.problem.measurements())
+        self.t.get_or_init(|| {
+            let full = self.problem.measurements();
+            match &self.mask {
+                Some(rows) => rows.iter().map(|&r| full[r]).collect(),
+                None => full,
+            }
+        })
     }
 
     /// Measurement vector of time-series interval `k` (same row layout
-    /// as [`Self::matrix`]).
+    /// as [`Self::matrix`], masked views select the retained entries).
     pub fn measurements_at(&self, k: usize) -> Result<Vec<f64>> {
-        self.problem.measurements_at(k)
+        let full = self.problem.measurements_at(k)?;
+        Ok(match &self.mask {
+            Some(rows) => rows.iter().map(|&r| full[r]).collect(),
+            None => full,
+        })
     }
 
     /// Cached transpose `Aᵀ` (column view of the measurement matrix).
@@ -357,8 +466,12 @@ impl<'p> MeasurementSystem<'p> {
         self.problem.n_pairs()
     }
 
-    /// Number of measurement rows in the stacked system.
+    /// Number of measurement rows in the stacked system (the retained
+    /// count on a masked view).
     pub fn n_rows(&self) -> usize {
+        if let Some(rows) = &self.mask {
+            return rows.len();
+        }
         let l = self.problem.n_links();
         if self.problem.uses_edge_measurements() {
             l + 2 * self.problem.n_nodes()
@@ -375,6 +488,7 @@ impl Clone for MeasurementSystem<'_> {
         MeasurementSystem {
             problem: self.problem.clone(),
             caches: Arc::clone(&self.caches),
+            mask: self.mask.clone(),
             t: OnceLock::new(),
             gis: OnceLock::new(),
             wcb: OnceLock::new(),
@@ -577,6 +691,85 @@ mod tests {
         let fresh = crate::wcb::worst_case_bounds(&p).unwrap();
         assert_eq!(bounds.lower, fresh.lower);
         assert_eq!(bounds.upper, fresh.upper);
+    }
+
+    #[test]
+    fn masked_view_reduces_rows_and_shares_caches_per_mask() {
+        let d = tiny();
+        let base = MeasurementSystem::new(d.snapshot_problem(0));
+        let n = base.n_rows();
+        // Drop rows 1 and 3.
+        let rows: Vec<usize> = (0..n).filter(|&r| r != 1 && r != 3).collect();
+        let view = base.masked_view(&rows).unwrap();
+        assert_eq!(view.n_rows(), n - 2);
+        assert_eq!(view.mask(), Some(rows.as_slice()));
+        // Matrix is the row-selected reduction; measurements align.
+        let full = base.matrix();
+        let reduced = view.matrix();
+        assert_eq!(reduced.rows(), n - 2);
+        assert_eq!(reduced.cols(), full.cols());
+        let t_full = base.measurements();
+        let t_view = view.measurements();
+        for (k, &r) in rows.iter().enumerate() {
+            assert_eq!(t_view[k], t_full[r], "row {r}");
+            let (fi, fv) = full.row(r);
+            let (ri, rv) = reduced.row(k);
+            assert_eq!(fi, ri);
+            assert_eq!(fv, rv);
+        }
+        // Same mask again — even through a reanchored tick — shares the
+        // reduced caches (pointer-stable Gram).
+        let g1 = view.gram() as *const Csr;
+        let re = base.reanchor(d.snapshot_problem(2)).unwrap();
+        let view2 = re.masked_view(&rows).unwrap();
+        assert!(std::ptr::eq(g1, view2.gram()));
+        // A different mask derives its own caches.
+        let other: Vec<usize> = (0..n).filter(|&r| r != 0).collect();
+        let view3 = base.masked_view(&other).unwrap();
+        assert!(!std::ptr::eq(g1, view3.gram()));
+        // The anchor itself is untouched.
+        assert_eq!(base.n_rows(), n);
+        assert_eq!(base.matrix().rows(), n);
+    }
+
+    #[test]
+    fn masked_view_validates_and_handles_full_mask() {
+        let d = tiny();
+        let base = MeasurementSystem::new(d.snapshot_problem(0));
+        let n = base.n_rows();
+        assert!(base.masked_view(&[]).is_err());
+        assert!(base.masked_view(&[0, 0]).is_err());
+        assert!(base.masked_view(&[2, 1]).is_err());
+        assert!(base.masked_view(&[n]).is_err());
+        // Full mask: a plain shared view, no mask recorded.
+        let all: Vec<usize> = (0..n).collect();
+        let full = base.masked_view(&all).unwrap();
+        assert!(full.mask().is_none());
+        assert!(std::ptr::eq(base.gram(), full.gram()));
+        // Masking a masked view is rejected.
+        let view = base.masked_view(&all[1..]).unwrap();
+        assert!(view.masked_view(&[0]).is_err());
+    }
+
+    #[test]
+    fn masked_view_estimates_the_reduced_system() {
+        use crate::problem::Estimator;
+        let d = tiny();
+        let p = d.snapshot_problem(d.busy_start);
+        let base = MeasurementSystem::prepare(&p);
+        let n = base.n_rows();
+        let rows: Vec<usize> = (1..n).collect(); // drop the first link row
+        let view = base.masked_view(&rows).unwrap();
+        let mut ws = tm_linalg::Workspace::new();
+        let est = crate::entropy::EntropyEstimator::new(1e3)
+            .estimate_system(&view, &mut ws)
+            .unwrap();
+        assert_eq!(est.demands.len(), base.n_pairs());
+        assert!(est.demands.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // The reduced GIS plan and WCB basis come from the masked rows.
+        assert_eq!(view.gis_plan().unwrap().active_rows.len(), view.n_rows());
+        let b = view.wcb_solver().unwrap().bounds().unwrap();
+        assert_eq!(b.lower.len(), base.n_pairs());
     }
 
     #[test]

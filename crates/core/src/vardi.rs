@@ -17,6 +17,7 @@
 use tm_linalg::Csr;
 use tm_opt::nnls::{self, SsnOptions, SsnState};
 use tm_opt::spg::{self, SpgOptions};
+use tm_opt::Convergence;
 
 use crate::error::EstimationError;
 use crate::problem::{Estimate, EstimationProblem, Estimator};
@@ -207,6 +208,7 @@ impl VardiEstimator {
         // to the batch layer.
         let mut x_solution: Option<Vec<f64>> = None;
         let mut final_step = 0.0;
+        let mut spg_conv: Option<Convergence> = None;
         // The second-order tracker engages only once the window's
         // sample covariance drifts slowly (steady state) — while the
         // window fills, the rank-deficient objective's optimal face
@@ -264,6 +266,7 @@ impl VardiEstimator {
                     x0,
                     opts,
                 )?;
+                spg_conv = Some(result.convergence());
                 final_step = result.step;
                 result.x
             }
@@ -274,6 +277,11 @@ impl VardiEstimator {
             state.stacked = Some(b);
             state.demands = demands.clone();
             state.step = final_step;
+            // The SSN path records its own report inside `ssn_step`;
+            // only overwrite it when the SPG stage actually ran.
+            if let Some(c) = spg_conv {
+                state.last_convergence = Some(c);
+            }
         }
         Ok(Estimate {
             demands,
@@ -324,7 +332,7 @@ impl VardiEstimator {
         }
         let kern = msys.moment_kernel();
         let gram = state.gram.as_ref().expect("installed above");
-        nnls::ssn_nnls(
+        match nnls::ssn_nnls(
             b,
             rhs,
             SSN_PROX_MU,
@@ -334,9 +342,13 @@ impl VardiEstimator {
             &mut state.ssn,
             true,
             SsnOptions::default(),
-        )
-        .ok()
-        .map(|sol| sol.x)
+        ) {
+            Ok(sol) => {
+                state.last_convergence = Some(sol.convergence());
+                Some(sol.x)
+            }
+            Err(_) => None,
+        }
     }
 }
 
@@ -359,6 +371,18 @@ pub struct VardiWarmStart {
     /// Previous tick's normalized covariance vector (the drift gate's
     /// reference).
     prev_cov: Vec<f64>,
+    /// Convergence report of the engine that produced the last solve.
+    last_convergence: Option<Convergence>,
+}
+
+impl VardiWarmStart {
+    /// Convergence status of the most recent warm solve (`None` before
+    /// the first solve). A budget-capped report means the carried
+    /// solution is the solver's best iterate, not an optimum — the
+    /// streaming engine quarantines the handle on it.
+    pub fn last_convergence(&self) -> Option<Convergence> {
+        self.last_convergence
+    }
 }
 
 impl Estimator for VardiEstimator {

@@ -1,0 +1,128 @@
+//! Property: a fault-injected stream *reconverges* to the clean stream.
+//!
+//! Two warm [`StreamEngine`]s consume the same day of intervals; one of
+//! them sees the first `FAULT_END` ticks through a randomized
+//! [`LoadFaultPlan`] (random missing probability, outage window and
+//! corruption burst). The degradation ladder must absorb every fault —
+//! `push_interval` never returns `Err`, affected ticks carry a
+//! [`TickDegradation`] report — and once the faults stop, the faulty
+//! engine's estimates must return to within [`REL_TOL`] of the clean
+//! engine's within [`RECONVERGE_WITHIN`] ticks: imputed values age out
+//! of the rolling windows, quarantined warm starts re-converge to the
+//! same optima, and nothing of the dirty prefix remains load-bearing.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use tm_core::measure::{LoadFaultPlan, LoadOutage};
+use tm_core::prelude::*;
+use tm_traffic::{DatasetSpec, EvalDataset};
+
+/// Faults stop strictly before this tick.
+const FAULT_END: usize = 10;
+/// Ticks after the last fault by which estimates must have returned to
+/// the clean stream: the Vardi window (8) refills completely, plus
+/// slack for warm starts to re-converge.
+const RECONVERGE_WITHIN: usize = 12;
+/// Ticks streamed in total (the last two are the checked ones).
+const TOTAL: usize = FAULT_END + RECONVERGE_WITHIN + 2;
+/// Allowed relative L1 distance between faulty and clean estimates on
+/// reconverged ticks — solver-tolerance headroom, since the two engines
+/// reach the same optima from different warm starts.
+const REL_TOL: f64 = 0.05;
+
+fn dataset() -> &'static EvalDataset {
+    static D: OnceLock<EvalDataset> = OnceLock::new();
+    D.get_or_init(|| EvalDataset::generate(DatasetSpec::tiny(), 7).expect("valid spec"))
+}
+
+fn engine() -> StreamEngine {
+    let methods: Vec<Method> = ["entropy:lambda=1e3", "vardi:w=0.01,window=8"]
+        .iter()
+        .map(|s| s.parse().expect("valid spec"))
+        .collect();
+    StreamEngine::for_dataset(dataset(), &methods, StreamMode::Warm).expect("engine")
+}
+
+fn rel_l1(a: &[f64], b: &[f64]) -> f64 {
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    let den: f64 = b.iter().map(|y| y.abs()).sum();
+    num / den.max(1e-12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn faulty_stream_reconverges_to_clean_bounds(
+        seed in 0u64..1_000_000,
+        missing in 0.0f64..0.20,
+        outage_link in 0usize..1024,
+        outage_from in 0usize..(FAULT_END - 3),
+        outage_ticks in 1usize..4,
+        corrupt_link in 0usize..1024,
+        corrupt_from in 0usize..(FAULT_END - 3),
+        corrupt_ticks in 1usize..4,
+    ) {
+        let d = dataset();
+        let n_links = d.topology.n_links();
+        let plan = LoadFaultPlan {
+            seed,
+            missing_probability: missing,
+            outages: vec![LoadOutage {
+                link: outage_link % n_links,
+                from: outage_from,
+                ticks: outage_ticks,
+            }],
+            corrupt: vec![LoadOutage {
+                link: corrupt_link % n_links,
+                from: corrupt_from,
+                ticks: corrupt_ticks,
+            }],
+        };
+
+        let mut clean = engine();
+        let mut faulty = engine();
+        let mut last_pair: Vec<Option<(Vec<f64>, Vec<f64>)>> = vec![None; 2];
+
+        for (tick, loads) in dataset_stream(d, 0..TOTAL).expect("range").enumerate() {
+            let mut dirty = loads.clone();
+            if tick < FAULT_END {
+                plan.apply(tick, &mut dirty.link_loads);
+            }
+            let ct = clean.push_interval(loads).expect("clean tick");
+            // The tentpole contract: faults degrade, they never error.
+            let ft = faulty.push_interval(dirty).expect("faulty tick must degrade, not error");
+
+            if tick < FAULT_END && plan.affects_tick(tick, n_links) {
+                prop_assert!(
+                    ft.degradation.is_some(),
+                    "tick {tick}: fault applied but no degradation report"
+                );
+            }
+            if tick >= FAULT_END {
+                prop_assert!(
+                    ft.degradation.is_none(),
+                    "tick {tick}: degradation reported on a fault-free tick"
+                );
+            }
+
+            for (m, pair) in last_pair.iter_mut().enumerate() {
+                if let (Some(Ok(c)), Some(Ok(f))) = (&ct.estimates[m], &ft.estimates[m]) {
+                    *pair = Some((c.demands.clone(), f.demands.clone()));
+                }
+            }
+        }
+
+        // By the end of the run every method has reconverged.
+        for (m, pair) in last_pair.iter().enumerate() {
+            let (c, f) = pair.as_ref().expect("both engines produced estimates");
+            let diff = rel_l1(f, c);
+            prop_assert!(
+                diff <= REL_TOL,
+                "method {m}: faulty stream still {diff:.4} away from clean after \
+                 {RECONVERGE_WITHIN} fault-free ticks"
+            );
+        }
+    }
+}

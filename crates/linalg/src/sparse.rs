@@ -355,6 +355,38 @@ impl Csr {
         Csr::from_triplets(self.rows, cols.len(), trip).expect("in-bounds by construction")
     }
 
+    /// New matrix containing only the given rows, in the given order
+    /// (the masked-measurement-system row subset). Row indices must be
+    /// in range; duplicates are allowed and produce repeated rows.
+    pub fn select_rows(&self, rows: &[usize]) -> Result<Csr> {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        indptr.push(0usize);
+        let mut nnz = 0usize;
+        for &r in rows {
+            if r >= self.rows {
+                return Err(LinalgError::ShapeMismatch {
+                    context: format!("select_rows: row {r} out of {}", self.rows),
+                });
+            }
+            nnz += self.indptr[r + 1] - self.indptr[r];
+            indptr.push(nnz);
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        let mut data = Vec::with_capacity(nnz);
+        for &r in rows {
+            let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+            indices.extend_from_slice(&self.indices[lo..hi]);
+            data.extend_from_slice(&self.data[lo..hi]);
+        }
+        Ok(Csr {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
     /// New matrix with row `i` scaled by `d[i]` (i.e. `diag(d)·A`).
     pub fn scale_rows(&self, d: &[f64]) -> Result<Csr> {
         if d.len() != self.rows {
@@ -722,6 +754,24 @@ mod tests {
         assert_eq!(sel.get(0, 0), 2.0); // old col 2
         assert_eq!(sel.get(0, 1), 1.0); // old col 0
         assert_eq!(sel.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn select_rows_subsets_and_validates() {
+        let m = sample();
+        let sel = m.select_rows(&[2, 0]).unwrap();
+        assert_eq!(sel.rows(), 2);
+        assert_eq!(sel.cols(), m.cols());
+        for j in 0..m.cols() {
+            assert_eq!(sel.get(0, j), m.get(2, j), "row 2 col {j}");
+            assert_eq!(sel.get(1, j), m.get(0, j), "row 0 col {j}");
+        }
+        // Full identity mask reproduces the matrix.
+        let all: Vec<usize> = (0..m.rows()).collect();
+        assert_eq!(&m.select_rows(&all).unwrap(), &m);
+        // Empty selection is a 0×n matrix; out-of-range errors.
+        assert_eq!(m.select_rows(&[]).unwrap().rows(), 0);
+        assert!(m.select_rows(&[99]).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod convergence;
 pub mod error;
 pub mod ipf;
 pub mod newton;
@@ -40,6 +41,7 @@ pub mod revised;
 pub mod simplex;
 pub mod spg;
 
+pub use convergence::Convergence;
 pub use error::OptError;
 
 /// Crate-wide result alias.

@@ -76,6 +76,18 @@ pub struct NewtonResult {
     pub converged: bool,
 }
 
+impl NewtonResult {
+    /// Typed convergence status: the projected-gradient norm achieved
+    /// and whether the tolerance was met before the budget ran out.
+    pub fn convergence(&self) -> crate::Convergence {
+        crate::Convergence {
+            converged: self.converged,
+            achieved_tol: self.pg_norm,
+            iters: self.iterations,
+        }
+    }
+}
+
 /// Minimize `f` over `{x : x ≥ lo}` by projected Newton.
 ///
 /// * `value_grad(x, grad)` must return `f(x)` and write `∇f(x)`.

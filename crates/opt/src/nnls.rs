@@ -13,6 +13,7 @@
 use tm_linalg::decomp::{qr, Cholesky, SparseCholFactor, SparseCholSymbolic};
 use tm_linalg::{vector, Csr, LinOp, Mat, Workspace};
 
+use crate::convergence::Convergence;
 use crate::error::OptError;
 use crate::Result;
 
@@ -43,6 +44,22 @@ pub struct NnlsSolution {
     pub residual_norm: f64,
     /// Outer iterations used.
     pub iterations: usize,
+    /// Optimality measure achieved at exit (solver-specific: dual
+    /// gradient norm, scaled coordinate delta, or KKT violation).
+    /// Every `Ok` exit is at tolerance — budget exhaustion returns
+    /// [`OptError::DidNotConverge`] — so this is always ≤ the
+    /// requested tolerance; see [`NnlsSolution::convergence`].
+    pub achieved_tol: f64,
+}
+
+impl NnlsSolution {
+    /// Typed convergence status. NNLS solvers only return `Ok` at
+    /// tolerance, so this always reports `converged: true`; the
+    /// budget-capped counterpart is recovered from the error path via
+    /// [`Convergence::from_error`].
+    pub fn convergence(&self) -> Convergence {
+        Convergence::achieved(self.achieved_tol, self.iterations)
+    }
 }
 
 /// Lawson–Hanson active-set NNLS: `min ‖A·x − b‖₂  s.t.  x ≥ 0`.
@@ -88,6 +105,9 @@ pub fn lawson_hanson(a: &Mat, b: &[f64], opts: NnlsOptions) -> Result<NnlsSoluti
                 x,
                 residual_norm: rn,
                 iterations,
+                // Dual feasibility violation: only *positive* gradient
+                // entries at the bound violate optimality.
+                achieved_tol: w.iter().fold(0.0f64, |m, &v| m.max(v)),
             });
         };
         passive[enter] = true;
@@ -205,6 +225,7 @@ pub fn cd_nnls(
 
     let scale = vector::norm_inf(&h).max(1.0);
     let mut sweeps = 0usize;
+    let achieved;
     loop {
         sweeps += 1;
         let mut max_delta = 0.0f64;
@@ -226,6 +247,7 @@ pub fn cd_nnls(
             }
         }
         if max_delta <= tol * scale {
+            achieved = max_delta / scale;
             break;
         }
         if sweeps >= max_sweeps {
@@ -240,6 +262,7 @@ pub fn cd_nnls(
         residual_norm: vector::norm2(&resid),
         x,
         iterations: sweeps,
+        achieved_tol: achieved,
     })
 }
 
@@ -304,6 +327,7 @@ pub fn cd_nnls_sparse(
 
     let scale = vector::norm_inf(&h).max(1.0);
     let mut sweeps = 0usize;
+    let achieved;
     loop {
         sweeps += 1;
         let mut max_delta = 0.0f64;
@@ -326,6 +350,7 @@ pub fn cd_nnls_sparse(
             }
         }
         if max_delta <= tol * scale {
+            achieved = max_delta / scale;
             break;
         }
         if sweeps >= max_sweeps {
@@ -340,6 +365,7 @@ pub fn cd_nnls_sparse(
         residual_norm: vector::norm2(&resid),
         x,
         iterations: sweeps,
+        achieved_tol: achieved,
     })
 }
 
@@ -565,6 +591,8 @@ pub fn ridge_nnls_warm(
                 residual_norm: vector::norm2(&resid),
                 x,
                 iterations: outer,
+                // Dual-feasible exit: no clamped gradient below −tol.
+                achieved_tol: (-worst).max(0.0),
             });
         }
         free[worst_p] = true;
@@ -769,6 +797,8 @@ fn ridge_kernel_incremental(
             residual_norm: vector::norm2(&resid),
             x,
             iterations: moves,
+            // Dual-feasible exit: no clamped gradient below −tol.
+            achieved_tol: (-worst_dual).max(0.0),
         }));
     }
 }
@@ -1115,6 +1145,7 @@ pub fn ssn_nnls(
                 residual_norm: vector::norm2(&resid),
                 x,
                 iterations: seen.len() + 1,
+                achieved_tol: viol,
             });
         }
 

@@ -73,6 +73,18 @@ pub struct SpgResult {
     pub step: f64,
 }
 
+impl SpgResult {
+    /// Typed convergence status: the projected-gradient norm achieved
+    /// and whether the tolerance was met before the budget ran out.
+    pub fn convergence(&self) -> crate::Convergence {
+        crate::Convergence {
+            converged: self.converged,
+            achieved_tol: self.pg_norm,
+            iters: self.iterations,
+        }
+    }
+}
+
 /// Minimize `f` over a convex set.
 ///
 /// * `value_grad(x, grad)` must return `f(x)` and write `∇f(x)` into
