@@ -2,7 +2,7 @@
 //! committed previous-PR baseline and fail on regressions.
 //!
 //! ```sh
-//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR6.json BENCH_PR5.json
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR7.json BENCH_PR6.json
 //! ```
 //!
 //! Rules (per network, matched by estimator/ablation name; entries that
@@ -56,6 +56,22 @@ const MRE_TOLERANCE: f64 = 1e-4;
 /// band was one-time (the PR 5 baseline already records the converged
 /// iterate), so the full gate applies to every entry again.
 const MRE_EXCEPTIONS: &[(&str, &str, f64)] = &[];
+
+/// Documented per-entry wall exceptions: `(network, entry, factor)` —
+/// the entry's limit becomes `factor · old + WALL_SLACK_MS` instead of
+/// the usual `(1 + WALL_TOLERANCE) · old + WALL_SLACK_MS`. Reserved for
+/// entries whose *work* changed by design, not entries that got slower
+/// at the same work; remove each one as soon as the re-recorded
+/// baseline becomes the comparison base.
+///
+/// `europe/day288f-wcb(revised)`: PR 7's relaxed-equality fallback
+/// replaces WCB's coast-on-last-good with an elastic-constraint LP on
+/// every infeasible imputed tick. Under the canonical fault plan ~280
+/// of 288 ticks are degraded, so the entry now measures ~280 extra LP
+/// solves (~35 ms each) that PR 6 skipped entirely — real bounds
+/// instead of stale ones. Fault-free-tick MREs are gated at full
+/// strength and unchanged.
+const WALL_EXCEPTIONS: &[(&str, &str, f64)] = &[("europe", "day288f-wcb(revised)", 90.0)];
 
 fn die(msg: &str) -> ! {
     eprintln!("compare_bench: {msg}");
@@ -130,8 +146,8 @@ fn main() {
         }
     }
     let mut paths = paths.into_iter();
-    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR6.json".to_string());
-    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let new_doc = load(&new_path);
     let base_doc = load(&base_path);
     if drift > 1.0 {
@@ -160,12 +176,19 @@ fn main() {
             compared += 1;
             let ratio = new_wall / base_wall.max(1e-12);
             let gated = *base_wall >= WALL_FLOOR_MS;
-            let limit = ((1.0 + WALL_TOLERANCE) * base_wall + WALL_SLACK_MS) * drift;
+            let exception = WALL_EXCEPTIONS
+                .iter()
+                .find(|(n, e, _)| *n == net_name && *e == est)
+                .map(|&(_, _, factor)| factor);
+            let budget = exception.unwrap_or(1.0 + WALL_TOLERANCE);
+            let limit = (budget * base_wall + WALL_SLACK_MS) * drift;
             let verdict = if gated && new_wall > limit {
                 failures.push(format!(
                     "{net_name}/{est}: wall {base_wall:.3} -> {new_wall:.3} ms ({ratio:.2}x)"
                 ));
                 "WALL REGRESSION"
+            } else if exception.is_some() && ratio > 1.0 + WALL_TOLERANCE {
+                "ok (documented exception)"
             } else if ratio <= 1.0 {
                 "ok"
             } else if gated {

@@ -19,12 +19,16 @@
 //! the equivalent per-interval cold loop — the full suite at Europe
 //! scale plus the second-order-solver rows at America scale; the
 //! `day288f-*` rows repeat the Europe day under the canonical fault
-//! plan through the degradation ladder), and writes `BENCH_PR6.json`
+//! plan through the degradation ladder), and writes `BENCH_PR7.json`
 //! (schema documented in `docs/PERF.md`). The `compare_bench` bin
-//! diffs it against the committed `BENCH_PR5.json` baseline and fails
-//! CI on wall-time or MRE regressions. `fault-matrix` is the
+//! diffs it against the committed prior baseline and fails CI on
+//! wall-time or MRE regressions. `fault-matrix` is the
 //! degraded-pipeline acceptance gate (zero `Err`s, degradation
-//! reports, bounded MRE inflation). Neither is part of `all`.
+//! reports, bounded MRE inflation); `daemon-matrix` is the supervised
+//! sharded-runtime gate (Europe day sharded 4 ways under the canonical
+//! fault plan plus injected worker kills — zero dropped ticks, every
+//! restart surfaced, aggregates bit-identical to the in-process
+//! engine). None of the three is part of `all`.
 
 use tm_bench::{europe, networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
 use tm_core::cao::CaoEstimator;
@@ -45,6 +49,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "fault-matrix") {
         fault_matrix_mode();
+        return;
+    }
+    if args.iter().any(|a| a == "daemon-matrix") {
+        daemon_matrix_mode();
         return;
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -745,13 +753,13 @@ fn table2() {
 /// suite at Europe scale, the second-order rows at America scale),
 /// and the sparse engine against its densified baseline on the
 /// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
-/// `BENCH_PR6.json` in the working directory. Schema: `docs/PERF.md`.
+/// `BENCH_PR7.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR6.json — compare_bench diffs it against BENCH_PR5.json",
+        "writes BENCH_PR7.json — compare_bench diffs it against BENCH_PR6.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -1082,8 +1090,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR6.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR6.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR7.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR7.json ({} bytes)", json.len());
 }
 
 /// `fault-matrix` mode: the degraded-pipeline CI gate.
@@ -1208,6 +1216,145 @@ fn fault_matrix_mode() {
         );
     } else {
         eprintln!("fault-matrix: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `daemon-matrix` mode: the supervised sharded-runtime CI gate.
+///
+/// Runs a full European day sharded 4 ways through the `tm_daemon`
+/// coordinator/worker runtime — every shard under its own canonical
+/// data-fault plan, plus two injected worker kills — and fails the
+/// process unless:
+///
+/// * every shard completes the day with **zero dropped ticks**;
+/// * exactly the two injected kills are restarted, and both restarts
+///   are surfaced in the health output;
+/// * no method returns `Err` on a fault-free tick;
+/// * the aggregate is **bit-identical** to a single in-process
+///   `StreamEngine` driven over the same per-shard feed (the method
+///   set excludes WCB, whose carried simplex basis is deliberately
+///   not checkpointed — see `docs/DAEMON.md`).
+fn daemon_matrix_mode() {
+    use std::time::{Duration, Instant};
+    use tm_daemon::{build_feeds, ChaosPlan, Daemon, DaemonConfig, ShardSpec};
+    use tm_traffic::{DatasetSpec, EvalDataset};
+
+    banner(
+        "daemon-matrix: supervised sharded-runtime gate",
+        "Europe day x4 shards, canonical fault plan + 2 worker kills",
+    );
+    let spec = DatasetSpec::europe();
+    let probe = EvalDataset::generate(spec.clone(), SEED).expect("valid spec");
+    let n_links = probe.topology.n_links();
+    let day = probe.series.len();
+    drop(probe);
+
+    let specs = [
+        "gravity",
+        "entropy:lambda=1e3",
+        "kruithof-full",
+        "vardi:w=0.01,window=50",
+    ];
+    let methods: Vec<Method> = specs
+        .iter()
+        .map(|s| s.parse().expect("valid spec"))
+        .collect();
+    let shards: Vec<ShardSpec> = (0..4)
+        .map(|i| {
+            ShardSpec::new(format!("eu{i}"), spec.clone(), SEED + i as u64)
+                .with_fault_plan(LoadFaultPlan::canonical(n_links, SEED + 10 + i as u64))
+        })
+        .collect();
+    let mut config = DaemonConfig::new(methods.clone());
+    config.heartbeat_timeout = Duration::from_secs(30);
+    config.checkpoint_every = 32;
+    config.chaos = ChaosPlan::none().with_kill(0, 97).with_kill(2, 201);
+
+    let daemon = Daemon::new(shards.clone(), config.clone()).expect("valid roster");
+    let t0 = Instant::now();
+    let report = daemon.run(0..day).expect("daemon run");
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut failures: Vec<String> = Vec::new();
+    if !report.all_completed() {
+        failures.push("a shard was quarantined".into());
+    }
+    if report.total_restarts() != 2 {
+        failures.push(format!(
+            "expected exactly 2 restarts (the injected kills), saw {}",
+            report.total_restarts()
+        ));
+    }
+    if report.unfired_chaos != 0 {
+        failures.push(format!("{} chaos events never fired", report.unfired_chaos));
+    }
+
+    let feeds = build_feeds(&shards, &config, 0..day).expect("feeds");
+    for feed in &feeds {
+        let shard = report.shard(&feed.name).expect("shard reported");
+        if shard.lost_ticks() != 0 {
+            failures.push(format!(
+                "{}: {} ticks dropped",
+                feed.name,
+                shard.lost_ticks()
+            ));
+            continue;
+        }
+        let plan = shards
+            .iter()
+            .find(|s| s.name == feed.name)
+            .and_then(|s| s.fault_plan.clone())
+            .expect("every shard has a plan");
+        let mut reference =
+            StreamEngine::for_dataset(&feed.dataset, &methods, StreamMode::Warm).expect("engine");
+        let mut mismatched = 0usize;
+        let mut errs = 0usize;
+        for (k, loads) in feed.dirty.iter().enumerate() {
+            let want = reference.push_interval(loads.clone()).expect("tick");
+            let got = shard.ticks[k].as_ref().expect("tick present");
+            let affected = plan.affects_tick(k, n_links);
+            for (g, w) in got.estimates.iter().zip(&want.estimates) {
+                match (g, w) {
+                    (Some(Ok(g)), Some(Ok(w)))
+                        if g.demands
+                            .iter()
+                            .zip(&w.demands)
+                            .any(|(a, b)| a.to_bits() != b.to_bits()) =>
+                    {
+                        mismatched += 1;
+                    }
+                    (Some(Err(_)), _) if !affected => errs += 1,
+                    _ => {}
+                }
+            }
+        }
+        if mismatched > 0 {
+            failures.push(format!(
+                "{}: {mismatched} estimates differ from the in-process engine",
+                feed.name
+            ));
+        }
+        if errs > 0 {
+            failures.push(format!("{}: {errs} Errs on fault-free ticks", feed.name));
+        }
+        println!(
+            "  {:<6} {} ticks, {} degraded, {} restarts, checkpoint@{:?}",
+            feed.name,
+            shard.completed_ticks(),
+            shard.degraded_ticks(),
+            shard.restarts.len(),
+            shard.last_checkpoint
+        );
+    }
+    println!("  wall {wall:.1}s for {} shard-ticks", 4 * day);
+    if failures.is_empty() {
+        println!("daemon-matrix: sharded day bit-identical, no ticks lost, all restarts surfaced");
+    } else {
+        eprintln!("daemon-matrix: {} failure(s):", failures.len());
         for f in &failures {
             eprintln!("  {f}");
         }

@@ -141,6 +141,56 @@ impl CollectionResult {
     pub fn rate_intervals(&self) -> impl ExactSizeIterator<Item = &[f64]> {
         self.rates.iter().map(Vec::as_slice)
     }
+
+    /// Split the recovered feed **column-wise** into per-shard results —
+    /// the fan-out step of the supervised daemon (`tm_daemon`), where
+    /// each worker consumes only its own pairs' rate series. Ranges are
+    /// over LSP (pair) indices and may overlap or leave gaps: a shard
+    /// sees exactly the columns it asked for, in order.
+    ///
+    /// Counter semantics in the shards:
+    /// * `interpolated` / `wrap_corrected` / `suspect` are recomputed
+    ///   as **cell counts** from the shard's `quality` grid (the
+    ///   parent's pair-based counts are not attributable to columns);
+    /// * `lost_polls` counts whole `(interval, router)` polls and is
+    ///   not column-attributable either — it is carried unchanged into
+    ///   every shard as a global diagnostic, **not** additive across
+    ///   shards.
+    pub fn split_columns(&self, shards: &[std::ops::Range<usize>]) -> Result<Vec<Self>> {
+        let p_count = self.rates.first().map_or(0, Vec::len);
+        for r in shards {
+            if r.start > r.end || r.end > p_count {
+                return Err(CollectError::InvalidConfig(format!(
+                    "shard range {}..{} out of bounds for {p_count} columns",
+                    r.start, r.end
+                )));
+            }
+        }
+        Ok(shards
+            .iter()
+            .map(|r| {
+                let rates: Vec<Vec<f64>> = self
+                    .rates
+                    .iter()
+                    .map(|row| row[r.clone()].to_vec())
+                    .collect();
+                let quality: Vec<Vec<CellQuality>> = self
+                    .quality
+                    .iter()
+                    .map(|row| row[r.clone()].to_vec())
+                    .collect();
+                let count = |q: CellQuality| quality.iter().flatten().filter(|&&c| c == q).count();
+                CollectionResult {
+                    rates,
+                    lost_polls: self.lost_polls,
+                    interpolated: count(CellQuality::Interpolated),
+                    wrap_corrected: count(CellQuality::WrapCorrected),
+                    suspect: count(CellQuality::Suspect),
+                    quality,
+                }
+            })
+            .collect())
+    }
 }
 
 /// "Router": one agent per node, owning the counters of the LSPs that
@@ -671,6 +721,68 @@ mod tests {
         for (k, row) in rows.iter().enumerate() {
             assert_eq!(*row, res.rates[k].as_slice());
         }
+    }
+
+    #[test]
+    fn split_columns_partitions_the_feed() {
+        let d = demands();
+        let cfg = CollectionConfig {
+            loss_probability: 0.2,
+            fault_plan: Some(crate::fault::FaultPlan {
+                seed: 9,
+                faults: vec![crate::fault::FaultSpec::CounterWrap { lsp: 2, at: 3 }],
+            }),
+            counter_mode: CounterMode::Counter32,
+            ..Default::default()
+        };
+        let full = run_collection(&d, &[0, 0, 1, 2], 3, &cfg, 5).unwrap();
+        let shards = full.split_columns(&[0..2, 2..4]).unwrap();
+        assert_eq!(shards.len(), 2);
+        for (s, r) in shards.iter().zip([0..2usize, 2..4]) {
+            assert_eq!(s.rates.len(), full.rates.len());
+            for k in 0..full.rates.len() {
+                assert_eq!(s.rates[k].as_slice(), &full.rates[k][r.clone()]);
+                assert_eq!(s.quality[k].as_slice(), &full.quality[k][r.clone()]);
+            }
+            // Global diagnostic, carried unchanged.
+            assert_eq!(s.lost_polls, full.lost_polls);
+        }
+        // Cell counts across a partition sum to the full grid's counts.
+        let cells = |q: CellQuality, res: &CollectionResult| {
+            res.quality.iter().flatten().filter(|&&c| c == q).count()
+        };
+        for q in [
+            CellQuality::Interpolated,
+            CellQuality::WrapCorrected,
+            CellQuality::Suspect,
+        ] {
+            assert_eq!(
+                shards.iter().map(|s| cells(q, s)).sum::<usize>(),
+                cells(q, &full),
+                "{q:?} cells must partition"
+            );
+        }
+        assert_eq!(
+            shards[0].wrap_corrected + shards[1].wrap_corrected,
+            cells(CellQuality::WrapCorrected, &full)
+        );
+    }
+
+    #[test]
+    fn split_columns_validates_ranges() {
+        let d = demands();
+        let full = run_collection(&d, &[0, 0, 1, 2], 3, &CollectionConfig::default(), 7).unwrap();
+        assert!(
+            full.split_columns(&[0..2, 0..5]).is_err(),
+            "end out of bounds"
+        );
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 3..1;
+        assert!(full.split_columns(&[reversed]).is_err());
+        // Overlap and gaps are the caller's business.
+        let ok = full.split_columns(&[0..3, 1..4, 2..2]).unwrap();
+        assert_eq!(ok.len(), 3);
+        assert!(ok[2].rates.iter().all(Vec::is_empty));
     }
 
     #[test]

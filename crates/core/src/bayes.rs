@@ -11,6 +11,7 @@
 //! *exactly* by the dual-form active-set Tikhonov NNLS, which stays
 //! stable for the large λ where the paper finds the best MREs.
 
+use serde::{Deserialize, Serialize};
 use tm_linalg::Workspace;
 use tm_opt::nnls;
 use tm_opt::nnls::RidgeKernel;
@@ -128,7 +129,7 @@ impl BayesianEstimator {
 
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`BayesianEstimator::estimate_system_warm`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BayesWarmStart {
     /// Cached factorized active-set kernel.
     kernel: Option<RidgeKernel>,

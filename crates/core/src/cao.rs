@@ -17,6 +17,7 @@
 //! Each stage decreases the objective; the iteration stops when the
 //! relative change stalls.
 
+use serde::{Deserialize, Serialize};
 use tm_opt::nnls::{self, SsnOptions, SsnState};
 use tm_opt::spg::{self, SpgOptions};
 use tm_opt::Convergence;
@@ -439,7 +440,7 @@ const GN_PROX_MU: f64 = 1e-4;
 
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`CaoEstimator::estimate_from_moments`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CaoWarmStart {
     /// Previous interval's demand estimate (raw Mbps units).
     demands: Vec<f64>,

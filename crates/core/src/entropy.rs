@@ -10,6 +10,7 @@
 //! projected gradient in traffic-normalized units; the log-gradient of
 //! the KL term keeps iterates strictly positive given a small floor.
 
+use serde::{Deserialize, Serialize};
 use tm_linalg::Workspace;
 use tm_opt::newton::{self, NewtonOptions};
 use tm_opt::spg::{self, SpgOptions};
@@ -344,7 +345,7 @@ const NEWTON_SPARSE_MAX_PAIRS: usize = 2048;
 
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`EntropyEstimator::estimate_system_warm`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EntropyWarmStart {
     /// Previous interval's demand estimate (raw Mbps units).
     demands: Vec<f64>,

@@ -23,6 +23,7 @@
 //! unidentified directions default to gravity instead of noise. Set
 //! `prior_weight` to ~0 to recover the paper's exact formulation.
 
+use serde::{Deserialize, Serialize};
 use tm_linalg::{Csr, Workspace};
 use tm_opt::qp::{self, SumConstraints};
 
@@ -284,7 +285,7 @@ impl FanoutEstimator {
 /// `K`-interval window. Each field is a plain sum over the window's
 /// intervals, so a streaming engine maintains them incrementally: add
 /// the entering interval's contribution, subtract the leaving one's.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FanoutWindowStats {
     /// Number of intervals aggregated.
     pub k_len: usize,

@@ -11,6 +11,7 @@
 //!   the complete measurement system `A·s = t`, i.e. the exact-constraint
 //!   (`σ² → ∞`) limit of the entropy estimator of Eq. (6).
 
+use serde::{Deserialize, Serialize};
 use tm_linalg::Mat;
 use tm_opt::ipf::{self, IpfOptions};
 
@@ -44,7 +45,7 @@ pub struct KruithofEstimator {
 
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`KruithofEstimator::estimate_system_warm`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KruithofWarmStart {
     /// Per-pair scaling multipliers `s/prior` of the previous solution.
     multipliers: Vec<f64>,

@@ -61,6 +61,7 @@
 pub mod batch;
 pub mod bayes;
 pub mod cao;
+pub mod checkpoint;
 pub mod covariance;
 pub mod entropy;
 pub mod error;

@@ -40,11 +40,12 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tm_linalg::Workspace;
-use tm_opt::Convergence;
+use tm_opt::{Convergence, OptError};
 use tm_traffic::{EvalDataset, IntervalLoads};
 
 use crate::bayes::{BayesWarmStart, BayesianEstimator};
 use crate::cao::{CaoEstimator, CaoWarmStart};
+use crate::checkpoint::{EngineCheckpoint, MethodCkpt, MethodStateCkpt, CHECKPOINT_VERSION};
 use crate::covariance::{SampleMoments, SecondMomentSystem};
 use crate::entropy::{EntropyEstimator, EntropyWarmStart};
 use crate::error::EstimationError;
@@ -820,6 +821,164 @@ impl StreamEngine {
         }
         Ok(out)
     }
+
+    /// Freeze the engine's mutable state — tick counter, history
+    /// window, imputation bookkeeping, last-good estimates, and every
+    /// method's carried warm state — into an [`EngineCheckpoint`]. See
+    /// [`crate::checkpoint`] for the exactness contract.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        let methods = self
+            .methods
+            .iter()
+            .map(|slot| MethodCkpt {
+                label: slot.label.clone(),
+                state: match &slot.state {
+                    MethodState::Plain(_) => MethodStateCkpt::Plain,
+                    MethodState::Entropy(_, warm) => MethodStateCkpt::Entropy(warm.clone()),
+                    MethodState::Bayes(_, warm) => MethodStateCkpt::Bayes(warm.clone()),
+                    MethodState::Kruithof(_, warm) => MethodStateCkpt::Kruithof(warm.clone()),
+                    MethodState::Vardi(_, warm, rolling) => {
+                        MethodStateCkpt::Vardi(warm.clone(), rolling.clone())
+                    }
+                    MethodState::Cao(_, warm, rolling) => {
+                        MethodStateCkpt::Cao(Box::new(warm.clone()), rolling.clone())
+                    }
+                    MethodState::Fanout(_, rolling) => MethodStateCkpt::Fanout(rolling.clone()),
+                    MethodState::Wcb { .. } => MethodStateCkpt::Wcb,
+                },
+            })
+            .collect();
+        EngineCheckpoint {
+            version: CHECKPOINT_VERSION,
+            warm: self.mode == StreamMode::Warm,
+            ticks: self.ticks,
+            impute_horizon: self.impute_horizon,
+            history: self.history.iter().cloned().collect(),
+            last_clean: self.last_clean.clone(),
+            gap: self.gap.clone(),
+            last_good: self.last_good.clone(),
+            methods,
+        }
+    }
+
+    /// Install a checkpoint taken from an identically configured
+    /// engine (same problem, method roster, mode and imputation
+    /// horizon), replacing this engine's mutable state. Estimator
+    /// objects and matrix caches are untouched — they are pure
+    /// functions of the configuration. Returns an error (leaving the
+    /// engine unchanged, except possibly already-validated fields) on
+    /// any roster/mode/dimension mismatch.
+    pub fn restore(&mut self, ckpt: &EngineCheckpoint) -> Result<()> {
+        let invalid = |msg: String| EstimationError::InvalidProblem(format!("restore: {msg}"));
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(invalid(format!(
+                "checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                ckpt.version
+            )));
+        }
+        if ckpt.warm != (self.mode == StreamMode::Warm) {
+            return Err(invalid(format!(
+                "checkpoint mode warm={} but engine is warm={}",
+                ckpt.warm,
+                self.mode == StreamMode::Warm
+            )));
+        }
+        if ckpt.impute_horizon != self.impute_horizon {
+            return Err(invalid(format!(
+                "checkpoint impute horizon {} vs engine {}",
+                ckpt.impute_horizon, self.impute_horizon
+            )));
+        }
+        if ckpt.methods.len() != self.methods.len() {
+            return Err(invalid(format!(
+                "checkpoint has {} methods, engine has {}",
+                ckpt.methods.len(),
+                self.methods.len()
+            )));
+        }
+        for (slot, m) in self.methods.iter().zip(&ckpt.methods) {
+            if slot.label != m.label {
+                return Err(invalid(format!(
+                    "method label `{}` vs checkpoint `{}`",
+                    slot.label, m.label
+                )));
+            }
+            let compatible = matches!(
+                (&slot.state, &m.state),
+                (MethodState::Plain(_), MethodStateCkpt::Plain)
+                    | (MethodState::Entropy(..), MethodStateCkpt::Entropy(_))
+                    | (MethodState::Bayes(..), MethodStateCkpt::Bayes(_))
+                    | (MethodState::Kruithof(..), MethodStateCkpt::Kruithof(_))
+                    | (MethodState::Vardi(..), MethodStateCkpt::Vardi(..))
+                    | (MethodState::Cao(..), MethodStateCkpt::Cao(..))
+                    | (MethodState::Fanout(..), MethodStateCkpt::Fanout(_))
+                    | (MethodState::Wcb { .. }, MethodStateCkpt::Wcb)
+            );
+            if !compatible {
+                return Err(invalid(format!(
+                    "method `{}`: checkpoint kind does not match engine state",
+                    slot.label
+                )));
+            }
+        }
+        let ext_rows = self.last_clean.len();
+        if ckpt.last_clean.len() != ext_rows || ckpt.gap.len() != ext_rows {
+            return Err(invalid(format!(
+                "checkpoint row bookkeeping sized {}/{} for {ext_rows} extended rows",
+                ckpt.last_clean.len(),
+                ckpt.gap.len()
+            )));
+        }
+        if ckpt.last_good.len() != self.methods.len() {
+            return Err(invalid(format!(
+                "checkpoint has {} last-good slots for {} methods",
+                ckpt.last_good.len(),
+                self.methods.len()
+            )));
+        }
+        if ckpt.history.len() > self.max_window {
+            return Err(invalid(format!(
+                "checkpoint history of {} intervals exceeds the window of {}",
+                ckpt.history.len(),
+                self.max_window
+            )));
+        }
+        self.ticks = ckpt.ticks;
+        self.history = ckpt.history.iter().cloned().collect();
+        self.last_clean = ckpt.last_clean.clone();
+        self.gap = ckpt.gap.clone();
+        self.last_good = ckpt.last_good.clone();
+        for (slot, m) in self.methods.iter_mut().zip(&ckpt.methods) {
+            match (&mut slot.state, &m.state) {
+                (MethodState::Plain(_), MethodStateCkpt::Plain) => {}
+                (MethodState::Entropy(_, warm), MethodStateCkpt::Entropy(w)) => {
+                    *warm = w.clone();
+                }
+                (MethodState::Bayes(_, warm), MethodStateCkpt::Bayes(w)) => *warm = w.clone(),
+                (MethodState::Kruithof(_, warm), MethodStateCkpt::Kruithof(w)) => {
+                    *warm = w.clone();
+                }
+                (MethodState::Vardi(_, warm, rolling), MethodStateCkpt::Vardi(w, r)) => {
+                    *warm = w.clone();
+                    *rolling = r.clone();
+                }
+                (MethodState::Cao(_, warm, rolling), MethodStateCkpt::Cao(w, r)) => {
+                    *warm = (**w).clone();
+                    *rolling = r.clone();
+                }
+                (MethodState::Fanout(_, rolling), MethodStateCkpt::Fanout(r)) => {
+                    *rolling = r.clone();
+                }
+                (MethodState::Wcb { solver, .. }, MethodStateCkpt::Wcb) => {
+                    // The basis is not checkpointed: the next tick runs
+                    // a fresh phase 1 (see `crate::checkpoint`).
+                    *solver = None;
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Build the streaming state for one method. Cold mode — and methods
@@ -983,12 +1142,33 @@ fn tick_wcb(
                 true
             }
             Ok(false) => false,
+            // An infeasible repair only means the carried basis cannot
+            // be walked to the new vector — rebuild instead of failing
+            // the tick.
+            Err(EstimationError::Opt(OptError::Infeasible { .. })) => false,
             Err(e) => return Err(e),
         },
         None => false,
     };
     if !reused {
-        *solver = Some(WcbSolver::from_parts(anchor.matrix(), t.to_vec(), engine)?);
+        match WcbSolver::from_parts(anchor.matrix(), t.to_vec(), engine) {
+            Ok(s) => *solver = Some(s),
+            // Exact equality has no non-negative solution: on imputed
+            // or corrupted ticks the bridged loads can be mutually
+            // inconsistent (ingress/egress sums no longer balance the
+            // interior). Solve the relaxed-equality band form instead
+            // (docs/ROBUSTNESS.md); its basis is never carried, so the
+            // next tick retries the exact form first.
+            Err(EstimationError::Opt(OptError::Infeasible { .. })) => {
+                let (relaxed, _slack) =
+                    WcbSolver::from_parts_relaxed(anchor.matrix(), t.to_vec(), engine)?;
+                let bounds = relaxed.bounds_ws(ws)?;
+                let mut estimate = bounds.midpoint();
+                estimate.method = name.to_string();
+                return Ok(estimate);
+            }
+            Err(e) => return Err(e),
+        }
     }
     let bounds = solver.as_ref().expect("installed above").bounds_ws(ws)?;
     let mut estimate = bounds.midpoint();
@@ -1220,6 +1400,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// [`SecondMomentSystem::sample_moments`]'s `1/K` covariance
 /// convention; the buffers are re-aggregated exactly every
 /// 128 ticks (`ROLLING_REFRESH_TICKS`) to bound floating-point drift.
+#[derive(Debug, Clone)]
 pub struct RollingMoments {
     window: usize,
     rows: Vec<(usize, usize)>,
@@ -1336,9 +1517,50 @@ impl RollingMoments {
     }
 }
 
+/// Checkpoint form of [`RollingMoments`]: everything round-trips,
+/// including the running `Σt` / `Σtᵢtⱼ` accumulators and the `pushes`
+/// counter — the accumulators carry add/subtract rounding history that
+/// a re-aggregation would not reproduce, and the counter pins the
+/// exact `ROLLING_REFRESH_TICKS` refresh cadence. A restored window
+/// therefore continues bit-identically to an uninterrupted one.
+impl serde::Serialize for RollingMoments {
+    fn to_value(&self) -> serde::Value {
+        let buf: Vec<Vec<f64>> = self.buf.iter().cloned().collect();
+        let ingress: Vec<f64> = self.ingress.iter().copied().collect();
+        serde::Value::Map(vec![
+            ("window".to_string(), self.window.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+            ("buf".to_string(), buf.to_value()),
+            ("sum".to_string(), self.sum.to_value()),
+            ("prod".to_string(), self.prod.to_value()),
+            ("ingress".to_string(), ingress.to_value()),
+            ("ingress_sum".to_string(), self.ingress_sum.to_value()),
+            ("pushes".to_string(), self.pushes.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RollingMoments {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let buf: Vec<Vec<f64>> = serde::Deserialize::from_value(v.field("buf")?)?;
+        let ingress: Vec<f64> = serde::Deserialize::from_value(v.field("ingress")?)?;
+        Ok(RollingMoments {
+            window: serde::Deserialize::from_value(v.field("window")?)?,
+            rows: serde::Deserialize::from_value(v.field("rows")?)?,
+            buf: buf.into(),
+            sum: serde::Deserialize::from_value(v.field("sum")?)?,
+            prod: serde::Deserialize::from_value(v.field("prod")?)?,
+            ingress: ingress.into(),
+            ingress_sum: serde::Deserialize::from_value(v.field("ingress_sum")?)?,
+            pushes: serde::Deserialize::from_value(v.field("pushes")?)?,
+        })
+    }
+}
+
 /// Rolling fanout-window aggregates: a [`FanoutWindowStats`] maintained
 /// by add/subtract updates over a bounded window, with periodic exact
 /// re-aggregation.
+#[derive(Debug, Clone)]
 pub struct FanoutRolling {
     window: usize,
     /// Current aggregates (readable by
@@ -1397,6 +1619,34 @@ impl FanoutRolling {
     /// True when no intervals have been pushed.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+}
+
+/// Checkpoint form of [`FanoutRolling`] — same contract as the
+/// [`RollingMoments`] impl: aggregates and the refresh counter
+/// round-trip exactly, so a restored window continues bit-identically.
+impl serde::Serialize for FanoutRolling {
+    fn to_value(&self) -> serde::Value {
+        let buf: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = self.buf.iter().cloned().collect();
+        serde::Value::Map(vec![
+            ("window".to_string(), self.window.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("buf".to_string(), buf.to_value()),
+            ("pushes".to_string(), self.pushes.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for FanoutRolling {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let buf: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+            serde::Deserialize::from_value(v.field("buf")?)?;
+        Ok(FanoutRolling {
+            window: serde::Deserialize::from_value(v.field("window")?)?,
+            stats: serde::Deserialize::from_value(v.field("stats")?)?,
+            buf: buf.into(),
+            pushes: serde::Deserialize::from_value(v.field("pushes")?)?,
+        })
     }
 }
 
@@ -1821,6 +2071,94 @@ mod tests {
             }
         }
         assert!(clean_streak >= 4, "stream must self-heal after the faults");
+    }
+
+    #[test]
+    fn wcb_solves_inconsistent_imputed_ticks_instead_of_coasting() {
+        // Two clean ticks warm the basis; then the network's load level
+        // collapses 20× on the same tick the busiest link's poll is
+        // lost. The bridged (full-scale) link value is inconsistent
+        // with the moved node totals, so the exact equality LP is
+        // infeasible — the scenario that used to quarantine the basis
+        // and coast on `last_good` (docs/ROBUSTNESS.md "WCB under
+        // imputation"). The relaxed-equality fallback must now produce
+        // a fresh estimate instead.
+        let d = tiny();
+        let ms = methods(&["wcb:engine=revised"]);
+        let mut engine = StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).unwrap();
+        let mut prev = None;
+        for k in 0..2 {
+            let tick = engine.push_interval(d.interval_loads(k).unwrap()).unwrap();
+            prev = Some(
+                tick.estimates[0]
+                    .as_ref()
+                    .unwrap()
+                    .as_ref()
+                    .unwrap()
+                    .clone(),
+            );
+        }
+        let busiest = d
+            .interval_loads(1)
+            .unwrap()
+            .link_loads
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let mut loads = d.interval_loads(2).unwrap();
+        for v in loads
+            .link_loads
+            .iter_mut()
+            .chain(loads.ingress.iter_mut())
+            .chain(loads.egress.iter_mut())
+        {
+            *v *= 0.05;
+        }
+        loads.link_loads[busiest] = f64::NAN;
+        let tick = engine.push_interval(loads).unwrap();
+        let deg = tick.degradation.expect("imputed tick must report");
+        assert_eq!(deg.imputed_rows, vec![busiest]);
+        let wcb = deg
+            .methods
+            .iter()
+            .find(|m| m.label.starts_with("wcb"))
+            .expect("wcb must appear in the report");
+        assert_eq!(
+            wcb.action,
+            DegradationAction::ImputedSolve,
+            "wcb must solve the relaxed LP, not coast: {wcb:?}"
+        );
+        let est = tick.estimates[0]
+            .as_ref()
+            .expect("ready")
+            .as_ref()
+            .expect("relaxed fallback must produce an estimate");
+        assert_ne!(
+            est.demands,
+            prev.unwrap().demands,
+            "the imputed tick's estimate must be fresh, not the coasted last-good one"
+        );
+        // The relaxed basis is never carried: the next clean tick runs
+        // the exact form again and matches a cold solve.
+        let t3 = engine.push_interval(d.interval_loads(3).unwrap()).unwrap();
+        let got = t3.estimates[0].as_ref().unwrap().as_ref().unwrap();
+        let cold = crate::wcb::worst_case_bounds_with_engine(
+            &d.snapshot_problem(3),
+            LpEngine::RevisedSparse,
+        )
+        .unwrap()
+        .midpoint();
+        let scale = d.snapshot_problem(3).total_traffic();
+        for p in 0..got.demands.len() {
+            assert!(
+                (got.demands[p] - cold.demands[p]).abs() <= 1e-7 * scale,
+                "pair {p} after recovery: {} vs {}",
+                got.demands[p],
+                cold.demands[p]
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! `σ⁻² ∈ [0, 1]` expresses faith in the Poisson assumption (Table 1
 //! evaluates 0.01 and 1). The stacked system is sparse; SPG solves it.
 
+use serde::{Deserialize, Serialize};
 use tm_linalg::Csr;
 use tm_opt::nnls::{self, SsnOptions, SsnState};
 use tm_opt::spg::{self, SpgOptions};
@@ -354,7 +355,7 @@ impl VardiEstimator {
 
 /// Warm-start state carried across the intervals of a streaming sweep —
 /// see [`VardiEstimator::estimate_from_moments`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct VardiWarmStart {
     /// Cached stacked system `[A; √w·M]` (constant across intervals).
     stacked: Option<Csr>,

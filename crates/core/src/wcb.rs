@@ -26,6 +26,7 @@
 use tm_linalg::{Csr, Workspace};
 use tm_opt::revised::RevisedSimplex;
 use tm_opt::simplex::{LpSolution, SimplexSolver};
+use tm_opt::OptError;
 
 use crate::problem::{Estimate, EstimationProblem, Estimator};
 use crate::system::MeasurementSystem;
@@ -143,6 +144,13 @@ impl LpBase {
     }
 }
 
+/// Relative slack ladder of the relaxed-equality fallback
+/// ([`WcbSolver::from_parts_relaxed`]): each rung widens the per-row
+/// band `|A·s − t| ≤ σ` by 4x until phase 1 succeeds. The final rung
+/// (`1.0`, appended implicitly) admits `s = 0` and is therefore always
+/// feasible.
+const RELAXED_SLACK_LADDER: [f64; 5] = [1e-3, 4e-3, 1.6e-2, 6.4e-2, 2.56e-1];
+
 /// Reusable worst-case-bound solver: one phase 1, many objectives, and
 /// (on the revised engine) many snapshots.
 #[derive(Debug, Clone)]
@@ -151,6 +159,13 @@ pub struct WcbSolver {
     /// Measurement vector the base is currently anchored on.
     b: Vec<f64>,
     p_count: usize,
+    /// Total LP columns: `p_count` for the exact equality form,
+    /// `p_count + 2·m` for the relaxed form (slack split `u`/`w` per
+    /// row). The bound sweep only objectives the first `p_count`.
+    n_cols: usize,
+    /// Relative slack the feasible region was widened by (`None` for
+    /// the exact equality form).
+    slack_rel: Option<f64>,
 }
 
 impl WcbSolver {
@@ -187,7 +202,93 @@ impl WcbSolver {
         } else {
             LpBase::Revised(Box::new(RevisedSimplex::new_sparse(a, &b)?))
         };
-        Ok(WcbSolver { base, b, p_count })
+        Ok(WcbSolver {
+            base,
+            b,
+            p_count,
+            n_cols: p_count,
+            slack_rel: None,
+        })
+    }
+
+    /// Build a **relaxed-equality** solver for a measurement vector on
+    /// which exact `A·s = t` has no non-negative solution — the imputed
+    /// or corrupted ticks of a degraded stream, where coasted link
+    /// loads are mutually inconsistent (ingress/egress sums no longer
+    /// balance the interior loads).
+    ///
+    /// Each equality row is widened to a band via a non-negative slack
+    /// split: `A·s + u = t + σ` and `u + w = 2·σ` (`u, w ≥ 0`) encode
+    /// `A·s ∈ [t − σ, t + σ]` in standard form. The per-row slack is
+    /// `σᵢ = slack_rel · max(tᵢ, t̄)` (`t̄` = mean positive measurement,
+    /// so zero-load rows still get room), and `slack_rel` climbs
+    /// `RELAXED_SLACK_LADDER` until phase 1 succeeds; the final rung
+    /// `1.0` admits `s = 0, u = t + σ, w = σ − t` and thus always
+    /// terminates the climb. Returns the solver and the slack level it
+    /// settled on.
+    ///
+    /// The returned solver sweeps bounds over the original `a.cols()`
+    /// pairs only; its basis lives on the augmented system and must
+    /// **not** be carried across ticks ([`WcbSolver::rebase`] refuses).
+    pub fn from_parts_relaxed(a: &Csr, t: Vec<f64>, engine: LpEngine) -> Result<(Self, f64)> {
+        let (m, n) = (a.rows(), a.cols());
+        let positive: Vec<f64> = t.iter().copied().filter(|&v| v > 0.0).collect();
+        let t_bar = if positive.is_empty() {
+            1.0
+        } else {
+            positive.iter().sum::<f64>() / positive.len() as f64
+        };
+        let use_dense = match engine {
+            LpEngine::Auto => n < DENSE_FALLBACK_PAIRS,
+            LpEngine::DenseTableau => true,
+            LpEngine::RevisedSparse => false,
+        };
+        let ladder = RELAXED_SLACK_LADDER.iter().copied().chain([1.0]);
+        for slack_rel in ladder {
+            let sigma: Vec<f64> = t.iter().map(|&ti| slack_rel * ti.max(t_bar)).collect();
+            let mut trips = Vec::with_capacity(a.nnz() + 3 * m);
+            for i in 0..m {
+                let (idx, val) = a.row(i);
+                for (&j, &v) in idx.iter().zip(val) {
+                    trips.push((i, j, v));
+                }
+                trips.push((i, n + i, 1.0)); // A·s + u = t + σ
+                trips.push((m + i, n + i, 1.0)); // u + w = 2·σ
+                trips.push((m + i, n + m + i, 1.0));
+            }
+            let aug = Csr::from_triplets(2 * m, n + 2 * m, trips)?;
+            let mut b_aug = Vec::with_capacity(2 * m);
+            b_aug.extend(t.iter().zip(&sigma).map(|(ti, si)| ti + si));
+            b_aug.extend(sigma.iter().map(|si| 2.0 * si));
+            let built: tm_opt::Result<LpBase> = if use_dense {
+                SimplexSolver::new_sparse(&aug, &b_aug).map(|s| LpBase::Dense(Box::new(s)))
+            } else {
+                RevisedSimplex::new_sparse(&aug, &b_aug).map(|s| LpBase::Revised(Box::new(s)))
+            };
+            match built {
+                Ok(base) => {
+                    return Ok((
+                        WcbSolver {
+                            base,
+                            b: t,
+                            p_count: n,
+                            n_cols: n + 2 * m,
+                            slack_rel: Some(slack_rel),
+                        },
+                        slack_rel,
+                    ))
+                }
+                Err(OptError::Infeasible { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        unreachable!("slack_rel = 1.0 admits s = 0 and always passes phase 1")
+    }
+
+    /// `Some(slack_rel)` when this is a relaxed-equality solver
+    /// ([`WcbSolver::from_parts_relaxed`]), `None` for the exact form.
+    pub fn slack_rel(&self) -> Option<f64> {
+        self.slack_rel
     }
 
     /// Re-anchor the phase-1 basis on a new measurement vector of the
@@ -202,6 +303,11 @@ impl WcbSolver {
     /// after a `false` from the revised engine the solver may have
     /// pivoted and **must be discarded**.
     pub fn rebase(&mut self, b_new: &[f64]) -> Result<bool> {
+        // A relaxed basis lives on the augmented system and is anchored
+        // on a widened right-hand side: never reuse it for a new tick.
+        if self.slack_rel.is_some() {
+            return Ok(false);
+        }
         match &mut self.base {
             LpBase::Revised(s) => {
                 let budget = s.active_rows().max(64);
@@ -239,7 +345,7 @@ impl WcbSolver {
             let mut lower = Vec::with_capacity(hi - lo);
             let mut upper = Vec::with_capacity(hi - lo);
             let mut pivots = 0usize;
-            let mut c = vec![0.0; p_count];
+            let mut c = vec![0.0; self.n_cols];
             for p in lo..hi {
                 c[p] = 1.0;
                 let hi_sol = solver.maximize(&c)?;
@@ -495,6 +601,85 @@ mod tests {
                 assert!((f1.upper[i] - b1.upper[i]).abs() < 1e-7 * scale, "pair {i}");
             }
         }
+    }
+
+    #[test]
+    fn relaxed_fallback_solves_inconsistent_measurements() {
+        // An interior link row demanding 10× the total ingress is
+        // infeasible under exact equality (total demand is pinned by
+        // the ingress rows) — the imputed-tick failure mode from
+        // docs/ROBUSTNESS.md in its purest form.
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 53).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let sys = MeasurementSystem::prepare(&p);
+        let mut t = sys.measurements().to_vec();
+        t[0] = 10.0 * p.total_traffic();
+        let exact = WcbSolver::from_parts(sys.matrix(), t.clone(), LpEngine::Auto);
+        assert!(
+            matches!(
+                exact,
+                Err(crate::error::EstimationError::Opt(
+                    OptError::Infeasible { .. }
+                ))
+            ),
+            "the perturbed system must be infeasible under exact equality"
+        );
+        let (solver, slack) =
+            WcbSolver::from_parts_relaxed(sys.matrix(), t, LpEngine::Auto).unwrap();
+        assert_eq!(solver.slack_rel(), Some(slack));
+        assert!(slack > 0.0 && slack <= 1.0, "slack on the ladder: {slack}");
+        let b = solver.bounds().unwrap();
+        assert_eq!(b.lower.len(), p.n_pairs());
+        for i in 0..p.n_pairs() {
+            assert!(
+                b.lower[i].is_finite() && b.upper[i].is_finite(),
+                "pair {i}: bounds must be finite"
+            );
+            assert!(b.lower[i] >= 0.0, "pair {i}: lower bound non-negative");
+            assert!(
+                b.upper[i] >= b.lower[i] - 1e-9,
+                "pair {i}: bounds must be ordered"
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_bounds_contain_exact_bounds_on_consistent_data() {
+        // On a consistent snapshot the first ladder rung is already
+        // feasible (the exact solution with u = w = σ witnesses it),
+        // and its widened polytope strictly contains the exact one.
+        let d = EvalDataset::generate(DatasetSpec::tiny(), 53).unwrap();
+        let p = d.snapshot_problem(d.busy_start);
+        let sys = MeasurementSystem::prepare(&p);
+        let t = sys.measurements().to_vec();
+        let exact = worst_case_bounds(&p).unwrap();
+        let (mut solver, slack) =
+            WcbSolver::from_parts_relaxed(sys.matrix(), t.clone(), LpEngine::Auto).unwrap();
+        assert_eq!(
+            slack, RELAXED_SLACK_LADDER[0],
+            "a consistent snapshot must accept the first rung"
+        );
+        let relaxed = solver.bounds().unwrap();
+        let scale = p.total_traffic();
+        for i in 0..p.n_pairs() {
+            assert!(
+                relaxed.lower[i] <= exact.lower[i] + 1e-7 * scale,
+                "pair {i} lower: relaxed {} vs exact {}",
+                relaxed.lower[i],
+                exact.lower[i]
+            );
+            assert!(
+                relaxed.upper[i] >= exact.upper[i] - 1e-7 * scale,
+                "pair {i} upper: relaxed {} vs exact {}",
+                relaxed.upper[i],
+                exact.upper[i]
+            );
+        }
+        // A relaxed basis must never be carried into the next tick.
+        assert!(
+            !solver.rebase(&t).unwrap(),
+            "relaxed solvers refuse to rebase"
+        );
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Property: serialize→deserialize→resume of a warm [`StreamEngine`]
+//! continues **bit-identically** to the uninterrupted run.
+//!
+//! A reference engine streams a day with a dirty prefix (so the
+//! checkpoint carries non-trivial imputation bookkeeping and last-good
+//! estimates, not just solver state). At a random tick its state is
+//! frozen with [`StreamEngine::checkpoint`], pushed through the JSON
+//! wire format, and restored into a freshly built engine; both then
+//! consume the identical remainder of the day. Every method must
+//! produce bit-identical demands on every subsequent tick — except
+//! WCB, whose carried simplex basis is deliberately not serialized
+//! (see `tm_core::checkpoint`): its post-restore ticks must agree
+//! within the documented LP solver tolerance instead.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use tm_core::checkpoint::EngineCheckpoint;
+use tm_core::measure::{LoadFaultPlan, LoadOutage};
+use tm_core::method::MethodConfig;
+use tm_core::prelude::*;
+use tm_traffic::{DatasetSpec, EvalDataset};
+
+/// Ticks streamed in total.
+const TOTAL: usize = 14;
+/// Relative L1 tolerance for WCB's first post-restore ticks (fresh
+/// phase 1 instead of a rebased basis — same optimum, different pivot
+/// path).
+const WCB_REL_TOL: f64 = 1e-6;
+
+fn dataset() -> &'static EvalDataset {
+    static D: OnceLock<EvalDataset> = OnceLock::new();
+    D.get_or_init(|| EvalDataset::generate(DatasetSpec::tiny(), 23).expect("valid spec"))
+}
+
+fn methods() -> Vec<Method> {
+    [
+        "gravity",
+        "entropy:lambda=1e3",
+        "bayes:prior=1e3",
+        "kruithof-full",
+        "vardi:w=0.01,window=6",
+        "cao:c=1.6,w=0.01,outer=4,window=6",
+        "fanout:window=4",
+        "wcb:engine=revised",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("valid spec"))
+    .collect()
+}
+
+fn engine() -> StreamEngine {
+    StreamEngine::for_dataset(dataset(), &methods(), StreamMode::Warm).expect("engine")
+}
+
+fn rel_l1(a: &[f64], b: &[f64]) -> f64 {
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    let den: f64 = b.iter().map(|y| y.abs()).sum();
+    num / den.max(1e-12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn restored_engine_continues_bit_identical(
+        seed in 0u64..1_000_000,
+        ckpt_tick in 2usize..(TOTAL - 2),
+        missing in 0.0f64..0.15,
+        outage_link in 0usize..1024,
+        outage_ticks in 1usize..3,
+    ) {
+        let d = dataset();
+        let ms = methods();
+        let n_links = d.topology.n_links();
+        // Dirty prefix strictly before the checkpoint tick, so the
+        // frozen state includes gap counters and fallback estimates.
+        let plan = LoadFaultPlan {
+            seed,
+            missing_probability: missing,
+            outages: vec![LoadOutage {
+                link: outage_link % n_links,
+                from: 1,
+                ticks: outage_ticks.min(ckpt_tick - 1),
+            }],
+            corrupt: vec![],
+        };
+
+        let mut reference = engine();
+        let mut resumed: Option<StreamEngine> = None;
+
+        for (tick, loads) in dataset_stream(d, 0..TOTAL).expect("range").enumerate() {
+            let mut dirty = loads.clone();
+            if tick < ckpt_tick {
+                plan.apply(tick, &mut dirty.link_loads);
+            }
+            let rt = reference.push_interval(dirty.clone()).expect("reference tick");
+            if let Some(engine) = resumed.as_mut() {
+                let st = engine.push_interval(dirty).expect("resumed tick");
+                prop_assert_eq!(rt.estimates.len(), st.estimates.len());
+                for (m, method) in ms.iter().enumerate() {
+                    let (r, s) = (&rt.estimates[m], &st.estimates[m]);
+                    match (r, s) {
+                        (None, None) => {}
+                        (Some(Ok(re)), Some(Ok(se))) => {
+                            if matches!(method.config(), MethodConfig::Wcb { .. }) {
+                                let diff = rel_l1(&se.demands, &re.demands);
+                                prop_assert!(
+                                    diff <= WCB_REL_TOL,
+                                    "tick {}: wcb diverged {:.3e} past the documented bound",
+                                    tick, diff
+                                );
+                            } else {
+                                prop_assert_eq!(
+                                    &re.demands, &se.demands,
+                                    "tick {} method {}: resumed run is not bit-identical",
+                                    tick, method.label()
+                                );
+                            }
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "tick {} method {}: outcome shape diverged",
+                            tick, method.label()
+                        ),
+                    }
+                }
+            }
+            if tick + 1 == ckpt_tick {
+                // Freeze through the JSON wire format and restore into
+                // a freshly built engine.
+                let json = reference.checkpoint().to_json();
+                let ckpt = EngineCheckpoint::from_json(&json).expect("parse back");
+                let mut fresh = engine();
+                fresh.restore(&ckpt).expect("restore");
+                prop_assert_eq!(fresh.ticks(), reference.ticks());
+                resumed = Some(fresh);
+            }
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_roster() {
+    let d = dataset();
+    let mut a = engine();
+    for loads in dataset_stream(d, 0..3).expect("range") {
+        a.push_interval(loads).expect("tick");
+    }
+    let ckpt = a.checkpoint();
+
+    // Different method roster.
+    let other: Vec<Method> = ["gravity"].iter().map(|s| s.parse().unwrap()).collect();
+    let mut b = StreamEngine::for_dataset(d, &other, StreamMode::Warm).expect("engine");
+    assert!(b.restore(&ckpt).is_err(), "roster mismatch must fail");
+
+    // Different mode.
+    let mut c = StreamEngine::for_dataset(d, &methods(), StreamMode::Cold).expect("engine");
+    assert!(c.restore(&ckpt).is_err(), "mode mismatch must fail");
+
+    // Tampered version.
+    let mut stale = ckpt.clone();
+    stale.version += 1;
+    let mut e = engine();
+    assert!(e.restore(&stale).is_err(), "version mismatch must fail");
+    assert!(
+        EngineCheckpoint::from_json(&stale.to_json()).is_err(),
+        "version mismatch must fail at parse too"
+    );
+}
+
+#[test]
+fn cold_engine_checkpoints_history_and_counters() {
+    let d = dataset();
+    let ms: Vec<Method> = ["gravity", "vardi:w=0.01,window=6"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut a = StreamEngine::for_dataset(d, &ms, StreamMode::Cold).expect("engine");
+    for loads in dataset_stream(d, 0..5).expect("range") {
+        a.push_interval(loads).expect("tick");
+    }
+    let ckpt = EngineCheckpoint::from_json(&a.checkpoint().to_json()).expect("round-trip");
+    let mut b = StreamEngine::for_dataset(d, &ms, StreamMode::Cold).expect("engine");
+    b.restore(&ckpt).expect("restore");
+    assert_eq!(b.ticks(), 5);
+    for (tick, loads) in dataset_stream(d, 5..9).expect("range").enumerate() {
+        let ra = a.push_interval(loads.clone()).expect("tick");
+        let rb = b.push_interval(loads).expect("tick");
+        for m in 0..ms.len() {
+            match (&ra.estimates[m], &rb.estimates[m]) {
+                (None, None) => {}
+                (Some(Ok(x)), Some(Ok(y))) => {
+                    assert_eq!(x.demands, y.demands, "tick {tick} method {m}");
+                }
+                _ => panic!("tick {tick} method {m}: outcome shape diverged"),
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Seeded process-level fault injection — the execution-layer mirror
+//! of `tm_core::measure::LoadFaultPlan` (data faults) and
+//! `tm_collect::FaultPlan` (counter faults).
+//!
+//! A [`ChaosPlan`] schedules worker failures at specific `(shard,
+//! tick)` coordinates. Each event fires **once**: a worker killed at
+//! tick `k` is restarted by the coordinator and replays tick `k`
+//! without re-triggering the event, so every scheduled failure costs
+//! exactly one restart and the run always terminates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// What the injected failure does to the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// The worker thread panics mid-tick (the coordinator observes a
+    /// channel disconnect).
+    Kill,
+    /// The worker stalls past the heartbeat deadline (the coordinator
+    /// observes a liveness timeout and abandons the zombie thread).
+    Hang,
+    /// The worker is slowed but stays within its deadline — exercises
+    /// deadline tolerance without triggering a restart.
+    Delay,
+}
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Shard index (coordinator roster order).
+    pub shard: usize,
+    /// Feed-relative tick at which the failure fires.
+    pub at_tick: usize,
+    /// Failure mode.
+    pub kind: ChaosKind,
+}
+
+/// A deterministic schedule of process-level failures.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Scheduled events (order irrelevant; each fires once).
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// No injected failures.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Builder: add a worker kill at `(shard, tick)`.
+    pub fn with_kill(mut self, shard: usize, at_tick: usize) -> Self {
+        self.events.push(ChaosEvent {
+            shard,
+            at_tick,
+            kind: ChaosKind::Kill,
+        });
+        self
+    }
+
+    /// Builder: add a worker hang at `(shard, tick)`.
+    pub fn with_hang(mut self, shard: usize, at_tick: usize) -> Self {
+        self.events.push(ChaosEvent {
+            shard,
+            at_tick,
+            kind: ChaosKind::Hang,
+        });
+        self
+    }
+
+    /// Builder: add a sub-deadline delay at `(shard, tick)`.
+    pub fn with_delay(mut self, shard: usize, at_tick: usize) -> Self {
+        self.events.push(ChaosEvent {
+            shard,
+            at_tick,
+            kind: ChaosKind::Delay,
+        });
+        self
+    }
+
+    /// A random plan for the chaos property tests: `n_events` failures
+    /// spread over `n_shards` shards and `ticks` feed ticks,
+    /// deterministic under `seed`. Kills and hangs are drawn 2:1 over
+    /// delays (delays don't exercise the restart path).
+    pub fn random(seed: u64, n_shards: usize, ticks: usize, n_events: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = (0..n_events)
+            .map(|_| ChaosEvent {
+                shard: rng.random_range(0..n_shards.max(1)),
+                at_tick: rng.random_range(0..ticks.max(1)),
+                kind: match rng.random_range(0..5u32) {
+                    0 | 1 => ChaosKind::Kill,
+                    2 | 3 => ChaosKind::Hang,
+                    _ => ChaosKind::Delay,
+                },
+            })
+            .collect();
+        ChaosPlan { events }
+    }
+
+    /// Restart-triggering events (kills + hangs) — the number of
+    /// restarts a clean supervisor run must report.
+    pub fn restart_events(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind != ChaosKind::Delay)
+            .count()
+    }
+
+    /// Check shard indices against the roster size.
+    pub fn validate(&self, n_shards: usize) -> std::result::Result<(), String> {
+        for e in &self.events {
+            if e.shard >= n_shards {
+                return Err(format!(
+                    "chaos event targets shard {} of a {}-shard roster",
+                    e.shard, n_shards
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared consume-once state the workers poll at each tick. Lives in
+/// an `Arc` so replacement workers (and abandoned zombies) see the
+/// same consumption record.
+#[derive(Debug)]
+pub struct ChaosState {
+    events: Mutex<Vec<(ChaosEvent, bool)>>,
+}
+
+impl ChaosState {
+    /// Arm a plan.
+    pub fn new(plan: &ChaosPlan) -> Self {
+        ChaosState {
+            events: Mutex::new(plan.events.iter().map(|&e| (e, false)).collect()),
+        }
+    }
+
+    /// Consume the next unfired event for `(shard, tick)`, if any.
+    /// Subsequent calls with the same coordinates (a restarted worker
+    /// replaying the tick) find the event spent and proceed normally.
+    pub fn take(&self, shard: usize, tick: usize) -> Option<ChaosKind> {
+        let mut events = self.events.lock().expect("chaos state never poisoned");
+        for (event, fired) in events.iter_mut() {
+            if !*fired && event.shard == shard && event.at_tick == tick {
+                *fired = true;
+                return Some(event.kind);
+            }
+        }
+        None
+    }
+
+    /// Events that never fired (a shard quarantined before reaching
+    /// the tick, or a tick range ending early).
+    pub fn unfired(&self) -> usize {
+        self.events
+            .lock()
+            .expect("chaos state never poisoned")
+            .iter()
+            .filter(|(_, fired)| !fired)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_exactly_once() {
+        let plan = ChaosPlan::none().with_kill(1, 5).with_hang(1, 5);
+        let state = ChaosState::new(&plan);
+        assert_eq!(state.take(0, 5), None);
+        assert_eq!(state.take(1, 5), Some(ChaosKind::Kill));
+        assert_eq!(state.take(1, 5), Some(ChaosKind::Hang));
+        assert_eq!(state.take(1, 5), None, "both events spent");
+        assert_eq!(state.unfired(), 0);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_in_range() {
+        let a = ChaosPlan::random(9, 3, 20, 6);
+        let b = ChaosPlan::random(9, 3, 20, 6);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 6);
+        assert!(a.validate(3).is_ok());
+        assert!(a.events.iter().all(|e| e.shard < 3 && e.at_tick < 20));
+        assert!(ChaosPlan::none().with_kill(5, 0).validate(3).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Daemon and shard configuration.
+
+use std::time::Duration;
+
+use tm_collect::CollectionConfig;
+use tm_core::measure::LoadFaultPlan;
+use tm_core::stream::StreamMode;
+use tm_core::Method;
+use tm_traffic::DatasetSpec;
+
+use crate::chaos::ChaosPlan;
+use crate::error::{DaemonError, Result};
+
+/// One shard of the supervised daemon: a region/PoP-group topology with
+/// its own ground-truth day, streamed by one supervised worker.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Shard name (the protocol's addressing key — must be unique).
+    pub name: String,
+    /// Region dataset specification (topology + traffic + day length).
+    pub spec: DatasetSpec,
+    /// Generation seed — distinct seeds give distinct regional days.
+    pub seed: u64,
+    /// Stream-level data-fault schedule applied to this shard's feed
+    /// (`None` = clean data). Process-level faults are the
+    /// [`ChaosPlan`]'s business instead.
+    pub fault_plan: Option<LoadFaultPlan>,
+}
+
+impl ShardSpec {
+    /// A clean shard over a spec and seed.
+    pub fn new(name: impl Into<String>, spec: DatasetSpec, seed: u64) -> Self {
+        ShardSpec {
+            name: name.into(),
+            spec,
+            seed,
+            fault_plan: None,
+        }
+    }
+
+    /// Attach a data-fault schedule.
+    pub fn with_fault_plan(mut self, plan: LoadFaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Supervision and runtime policy of the daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Estimation methods every shard's engine runs.
+    pub methods: Vec<Method>,
+    /// Warm or cold streaming (warm is the daemon's reason to exist).
+    pub mode: StreamMode,
+    /// SNMP simulator configuration for the shared collection run that
+    /// feeds all shards (see [`crate::feed`]).
+    pub collection: CollectionConfig,
+    /// Seed of the shared collection run.
+    pub collection_seed: u64,
+    /// Deadline for worker liveness: a worker that neither heartbeats
+    /// nor completes its tick within this window is declared hung and
+    /// restarted.
+    pub heartbeat_timeout: Duration,
+    /// Checkpoint the warm engine state every this many ticks (0
+    /// disables checkpointing: restarts then replay from tick 0).
+    pub checkpoint_every: usize,
+    /// Restarts allowed per shard before it is quarantined.
+    pub max_restarts: usize,
+    /// Base restart backoff; doubles with each consecutive restart of
+    /// the same shard.
+    pub restart_backoff: Duration,
+    /// Process-level fault schedule (kill/hang/delay workers).
+    pub chaos: ChaosPlan,
+}
+
+impl DaemonConfig {
+    /// Policy defaults around a method roster: 2 s liveness deadline,
+    /// checkpoint every 8 ticks, 3 restarts before quarantine, 25 ms
+    /// base backoff, clean lossless collection, no chaos.
+    pub fn new(methods: Vec<Method>) -> Self {
+        DaemonConfig {
+            methods,
+            mode: StreamMode::Warm,
+            collection: CollectionConfig {
+                jitter_max_s: 0.0,
+                ..CollectionConfig::default()
+            },
+            collection_seed: 7,
+            heartbeat_timeout: Duration::from_secs(2),
+            checkpoint_every: 8,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(25),
+            chaos: ChaosPlan::none(),
+        }
+    }
+
+    /// Attach a chaos plan.
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Validate the configuration against a shard roster.
+    pub fn validate(&self, shards: &[ShardSpec]) -> Result<()> {
+        if self.methods.is_empty() {
+            return Err(DaemonError::InvalidConfig("no methods registered".into()));
+        }
+        if shards.is_empty() {
+            return Err(DaemonError::InvalidConfig("no shards configured".into()));
+        }
+        let mut names: Vec<&str> = shards.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != shards.len() {
+            return Err(DaemonError::InvalidConfig(
+                "shard names must be unique".into(),
+            ));
+        }
+        if self.heartbeat_timeout.is_zero() {
+            return Err(DaemonError::InvalidConfig(
+                "heartbeat timeout must be positive".into(),
+            ));
+        }
+        self.chaos
+            .validate(shards.len())
+            .map_err(DaemonError::InvalidConfig)
+    }
+}

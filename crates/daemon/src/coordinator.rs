@@ -1,0 +1,411 @@
+//! The supervising coordinator: lockstep dispatch, liveness deadlines,
+//! checkpoint/replay restarts, and quarantine.
+//!
+//! One [`Daemon`] owns a shard roster and a policy. [`Daemon::run`]
+//! materializes every shard's feed (one shared collection run — see
+//! [`crate::feed`]), spawns one supervised worker per shard, and
+//! drives the day tick by tick:
+//!
+//! 1. **Dispatch** — each active shard is sent the tick's (possibly
+//!    dirty) interval and awaited under the heartbeat deadline.
+//! 2. **Failure** — a channel disconnect (worker death), a deadline
+//!    miss (hang), or a hard engine error triggers a restart: the
+//!    worker's epoch ends, a fresh engine is restored from the last
+//!    checkpoint, every confirmed tick since that checkpoint is
+//!    replayed from the retained feed, and the failed tick is
+//!    re-delivered. Chaos events are consume-once, so a replay never
+//!    re-fires the failure that caused it.
+//! 3. **Quarantine** — a shard that exhausts `max_restarts` is dropped
+//!    from the roster; the rest of the day continues on the surviving
+//!    shards and the loss is reported, never silently absorbed.
+//! 4. **Drain** — at end of day every surviving worker is asked to
+//!    drain and joined; hung zombies are abandoned (their epoch's
+//!    channels are dead, so nothing they do can be observed).
+
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tm_core::checkpoint::EngineCheckpoint;
+use tm_core::stream::{StreamEngine, StreamTick};
+
+use crate::chaos::ChaosState;
+use crate::config::{DaemonConfig, ShardSpec};
+use crate::error::Result;
+use crate::feed::{build_feeds, ShardFeed};
+use crate::worker::{spawn_worker, FromWorker, ToWorker, WorkerHandle, WorkerPolicy};
+
+/// Why a worker epoch ended and a restart was attempted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The worker died mid-tick (channel disconnect — a panic, abort,
+    /// or chaos kill).
+    Panic,
+    /// The worker missed its heartbeat deadline.
+    Hang,
+    /// The engine returned a hard error (reported by the worker before
+    /// exiting).
+    Engine(String),
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Panic => write!(f, "panic"),
+            FailureCause::Hang => write!(f, "hang"),
+            FailureCause::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+/// One supervised restart, as surfaced in the health output.
+#[derive(Debug, Clone)]
+pub struct RestartEvent {
+    /// Tick whose delivery failed.
+    pub tick: usize,
+    /// Worker epoch that the restart *started* (epoch 0 is the initial
+    /// spawn, so the first restart begins epoch 1).
+    pub epoch: usize,
+    /// What ended the previous epoch.
+    pub cause: FailureCause,
+    /// Checkpoint tick the replacement resumed from (`None` = cold
+    /// replay from the start of the feed).
+    pub from_checkpoint: Option<usize>,
+    /// Confirmed ticks replayed to catch the replacement up.
+    pub replayed: usize,
+}
+
+/// Terminal state of a shard after a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardState {
+    /// Every tick of the feed was processed.
+    Completed,
+    /// The shard exhausted its restart budget at `at_tick`; later
+    /// ticks were never attempted.
+    Quarantined {
+        /// Tick at which the final failure occurred.
+        at_tick: usize,
+    },
+}
+
+/// Everything the daemon knows about one shard after a run.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Shard name.
+    pub name: String,
+    /// Terminal state.
+    pub state: ShardState,
+    /// Every supervised restart, in order.
+    pub restarts: Vec<RestartEvent>,
+    /// Tick of the last retained checkpoint, if any was taken.
+    pub last_checkpoint: Option<usize>,
+    /// Whole polls lost by the shared collection run (global
+    /// diagnostic).
+    pub lost_polls: usize,
+    /// Per-tick results, indexed by feed tick. `None` only for ticks a
+    /// quarantined shard never processed.
+    pub ticks: Vec<Option<StreamTick>>,
+}
+
+impl ShardReport {
+    /// Ticks that produced a result.
+    pub fn completed_ticks(&self) -> usize {
+        self.ticks.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Ticks lost to quarantine.
+    pub fn lost_ticks(&self) -> usize {
+        self.ticks.len() - self.completed_ticks()
+    }
+
+    /// Ticks that carried a degradation report.
+    pub fn degraded_ticks(&self) -> usize {
+        self.ticks
+            .iter()
+            .flatten()
+            .filter(|t| t.degradation.is_some())
+            .count()
+    }
+}
+
+/// The daemon's global view of a finished run.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Method labels, in every shard's estimate order.
+    pub labels: Vec<String>,
+    /// Feed length every shard was driven over.
+    pub ticks: usize,
+    /// Per-shard reports, in roster order.
+    pub shards: Vec<ShardReport>,
+    /// Chaos events that never fired (e.g. scheduled past a
+    /// quarantine).
+    pub unfired_chaos: usize,
+}
+
+impl DaemonReport {
+    /// Look a shard up by name.
+    pub fn shard(&self, name: &str) -> Option<&ShardReport> {
+        self.shards.iter().find(|s| s.name == name)
+    }
+
+    /// Restarts across all shards.
+    pub fn total_restarts(&self) -> usize {
+        self.shards.iter().map(|s| s.restarts.len()).sum()
+    }
+
+    /// Whether every shard completed its whole feed.
+    pub fn all_completed(&self) -> bool {
+        self.shards.iter().all(|s| s.state == ShardState::Completed)
+    }
+}
+
+/// A configured daemon: shard roster + supervision policy.
+#[derive(Debug, Clone)]
+pub struct Daemon {
+    shards: Vec<ShardSpec>,
+    config: DaemonConfig,
+}
+
+/// Per-shard supervisor state while a run is in flight.
+struct ShardRuntime {
+    index: usize,
+    feed: ShardFeed,
+    handle: Option<WorkerHandle>,
+    epoch: usize,
+    restarts: Vec<RestartEvent>,
+    /// `(tick, serialized engine state)` of the newest checkpoint.
+    checkpoint: Option<(usize, String)>,
+    /// Confirmed ticks since the newest checkpoint, in delivery order —
+    /// the replay schedule for the next restart.
+    replay: Vec<usize>,
+    ticks: Vec<Option<StreamTick>>,
+    quarantined_at: Option<usize>,
+}
+
+impl Daemon {
+    /// Validate and assemble a daemon.
+    pub fn new(shards: Vec<ShardSpec>, config: DaemonConfig) -> Result<Self> {
+        config.validate(&shards)?;
+        Ok(Daemon { shards, config })
+    }
+
+    /// The shard roster.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Run `ticks` of every shard's day under supervision and return
+    /// the aggregated global view.
+    pub fn run(&self, ticks: std::ops::Range<usize>) -> Result<DaemonReport> {
+        let n_ticks = ticks.len();
+        let feeds = build_feeds(&self.shards, &self.config, ticks)?;
+        let chaos = Arc::new(ChaosState::new(&self.config.chaos));
+        let policy = WorkerPolicy {
+            checkpoint_every: self.config.checkpoint_every,
+            heartbeat_timeout: self.config.heartbeat_timeout,
+        };
+
+        let mut labels = Vec::new();
+        let mut runtimes = Vec::with_capacity(feeds.len());
+        for (index, feed) in feeds.into_iter().enumerate() {
+            let engine = build_engine(&feed, &self.config)?;
+            if labels.is_empty() {
+                labels = engine.labels();
+            }
+            let handle = spawn_worker(index, engine, policy.clone(), Arc::clone(&chaos));
+            runtimes.push(ShardRuntime {
+                index,
+                feed,
+                handle: Some(handle),
+                epoch: 0,
+                restarts: Vec::new(),
+                checkpoint: None,
+                replay: Vec::new(),
+                ticks: (0..n_ticks).map(|_| None).collect(),
+                quarantined_at: None,
+            });
+        }
+
+        for k in 0..n_ticks {
+            for rt in &mut runtimes {
+                self.deliver(rt, k, &chaos, &policy)?;
+            }
+        }
+        for rt in &mut runtimes {
+            self.drain(rt);
+        }
+
+        Ok(DaemonReport {
+            labels,
+            ticks: n_ticks,
+            shards: self
+                .shards
+                .iter()
+                .zip(runtimes)
+                .map(|(spec, rt)| ShardReport {
+                    name: spec.name.clone(),
+                    state: match rt.quarantined_at {
+                        Some(at_tick) => ShardState::Quarantined { at_tick },
+                        None => ShardState::Completed,
+                    },
+                    restarts: rt.restarts,
+                    last_checkpoint: rt.checkpoint.map(|(t, _)| t),
+                    lost_polls: rt.feed.lost_polls,
+                    ticks: rt.ticks,
+                })
+                .collect(),
+            unfired_chaos: chaos.unfired(),
+        })
+    }
+
+    /// Deliver one tick to a shard, restarting its worker as many times
+    /// as the budget allows. Returns with the tick recorded, or with
+    /// the shard quarantined.
+    fn deliver(
+        &self,
+        rt: &mut ShardRuntime,
+        tick: usize,
+        chaos: &Arc<ChaosState>,
+        policy: &WorkerPolicy,
+    ) -> Result<()> {
+        loop {
+            if rt.quarantined_at.is_some() {
+                return Ok(());
+            }
+            let handle = rt.handle.as_ref().expect("active shard has a worker");
+            let msg = ToWorker::Tick {
+                tick,
+                loads: Box::new(rt.feed.dirty[tick].clone()),
+            };
+            let cause = if handle.to.send(msg).is_err() {
+                FailureCause::Panic // worker died before the dispatch
+            } else {
+                match await_tick(rt, tick, self.config.heartbeat_timeout) {
+                    Ok(()) => return Ok(()),
+                    Err(cause) => cause,
+                }
+            };
+            if !self.restart(rt, tick, cause, chaos, policy)? {
+                return Ok(()); // quarantined
+            }
+        }
+    }
+
+    /// End the current epoch, restore a replacement from the newest
+    /// checkpoint, and replay every confirmed tick since. Returns
+    /// `false` if the restart budget is exhausted (shard quarantined).
+    fn restart(
+        &self,
+        rt: &mut ShardRuntime,
+        failed_tick: usize,
+        cause: FailureCause,
+        chaos: &Arc<ChaosState>,
+        policy: &WorkerPolicy,
+    ) -> Result<bool> {
+        // Abandon the epoch: dropping the handle detaches a zombie and
+        // closes both channels, so nothing it still says is heard.
+        rt.handle = None;
+        rt.epoch += 1;
+        rt.restarts.push(RestartEvent {
+            tick: failed_tick,
+            epoch: rt.epoch,
+            cause,
+            from_checkpoint: rt.checkpoint.as_ref().map(|(t, _)| *t),
+            replayed: rt.replay.len(),
+        });
+        if rt.restarts.len() > self.config.max_restarts {
+            rt.quarantined_at = Some(failed_tick);
+            return Ok(false);
+        }
+        let exponent = (rt.restarts.len() as u32 - 1).min(10);
+        std::thread::sleep(self.config.restart_backoff * 2u32.pow(exponent));
+
+        let mut engine = build_engine(&rt.feed, &self.config)?;
+        if let Some((_, json)) = &rt.checkpoint {
+            engine.restore(&EngineCheckpoint::from_json(json)?)?;
+        }
+        rt.handle = Some(spawn_worker(
+            rt.index,
+            engine,
+            policy.clone(),
+            Arc::clone(chaos),
+        ));
+        // Replay the confirmed ticks the checkpoint doesn't cover.
+        // Results overwrite the previous epoch's (the warm resume is
+        // deterministic; see the bit-identity tests). A failure during
+        // replay recurses into this method and is bounded by the same
+        // restart budget.
+        for replay_tick in std::mem::take(&mut rt.replay) {
+            self.deliver(rt, replay_tick, chaos, policy)?;
+        }
+        Ok(true)
+    }
+
+    /// Ask a surviving worker to drain and join it. Non-responsive
+    /// workers are abandoned rather than waited on.
+    fn drain(&self, rt: &mut ShardRuntime) {
+        let Some(handle) = rt.handle.take() else {
+            return;
+        };
+        if handle.to.send(ToWorker::Drain).is_err() {
+            return;
+        }
+        loop {
+            match handle.from.recv_timeout(self.config.heartbeat_timeout) {
+                Ok(FromWorker::Drained) => {
+                    let _ = handle.join.join();
+                    return;
+                }
+                Ok(FromWorker::Checkpoint { tick, json }) => {
+                    rt.checkpoint = Some((tick, json));
+                }
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Build (cold) a shard's engine from its region dataset.
+fn build_engine(feed: &ShardFeed, config: &DaemonConfig) -> Result<StreamEngine> {
+    Ok(StreamEngine::for_dataset(
+        &feed.dataset,
+        &config.methods,
+        config.mode,
+    )?)
+}
+
+/// Await one tick's completion under the heartbeat deadline. Records
+/// the result (and any checkpoints) on the runtime; returns the failure
+/// cause otherwise.
+fn await_tick(
+    rt: &mut ShardRuntime,
+    tick: usize,
+    timeout: Duration,
+) -> std::result::Result<(), FailureCause> {
+    let handle = rt.handle.as_ref().expect("awaiting an active worker");
+    loop {
+        // Each receive restarts the deadline clock, so heartbeats (and
+        // any queued messages from the previous tick) extend liveness.
+        match handle.from.recv_timeout(timeout) {
+            Ok(FromWorker::Heartbeat) => {}
+            Ok(FromWorker::TickDone { tick: t, result }) => {
+                rt.ticks[t] = Some(*result);
+                rt.replay.push(t);
+                if t == tick {
+                    return Ok(());
+                }
+            }
+            Ok(FromWorker::Checkpoint { tick: t, json }) => {
+                rt.checkpoint = Some((t, json));
+                rt.replay.retain(|&j| j > t);
+            }
+            Ok(FromWorker::Failed { message }) => {
+                return Err(FailureCause::Engine(message));
+            }
+            Ok(FromWorker::Drained) => {}
+            Err(RecvTimeoutError::Timeout) => return Err(FailureCause::Hang),
+            Err(RecvTimeoutError::Disconnected) => return Err(FailureCause::Panic),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Daemon error type.
+
+use std::fmt;
+
+/// Errors from the daemon layer. Worker *failures* (panics, hangs) are
+/// not errors — they are supervised, reported in the health surface and
+/// recovered from; this type covers misconfiguration and the
+/// infrastructure the supervisor itself depends on.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Invalid shard or daemon configuration.
+    InvalidConfig(String),
+    /// Dataset generation or feed construction failed.
+    Feed(String),
+    /// Estimation-layer error building or restoring an engine.
+    Core(tm_core::EstimationError),
+    /// Collection-pipeline error building the shared feed.
+    Collect(tm_collect::CollectError),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::InvalidConfig(m) => write!(f, "invalid daemon config: {m}"),
+            DaemonError::Feed(m) => write!(f, "feed construction failed: {m}"),
+            DaemonError::Core(e) => write!(f, "estimation error: {e}"),
+            DaemonError::Collect(e) => write!(f, "collection error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<tm_core::EstimationError> for DaemonError {
+    fn from(e: tm_core::EstimationError) -> Self {
+        DaemonError::Core(e)
+    }
+}
+
+impl From<tm_collect::CollectError> for DaemonError {
+    fn from(e: tm_collect::CollectError) -> Self {
+        DaemonError::Collect(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DaemonError>;

@@ -1,0 +1,235 @@
+//! Shared SNMP collection fanned out into per-shard interval feeds.
+//!
+//! The daemon's shards are regional topologies, but the paper's
+//! collection infrastructure is one global poller fleet. This module
+//! mirrors that: all shards' LSPs are concatenated into a single
+//! object space, **one** `tm_collect` simulation polls the union, and
+//! [`tm_collect::CollectionResult::split_columns`] fans the recovered
+//! rate series back out per shard. Each shard's rates then become
+//! [`IntervalLoads`] through its own routing matrix, with the shard's
+//! optional `LoadFaultPlan` applied on top (dirty data rides the same
+//! feed the clean comparison engine consumes — minus the faults).
+
+use std::sync::Arc;
+
+use tm_collect::run_collection;
+use tm_traffic::{EvalDataset, IntervalLoads};
+
+use crate::config::{DaemonConfig, ShardSpec};
+use crate::error::{DaemonError, Result};
+
+/// One shard's materialized day: the region dataset plus the interval
+/// feed its worker (and any in-process reference engine) consumes.
+#[derive(Debug, Clone)]
+pub struct ShardFeed {
+    /// Shard name (mirrors [`ShardSpec::name`]).
+    pub name: String,
+    /// The region dataset the worker's engine is anchored on.
+    pub dataset: Arc<EvalDataset>,
+    /// Clean recovered interval loads, in tick order.
+    pub clean: Vec<IntervalLoads>,
+    /// Interval loads with the shard's `LoadFaultPlan` applied — what
+    /// the worker actually consumes (identical to `clean` for shards
+    /// without a plan).
+    pub dirty: Vec<IntervalLoads>,
+    /// Whole polls lost by the shared collection run (global
+    /// diagnostic, identical across shards).
+    pub lost_polls: usize,
+}
+
+impl ShardFeed {
+    /// Ticks in the feed.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether the feed is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
+/// Build every shard's feed from one shared collection run over
+/// `ticks` (a sample range of the shards' days; all shards must cover
+/// it).
+pub fn build_feeds(
+    shards: &[ShardSpec],
+    config: &DaemonConfig,
+    ticks: std::ops::Range<usize>,
+) -> Result<Vec<ShardFeed>> {
+    if ticks.is_empty() {
+        return Err(DaemonError::InvalidConfig("empty tick range".into()));
+    }
+    let datasets: Vec<Arc<EvalDataset>> = shards
+        .iter()
+        .map(|s| {
+            EvalDataset::generate(s.spec.clone(), s.seed)
+                .map(Arc::new)
+                .map_err(|e| DaemonError::Feed(format!("shard `{}`: {e}", s.name)))
+        })
+        .collect::<Result<_>>()?;
+    for (spec, d) in shards.iter().zip(&datasets) {
+        if ticks.end > d.series.samples.len() {
+            return Err(DaemonError::Feed(format!(
+                "shard `{}`: tick range ends at {} but the day has {} samples",
+                spec.name,
+                ticks.end,
+                d.series.samples.len()
+            )));
+        }
+    }
+
+    // Concatenate the shards' LSP meshes into one global object space:
+    // shard s's pair p becomes column `col_offset[s] + p`, hosted on
+    // router `node_offset[s] + src(p)`.
+    let mut host_of: Vec<usize> = Vec::new();
+    let mut col_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut node_offset = 0usize;
+    for d in &datasets {
+        let pairs = d.routing.pairs();
+        let start = host_of.len();
+        for p in 0..pairs.count() {
+            host_of.push(node_offset + pairs.pair(p).0 .0);
+        }
+        col_ranges.push(start..host_of.len());
+        node_offset += d.topology.n_nodes();
+    }
+    let window: Vec<Vec<f64>> = ticks
+        .clone()
+        .map(|k| {
+            datasets
+                .iter()
+                .flat_map(|d| d.series.samples[k].iter().copied())
+                .collect()
+        })
+        .collect();
+    let collected = run_collection(
+        &window,
+        &host_of,
+        node_offset,
+        &config.collection,
+        config.collection_seed,
+    )?;
+    let per_shard = collected.split_columns(&col_ranges)?;
+
+    shards
+        .iter()
+        .zip(&datasets)
+        .zip(per_shard)
+        .map(|((spec, dataset), shard_rates)| {
+            let clean: Vec<IntervalLoads> = shard_rates
+                .rates
+                .iter()
+                .map(|rates| loads_from_rates(dataset, rates, &spec.name))
+                .collect::<Result<_>>()?;
+            let dirty: Vec<IntervalLoads> = clean
+                .iter()
+                .enumerate()
+                .map(|(k, loads)| {
+                    let mut loads = loads.clone();
+                    if let Some(plan) = &spec.fault_plan {
+                        plan.apply(k, &mut loads.link_loads);
+                    }
+                    loads
+                })
+                .collect();
+            Ok(ShardFeed {
+                name: spec.name.clone(),
+                dataset: Arc::clone(dataset),
+                clean,
+                dirty,
+                lost_polls: shard_rates.lost_polls,
+            })
+        })
+        .collect()
+}
+
+/// Turn one interval's recovered per-LSP rates into the load vectors a
+/// `StreamEngine` tick consumes, through the shard's routing matrix.
+fn loads_from_rates(dataset: &EvalDataset, rates: &[f64], name: &str) -> Result<IntervalLoads> {
+    let err = |e: String| DaemonError::Feed(format!("shard `{name}`: {e}"));
+    Ok(IntervalLoads {
+        link_loads: dataset
+            .routing
+            .interior_loads(rates)
+            .map_err(|e| err(e.to_string()))?,
+        ingress: dataset
+            .routing
+            .ingress_loads(rates)
+            .map_err(|e| err(e.to_string()))?,
+        egress: dataset
+            .routing
+            .egress_loads(rates)
+            .map_err(|e| err(e.to_string()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::Method;
+    use tm_traffic::DatasetSpec;
+
+    fn methods() -> Vec<Method> {
+        vec!["gravity".parse().unwrap()]
+    }
+
+    #[test]
+    fn feeds_match_per_shard_collection_content() {
+        let shards = vec![
+            ShardSpec::new("a", DatasetSpec::tiny(), 11),
+            ShardSpec::new("b", DatasetSpec::tiny(), 12),
+        ];
+        let config = DaemonConfig::new(methods());
+        let feeds = build_feeds(&shards, &config, 0..6).unwrap();
+        assert_eq!(feeds.len(), 2);
+        for (feed, spec) in feeds.iter().zip(&shards) {
+            assert_eq!(feed.name, spec.name);
+            assert_eq!(feed.len(), 6);
+            // Lossless jitterless collection: recovered loads match the
+            // ground-truth link loads to counter quantization.
+            for (k, loads) in feed.clean.iter().enumerate() {
+                let want = feed.dataset.interval_loads(k).unwrap();
+                for (a, b) in loads.link_loads.iter().zip(&want.link_loads) {
+                    assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "k={k}: {a} vs {b}");
+                }
+            }
+            // No fault plan: dirty is clean.
+            assert_eq!(feed.dirty.len(), feed.clean.len());
+        }
+        // Distinct seeds produce distinct regional days.
+        assert_ne!(
+            feeds[0].clean[0].link_loads, feeds[1].clean[0].link_loads,
+            "shards must be distinct regions"
+        );
+    }
+
+    #[test]
+    fn fault_plan_dirties_only_the_dirty_series() {
+        use tm_core::measure::{LoadFaultPlan, LoadOutage};
+        let spec = ShardSpec::new("a", DatasetSpec::tiny(), 11).with_fault_plan(LoadFaultPlan {
+            seed: 3,
+            missing_probability: 0.0,
+            outages: vec![LoadOutage {
+                link: 0,
+                from: 1,
+                ticks: 2,
+            }],
+            corrupt: vec![],
+        });
+        let config = DaemonConfig::new(methods());
+        let feeds = build_feeds(&[spec], &config, 0..5).unwrap();
+        let feed = &feeds[0];
+        assert!(feed.clean[1].link_loads[0].is_finite());
+        assert!(feed.dirty[1].link_loads[0].is_nan(), "outage tick is NaN");
+        assert!(feed.dirty[3].link_loads[0].is_finite(), "outage ends");
+    }
+
+    #[test]
+    fn tick_range_is_validated() {
+        let shards = vec![ShardSpec::new("a", DatasetSpec::tiny(), 11)];
+        let config = DaemonConfig::new(methods());
+        assert!(build_feeds(&shards, &config, 0..0).is_err());
+        assert!(build_feeds(&shards, &config, 0..10_000).is_err());
+    }
+}

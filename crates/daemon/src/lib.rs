@@ -1,0 +1,61 @@
+//! # tm-daemon
+//!
+//! Supervised sharded estimation runtime for the `backbone-tm`
+//! reproduction of *Gunnar, Johansson, Telkamp (IMC 2004)*.
+//!
+//! The paper's operational setting is a continuously running
+//! measurement system: a large backbone is carved into regions, each
+//! polled and estimated around the clock, with partial failures the
+//! norm rather than the exception (§5.1.2, §5.3). This crate is that
+//! setting's execution layer. A coordinator shards per-region
+//! topologies across supervised worker threads, each running a warm
+//! [`tm_core::stream::StreamEngine`] fed from one shared `tm_collect`
+//! SNMP simulation, and aggregates per-tick estimates plus degradation
+//! health into a global view queryable over a small line-delimited JSON
+//! protocol.
+//!
+//! * [`config`] — shard roster ([`ShardSpec`]) and supervision policy
+//!   ([`DaemonConfig`]: heartbeat deadline, checkpoint cadence, restart
+//!   budget, backoff);
+//! * [`feed`] — one shared collection run over the concatenated shard
+//!   meshes, fanned back out per shard and converted to interval loads;
+//! * `worker` (private) — the supervised worker thread: heartbeats,
+//!   tick solves, periodic serialized checkpoints of its warm state;
+//! * [`coordinator`] — lockstep dispatch, deadline detection,
+//!   restart-with-backoff from the newest checkpoint with replay of the
+//!   uncovered ticks, quarantine after the restart budget, clean drain;
+//! * [`chaos`] — a seeded [`ChaosPlan`] that kills, hangs, or delays
+//!   workers at chosen `(shard, tick)` coordinates — the process-level
+//!   mirror of the data-level `LoadFaultPlan` and collection-level
+//!   `FaultPlan`;
+//! * [`protocol`] — `status` / `health` / `estimate` queries, one JSON
+//!   line per request and response, with JSON/CSV/text estimate sinks.
+//!
+//! ## Guarantees
+//!
+//! Under any chaos schedule within the restart budget, a run loses **no
+//! intervals**: every restart resumes from a checkpoint and replays the
+//! confirmed ticks the checkpoint does not cover, and the warm resume
+//! is deterministic, so clean-tick estimates are bit-identical to a
+//! single-process [`tm_core::stream::StreamEngine`] over the same feed
+//! (see `tests/daemon_day.rs` and the chaos property test). Shards that
+//! exhaust the budget are quarantined and *reported*, never silently
+//! absorbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod config;
+pub mod coordinator;
+pub mod error;
+pub mod feed;
+pub mod protocol;
+mod worker;
+
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
+pub use config::{DaemonConfig, ShardSpec};
+pub use coordinator::{Daemon, DaemonReport, FailureCause, RestartEvent, ShardReport, ShardState};
+pub use error::{DaemonError, Result};
+pub use feed::{build_feeds, ShardFeed};
+pub use protocol::{handle_line, serve};

@@ -1,0 +1,301 @@
+//! The daemon's query protocol: one JSON object per line in, one JSON
+//! object per line out.
+//!
+//! Grammar (see `docs/DAEMON.md` for the full reference):
+//!
+//! ```text
+//! request  = status | health | estimate | shutdown
+//! status   = {"cmd":"status"}
+//! health   = {"cmd":"health"} | {"cmd":"health","shard":NAME}
+//! estimate = {"cmd":"estimate","shard":NAME,"tick":K,"method":LABEL
+//!             [,"format":"json"|"csv"|"text"]}
+//! shutdown = {"cmd":"shutdown"}            (serve loop only)
+//! ```
+//!
+//! Every response is an object with an `"ok"` boolean; failures carry
+//! an `"error"` string and never kill the connection. [`handle_line`]
+//! is the pure request→response function; [`serve`] wraps it in a
+//! blocking single-threaded TCP accept loop (the daemon's query load
+//! is one operator, not a fleet).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use serde::Value;
+
+use crate::coordinator::{DaemonReport, ShardReport, ShardState};
+
+/// Build a JSON object value.
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Shorthand for a string value.
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+/// Shorthand for an integer value.
+fn n(value: usize) -> Value {
+    Value::I64(value as i64)
+}
+
+fn error(message: impl Into<String>) -> Value {
+    obj(vec![("ok", Value::Bool(false)), ("error", s(message))])
+}
+
+fn str_field<'a>(request: &'a Value, name: &str) -> Option<&'a str> {
+    match request.field(name) {
+        Ok(Value::Str(text)) => Some(text),
+        _ => None,
+    }
+}
+
+fn usize_field(request: &Value, name: &str) -> Option<usize> {
+    match request.field(name) {
+        Ok(Value::I64(i)) if *i >= 0 => Some(*i as usize),
+        Ok(Value::U64(u)) => usize::try_from(*u).ok(),
+        _ => None,
+    }
+}
+
+fn state_value(state: &ShardState) -> Value {
+    match state {
+        ShardState::Completed => s("completed"),
+        ShardState::Quarantined { at_tick } => s(format!("quarantined@{at_tick}")),
+    }
+}
+
+/// Answer one request line against a finished run's report. Always
+/// returns a single JSON line; malformed input yields an `"ok":false`
+/// response rather than an error.
+pub fn handle_line(report: &DaemonReport, line: &str) -> String {
+    let request: Value = match serde_json::from_str(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            return serde_json::to_string(&error(format!("bad request: {e}")))
+                .expect("response serialization is infallible")
+        }
+    };
+    let response = match str_field(&request, "cmd") {
+        Some("status") => status(report),
+        Some("health") => health(report, str_field(&request, "shard")),
+        Some("estimate") => estimate(report, &request),
+        Some("shutdown") => obj(vec![("ok", Value::Bool(true)), ("bye", Value::Bool(true))]),
+        Some(other) => error(format!("unknown cmd `{other}`")),
+        None => error("missing string field `cmd`"),
+    };
+    serde_json::to_string(&response).expect("response serialization is infallible")
+}
+
+fn status(report: &DaemonReport) -> Value {
+    let shards: Vec<Value> = report
+        .shards
+        .iter()
+        .map(|shard| {
+            obj(vec![
+                ("name", s(&shard.name)),
+                ("state", state_value(&shard.state)),
+                ("completed_ticks", n(shard.completed_ticks())),
+                ("lost_ticks", n(shard.lost_ticks())),
+                ("degraded_ticks", n(shard.degraded_ticks())),
+                ("restarts", n(shard.restarts.len())),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("ticks", n(report.ticks)),
+        ("labels", Value::Seq(report.labels.iter().map(s).collect())),
+        ("total_restarts", n(report.total_restarts())),
+        ("shards", Value::Seq(shards)),
+    ])
+}
+
+fn shard_health(shard: &ShardReport) -> Value {
+    let restarts: Vec<Value> = shard
+        .restarts
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("tick", n(r.tick)),
+                ("epoch", n(r.epoch)),
+                ("cause", s(r.cause.to_string())),
+                ("from_checkpoint", r.from_checkpoint.map_or(Value::Null, n)),
+                ("replayed", n(r.replayed)),
+            ])
+        })
+        .collect();
+    let degraded: Vec<Value> = shard
+        .ticks
+        .iter()
+        .flatten()
+        .filter_map(|t| t.degradation.as_ref())
+        .map(|d| {
+            obj(vec![
+                ("tick", n(d.interval)),
+                ("masked_rows", n(d.masked_rows.len())),
+                ("imputed_rows", n(d.imputed_rows.len())),
+                ("conservation_ok", Value::Bool(d.conservation_ok)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("name", s(&shard.name)),
+        ("state", state_value(&shard.state)),
+        ("restarts", Value::Seq(restarts)),
+        (
+            "last_checkpoint",
+            shard.last_checkpoint.map_or(Value::Null, n),
+        ),
+        ("lost_polls", n(shard.lost_polls)),
+        ("degraded", Value::Seq(degraded)),
+    ])
+}
+
+fn health(report: &DaemonReport, shard: Option<&str>) -> Value {
+    match shard {
+        Some(name) => match report.shard(name) {
+            Some(found) => {
+                let mut fields = vec![("ok".to_string(), Value::Bool(true))];
+                if let Value::Map(inner) = shard_health(found) {
+                    fields.extend(inner);
+                }
+                Value::Map(fields)
+            }
+            None => error(format!("unknown shard `{name}`")),
+        },
+        None => obj(vec![
+            ("ok", Value::Bool(true)),
+            ("total_restarts", n(report.total_restarts())),
+            ("unfired_chaos", n(report.unfired_chaos)),
+            (
+                "shards",
+                Value::Seq(report.shards.iter().map(shard_health).collect()),
+            ),
+        ]),
+    }
+}
+
+fn estimate(report: &DaemonReport, request: &Value) -> Value {
+    let Some(shard_name) = str_field(request, "shard") else {
+        return error("estimate requires a string `shard`");
+    };
+    let Some(tick) = usize_field(request, "tick") else {
+        return error("estimate requires a non-negative integer `tick`");
+    };
+    let Some(method) = str_field(request, "method") else {
+        return error("estimate requires a string `method`");
+    };
+    let format = str_field(request, "format").unwrap_or("json");
+    let Some(shard) = report.shard(shard_name) else {
+        return error(format!("unknown shard `{shard_name}`"));
+    };
+    let Some(slot) = report.labels.iter().position(|l| l == method) else {
+        return error(format!("unknown method `{method}`"));
+    };
+    if tick >= shard.ticks.len() {
+        return error(format!(
+            "tick {tick} out of range (day has {} ticks)",
+            shard.ticks.len()
+        ));
+    }
+    let Some(stream_tick) = &shard.ticks[tick] else {
+        return error(format!(
+            "tick {tick} was lost to quarantine on shard `{shard_name}`"
+        ));
+    };
+    let demands = match &stream_tick.estimates[slot] {
+        Some(Ok(estimate)) => &estimate.demands,
+        Some(Err(e)) => return error(format!("method `{method}` failed at tick {tick}: {e}")),
+        None => {
+            return error(format!(
+                "method `{method}` produced no estimate at tick {tick}"
+            ))
+        }
+    };
+    let header = vec![
+        ("ok", Value::Bool(true)),
+        ("shard", s(shard_name)),
+        ("tick", n(tick)),
+        ("method", s(method)),
+        ("pairs", n(demands.len())),
+        ("total_mbps", Value::F64(demands.iter().sum::<f64>())),
+    ];
+    match format {
+        "json" => {
+            let mut fields = header;
+            fields.push((
+                "demands",
+                Value::Seq(demands.iter().map(|&d| Value::F64(d)).collect()),
+            ));
+            obj(fields)
+        }
+        "csv" => {
+            let mut csv = String::from("pair,mbps\n");
+            for (p, d) in demands.iter().enumerate() {
+                csv.push_str(&format!("{p},{d}\n"));
+            }
+            let mut fields = header;
+            fields.push(("csv", s(csv)));
+            obj(fields)
+        }
+        "text" => {
+            let total: f64 = demands.iter().sum();
+            let mut top: Vec<(usize, f64)> = demands.iter().copied().enumerate().collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let mut text = format!(
+                "{method} @ shard {shard_name} tick {tick}: {} pairs, {total:.1} Mbps total\n",
+                demands.len()
+            );
+            for (p, d) in top.into_iter().take(5) {
+                text.push_str(&format!("  pair {p:>4}  {d:>12.2} Mbps\n"));
+            }
+            let mut fields = header;
+            fields.push(("text", s(text)));
+            obj(fields)
+        }
+        other => error(format!(
+            "unknown format `{other}` (expected json, csv or text)"
+        )),
+    }
+}
+
+/// Serve [`handle_line`] over a TCP listener, one client at a time,
+/// until a client sends `{"cmd":"shutdown"}`. Connection drops move on
+/// to the next client; the listener itself erroring ends the loop.
+pub fn serve(report: &DaemonReport, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // client went away
+                Ok(_) => {}
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = handle_line(report, &line);
+            if writeln!(writer, "{response}").is_err() {
+                break;
+            }
+            let shutdown = serde_json::from_str::<Value>(line.trim())
+                .ok()
+                .and_then(|v| v.field("cmd").ok().cloned())
+                .is_some_and(|cmd| matches!(cmd, Value::Str(ref c) if c == "shutdown"));
+            if shutdown {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Property: under ANY randomized [`ChaosPlan`] within the restart
+//! budget, a supervised run loses no intervals, surfaces every restart
+//! in the health data, and its post-restart estimates reconverge —
+//! in fact, for the non-WCB methods, every tick is bit-identical to an
+//! uninterrupted single-process engine over the same feed (warm resume
+//! from a checkpoint is deterministic, so "reconvergence" is exact,
+//! well inside the PR 6 degraded-mode bound).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tm_core::stream::{StreamEngine, StreamMode};
+use tm_core::Method;
+use tm_daemon::{build_feeds, ChaosKind, ChaosPlan, Daemon, DaemonConfig, ShardSpec};
+use tm_traffic::DatasetSpec;
+
+const TICKS: usize = 8;
+const SHARDS: usize = 2;
+const EVENTS: usize = 3;
+
+fn methods() -> Vec<Method> {
+    ["gravity", "vardi:w=0.01,window=6"]
+        .iter()
+        .map(|s| s.parse().expect("valid spec"))
+        .collect()
+}
+
+fn roster() -> Vec<ShardSpec> {
+    vec![
+        ShardSpec::new("s0", DatasetSpec::tiny(), 31),
+        ShardSpec::new("s1", DatasetSpec::tiny(), 32),
+    ]
+}
+
+fn config(plan: ChaosPlan) -> DaemonConfig {
+    let mut config = DaemonConfig::new(methods());
+    config.heartbeat_timeout = Duration::from_millis(300);
+    config.checkpoint_every = 3;
+    config.max_restarts = EVENTS + 1; // budget always covers the plan
+    config.restart_backoff = Duration::from_millis(2);
+    config.chaos = plan;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn randomized_chaos_loses_nothing_and_reconverges(seed in 0u64..10_000) {
+        let plan = ChaosPlan::random(seed, SHARDS, TICKS, EVENTS);
+        let expected_restarts = plan.restart_events();
+        let daemon = Daemon::new(roster(), config(plan.clone())).unwrap();
+        let report = daemon.run(0..TICKS).unwrap();
+
+        // 1. No lost intervals: the budget covers the plan, so every
+        //    shard completes and every tick has a result.
+        prop_assert!(report.all_completed());
+        for shard in &report.shards {
+            prop_assert_eq!(shard.lost_ticks(), 0);
+        }
+
+        // 2. Every kill/hang shows up as exactly one restart in the
+        //    health surface, with its cause; delays restart nothing.
+        prop_assert_eq!(report.total_restarts(), expected_restarts);
+        prop_assert_eq!(report.unfired_chaos, 0);
+        for shard in &report.shards {
+            for restart in &shard.restarts {
+                let cause = restart.cause.to_string();
+                prop_assert!(cause == "panic" || cause == "hang", "{}", cause);
+            }
+        }
+        for (index, shard) in report.shards.iter().enumerate() {
+            let scheduled = plan
+                .events
+                .iter()
+                .filter(|e| e.shard == index && e.kind != ChaosKind::Delay)
+                .count();
+            prop_assert_eq!(shard.restarts.len(), scheduled);
+        }
+
+        // 3. Reconvergence is exact: bit-identical to the in-process
+        //    engine on every tick, restarts or not.
+        let feeds = build_feeds(&roster(), &config(ChaosPlan::none()), 0..TICKS).unwrap();
+        for feed in &feeds {
+            let mut engine =
+                StreamEngine::for_dataset(&feed.dataset, &methods(), StreamMode::Warm).unwrap();
+            let shard = report.shard(&feed.name).unwrap();
+            for (k, loads) in feed.dirty.iter().enumerate() {
+                let want = engine.push_interval(loads.clone()).unwrap();
+                let got = shard.ticks[k].as_ref().unwrap();
+                for (g, w) in got.estimates.iter().zip(&want.estimates) {
+                    let (Some(Ok(g)), Some(Ok(w))) = (g, w) else {
+                        prop_assert!(
+                            matches!((g, w), (None, None) | (Some(Err(_)), Some(Err(_)))),
+                            "outcome shape differs at tick {}", k
+                        );
+                        continue;
+                    };
+                    let same = g.demands.iter().zip(&w.demands).all(|(a, b)| a.to_bits() == b.to_bits());
+                    prop_assert!(same, "tick {} diverged after restart", k);
+                }
+            }
+        }
+    }
+}

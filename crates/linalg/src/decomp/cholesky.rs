@@ -4,6 +4,8 @@
 //! the Bayesian (Tikhonov-regularized) estimator, where the regularizer
 //! guarantees positive definiteness.
 
+use serde::{Deserialize, Serialize};
+
 use crate::dense::Mat;
 use crate::error::LinalgError;
 use crate::Result;
@@ -31,7 +33,12 @@ fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Lower-triangular Cholesky factor `A = L·Lᵀ`.
-#[derive(Debug, Clone)]
+///
+/// Serializable so that streaming checkpoints can carry a factor's
+/// exact bits across a process restart (finite `f64`s round-trip
+/// bit-identically through the JSON shortest-representation form); a
+/// deserialized factor is trusted as-is, like a [`Cholesky::clone`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cholesky {
     l: Mat,
 }

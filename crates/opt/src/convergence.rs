@@ -14,6 +14,8 @@
 //! by the `convergence()` accessor on each result type and by
 //! [`Convergence::from_error`] on the error path.
 
+use serde::{Deserialize, Serialize};
+
 use crate::error::OptError;
 
 /// Outcome of an iterative solve: tolerance met or budget capped.
@@ -23,7 +25,7 @@ use crate::error::OptError;
 /// semismooth Newton NNLS, scaled coordinate delta for coordinate
 /// descent — so values are comparable across calls of the *same*
 /// solver, not across solver families.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Convergence {
     /// `true` when the solver met its tolerance; `false` when it
     /// stopped on an iteration budget with the measure still above

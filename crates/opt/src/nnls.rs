@@ -10,6 +10,7 @@
 //!   unknowns and the natural solver for the Bayesian estimator
 //!   `min ‖Rs−t‖² + μ‖s−s⁽ᵖ⁾‖², s ≥ 0` (paper Eq. 7).
 
+use serde::{DeError, Deserialize, Serialize, Value};
 use tm_linalg::decomp::{qr, Cholesky, SparseCholFactor, SparseCholSymbolic};
 use tm_linalg::{vector, Csr, LinOp, Mat, Workspace};
 
@@ -609,7 +610,7 @@ pub fn ridge_nnls_warm(
 /// right-hand side or the prior — so consecutive intervals of a
 /// slowly drifting load series, whose active sets rarely change, can
 /// skip the per-call assembly and factorization entirely.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RidgeKernel {
     free: Vec<bool>,
     chol: Cholesky,
@@ -867,6 +868,40 @@ impl SsnState {
     /// The carried free-set indicator (empty before the first solve).
     pub fn free(&self) -> &[bool] {
         &self.free
+    }
+}
+
+/// Checkpoint form of [`SsnState`]: the free set always round-trips;
+/// a **dense** factor is carried bit-exactly because it accumulates
+/// rank-one up/downdate history that a refactorization would not
+/// reproduce, while a **sparse** factor is deliberately dropped — the
+/// next call numerically refactors against the shared symbolic
+/// analysis, which is bit-deterministic for an unchanged Gram matrix,
+/// so dropping it costs one refactorization and zero ULPs.
+impl Serialize for SsnState {
+    fn to_value(&self) -> Value {
+        let (factor_free, factor_dense) = match &self.factor {
+            Some((set, SsnFactor::Dense(chol))) => (set.to_value(), chol.to_value()),
+            _ => (Value::Null, Value::Null),
+        };
+        Value::Map(vec![
+            ("free".to_string(), self.free.to_value()),
+            ("factor_free".to_string(), factor_free),
+            ("factor_dense".to_string(), factor_dense),
+        ])
+    }
+}
+
+impl Deserialize for SsnState {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let free = Vec::<bool>::from_value(v.field("free")?)?;
+        let factor_free = Option::<Vec<bool>>::from_value(v.field("factor_free")?)?;
+        let factor_dense = Option::<Cholesky>::from_value(v.field("factor_dense")?)?;
+        let factor = match (factor_free, factor_dense) {
+            (Some(set), Some(chol)) => Some((set, SsnFactor::Dense(chol))),
+            _ => None,
+        };
+        Ok(SsnState { free, factor })
     }
 }
 

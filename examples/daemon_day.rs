@@ -1,0 +1,95 @@
+//! A sharded day through the supervised estimation daemon: three
+//! regional shards, each with its own warm [`StreamEngine`] worker fed
+//! from one shared SNMP collection run, with one worker killed mid-day
+//! by the chaos harness. The coordinator restarts it from its last
+//! checkpoint, replays the uncovered ticks, and the aggregate loses
+//! nothing — then the run is queried through the daemon's line-JSON
+//! protocol, exactly as an operator would.
+//!
+//! ```sh
+//! cargo run --release --example daemon_day
+//! cargo run --release --example daemon_day -- 120   # ticks to stream
+//! ```
+
+use std::time::Duration;
+
+use backbone_tm::daemon::{handle_line, ChaosPlan, Daemon, DaemonConfig, ShardSpec};
+use backbone_tm::prelude::*;
+
+fn main() {
+    let ticks: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().unwrap_or_else(|e| panic!("bad tick count: {e}")))
+        .unwrap_or(48);
+
+    let methods: Vec<Method> = ["gravity", "entropy:lambda=1e3", "vardi:w=0.01,window=50"]
+        .iter()
+        .map(|s| s.parse().expect("valid spec"))
+        .collect();
+    let shards = vec![
+        ShardSpec::new("north", DatasetSpec::tiny(), 42),
+        ShardSpec::new("south", DatasetSpec::tiny(), 43),
+        ShardSpec::new("west", DatasetSpec::tiny(), 44),
+    ];
+    let kill_at = ticks / 2;
+    let mut config = DaemonConfig::new(methods);
+    config.heartbeat_timeout = Duration::from_secs(10);
+    config.checkpoint_every = 8;
+    config.chaos = ChaosPlan::none().with_kill(1, kill_at);
+
+    println!(
+        "daemon_day: {} shards x {ticks} ticks, worker `south` killed at tick {kill_at}",
+        shards.len()
+    );
+    let daemon = Daemon::new(shards, config).expect("valid roster");
+    let report = daemon.run(0..ticks).expect("supervised run");
+
+    println!("\nsupervision summary");
+    for shard in &report.shards {
+        println!(
+            "  {:<6} {:?}: {} ticks, {} degraded, {} restarts, last checkpoint {:?}",
+            shard.name,
+            shard.state,
+            shard.completed_ticks(),
+            shard.degraded_ticks(),
+            shard.restarts.len(),
+            shard.last_checkpoint,
+        );
+        for restart in &shard.restarts {
+            println!(
+                "         restart at tick {} (epoch {}): {}; resumed from {:?}, replayed {}",
+                restart.tick,
+                restart.epoch,
+                restart.cause,
+                restart.from_checkpoint,
+                restart.replayed
+            );
+        }
+    }
+    assert!(report.all_completed(), "the kill must not lose intervals");
+
+    println!("\nprotocol session (one JSON line per request/response)");
+    for request in [
+        r#"{"cmd":"status"}"#.to_string(),
+        r#"{"cmd":"health","shard":"south"}"#.to_string(),
+        format!(
+            r#"{{"cmd":"estimate","shard":"south","tick":{},"method":"gravity","format":"text"}}"#,
+            kill_at
+        ),
+    ] {
+        println!("  > {request}");
+        let response = handle_line(&report, &request);
+        println!("  < {}", truncate(&response, 160));
+    }
+}
+
+fn truncate(s: &str, limit: usize) -> String {
+    if s.len() <= limit {
+        return s.to_string();
+    }
+    let mut end = limit;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}

@@ -12,7 +12,8 @@
 //! * [`net`] — backbone topologies, CSPF routing, routing matrices,
 //! * [`traffic`] — synthetic demand and time-series generation,
 //! * [`collect`] — the SNMP poller measurement-pipeline simulation,
-//! * [`core`] — the traffic-matrix estimators and evaluation metrics.
+//! * [`core`] — the traffic-matrix estimators and evaluation metrics,
+//! * [`daemon`] — the supervised sharded estimation daemon.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 
 pub use tm_collect as collect;
 pub use tm_core as core;
+pub use tm_daemon as daemon;
 pub use tm_linalg as linalg;
 pub use tm_net as net;
 pub use tm_opt as opt;
