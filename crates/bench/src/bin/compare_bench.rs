@@ -2,7 +2,7 @@
 //! committed previous-PR baseline and fail on regressions.
 //!
 //! ```sh
-//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR7.json BENCH_PR6.json
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR8.json BENCH_PR7.json
 //! ```
 //!
 //! Rules (per network, matched by estimator/ablation name; entries that
@@ -64,14 +64,20 @@ const MRE_EXCEPTIONS: &[(&str, &str, f64)] = &[];
 /// at the same work; remove each one as soon as the re-recorded
 /// baseline becomes the comparison base.
 ///
-/// `europe/day288f-wcb(revised)`: PR 7's relaxed-equality fallback
-/// replaces WCB's coast-on-last-good with an elastic-constraint LP on
-/// every infeasible imputed tick. Under the canonical fault plan ~280
-/// of 288 ticks are degraded, so the entry now measures ~280 extra LP
-/// solves (~35 ms each) that PR 6 skipped entirely — real bounds
-/// instead of stale ones. Fault-free-tick MREs are gated at full
-/// strength and unchanged.
-const WALL_EXCEPTIONS: &[(&str, &str, f64)] = &[("europe", "day288f-wcb(revised)", 90.0)];
+/// Currently empty: the PR 7 `europe/day288f-wcb(revised)` exception
+/// (elastic-constraint LP fallback on infeasible imputed ticks) is
+/// retired — the PR 7 baseline already prices that work, so the full
+/// gate applies to every entry again.
+const WALL_EXCEPTIONS: &[(&str, &str, f64)] = &[];
+
+/// Within-run recorder-overhead contract: the `day288-telemetry-on`
+/// sweep (the daemon worker's per-tick record path: queue-delay +
+/// per-method solve histograms + counters) must stay within 2% of the
+/// recorder-off sweep of the same run, plus the usual jitter slack.
+/// This gate compares two entries of the NEW file against each other,
+/// so it holds regardless of baseline hardware
+/// (see `docs/OBSERVABILITY.md`).
+const TELEMETRY_OVERHEAD: f64 = 0.02;
 
 fn die(msg: &str) -> ! {
     eprintln!("compare_bench: {msg}");
@@ -126,6 +132,34 @@ fn networks(doc: &Value) -> Vec<(String, &Value)> {
         .collect()
 }
 
+/// The recorder-overhead gate over the NEW file's own
+/// `day288-telemetry-{off,on}` pair (no baseline involved).
+fn telemetry_gate(doc: &Value, failures: &mut Vec<String>) {
+    for (net_name, net) in networks(doc) {
+        let rows = estimator_rows(net);
+        let find = |name: &str| rows.iter().find(|(n, _, _)| n == name).map(|(_, w, _)| *w);
+        let (Some(off_ms), Some(on_ms)) =
+            (find("day288-telemetry-off"), find("day288-telemetry-on"))
+        else {
+            continue;
+        };
+        let limit = off_ms * (1.0 + TELEMETRY_OVERHEAD) + WALL_SLACK_MS;
+        let overhead_pct = (on_ms / off_ms.max(1e-9) - 1.0) * 100.0;
+        let verdict = if on_ms > limit {
+            failures.push(format!(
+                "{net_name}: telemetry recorder overhead {overhead_pct:+.2}% \
+                 (off {off_ms:.1} ms, on {on_ms:.1} ms, limit {limit:.1} ms)"
+            ));
+            "RECORDER OVERHEAD"
+        } else {
+            "ok (recorder ≤ 2% + slack)"
+        };
+        println!(
+            "  {net_name:<8} telemetry recorder      {off_ms:>9.3} -> {on_ms:>9.3} ms ({overhead_pct:>+5.2}%)  {verdict}"
+        );
+    }
+}
+
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut drift = 1.0f64;
@@ -146,8 +180,8 @@ fn main() {
         }
     }
     let mut paths = paths.into_iter();
-    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR7.json".to_string());
-    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let new_doc = load(&new_path);
     let base_doc = load(&base_path);
     if drift > 1.0 {
@@ -160,6 +194,7 @@ fn main() {
     let base_nets = networks(&base_doc);
     let mut failures: Vec<String> = Vec::new();
     let mut compared = 0usize;
+    telemetry_gate(&new_doc, &mut failures);
 
     for (net_name, new_net) in networks(&new_doc) {
         let Some((_, base_net)) = base_nets.iter().find(|(n, _)| *n == net_name) else {

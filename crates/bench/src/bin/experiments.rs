@@ -19,16 +19,20 @@
 //! the equivalent per-interval cold loop — the full suite at Europe
 //! scale plus the second-order-solver rows at America scale; the
 //! `day288f-*` rows repeat the Europe day under the canonical fault
-//! plan through the degradation ladder), and writes `BENCH_PR7.json`
-//! (schema documented in `docs/PERF.md`). The `compare_bench` bin
-//! diffs it against the committed prior baseline and fails CI on
-//! wall-time or MRE regressions. `fault-matrix` is the
+//! plan through the degradation ladder, and the `day288-telemetry-*`
+//! rows price the daemon's per-tick recorder path), and writes
+//! `BENCH_PR8.json` (schema documented in `docs/PERF.md`). The
+//! `compare_bench` bin diffs it against the committed prior baseline
+//! and fails CI on wall-time or MRE regressions. `fault-matrix` is the
 //! degraded-pipeline acceptance gate (zero `Err`s, degradation
 //! reports, bounded MRE inflation); `daemon-matrix` is the supervised
 //! sharded-runtime gate (Europe day sharded 4 ways under the canonical
 //! fault plan plus injected worker kills — zero dropped ticks, every
 //! restart surfaced, aggregates bit-identical to the in-process
-//! engine). None of the three is part of `all`.
+//! engine); `live-matrix` is the live-serving gate (a protocol client
+//! polls a TOML-configured chaos run mid-flight and every mid-run
+//! answer must be bit-identical to the post-run answer, with telemetry
+//! counters reconciling exactly). None of the four is part of `all`.
 
 use tm_bench::{europe, networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
 use tm_core::cao::CaoEstimator;
@@ -53,6 +57,16 @@ fn main() {
     }
     if args.iter().any(|a| a == "daemon-matrix") {
         daemon_matrix_mode();
+        return;
+    }
+    if args.iter().any(|a| a == "live-matrix") {
+        let config = args
+            .iter()
+            .position(|a| a == "live-matrix")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("configs/live_matrix.toml");
+        live_matrix_mode(config);
         return;
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -753,13 +767,13 @@ fn table2() {
 /// suite at Europe scale, the second-order rows at America scale),
 /// and the sparse engine against its densified baseline on the
 /// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
-/// `BENCH_PR7.json` in the working directory. Schema: `docs/PERF.md`.
+/// `BENCH_PR8.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR7.json — compare_bench diffs it against BENCH_PR6.json",
+        "writes BENCH_PR8.json — compare_bench diffs it against BENCH_PR7.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -1011,6 +1025,59 @@ fn bench_mode() {
             }
         }
 
+        // Telemetry overhead rows: the same warm full-day sweep with and
+        // without the daemon worker's per-tick record path (queue-delay
+        // + per-method solve histograms + tick counters). The recorder
+        // is wait-free atomics over a fixed bucket layout, so the `on`
+        // row must stay within 2% of `off` — compare_bench pins that
+        // contract (docs/OBSERVABILITY.md).
+        if name == "europe" {
+            use tm_daemon::telemetry::TelemetryHub;
+            let ms: Vec<Method> = ["gravity", "entropy:lambda=1e3", "vardi:w=0.01,window=50"]
+                .iter()
+                .map(|s| s.parse().expect("valid spec"))
+                .collect();
+            let labels: Vec<String> = ms.iter().map(|m| m.label()).collect();
+            let day = d.series.len();
+            let sweep = |hub: Option<&TelemetryHub>| {
+                let recorder = hub.map(|h| h.recorder(0));
+                let mut engine =
+                    StreamEngine::for_dataset(&d, &ms, StreamMode::Warm).expect("engine builds");
+                for k in 0..day {
+                    let dispatched = std::time::Instant::now();
+                    let loads = d.interval_loads(k).expect("in range");
+                    let tick = engine.push_interval(loads).expect("clean day");
+                    if let Some(r) = &recorder {
+                        r.record_queue_delay(dispatched.elapsed().as_nanos() as u64);
+                        r.record_solves(&tick.solve_ns);
+                        r.count_tick(tick.degradation.is_some(), 0, 0);
+                    }
+                }
+            };
+            let off_ms = perf::time_ms(3, || sweep(None));
+            let hub = TelemetryHub::new(&["bench".to_string()], &labels);
+            let on_ms = perf::time_ms(3, || sweep(Some(&hub)));
+            let overhead_pct = (on_ms / off_ms.max(1e-9) - 1.0) * 100.0;
+            println!(
+                "    day288-telemetry             off {off_ms:>9.1} ms  on {on_ms:>9.1} ms  overhead {overhead_pct:>+5.2}%"
+            );
+            estimators.push(Value::Map(vec![
+                (
+                    "name".to_string(),
+                    Value::Str("day288-telemetry-off".to_string()),
+                ),
+                ("wall_ms".to_string(), Value::F64(off_ms)),
+            ]));
+            estimators.push(Value::Map(vec![
+                (
+                    "name".to_string(),
+                    Value::Str("day288-telemetry-on".to_string()),
+                ),
+                ("wall_ms".to_string(), Value::F64(on_ms)),
+                ("overhead_pct".to_string(), Value::F64(overhead_pct)),
+            ]));
+        }
+
         // Sparse-vs-dense ablations on the two hot paths the sparse-first
         // engine targets: the entropy SPG loop and the Gram-CD NNLS.
         let stot = p.total_traffic().max(f64::MIN_POSITIVE);
@@ -1077,7 +1144,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(6)),
+        ("pr".to_string(), Value::I64(8)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -1090,8 +1157,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR7.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR7.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR8.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR8.json ({} bytes)", json.len());
 }
 
 /// `fault-matrix` mode: the degraded-pipeline CI gate.
@@ -1355,6 +1422,210 @@ fn daemon_matrix_mode() {
         println!("daemon-matrix: sharded day bit-identical, no ticks lost, all restarts surfaced");
     } else {
         eprintln!("daemon-matrix: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `live-matrix` mode: the live-serving CI gate.
+///
+/// Drives the checked-in `configs/live_matrix.toml` run (European day,
+/// canonical data faults, one worker kill per shard) with the
+/// coordinator publishing a [`tm_daemon::LiveView`] after every
+/// lockstep round, while this thread acts as the protocol client: it
+/// polls `status` and `stats` at every published epoch and captures the
+/// `estimate` answer for every 16th tick of every shard × method the
+/// moment the tick appears. After the run it fails unless
+///
+/// 1. no interval was lost and exactly the scheduled restarts happened,
+/// 2. every mid-run answer is **bit-identical** to the post-run answer
+///    to the identical request (the live view and the finished report
+///    share one answering code path), and
+/// 3. the telemetry counters reconcile exactly with the final
+///    [`tm_daemon::DaemonReport`] aggregates.
+fn live_matrix_mode(config_path: &str) {
+    use std::time::Duration;
+    use tm_daemon::telemetry::LiveBus;
+    use tm_daemon::{handle_line, handle_line_view, load_daemon_toml, Daemon};
+
+    const POLL_EVERY: usize = 16;
+
+    banner(
+        "live-matrix: live telemetry & query-service gate",
+        "mid-run answers bit-identical to post-run; counters reconcile",
+    );
+    let parsed = load_daemon_toml(config_path).expect("valid live-matrix config");
+    let labels: Vec<String> = parsed.config.methods.iter().map(|m| m.label()).collect();
+    let expected_restarts = parsed.config.chaos.restart_events();
+    let range = parsed.tick_range();
+    let day = range.end;
+    println!(
+        "  {}: {} shards x {} ticks, {} methods, {} chaos events",
+        config_path,
+        parsed.shards.len(),
+        day,
+        labels.len(),
+        parsed.config.chaos.events.len()
+    );
+
+    let daemon = Daemon::new(parsed.shards, parsed.config).expect("valid roster");
+    let bus = std::sync::Arc::new(LiveBus::new());
+    let bus_for_run = std::sync::Arc::clone(&bus);
+    let t0 = std::time::Instant::now();
+    let runner = std::thread::spawn(move || daemon.run_live(range, &bus_for_run));
+
+    // The polling client: capture each sampled tick's estimate answers
+    // from the FIRST view that contains the tick.
+    let mut failures: Vec<String> = Vec::new();
+    let mut recorded: Vec<(String, String)> = Vec::new();
+    let mut queried: std::collections::HashSet<(String, usize)> = std::collections::HashSet::new();
+    let mut seen_epoch = 0u64;
+    let mut polls = 0usize;
+    loop {
+        let Some(view) = bus.wait_past(seen_epoch, Duration::from_secs(600)) else {
+            failures.push(format!("live bus stalled at epoch {seen_epoch}"));
+            break;
+        };
+        if view.epoch <= seen_epoch {
+            failures.push(format!(
+                "epoch regressed: {} after {seen_epoch}",
+                view.epoch
+            ));
+        }
+        seen_epoch = view.epoch;
+        polls += 1;
+        for request in [r#"{"cmd":"status"}"#, r#"{"cmd":"stats"}"#] {
+            let response = handle_line_view(&view, request);
+            if !response.contains(r#""ok":true"#) {
+                failures.push(format!("{request} failed mid-run: {response}"));
+            }
+        }
+        for shard in &view.shards {
+            for (tick, slot) in shard.ticks.iter().enumerate() {
+                if tick % POLL_EVERY != 0
+                    || slot.is_none()
+                    || !queried.insert((shard.name.clone(), tick))
+                {
+                    continue;
+                }
+                for label in &labels {
+                    let request = format!(
+                        r#"{{"cmd":"estimate","shard":"{}","tick":{tick},"method":"{label}"}}"#,
+                        shard.name
+                    );
+                    let response = handle_line_view(&view, &request);
+                    recorded.push((request, response));
+                }
+            }
+        }
+        if !view.running {
+            break;
+        }
+    }
+
+    let report = runner
+        .join()
+        .expect("runner thread")
+        .expect("supervised run");
+    let wall = t0.elapsed().as_secs_f64();
+
+    if !report.all_completed() {
+        failures.push("a shard was quarantined".into());
+    }
+    for shard in &report.shards {
+        if shard.lost_ticks() != 0 {
+            failures.push(format!(
+                "{}: {} ticks dropped",
+                shard.name,
+                shard.lost_ticks()
+            ));
+        }
+    }
+    if report.total_restarts() != expected_restarts {
+        failures.push(format!(
+            "expected {expected_restarts} restarts, saw {}",
+            report.total_restarts()
+        ));
+    }
+
+    // Gate 2: bit-identity of every captured mid-run answer.
+    let expected_samples = report.shards.len() * day.div_ceil(POLL_EVERY) * labels.len();
+    if recorded.len() != expected_samples {
+        failures.push(format!(
+            "captured {} live answers, expected {expected_samples}",
+            recorded.len()
+        ));
+    }
+    let mut diverged = 0usize;
+    for (request, live) in &recorded {
+        if live != &handle_line(&report, request) {
+            diverged += 1;
+        }
+    }
+    if diverged > 0 {
+        failures.push(format!(
+            "{diverged}/{} mid-run answers differ from post-run",
+            recorded.len()
+        ));
+    }
+
+    // Gate 3: counters reconcile exactly with the report aggregates.
+    let totals = report.telemetry.total_counters();
+    let completed: u64 = report
+        .shards
+        .iter()
+        .map(|s| s.completed_ticks() as u64)
+        .sum();
+    let degraded: u64 = report
+        .shards
+        .iter()
+        .map(|s| s.degraded_ticks() as u64)
+        .sum();
+    let (mut imputed, mut masked) = (0u64, 0u64);
+    for shard in &report.shards {
+        for tick in shard.ticks.iter().flatten() {
+            if let Some(d) = &tick.degradation {
+                imputed += d.imputed_rows.len() as u64;
+                masked += d.masked_rows.len() as u64;
+            }
+        }
+    }
+    for (what, got, want) in [
+        ("ticks", totals.ticks, completed),
+        ("degraded_ticks", totals.degraded_ticks, degraded),
+        ("imputed_rows", totals.imputed_rows, imputed),
+        ("masked_rows", totals.masked_rows, masked),
+        ("restarts", totals.restarts, report.total_restarts() as u64),
+    ] {
+        if got != want {
+            failures.push(format!("counter {what}: telemetry {got} != report {want}"));
+        }
+    }
+
+    println!(
+        "  wall {wall:.1}s, {polls} polls, {} live answers captured, {} restarts",
+        recorded.len(),
+        report.total_restarts()
+    );
+    for (label, hist) in report.telemetry.merged_solve() {
+        let sm = hist.summary();
+        println!(
+            "  solve {label:<24} n={:<5} p50 {:>8.2} ms  p99 {:>8.2} ms  max {:>8.2} ms",
+            sm.count,
+            sm.p50_ns as f64 / 1e6,
+            sm.p99_ns as f64 / 1e6,
+            sm.max_ns as f64 / 1e6,
+        );
+    }
+    if failures.is_empty() {
+        println!(
+            "live-matrix: zero lost intervals, {} mid-run answers bit-identical, counters reconcile",
+            recorded.len()
+        );
+    } else {
+        eprintln!("live-matrix: {} failure(s):", failures.len());
         for f in &failures {
             eprintln!("  {f}");
         }

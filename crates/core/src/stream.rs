@@ -101,6 +101,13 @@ pub struct StreamTick {
     /// clean tick (the overwhelmingly common case). See
     /// `docs/ROBUSTNESS.md` for the ladder.
     pub degradation: Option<TickDegradation>,
+    /// Per-method solve wall time in nanoseconds, aligned with
+    /// [`StreamEngine::labels`]. Estimates are untouched by the timer —
+    /// bit-identity contracts are unaffected — and the two `Instant`
+    /// reads per method cost nanoseconds against millisecond solves, so
+    /// the clock is always on. Telemetry consumers (the daemon's
+    /// histogram recorders) read it; everyone else may ignore it.
+    pub solve_ns: Vec<u64>,
 }
 
 /// Typed per-tick degradation report: which input rows were repaired or
@@ -499,7 +506,9 @@ impl StreamEngine {
         let mut win_sys: Vec<(usize, MeasurementSystem<'static>)> = Vec::new();
 
         let mut estimates = Vec::with_capacity(methods.len());
+        let mut solve_ns = Vec::with_capacity(methods.len());
         for slot in methods.iter_mut() {
+            let started = std::time::Instant::now();
             let (out, _) = solve_slot(
                 slot,
                 anchor,
@@ -513,6 +522,7 @@ impl StreamEngine {
                 &mut win_sys,
                 &TickCtx::Clean,
             );
+            solve_ns.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
             estimates.push(out);
         }
 
@@ -520,6 +530,7 @@ impl StreamEngine {
             interval,
             estimates,
             degradation: None,
+            solve_ns,
         })
     }
 
@@ -674,8 +685,10 @@ impl StreamEngine {
         let mut win_sys: Vec<(usize, MeasurementSystem<'static>)> = Vec::new();
 
         let mut estimates = Vec::with_capacity(methods.len());
+        let mut solve_ns = Vec::with_capacity(methods.len());
         let mut method_reports: Vec<MethodDegradation> = Vec::new();
         for (i, slot) in methods.iter_mut().enumerate() {
+            let started = std::time::Instant::now();
             let solved = catch_unwind(AssertUnwindSafe(|| {
                 solve_slot(
                     slot,
@@ -691,6 +704,7 @@ impl StreamEngine {
                     &ctx,
                 )
             }));
+            solve_ns.push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
             let (mut out, mut action) = match solved {
                 Ok(v) => v,
                 Err(payload) => {
@@ -806,6 +820,7 @@ impl StreamEngine {
             interval,
             estimates,
             degradation,
+            solve_ns,
         })
     }
 

@@ -1,4 +1,14 @@
 //! Daemon and shard configuration.
+//!
+//! Programmatic assembly lives here ([`ShardSpec`], [`DaemonConfig`]);
+//! declarative assembly lives in [`toml`], which parses a small,
+//! validated TOML dialect into the same two types with field-level
+//! error paths — checked-in config files drive `examples/daemon_day.rs`
+//! and the CI live matrix.
+
+pub mod toml;
+
+pub use toml::{load_daemon_toml, parse_daemon_toml, DaemonTomlConfig};
 
 use std::time::Duration;
 

@@ -1,0 +1,751 @@
+//! Declarative daemon runs: a small, validated TOML dialect →
+//! [`ShardSpec`]s + [`DaemonConfig`].
+//!
+//! The workspace vendors its external dependencies, so this is a
+//! hand-rolled parser for exactly the subset the daemon's configs
+//! need: `[table]` and `[[array-of-table]]` sections, `key = value`
+//! pairs with basic strings, integers, floats, booleans and flat
+//! arrays, and `#` comments. Anything outside the subset is a hard
+//! error with a line number — configs are checked in and gate CI, so
+//! "parse loosely" would just move the failure somewhere worse.
+//!
+//! Validation errors carry **field paths** (`shard[1].seed`,
+//! `daemon.methods[0]`, …) so a broken config names the exact key to
+//! fix. The schema (documented with a checked-in example in
+//! `docs/OBSERVABILITY.md`):
+//!
+//! ```toml
+//! [daemon]
+//! methods = ["gravity", "entropy:lambda=1e3"]  # required, non-empty
+//! mode = "warm"                 # warm|cold            (default warm)
+//! ticks = 48                    # run length           (default: full day)
+//! heartbeat_timeout_ms = 2000   #                      (default 2000)
+//! checkpoint_every = 8          # 0 disables           (default 8)
+//! max_restarts = 3              #                      (default 3)
+//! restart_backoff_ms = 25       #                      (default 25)
+//! collection_seed = 7           #                      (default 7)
+//!
+//! [[shard]]                     # at least one
+//! name = "west"                 # required, unique
+//! topology = "tiny"             # required: europe|america|tiny
+//! seed = 11                     # required
+//! n_samples = 48                # optional day-length override
+//! fault = "canonical"           # optional: canonical|none (default none)
+//! fault_seed = 21               # optional (default: the shard seed)
+//!
+//! [[chaos]]                     # optional, repeatable
+//! shard = 0                     # roster index
+//! tick = 12
+//! kind = "kill"                 # kill|hang|delay
+//! ```
+//!
+//! `fault = "canonical"` resolves the canonical
+//! [`LoadFaultPlan`] against the
+//! shard's actual link count by generating its topology (topologies are
+//! seeded with the shard seed, exactly as
+//! [`tm_traffic::EvalDataset::generate`] does, so the plan lands on the
+//! same mesh the feed will use).
+
+use std::time::Duration;
+
+use tm_core::measure::LoadFaultPlan;
+use tm_core::stream::StreamMode;
+use tm_core::Method;
+use tm_traffic::DatasetSpec;
+
+use crate::chaos::ChaosPlan;
+use crate::config::{DaemonConfig, ShardSpec};
+use crate::error::{DaemonError, Result};
+
+/// A parsed declarative run: roster + policy + optional run length.
+#[derive(Debug, Clone)]
+pub struct DaemonTomlConfig {
+    /// Shard roster, in file order.
+    pub shards: Vec<ShardSpec>,
+    /// Supervision policy.
+    pub config: DaemonConfig,
+    /// Run length in ticks (`None` = every shard's full day).
+    pub ticks: Option<usize>,
+}
+
+impl DaemonTomlConfig {
+    /// The tick range a run should cover: `0..ticks`, defaulting to
+    /// the shortest shard day when no explicit length was given.
+    pub fn tick_range(&self) -> std::ops::Range<usize> {
+        let day = self
+            .shards
+            .iter()
+            .map(|s| s.spec.n_samples)
+            .min()
+            .unwrap_or(0);
+        0..self.ticks.unwrap_or(day)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexing/parsing of the TOML subset
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Section {
+    name: String,
+    /// `[[name]]` (repeatable) vs `[name]` (singleton).
+    array: bool,
+    line: usize,
+    entries: Vec<(String, TomlValue, usize)>,
+}
+
+fn err(message: impl Into<String>) -> DaemonError {
+    DaemonError::InvalidConfig(message.into())
+}
+
+/// Strip a trailing `#`-comment that is outside any string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_string(src: &str, line_no: usize) -> Result<(String, usize)> {
+    debug_assert!(src.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = src.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, other)) => {
+                    return Err(err(format!(
+                        "line {line_no}: unsupported escape `\\{other}` in string"
+                    )))
+                }
+                None => break,
+            },
+            other => out.push(other),
+        }
+    }
+    Err(err(format!("line {line_no}: unterminated string")))
+}
+
+/// Parse one value expression; must consume the whole (trimmed) input.
+fn parse_value(src: &str, line_no: usize) -> Result<TomlValue> {
+    let (value, used) = parse_value_prefix(src, line_no)?;
+    if !src[used..].trim().is_empty() {
+        return Err(err(format!(
+            "line {line_no}: trailing content `{}` after value",
+            src[used..].trim()
+        )));
+    }
+    Ok(value)
+}
+
+/// Parse a value at the start of `src`, returning it and the bytes
+/// consumed.
+fn parse_value_prefix(src: &str, line_no: usize) -> Result<(TomlValue, usize)> {
+    let trimmed = src.trim_start();
+    let offset = src.len() - trimmed.len();
+    if trimmed.starts_with('"') {
+        let (text, used) = parse_string(trimmed, line_no)?;
+        return Ok((TomlValue::Str(text), offset + used));
+    }
+    if let Some(body) = trimmed.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = body;
+        let mut consumed = 1usize;
+        loop {
+            let ws = rest.len() - rest.trim_start().len();
+            rest = rest.trim_start();
+            consumed += ws;
+            if let Some(tail) = rest.strip_prefix(']') {
+                let _ = tail;
+                consumed += 1;
+                return Ok((TomlValue::Array(items), offset + consumed));
+            }
+            if rest.is_empty() {
+                return Err(err(format!("line {line_no}: unterminated array")));
+            }
+            let (item, used) = parse_value_prefix(rest, line_no)?;
+            items.push(item);
+            rest = &rest[used..];
+            consumed += used;
+            let ws = rest.len() - rest.trim_start().len();
+            rest = rest.trim_start();
+            consumed += ws;
+            if let Some(tail) = rest.strip_prefix(',') {
+                rest = tail;
+                consumed += 1;
+            } else if !rest.starts_with(']') {
+                return Err(err(format!(
+                    "line {line_no}: expected `,` or `]` in array, found `{}`",
+                    rest.chars().next().unwrap_or(' ')
+                )));
+            }
+        }
+    }
+    // Scalar token: up to whitespace, comma or closing bracket.
+    let end = trimmed
+        .find(|c: char| c.is_whitespace() || c == ',' || c == ']')
+        .unwrap_or(trimmed.len());
+    let token = &trimmed[..end];
+    if token.is_empty() {
+        return Err(err(format!("line {line_no}: expected a value")));
+    }
+    let value = match token {
+        "true" => TomlValue::Bool(true),
+        "false" => TomlValue::Bool(false),
+        _ => {
+            if let Ok(i) = token.parse::<i64>() {
+                TomlValue::Int(i)
+            } else if let Ok(f) = token.parse::<f64>() {
+                TomlValue::Float(f)
+            } else {
+                return Err(err(format!(
+                    "line {line_no}: cannot parse `{token}` (bare strings must be quoted)"
+                )));
+            }
+        }
+    };
+    Ok((value, offset + end))
+}
+
+fn parse_sections(text: &str) -> Result<Vec<Section>> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let name = header.trim();
+            if name.is_empty() {
+                return Err(err(format!("line {line_no}: empty section name")));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                array: true,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = header.trim();
+            if name.is_empty() {
+                return Err(err(format!("line {line_no}: empty section name")));
+            }
+            if sections.iter().any(|s| s.name == name && !s.array) {
+                return Err(err(format!("line {line_no}: duplicate section `[{name}]`")));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                array: false,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value_src)) = line.split_once('=') else {
+            return Err(err(format!(
+                "line {line_no}: expected `key = value` or a `[section]` header"
+            )));
+        };
+        let key = key.trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(err(format!("line {line_no}: invalid key `{key}`")));
+        }
+        let value = parse_value(value_src.trim(), line_no)?;
+        let Some(section) = sections.last_mut() else {
+            return Err(err(format!(
+                "line {line_no}: key `{key}` before any [section] (top-level keys \
+                 are not part of the schema — put it under [daemon])"
+            )));
+        };
+        if section.entries.iter().any(|(k, _, _)| k == key) {
+            return Err(err(format!(
+                "line {line_no}: duplicate key `{key}` in [{}]",
+                section.name
+            )));
+        }
+        section.entries.push((key.to_string(), value, line_no));
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------
+// Schema mapping with field paths
+// ---------------------------------------------------------------------
+
+impl Section {
+    fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v)
+    }
+
+    fn reject_unknown(&self, path: &str, allowed: &[&str]) -> Result<()> {
+        for (key, _, line) in &self.entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(err(format!(
+                    "{path}.{key} (line {line}): unknown key (expected one of: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn req_str(&self, path: &str, key: &str) -> Result<&str> {
+        match self.get(key) {
+            Some(TomlValue::Str(s)) => Ok(s),
+            Some(other) => Err(err(format!(
+                "{path}.{key}: expected a string, got {}",
+                other.type_name()
+            ))),
+            None => Err(err(format!("{path}.{key}: required key missing"))),
+        }
+    }
+
+    fn opt_str(&self, path: &str, key: &str) -> Result<Option<&str>> {
+        match self.get(key) {
+            Some(TomlValue::Str(s)) => Ok(Some(s)),
+            Some(other) => Err(err(format!(
+                "{path}.{key}: expected a string, got {}",
+                other.type_name()
+            ))),
+            None => Ok(None),
+        }
+    }
+
+    fn opt_u64(&self, path: &str, key: &str) -> Result<Option<u64>> {
+        match self.get(key) {
+            Some(TomlValue::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+            Some(TomlValue::Int(i)) => Err(err(format!(
+                "{path}.{key}: expected a non-negative integer, got {i}"
+            ))),
+            Some(other) => Err(err(format!(
+                "{path}.{key}: expected an integer, got {}",
+                other.type_name()
+            ))),
+            None => Ok(None),
+        }
+    }
+
+    fn req_u64(&self, path: &str, key: &str) -> Result<u64> {
+        self.opt_u64(path, key)?
+            .ok_or_else(|| err(format!("{path}.{key}: required key missing")))
+    }
+
+    fn opt_usize(&self, path: &str, key: &str) -> Result<Option<usize>> {
+        Ok(self.opt_u64(path, key)?.map(|v| v as usize))
+    }
+}
+
+fn map_daemon(section: &Section) -> Result<(DaemonConfig, Option<usize>)> {
+    const ALLOWED: &[&str] = &[
+        "methods",
+        "mode",
+        "ticks",
+        "heartbeat_timeout_ms",
+        "checkpoint_every",
+        "max_restarts",
+        "restart_backoff_ms",
+        "collection_seed",
+    ];
+    let path = "daemon";
+    section.reject_unknown(path, ALLOWED)?;
+
+    let methods_value = section
+        .get("methods")
+        .ok_or_else(|| err(format!("{path}.methods: required key missing")))?;
+    let TomlValue::Array(items) = methods_value else {
+        return Err(err(format!(
+            "{path}.methods: expected an array of method spec strings, got {}",
+            methods_value.type_name()
+        )));
+    };
+    let mut methods: Vec<Method> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let TomlValue::Str(spec) = item else {
+            return Err(err(format!(
+                "{path}.methods[{i}]: expected a string, got {}",
+                item.type_name()
+            )));
+        };
+        methods.push(
+            spec.parse()
+                .map_err(|e| err(format!("{path}.methods[{i}]: `{spec}`: {e}")))?,
+        );
+    }
+
+    let mut config = DaemonConfig::new(methods);
+    match section.opt_str(path, "mode")? {
+        None | Some("warm") => config.mode = StreamMode::Warm,
+        Some("cold") => config.mode = StreamMode::Cold,
+        Some(other) => {
+            return Err(err(format!(
+                "{path}.mode: expected \"warm\" or \"cold\", got \"{other}\""
+            )))
+        }
+    }
+    if let Some(ms) = section.opt_u64(path, "heartbeat_timeout_ms")? {
+        if ms == 0 {
+            return Err(err(format!(
+                "{path}.heartbeat_timeout_ms: must be positive"
+            )));
+        }
+        config.heartbeat_timeout = Duration::from_millis(ms);
+    }
+    if let Some(every) = section.opt_usize(path, "checkpoint_every")? {
+        config.checkpoint_every = every;
+    }
+    if let Some(max) = section.opt_usize(path, "max_restarts")? {
+        config.max_restarts = max;
+    }
+    if let Some(ms) = section.opt_u64(path, "restart_backoff_ms")? {
+        config.restart_backoff = Duration::from_millis(ms);
+    }
+    if let Some(seed) = section.opt_u64(path, "collection_seed")? {
+        config.collection_seed = seed;
+    }
+    let ticks = section.opt_usize(path, "ticks")?;
+    if ticks == Some(0) {
+        return Err(err(format!("{path}.ticks: must be positive when given")));
+    }
+    Ok((config, ticks))
+}
+
+fn map_shard(section: &Section, index: usize) -> Result<ShardSpec> {
+    const ALLOWED: &[&str] = &[
+        "name",
+        "topology",
+        "seed",
+        "n_samples",
+        "fault",
+        "fault_seed",
+    ];
+    let path = format!("shard[{index}]");
+    section.reject_unknown(&path, ALLOWED)?;
+
+    let name = section.req_str(&path, "name")?;
+    if name.is_empty() {
+        return Err(err(format!("{path}.name: must not be empty")));
+    }
+    let mut spec = match section.req_str(&path, "topology")? {
+        "europe" => DatasetSpec::europe(),
+        "america" => DatasetSpec::america(),
+        "tiny" => DatasetSpec::tiny(),
+        other => {
+            return Err(err(format!(
+                "{path}.topology: expected \"europe\", \"america\" or \"tiny\", got \"{other}\""
+            )))
+        }
+    };
+    let seed = section.req_u64(&path, "seed")?;
+    if let Some(n) = section.opt_usize(&path, "n_samples")? {
+        if n == 0 {
+            return Err(err(format!("{path}.n_samples: must be positive")));
+        }
+        spec.n_samples = n;
+    }
+    let mut shard = ShardSpec::new(name, spec, seed);
+    match section.opt_str(&path, "fault")? {
+        None | Some("none") => {}
+        Some("canonical") => {
+            // Resolve the canonical plan against the shard's actual
+            // mesh: topologies are seeded with the shard seed (the
+            // same derivation EvalDataset::generate uses).
+            let topology = tm_net::generators::generate(&shard.spec.backbone, seed)
+                .map_err(|e| err(format!("{path}.fault: cannot size topology: {e}")))?;
+            let fault_seed = section.opt_u64(&path, "fault_seed")?.unwrap_or(seed);
+            shard = shard.with_fault_plan(LoadFaultPlan::canonical(topology.n_links(), fault_seed));
+        }
+        Some(other) => {
+            return Err(err(format!(
+                "{path}.fault: expected \"canonical\" or \"none\", got \"{other}\""
+            )))
+        }
+    }
+    if shard.fault_plan.is_none() && section.get("fault_seed").is_some() {
+        return Err(err(format!(
+            "{path}.fault_seed: only meaningful with fault = \"canonical\""
+        )));
+    }
+    Ok(shard)
+}
+
+fn map_chaos(section: &Section, index: usize, plan: ChaosPlan) -> Result<ChaosPlan> {
+    const ALLOWED: &[&str] = &["shard", "tick", "kind"];
+    let path = format!("chaos[{index}]");
+    section.reject_unknown(&path, ALLOWED)?;
+    let shard = section.req_u64(&path, "shard")? as usize;
+    let tick = section.req_u64(&path, "tick")? as usize;
+    Ok(match section.req_str(&path, "kind")? {
+        "kill" => plan.with_kill(shard, tick),
+        "hang" => plan.with_hang(shard, tick),
+        "delay" => plan.with_delay(shard, tick),
+        other => {
+            return Err(err(format!(
+                "{path}.kind: expected \"kill\", \"hang\" or \"delay\", got \"{other}\""
+            )))
+        }
+    })
+}
+
+/// Parse a declarative daemon run. Returns validated [`ShardSpec`]s and
+/// a [`DaemonConfig`] (the same validation [`crate::Daemon::new`]
+/// performs runs here too, so a config that parses will also
+/// construct).
+pub fn parse_daemon_toml(text: &str) -> Result<DaemonTomlConfig> {
+    let sections = parse_sections(text)?;
+    let mut daemon_section: Option<&Section> = None;
+    let mut shard_sections: Vec<&Section> = Vec::new();
+    let mut chaos_sections: Vec<&Section> = Vec::new();
+    for section in &sections {
+        match (section.name.as_str(), section.array) {
+            ("daemon", false) => daemon_section = Some(section),
+            ("daemon", true) => {
+                return Err(err(format!(
+                    "line {}: [daemon] is a single table, not [[daemon]]",
+                    section.line
+                )))
+            }
+            ("shard", true) => shard_sections.push(section),
+            ("chaos", true) => chaos_sections.push(section),
+            ("shard" | "chaos", false) => {
+                return Err(err(format!(
+                    "line {}: [{}] must be an array-of-tables: [[{}]]",
+                    section.line, section.name, section.name
+                )))
+            }
+            (other, _) => {
+                return Err(err(format!(
+                    "line {}: unknown section `{other}` (expected daemon, shard or chaos)",
+                    section.line
+                )))
+            }
+        }
+    }
+    let daemon_section =
+        daemon_section.ok_or_else(|| err("missing required [daemon] section".to_string()))?;
+    if shard_sections.is_empty() {
+        return Err(err("at least one [[shard]] section is required".to_string()));
+    }
+
+    let (mut config, ticks) = map_daemon(daemon_section)?;
+    let shards: Vec<ShardSpec> = shard_sections
+        .iter()
+        .enumerate()
+        .map(|(i, s)| map_shard(s, i))
+        .collect::<Result<_>>()?;
+    for (i, section) in chaos_sections.iter().enumerate() {
+        let shard = section.req_u64(&format!("chaos[{i}]"), "shard")? as usize;
+        if shard >= shards.len() {
+            return Err(err(format!(
+                "chaos[{i}].shard: index {shard} out of range ({} shards)",
+                shards.len()
+            )));
+        }
+        config.chaos = map_chaos(section, i, config.chaos)?;
+    }
+    if let Some(t) = ticks {
+        for shard in &shards {
+            if t > shard.spec.n_samples {
+                return Err(err(format!(
+                    "daemon.ticks: {t} exceeds shard `{}`'s day length ({})",
+                    shard.name, shard.spec.n_samples
+                )));
+            }
+        }
+    }
+    config.validate(&shards)?;
+    Ok(DaemonTomlConfig {
+        shards,
+        config,
+        ticks,
+    })
+}
+
+/// [`parse_daemon_toml`] over a file on disk.
+pub fn load_daemon_toml(path: impl AsRef<std::path::Path>) -> Result<DaemonTomlConfig> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    parse_daemon_toml(&text).map_err(|e| match e {
+        DaemonError::InvalidConfig(m) => err(format!("{}: {m}", path.display())),
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosKind;
+
+    const GOOD: &str = r#"
+# A two-shard smoke run.
+[daemon]
+methods = ["gravity", "entropy:lambda=1e3"]
+mode = "warm"
+ticks = 8
+heartbeat_timeout_ms = 4000
+checkpoint_every = 4
+max_restarts = 2
+restart_backoff_ms = 5
+collection_seed = 11
+
+[[shard]]
+name = "west"
+topology = "tiny"
+seed = 3
+
+[[shard]]
+name = "east"
+topology = "tiny"
+seed = 4
+fault = "canonical"
+fault_seed = 9
+
+[[chaos]]
+shard = 0
+tick = 3
+kind = "kill"
+"#;
+
+    #[test]
+    fn good_config_round_trips() {
+        let parsed = parse_daemon_toml(GOOD).expect("parses");
+        assert_eq!(parsed.shards.len(), 2);
+        assert_eq!(parsed.shards[0].name, "west");
+        assert!(parsed.shards[0].fault_plan.is_none());
+        let plan = parsed.shards[1].fault_plan.as_ref().expect("fault plan");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(parsed.config.methods.len(), 2);
+        assert_eq!(parsed.config.heartbeat_timeout, Duration::from_millis(4000));
+        assert_eq!(parsed.config.checkpoint_every, 4);
+        assert_eq!(parsed.config.max_restarts, 2);
+        assert_eq!(parsed.ticks, Some(8));
+        assert_eq!(parsed.tick_range(), 0..8);
+        assert_eq!(parsed.config.chaos.events.len(), 1);
+        assert_eq!(parsed.config.chaos.events[0].kind, ChaosKind::Kill);
+        assert_eq!(parsed.config.chaos.events[0].at_tick, 3);
+    }
+
+    #[test]
+    fn canonical_fault_matches_topology_link_count() {
+        let parsed = parse_daemon_toml(GOOD).unwrap();
+        let shard = &parsed.shards[1];
+        let topo = tm_net::generators::generate(&shard.spec.backbone, shard.seed).unwrap();
+        let plan = shard.fault_plan.as_ref().unwrap();
+        assert_eq!(plan.corrupt[0].link, topo.n_links() - 1);
+    }
+
+    #[test]
+    fn errors_carry_field_paths() {
+        let cases: &[(&str, &str)] = &[
+            (
+                &GOOD.replace("topology = \"tiny\"", "topology = \"mars\""),
+                "shard[0].topology",
+            ),
+            (&GOOD.replace("seed = 3", "seed = -3"), "shard[0].seed"),
+            (
+                &GOOD.replace("\"gravity\"", "\"warpdrive\""),
+                "daemon.methods[0]",
+            ),
+            (
+                &GOOD.replace("kind = \"kill\"", "kind = \"nap\""),
+                "chaos[0].kind",
+            ),
+            (
+                &GOOD.replace("name = \"east\"", "name = \"west\""),
+                "unique",
+            ),
+            (&GOOD.replace("ticks = 8", "ticks = 500"), "daemon.ticks"),
+        ];
+        for (text, needle) in cases {
+            let e = parse_daemon_toml(text).expect_err("must fail");
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        let extra_key = GOOD.replace("mode = \"warm\"", "modee = \"warm\"");
+        let msg = parse_daemon_toml(&extra_key).unwrap_err().to_string();
+        assert!(msg.contains("daemon.modee"), "{msg}");
+
+        let extra_section = format!("{GOOD}\n[rocket]\nfuel = 1\n");
+        let msg = parse_daemon_toml(&extra_section).unwrap_err().to_string();
+        assert!(msg.contains("unknown section `rocket`"), "{msg}");
+    }
+
+    #[test]
+    fn syntax_errors_name_the_line() {
+        for bad in [
+            "[daemon]\nmethods = [\"gravity\"\n",
+            "[daemon]\nmethods = \"gravity",
+            "key = 1\n",
+            "[daemon]\nmethods = [\"gravity\"] trailing\n",
+        ] {
+            let msg = parse_daemon_toml(bad).unwrap_err().to_string();
+            assert!(msg.contains("line"), "`{msg}` should carry a line number");
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_coexist() {
+        let text = r##"
+[daemon]
+methods = ["gravity"]   # the "simple" one
+[[shard]]
+name = "we#st"          # hash inside a string survives
+topology = "tiny"
+seed = 1
+"##;
+        let parsed = parse_daemon_toml(text).expect("parses");
+        assert_eq!(parsed.shards[0].name, "we#st");
+    }
+}

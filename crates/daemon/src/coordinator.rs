@@ -1,5 +1,6 @@
 //! The supervising coordinator: lockstep dispatch, liveness deadlines,
-//! checkpoint/replay restarts, and quarantine.
+//! checkpoint/replay restarts, quarantine — and, since the telemetry
+//! subsystem, live publication of the in-flight run.
 //!
 //! One [`Daemon`] owns a shard roster and a policy. [`Daemon::run`]
 //! materializes every shard's feed (one shared collection run — see
@@ -21,18 +22,36 @@
 //! 4. **Drain** — at end of day every surviving worker is asked to
 //!    drain and joined; hung zombies are abandoned (their epoch's
 //!    channels are dead, so nothing they do can be observed).
+//!
+//! ## Live serving
+//!
+//! [`Daemon::run_live`] additionally publishes a [`LiveView`] through
+//! a [`LiveBus`] after every lockstep round
+//! (and once more, final, after the drain). Tick results are held as
+//! `Arc<StreamTick>`, so a publish clones pointers, not estimates, and
+//! [`crate::protocol`] can answer `status`/`health`/`estimate`/`stats`/
+//! `whatif` from the in-flight run. Telemetry flows through one
+//! [`ShardRecorder`] per shard, shared across that shard's worker
+//! epochs: workers record latencies, the coordinator counts facts
+//! (accepted ticks, degradations, restarts) — each fact once, on first
+//! acceptance, so the counters reconcile exactly with the finished
+//! [`DaemonReport`].
 
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::Duration;
 
 use tm_core::checkpoint::EngineCheckpoint;
-use tm_core::stream::{StreamEngine, StreamTick};
+use tm_core::stream::{StreamEngine, StreamMode, StreamTick};
+use tm_traffic::EvalDataset;
 
 use crate::chaos::ChaosState;
 use crate::config::{DaemonConfig, ShardSpec};
 use crate::error::Result;
 use crate::feed::{build_feeds, ShardFeed};
+use crate::telemetry::{
+    LiveBus, LivePhase, LiveShard, LiveView, ShardRecorder, TelemetryHub, TelemetrySnapshot,
+};
 use crate::worker::{spawn_worker, FromWorker, ToWorker, WorkerHandle, WorkerPolicy};
 
 /// Why a worker epoch ended and a restart was attempted.
@@ -103,8 +122,12 @@ pub struct ShardReport {
     /// diagnostic).
     pub lost_polls: usize,
     /// Per-tick results, indexed by feed tick. `None` only for ticks a
-    /// quarantined shard never processed.
-    pub ticks: Vec<Option<StreamTick>>,
+    /// quarantined shard never processed. Shared (`Arc`) with any
+    /// live views published during the run.
+    pub ticks: Vec<Option<Arc<StreamTick>>>,
+    /// The shard's region dataset — kept so post-run `whatif` queries
+    /// can project link loads through the shard's routing.
+    pub dataset: Arc<EvalDataset>,
 }
 
 impl ShardReport {
@@ -135,11 +158,17 @@ pub struct DaemonReport {
     pub labels: Vec<String>,
     /// Feed length every shard was driven over.
     pub ticks: usize,
+    /// Streaming mode the shards ran in.
+    pub mode: StreamMode,
     /// Per-shard reports, in roster order.
     pub shards: Vec<ShardReport>,
     /// Chaos events that never fired (e.g. scheduled past a
     /// quarantine).
     pub unfired_chaos: usize,
+    /// Final telemetry cut: latency histograms + counters per shard.
+    /// The counters reconcile exactly with this report's aggregates
+    /// (same facts, counted once each).
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl DaemonReport {
@@ -156,6 +185,39 @@ impl DaemonReport {
     /// Whether every shard completed its whole feed.
     pub fn all_completed(&self) -> bool {
         self.shards.iter().all(|s| s.state == ShardState::Completed)
+    }
+
+    /// Rebuild the final [`LiveView`] of this run — the same structure
+    /// the protocol serves mid-run, so post-run queries go through one
+    /// code path and mid-run answers for completed ticks are
+    /// bit-identical to post-run ones.
+    pub fn live_view(&self) -> LiveView {
+        LiveView {
+            epoch: 0,
+            labels: self.labels.clone(),
+            ticks: self.ticks,
+            uptime_ticks: self.ticks,
+            mode: self.mode,
+            running: false,
+            unfired_chaos: self.unfired_chaos,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| LiveShard {
+                    name: s.name.clone(),
+                    phase: match s.state {
+                        ShardState::Completed => LivePhase::Completed,
+                        ShardState::Quarantined { at_tick } => LivePhase::Quarantined { at_tick },
+                    },
+                    restarts: s.restarts.clone(),
+                    last_checkpoint: s.last_checkpoint,
+                    lost_polls: s.lost_polls,
+                    ticks: s.ticks.clone(),
+                    dataset: Arc::clone(&s.dataset),
+                })
+                .collect(),
+            telemetry: self.telemetry.clone(),
+        }
     }
 }
 
@@ -178,8 +240,10 @@ struct ShardRuntime {
     /// Confirmed ticks since the newest checkpoint, in delivery order —
     /// the replay schedule for the next restart.
     replay: Vec<usize>,
-    ticks: Vec<Option<StreamTick>>,
+    ticks: Vec<Option<Arc<StreamTick>>>,
     quarantined_at: Option<usize>,
+    /// Telemetry recorder shared with every worker epoch of this shard.
+    recorder: Arc<ShardRecorder>,
 }
 
 impl Daemon {
@@ -197,6 +261,21 @@ impl Daemon {
     /// Run `ticks` of every shard's day under supervision and return
     /// the aggregated global view.
     pub fn run(&self, ticks: std::ops::Range<usize>) -> Result<DaemonReport> {
+        self.run_inner(ticks, None)
+    }
+
+    /// [`Self::run`], additionally publishing a live view through `bus`
+    /// after every lockstep round (and a final one after the drain) so
+    /// [`crate::protocol`] can serve the run while it streams.
+    pub fn run_live(&self, ticks: std::ops::Range<usize>, bus: &LiveBus) -> Result<DaemonReport> {
+        self.run_inner(ticks, Some(bus))
+    }
+
+    fn run_inner(
+        &self,
+        ticks: std::ops::Range<usize>,
+        live: Option<&LiveBus>,
+    ) -> Result<DaemonReport> {
         let n_ticks = ticks.len();
         let feeds = build_feeds(&self.shards, &self.config, ticks)?;
         let chaos = Arc::new(ChaosState::new(&self.config.chaos));
@@ -205,14 +284,26 @@ impl Daemon {
             heartbeat_timeout: self.config.heartbeat_timeout,
         };
 
-        let mut labels = Vec::new();
+        // Engines first (labels come from the first one), then the
+        // telemetry roster, then the workers holding their recorders.
+        let mut engines = Vec::with_capacity(feeds.len());
+        for feed in &feeds {
+            engines.push(build_engine(feed, &self.config)?);
+        }
+        let labels = engines.first().map(|e| e.labels()).unwrap_or_default();
+        let shard_names: Vec<String> = self.shards.iter().map(|s| s.name.clone()).collect();
+        let hub = TelemetryHub::new(&shard_names, &labels);
+
         let mut runtimes = Vec::with_capacity(feeds.len());
-        for (index, feed) in feeds.into_iter().enumerate() {
-            let engine = build_engine(&feed, &self.config)?;
-            if labels.is_empty() {
-                labels = engine.labels();
-            }
-            let handle = spawn_worker(index, engine, policy.clone(), Arc::clone(&chaos));
+        for (index, (feed, engine)) in feeds.into_iter().zip(engines).enumerate() {
+            let recorder = hub.recorder(index);
+            let handle = spawn_worker(
+                index,
+                engine,
+                policy.clone(),
+                Arc::clone(&chaos),
+                Arc::clone(&recorder),
+            );
             runtimes.push(ShardRuntime {
                 index,
                 feed,
@@ -223,6 +314,7 @@ impl Daemon {
                 replay: Vec::new(),
                 ticks: (0..n_ticks).map(|_| None).collect(),
                 quarantined_at: None,
+                recorder,
             });
         }
 
@@ -230,14 +322,37 @@ impl Daemon {
             for rt in &mut runtimes {
                 self.deliver(rt, k, &chaos, &policy)?;
             }
+            if let Some(bus) = live {
+                bus.publish(self.build_view(
+                    &runtimes,
+                    &labels,
+                    n_ticks,
+                    k + 1,
+                    chaos.unfired(),
+                    true,
+                    &hub,
+                ));
+            }
         }
         for rt in &mut runtimes {
             self.drain(rt);
+        }
+        if let Some(bus) = live {
+            bus.publish(self.build_view(
+                &runtimes,
+                &labels,
+                n_ticks,
+                n_ticks,
+                chaos.unfired(),
+                false,
+                &hub,
+            ));
         }
 
         Ok(DaemonReport {
             labels,
             ticks: n_ticks,
+            mode: self.config.mode,
             shards: self
                 .shards
                 .iter()
@@ -252,10 +367,55 @@ impl Daemon {
                     last_checkpoint: rt.checkpoint.map(|(t, _)| t),
                     lost_polls: rt.feed.lost_polls,
                     ticks: rt.ticks,
+                    dataset: Arc::clone(&rt.feed.dataset),
                 })
                 .collect(),
             unfired_chaos: chaos.unfired(),
+            telemetry: hub.snapshot(),
         })
+    }
+
+    /// Assemble one live view from the in-flight runtimes. Cheap by
+    /// construction: tick results are `Arc`-shared, telemetry is a
+    /// wait-free snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn build_view(
+        &self,
+        runtimes: &[ShardRuntime],
+        labels: &[String],
+        n_ticks: usize,
+        uptime_ticks: usize,
+        unfired_chaos: usize,
+        running: bool,
+        hub: &TelemetryHub,
+    ) -> LiveView {
+        LiveView {
+            epoch: 0, // assigned by the bus at publish
+            labels: labels.to_vec(),
+            ticks: n_ticks,
+            uptime_ticks,
+            mode: self.config.mode,
+            running,
+            unfired_chaos,
+            shards: runtimes
+                .iter()
+                .zip(&self.shards)
+                .map(|(rt, spec)| LiveShard {
+                    name: spec.name.clone(),
+                    phase: match rt.quarantined_at {
+                        Some(at_tick) => LivePhase::Quarantined { at_tick },
+                        None if running => LivePhase::Running,
+                        None => LivePhase::Completed,
+                    },
+                    restarts: rt.restarts.clone(),
+                    last_checkpoint: rt.checkpoint.as_ref().map(|(t, _)| *t),
+                    lost_polls: rt.feed.lost_polls,
+                    ticks: rt.ticks.clone(),
+                    dataset: Arc::clone(&rt.feed.dataset),
+                })
+                .collect(),
+            telemetry: hub.snapshot(),
+        }
     }
 
     /// Deliver one tick to a shard, restarting its worker as many times
@@ -276,6 +436,7 @@ impl Daemon {
             let msg = ToWorker::Tick {
                 tick,
                 loads: Box::new(rt.feed.dirty[tick].clone()),
+                sent: std::time::Instant::now(),
             };
             let cause = if handle.to.send(msg).is_err() {
                 FailureCause::Panic // worker died before the dispatch
@@ -313,6 +474,7 @@ impl Daemon {
             from_checkpoint: rt.checkpoint.as_ref().map(|(t, _)| *t),
             replayed: rt.replay.len(),
         });
+        rt.recorder.count_restart();
         if rt.restarts.len() > self.config.max_restarts {
             rt.quarantined_at = Some(failed_tick);
             return Ok(false);
@@ -329,6 +491,7 @@ impl Daemon {
             engine,
             policy.clone(),
             Arc::clone(chaos),
+            Arc::clone(&rt.recorder),
         ));
         // Replay the confirmed ticks the checkpoint doesn't cover.
         // Results overwrite the previous epoch's (the warm resume is
@@ -390,7 +553,20 @@ fn await_tick(
         match handle.from.recv_timeout(timeout) {
             Ok(FromWorker::Heartbeat) => {}
             Ok(FromWorker::TickDone { tick: t, result }) => {
-                rt.ticks[t] = Some(*result);
+                // Count each fact once, on first acceptance: a replay
+                // after a restart overwrites the slot bit-identically
+                // and must not inflate the counters (they reconcile
+                // exactly with the final report).
+                if rt.ticks[t].is_none() {
+                    let (imputed, masked) = result
+                        .degradation
+                        .as_ref()
+                        .map(|d| (d.imputed_rows.len() as u64, d.masked_rows.len() as u64))
+                        .unwrap_or((0, 0));
+                    rt.recorder
+                        .count_tick(result.degradation.is_some(), imputed, masked);
+                }
+                rt.ticks[t] = Some(Arc::from(result));
                 rt.replay.push(t);
                 if t == tick {
                     return Ok(());

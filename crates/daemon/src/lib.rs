@@ -16,7 +16,8 @@
 //!
 //! * [`config`] — shard roster ([`ShardSpec`]) and supervision policy
 //!   ([`DaemonConfig`]: heartbeat deadline, checkpoint cadence, restart
-//!   budget, backoff);
+//!   budget, backoff), plus [`config::toml`], a validated declarative
+//!   TOML front-end with field-level error paths;
 //! * [`feed`] — one shared collection run over the concatenated shard
 //!   meshes, fanned back out per shard and converted to interval loads;
 //! * `worker` (private) — the supervised worker thread: heartbeats,
@@ -28,8 +29,18 @@
 //!   workers at chosen `(shard, tick)` coordinates — the process-level
 //!   mirror of the data-level `LoadFaultPlan` and collection-level
 //!   `FaultPlan`;
-//! * [`protocol`] — `status` / `health` / `estimate` queries, one JSON
-//!   line per request and response, with JSON/CSV/text estimate sinks.
+//! * [`telemetry`] — lock-light log-bucketed latency histograms
+//!   ([`telemetry::LogHistogram`]) and monotonic counters recorded per
+//!   shard as the day streams, plus the epoch-versioned [`LiveView`] /
+//!   [`LiveBus`] pair the coordinator publishes after every lockstep
+//!   round;
+//! * [`protocol`] — `status` / `health` / `estimate` / `stats` /
+//!   `whatif` queries, one JSON line per request and response, with
+//!   JSON/CSV/text estimate sinks. [`serve_live`] answers from the
+//!   in-flight run's newest [`LiveView`]; [`serve`] answers from a
+//!   finished [`DaemonReport`]. Both share one code path, so a mid-run
+//!   answer for a completed tick is bit-identical to the post-run
+//!   answer.
 //!
 //! ## Guarantees
 //!
@@ -51,11 +62,16 @@ pub mod coordinator;
 pub mod error;
 pub mod feed;
 pub mod protocol;
+pub mod telemetry;
 mod worker;
 
 pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
-pub use config::{DaemonConfig, ShardSpec};
+pub use config::{load_daemon_toml, parse_daemon_toml, DaemonConfig, DaemonTomlConfig, ShardSpec};
 pub use coordinator::{Daemon, DaemonReport, FailureCause, RestartEvent, ShardReport, ShardState};
 pub use error::{DaemonError, Result};
 pub use feed::{build_feeds, ShardFeed};
-pub use protocol::{handle_line, serve};
+pub use protocol::{handle_line, handle_line_view, serve, serve_live};
+pub use telemetry::{
+    HistogramSummary, LiveBus, LivePhase, LiveShard, LiveView, LogHistogram, TelemetryCounters,
+    TelemetrySnapshot,
+};

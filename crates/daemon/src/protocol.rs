@@ -1,29 +1,50 @@
 //! The daemon's query protocol: one JSON object per line in, one JSON
 //! object per line out.
 //!
-//! Grammar (see `docs/DAEMON.md` for the full reference):
+//! Grammar (see `docs/DAEMON.md` and `docs/OBSERVABILITY.md` for the
+//! full reference):
 //!
 //! ```text
-//! request  = status | health | estimate | shutdown
+//! request  = status | health | estimate | stats | whatif | shutdown
 //! status   = {"cmd":"status"}
 //! health   = {"cmd":"health"} | {"cmd":"health","shard":NAME}
 //! estimate = {"cmd":"estimate","shard":NAME,"tick":K,"method":LABEL
 //!             [,"format":"json"|"csv"|"text"]}
+//! stats    = {"cmd":"stats"[,"shard":NAME][,"format":"json"|"text"]}
+//! whatif   = {"cmd":"whatif","shard":NAME,"method":LABEL[,"tick":K]
+//!             [,"scale":S][,"deltas":[{"pair":P,"mbps":D},...]]}
 //! shutdown = {"cmd":"shutdown"}            (serve loop only)
 //! ```
 //!
 //! Every response is an object with an `"ok"` boolean; failures carry
-//! an `"error"` string and never kill the connection. [`handle_line`]
-//! is the pure request→response function; [`serve`] wraps it in a
-//! blocking single-threaded TCP accept loop (the daemon's query load
-//! is one operator, not a fleet).
+//! an `"error"` string and never kill the connection.
+//!
+//! Since the telemetry subsystem, every verb is answered against a
+//! [`LiveView`] — the epoch-versioned cut the coordinator publishes
+//! after each lockstep round. [`handle_line_view`] is the pure
+//! request→response function over a view; [`handle_line`] keeps the
+//! PR 7 surface by rebuilding the final view from a finished
+//! [`DaemonReport`] ([`DaemonReport::live_view`]), so mid-run and
+//! post-run answers share one code path and are bit-identical for any
+//! completed tick. [`serve`] (finished report) and [`serve_live`]
+//! (in-flight [`LiveBus`]) wrap the handlers in a blocking
+//! single-threaded TCP accept loop (the daemon's query load is one
+//! operator, not a fleet).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 
 use serde::Value;
+use tm_core::stream::StreamMode;
 
-use crate::coordinator::{DaemonReport, ShardReport, ShardState};
+use crate::coordinator::DaemonReport;
+use crate::telemetry::{
+    HistogramSummary, LiveBus, LivePhase, LiveShard, LiveView, ShardTelemetry, TelemetryCounters,
+};
+
+/// The verbs [`handle_line_view`] understands, quoted by unknown-verb
+/// errors so a confused client learns the menu.
+const SUPPORTED_CMDS: &str = "status, health, estimate, stats, whatif, shutdown";
 
 /// Build a JSON object value.
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -45,6 +66,11 @@ fn n(value: usize) -> Value {
     Value::I64(value as i64)
 }
 
+/// Shorthand for a u64 counter value.
+fn u(value: u64) -> Value {
+    Value::U64(value)
+}
+
 fn error(message: impl Into<String>) -> Value {
     obj(vec![("ok", Value::Bool(false)), ("error", s(message))])
 }
@@ -64,17 +90,41 @@ fn usize_field(request: &Value, name: &str) -> Option<usize> {
     }
 }
 
-fn state_value(state: &ShardState) -> Value {
-    match state {
-        ShardState::Completed => s("completed"),
-        ShardState::Quarantined { at_tick } => s(format!("quarantined@{at_tick}")),
+fn f64_field(request: &Value, name: &str) -> Option<f64> {
+    match request.field(name) {
+        Ok(Value::F64(x)) => Some(*x),
+        Ok(Value::I64(x)) => Some(*x as f64),
+        Ok(Value::U64(x)) => Some(*x as f64),
+        _ => None,
     }
 }
 
-/// Answer one request line against a finished run's report. Always
+fn phase_value(phase: &LivePhase) -> Value {
+    match phase {
+        LivePhase::Running => s("running"),
+        LivePhase::Completed => s("completed"),
+        LivePhase::Quarantined { at_tick } => s(format!("quarantined@{at_tick}")),
+    }
+}
+
+fn mode_str(mode: StreamMode) -> &'static str {
+    match mode {
+        StreamMode::Cold => "cold",
+        StreamMode::Warm => "warm",
+    }
+}
+
+/// Answer one request line against a finished run's report — the PR 7
+/// surface, now a thin wrapper that rebuilds the run's final
+/// [`LiveView`] and delegates to [`handle_line_view`].
+pub fn handle_line(report: &DaemonReport, line: &str) -> String {
+    handle_line_view(&report.live_view(), line)
+}
+
+/// Answer one request line against a (live or final) view. Always
 /// returns a single JSON line; malformed input yields an `"ok":false`
 /// response rather than an error.
-pub fn handle_line(report: &DaemonReport, line: &str) -> String {
+pub fn handle_line_view(view: &LiveView, line: &str) -> String {
     let request: Value = match serde_json::from_str(line.trim()) {
         Ok(v) => v,
         Err(e) => {
@@ -83,41 +133,64 @@ pub fn handle_line(report: &DaemonReport, line: &str) -> String {
         }
     };
     let response = match str_field(&request, "cmd") {
-        Some("status") => status(report),
-        Some("health") => health(report, str_field(&request, "shard")),
-        Some("estimate") => estimate(report, &request),
+        Some("status") => status(view),
+        Some("health") => health(view, str_field(&request, "shard")),
+        Some("estimate") => estimate(view, &request),
+        Some("stats") => stats(view, &request),
+        Some("whatif") => whatif(view, &request),
         Some("shutdown") => obj(vec![("ok", Value::Bool(true)), ("bye", Value::Bool(true))]),
-        Some(other) => error(format!("unknown cmd `{other}`")),
-        None => error("missing string field `cmd`"),
+        Some(other) => error(format!(
+            "unknown cmd `{other}` (supported: {SUPPORTED_CMDS})"
+        )),
+        None => error(format!(
+            "missing string field `cmd` (supported: {SUPPORTED_CMDS})"
+        )),
     };
     serde_json::to_string(&response).expect("response serialization is infallible")
 }
 
-fn status(report: &DaemonReport) -> Value {
-    let shards: Vec<Value> = report
+fn status(view: &LiveView) -> Value {
+    let shards: Vec<Value> = view
         .shards
         .iter()
         .map(|shard| {
             obj(vec![
                 ("name", s(&shard.name)),
-                ("state", state_value(&shard.state)),
+                ("state", phase_value(&shard.phase)),
                 ("completed_ticks", n(shard.completed_ticks())),
-                ("lost_ticks", n(shard.lost_ticks())),
+                ("lost_ticks", n(shard.ticks.len() - shard.completed_ticks())),
                 ("degraded_ticks", n(shard.degraded_ticks())),
                 ("restarts", n(shard.restarts.len())),
+                (
+                    "progress",
+                    obj(vec![
+                        ("done", n(shard.completed_ticks())),
+                        ("total", n(shard.ticks.len())),
+                    ]),
+                ),
             ])
         })
         .collect();
     obj(vec![
         ("ok", Value::Bool(true)),
-        ("ticks", n(report.ticks)),
-        ("labels", Value::Seq(report.labels.iter().map(s).collect())),
-        ("total_restarts", n(report.total_restarts())),
+        ("ticks", n(view.ticks)),
+        ("labels", Value::Seq(view.labels.iter().map(s).collect())),
+        ("total_restarts", n(view.total_restarts())),
         ("shards", Value::Seq(shards)),
+        ("uptime_ticks", n(view.uptime_ticks)),
+        (
+            "mode",
+            s(if view.running {
+                format!("streaming-{}", mode_str(view.mode))
+            } else {
+                format!("finished-{}", mode_str(view.mode))
+            }),
+        ),
+        ("epoch", u(view.epoch)),
     ])
 }
 
-fn shard_health(shard: &ShardReport) -> Value {
+fn shard_health(shard: &LiveShard) -> Value {
     let restarts: Vec<Value> = shard
         .restarts
         .iter()
@@ -147,7 +220,7 @@ fn shard_health(shard: &ShardReport) -> Value {
         .collect();
     obj(vec![
         ("name", s(&shard.name)),
-        ("state", state_value(&shard.state)),
+        ("state", phase_value(&shard.phase)),
         ("restarts", Value::Seq(restarts)),
         (
             "last_checkpoint",
@@ -158,9 +231,9 @@ fn shard_health(shard: &ShardReport) -> Value {
     ])
 }
 
-fn health(report: &DaemonReport, shard: Option<&str>) -> Value {
+fn health(view: &LiveView, shard: Option<&str>) -> Value {
     match shard {
-        Some(name) => match report.shard(name) {
+        Some(name) => match view.shard(name) {
             Some(found) => {
                 let mut fields = vec![("ok".to_string(), Value::Bool(true))];
                 if let Value::Map(inner) = shard_health(found) {
@@ -172,17 +245,17 @@ fn health(report: &DaemonReport, shard: Option<&str>) -> Value {
         },
         None => obj(vec![
             ("ok", Value::Bool(true)),
-            ("total_restarts", n(report.total_restarts())),
-            ("unfired_chaos", n(report.unfired_chaos)),
+            ("total_restarts", n(view.total_restarts())),
+            ("unfired_chaos", n(view.unfired_chaos)),
             (
                 "shards",
-                Value::Seq(report.shards.iter().map(shard_health).collect()),
+                Value::Seq(view.shards.iter().map(shard_health).collect()),
             ),
         ]),
     }
 }
 
-fn estimate(report: &DaemonReport, request: &Value) -> Value {
+fn estimate(view: &LiveView, request: &Value) -> Value {
     let Some(shard_name) = str_field(request, "shard") else {
         return error("estimate requires a string `shard`");
     };
@@ -193,10 +266,10 @@ fn estimate(report: &DaemonReport, request: &Value) -> Value {
         return error("estimate requires a string `method`");
     };
     let format = str_field(request, "format").unwrap_or("json");
-    let Some(shard) = report.shard(shard_name) else {
+    let Some(shard) = view.shard(shard_name) else {
         return error(format!("unknown shard `{shard_name}`"));
     };
-    let Some(slot) = report.labels.iter().position(|l| l == method) else {
+    let Some(slot) = view.labels.iter().position(|l| l == method) else {
         return error(format!("unknown method `{method}`"));
     };
     if tick >= shard.ticks.len() {
@@ -206,9 +279,12 @@ fn estimate(report: &DaemonReport, request: &Value) -> Value {
         ));
     }
     let Some(stream_tick) = &shard.ticks[tick] else {
-        return error(format!(
-            "tick {tick} was lost to quarantine on shard `{shard_name}`"
-        ));
+        let verdict = if matches!(shard.phase, LivePhase::Running) {
+            "not delivered yet"
+        } else {
+            "was lost to quarantine"
+        };
+        return error(format!("tick {tick} {verdict} on shard `{shard_name}`"));
     };
     let demands = match &stream_tick.estimates[slot] {
         Some(Ok(estimate)) => &estimate.demands,
@@ -266,10 +342,324 @@ fn estimate(report: &DaemonReport, request: &Value) -> Value {
     }
 }
 
+/// One histogram summary as a JSON object (durations in nanoseconds;
+/// `max`/`mean` exact, quantiles within the bucket layout's ≤ 3.125%
+/// relative error — see `docs/OBSERVABILITY.md`).
+fn summary_value(summary: &HistogramSummary) -> Value {
+    obj(vec![
+        ("count", u(summary.count)),
+        ("p50_ns", u(summary.p50_ns)),
+        ("p90_ns", u(summary.p90_ns)),
+        ("p99_ns", u(summary.p99_ns)),
+        ("max_ns", u(summary.max_ns)),
+        ("mean_ns", Value::F64(summary.mean_ns)),
+    ])
+}
+
+fn counters_value(counters: &TelemetryCounters) -> Value {
+    obj(vec![
+        ("ticks", u(counters.ticks)),
+        ("degraded_ticks", u(counters.degraded_ticks)),
+        ("imputed_rows", u(counters.imputed_rows)),
+        ("masked_rows", u(counters.masked_rows)),
+        ("restarts", u(counters.restarts)),
+        ("checkpoints", u(counters.checkpoints)),
+    ])
+}
+
+fn shard_stats_value(shard: &ShardTelemetry) -> Value {
+    let solve: Vec<Value> = shard
+        .solve
+        .iter()
+        .map(|(label, hist)| {
+            let mut fields = vec![("method".to_string(), s(label))];
+            if let Value::Map(inner) = summary_value(&hist.summary()) {
+                fields.extend(inner);
+            }
+            Value::Map(fields)
+        })
+        .collect();
+    obj(vec![
+        ("name", s(&shard.name)),
+        ("counters", counters_value(&shard.counters)),
+        ("queue_delay", summary_value(&shard.queue_delay.summary())),
+        ("checkpoint", summary_value(&shard.checkpoint.summary())),
+        ("solve", Value::Seq(solve)),
+    ])
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn stats_text(view: &LiveView, shards: &[&ShardTelemetry]) -> String {
+    let mut text = format!(
+        "telemetry @ epoch {} ({}/{} rounds)\n",
+        view.epoch, view.uptime_ticks, view.ticks
+    );
+    text.push_str("global solve walls:\n");
+    for (label, hist) in view.telemetry.merged_solve() {
+        let sm = hist.summary();
+        text.push_str(&format!(
+            "  {label:<22} n={:<6} p50 {:>9.3} ms  p90 {:>9.3} ms  p99 {:>9.3} ms  max {:>9.3} ms\n",
+            sm.count,
+            ms(sm.p50_ns),
+            ms(sm.p90_ns),
+            ms(sm.p99_ns),
+            ms(sm.max_ns),
+        ));
+    }
+    for shard in shards {
+        let c = &shard.counters;
+        text.push_str(&format!(
+            "shard {}: ticks={} degraded={} imputed={} masked={} restarts={} checkpoints={}\n",
+            shard.name,
+            c.ticks,
+            c.degraded_ticks,
+            c.imputed_rows,
+            c.masked_rows,
+            c.restarts,
+            c.checkpoints,
+        ));
+        let qd = shard.queue_delay.summary();
+        let ck = shard.checkpoint.summary();
+        text.push_str(&format!(
+            "  queue delay: n={} p50 {:.3} ms p99 {:.3} ms max {:.3} ms\n",
+            qd.count,
+            ms(qd.p50_ns),
+            ms(qd.p99_ns),
+            ms(qd.max_ns)
+        ));
+        text.push_str(&format!(
+            "  checkpoint:  n={} p50 {:.3} ms p99 {:.3} ms max {:.3} ms\n",
+            ck.count,
+            ms(ck.p50_ns),
+            ms(ck.p99_ns),
+            ms(ck.max_ns)
+        ));
+    }
+    text
+}
+
+fn stats(view: &LiveView, request: &Value) -> Value {
+    let shards: Vec<&ShardTelemetry> = match str_field(request, "shard") {
+        Some(name) => match view.telemetry.shard(name) {
+            Some(found) => vec![found],
+            None => return error(format!("unknown shard `{name}`")),
+        },
+        None => view.telemetry.shards.iter().collect(),
+    };
+    let format = str_field(request, "format").unwrap_or("json");
+    let header = vec![
+        ("ok", Value::Bool(true)),
+        ("epoch", u(view.epoch)),
+        ("uptime_ticks", n(view.uptime_ticks)),
+        ("counters", counters_value(&view.telemetry.total_counters())),
+    ];
+    match format {
+        "json" => {
+            let global: Vec<Value> = view
+                .telemetry
+                .merged_solve()
+                .iter()
+                .map(|(label, hist)| {
+                    let mut fields = vec![("method".to_string(), s(label))];
+                    if let Value::Map(inner) = summary_value(&hist.summary()) {
+                        fields.extend(inner);
+                    }
+                    Value::Map(fields)
+                })
+                .collect();
+            let mut fields = header;
+            fields.push(("solve", Value::Seq(global)));
+            fields.push((
+                "shards",
+                Value::Seq(shards.iter().map(|t| shard_stats_value(t)).collect()),
+            ));
+            obj(fields)
+        }
+        "text" => {
+            let mut fields = header;
+            fields.push(("text", s(stats_text(view, &shards))));
+            obj(fields)
+        }
+        other => error(format!("unknown format `{other}` (expected json or text)")),
+    }
+}
+
+/// `whatif`: project interior link loads under a modified demand vector
+/// — a pure read over the shard's routing and one completed estimate;
+/// no solver state is touched.
+fn whatif(view: &LiveView, request: &Value) -> Value {
+    let Some(shard_name) = str_field(request, "shard") else {
+        return error("whatif requires a string `shard`");
+    };
+    let Some(method) = str_field(request, "method") else {
+        return error("whatif requires a string `method`");
+    };
+    let Some(shard) = view.shard(shard_name) else {
+        return error(format!("unknown shard `{shard_name}`"));
+    };
+    let Some(slot) = view.labels.iter().position(|l| l == method) else {
+        return error(format!("unknown method `{method}`"));
+    };
+    let tick = match usize_field(request, "tick") {
+        Some(t) => t,
+        None => match shard.latest_tick() {
+            Some(t) => t,
+            None => return error(format!("shard `{shard_name}` has no completed tick yet")),
+        },
+    };
+    if tick >= shard.ticks.len() {
+        return error(format!(
+            "tick {tick} out of range (day has {} ticks)",
+            shard.ticks.len()
+        ));
+    }
+    let Some(stream_tick) = &shard.ticks[tick] else {
+        return error(format!("tick {tick} has no result on shard `{shard_name}`"));
+    };
+    let demands = match &stream_tick.estimates[slot] {
+        Some(Ok(estimate)) => &estimate.demands,
+        Some(Err(e)) => return error(format!("method `{method}` failed at tick {tick}: {e}")),
+        None => {
+            return error(format!(
+                "method `{method}` produced no estimate at tick {tick}"
+            ))
+        }
+    };
+    let scale = f64_field(request, "scale").unwrap_or(1.0);
+    if !scale.is_finite() || scale < 0.0 {
+        return error("`scale` must be a finite non-negative number");
+    }
+
+    // Apply the scenario: uniform scaling, then per-pair deltas
+    // (clamped at zero — demands are volumes, not balances).
+    let mut scenario: Vec<f64> = demands.iter().map(|d| d * scale).collect();
+    let mut deltas_applied = 0usize;
+    if let Ok(deltas) = request.field("deltas") {
+        let Some(items) = deltas.as_seq() else {
+            return error("`deltas` must be an array of {pair, mbps} objects");
+        };
+        for item in items {
+            let Some(pair) = usize_field(item, "pair") else {
+                return error("each delta needs a non-negative integer `pair`");
+            };
+            let Some(mbps) = f64_field(item, "mbps") else {
+                return error("each delta needs a numeric `mbps`");
+            };
+            if pair >= scenario.len() {
+                return error(format!(
+                    "delta pair {pair} out of range ({} pairs)",
+                    scenario.len()
+                ));
+            }
+            scenario[pair] = (scenario[pair] + mbps).max(0.0);
+            deltas_applied += 1;
+        }
+    }
+
+    let routing = &shard.dataset.routing;
+    let (before, after) = match (
+        routing.interior_loads(demands),
+        routing.interior_loads(&scenario),
+    ) {
+        (Ok(b), Ok(a)) => (b, a),
+        (Err(e), _) | (_, Err(e)) => return error(format!("projection failed: {e}")),
+    };
+    let links = shard.dataset.topology.links();
+
+    // Rank links by projected utilization (load where capacity is
+    // unknown), report the top 5.
+    let mut ranked: Vec<usize> = (0..after.len()).collect();
+    let util = |loads: &[f64], l: usize| -> Option<f64> {
+        links
+            .get(l)
+            .filter(|link| link.capacity_mbps > 0.0)
+            .map(|link| loads[l] / link.capacity_mbps)
+    };
+    ranked.sort_by(|&a, &b| {
+        let ka = util(&after, a).unwrap_or(after[a]);
+        let kb = util(&after, b).unwrap_or(after[b]);
+        kb.total_cmp(&ka)
+    });
+    let top: Vec<Value> = ranked
+        .iter()
+        .take(5)
+        .map(|&l| {
+            let mut fields = vec![
+                ("link", n(l)),
+                ("before_mbps", Value::F64(before[l])),
+                ("after_mbps", Value::F64(after[l])),
+            ];
+            if let Some(link) = links.get(l) {
+                fields.push(("capacity_mbps", Value::F64(link.capacity_mbps)));
+            }
+            if let Some(u) = util(&after, l) {
+                fields.push(("util_after", Value::F64(u)));
+            }
+            obj(fields)
+        })
+        .collect();
+    let max_util_after =
+        (0..after.len())
+            .filter_map(|l| util(&after, l))
+            .fold(None::<f64>, |acc, u| match acc {
+                Some(m) => Some(m.max(u)),
+                None => Some(u),
+            });
+    let overloaded = (0..after.len())
+        .filter(|&l| util(&after, l).is_some_and(|u| u > 1.0))
+        .count();
+
+    let mut fields = vec![
+        ("ok", Value::Bool(true)),
+        ("shard", s(shard_name)),
+        ("method", s(method)),
+        ("tick", n(tick)),
+        ("scale", Value::F64(scale)),
+        ("deltas_applied", n(deltas_applied)),
+        ("pairs", n(scenario.len())),
+        ("total_mbps_before", Value::F64(demands.iter().sum())),
+        ("total_mbps_after", Value::F64(scenario.iter().sum())),
+        (
+            "max_link_mbps_before",
+            Value::F64(before.iter().copied().fold(0.0, f64::max)),
+        ),
+        (
+            "max_link_mbps_after",
+            Value::F64(after.iter().copied().fold(0.0, f64::max)),
+        ),
+        ("links", n(after.len())),
+        ("overloaded_links", n(overloaded)),
+        ("top", Value::Seq(top)),
+    ];
+    if let Some(u) = max_util_after {
+        fields.push(("max_util_after", Value::F64(u)));
+    }
+    obj(fields)
+}
+
 /// Serve [`handle_line`] over a TCP listener, one client at a time,
 /// until a client sends `{"cmd":"shutdown"}`. Connection drops move on
 /// to the next client; the listener itself erroring ends the loop.
 pub fn serve(report: &DaemonReport, listener: TcpListener) -> std::io::Result<()> {
+    let view = report.live_view();
+    serve_with(|line| handle_line_view(&view, line), listener)
+}
+
+/// Serve [`handle_line_view`] over a TCP listener against an in-flight
+/// run: every request is answered from the newest view published on
+/// `bus`, so answers advance as the coordinator streams the day. Same
+/// loop discipline as [`serve`].
+pub fn serve_live(bus: &LiveBus, listener: TcpListener) -> std::io::Result<()> {
+    serve_with(|line| handle_line_view(&bus.load(), line), listener)
+}
+
+fn serve_with(
+    mut respond: impl FnMut(&str) -> String,
+    listener: TcpListener,
+) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
         let mut reader = BufReader::new(stream.try_clone()?);
@@ -284,7 +674,7 @@ pub fn serve(report: &DaemonReport, listener: TcpListener) -> std::io::Result<()
             if line.trim().is_empty() {
                 continue;
             }
-            let response = handle_line(report, &line);
+            let response = respond(&line);
             if writeln!(writer, "{response}").is_err() {
                 break;
             }

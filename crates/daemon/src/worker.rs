@@ -13,16 +13,34 @@
 //! fresh channel pair (an *epoch*), so a zombie from a previous epoch
 //! can never confuse the supervisor — its sends land in a dropped
 //! receiver.
+//!
+//! ## Telemetry
+//!
+//! Each epoch shares its shard's [`ShardRecorder`] (recorders outlive
+//! epochs, so histograms span restarts). The worker records the three
+//! latency families — dispatch→dequeue queue delay, per-method solve
+//! wall time (from [`StreamTick::solve_ns`]), and checkpoint
+//! serialization cost — but only *after* the corresponding send is
+//! accepted by a live coordinator. A zombie (an abandoned hang, or a
+//! stale epoch racing its own teardown) fails that send and records
+//! nothing, so the histograms only ever describe work the supervisor
+//! actually heard about.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tm_core::stream::{StreamEngine, StreamTick};
 use tm_traffic::IntervalLoads;
 
 use crate::chaos::{ChaosKind, ChaosState};
+use crate::telemetry::ShardRecorder;
+
+/// Clamp a duration into the histograms' nanosecond domain.
+fn as_ns(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Coordinator → worker.
 pub(crate) enum ToWorker {
@@ -33,6 +51,8 @@ pub(crate) enum ToWorker {
         /// Interval loads (possibly dirty — the engine's quality ladder
         /// handles that).
         loads: Box<IntervalLoads>,
+        /// Dispatch instant, for the queue-delay histogram.
+        sent: Instant,
     },
     /// Finish up and exit cleanly.
     Drain,
@@ -83,6 +103,7 @@ pub(crate) fn spawn_worker(
     mut engine: StreamEngine,
     policy: WorkerPolicy,
     chaos: Arc<ChaosState>,
+    recorder: Arc<ShardRecorder>,
 ) -> WorkerHandle {
     let (to_tx, to_rx) = channel::<ToWorker>();
     let (from_tx, from_rx) = channel::<FromWorker>();
@@ -93,7 +114,8 @@ pub(crate) fn spawn_worker(
                     let _ = from_tx.send(FromWorker::Drained);
                     return;
                 }
-                ToWorker::Tick { tick, loads } => {
+                ToWorker::Tick { tick, loads, sent } => {
+                    let queue_ns = as_ns(sent.elapsed());
                     if from_tx.send(FromWorker::Heartbeat).is_err() {
                         return; // stale epoch: coordinator moved on
                     }
@@ -114,18 +136,25 @@ pub(crate) fn spawn_worker(
                     }
                     match engine.push_interval(*loads) {
                         Ok(result) => {
+                            let solve_ns = result.solve_ns.clone();
                             let done = FromWorker::TickDone {
                                 tick,
                                 result: Box::new(result),
                             };
                             if from_tx.send(done).is_err() {
-                                return;
+                                return; // zombie: record nothing
                             }
+                            recorder.record_queue_delay(queue_ns);
+                            recorder.record_solves(&solve_ns);
                             if policy.checkpoint_every > 0
                                 && (tick + 1) % policy.checkpoint_every == 0
                             {
+                                let started = Instant::now();
                                 let json = engine.checkpoint().to_json();
-                                let _ = from_tx.send(FromWorker::Checkpoint { tick, json });
+                                let ckpt_ns = as_ns(started.elapsed());
+                                if from_tx.send(FromWorker::Checkpoint { tick, json }).is_ok() {
+                                    recorder.record_checkpoint(ckpt_ns);
+                                }
                             }
                         }
                         Err(e) => {

@@ -1,0 +1,144 @@
+//! Telemetry properties: histogram recording is order-independent and
+//! merge-compatible, quantiles stay within the bucket layout's relative
+//! error of the exact order statistics, and [`LiveBus`] epochs are
+//! monotone under concurrent readers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tm_daemon::telemetry::{LiveBus, LiveView, LogHistogram};
+
+/// Record a slice of values into a fresh histogram.
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact order statistic the histogram's `quantile(q)` estimates:
+/// the value at 1-indexed rank `ceil(q * n)`, clamped to `[1, n]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Bucket width bound: values < 64 are exact; above that a bucket spans
+/// at most `lo/32`, so the midpoint is within `exact/32 + 1` of any
+/// value in the same bucket (the +1 absorbs integer midpoint rounding).
+fn tolerance(exact: u64) -> u64 {
+    exact / 32 + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn recording_order_is_irrelevant(values in collection::vec(0u64..1 << 50, 1..300)) {
+        let forward = hist_of(&values);
+        let mut reversed = values.clone();
+        reversed.reverse();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(forward.summary(), hist_of(&reversed).summary());
+        prop_assert_eq!(forward.summary(), hist_of(&sorted).summary());
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        (left, right) in (
+            collection::vec(0u64..1 << 50, 0..200),
+            collection::vec(0u64..1 << 50, 0..200),
+        )
+    ) {
+        let mut merged = hist_of(&left);
+        merged.merge(&hist_of(&right));
+        let mut concat = left.clone();
+        concat.extend_from_slice(&right);
+        prop_assert_eq!(merged.summary(), hist_of(&concat).summary());
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        values in collection::vec(0u64..1 << 44, 1..400),
+        qi in 0usize..3,
+    ) {
+        let q = [0.5, 0.9, 0.99][qi];
+        let hist = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let got = hist.quantile(q).expect("non-empty");
+        let tol = tolerance(exact);
+        prop_assert!(
+            got.abs_diff(exact) <= tol,
+            "q={} got={} exact={} tol={}", q, got, exact, tol
+        );
+        // Quantiles never escape the recorded range.
+        prop_assert!(got >= hist.min().unwrap() && got <= hist.max().unwrap());
+    }
+
+    #[test]
+    fn epochs_are_monotone_under_concurrent_readers(
+        (publishes, readers) in (1usize..40, 1usize..4)
+    ) {
+        let bus = Arc::new(LiveBus::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let bus = Arc::clone(&bus);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    let mut loads = 0usize;
+                    loop {
+                        let view = bus.load();
+                        assert!(
+                            view.epoch >= seen,
+                            "epoch went backwards: {} after {}",
+                            view.epoch,
+                            seen
+                        );
+                        // The fast path must agree with the slot.
+                        assert!(bus.epoch() >= view.epoch);
+                        // uptime_ticks is derived monotonically from the
+                        // publish sequence below, so it orders with epochs.
+                        assert_eq!(view.uptime_ticks as u64, view.epoch);
+                        seen = view.epoch;
+                        loads += 1;
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    loads
+                })
+            })
+            .collect();
+        for k in 0..publishes {
+            let mut view = LiveView::initial();
+            view.uptime_ticks = k + 1;
+            let epoch = bus.publish(view);
+            prop_assert_eq!(epoch, (k + 1) as u64, "publisher sees sequential epochs");
+        }
+        done.store(true, Ordering::Release);
+        for handle in handles {
+            prop_assert!(handle.join().expect("reader panicked (monotonicity violated)") > 0);
+        }
+        prop_assert_eq!(bus.epoch(), publishes as u64);
+        prop_assert_eq!(bus.load().uptime_ticks, publishes);
+    }
+}
+
+#[test]
+fn merge_is_commutative_on_a_fixed_example() {
+    let a = hist_of(&[0, 1, 63, 64, 65, 1 << 20, u64::MAX]);
+    let b = hist_of(&[7, 1 << 30, 1 << 47]);
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab.summary(), ba.summary());
+    assert_eq!(ab.count(), 10);
+}

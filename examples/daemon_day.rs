@@ -1,50 +1,73 @@
-//! A sharded day through the supervised estimation daemon: three
-//! regional shards, each with its own warm [`StreamEngine`] worker fed
-//! from one shared SNMP collection run, with one worker killed mid-day
-//! by the chaos harness. The coordinator restarts it from its last
-//! checkpoint, replays the uncovered ticks, and the aggregate loses
-//! nothing — then the run is queried through the daemon's line-JSON
-//! protocol, exactly as an operator would.
+//! A sharded day through the supervised estimation daemon, driven from
+//! the checked-in `configs/daemon_day.toml`: three regional shards,
+//! each with its own warm [`StreamEngine`] worker fed from one shared
+//! SNMP collection run, one worker killed mid-day by the chaos harness.
+//!
+//! The run goes through `Daemon::run_live`, so while the day streams a
+//! "client" thread polls the [`LiveBus`] and answers `status` and
+//! `estimate` queries from the in-flight view — the same answers, bit
+//! for bit, that the finished report gives afterwards. The final
+//! protocol session then exercises the full verb set, including the
+//! telemetry `stats` summaries and a `whatif` link-load projection.
 //!
 //! ```sh
 //! cargo run --release --example daemon_day
-//! cargo run --release --example daemon_day -- 120   # ticks to stream
+//! cargo run --release --example daemon_day -- path/to/other.toml
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use backbone_tm::daemon::{handle_line, ChaosPlan, Daemon, DaemonConfig, ShardSpec};
-use backbone_tm::prelude::*;
+use backbone_tm::daemon::telemetry::LiveBus;
+use backbone_tm::daemon::{handle_line, handle_line_view, load_daemon_toml, Daemon};
 
 fn main() {
-    let ticks: usize = std::env::args()
+    let config_path = std::env::args()
         .nth(1)
-        .map(|a| a.parse().unwrap_or_else(|e| panic!("bad tick count: {e}")))
-        .unwrap_or(48);
-
-    let methods: Vec<Method> = ["gravity", "entropy:lambda=1e3", "vardi:w=0.01,window=50"]
-        .iter()
-        .map(|s| s.parse().expect("valid spec"))
-        .collect();
-    let shards = vec![
-        ShardSpec::new("north", DatasetSpec::tiny(), 42),
-        ShardSpec::new("south", DatasetSpec::tiny(), 43),
-        ShardSpec::new("west", DatasetSpec::tiny(), 44),
-    ];
-    let kill_at = ticks / 2;
-    let mut config = DaemonConfig::new(methods);
-    config.heartbeat_timeout = Duration::from_secs(10);
-    config.checkpoint_every = 8;
-    config.chaos = ChaosPlan::none().with_kill(1, kill_at);
-
+        .unwrap_or_else(|| "configs/daemon_day.toml".to_string());
+    let parsed =
+        load_daemon_toml(&config_path).unwrap_or_else(|e| panic!("cannot load {config_path}: {e}"));
+    let range = parsed.tick_range();
+    let ticks = range.end;
     println!(
-        "daemon_day: {} shards x {ticks} ticks, worker `south` killed at tick {kill_at}",
-        shards.len()
+        "daemon_day: {} ({} shards x {ticks} ticks, {} methods, {} chaos events)",
+        config_path,
+        parsed.shards.len(),
+        parsed.config.methods.len(),
+        parsed.config.chaos.events.len()
     );
-    let daemon = Daemon::new(shards, config).expect("valid roster");
-    let report = daemon.run(0..ticks).expect("supervised run");
 
-    println!("\nsupervision summary");
+    let daemon = Daemon::new(parsed.shards, parsed.config).expect("valid roster");
+    let bus = Arc::new(LiveBus::new());
+
+    // The live client: follow the bus while the coordinator streams,
+    // printing a status line every few published rounds — exactly what
+    // `serve_live` would answer a TCP client mid-run.
+    let bus_for_client = Arc::clone(&bus);
+    let client = std::thread::spawn(move || {
+        let mut seen = 0u64;
+        let mut live_answers = 0usize;
+        loop {
+            let Some(view) = bus_for_client.wait_past(seen, Duration::from_secs(60)) else {
+                return live_answers;
+            };
+            seen = view.epoch;
+            if view.uptime_ticks % 12 == 0 || !view.running {
+                let status = handle_line_view(&view, r#"{"cmd":"status"}"#);
+                println!("  [epoch {:>3}] < {}", view.epoch, truncate(&status, 120));
+            }
+            live_answers += 1;
+            if !view.running {
+                return live_answers;
+            }
+        }
+    });
+
+    let report = daemon.run_live(range, &bus).expect("supervised run");
+    let live_answers = client.join().expect("client thread");
+    assert!(report.all_completed(), "the kill must not lose intervals");
+
+    println!("\nsupervision summary ({live_answers} live views consumed)");
     for shard in &report.shards {
         println!(
             "  {:<6} {:?}: {} ticks, {} degraded, {} restarts, last checkpoint {:?}",
@@ -66,7 +89,6 @@ fn main() {
             );
         }
     }
-    assert!(report.all_completed(), "the kill must not lose intervals");
 
     println!("\nprotocol session (one JSON line per request/response)");
     for request in [
@@ -74,12 +96,25 @@ fn main() {
         r#"{"cmd":"health","shard":"south"}"#.to_string(),
         format!(
             r#"{{"cmd":"estimate","shard":"south","tick":{},"method":"gravity","format":"text"}}"#,
-            kill_at
+            ticks / 2
         ),
+        r#"{"cmd":"stats","shard":"south"}"#.to_string(),
+        r#"{"cmd":"whatif","shard":"south","method":"gravity","scale":1.3}"#.to_string(),
     ] {
         println!("  > {request}");
         let response = handle_line(&report, &request);
         println!("  < {}", truncate(&response, 160));
+    }
+
+    // The merged solve-wall histograms, as `stats format=text` shows
+    // (the response is one JSON line; its `text` payload escapes
+    // newlines, so split on the escape for display).
+    println!();
+    let text = handle_line(&report, r#"{"cmd":"stats","format":"text"}"#);
+    if let Some(start) = text.find("global solve walls") {
+        for line in text[start..].split("\\n").take(1 + report.labels.len()) {
+            println!("  {line}");
+        }
     }
 }
 
