@@ -2,7 +2,7 @@
 //! committed previous-PR baseline and fail on regressions.
 //!
 //! ```sh
-//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR8.json BENCH_PR7.json
+//! cargo run --release -p tm_bench --bin compare_bench -- BENCH_PR9.json BENCH_PR8.json
 //! ```
 //!
 //! Rules (per network, matched by estimator/ablation name; entries that
@@ -78,6 +78,20 @@ const WALL_EXCEPTIONS: &[(&str, &str, f64)] = &[];
 /// so it holds regardless of baseline hardware
 /// (see `docs/OBSERVABILITY.md`).
 const TELEMETRY_OVERHEAD: f64 = 0.02;
+
+/// Within-run transport-overhead contract: the `day288-transport-socket`
+/// sweep (one Europe shard's clean day through a child
+/// `tm_shard_worker` process, every tick and result crossing a framed
+/// localhost TCP connection) must stay within 50% of the in-thread
+/// `day288-transport-thread` sweep of the same run, plus the usual
+/// jitter slack. The observed median overhead is ~25% (spawn + frame
+/// encode/decode on every tick); the doubled budget absorbs the
+/// single-run protocol's jitter on a ~0.5 s line while still catching
+/// a runaway serialization path. Like the telemetry gate this compares
+/// two entries of the NEW file against each other, so it holds
+/// regardless of baseline hardware (see `docs/DAEMON.md`, "Transport
+/// overhead").
+const TRANSPORT_OVERHEAD: f64 = 0.50;
 
 fn die(msg: &str) -> ! {
     eprintln!("compare_bench: {msg}");
@@ -160,6 +174,35 @@ fn telemetry_gate(doc: &Value, failures: &mut Vec<String>) {
     }
 }
 
+/// The transport-overhead gate over the NEW file's own
+/// `day288-transport-{thread,socket}` pair (no baseline involved).
+fn transport_gate(doc: &Value, failures: &mut Vec<String>) {
+    for (net_name, net) in networks(doc) {
+        let rows = estimator_rows(net);
+        let find = |name: &str| rows.iter().find(|(n, _, _)| n == name).map(|(_, w, _)| *w);
+        let (Some(thread_ms), Some(socket_ms)) = (
+            find("day288-transport-thread"),
+            find("day288-transport-socket"),
+        ) else {
+            continue;
+        };
+        let limit = thread_ms * (1.0 + TRANSPORT_OVERHEAD) + WALL_SLACK_MS;
+        let overhead_pct = (socket_ms / thread_ms.max(1e-9) - 1.0) * 100.0;
+        let verdict = if socket_ms > limit {
+            failures.push(format!(
+                "{net_name}: socket transport overhead {overhead_pct:+.2}% \
+                 (thread {thread_ms:.1} ms, socket {socket_ms:.1} ms, limit {limit:.1} ms)"
+            ));
+            "TRANSPORT OVERHEAD"
+        } else {
+            "ok (socket ≤ 50% + slack)"
+        };
+        println!(
+            "  {net_name:<8} socket transport        {thread_ms:>9.3} -> {socket_ms:>9.3} ms ({overhead_pct:>+5.2}%)  {verdict}"
+        );
+    }
+}
+
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut drift = 1.0f64;
@@ -180,8 +223,8 @@ fn main() {
         }
     }
     let mut paths = paths.into_iter();
-    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR8.json".to_string());
-    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR7.json".to_string());
+    let new_path = paths.next().unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let base_path = paths.next().unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let new_doc = load(&new_path);
     let base_doc = load(&base_path);
     if drift > 1.0 {
@@ -195,6 +238,7 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     let mut compared = 0usize;
     telemetry_gate(&new_doc, &mut failures);
+    transport_gate(&new_doc, &mut failures);
 
     for (net_name, new_net) in networks(&new_doc) {
         let Some((_, base_net)) = base_nets.iter().find(|(n, _)| *n == net_name) else {

@@ -19,9 +19,11 @@
 //! the equivalent per-interval cold loop — the full suite at Europe
 //! scale plus the second-order-solver rows at America scale; the
 //! `day288f-*` rows repeat the Europe day under the canonical fault
-//! plan through the degradation ladder, and the `day288-telemetry-*`
-//! rows price the daemon's per-tick recorder path), and writes
-//! `BENCH_PR8.json` (schema documented in `docs/PERF.md`). The
+//! plan through the degradation ladder, the `day288-telemetry-*`
+//! rows price the daemon's per-tick recorder path, and the
+//! `day288-transport-*` rows price the process-per-shard socket
+//! transport against the in-thread channels), and writes
+//! `BENCH_PR9.json` (schema documented in `docs/PERF.md`). The
 //! `compare_bench` bin diffs it against the committed prior baseline
 //! and fails CI on wall-time or MRE regressions. `fault-matrix` is the
 //! degraded-pipeline acceptance gate (zero `Err`s, degradation
@@ -32,7 +34,11 @@
 //! engine); `live-matrix` is the live-serving gate (a protocol client
 //! polls a TOML-configured chaos run mid-flight and every mid-run
 //! answer must be bit-identical to the post-run answer, with telemetry
-//! counters reconciling exactly). None of the four is part of `all`.
+//! counters reconciling exactly); `net-matrix` is the socket-transport
+//! gate (Europe day x2 shards as child processes under the full
+//! wire-fault taxonomy — zero lost intervals, every reconnect/resend
+//! surfaced and reconciled, aggregates bit-identical to the in-process
+//! engine). None of the five is part of `all`.
 
 use tm_bench::{europe, networks, paper_mre, perf, scales, snapshot, window, CsvOut, SEED};
 use tm_core::cao::CaoEstimator;
@@ -67,6 +73,16 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("configs/live_matrix.toml");
         live_matrix_mode(config);
+        return;
+    }
+    if args.iter().any(|a| a == "net-matrix") {
+        let config = args
+            .iter()
+            .position(|a| a == "net-matrix")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("configs/net_matrix.toml");
+        net_matrix_mode(config);
         return;
     }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
@@ -767,13 +783,13 @@ fn table2() {
 /// suite at Europe scale, the second-order rows at America scale),
 /// and the sparse engine against its densified baseline on the
 /// entropy-SPG, Gram-CD-NNLS and WCB-simplex hot paths; writes
-/// `BENCH_PR8.json` in the working directory. Schema: `docs/PERF.md`.
+/// `BENCH_PR9.json` in the working directory. Schema: `docs/PERF.md`.
 fn bench_mode() {
     use serde::Value;
 
     banner(
         "bench: perf-trajectory harness",
-        "writes BENCH_PR8.json — compare_bench diffs it against BENCH_PR7.json",
+        "writes BENCH_PR9.json — compare_bench diffs it against BENCH_PR8.json",
     );
     let runs = 5usize;
     let mut nets_json: Vec<Value> = Vec::new();
@@ -1078,6 +1094,62 @@ fn bench_mode() {
             ]));
         }
 
+        // Transport overhead rows: one Europe shard's full day through
+        // the `tm_daemon` supervisor under the in-thread channels vs
+        // the process-per-shard socket transport (a child
+        // `tm_shard_worker`, every tick and result crossing a framed
+        // localhost TCP connection). Clean runs — no chaos, no wire
+        // faults — so the delta prices serialization + syscalls alone
+        // (observed ~25%). compare_bench pins the socket row within 50%
+        // of the thread row of the same run (docs/DAEMON.md,
+        // "Transport overhead").
+        if name == "europe" {
+            use std::time::Duration;
+            use tm_daemon::{Daemon, DaemonConfig, ShardSpec, SocketOptions, TransportConfig};
+            use tm_traffic::DatasetSpec;
+
+            let day = d.series.len();
+            let ms: Vec<Method> = ["gravity", "entropy:lambda=1e3", "vardi:w=0.01,window=50"]
+                .iter()
+                .map(|s| s.parse().expect("valid spec"))
+                .collect();
+            let run = |transport: TransportConfig| {
+                let mut config = DaemonConfig::new(ms.clone()).with_transport(transport);
+                config.heartbeat_timeout = Duration::from_secs(30);
+                config.checkpoint_every = 64;
+                let daemon = Daemon::new(
+                    vec![ShardSpec::new("bench", DatasetSpec::europe(), SEED)],
+                    config,
+                )
+                .expect("valid roster");
+                let start = std::time::Instant::now();
+                let report = daemon.run(0..day).expect("clean day");
+                assert!(report.all_completed(), "clean bench day must complete");
+                start.elapsed().as_secs_f64() * 1e3
+            };
+            let thread_ms = run(TransportConfig::Thread);
+            let socket_ms = run(TransportConfig::Socket(SocketOptions::default()));
+            let overhead_pct = (socket_ms / thread_ms.max(1e-9) - 1.0) * 100.0;
+            println!(
+                "    day288-transport             thread {thread_ms:>9.1} ms  socket {socket_ms:>9.1} ms  overhead {overhead_pct:>+5.2}%"
+            );
+            estimators.push(Value::Map(vec![
+                (
+                    "name".to_string(),
+                    Value::Str("day288-transport-thread".to_string()),
+                ),
+                ("wall_ms".to_string(), Value::F64(thread_ms)),
+            ]));
+            estimators.push(Value::Map(vec![
+                (
+                    "name".to_string(),
+                    Value::Str("day288-transport-socket".to_string()),
+                ),
+                ("wall_ms".to_string(), Value::F64(socket_ms)),
+                ("overhead_pct".to_string(), Value::F64(overhead_pct)),
+            ]));
+        }
+
         // Sparse-vs-dense ablations on the two hot paths the sparse-first
         // engine targets: the entropy SPG loop and the Gram-CD NNLS.
         let stot = p.total_traffic().max(f64::MIN_POSITIVE);
@@ -1144,7 +1216,7 @@ fn bench_mode() {
             "schema".to_string(),
             Value::Str("backbone-tm-bench-v1".to_string()),
         ),
-        ("pr".to_string(), Value::I64(8)),
+        ("pr".to_string(), Value::I64(9)),
         ("seed".to_string(), Value::I64(SEED as i64)),
         ("threads".to_string(), Value::I64(tm_par::threads() as i64)),
         (
@@ -1157,8 +1229,8 @@ fn bench_mode() {
         ("networks".to_string(), Value::Seq(nets_json)),
     ]);
     let json = serde_json::to_string(&doc).expect("serializable");
-    std::fs::write("BENCH_PR8.json", &json).expect("writable working directory");
-    println!("\n  -> BENCH_PR8.json ({} bytes)", json.len());
+    std::fs::write("BENCH_PR9.json", &json).expect("writable working directory");
+    println!("\n  -> BENCH_PR9.json ({} bytes)", json.len());
 }
 
 /// `fault-matrix` mode: the degraded-pipeline CI gate.
@@ -1626,6 +1698,176 @@ fn live_matrix_mode(config_path: &str) {
         );
     } else {
         eprintln!("live-matrix: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `net-matrix` mode: the socket-transport CI gate.
+///
+/// Drives the checked-in `configs/net_matrix.toml` run — a full
+/// European day across two shards living in child `tm_shard_worker`
+/// processes behind the localhost socket transport, each under its
+/// canonical data-fault plan, with a seeded wire-fault schedule
+/// covering the whole taxonomy (connection drop, black hole, slow
+/// link, corrupt frame, truncated frame, duplicate delivery, one
+/// kill -9) — and fails the process unless:
+///
+/// * every shard completes the day with **zero lost intervals**;
+/// * exactly the kill -9 events consume supervised restarts; every
+///   reconnect-class fault recovers without touching that budget;
+/// * every scheduled fault fires and is surfaced as a typed
+///   `FaultInjected` transport event, with at least one reconnect per
+///   reconnect-class fault, and the telemetry reconnect/resend
+///   counters reconciling exactly with the event stream;
+/// * the aggregates are **bit-identical** to a single in-process
+///   `StreamEngine` driven over the same per-shard feeds — crossing a
+///   process boundary must not perturb a single mantissa.
+fn net_matrix_mode(config_path: &str) {
+    use tm_daemon::{build_feeds, load_daemon_toml, Daemon, TransportEventKind};
+
+    banner(
+        "net-matrix: socket-transport & wire-chaos gate",
+        "child-process shards under the full wire-fault taxonomy; nothing lost",
+    );
+    let parsed = load_daemon_toml(config_path).expect("valid net-matrix config");
+    let methods = parsed.config.methods.clone();
+    let net_chaos = parsed.config.net_chaos.clone();
+    let expected_restarts = parsed.config.chaos.restart_events() + net_chaos.restart_events();
+    let range = parsed.tick_range();
+    let day = range.end;
+    println!(
+        "  {}: {} shards x {} ticks, {} methods, {} wire faults ({} restart-class)",
+        config_path,
+        parsed.shards.len(),
+        day,
+        methods.len(),
+        net_chaos.events.len(),
+        net_chaos.restart_events(),
+    );
+
+    let shards = parsed.shards.clone();
+    let config = parsed.config.clone();
+    let daemon = Daemon::new(parsed.shards, parsed.config).expect("valid roster");
+    let t0 = std::time::Instant::now();
+    let report = daemon.run(range).expect("supervised run");
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut failures: Vec<String> = Vec::new();
+    if !report.all_completed() {
+        failures.push("a shard was quarantined".into());
+    }
+    for shard in &report.shards {
+        if shard.lost_ticks() != 0 {
+            failures.push(format!(
+                "{}: {} ticks dropped",
+                shard.name,
+                shard.lost_ticks()
+            ));
+        }
+    }
+    if report.total_restarts() != expected_restarts {
+        failures.push(format!(
+            "expected {expected_restarts} restarts (the kill -9 events), saw {}",
+            report.total_restarts()
+        ));
+    }
+
+    // Every scheduled wire fault must fire and surface; reconnects and
+    // resends must reconcile with the telemetry counters.
+    let injected: usize = report
+        .shards
+        .iter()
+        .flat_map(|s| &s.transport_events)
+        .filter(|e| matches!(e.kind, TransportEventKind::FaultInjected { .. }))
+        .count();
+    if injected != net_chaos.events.len() {
+        failures.push(format!(
+            "{injected} of {} scheduled wire faults surfaced",
+            net_chaos.events.len()
+        ));
+    }
+    let reconnects: usize = report.shards.iter().map(|s| s.reconnects()).sum();
+    if reconnects < net_chaos.reconnect_events() {
+        failures.push(format!(
+            "{reconnects} reconnects surfaced for {} reconnect-class faults",
+            net_chaos.reconnect_events()
+        ));
+    }
+    let resends: usize = report
+        .shards
+        .iter()
+        .flat_map(|s| &s.transport_events)
+        .filter(|e| matches!(e.kind, TransportEventKind::Resend))
+        .count();
+    let counters = report.telemetry.total_counters();
+    if counters.reconnects as usize != reconnects {
+        failures.push(format!(
+            "telemetry reconnects {} != {} surfaced events",
+            counters.reconnects, reconnects
+        ));
+    }
+    if counters.resent_frames as usize != resends {
+        failures.push(format!(
+            "telemetry resent_frames {} != {} surfaced events",
+            counters.resent_frames, resends
+        ));
+    }
+
+    // Bit-identity against the in-process engine over the same feeds.
+    let feeds = build_feeds(&shards, &config, 0..day).expect("feeds");
+    for feed in &feeds {
+        let shard = report.shard(&feed.name).expect("shard reported");
+        if shard.lost_ticks() != 0 {
+            continue; // already reported above; ticks are incomparable
+        }
+        let mut reference =
+            StreamEngine::for_dataset(&feed.dataset, &methods, StreamMode::Warm).expect("engine");
+        let mut mismatched = 0usize;
+        for (k, loads) in feed.dirty.iter().enumerate() {
+            let want = reference.push_interval(loads.clone()).expect("tick");
+            let got = shard.ticks[k].as_ref().expect("tick present");
+            for (g, w) in got.estimates.iter().zip(&want.estimates) {
+                match (g, w) {
+                    (Some(Ok(g)), Some(Ok(w)))
+                        if g.demands
+                            .iter()
+                            .zip(&w.demands)
+                            .any(|(a, b)| a.to_bits() != b.to_bits()) =>
+                    {
+                        mismatched += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if mismatched > 0 {
+            failures.push(format!(
+                "{}: {mismatched} estimates differ from the in-process engine",
+                feed.name
+            ));
+        }
+        println!(
+            "  {:<6} {} ticks, {} restarts, {} reconnects, {} transport events",
+            feed.name,
+            shard.completed_ticks(),
+            shard.restarts.len(),
+            shard.reconnects(),
+            shard.transport_events.len(),
+        );
+    }
+    println!(
+        "  wall {wall:.1}s, {injected} faults injected, {reconnects} reconnects, {resends} resends"
+    );
+    if failures.is_empty() {
+        println!(
+            "net-matrix: zero lost intervals over sockets, all {} wire faults surfaced, aggregates bit-identical",
+            net_chaos.events.len()
+        );
+    } else {
+        eprintln!("net-matrix: {} failure(s):", failures.len());
         for f in &failures {
             eprintln!("  {f}");
         }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 /// Errors produced by traffic matrix estimators.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EstimationError {
@@ -66,6 +68,55 @@ impl From<tm_net::NetError> for EstimationError {
     }
 }
 
+// Hand-written wire form (the vendored derive covers only unit-variant
+// enums): a tagged `{"kind": ..}` object whose nested payloads reuse
+// the lower layers' own wire forms. The daemon's socket transport
+// ships per-tick `Result<Estimate>` outcomes through this, so the
+// round-trip must be exact — see `wire_form_roundtrips_every_variant`.
+impl Serialize for EstimationError {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        Value::Map(match self {
+            EstimationError::InvalidProblem(msg) => vec![
+                kind("invalid_problem"),
+                ("message".to_string(), msg.to_value()),
+            ],
+            EstimationError::MissingTimeSeries => vec![kind("missing_time_series")],
+            EstimationError::MissingTruth => vec![kind("missing_truth")],
+            EstimationError::Opt(e) => vec![kind("opt"), ("error".to_string(), e.to_value())],
+            EstimationError::Linalg(e) => vec![kind("linalg"), ("error".to_string(), e.to_value())],
+            EstimationError::Net(e) => vec![kind("net"), ("error".to_string(), e.to_value())],
+        })
+    }
+}
+
+impl Deserialize for EstimationError {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.field("kind")? {
+            Value::Str(k) => match k.as_str() {
+                "invalid_problem" => Ok(EstimationError::InvalidProblem(String::from_value(
+                    v.field("message")?,
+                )?)),
+                "missing_time_series" => Ok(EstimationError::MissingTimeSeries),
+                "missing_truth" => Ok(EstimationError::MissingTruth),
+                "opt" => Ok(EstimationError::Opt(tm_opt::OptError::from_value(
+                    v.field("error")?,
+                )?)),
+                "linalg" => Ok(EstimationError::Linalg(tm_linalg::LinalgError::from_value(
+                    v.field("error")?,
+                )?)),
+                "net" => Ok(EstimationError::Net(tm_net::NetError::from_value(
+                    v.field("error")?,
+                )?)),
+                other => Err(DeError(format!("unknown EstimationError kind `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "EstimationError kind must be a string: {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +136,27 @@ mod tests {
         assert!(EstimationError::InvalidProblem("p".into())
             .to_string()
             .contains('p'));
+    }
+
+    #[test]
+    fn wire_form_roundtrips_every_variant() {
+        for e in [
+            EstimationError::InvalidProblem("p".into()),
+            EstimationError::MissingTimeSeries,
+            EstimationError::MissingTruth,
+            EstimationError::Opt(tm_opt::OptError::Infeasible { residual: 0.25 }),
+            EstimationError::Linalg(tm_linalg::LinalgError::Singular { pivot: 1 }),
+            EstimationError::Net(tm_net::NetError::UnknownNode(2)),
+        ] {
+            assert_eq!(EstimationError::from_value(&e.to_value()).unwrap(), e);
+            // Display (what the protocol renders) survives the trip too.
+            assert_eq!(
+                EstimationError::from_value(&e.to_value())
+                    .unwrap()
+                    .to_string(),
+                e.to_string()
+            );
+        }
+        assert!(EstimationError::from_value(&Value::Null).is_err());
     }
 }

@@ -39,6 +39,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use serde::{DeError, Deserialize, Serialize, Value};
 use tm_linalg::Workspace;
 use tm_opt::{Convergence, OptError};
 use tm_traffic::{EvalDataset, IntervalLoads};
@@ -75,7 +76,7 @@ const DEFAULT_IMPUTE_HORIZON: usize = 3;
 const DIVERGENCE_FACTOR: f64 = 10.0;
 
 /// Whether a [`StreamEngine`] carries per-method state across ticks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StreamMode {
     /// Every tick is estimated from scratch through the same code path
     /// as the batch layer — bit-identical to a `SnapshotShard` sweep.
@@ -91,7 +92,11 @@ pub enum StreamMode {
 /// window has not filled to its minimum length yet (Vardi/Cao need two
 /// intervals for a covariance), or one holding its state through a
 /// masked tick before any estimate exists to fall back on.
-#[derive(Debug)]
+///
+/// Serializable (exactly — finite `f64` round-trips bitwise through
+/// the vendored JSON writer) so the daemon's socket transport can ship
+/// whole ticks across process boundaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamTick {
     /// 0-based tick index (the engine's own interval counter).
     pub interval: usize,
@@ -113,7 +118,7 @@ pub struct StreamTick {
 /// Typed per-tick degradation report: which input rows were repaired or
 /// dropped and what each method did about it. Faults surface *here*,
 /// not as `Err` — the stream keeps producing estimates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TickDegradation {
     /// Tick index (mirrors [`StreamTick::interval`]).
     pub interval: usize,
@@ -133,7 +138,7 @@ pub struct TickDegradation {
 }
 
 /// What one method did on a degraded tick.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MethodDegradation {
     /// Method label (matches [`StreamEngine::labels`]).
     pub label: String,
@@ -196,6 +201,95 @@ pub enum QuarantineReason {
         /// Ratio of the estimate's demand total to the tick's total.
         factor: f64,
     },
+}
+
+// Hand-written wire forms for the two data-carrying degradation enums
+// (the vendored derive covers only unit variants): tagged
+// `{"kind": ..}` objects, mirroring the checkpoint module's idiom.
+impl Serialize for DegradationAction {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        Value::Map(match self {
+            DegradationAction::CleanSolve => vec![kind("clean_solve")],
+            DegradationAction::ImputedSolve => vec![kind("imputed_solve")],
+            DegradationAction::MaskedSolve => vec![kind("masked_solve")],
+            DegradationAction::WarmHeld => vec![kind("warm_held")],
+            DegradationAction::FallbackLastGood => vec![kind("fallback_last_good")],
+            DegradationAction::PanicCaught { message } => vec![
+                kind("panic_caught"),
+                ("message".to_string(), message.to_value()),
+            ],
+        })
+    }
+}
+
+impl Deserialize for DegradationAction {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        match v.field("kind")? {
+            Value::Str(k) => match k.as_str() {
+                "clean_solve" => Ok(DegradationAction::CleanSolve),
+                "imputed_solve" => Ok(DegradationAction::ImputedSolve),
+                "masked_solve" => Ok(DegradationAction::MaskedSolve),
+                "warm_held" => Ok(DegradationAction::WarmHeld),
+                "fallback_last_good" => Ok(DegradationAction::FallbackLastGood),
+                "panic_caught" => Ok(DegradationAction::PanicCaught {
+                    message: String::from_value(v.field("message")?)?,
+                }),
+                other => Err(DeError(format!("unknown DegradationAction kind `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "DegradationAction kind must be a string: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for QuarantineReason {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        Value::Map(match self {
+            QuarantineReason::NonFinite => vec![kind("non_finite")],
+            QuarantineReason::BudgetCapped {
+                achieved_tol,
+                iters,
+            } => vec![
+                kind("budget_capped"),
+                ("achieved_tol".to_string(), achieved_tol.to_value()),
+                ("iters".to_string(), iters.to_value()),
+            ],
+            QuarantineReason::SolverError { message } => vec![
+                kind("solver_error"),
+                ("message".to_string(), message.to_value()),
+            ],
+            QuarantineReason::Diverged { factor } => {
+                vec![kind("diverged"), ("factor".to_string(), factor.to_value())]
+            }
+        })
+    }
+}
+
+impl Deserialize for QuarantineReason {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        match v.field("kind")? {
+            Value::Str(k) => match k.as_str() {
+                "non_finite" => Ok(QuarantineReason::NonFinite),
+                "budget_capped" => Ok(QuarantineReason::BudgetCapped {
+                    achieved_tol: f64::from_value(v.field("achieved_tol")?)?,
+                    iters: usize::from_value(v.field("iters")?)?,
+                }),
+                "solver_error" => Ok(QuarantineReason::SolverError {
+                    message: String::from_value(v.field("message")?)?,
+                }),
+                "diverged" => Ok(QuarantineReason::Diverged {
+                    factor: f64::from_value(v.field("factor")?)?,
+                }),
+                other => Err(DeError(format!("unknown QuarantineReason kind `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "QuarantineReason kind must be a string: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// A source of per-interval load observations: thin iterator glue

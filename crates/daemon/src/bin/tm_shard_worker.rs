@@ -1,0 +1,11 @@
+//! Shard worker child process for the daemon's socket transport.
+//!
+//! Launched by the coordinator with `--connect HOST:PORT --token
+//! TOKEN`; everything else (dataset spec, methods, checkpoint) arrives
+//! over the wire in the configure handshake. See
+//! `tm_daemon::transport::socket` for the protocol.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(tm_daemon::transport::socket::worker_main(&args));
+}

@@ -10,10 +10,16 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
 /// What the injected failure does to the worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable because the coordinator consumes events at dispatch
+/// and ships the directive to the worker inside the tick message —
+/// across a channel for the thread transport, across the wire for the
+/// socket transport (see [`crate::transport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ChaosKind {
     /// The worker thread panics mid-tick (the coordinator observes a
     /// channel disconnect).

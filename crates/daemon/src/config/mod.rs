@@ -20,6 +20,42 @@ use tm_traffic::DatasetSpec;
 
 use crate::chaos::ChaosPlan;
 use crate::error::{DaemonError, Result};
+use crate::transport::netchaos::NetFaultPlan;
+
+/// Which side of a process boundary the shard workers live on.
+#[derive(Debug, Clone, Default)]
+pub enum TransportConfig {
+    /// In-process worker threads over `mpsc` channels (the default):
+    /// zero serialization, no isolation.
+    #[default]
+    Thread,
+    /// One `tm_shard_worker` child process per shard, speaking the
+    /// framed wire protocol over localhost TCP. A crashing worker
+    /// cannot take the coordinator down with it.
+    Socket(SocketOptions),
+}
+
+/// Knobs for the socket transport.
+#[derive(Debug, Clone)]
+pub struct SocketOptions {
+    /// Path to the `tm_shard_worker` binary. `None` resolves via the
+    /// `TM_SHARD_WORKER` environment variable, then a sibling of the
+    /// current executable.
+    pub worker_bin: Option<std::path::PathBuf>,
+    /// Deadline for the spawn handshake (child connect, engine build,
+    /// `Ready`). Generous by default: the child regenerates its
+    /// dataset from spec + seed inside this window.
+    pub connect_timeout: Duration,
+}
+
+impl Default for SocketOptions {
+    fn default() -> Self {
+        SocketOptions {
+            worker_bin: None,
+            connect_timeout: Duration::from_secs(30),
+        }
+    }
+}
 
 /// One shard of the supervised daemon: a region/PoP-group topology with
 /// its own ground-truth day, streamed by one supervised worker.
@@ -81,6 +117,11 @@ pub struct DaemonConfig {
     pub restart_backoff: Duration,
     /// Process-level fault schedule (kill/hang/delay workers).
     pub chaos: ChaosPlan,
+    /// Worker transport: in-process threads or per-shard child
+    /// processes over sockets.
+    pub transport: TransportConfig,
+    /// Wire-level fault schedule (socket transport only).
+    pub net_chaos: NetFaultPlan,
 }
 
 impl DaemonConfig {
@@ -101,12 +142,26 @@ impl DaemonConfig {
             max_restarts: 3,
             restart_backoff: Duration::from_millis(25),
             chaos: ChaosPlan::none(),
+            transport: TransportConfig::Thread,
+            net_chaos: NetFaultPlan::none(),
         }
     }
 
     /// Attach a chaos plan.
     pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Select a transport.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Attach a network-fault plan (requires the socket transport).
+    pub fn with_net_chaos(mut self, plan: NetFaultPlan) -> Self {
+        self.net_chaos = plan;
         self
     }
 
@@ -131,8 +186,42 @@ impl DaemonConfig {
                 "heartbeat timeout must be positive".into(),
             ));
         }
+        // Cap the durations the runtime multiplies (chaos hang = 3×
+        // heartbeat, backoff doubles up to 2^10) so the arithmetic can
+        // never overflow `Duration` and panic mid-run.
+        const HOUR: Duration = Duration::from_secs(3_600);
+        if self.heartbeat_timeout > HOUR {
+            return Err(DaemonError::InvalidConfig(
+                "heartbeat timeout must be at most one hour".into(),
+            ));
+        }
+        if self.restart_backoff > HOUR {
+            return Err(DaemonError::InvalidConfig(
+                "restart backoff must be at most one hour".into(),
+            ));
+        }
         self.chaos
             .validate(shards.len())
-            .map_err(DaemonError::InvalidConfig)
+            .map_err(DaemonError::InvalidConfig)?;
+        self.net_chaos
+            .validate(shards.len())
+            .map_err(DaemonError::InvalidConfig)?;
+        match &self.transport {
+            TransportConfig::Thread => {
+                if !self.net_chaos.events.is_empty() {
+                    return Err(DaemonError::InvalidConfig(
+                        "net chaos requires the socket transport".into(),
+                    ));
+                }
+            }
+            TransportConfig::Socket(options) => {
+                if options.connect_timeout.is_zero() || options.connect_timeout > HOUR {
+                    return Err(DaemonError::InvalidConfig(
+                        "socket connect timeout must be positive and at most one hour".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }

@@ -24,6 +24,9 @@
 //! max_restarts = 3              #                      (default 3)
 //! restart_backoff_ms = 25       #                      (default 25)
 //! collection_seed = 7           #                      (default 7)
+//! transport = "thread"          # thread|socket        (default thread)
+//! worker_bin = "/path/bin"      # socket only: worker binary override
+//! connect_timeout_ms = 30000    # socket only          (default 30000)
 //!
 //! [[shard]]                     # at least one
 //! name = "west"                 # required, unique
@@ -37,6 +40,11 @@
 //! shard = 0                     # roster index
 //! tick = 12
 //! kind = "kill"                 # kill|hang|delay
+//!
+//! [[net_chaos]]                 # optional, repeatable; socket transport only
+//! shard = 0                     # roster index
+//! tick = 5
+//! kind = "drop"                 # drop|blackhole|slow|corrupt|truncate|duplicate|kill9
 //! ```
 //!
 //! `fault = "canonical"` resolves the canonical
@@ -54,8 +62,9 @@ use tm_core::Method;
 use tm_traffic::DatasetSpec;
 
 use crate::chaos::ChaosPlan;
-use crate::config::{DaemonConfig, ShardSpec};
+use crate::config::{DaemonConfig, ShardSpec, SocketOptions, TransportConfig};
 use crate::error::{DaemonError, Result};
+use crate::transport::netchaos::{NetFaultKind, NetFaultPlan};
 
 /// A parsed declarative run: roster + policy + optional run length.
 #[derive(Debug, Clone)]
@@ -164,9 +173,14 @@ fn parse_string(src: &str, line_no: usize) -> Result<(String, usize)> {
     Err(err(format!("line {line_no}: unterminated string")))
 }
 
+/// Nesting ceiling for array values. The parser recurses per `[`; a
+/// hostile line of thousands of brackets must yield a line-numbered
+/// error, not a stack overflow (pinned by `tests/toml_fuzz.rs`).
+const MAX_VALUE_DEPTH: usize = 32;
+
 /// Parse one value expression; must consume the whole (trimmed) input.
 fn parse_value(src: &str, line_no: usize) -> Result<TomlValue> {
-    let (value, used) = parse_value_prefix(src, line_no)?;
+    let (value, used) = parse_value_prefix(src, line_no, 0)?;
     if !src[used..].trim().is_empty() {
         return Err(err(format!(
             "line {line_no}: trailing content `{}` after value",
@@ -177,8 +191,14 @@ fn parse_value(src: &str, line_no: usize) -> Result<TomlValue> {
 }
 
 /// Parse a value at the start of `src`, returning it and the bytes
-/// consumed.
-fn parse_value_prefix(src: &str, line_no: usize) -> Result<(TomlValue, usize)> {
+/// consumed. `depth` counts enclosing arrays and is capped at
+/// [`MAX_VALUE_DEPTH`].
+fn parse_value_prefix(src: &str, line_no: usize, depth: usize) -> Result<(TomlValue, usize)> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(err(format!(
+            "line {line_no}: arrays nested deeper than {MAX_VALUE_DEPTH} levels"
+        )));
+    }
     let trimmed = src.trim_start();
     let offset = src.len() - trimmed.len();
     if trimmed.starts_with('"') {
@@ -201,7 +221,7 @@ fn parse_value_prefix(src: &str, line_no: usize) -> Result<(TomlValue, usize)> {
             if rest.is_empty() {
                 return Err(err(format!("line {line_no}: unterminated array")));
             }
-            let (item, used) = parse_value_prefix(rest, line_no)?;
+            let (item, used) = parse_value_prefix(rest, line_no, depth + 1)?;
             items.push(item);
             rest = &rest[used..];
             consumed += used;
@@ -393,6 +413,9 @@ fn map_daemon(section: &Section) -> Result<(DaemonConfig, Option<usize>)> {
         "max_restarts",
         "restart_backoff_ms",
         "collection_seed",
+        "transport",
+        "worker_bin",
+        "connect_timeout_ms",
     ];
     let path = "daemon";
     section.reject_unknown(path, ALLOWED)?;
@@ -449,6 +472,38 @@ fn map_daemon(section: &Section) -> Result<(DaemonConfig, Option<usize>)> {
     }
     if let Some(seed) = section.opt_u64(path, "collection_seed")? {
         config.collection_seed = seed;
+    }
+    match section.opt_str(path, "transport")? {
+        None | Some("thread") => {
+            for key in ["worker_bin", "connect_timeout_ms"] {
+                if section.get(key).is_some() {
+                    return Err(err(format!(
+                        "{path}.{key}: only meaningful with transport = \"socket\""
+                    )));
+                }
+            }
+        }
+        Some("socket") => {
+            let mut options = SocketOptions::default();
+            if let Some(bin) = section.opt_str(path, "worker_bin")? {
+                if bin.is_empty() {
+                    return Err(err(format!("{path}.worker_bin: must not be empty")));
+                }
+                options.worker_bin = Some(std::path::PathBuf::from(bin));
+            }
+            if let Some(ms) = section.opt_u64(path, "connect_timeout_ms")? {
+                if ms == 0 {
+                    return Err(err(format!("{path}.connect_timeout_ms: must be positive")));
+                }
+                options.connect_timeout = Duration::from_millis(ms);
+            }
+            config.transport = TransportConfig::Socket(options);
+        }
+        Some(other) => {
+            return Err(err(format!(
+                "{path}.transport: expected \"thread\" or \"socket\", got \"{other}\""
+            )))
+        }
     }
     let ticks = section.opt_usize(path, "ticks")?;
     if ticks == Some(0) {
@@ -534,6 +589,30 @@ fn map_chaos(section: &Section, index: usize, plan: ChaosPlan) -> Result<ChaosPl
     })
 }
 
+fn map_net_chaos(section: &Section, index: usize, plan: NetFaultPlan) -> Result<NetFaultPlan> {
+    const ALLOWED: &[&str] = &["shard", "tick", "kind"];
+    let path = format!("net_chaos[{index}]");
+    section.reject_unknown(&path, ALLOWED)?;
+    let shard = section.req_u64(&path, "shard")? as usize;
+    let tick = section.req_u64(&path, "tick")? as usize;
+    let kind = match section.req_str(&path, "kind")? {
+        "drop" => NetFaultKind::DropConn,
+        "blackhole" => NetFaultKind::BlackHole,
+        "slow" => NetFaultKind::SlowLink,
+        "corrupt" => NetFaultKind::CorruptFrame,
+        "truncate" => NetFaultKind::TruncateFrame,
+        "duplicate" => NetFaultKind::DuplicateFrame,
+        "kill9" => NetFaultKind::Kill9,
+        other => {
+            return Err(err(format!(
+                "{path}.kind: expected \"drop\", \"blackhole\", \"slow\", \"corrupt\", \
+                 \"truncate\", \"duplicate\" or \"kill9\", got \"{other}\""
+            )))
+        }
+    };
+    Ok(plan.with(shard, tick, kind))
+}
+
 /// Parse a declarative daemon run. Returns validated [`ShardSpec`]s and
 /// a [`DaemonConfig`] (the same validation [`crate::Daemon::new`]
 /// performs runs here too, so a config that parses will also
@@ -543,6 +622,7 @@ pub fn parse_daemon_toml(text: &str) -> Result<DaemonTomlConfig> {
     let mut daemon_section: Option<&Section> = None;
     let mut shard_sections: Vec<&Section> = Vec::new();
     let mut chaos_sections: Vec<&Section> = Vec::new();
+    let mut net_chaos_sections: Vec<&Section> = Vec::new();
     for section in &sections {
         match (section.name.as_str(), section.array) {
             ("daemon", false) => daemon_section = Some(section),
@@ -554,7 +634,8 @@ pub fn parse_daemon_toml(text: &str) -> Result<DaemonTomlConfig> {
             }
             ("shard", true) => shard_sections.push(section),
             ("chaos", true) => chaos_sections.push(section),
-            ("shard" | "chaos", false) => {
+            ("net_chaos", true) => net_chaos_sections.push(section),
+            ("shard" | "chaos" | "net_chaos", false) => {
                 return Err(err(format!(
                     "line {}: [{}] must be an array-of-tables: [[{}]]",
                     section.line, section.name, section.name
@@ -562,7 +643,8 @@ pub fn parse_daemon_toml(text: &str) -> Result<DaemonTomlConfig> {
             }
             (other, _) => {
                 return Err(err(format!(
-                    "line {}: unknown section `{other}` (expected daemon, shard or chaos)",
+                    "line {}: unknown section `{other}` (expected daemon, shard, chaos \
+                     or net_chaos)",
                     section.line
                 )))
             }
@@ -589,6 +671,23 @@ pub fn parse_daemon_toml(text: &str) -> Result<DaemonTomlConfig> {
             )));
         }
         config.chaos = map_chaos(section, i, config.chaos)?;
+    }
+    for (i, section) in net_chaos_sections.iter().enumerate() {
+        let shard = section.req_u64(&format!("net_chaos[{i}]"), "shard")? as usize;
+        if shard >= shards.len() {
+            return Err(err(format!(
+                "net_chaos[{i}].shard: index {shard} out of range ({} shards)",
+                shards.len()
+            )));
+        }
+        let tick = section.req_u64(&format!("net_chaos[{i}]"), "tick")? as usize;
+        if tick >= shards[shard].spec.n_samples {
+            return Err(err(format!(
+                "net_chaos[{i}].tick: {tick} is past shard `{}`'s day length ({})",
+                shards[shard].name, shards[shard].spec.n_samples
+            )));
+        }
+        config.net_chaos = map_net_chaos(section, i, config.net_chaos)?;
     }
     if let Some(t) = ticks {
         for shard in &shards {
@@ -733,6 +832,110 @@ kind = "kill"
             let msg = parse_daemon_toml(bad).unwrap_err().to_string();
             assert!(msg.contains("line"), "`{msg}` should carry a line number");
         }
+    }
+
+    const SOCKET: &str = r#"
+[daemon]
+methods = ["gravity"]
+ticks = 6
+transport = "socket"
+worker_bin = "/opt/tm_shard_worker"
+connect_timeout_ms = 1500
+
+[[shard]]
+name = "west"
+topology = "tiny"
+seed = 3
+
+[[shard]]
+name = "east"
+topology = "tiny"
+seed = 4
+
+[[net_chaos]]
+shard = 1
+tick = 2
+kind = "blackhole"
+"#;
+
+    #[test]
+    fn socket_transport_and_net_chaos_round_trip() {
+        let parsed = parse_daemon_toml(SOCKET).expect("parses");
+        let TransportConfig::Socket(options) = &parsed.config.transport else {
+            panic!(
+                "expected socket transport, got {:?}",
+                parsed.config.transport
+            );
+        };
+        assert_eq!(
+            options.worker_bin.as_deref(),
+            Some(std::path::Path::new("/opt/tm_shard_worker"))
+        );
+        assert_eq!(options.connect_timeout, Duration::from_millis(1500));
+        assert_eq!(parsed.config.net_chaos.events.len(), 1);
+        assert_eq!(
+            parsed.config.net_chaos.events[0].kind,
+            NetFaultKind::BlackHole
+        );
+        assert_eq!(parsed.config.net_chaos.events[0].shard, 1);
+    }
+
+    #[test]
+    fn net_chaos_requires_socket_transport_and_valid_coordinates() {
+        let base = GOOD.replace(
+            "[[chaos]]\nshard = 0\ntick = 3\nkind = \"kill\"",
+            "[[net_chaos]]\nshard = 0\ntick = 3\nkind = \"drop\"",
+        );
+        // Thread transport (the default) + net chaos must be rejected.
+        let msg = parse_daemon_toml(&base).unwrap_err().to_string();
+        assert!(msg.contains("socket"), "{msg}");
+
+        let socket = base.replace(
+            "collection_seed = 11",
+            "collection_seed = 11\ntransport = \"socket\"",
+        );
+        parse_daemon_toml(&socket).expect("socket + net chaos parses");
+
+        for (needle, broken) in [
+            (
+                "net_chaos[0].shard",
+                socket.replace("shard = 0\ntick = 3", "shard = 9\ntick = 3"),
+            ),
+            (
+                "net_chaos[0].tick",
+                socket.replace("tick = 3\nkind = \"drop\"", "tick = 4000\nkind = \"drop\""),
+            ),
+            (
+                "net_chaos[0].kind",
+                socket.replace("kind = \"drop\"", "kind = \"gremlin\""),
+            ),
+        ] {
+            let msg = parse_daemon_toml(&broken).unwrap_err().to_string();
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn socket_keys_rejected_under_thread_transport() {
+        let text = GOOD.replace(
+            "collection_seed = 11",
+            "collection_seed = 11\nconnect_timeout_ms = 10",
+        );
+        let msg = parse_daemon_toml(&text).unwrap_err().to_string();
+        assert!(msg.contains("daemon.connect_timeout_ms"), "{msg}");
+        assert!(msg.contains("socket"), "{msg}");
+    }
+
+    #[test]
+    fn deep_array_nesting_errors_instead_of_overflowing() {
+        let bomb = format!(
+            "[daemon]\nmethods = {}{}\n",
+            "[".repeat(500),
+            "]".repeat(500)
+        );
+        let msg = parse_daemon_toml(&bomb).unwrap_err().to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("nested"), "{msg}");
     }
 
     #[test]

@@ -37,12 +37,10 @@
 //! acceptance, so the counters reconcile exactly with the finished
 //! [`DaemonReport`].
 
-use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::Duration;
 
-use tm_core::checkpoint::EngineCheckpoint;
-use tm_core::stream::{StreamEngine, StreamMode, StreamTick};
+use tm_core::stream::{StreamMode, StreamTick};
 use tm_traffic::EvalDataset;
 
 use crate::chaos::ChaosState;
@@ -52,7 +50,11 @@ use crate::feed::{build_feeds, ShardFeed};
 use crate::telemetry::{
     LiveBus, LivePhase, LiveShard, LiveView, ShardRecorder, TelemetryHub, TelemetrySnapshot,
 };
-use crate::worker::{spawn_worker, FromWorker, ToWorker, WorkerHandle, WorkerPolicy};
+use crate::transport::{
+    make_transport, ChannelError, ShardTransport, SpawnSpec, TransportEvent, TransportEventKind,
+    WorkerChannel,
+};
+use crate::worker::{FromWorker, ToWorker};
 
 /// Why a worker epoch ended and a restart was attempted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,9 +130,21 @@ pub struct ShardReport {
     /// The shard's region dataset — kept so post-run `whatif` queries
     /// can project link loads through the shard's routing.
     pub dataset: Arc<EvalDataset>,
+    /// Wire-level incidents the shard's transport surfaced (reconnects,
+    /// resends, injected faults). Always empty for the thread
+    /// transport.
+    pub transport_events: Vec<TransportEvent>,
 }
 
 impl ShardReport {
+    /// Wire-level reconnects the shard's transport performed.
+    pub fn reconnects(&self) -> usize {
+        self.transport_events
+            .iter()
+            .filter(|e| matches!(e.kind, TransportEventKind::Reconnect { .. }))
+            .count()
+    }
+
     /// Ticks that produced a result.
     pub fn completed_ticks(&self) -> usize {
         self.ticks.iter().filter(|t| t.is_some()).count()
@@ -214,6 +228,7 @@ impl DaemonReport {
                     lost_polls: s.lost_polls,
                     ticks: s.ticks.clone(),
                     dataset: Arc::clone(&s.dataset),
+                    transport_events: s.transport_events.clone(),
                 })
                 .collect(),
             telemetry: self.telemetry.clone(),
@@ -232,7 +247,7 @@ pub struct Daemon {
 struct ShardRuntime {
     index: usize,
     feed: ShardFeed,
-    handle: Option<WorkerHandle>,
+    handle: Option<Box<dyn WorkerChannel>>,
     epoch: usize,
     restarts: Vec<RestartEvent>,
     /// `(tick, serialized engine state)` of the newest checkpoint.
@@ -244,6 +259,8 @@ struct ShardRuntime {
     quarantined_at: Option<usize>,
     /// Telemetry recorder shared with every worker epoch of this shard.
     recorder: Arc<ShardRecorder>,
+    /// Wire incidents harvested from the shard's channels so far.
+    transport_events: Vec<TransportEvent>,
 }
 
 impl Daemon {
@@ -278,32 +295,28 @@ impl Daemon {
     ) -> Result<DaemonReport> {
         let n_ticks = ticks.len();
         let feeds = build_feeds(&self.shards, &self.config, ticks)?;
-        let chaos = Arc::new(ChaosState::new(&self.config.chaos));
-        let policy = WorkerPolicy {
-            checkpoint_every: self.config.checkpoint_every,
-            heartbeat_timeout: self.config.heartbeat_timeout,
-        };
+        let chaos = ChaosState::new(&self.config.chaos);
+        let transport = make_transport(&self.config)?;
 
-        // Engines first (labels come from the first one), then the
-        // telemetry roster, then the workers holding their recorders.
-        let mut engines = Vec::with_capacity(feeds.len());
-        for feed in &feeds {
-            engines.push(build_engine(feed, &self.config)?);
-        }
-        let labels = engines.first().map(|e| e.labels()).unwrap_or_default();
+        // Labels come from the shared method roster (every shard's
+        // engine is built from it, whichever side of a process boundary
+        // it lives on), then the telemetry roster, then the workers.
+        let labels: Vec<String> = self.config.methods.iter().map(|m| m.label()).collect();
         let shard_names: Vec<String> = self.shards.iter().map(|s| s.name.clone()).collect();
         let hub = TelemetryHub::new(&shard_names, &labels);
 
         let mut runtimes = Vec::with_capacity(feeds.len());
-        for (index, (feed, engine)) in feeds.into_iter().zip(engines).enumerate() {
+        for (index, feed) in feeds.into_iter().enumerate() {
             let recorder = hub.recorder(index);
-            let handle = spawn_worker(
+            let handle = transport.spawn(&SpawnSpec {
                 index,
-                engine,
-                policy.clone(),
-                Arc::clone(&chaos),
-                Arc::clone(&recorder),
-            );
+                epoch: 0,
+                shard: &self.shards[index],
+                feed: &feed,
+                config: &self.config,
+                checkpoint: None,
+                recorder: Arc::clone(&recorder),
+            })?;
             runtimes.push(ShardRuntime {
                 index,
                 feed,
@@ -315,12 +328,13 @@ impl Daemon {
                 ticks: (0..n_ticks).map(|_| None).collect(),
                 quarantined_at: None,
                 recorder,
+                transport_events: Vec::new(),
             });
         }
 
         for k in 0..n_ticks {
             for rt in &mut runtimes {
-                self.deliver(rt, k, &chaos, &policy)?;
+                self.deliver(rt, k, &chaos, transport.as_ref())?;
             }
             if let Some(bus) = live {
                 bus.publish(self.build_view(
@@ -368,6 +382,7 @@ impl Daemon {
                     lost_polls: rt.feed.lost_polls,
                     ticks: rt.ticks,
                     dataset: Arc::clone(&rt.feed.dataset),
+                    transport_events: rt.transport_events,
                 })
                 .collect(),
             unfired_chaos: chaos.unfired(),
@@ -412,6 +427,7 @@ impl Daemon {
                     lost_polls: rt.feed.lost_polls,
                     ticks: rt.ticks.clone(),
                     dataset: Arc::clone(&rt.feed.dataset),
+                    transport_events: rt.transport_events.clone(),
                 })
                 .collect(),
             telemetry: hub.snapshot(),
@@ -425,29 +441,39 @@ impl Daemon {
         &self,
         rt: &mut ShardRuntime,
         tick: usize,
-        chaos: &Arc<ChaosState>,
-        policy: &WorkerPolicy,
+        chaos: &ChaosState,
+        transport: &dyn ShardTransport,
     ) -> Result<()> {
         loop {
             if rt.quarantined_at.is_some() {
                 return Ok(());
             }
-            let handle = rt.handle.as_ref().expect("active shard has a worker");
+            // Chaos is consumed at dispatch (consume-once), shipped
+            // inside the tick message, and executed worker-side —
+            // identically across transports, so a chaos schedule means
+            // the same thing to a thread and to a child process.
             let msg = ToWorker::Tick {
                 tick,
                 loads: Box::new(rt.feed.dirty[tick].clone()),
+                chaos: chaos.take(rt.index, tick),
                 sent: std::time::Instant::now(),
             };
-            let cause = if handle.to.send(msg).is_err() {
-                FailureCause::Panic // worker died before the dispatch
+            let channel = rt.handle.as_mut().expect("active shard has a worker");
+            let outcome = if channel.send(msg).is_err() {
+                Err(FailureCause::Panic) // worker died at the dispatch
             } else {
-                match await_tick(rt, tick, self.config.heartbeat_timeout) {
-                    Ok(()) => return Ok(()),
-                    Err(cause) => cause,
-                }
+                await_tick(rt, tick, self.config.heartbeat_timeout)
             };
-            if !self.restart(rt, tick, cause, chaos, policy)? {
-                return Ok(()); // quarantined
+            if let Some(channel) = rt.handle.as_mut() {
+                rt.transport_events.extend(channel.take_events());
+            }
+            match outcome {
+                Ok(()) => return Ok(()),
+                Err(cause) => {
+                    if !self.restart(rt, tick, cause, chaos, transport)? {
+                        return Ok(()); // quarantined
+                    }
+                }
             }
         }
     }
@@ -460,11 +486,13 @@ impl Daemon {
         rt: &mut ShardRuntime,
         failed_tick: usize,
         cause: FailureCause,
-        chaos: &Arc<ChaosState>,
-        policy: &WorkerPolicy,
+        chaos: &ChaosState,
+        transport: &dyn ShardTransport,
     ) -> Result<bool> {
-        // Abandon the epoch: dropping the handle detaches a zombie and
-        // closes both channels, so nothing it still says is heard.
+        // Abandon the epoch: dropping the channel detaches a zombie
+        // (thread transport: both mpsc ends close; socket transport:
+        // the child process is killed and reaped), so nothing it still
+        // says is heard.
         rt.handle = None;
         rt.epoch += 1;
         rt.restarts.push(RestartEvent {
@@ -482,60 +510,55 @@ impl Daemon {
         let exponent = (rt.restarts.len() as u32 - 1).min(10);
         std::thread::sleep(self.config.restart_backoff * 2u32.pow(exponent));
 
-        let mut engine = build_engine(&rt.feed, &self.config)?;
-        if let Some((_, json)) = &rt.checkpoint {
-            engine.restore(&EngineCheckpoint::from_json(json)?)?;
-        }
-        rt.handle = Some(spawn_worker(
-            rt.index,
-            engine,
-            policy.clone(),
-            Arc::clone(chaos),
-            Arc::clone(&rt.recorder),
-        ));
+        rt.handle = Some(transport.spawn(&SpawnSpec {
+            index: rt.index,
+            epoch: rt.epoch,
+            shard: &self.shards[rt.index],
+            feed: &rt.feed,
+            config: &self.config,
+            checkpoint: rt.checkpoint.as_ref().map(|(_, json)| json.as_str()),
+            recorder: Arc::clone(&rt.recorder),
+        })?);
         // Replay the confirmed ticks the checkpoint doesn't cover.
         // Results overwrite the previous epoch's (the warm resume is
         // deterministic; see the bit-identity tests). A failure during
         // replay recurses into this method and is bounded by the same
         // restart budget.
         for replay_tick in std::mem::take(&mut rt.replay) {
-            self.deliver(rt, replay_tick, chaos, policy)?;
+            self.deliver(rt, replay_tick, chaos, transport)?;
         }
         Ok(true)
     }
 
-    /// Ask a surviving worker to drain and join it. Non-responsive
-    /// workers are abandoned rather than waited on.
+    /// Ask a surviving worker to drain and finish it (join the thread /
+    /// reap the child). Non-responsive workers are abandoned rather
+    /// than waited on — dropping the channel cleans them up.
     fn drain(&self, rt: &mut ShardRuntime) {
-        let Some(handle) = rt.handle.take() else {
+        let Some(mut channel) = rt.handle.take() else {
             return;
         };
-        if handle.to.send(ToWorker::Drain).is_err() {
+        if channel.send(ToWorker::Drain).is_err() {
+            rt.transport_events.extend(channel.take_events());
             return;
         }
         loop {
-            match handle.from.recv_timeout(self.config.heartbeat_timeout) {
+            match channel.recv_deadline(self.config.heartbeat_timeout) {
                 Ok(FromWorker::Drained) => {
-                    let _ = handle.join.join();
+                    rt.transport_events.extend(channel.take_events());
+                    channel.finish(self.config.heartbeat_timeout);
                     return;
                 }
                 Ok(FromWorker::Checkpoint { tick, json }) => {
                     rt.checkpoint = Some((tick, json));
                 }
                 Ok(_) => {}
-                Err(_) => return,
+                Err(_) => {
+                    rt.transport_events.extend(channel.take_events());
+                    return;
+                }
             }
         }
     }
-}
-
-/// Build (cold) a shard's engine from its region dataset.
-fn build_engine(feed: &ShardFeed, config: &DaemonConfig) -> Result<StreamEngine> {
-    Ok(StreamEngine::for_dataset(
-        &feed.dataset,
-        &config.methods,
-        config.mode,
-    )?)
 }
 
 /// Await one tick's completion under the heartbeat deadline. Records
@@ -546,42 +569,189 @@ fn await_tick(
     tick: usize,
     timeout: Duration,
 ) -> std::result::Result<(), FailureCause> {
-    let handle = rt.handle.as_ref().expect("awaiting an active worker");
+    let ShardRuntime {
+        handle,
+        ticks,
+        replay,
+        checkpoint,
+        recorder,
+        ..
+    } = rt;
+    let channel = handle.as_mut().expect("awaiting an active worker");
     loop {
         // Each receive restarts the deadline clock, so heartbeats (and
         // any queued messages from the previous tick) extend liveness.
-        match handle.from.recv_timeout(timeout) {
+        match channel.recv_deadline(timeout) {
             Ok(FromWorker::Heartbeat) => {}
             Ok(FromWorker::TickDone { tick: t, result }) => {
                 // Count each fact once, on first acceptance: a replay
                 // after a restart overwrites the slot bit-identically
                 // and must not inflate the counters (they reconcile
                 // exactly with the final report).
-                if rt.ticks[t].is_none() {
+                if ticks[t].is_none() {
                     let (imputed, masked) = result
                         .degradation
                         .as_ref()
                         .map(|d| (d.imputed_rows.len() as u64, d.masked_rows.len() as u64))
                         .unwrap_or((0, 0));
-                    rt.recorder
-                        .count_tick(result.degradation.is_some(), imputed, masked);
+                    recorder.count_tick(result.degradation.is_some(), imputed, masked);
                 }
-                rt.ticks[t] = Some(Arc::from(result));
-                rt.replay.push(t);
+                ticks[t] = Some(Arc::from(result));
+                // Schedule the tick for post-restart replay — once.
+                // A duplicate delivery (the socket transport resends
+                // the in-flight tick after a reconnect, and duplicated
+                // frames arrive twice by design) must not double-book
+                // the replay schedule, and a tick already covered by
+                // the newest checkpoint must not re-enter it.
+                let covered = checkpoint.as_ref().is_some_and(|(c, _)| t <= *c);
+                if !covered && !replay.contains(&t) {
+                    replay.push(t);
+                }
                 if t == tick {
                     return Ok(());
                 }
             }
             Ok(FromWorker::Checkpoint { tick: t, json }) => {
-                rt.checkpoint = Some((t, json));
-                rt.replay.retain(|&j| j > t);
+                *checkpoint = Some((t, json));
+                replay.retain(|&j| j > t);
             }
             Ok(FromWorker::Failed { message }) => {
                 return Err(FailureCause::Engine(message));
             }
             Ok(FromWorker::Drained) => {}
-            Err(RecvTimeoutError::Timeout) => return Err(FailureCause::Hang),
-            Err(RecvTimeoutError::Disconnected) => return Err(FailureCause::Panic),
+            Err(ChannelError::Timeout) => return Err(FailureCause::Hang),
+            Err(ChannelError::Down) => return Err(FailureCause::Panic),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::VecDeque;
+
+    use tm_core::stream::{StreamEngine, StreamTick};
+
+    use super::*;
+
+    /// A channel that replays a fixed script of worker messages — the
+    /// coordinator-side lens for wire behaviors (duplicate delivery)
+    /// that are awkward to schedule deterministically over real sockets.
+    struct ScriptedChannel {
+        script: VecDeque<FromWorker>,
+    }
+
+    impl WorkerChannel for ScriptedChannel {
+        fn send(&mut self, _msg: ToWorker) -> std::result::Result<(), ()> {
+            Ok(())
+        }
+
+        fn recv_deadline(
+            &mut self,
+            _timeout: Duration,
+        ) -> std::result::Result<FromWorker, ChannelError> {
+            self.script.pop_front().ok_or(ChannelError::Timeout)
+        }
+
+        fn take_events(&mut self) -> Vec<TransportEvent> {
+            Vec::new()
+        }
+
+        fn finish(self: Box<Self>, _grace: Duration) {}
+    }
+
+    /// Satellite: duplicate `TickDone` delivery — by design the socket
+    /// transport can deliver a tick result twice (a duplicated frame, or
+    /// a post-reconnect resend answered from the worker's cache). The
+    /// coordinator must accept the first, treat the second as a no-op:
+    /// telemetry counted once, replay schedule booked once.
+    #[test]
+    fn duplicate_tick_done_is_accepted_once() {
+        let shards = vec![ShardSpec::new("east", tm_traffic::DatasetSpec::tiny(), 11)];
+        let config = DaemonConfig::new(vec!["gravity".parse().unwrap()]);
+        let feeds = build_feeds(&shards, &config, 0..4).unwrap();
+        let feed = feeds.into_iter().next().unwrap();
+
+        // Real results for ticks 0 and 1, so duplicates are
+        // bit-identical — exactly what a resend produces.
+        let mut engine =
+            StreamEngine::for_dataset(&feed.dataset, &config.methods, config.mode).unwrap();
+        let results: Vec<StreamTick> = (0..2)
+            .map(|k| engine.push_interval(feed.dirty[k].clone()).unwrap())
+            .collect();
+
+        let script: VecDeque<FromWorker> = [
+            FromWorker::TickDone {
+                tick: 0,
+                result: Box::new(results[0].clone()),
+            },
+            // The duplicate arrives while tick 1 is in flight.
+            FromWorker::TickDone {
+                tick: 0,
+                result: Box::new(results[0].clone()),
+            },
+            FromWorker::TickDone {
+                tick: 1,
+                result: Box::new(results[1].clone()),
+            },
+        ]
+        .into_iter()
+        .collect();
+
+        let recorder = Arc::new(ShardRecorder::new("east", &["gravity".to_string()]));
+        let mut rt = ShardRuntime {
+            index: 0,
+            feed,
+            handle: Some(Box::new(ScriptedChannel { script })),
+            epoch: 0,
+            restarts: Vec::new(),
+            checkpoint: None,
+            replay: Vec::new(),
+            ticks: (0..4).map(|_| None).collect(),
+            quarantined_at: None,
+            recorder: Arc::clone(&recorder),
+            transport_events: Vec::new(),
+        };
+
+        let timeout = Duration::from_millis(100);
+        await_tick(&mut rt, 0, timeout).expect("tick 0 accepted");
+        assert_eq!(recorder.snapshot().counters.ticks, 1);
+        await_tick(&mut rt, 1, timeout).expect("tick 1 accepted through the duplicate");
+
+        assert_eq!(
+            recorder.snapshot().counters.ticks,
+            2,
+            "each tick counted exactly once despite the duplicate"
+        );
+        assert_eq!(
+            rt.replay,
+            vec![0, 1],
+            "replay schedule booked once per tick"
+        );
+        assert!(rt.ticks[0].is_some() && rt.ticks[1].is_some());
+
+        // And a duplicate of a checkpoint-covered tick must not
+        // re-enter the replay schedule either.
+        rt.checkpoint = Some((1, String::from("unused")));
+        rt.replay.clear();
+        rt.handle = Some(Box::new(ScriptedChannel {
+            script: [
+                FromWorker::TickDone {
+                    tick: 0,
+                    result: Box::new(results[0].clone()),
+                },
+                FromWorker::TickDone {
+                    tick: 2,
+                    result: Box::new(results[1].clone()),
+                },
+            ]
+            .into_iter()
+            .collect(),
+        }));
+        await_tick(&mut rt, 2, timeout).expect("tick 2 accepted");
+        assert_eq!(
+            rt.replay,
+            vec![2],
+            "checkpoint-covered duplicate stays out of the replay schedule"
+        );
     }
 }

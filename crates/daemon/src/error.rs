@@ -12,6 +12,10 @@ pub enum DaemonError {
     InvalidConfig(String),
     /// Dataset generation or feed construction failed.
     Feed(String),
+    /// Socket-transport infrastructure failure: worker binary missing,
+    /// listener unavailable, or a handshake that never completed. Worker
+    /// *deaths* after a successful spawn are supervised, not errors.
+    Transport(String),
     /// Estimation-layer error building or restoring an engine.
     Core(tm_core::EstimationError),
     /// Collection-pipeline error building the shared feed.
@@ -23,6 +27,7 @@ impl fmt::Display for DaemonError {
         match self {
             DaemonError::InvalidConfig(m) => write!(f, "invalid daemon config: {m}"),
             DaemonError::Feed(m) => write!(f, "feed construction failed: {m}"),
+            DaemonError::Transport(m) => write!(f, "transport failure: {m}"),
             DaemonError::Core(e) => write!(f, "estimation error: {e}"),
             DaemonError::Collect(e) => write!(f, "collection error: {e}"),
         }

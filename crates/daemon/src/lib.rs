@@ -8,11 +8,12 @@
 //! polled and estimated around the clock, with partial failures the
 //! norm rather than the exception (§5.1.2, §5.3). This crate is that
 //! setting's execution layer. A coordinator shards per-region
-//! topologies across supervised worker threads, each running a warm
-//! [`tm_core::stream::StreamEngine`] fed from one shared `tm_collect`
-//! SNMP simulation, and aggregates per-tick estimates plus degradation
-//! health into a global view queryable over a small line-delimited JSON
-//! protocol.
+//! topologies across supervised workers — in-process threads or, with
+//! the socket transport, isolated `tm_shard_worker` child processes —
+//! each running a warm [`tm_core::stream::StreamEngine`] fed from one
+//! shared `tm_collect` SNMP simulation, and aggregates per-tick
+//! estimates plus degradation health into a global view queryable over
+//! a small line-delimited JSON protocol.
 //!
 //! * [`config`] — shard roster ([`ShardSpec`]) and supervision policy
 //!   ([`DaemonConfig`]: heartbeat deadline, checkpoint cadence, restart
@@ -25,6 +26,12 @@
 //! * [`coordinator`] — lockstep dispatch, deadline detection,
 //!   restart-with-backoff from the newest checkpoint with replay of the
 //!   uncovered ticks, quarantine after the restart budget, clean drain;
+//! * [`transport`] — the pluggable coordinator↔worker seam: in-process
+//!   threads (default) or process-per-shard sockets with a
+//!   length-prefixed checksummed frame protocol
+//!   ([`transport::wire`]), reconnect-with-backoff, in-flight resend,
+//!   half-open probing, and seeded wire faults
+//!   ([`transport::netchaos`]);
 //! * [`chaos`] — a seeded [`ChaosPlan`] that kills, hangs, or delays
 //!   workers at chosen `(shard, tick)` coordinates — the process-level
 //!   mirror of the data-level `LoadFaultPlan` and collection-level
@@ -63,15 +70,23 @@ pub mod error;
 pub mod feed;
 pub mod protocol;
 pub mod telemetry;
+pub mod transport;
 mod worker;
 
 pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
-pub use config::{load_daemon_toml, parse_daemon_toml, DaemonConfig, DaemonTomlConfig, ShardSpec};
+pub use config::{
+    load_daemon_toml, parse_daemon_toml, DaemonConfig, DaemonTomlConfig, ShardSpec, SocketOptions,
+    TransportConfig,
+};
 pub use coordinator::{Daemon, DaemonReport, FailureCause, RestartEvent, ShardReport, ShardState};
 pub use error::{DaemonError, Result};
 pub use feed::{build_feeds, ShardFeed};
-pub use protocol::{handle_line, handle_line_view, serve, serve_live};
+pub use protocol::{
+    handle_line, handle_line_view, serve, serve_deadline, serve_live, serve_live_deadline,
+};
 pub use telemetry::{
     HistogramSummary, LiveBus, LivePhase, LiveShard, LiveView, LogHistogram, TelemetryCounters,
     TelemetrySnapshot,
 };
+pub use transport::netchaos::{NetFaultEvent, NetFaultKind, NetFaultPlan};
+pub use transport::{TransportEvent, TransportEventKind};

@@ -218,6 +218,17 @@ fn shard_health(shard: &LiveShard) -> Value {
             ])
         })
         .collect();
+    let transport: Vec<Value> = shard
+        .transport_events
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("tick", n(e.tick)),
+                ("epoch", n(e.epoch)),
+                ("event", s(e.kind.to_string())),
+            ])
+        })
+        .collect();
     obj(vec![
         ("name", s(&shard.name)),
         ("state", phase_value(&shard.phase)),
@@ -228,6 +239,7 @@ fn shard_health(shard: &LiveShard) -> Value {
         ),
         ("lost_polls", n(shard.lost_polls)),
         ("degraded", Value::Seq(degraded)),
+        ("transport_events", Value::Seq(transport)),
     ])
 }
 
@@ -364,6 +376,8 @@ fn counters_value(counters: &TelemetryCounters) -> Value {
         ("masked_rows", u(counters.masked_rows)),
         ("restarts", u(counters.restarts)),
         ("checkpoints", u(counters.checkpoints)),
+        ("reconnects", u(counters.reconnects)),
+        ("resent_frames", u(counters.resent_frames)),
     ])
 }
 
@@ -412,7 +426,8 @@ fn stats_text(view: &LiveView, shards: &[&ShardTelemetry]) -> String {
     for shard in shards {
         let c = &shard.counters;
         text.push_str(&format!(
-            "shard {}: ticks={} degraded={} imputed={} masked={} restarts={} checkpoints={}\n",
+            "shard {}: ticks={} degraded={} imputed={} masked={} restarts={} checkpoints={} \
+             reconnects={} resent={}\n",
             shard.name,
             c.ticks,
             c.degraded_ticks,
@@ -420,6 +435,8 @@ fn stats_text(view: &LiveView, shards: &[&ShardTelemetry]) -> String {
             c.masked_rows,
             c.restarts,
             c.checkpoints,
+            c.reconnects,
+            c.resent_frames,
         ));
         let qd = shard.queue_delay.summary();
         let ck = shard.checkpoint.summary();
@@ -640,35 +657,74 @@ fn whatif(view: &LiveView, request: &Value) -> Value {
     obj(fields)
 }
 
+/// How long an accepted client may sit silent between request lines
+/// before the serve loop drops it and moves on to the next connection.
+/// One stuck (or merely connected-and-idle) client must never wedge the
+/// single-threaded accept loop forever.
+pub const CLIENT_READ_DEADLINE: std::time::Duration = std::time::Duration::from_secs(30);
+
 /// Serve [`handle_line`] over a TCP listener, one client at a time,
 /// until a client sends `{"cmd":"shutdown"}`. Connection drops move on
-/// to the next client; the listener itself erroring ends the loop.
+/// to the next client; the listener itself erroring ends the loop. A
+/// client that stays silent for [`CLIENT_READ_DEADLINE`] is dropped.
 pub fn serve(report: &DaemonReport, listener: TcpListener) -> std::io::Result<()> {
+    serve_deadline(report, listener, CLIENT_READ_DEADLINE)
+}
+
+/// [`serve`] with an explicit per-connection read deadline.
+pub fn serve_deadline(
+    report: &DaemonReport,
+    listener: TcpListener,
+    read_deadline: std::time::Duration,
+) -> std::io::Result<()> {
     let view = report.live_view();
-    serve_with(|line| handle_line_view(&view, line), listener)
+    serve_with(
+        |line| handle_line_view(&view, line),
+        listener,
+        read_deadline,
+    )
 }
 
 /// Serve [`handle_line_view`] over a TCP listener against an in-flight
 /// run: every request is answered from the newest view published on
 /// `bus`, so answers advance as the coordinator streams the day. Same
-/// loop discipline as [`serve`].
+/// loop discipline (and silent-client deadline) as [`serve`].
 pub fn serve_live(bus: &LiveBus, listener: TcpListener) -> std::io::Result<()> {
-    serve_with(|line| handle_line_view(&bus.load(), line), listener)
+    serve_live_deadline(bus, listener, CLIENT_READ_DEADLINE)
+}
+
+/// [`serve_live`] with an explicit per-connection read deadline.
+pub fn serve_live_deadline(
+    bus: &LiveBus,
+    listener: TcpListener,
+    read_deadline: std::time::Duration,
+) -> std::io::Result<()> {
+    serve_with(
+        |line| handle_line_view(&bus.load(), line),
+        listener,
+        read_deadline,
+    )
 }
 
 fn serve_with(
     mut respond: impl FnMut(&str) -> String,
     listener: TcpListener,
+    read_deadline: std::time::Duration,
 ) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
+        // A read deadline, not a slice: `read_line` blocks until a full
+        // line, the timeout, or EOF — whichever comes first. A silent
+        // client therefore costs at most one deadline, then the loop
+        // accepts the next connection.
+        stream.set_read_timeout(Some(read_deadline.max(std::time::Duration::from_millis(1))))?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         let mut line = String::new();
         loop {
             line.clear();
             match reader.read_line(&mut line) {
-                Ok(0) | Err(_) => break, // client went away
+                Ok(0) | Err(_) => break, // client went away or went silent
                 Ok(_) => {}
             }
             if line.trim().is_empty() {

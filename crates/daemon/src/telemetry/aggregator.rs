@@ -51,6 +51,12 @@ pub struct TelemetryCounters {
     pub restarts: u64,
     /// Checkpoints serialized (every attempt, including replays).
     pub checkpoints: u64,
+    /// Wire-level reconnects the shard's transport performed (socket
+    /// transport only; always 0 for the thread transport).
+    pub reconnects: u64,
+    /// In-flight tick frames resent after a reconnect (socket transport
+    /// only).
+    pub resent_frames: u64,
 }
 
 impl TelemetryCounters {
@@ -63,6 +69,8 @@ impl TelemetryCounters {
             masked_rows: self.masked_rows + other.masked_rows,
             restarts: self.restarts + other.restarts,
             checkpoints: self.checkpoints + other.checkpoints,
+            reconnects: self.reconnects + other.reconnects,
+            resent_frames: self.resent_frames + other.resent_frames,
         }
     }
 }
@@ -82,6 +90,8 @@ pub struct ShardRecorder {
     masked_rows: AtomicU64,
     restarts: AtomicU64,
     checkpoints: AtomicU64,
+    reconnects: AtomicU64,
+    resent_frames: AtomicU64,
 }
 
 impl ShardRecorder {
@@ -99,6 +109,8 @@ impl ShardRecorder {
             masked_rows: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            resent_frames: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +154,17 @@ impl ShardRecorder {
         self.restarts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a wire-level reconnect (socket transport, parent side).
+    pub fn count_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an in-flight tick frame resent after a reconnect (socket
+    /// transport, parent side).
+    pub fn count_resent(&self) {
+        self.resent_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Cut a plain snapshot of this shard's telemetry.
     pub fn snapshot(&self) -> ShardTelemetry {
         ShardTelemetry {
@@ -161,6 +184,8 @@ impl ShardRecorder {
                 masked_rows: self.masked_rows.load(Ordering::Relaxed),
                 restarts: self.restarts.load(Ordering::Relaxed),
                 checkpoints: self.checkpoints.load(Ordering::Relaxed),
+                reconnects: self.reconnects.load(Ordering::Relaxed),
+                resent_frames: self.resent_frames.load(Ordering::Relaxed),
             },
         }
     }
@@ -286,6 +311,9 @@ mod tests {
         west.record_checkpoint(10_000);
         west.count_tick(true, 3, 1);
         west.count_restart();
+        west.count_reconnect();
+        west.count_reconnect();
+        west.count_resent();
         let snap = hub.snapshot();
         let w = snap.shard("west").unwrap();
         assert_eq!(w.solve[0].1.count(), 1);
@@ -301,6 +329,8 @@ mod tests {
                 masked_rows: 1,
                 restarts: 1,
                 checkpoints: 1,
+                reconnects: 2,
+                resent_frames: 1,
             }
         );
         assert!(snap.shard("east").unwrap().solve[0].1.is_empty());

@@ -32,6 +32,7 @@ use tm_traffic::EvalDataset;
 
 use super::aggregator::TelemetrySnapshot;
 use crate::coordinator::RestartEvent;
+use crate::transport::TransportEvent;
 
 /// A shard's phase as seen mid-run (the live superset of the terminal
 /// [`crate::ShardState`]).
@@ -67,6 +68,10 @@ pub struct LiveShard {
     /// The shard's region dataset — routing + topology for `whatif`
     /// link-load projections (read-only; solver state is never shared).
     pub dataset: Arc<EvalDataset>,
+    /// Wire-level incidents the shard's transport surfaced so far
+    /// (reconnects, resends, injected faults). Always empty for the
+    /// thread transport.
+    pub transport_events: Vec<TransportEvent>,
 }
 
 impl LiveShard {

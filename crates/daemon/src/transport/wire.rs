@@ -1,0 +1,525 @@
+//! Length-prefixed, checksummed frames for the socket transport.
+//!
+//! Every message between the coordinator and a `tm_shard_worker` child
+//! process is one frame:
+//!
+//! ```text
+//! [magic u32 BE][type u8][payload len u32 BE][crc32 u32 BE][payload]
+//! ```
+//!
+//! The payload is the frame body serialized as JSON through the
+//! vendored `serde_json` (exact f64 round-trips, so estimates survive
+//! the wire bit for bit). The CRC-32 (IEEE reflected polynomial,
+//! hand-rolled — the workspace vendors its dependencies) covers the
+//! type byte and the payload, so a flipped bit anywhere in the body
+//! surfaces as a typed [`FrameError::Checksum`] instead of a garbage
+//! deserialization. Decoding is incremental: [`decode`] returns
+//! `Ok(None)` on a partial buffer ("need more bytes"), and a typed
+//! [`FrameError`] only for data that can never become a valid frame —
+//! the caller's cue to drop the connection and reconnect.
+
+use serde::{Deserialize, Serialize};
+use tm_core::stream::StreamTick;
+use tm_core::Method;
+use tm_traffic::{DatasetSpec, IntervalLoads};
+
+use crate::chaos::ChaosKind;
+
+/// Frame preamble (`b"TMW1"` as a big-endian u32).
+pub const MAGIC: u32 = 0x544D_5731;
+
+/// Hard ceiling on a frame's payload, far above any real checkpoint.
+/// A corrupted length field fails fast as [`FrameError::TooLarge`]
+/// instead of stalling on a multi-gigabyte read.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Bytes of frame header before the payload.
+pub const HEADER_LEN: usize = 13;
+
+/// Typed decode failures. Everything here means the byte stream can
+/// never yield a valid frame again — the connection must be dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The next four bytes were not [`MAGIC`] — framing is lost.
+    BadMagic(u32),
+    /// Unknown frame type byte (protocol mismatch between ends).
+    UnknownType(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(usize),
+    /// Payload checksum mismatch (corruption in flight).
+    Checksum {
+        /// CRC the header declared.
+        expected: u32,
+        /// CRC of the bytes actually received.
+        got: u32,
+    },
+    /// The payload passed its checksum but is not the declared body.
+    Json(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+            FrameError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, body {got:#010x}"
+                )
+            }
+            FrameError::Json(m) => write!(f, "frame body does not deserialize: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Worker configuration shipped in the handshake: everything a child
+/// process needs to rebuild the shard's engine deterministically —
+/// dataset spec + seed (regenerated child-side, never shipped whole),
+/// method roster, mode, checkpoint cadence, and an optional serialized
+/// checkpoint to restore from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigureBody {
+    /// Shard roster index (for chaos coordinates and diagnostics).
+    pub shard: usize,
+    /// Shard name (diagnostics only).
+    pub name: String,
+    /// Region dataset specification.
+    pub spec: DatasetSpec,
+    /// Dataset generation seed.
+    pub seed: u64,
+    /// Estimation methods, in label order.
+    pub methods: Vec<Method>,
+    /// Warm streaming (false = cold).
+    pub warm: bool,
+    /// Checkpoint cadence in ticks (0 = never).
+    pub checkpoint_every: usize,
+    /// Coordinator's liveness deadline in milliseconds — the child
+    /// sizes its chaos sleeps and reconnect budget from this.
+    pub heartbeat_timeout_ms: u64,
+    /// Serialized [`tm_core::checkpoint::EngineCheckpoint`] to restore
+    /// before the first tick (`None` = cold start).
+    pub checkpoint: Option<String>,
+}
+
+/// One message in either direction. (No `PartialEq`: tick results
+/// carry `f64`s including NaN; equality over the wire means "same
+/// encoded bytes", which is what the tests assert.)
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Child → parent, first frame on every connection. `resume` is
+    /// false on the initial connect and true after a reconnect (the
+    /// parent then resends the in-flight tick instead of configuring).
+    Hello {
+        /// Spawn token — rejects strays connecting to the wrong port.
+        token: String,
+        /// Whether this connection resumes an established session.
+        resume: bool,
+    },
+    /// Parent → child: build the engine (initial connection only).
+    Configure(Box<ConfigureBody>),
+    /// Child → parent: engine built (and checkpoint restored), ready
+    /// for ticks.
+    Ready,
+    /// Parent → child: solve one interval.
+    Tick {
+        /// Feed-relative tick index.
+        tick: usize,
+        /// Chaos directive consumed at dispatch, if any.
+        chaos: Option<ChaosKind>,
+        /// Interval loads (possibly dirty).
+        loads: Box<IntervalLoads>,
+    },
+    /// Child → parent: alive, starting the dispatched tick.
+    Heartbeat,
+    /// Child → parent: one tick's estimates + degradation record.
+    TickDone {
+        /// Tick the result belongs to.
+        tick: usize,
+        /// The engine's output, exact through the JSON wire form.
+        result: Box<StreamTick>,
+    },
+    /// Child → parent: serialized warm-state checkpoint after `tick`.
+    Checkpoint {
+        /// Tick the checkpoint covers (taken after it).
+        tick: usize,
+        /// Serialized engine state.
+        json: String,
+        /// Serialization wall time (child-side clock) for telemetry.
+        ckpt_ns: u64,
+    },
+    /// Child → parent: hard engine error; the child exits after this.
+    Failed {
+        /// Rendered error.
+        message: String,
+    },
+    /// Parent → child: finish up and exit cleanly.
+    Drain,
+    /// Child → parent: clean drain acknowledgement.
+    Drained,
+}
+
+// Body structs for the framed JSON payloads (unit frames have none).
+#[derive(Serialize, Deserialize)]
+struct HelloBody {
+    token: String,
+    resume: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TickBody {
+    tick: usize,
+    chaos: Option<ChaosKind>,
+    loads: IntervalLoads,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TickDoneBody {
+    tick: usize,
+    result: StreamTick,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CheckpointBody {
+    tick: usize,
+    json: String,
+    ckpt_ns: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct FailedBody {
+    message: String,
+}
+
+const T_HELLO: u8 = 1;
+const T_CONFIGURE: u8 = 2;
+const T_READY: u8 = 3;
+const T_TICK: u8 = 4;
+const T_HEARTBEAT: u8 = 5;
+const T_TICK_DONE: u8 = 6;
+const T_CHECKPOINT: u8 = 7;
+const T_FAILED: u8 = 8;
+const T_DRAIN: u8 = 9;
+const T_DRAINED: u8 = 10;
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table built at compile
+// time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 over `parts`, in order (lets the encoder checksum the type
+/// byte and payload without concatenating them first).
+fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn frame_type(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Hello { .. } => T_HELLO,
+        Frame::Configure(_) => T_CONFIGURE,
+        Frame::Ready => T_READY,
+        Frame::Tick { .. } => T_TICK,
+        Frame::Heartbeat => T_HEARTBEAT,
+        Frame::TickDone { .. } => T_TICK_DONE,
+        Frame::Checkpoint { .. } => T_CHECKPOINT,
+        Frame::Failed { .. } => T_FAILED,
+        Frame::Drain => T_DRAIN,
+        Frame::Drained => T_DRAINED,
+    }
+}
+
+fn payload(frame: &Frame) -> String {
+    let json = |r: Result<String, serde_json::Error>| r.expect("wire bodies always serialize");
+    match frame {
+        Frame::Hello { token, resume } => json(serde_json::to_string(&HelloBody {
+            token: token.clone(),
+            resume: *resume,
+        })),
+        Frame::Configure(body) => json(serde_json::to_string(body.as_ref())),
+        Frame::Tick { tick, chaos, loads } => json(serde_json::to_string(&TickBody {
+            tick: *tick,
+            chaos: *chaos,
+            loads: (**loads).clone(),
+        })),
+        Frame::TickDone { tick, result } => json(serde_json::to_string(&TickDoneBody {
+            tick: *tick,
+            result: (**result).clone(),
+        })),
+        Frame::Checkpoint {
+            tick,
+            json: ckpt,
+            ckpt_ns,
+        } => json(serde_json::to_string(&CheckpointBody {
+            tick: *tick,
+            json: ckpt.clone(),
+            ckpt_ns: *ckpt_ns,
+        })),
+        Frame::Failed { message } => json(serde_json::to_string(&FailedBody {
+            message: message.clone(),
+        })),
+        Frame::Ready | Frame::Heartbeat | Frame::Drain | Frame::Drained => String::new(),
+    }
+}
+
+/// Encode one frame to its wire bytes.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let kind = frame_type(frame);
+    let body = payload(frame);
+    let body = body.as_bytes();
+    let crc = crc32(&[&[kind], body]);
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(kind);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc.to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, FrameError> {
+    let text = std::str::from_utf8(body).map_err(|e| FrameError::Json(e.to_string()))?;
+    let de = |e: serde_json::Error| FrameError::Json(e.to_string());
+    Ok(match kind {
+        T_HELLO => {
+            let b: HelloBody = serde_json::from_str(text).map_err(de)?;
+            Frame::Hello {
+                token: b.token,
+                resume: b.resume,
+            }
+        }
+        T_CONFIGURE => {
+            let b: ConfigureBody = serde_json::from_str(text).map_err(de)?;
+            Frame::Configure(Box::new(b))
+        }
+        T_READY => Frame::Ready,
+        T_TICK => {
+            let b: TickBody = serde_json::from_str(text).map_err(de)?;
+            Frame::Tick {
+                tick: b.tick,
+                chaos: b.chaos,
+                loads: Box::new(b.loads),
+            }
+        }
+        T_HEARTBEAT => Frame::Heartbeat,
+        T_TICK_DONE => {
+            let b: TickDoneBody = serde_json::from_str(text).map_err(de)?;
+            Frame::TickDone {
+                tick: b.tick,
+                result: Box::new(b.result),
+            }
+        }
+        T_CHECKPOINT => {
+            let b: CheckpointBody = serde_json::from_str(text).map_err(de)?;
+            Frame::Checkpoint {
+                tick: b.tick,
+                json: b.json,
+                ckpt_ns: b.ckpt_ns,
+            }
+        }
+        T_FAILED => {
+            let b: FailedBody = serde_json::from_str(text).map_err(de)?;
+            Frame::Failed { message: b.message }
+        }
+        T_DRAIN => Frame::Drain,
+        T_DRAINED => Frame::Drained,
+        other => return Err(FrameError::UnknownType(other)),
+    })
+}
+
+/// Try to decode one frame from the front of `buf`. Returns the frame
+/// and the bytes consumed, `Ok(None)` if the buffer holds only a
+/// partial frame, or a typed error for bytes that can never frame.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let magic = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let kind = buf[4];
+    let len = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::TooLarge(len));
+    }
+    let expected = u32::from_be_bytes([buf[9], buf[10], buf[11], buf[12]]);
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    let body = &buf[HEADER_LEN..HEADER_LEN + len];
+    let got = crc32(&[&[kind], body]);
+    if got != expected {
+        return Err(FrameError::Checksum { expected, got });
+    }
+    let frame = decode_body(kind, body)?;
+    Ok(Some((frame, HEADER_LEN + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                token: "t-1".into(),
+                resume: false,
+            },
+            Frame::Configure(Box::new(ConfigureBody {
+                shard: 1,
+                name: "west".into(),
+                spec: DatasetSpec::tiny(),
+                seed: 11,
+                methods: vec![
+                    "gravity".parse().unwrap(),
+                    "entropy:lambda=1e3".parse().unwrap(),
+                ],
+                warm: true,
+                checkpoint_every: 8,
+                heartbeat_timeout_ms: 2_000,
+                checkpoint: Some("{\"v\":1}".into()),
+            })),
+            Frame::Ready,
+            Frame::Tick {
+                tick: 7,
+                chaos: Some(ChaosKind::Delay),
+                loads: Box::new(IntervalLoads {
+                    link_loads: vec![1.5, f64::NAN, 0.25],
+                    ingress: vec![0.125],
+                    egress: vec![2.0],
+                }),
+            },
+            Frame::Heartbeat,
+            Frame::Checkpoint {
+                tick: 15,
+                json: "{\"state\":[1,2]}".into(),
+                ckpt_ns: 12_345,
+            },
+            Frame::Failed {
+                message: "singular".into(),
+            },
+            Frame::Drain,
+            Frame::Drained,
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_and_stream_decodes_incrementally() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        // Feed the stream byte by byte: partial prefixes must say
+        // "need more", never error.
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
+        for end in 0..=stream.len() {
+            while let Some((frame, used)) =
+                decode(&stream[pos..end]).expect("valid stream never errors")
+            {
+                decoded.push(frame);
+                pos += used;
+            }
+        }
+        // Wire equality = byte equality: re-encoding a decoded frame
+        // reproduces the original bytes exactly (NaN travels as JSON
+        // null in both directions, finite floats round-trip bitwise).
+        assert_eq!(decoded.len(), frames.len());
+        for (got, want) in decoded.iter().zip(&frames) {
+            assert_eq!(encode(got), encode(want));
+        }
+        // And the NaN slot specifically comes back as NaN, not zero.
+        let Frame::Tick { loads, .. } = &decoded[3] else {
+            panic!("frame 3 is the tick");
+        };
+        assert!(loads.link_loads[1].is_nan());
+    }
+
+    #[test]
+    fn exact_f64_wire_roundtrip() {
+        // The transport's bit-identity guarantee rests on this.
+        let loads = IntervalLoads {
+            link_loads: vec![0.1 + 0.2, 1e-300, 123_456_789.987_654_32],
+            ingress: vec![std::f64::consts::PI],
+            egress: vec![f64::MIN_POSITIVE],
+        };
+        let bytes = encode(&Frame::Tick {
+            tick: 0,
+            chaos: None,
+            loads: Box::new(loads.clone()),
+        });
+        let Some((Frame::Tick { loads: got, .. }, _)) = decode(&bytes).unwrap() else {
+            panic!("tick frame");
+        };
+        for (a, b) in got.link_loads.iter().zip(&loads.link_loads) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(got.ingress[0].to_bits(), loads.ingress[0].to_bits());
+    }
+
+    #[test]
+    fn corruption_is_a_typed_checksum_error() {
+        let mut bytes = encode(&Frame::Failed {
+            message: "boom".into(),
+        });
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // flip a payload bit
+        assert!(matches!(decode(&bytes), Err(FrameError::Checksum { .. })));
+    }
+
+    #[test]
+    fn framing_errors_are_typed() {
+        let good = encode(&Frame::Ready);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = 0;
+        assert!(matches!(decode(&bad), Err(FrameError::BadMagic(_))));
+        // Unknown type (re-checksum so it reaches the body decoder).
+        let mut bad = encode(&Frame::Ready);
+        bad[4] = 99;
+        let crc = crc32(&[&[99u8], &[]]);
+        bad[9..13].copy_from_slice(&crc.to_be_bytes());
+        assert!(matches!(decode(&bad), Err(FrameError::UnknownType(99))));
+        // Oversized length.
+        let mut bad = good.clone();
+        bad[5..9].copy_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(matches!(decode(&bad), Err(FrameError::TooLarge(_))));
+        // Truncation is not an error.
+        assert!(decode(&good[..5]).unwrap().is_none());
+        assert!(decode(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn crc_is_the_reference_ieee_crc32() {
+        // Known-answer test: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+}

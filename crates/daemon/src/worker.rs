@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 use tm_core::stream::{StreamEngine, StreamTick};
 use tm_traffic::IntervalLoads;
 
-use crate::chaos::{ChaosKind, ChaosState};
+use crate::chaos::ChaosKind;
 use crate::telemetry::ShardRecorder;
 
 /// Clamp a duration into the histograms' nanosecond domain.
@@ -51,7 +51,13 @@ pub(crate) enum ToWorker {
         /// Interval loads (possibly dirty — the engine's quality ladder
         /// handles that).
         loads: Box<IntervalLoads>,
-        /// Dispatch instant, for the queue-delay histogram.
+        /// Chaos directive the coordinator consumed at dispatch
+        /// (consume-once, so a redelivery after the resulting restart
+        /// carries `None`). Executed by the worker after its
+        /// heartbeat, whichever side of a process boundary it's on.
+        chaos: Option<ChaosKind>,
+        /// Dispatch instant, for the queue-delay histogram (thread
+        /// transport only — the socket channel clocks parent-side).
         sent: Instant,
     },
     /// Finish up and exit cleanly.
@@ -99,10 +105,8 @@ pub(crate) struct WorkerPolicy {
 
 /// Spawn a new worker epoch over an already-built (or restored) engine.
 pub(crate) fn spawn_worker(
-    shard: usize,
     mut engine: StreamEngine,
     policy: WorkerPolicy,
-    chaos: Arc<ChaosState>,
     recorder: Arc<ShardRecorder>,
 ) -> WorkerHandle {
     let (to_tx, to_rx) = channel::<ToWorker>();
@@ -114,12 +118,17 @@ pub(crate) fn spawn_worker(
                     let _ = from_tx.send(FromWorker::Drained);
                     return;
                 }
-                ToWorker::Tick { tick, loads, sent } => {
+                ToWorker::Tick {
+                    tick,
+                    loads,
+                    chaos,
+                    sent,
+                } => {
                     let queue_ns = as_ns(sent.elapsed());
                     if from_tx.send(FromWorker::Heartbeat).is_err() {
                         return; // stale epoch: coordinator moved on
                     }
-                    match chaos.take(shard, tick) {
+                    match chaos {
                         // Abrupt death mid-tick: drop the channels
                         // without a word, like a panic or an OOM kill
                         // would. The coordinator sees a disconnect.

@@ -392,3 +392,84 @@ kind = "kill"
         );
     }
 }
+
+/// Satellite: a connected-but-silent client must not wedge the
+/// single-threaded serve loop. The per-connection read deadline drops
+/// it, and the next queued client gets served.
+#[test]
+fn silent_client_cannot_wedge_the_serve_loop() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let daemon = Daemon::new(shards(), config()).unwrap();
+    let report = daemon.run(0..2).unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let deadline = Duration::from_millis(200);
+    let server = std::thread::spawn(move || tm_daemon::serve_deadline(&report, listener, deadline));
+
+    // First client connects and says nothing; it holds the accept loop
+    // for at most one deadline.
+    let silent = TcpStream::connect(addr).unwrap();
+
+    // Second client queues behind it and must still get answers.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+
+    let start = std::time::Instant::now();
+    writeln!(writer, r#"{{"cmd":"status"}}"#).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "{line}");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "second client waited {:?} behind a silent one",
+        start.elapsed()
+    );
+
+    line.clear();
+    writeln!(writer, r#"{{"cmd":"shutdown"}}"#).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""bye":true"#), "{line}");
+    drop(silent);
+    server.join().unwrap().unwrap();
+}
+
+/// The same deadline protects the live server mid-run.
+#[test]
+fn live_serve_applies_the_read_deadline() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let bus = Arc::new(LiveBus::new());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_bus = Arc::clone(&bus);
+    let deadline = Duration::from_millis(150);
+    let server =
+        std::thread::spawn(move || tm_daemon::serve_live_deadline(&server_bus, listener, deadline));
+
+    let silent = TcpStream::connect(addr).unwrap();
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+    writeln!(writer, r#"{{"cmd":"status"}}"#).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "{line}");
+
+    line.clear();
+    writeln!(writer, r#"{{"cmd":"shutdown"}}"#).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""bye":true"#), "{line}");
+    drop(silent);
+    server.join().unwrap().unwrap();
+}

@@ -1,0 +1,171 @@
+//! Fuzzing the hand-rolled TOML parser: arbitrary input — random
+//! bytes, mutated valid configs, pathological nesting — must always
+//! come back as `Ok` or a descriptive `InvalidConfig`, never a panic,
+//! hang, or stack overflow. The parser fronts checked-in CI configs, so
+//! its failure mode IS the operator experience.
+
+use proptest::prelude::*;
+use tm_daemon::parse_daemon_toml;
+
+const GOOD: &str = r#"
+[daemon]
+methods = ["gravity", "entropy:lambda=1e3"]
+mode = "warm"
+ticks = 8
+heartbeat_timeout_ms = 4000
+checkpoint_every = 4
+transport = "socket"
+connect_timeout_ms = 2000
+
+[[shard]]
+name = "west"
+topology = "tiny"
+seed = 3
+
+[[net_chaos]]
+shard = 0
+tick = 3
+kind = "drop"
+"#;
+
+/// Parse and, on failure, require a non-empty diagnostic — the two
+/// shapes the parser's contract allows are `Ok` and a described error.
+fn parse_never_panics(text: &str) {
+    if let Err(e) = parse_daemon_toml(text) {
+        let msg = e.to_string();
+        assert!(
+            !msg.is_empty(),
+            "error for {text:?} must describe the problem"
+        );
+    }
+}
+
+/// Map a code point in `0..97` onto printable ASCII plus `\n`/`\t`.
+fn printable(code: u8) -> char {
+    match code {
+        95 => '\n',
+        96 => '\t',
+        c => (b' ' + c) as char,
+    }
+}
+
+/// One TOML-shaped line from a (kind, seed) pair: section headers, keys
+/// with scalar/string/array values, comments — including unbalanced and
+/// truncated variants.
+fn toml_shaped_line(kind: usize, seed: u64) -> String {
+    let word: String = (0..(seed % 9 + 1))
+        .map(|i| (b'a' + ((seed >> (i * 5)) % 26) as u8) as char)
+        .collect();
+    match kind {
+        0 => format!("[[{word}]]"),
+        1 => format!("[{word}"),
+        2 => format!("{word} = {}", seed as i64),
+        3 => format!("{word} = \"{word}"),
+        4 => {
+            let depth = (seed % 40) as usize;
+            format!(
+                "{word} = {}{},{}",
+                "[".repeat(depth),
+                seed % 10,
+                "]".repeat(depth / 2)
+            )
+        }
+        5 => "methods = [\"gravity\"]".to_string(),
+        _ => format!("# {word}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totally arbitrary printable input (plus newlines and tabs).
+    #[test]
+    fn arbitrary_text_never_panics(codes in collection::vec(0u8..97, 0..400)) {
+        let text: String = codes.into_iter().map(printable).collect();
+        parse_never_panics(&text);
+    }
+
+    /// Arbitrary bytes forced through lossy UTF-8 — covers control
+    /// characters and replacement chars.
+    #[test]
+    fn arbitrary_bytes_never_panic(codes in collection::vec(0u16..256, 0..400)) {
+        let bytes: Vec<u8> = codes.into_iter().map(|c| c as u8).collect();
+        parse_never_panics(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Structured garbage that *looks* like the schema: random section
+    /// headers, keys and values in TOML-ish shapes, many deliberately
+    /// unbalanced or truncated.
+    #[test]
+    fn toml_shaped_garbage_never_panics(
+        lines in collection::vec((0usize..7, 0u64..u64::MAX), 0..25)
+    ) {
+        let text: Vec<String> = lines
+            .into_iter()
+            .map(|(kind, seed)| toml_shaped_line(kind, seed))
+            .collect();
+        parse_never_panics(&text.join("\n"));
+    }
+
+    /// Single-character mutations and truncations of a valid config:
+    /// the classic typo space where recursive parsers break.
+    #[test]
+    fn mutated_valid_configs_never_panic(
+        pos in 0usize..GOOD.len(),
+        replacement in 0u8..97,
+        truncate in 0u8..2,
+    ) {
+        let mut text = String::from(GOOD);
+        if truncate == 1 {
+            text.truncate(pos); // GOOD is ASCII: every index is a boundary
+        } else {
+            text.replace_range(pos..pos + 1, &printable(replacement).to_string());
+        }
+        parse_never_panics(&text);
+    }
+
+    /// Bracket bombs of arbitrary depth: bounded recursion means a
+    /// typed error, not a stack overflow.
+    #[test]
+    fn bracket_bombs_error_with_a_line_number(depth in 1usize..2000) {
+        let text = format!(
+            "[daemon]\nmethods = {}{}\n",
+            "[".repeat(depth),
+            "]".repeat(depth)
+        );
+        let msg = parse_daemon_toml(&text)
+            .expect_err("a bracket bomb is never a complete config")
+            .to_string();
+        // Shallow bombs parse as (invalid) nested arrays and die on the
+        // schema; past the recursion cap the parser itself must refuse,
+        // with the line number and the reason.
+        if depth > 33 {
+            prop_assert!(
+                msg.contains("line") && msg.contains("nested"),
+                "`{}` should name the line and the nesting cap", msg
+            );
+        }
+    }
+}
+
+/// Syntax errors from representative malformed inputs all carry line
+/// numbers (deterministic companions to the random sweeps above).
+#[test]
+fn malformed_inputs_yield_line_numbered_errors() {
+    for bad in [
+        "[daemon]\nmethods = [\"gravity\"\n",
+        "[daemon]\nmethods = \"gravity",
+        "key = 1\n",
+        "[daemon]\nx = \"a\\q\"\n",
+        "[]\n",
+        "[daemon]\nmethods = [,]\n",
+        "[daemon]\n= 3\n",
+        "[daemon]\nmethods = [\"gravity\"]]\n",
+    ] {
+        let msg = parse_daemon_toml(bad).expect_err("must fail").to_string();
+        assert!(
+            msg.contains("line"),
+            "{bad:?} => `{msg}` lacks a line number"
+        );
+    }
+}

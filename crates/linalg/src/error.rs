@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 /// Errors produced by factorizations and solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
@@ -60,6 +62,69 @@ impl fmt::Display for LinalgError {
 
 impl std::error::Error for LinalgError {}
 
+// Hand-written wire form (the vendored derive covers only unit-variant
+// enums): a tagged `{"kind": ..}` object carrying each variant's
+// fields, exact for the daemon's cross-process transport.
+impl Serialize for LinalgError {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        Value::Map(match self {
+            LinalgError::ShapeMismatch { context } => vec![
+                kind("shape_mismatch"),
+                ("context".to_string(), context.to_value()),
+            ],
+            LinalgError::Singular { pivot } => {
+                vec![kind("singular"), ("pivot".to_string(), pivot.to_value())]
+            }
+            LinalgError::NotPositiveDefinite { index } => vec![
+                kind("not_positive_definite"),
+                ("index".to_string(), index.to_value()),
+            ],
+            LinalgError::DidNotConverge {
+                iterations,
+                residual,
+            } => vec![
+                kind("did_not_converge"),
+                ("iterations".to_string(), iterations.to_value()),
+                ("residual".to_string(), residual.to_value()),
+            ],
+            LinalgError::InvalidArgument(msg) => vec![
+                kind("invalid_argument"),
+                ("message".to_string(), msg.to_value()),
+            ],
+        })
+    }
+}
+
+impl Deserialize for LinalgError {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.field("kind")? {
+            Value::Str(k) => match k.as_str() {
+                "shape_mismatch" => Ok(LinalgError::ShapeMismatch {
+                    context: String::from_value(v.field("context")?)?,
+                }),
+                "singular" => Ok(LinalgError::Singular {
+                    pivot: usize::from_value(v.field("pivot")?)?,
+                }),
+                "not_positive_definite" => Ok(LinalgError::NotPositiveDefinite {
+                    index: usize::from_value(v.field("index")?)?,
+                }),
+                "did_not_converge" => Ok(LinalgError::DidNotConverge {
+                    iterations: usize::from_value(v.field("iterations")?)?,
+                    residual: f64::from_value(v.field("residual")?)?,
+                }),
+                "invalid_argument" => Ok(LinalgError::InvalidArgument(String::from_value(
+                    v.field("message")?,
+                )?)),
+                other => Err(DeError(format!("unknown LinalgError kind `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "LinalgError kind must be a string: {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +146,29 @@ mod tests {
         assert!(e.to_string().contains("100"));
         let e = LinalgError::InvalidArgument("empty".into());
         assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn wire_form_roundtrips_every_variant() {
+        for e in [
+            LinalgError::ShapeMismatch {
+                context: "3x4 * 5".into(),
+            },
+            LinalgError::Singular { pivot: 7 },
+            LinalgError::NotPositiveDefinite { index: 2 },
+            LinalgError::DidNotConverge {
+                iterations: 100,
+                residual: 1e-3,
+            },
+            LinalgError::InvalidArgument("empty".into()),
+        ] {
+            assert_eq!(LinalgError::from_value(&e.to_value()).unwrap(), e);
+        }
+        assert!(LinalgError::from_value(&Value::Null).is_err());
+        assert!(LinalgError::from_value(&Value::Map(vec![(
+            "kind".into(),
+            Value::Str("nope".into())
+        )]))
+        .is_err());
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 /// Errors produced while building topologies or routing demands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
@@ -48,6 +50,69 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+// Hand-written wire form (the vendored derive covers only unit-variant
+// enums): a tagged `{"kind": ..}` object, exact for the daemon's
+// cross-process transport.
+impl Serialize for NetError {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        Value::Map(match self {
+            NetError::UnknownNode(id) => {
+                vec![kind("unknown_node"), ("id".to_string(), id.to_value())]
+            }
+            NetError::UnknownLink(id) => {
+                vec![kind("unknown_link"), ("id".to_string(), id.to_value())]
+            }
+            NetError::InvalidTopology(msg) => vec![
+                kind("invalid_topology"),
+                ("message".to_string(), msg.to_value()),
+            ],
+            NetError::NoPath { src, dst } => vec![
+                kind("no_path"),
+                ("src".to_string(), src.to_value()),
+                ("dst".to_string(), dst.to_value()),
+            ],
+            NetError::Parse { line, message } => vec![
+                kind("parse"),
+                ("line".to_string(), line.to_value()),
+                ("message".to_string(), message.to_value()),
+            ],
+            NetError::Dimension(msg) => {
+                vec![kind("dimension"), ("message".to_string(), msg.to_value())]
+            }
+        })
+    }
+}
+
+impl Deserialize for NetError {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.field("kind")? {
+            Value::Str(k) => match k.as_str() {
+                "unknown_node" => Ok(NetError::UnknownNode(usize::from_value(v.field("id")?)?)),
+                "unknown_link" => Ok(NetError::UnknownLink(usize::from_value(v.field("id")?)?)),
+                "invalid_topology" => Ok(NetError::InvalidTopology(String::from_value(
+                    v.field("message")?,
+                )?)),
+                "no_path" => Ok(NetError::NoPath {
+                    src: usize::from_value(v.field("src")?)?,
+                    dst: usize::from_value(v.field("dst")?)?,
+                }),
+                "parse" => Ok(NetError::Parse {
+                    line: usize::from_value(v.field("line")?)?,
+                    message: String::from_value(v.field("message")?)?,
+                }),
+                "dimension" => Ok(NetError::Dimension(String::from_value(
+                    v.field("message")?,
+                )?)),
+                other => Err(DeError(format!("unknown NetError kind `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "NetError kind must be a string: {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +134,23 @@ mod tests {
             .to_string()
             .contains("dup"));
         assert!(NetError::Dimension("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn wire_form_roundtrips_every_variant() {
+        for e in [
+            NetError::UnknownNode(4),
+            NetError::UnknownLink(7),
+            NetError::InvalidTopology("dup".into()),
+            NetError::NoPath { src: 1, dst: 2 },
+            NetError::Parse {
+                line: 12,
+                message: "bad".into(),
+            },
+            NetError::Dimension("x".into()),
+        ] {
+            assert_eq!(NetError::from_value(&e.to_value()).unwrap(), e);
+        }
+        assert!(NetError::from_value(&Value::Str("kill".into())).is_err());
     }
 }

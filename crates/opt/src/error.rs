@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use serde::{DeError, Deserialize, Serialize, Value};
 use tm_linalg::LinalgError;
 
 /// Errors produced by the optimization routines.
@@ -62,6 +63,60 @@ impl From<LinalgError> for OptError {
     }
 }
 
+// Hand-written wire form (the vendored derive covers only unit-variant
+// enums): a tagged `{"kind": ..}` object, exact for the daemon's
+// cross-process transport. The nested `Linalg` payload reuses
+// `LinalgError`'s own wire form.
+impl Serialize for OptError {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        Value::Map(match self {
+            OptError::Infeasible { residual } => vec![
+                kind("infeasible"),
+                ("residual".to_string(), residual.to_value()),
+            ],
+            OptError::Unbounded => vec![kind("unbounded")],
+            OptError::DidNotConverge {
+                iterations,
+                measure,
+            } => vec![
+                kind("did_not_converge"),
+                ("iterations".to_string(), iterations.to_value()),
+                ("measure".to_string(), measure.to_value()),
+            ],
+            OptError::Invalid(msg) => {
+                vec![kind("invalid"), ("message".to_string(), msg.to_value())]
+            }
+            OptError::Linalg(e) => vec![kind("linalg"), ("error".to_string(), e.to_value())],
+        })
+    }
+}
+
+impl Deserialize for OptError {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.field("kind")? {
+            Value::Str(k) => match k.as_str() {
+                "infeasible" => Ok(OptError::Infeasible {
+                    residual: f64::from_value(v.field("residual")?)?,
+                }),
+                "unbounded" => Ok(OptError::Unbounded),
+                "did_not_converge" => Ok(OptError::DidNotConverge {
+                    iterations: usize::from_value(v.field("iterations")?)?,
+                    measure: f64::from_value(v.field("measure")?)?,
+                }),
+                "invalid" => Ok(OptError::Invalid(String::from_value(v.field("message")?)?)),
+                "linalg" => Ok(OptError::Linalg(LinalgError::from_value(
+                    v.field("error")?,
+                )?)),
+                other => Err(DeError(format!("unknown OptError kind `{other}`"))),
+            },
+            other => Err(DeError(format!(
+                "OptError kind must be a string: {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +136,22 @@ mod tests {
         .to_string()
         .contains('9'));
         assert!(OptError::Invalid("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn wire_form_roundtrips_every_variant() {
+        for e in [
+            OptError::Infeasible { residual: 0.5 },
+            OptError::Unbounded,
+            OptError::DidNotConverge {
+                iterations: 9,
+                measure: 1.0,
+            },
+            OptError::Invalid("x".into()),
+            OptError::Linalg(LinalgError::Singular { pivot: 3 }),
+        ] {
+            assert_eq!(OptError::from_value(&e.to_value()).unwrap(), e);
+        }
+        assert!(OptError::from_value(&Value::Seq(vec![])).is_err());
     }
 }

@@ -226,6 +226,33 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Result` is encoded as a single-key object — `{"ok": v}` or
+// `{"err": e}` — never as `null`, so `Option<Result<..>>` (which uses
+// `null` for `None`) round-trips unambiguously.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Map(vec![("ok".to_string(), v.to_value())]),
+            Err(e) => Value::Map(vec![("err".to_string(), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError(format!("expected result object, got {v:?}")))?;
+        match m {
+            [(k, inner)] if k == "ok" => T::from_value(inner).map(Ok),
+            [(k, inner)] if k == "err" => E::from_value(inner).map(Err),
+            _ => Err(DeError(
+                "expected a single `ok` or `err` field in result object".into(),
+            )),
+        }
+    }
+}
+
 macro_rules! tuple_impl {
     ($(($($t:ident : $i:tt),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -268,6 +295,23 @@ mod tests {
         assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
         let t = (1usize, 2.5f64);
         assert_eq!(<(usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        type R = Result<f64, String>;
+        let ok: R = Ok(2.5);
+        let err: R = Err("boom".into());
+        assert_eq!(R::from_value(&ok.to_value()).unwrap(), ok);
+        assert_eq!(R::from_value(&err.to_value()).unwrap(), err);
+        // Option<Result<..>> keeps None and Ok/Err distinguishable.
+        let none: Option<R> = None;
+        assert_eq!(Option::<R>::from_value(&none.to_value()).unwrap(), none);
+        let some: Option<R> = Some(Err("e".into()));
+        assert_eq!(Option::<R>::from_value(&some.to_value()).unwrap(), some);
+        // Malformed shapes are errors, not panics.
+        assert!(R::from_value(&Value::Null).is_err());
+        assert!(R::from_value(&Value::Map(vec![])).is_err());
     }
 
     #[test]
